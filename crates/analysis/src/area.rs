@@ -1,0 +1,75 @@
+//! Area model (§4 "Area estimate"): 1,284 mm² per HBM switch,
+//! 20,544 mm² for 16 switches — under 10 % of a panel-scale substrate.
+
+use rip_units::Area;
+use serde::{Deserialize, Serialize};
+
+use crate::constants;
+
+/// Area breakdown of the router.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AreaAnalysis {
+    /// Processing chiplet area per switch.
+    pub chiplet: Area,
+    /// HBM stack area per switch.
+    pub hbm: Area,
+    /// Total per switch.
+    pub per_switch: Area,
+    /// Total for all switches.
+    pub total: Area,
+    /// Panel substrate area.
+    pub panel: Area,
+    /// `total / panel`.
+    pub panel_fraction: f64,
+}
+
+/// Analyse a router of `switches` switches with `stacks_per_switch`
+/// HBM stacks each.
+pub fn analyse(switches: usize, stacks_per_switch: usize) -> AreaAnalysis {
+    let chiplet = constants::tomahawk5::die_area();
+    let hbm = constants::hbm4::footprint() * stacks_per_switch as u64;
+    let per_switch = chiplet + hbm;
+    let total = per_switch * switches as u64;
+    let panel = constants::panel_area();
+    AreaAnalysis {
+        chiplet,
+        hbm,
+        per_switch,
+        total,
+        panel,
+        panel_fraction: total.fraction_of(panel),
+    }
+}
+
+/// The paper's reference: 16 switches × 4 stacks.
+pub fn reference() -> AreaAnalysis {
+    analyse(16, 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_headline_areas() {
+        let a = reference();
+        assert_eq!(a.per_switch.mm2(), 1_284.0);
+        assert_eq!(a.total.mm2(), 20_544.0);
+        assert!(a.panel_fraction < 0.10, "{}", a.panel_fraction);
+        assert!((a.panel_fraction - 0.0822).abs() < 0.001);
+    }
+
+    #[test]
+    fn hbm_is_the_smaller_share() {
+        let a = reference();
+        assert!(a.hbm.mm2() < a.chiplet.mm2());
+        assert_eq!(a.hbm.mm2(), 484.0);
+    }
+
+    #[test]
+    fn area_scales_linearly() {
+        let half = analyse(8, 4);
+        let full = analyse(16, 4);
+        assert!((full.total.mm2() - 2.0 * half.total.mm2()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,152 @@
+//! Router buffer sizing (§4): the router's 4.096 TB ⇒ ≈51.2 ms of
+//! buffering, against the classical sizing rules.
+
+use rip_units::{DataRate, DataSize};
+use serde::{Deserialize, Serialize};
+
+use crate::constants;
+
+/// The E8 buffer-sizing comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BufferAnalysis {
+    /// Total router buffering (`H · B ·` stack capacity).
+    pub total: DataSize,
+    /// Total ingress rate the buffer serves.
+    pub ingress: DataRate,
+    /// Milliseconds of buffering at full ingress.
+    pub milliseconds: f64,
+    /// Van Jacobson rule (1 × bandwidth-delay product) for the given
+    /// RTT, in bytes.
+    pub van_jacobson: DataSize,
+    /// Stanford rule (BDP / √n flows), in bytes.
+    pub stanford: DataSize,
+    /// Ratio of this router's buffer to the VJ rule.
+    pub vs_van_jacobson: f64,
+    /// Ratio to the Stanford rule.
+    pub vs_stanford: f64,
+}
+
+/// Milliseconds of buffering `size` provides at `rate`.
+pub fn buffer_ms(size: DataSize, rate: DataRate) -> f64 {
+    size.bits() as f64 / rate.bps() as f64 * 1e3
+}
+
+/// Bandwidth-delay product at `rate` for `rtt_ms`.
+pub fn bdp(rate: DataRate, rtt_ms: f64) -> DataSize {
+    DataSize::from_bits((rate.bps() as f64 * rtt_ms / 1e3) as u64)
+}
+
+/// Analyse a router with `switches × stacks_per_switch` stacks of
+/// `stack_capacity`, `ingress` total input rate, `rtt_ms` and `flows`
+/// concurrent long flows (for the Stanford rule).
+pub fn analyse(
+    switches: usize,
+    stacks_per_switch: usize,
+    stack_capacity: DataSize,
+    ingress: DataRate,
+    rtt_ms: f64,
+    flows: u64,
+) -> BufferAnalysis {
+    let total = stack_capacity * (switches * stacks_per_switch) as u64;
+    let vj = bdp(ingress, rtt_ms);
+    let stanford = vj / (flows as f64).sqrt() as u64;
+    BufferAnalysis {
+        total,
+        ingress,
+        milliseconds: buffer_ms(total, ingress),
+        van_jacobson: vj,
+        stanford,
+        vs_van_jacobson: total.bits() as f64 / vj.bits() as f64,
+        vs_stanford: total.bits() as f64 / stanford.bits() as f64,
+    }
+}
+
+/// The paper's reference analysis: H = 16, B = 4, 64 GB stacks,
+/// 655.36 Tb/s of ingress, 100 ms RTT, 100k flows.
+pub fn reference() -> BufferAnalysis {
+    analyse(
+        16,
+        4,
+        constants::hbm4::capacity(),
+        DataRate::from_bps(655_360_000_000_000),
+        100.0,
+        100_000,
+    )
+}
+
+/// Rows comparing this router's ms-of-buffering against the industry
+/// datapoints of §4.
+pub fn comparison_rows() -> Vec<(String, f64)> {
+    let r = reference();
+    vec![
+        ("this router (H·B·64 GB)".into(), r.milliseconds),
+        ("Van Jacobson rule (1 RTT)".into(), 100.0),
+        (
+            "Cisco white paper (core, low)".into(),
+            constants::cisco_linecards::RECOMMENDED_RANGE_MS.0,
+        ),
+        (
+            "Cisco white paper (core, high)".into(),
+            constants::cisco_linecards::RECOMMENDED_RANGE_MS.1,
+        ),
+        ("Cisco Q100 linecard".into(), constants::cisco_linecards::Q100_MS),
+        ("Cisco Q200 linecard".into(), constants::cisco_linecards::Q200_MS),
+        (
+            "Cisco 8201-32FH".into(),
+            constants::cisco_8201::buffer_ms(),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_headline_51ms() {
+        let r = reference();
+        // 4.096 TB total.
+        assert_eq!(r.total, DataSize::from_gib(4096));
+        // (H·B·64)·8/655.36 ~ 51.2 ms — the paper computes with 64 GB
+        // decimal-ish; GiB-exact gives 53.7. Within 6%.
+        assert!(
+            (r.milliseconds - 51.2).abs() / 51.2 < 0.06,
+            "{} ms",
+            r.milliseconds
+        );
+    }
+
+    #[test]
+    fn exceeds_van_jacobson_at_100ms_rtt() {
+        let r = reference();
+        // Buffer is about half an RTT of BDP at 655 Tb/s... no: 51 ms vs
+        // 100 ms RTT -> about half VJ; but far above Stanford.
+        assert!(r.vs_van_jacobson > 0.5 && r.vs_van_jacobson < 0.6);
+        assert!(r.vs_stanford > 150.0, "{}", r.vs_stanford);
+    }
+
+    #[test]
+    fn beats_all_cisco_datapoints() {
+        let rows = comparison_rows();
+        let ours = rows[0].1;
+        for (name, ms) in &rows[2..] {
+            assert!(ours > *ms, "{name} {ms} ms not below ours {ours} ms");
+        }
+    }
+
+    #[test]
+    fn buffer_ms_math() {
+        // 1 GB at 1 Tb/s = 8 ms.
+        let ms = buffer_ms(
+            DataSize::from_bytes(1_000_000_000),
+            DataRate::from_tbps(1),
+        );
+        assert!((ms - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bdp_math() {
+        let b = bdp(DataRate::from_gbps(100), 100.0);
+        assert_eq!(b, DataSize::from_bits(10_000_000_000));
+    }
+}

@@ -1,0 +1,61 @@
+//! Capacity-per-space comparison (§5 "Capacity increase"): "a Cisco
+//! 8201-32FH of 1RU height … 12.8 Tb/s, over 50× less than the input
+//! bandwidth of our router, while occupying about the same space."
+
+use rip_units::DataRate;
+use serde::{Deserialize, Serialize};
+
+use crate::constants;
+
+/// The E12 capacity comparison.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CapacityComparison {
+    /// This router's total ingress bandwidth.
+    pub router_ingress: DataRate,
+    /// The Cisco 8201-32FH's aggregate input bandwidth.
+    pub cisco_ingress: DataRate,
+    /// Ratio (the paper's "over 50×").
+    pub ratio: f64,
+}
+
+/// Compare `router_ingress` against the Cisco 8201-32FH datapoint.
+pub fn vs_cisco_8201(router_ingress: DataRate) -> CapacityComparison {
+    let cisco = constants::cisco_8201::capacity();
+    CapacityComparison {
+        router_ingress,
+        cisco_ingress: cisco,
+        ratio: router_ingress / cisco,
+    }
+}
+
+/// The paper's reference comparison at 655.36 Tb/s of ingress.
+pub fn reference() -> CapacityComparison {
+    vs_cisco_8201(DataRate::from_bps(655_360_000_000_000))
+}
+
+/// The §1/§5 claim that capacity per area improves by 1–2 orders of
+/// magnitude: capacity density of the package (ingress / panel area)
+/// vs the Cisco box normalized to the same footprint class.
+pub fn density_improvement() -> f64 {
+    // Both the package and a 1RU box occupy "about the same space"
+    // (§5), so the density improvement equals the capacity ratio.
+    reference().ratio
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_headline_over_50x() {
+        let c = reference();
+        assert!((c.ratio - 51.2).abs() < 0.01, "{}", c.ratio);
+        assert!(c.ratio > 50.0);
+    }
+
+    #[test]
+    fn density_is_one_to_two_orders_of_magnitude() {
+        let d = density_improvement();
+        assert!((10.0..100.0).contains(&d), "{d}");
+    }
+}

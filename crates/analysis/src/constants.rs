@@ -1,0 +1,130 @@
+//! The industry datapoints the paper's §4/§5 arithmetic cites.
+//!
+//! Each constant carries the paper's own citation so the provenance of
+//! every reproduced number is auditable.
+
+use rip_units::{Area, DataRate, DataSize, Energy, Power};
+
+/// Broadcom Tomahawk 5 (BCM78900) switch chip — the paper's processing
+/// power/area yardstick (\[8, 9\] in the paper).
+pub mod tomahawk5 {
+    use super::*;
+
+    /// Switching capacity: 51.2 Tb/s.
+    pub fn capacity() -> DataRate {
+        DataRate::from_gbps(51_200)
+    }
+
+    /// Power dissipation: 500 W.
+    pub fn power() -> Power {
+        Power::from_watts(500.0)
+    }
+
+    /// Estimated die size: 800 mm².
+    pub fn die_area() -> Area {
+        Area::from_mm2(800.0)
+    }
+}
+
+/// HBM4 stack datapoints (\[3, 19, 27, 34, 39, 52, 58, 65\]).
+pub mod hbm4 {
+    use super::*;
+
+    /// Bandwidth per stack: 2,048 bits × 10 Gb/s = 20.48 Tb/s.
+    pub fn bandwidth() -> DataRate {
+        DataRate::from_gbps(20_480)
+    }
+
+    /// Capacity per stack: 64 GB.
+    pub fn capacity() -> DataSize {
+        DataSize::from_gib(64)
+    }
+
+    /// Power per stack: ≈75 W (\[52\]).
+    pub fn power() -> Power {
+        Power::from_watts(75.0)
+    }
+
+    /// Footprint: 11 mm × 11 mm (\[21\]).
+    pub fn footprint() -> Area {
+        Area::from_rect_mm(11.0, 11.0)
+    }
+
+    /// Worst-case random-access overhead (activate + precharge): ≈30 ns
+    /// (\[34\]).
+    pub fn random_access_overhead_ns() -> f64 {
+        30.0
+    }
+
+    /// One channel: 64 bits at 10 Gb/s/bit = 80 GB/s.
+    pub fn channel_rate() -> DataRate {
+        DataRate::from_gbps(640)
+    }
+}
+
+/// Silicon-photonics OEO conversion energy: ≈1.15 pJ/bit
+/// (\[16–18, 20, 25, 49\]).
+pub fn oeo_energy() -> Energy {
+    Energy::from_pj_per_bit(1.15)
+}
+
+/// Cerebras WSE-3 wafer-scale processor: 23 kW, with deployed
+/// liquid/air cooling (\[36, 41, 51\]).
+pub fn cerebras_wse3_power() -> Power {
+    Power::from_kw(23.0)
+}
+
+/// Panel-scale glass substrate: 500 mm × 500 mm (\[28\]).
+pub fn panel_area() -> Area {
+    Area::from_rect_mm(500.0, 500.0)
+}
+
+/// Cisco 8201-32FH: 32 × 400 Gb/s = 12.8 Tb/s in 1 RU, ≈5 ms of
+/// buffering (\[13, 63, 64\]).
+pub mod cisco_8201 {
+    use super::*;
+
+    /// Aggregate input bandwidth.
+    pub fn capacity() -> DataRate {
+        DataRate::from_gbps(12_800)
+    }
+
+    /// Buffering depth in milliseconds.
+    pub fn buffer_ms() -> f64 {
+        5.0
+    }
+}
+
+/// Cisco linecard buffering datapoints (\[63, 64\]).
+pub mod cisco_linecards {
+    /// Q100-based 400G linecard: up to 18 ms.
+    pub const Q100_MS: f64 = 18.0;
+    /// Q200-based 400G linecard: up to 13 ms.
+    pub const Q200_MS: f64 = 13.0;
+    /// Cisco white-paper recommendation for core routers: 5–10 ms.
+    pub const RECOMMENDED_RANGE_MS: (f64, f64) = (5.0, 10.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tomahawk_ratio_gives_paper_processing_power() {
+        // 500 W x (40.96 / 51.2) = 400 W.
+        let per_switch_ingress = DataRate::from_gbps(40_960);
+        let p = tomahawk5::power() * per_switch_ingress.fraction_of(tomahawk5::capacity());
+        assert!((p.watts() - 400.0).abs() < 0.5, "{}", p.watts());
+    }
+
+    #[test]
+    fn four_stacks_match_the_switch_io() {
+        assert_eq!((hbm4::bandwidth() * 4).tbps(), 81.92);
+        assert_eq!(hbm4::capacity() * 4, DataSize::from_gib(256));
+    }
+
+    #[test]
+    fn panel_is_quarter_square_meter() {
+        assert_eq!(panel_area().mm2(), 250_000.0);
+    }
+}

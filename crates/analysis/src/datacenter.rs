@@ -1,0 +1,155 @@
+//! Datacenter variant (§5 "Designing datacenter switches"): latency is
+//! more critical, so the HBM switch "may need to be modified to rely on
+//! smaller frames" — and there is a floor on how small a full-rate PFI
+//! frame can be.
+
+use rip_units::{DataRate, DataSize, TimeDelta};
+use serde::{Deserialize, Serialize};
+
+/// One row of the frame-size / latency trade (E16).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FrameLatencyRow {
+    /// Channels a frame is striped across.
+    pub stripe_channels: usize,
+    /// Resulting frame size `K' = γ·T'·S`.
+    pub frame: DataSize,
+    /// Mean frame fill time at the given per-output load (frames fill
+    /// at the output's aggregate arrival rate `ρ·P`).
+    pub fill_latency: TimeDelta,
+    /// Frame drain (serialization) time at the output line rate.
+    pub drain_latency: TimeDelta,
+    /// Fill + drain: the frame-induced latency floor.
+    pub total_latency: TimeDelta,
+}
+
+/// The smallest frame that still runs the memory at peak rate when
+/// striped over `t` channels: each of the γ staggered banks must absorb
+/// a segment long enough that the γ-segment group span covers tRC —
+/// i.e. `γ·S ≥ tRC·channel_rate`, so `K'_min = T'·tRC·channel_rate`.
+pub fn min_frame(stripe_channels: usize, channel_rate: DataRate, t_rc: TimeDelta) -> DataSize {
+    let per_channel = channel_rate.data_in(t_rc);
+    DataSize::from_bits(per_channel.bits() * stripe_channels as u64)
+}
+
+/// Latency of a `frame`-sized PFI aggregation at per-output `load`
+/// (fraction of the port rate `port`).
+pub fn frame_latency(
+    frame: DataSize,
+    port: DataRate,
+    load: f64,
+    stripe_channels: usize,
+) -> FrameLatencyRow {
+    assert!(load > 0.0 && load <= 1.0);
+    let fill = port.scale(load).transfer_time(frame);
+    let drain = port.transfer_time(frame);
+    FrameLatencyRow {
+        stripe_channels,
+        frame,
+        fill_latency: fill,
+        drain_latency: drain,
+        total_latency: fill + drain,
+    }
+}
+
+/// The E16 sweep: stripe a frame over fewer channels (`T' = T, T/2, …`),
+/// shrinking `K' = γ·T'·S` proportionally; multiple frames for
+/// different outputs then occupy disjoint channel subsets concurrently,
+/// so aggregate memory bandwidth is preserved while per-frame latency
+/// falls.
+pub fn sweep(
+    total_channels: usize,
+    gamma: usize,
+    segment: DataSize,
+    port: DataRate,
+    load: f64,
+) -> Vec<FrameLatencyRow> {
+    let mut rows = Vec::new();
+    let mut t = total_channels;
+    while t >= 1 {
+        let frame = segment * (gamma * t) as u64;
+        rows.push(frame_latency(frame, port, load, t));
+        if t == 1 {
+            break;
+        }
+        t /= 2;
+    }
+    rows
+}
+
+/// First-order expected in-switch delay of a random packet at
+/// per-output `load` with padding/bypass *off* (frames fill naturally):
+/// mean residual frame-fill wait (`fill/2`), the HBM write+read pass,
+/// and the mean drain position (`drain/2`). A cross-check for the E14
+/// measured curves — expected to agree within small factors, since it
+/// ignores queueing variance and the batch pipeline.
+pub fn expected_switch_delay(
+    frame: DataSize,
+    port: DataRate,
+    load: f64,
+    hbm_frame_time: TimeDelta,
+) -> TimeDelta {
+    let row = frame_latency(frame, port, load, 0);
+    row.fill_latency / 2 + hbm_frame_time * 2 + row.drain_latency / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_frame_floor_matches_hand_math() {
+        // 80 GB/s channel, tRC = 30 ns -> 2,400 B per channel; 128
+        // channels -> 300 KiB floor.
+        let m = min_frame(128, DataRate::from_gbps(640), TimeDelta::from_ns(30));
+        assert_eq!(m.bytes(), 2_400 * 128);
+    }
+
+    #[test]
+    fn latency_shrinks_linearly_with_stripe_width() {
+        let rows = sweep(
+            128,
+            4,
+            DataSize::from_kib(1),
+            DataRate::from_gbps(2560),
+            0.5,
+        );
+        assert_eq!(rows[0].frame, DataSize::from_kib(512));
+        // Every halving of the stripe halves the frame and its latency.
+        for w in rows.windows(2) {
+            assert_eq!(w[0].frame.bits(), w[1].frame.bits() * 2);
+            assert!(w[0].total_latency > w[1].total_latency);
+        }
+        // Reference frame at 50% load: fill 3.2768 us + drain 1.6384 us.
+        assert_eq!(rows[0].fill_latency, TimeDelta::from_ps(3_276_800));
+        assert_eq!(rows[0].drain_latency, TimeDelta::from_ps(1_638_400));
+    }
+
+    #[test]
+    fn lower_load_means_longer_fill() {
+        let f = DataSize::from_kib(512);
+        let p = DataRate::from_gbps(2560);
+        let slow = frame_latency(f, p, 0.1, 128);
+        let fast = frame_latency(f, p, 0.9, 128);
+        assert!(slow.fill_latency > fast.fill_latency);
+        assert_eq!(slow.drain_latency, fast.drain_latency);
+    }
+
+    #[test]
+    fn expected_delay_is_dominated_by_fill_at_low_load() {
+        let frame = DataSize::from_kib(32);
+        let port = DataRate::from_gbps(640);
+        let hbm = TimeDelta::from_ns(51);
+        let lo = expected_switch_delay(frame, port, 0.1, hbm);
+        let hi = expected_switch_delay(frame, port, 0.9, hbm);
+        assert!(lo > hi * 4);
+        // At 0.5 load: fill/2 = 409.6 ns, drain/2 = 204.8 ns, +102 ns.
+        let mid = expected_switch_delay(frame, port, 0.5, hbm);
+        assert_eq!(mid, TimeDelta::from_ps(409_600 + 102_000 + 204_800));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_load_is_rejected() {
+        frame_latency(DataSize::from_kib(1), DataRate::from_gbps(1), 0.0, 1);
+    }
+}

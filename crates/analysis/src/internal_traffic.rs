@@ -1,0 +1,145 @@
+//! Wasted internal traffic (§5): "The ability to scale routers by 1–2
+//! orders of magnitude can save a significant fraction of the current
+//! WAN capacity that is devoted to internal traffic needed to
+//! interconnect smaller routers."
+//!
+//! When a PoP needs more capacity than one router provides, operators
+//! compose smaller routers into a multi-chassis Clos or a mesh; every
+//! packet then consumes port capacity on several routers, and all but
+//! the first and last traversal is *internal* traffic. A single
+//! router-in-a-package with 50× the capacity removes those stages.
+
+use serde::{Deserialize, Serialize};
+
+use rip_baselines::MeshFabric;
+use rip_units::DataRate;
+
+/// How a PoP of aggregate external capacity is composed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Composition {
+    /// One router-in-a-package: no internal interconnect.
+    SinglePackage,
+    /// A folded multi-chassis Clos of small routers with the given
+    /// number of router stages on each path (3 for a classic
+    /// leaf–spine–leaf composition).
+    Clos {
+        /// Router stages per path.
+        stages: u32,
+    },
+    /// A `k × k` mesh of small routers with XY routing.
+    Mesh {
+        /// Mesh side.
+        k: usize,
+    },
+}
+
+impl Composition {
+    /// Mean router traversals per packet.
+    pub fn traversals(self) -> f64 {
+        match self {
+            Composition::SinglePackage => 1.0,
+            Composition::Clos { stages } => stages as f64,
+            Composition::Mesh { k } => MeshFabric::new(k, 1.0).mean_hops_uniform().max(1.0),
+        }
+    }
+
+    /// Fraction of total router-port capacity consumed by *internal*
+    /// hops: `1 − 1/traversals`.
+    pub fn internal_fraction(self) -> f64 {
+        1.0 - 1.0 / self.traversals()
+    }
+
+    /// Port capacity (in units of the external capacity served) that
+    /// must be purchased to serve 1.0 of external capacity.
+    pub fn capacity_multiplier(self) -> f64 {
+        self.traversals()
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> String {
+        match self {
+            Composition::SinglePackage => "single router-in-a-package".into(),
+            Composition::Clos { stages } => format!("{stages}-stage multi-chassis Clos"),
+            Composition::Mesh { k } => format!("{k}x{k} mesh of routers"),
+        }
+    }
+}
+
+/// The §5 savings claim, quantified: serving one reference package's
+/// ingress with today's 12.8 Tb/s boxes in a 3-stage Clos.
+pub fn reference_savings() -> (f64, DataRate) {
+    let clos = Composition::Clos { stages: 3 };
+    let saved_fraction = clos.internal_fraction();
+    // Absolute WAN-port capacity freed at 655.36 Tb/s of external load.
+    let external = DataRate::from_bps(655_360_000_000_000);
+    let freed = external.scale(clos.capacity_multiplier() - 1.0);
+    (saved_fraction, freed)
+}
+
+/// Routers of `small_capacity` needed per Clos stage to carry
+/// `external`, versus one package.
+pub fn boxes_needed(external: DataRate, small_capacity: DataRate, stages: u32) -> u64 {
+    let per_stage = external.bps().div_ceil(small_capacity.bps());
+    per_stage * stages as u64
+}
+
+/// The E19 table rows.
+pub fn table() -> Vec<(String, f64, f64)> {
+    [
+        Composition::SinglePackage,
+        Composition::Clos { stages: 3 },
+        Composition::Mesh { k: 10 },
+    ]
+    .into_iter()
+    .map(|c| (c.name(), c.capacity_multiplier(), c.internal_fraction()))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constants;
+
+    #[test]
+    fn single_package_wastes_nothing() {
+        let c = Composition::SinglePackage;
+        assert_eq!(c.traversals(), 1.0);
+        assert_eq!(c.internal_fraction(), 0.0);
+        assert_eq!(c.capacity_multiplier(), 1.0);
+    }
+
+    #[test]
+    fn three_stage_clos_wastes_two_thirds() {
+        let c = Composition::Clos { stages: 3 };
+        assert!((c.internal_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        let (frac, freed) = reference_savings();
+        assert!((frac - 2.0 / 3.0).abs() < 1e-12);
+        // 2x the external capacity freed: ~1.31 Pb/s of router ports.
+        assert!((freed.tbps() - 1310.72).abs() < 0.01);
+    }
+
+    #[test]
+    fn mesh_wastes_even_more() {
+        let mesh = Composition::Mesh { k: 10 };
+        assert!(mesh.internal_fraction() > 0.8);
+        assert!(mesh.capacity_multiplier() > 6.0);
+    }
+
+    #[test]
+    fn box_count_math() {
+        // 655.36 Tb/s over 12.8 Tb/s boxes: 52 per stage, 156 for Clos.
+        let n = boxes_needed(
+            DataRate::from_bps(655_360_000_000_000),
+            constants::cisco_8201::capacity(),
+            3,
+        );
+        assert_eq!(n, 52 * 3);
+    }
+
+    #[test]
+    fn table_is_ordered_by_waste() {
+        let t = table();
+        assert_eq!(t.len(), 3);
+        assert!(t[0].2 < t[1].2 && t[1].2 < t[2].2);
+    }
+}

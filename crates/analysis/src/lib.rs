@@ -1,0 +1,43 @@
+//! Closed-form reproduction of the paper's design analysis (§2.1, §3.1,
+//! §4, §5).
+//!
+//! Every number in the paper's prose is regenerated here from the cited
+//! constants ([`constants`]) and first-principles arithmetic:
+//!
+//! * [`random_access`] — the 2.6× / 39× / 1,250× throughput-reduction
+//!   factors of worst-case random DRAM access (§3.1 Challenge 6),
+//!   cross-checked against the device simulator in the integration
+//!   tests;
+//! * [`buffering`] — 4.096 TB ⇒ ≈51.2 ms of buffering, vs the Van
+//!   Jacobson, Stanford and Cisco sizing rules (§4);
+//! * [`sram`] — the ≈14.5 MB SRAM budget, with worst-case and expected
+//!   occupancy breakdowns (§4);
+//! * [`power`] — 400 W + 300 W + 94 W = 794 W per HBM switch, 12.7 kW
+//!   per router, vs the Cerebras WSE-3 (§4), plus the §5 power shares;
+//! * [`area`] — 1,284 mm² per switch, 20,544 mm² per router, <10 % of a
+//!   panel substrate (§4);
+//! * [`capacity`] — the ≥50× capacity-per-space advantage over a Cisco
+//!   8201-32FH (§5);
+//! * [`roadmap`] — the §5 projections for future HBM (4×) and
+//!   monolithic-3D memory (10×);
+//! * [`datacenter`] — the §5 small-frame latency/granularity trade for
+//!   datacenter switches;
+//! * [`internal_traffic`] — the §5 WAN capacity wasted on
+//!   interconnecting smaller routers, removed by a single package;
+//! * [`modularity`] — the §2.2 option of shipping the same design as 1,
+//!   4 or 16 packages.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod buffering;
+pub mod capacity;
+pub mod constants;
+pub mod datacenter;
+pub mod internal_traffic;
+pub mod modularity;
+pub mod power;
+pub mod random_access;
+pub mod roadmap;
+pub mod sram;

@@ -1,0 +1,101 @@
+//! Modularity (§2.2): "The SPS architecture enables a modular approach,
+//! from a single dense 1.31 Pb/s I/O package with 16 HBM switches, to
+//! 16 parallel packages of 1/16th the capacity."
+//!
+//! Because the HBM switches are fully independent after the split, the
+//! same silicon can ship as one big package or as `m` smaller ones; the
+//! totals are preserved exactly and only the per-package figures scale.
+
+use rip_units::{Area, DataRate, Power};
+use serde::{Deserialize, Serialize};
+
+use crate::{area, power};
+
+/// One deployment option: the reference design sliced into `packages`
+/// equal packages.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Deployment {
+    /// Number of packages the 16 HBM switches are spread over.
+    pub packages: usize,
+    /// HBM switches per package.
+    pub switches_per_package: usize,
+    /// I/O per package (both directions).
+    pub io_per_package: DataRate,
+    /// Power per package.
+    pub power_per_package: Power,
+    /// Silicon area per package.
+    pub area_per_package: Area,
+}
+
+/// Slice the reference design into `packages` packages. `packages` must
+/// divide 16.
+pub fn deployment(packages: usize) -> Result<Deployment, String> {
+    if packages == 0 || 16 % packages != 0 {
+        return Err(format!("{packages} does not divide the 16 HBM switches"));
+    }
+    let per = 16 / packages;
+    let total_io = DataRate::from_bps(1_310_720_000_000_000);
+    let router = power::reference();
+    let a = area::reference();
+    Ok(Deployment {
+        packages,
+        switches_per_package: per,
+        io_per_package: total_io / packages as u64,
+        power_per_package: router.per_switch.total() * per as u64,
+        area_per_package: a.per_switch * per as u64,
+    })
+}
+
+/// The §2.2 modularity table: 1, 4 and 16 packages.
+pub fn table() -> Vec<Deployment> {
+    [1, 4, 16]
+        .into_iter()
+        .map(|p| deployment(p).expect("divides 16"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_are_invariant_across_slicings() {
+        let one = deployment(1).unwrap();
+        for p in [2, 4, 8, 16] {
+            let d = deployment(p).unwrap();
+            assert_eq!(d.switches_per_package * p, 16);
+            assert_eq!(d.io_per_package.bps() * p as u64, one.io_per_package.bps());
+            assert!(
+                (d.power_per_package.watts() * p as f64 - one.power_per_package.watts()).abs()
+                    < 1e-6
+            );
+            assert!(
+                (d.area_per_package.mm2() * p as f64 - one.area_per_package.mm2()).abs() < 1e-6
+            );
+        }
+    }
+
+    #[test]
+    fn paper_endpoints() {
+        let single = deployment(1).unwrap();
+        assert!((single.io_per_package.tbps() - 1310.72).abs() < 0.01);
+        let sixteen = deployment(16).unwrap();
+        assert_eq!(sixteen.switches_per_package, 1);
+        // 1/16th the capacity: 81.92 Tb/s of I/O per small package.
+        assert!((sixteen.io_per_package.tbps() - 81.92).abs() < 0.01);
+        // ~794 W per small package.
+        assert!((sixteen.power_per_package.watts() - 794.2).abs() < 1.0);
+    }
+
+    #[test]
+    fn invalid_slicings_rejected() {
+        assert!(deployment(0).is_err());
+        assert!(deployment(3).is_err());
+        assert!(deployment(32).is_err());
+    }
+
+    #[test]
+    fn table_has_three_rows() {
+        assert_eq!(table().len(), 3);
+    }
+}

@@ -1,0 +1,156 @@
+//! Power model (§4 "Power estimate", §5 "the road ahead"):
+//! 400 W processing + 300 W HBM + 94 W OEO = 794 W per HBM switch,
+//! ≈12.7 kW per router — just above half a Cerebras WSE-3.
+
+use rip_units::{DataRate, Power};
+use serde::{Deserialize, Serialize};
+
+use crate::constants;
+
+/// Power breakdown of one HBM switch.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SwitchPower {
+    /// Packet processing + SRAM buffering (Tomahawk-5 scaled).
+    pub processing: Power,
+    /// HBM stacks.
+    pub hbm: Power,
+    /// O/E + E/O conversion.
+    pub oeo: Power,
+}
+
+impl SwitchPower {
+    /// Total per-switch power.
+    pub fn total(&self) -> Power {
+        self.processing + self.hbm + self.oeo
+    }
+}
+
+/// Power breakdown of the whole router.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RouterPower {
+    /// Per-switch breakdown.
+    pub per_switch: SwitchPower,
+    /// Number of HBM switches.
+    pub switches: usize,
+}
+
+impl RouterPower {
+    /// Total router power.
+    pub fn total(&self) -> Power {
+        self.per_switch.total() * self.switches as u64
+    }
+
+    /// Share of total power going to processing (§5: ≈50 %).
+    pub fn processing_share(&self) -> f64 {
+        self.per_switch.processing.fraction_of(self.per_switch.total())
+    }
+
+    /// Share going to HBM (§5: ≈40 %).
+    pub fn hbm_share(&self) -> f64 {
+        self.per_switch.hbm.fraction_of(self.per_switch.total())
+    }
+
+    /// Share going to OEO conversion.
+    pub fn oeo_share(&self) -> f64 {
+        self.per_switch.oeo.fraction_of(self.per_switch.total())
+    }
+
+    /// Ratio to the Cerebras WSE-3's 23 kW (§4: "just above half").
+    pub fn vs_cerebras(&self) -> f64 {
+        self.total() / constants::cerebras_wse3_power()
+    }
+}
+
+/// Model one HBM switch handling `ingress` of incoming traffic with
+/// `stacks` HBM stacks and `memory_io` of total OEO I/O.
+pub fn switch_power(ingress: DataRate, stacks: usize, oeo_io: DataRate) -> SwitchPower {
+    let processing = constants::tomahawk5::power()
+        * ingress.fraction_of(constants::tomahawk5::capacity());
+    let hbm = constants::hbm4::power() * stacks as u64;
+    let oeo = constants::oeo_energy().power_at(oeo_io);
+    SwitchPower {
+        processing,
+        hbm,
+        oeo,
+    }
+}
+
+/// The paper's reference router: 16 switches × (40.96 Tb/s ingress,
+/// 4 stacks, 81.92 Tb/s OEO I/O).
+pub fn reference() -> RouterPower {
+    RouterPower {
+        per_switch: switch_power(DataRate::from_gbps(40_960), 4, DataRate::from_gbps(81_920)),
+        switches: 16,
+    }
+}
+
+/// Conversion-power comparison across the §2.1 design space at the
+/// router's total I/O (experiment E7): (design name, OEO conversions,
+/// OEO power).
+pub fn oeo_design_space(total_io: DataRate) -> Vec<(String, f64, Power)> {
+    use rip_baselines::DesignPoint;
+    [
+        DesignPoint::Sps,
+        DesignPoint::Centralized,
+        DesignPoint::ThreeStage,
+        DesignPoint::Mesh { k: 10 },
+    ]
+    .into_iter()
+    .map(|d| {
+        (
+            d.name(),
+            d.oeo_conversions(),
+            d.oeo_power(total_io, constants::oeo_energy()),
+        )
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_headline_794w_and_12_7kw() {
+        let r = reference();
+        let p = r.per_switch;
+        assert!((p.processing.watts() - 400.0).abs() < 1.0, "{}", p.processing);
+        assert!((p.hbm.watts() - 300.0).abs() < 1e-9, "{}", p.hbm);
+        assert!((p.oeo.watts() - 94.0).abs() < 0.5, "{}", p.oeo);
+        assert!((p.total().watts() - 794.0).abs() < 1.5, "{}", p.total());
+        assert!((r.total().kilowatts() - 12.7).abs() < 0.05, "{}", r.total());
+    }
+
+    #[test]
+    fn just_above_half_a_cerebras() {
+        let r = reference();
+        let ratio = r.vs_cerebras();
+        assert!(ratio > 0.5 && ratio < 0.6, "ratio {ratio}");
+    }
+
+    #[test]
+    fn section5_power_shares() {
+        let r = reference();
+        // §5: HBM accounts for 40% of overall power, processing ~50%.
+        assert!((r.hbm_share() - 0.40).abs() < 0.03, "{}", r.hbm_share());
+        assert!(
+            (r.processing_share() - 0.50).abs() < 0.03,
+            "{}",
+            r.processing_share()
+        );
+        let sum = r.processing_share() + r.hbm_share() + r.oeo_share();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn design_space_conversion_power_ordering() {
+        let rows = oeo_design_space(DataRate::from_bps(1_310_720_000_000_000));
+        // SPS first and cheapest.
+        assert!(rows[0].0.contains("SPS"));
+        let sps = rows[0].2;
+        let three_stage = rows[2].2;
+        assert!((three_stage / sps - 3.0).abs() < 1e-9);
+        // Mesh pays the most (mean hops > 3).
+        assert!(rows[3].2.watts() > three_stage.watts());
+    }
+}

@@ -1,0 +1,122 @@
+//! Closed-form throughput-reduction factors of worst-case random DRAM
+//! access (§3.1 Challenge 6).
+//!
+//! "They would still suffer from throughput reduction factors ranging
+//! from 2.6× for 1,500-byte packets to 39× for worst-case 64-byte ones.
+//! If they don't leverage parallel channels, the reduction can reach
+//! 1,250×."
+
+use rip_units::{DataRate, DataSize, TimeDelta};
+use serde::{Deserialize, Serialize};
+
+/// One row of the E1 reduction table.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ReductionRow {
+    /// Packet size analysed.
+    pub packet: DataSize,
+    /// Transfer time of the packet on the access interface.
+    pub transfer: TimeDelta,
+    /// Fixed per-access overhead (activate + precharge).
+    pub overhead: TimeDelta,
+    /// Throughput reduction factor `(overhead + transfer) / transfer`.
+    pub reduction: f64,
+}
+
+/// Reduction factor for per-packet random access on an interface of
+/// `rate`, paying `overhead` around every access.
+pub fn reduction(packet: DataSize, rate: DataRate, overhead: TimeDelta) -> ReductionRow {
+    let transfer = rate.transfer_time(packet);
+    let t = transfer.as_ps() as f64;
+    ReductionRow {
+        packet,
+        transfer,
+        overhead,
+        reduction: (overhead.as_ps() as f64 + t) / t,
+    }
+}
+
+/// The paper's "with parallel channels" variant: each packet lands on
+/// one 64-bit HBM channel (80 GB/s).
+pub fn with_parallel_channels(packet: DataSize) -> ReductionRow {
+    reduction(
+        packet,
+        crate::constants::hbm4::channel_rate(),
+        TimeDelta::from_ns(crate::constants::hbm4::random_access_overhead_ns() as u64),
+    )
+}
+
+/// The paper's "without parallel channels" variant: each access is one
+/// logical word across a stack's whole 2,048-bit interface (20.48 Tb/s).
+pub fn single_logical_interface(packet: DataSize) -> ReductionRow {
+    reduction(
+        packet,
+        crate::constants::hbm4::bandwidth(),
+        TimeDelta::from_ns(crate::constants::hbm4::random_access_overhead_ns() as u64),
+    )
+}
+
+/// The full E1 table: the paper's three headline numbers.
+pub fn e1_table() -> Vec<(String, ReductionRow)> {
+    vec![
+        (
+            "parallel channels, 1500 B".into(),
+            with_parallel_channels(DataSize::from_bytes(1500)),
+        ),
+        (
+            "parallel channels, 64 B".into(),
+            with_parallel_channels(DataSize::from_bytes(64)),
+        ),
+        (
+            "single interface, 64 B".into(),
+            single_logical_interface(DataSize::from_bytes(64)),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_headline_factors() {
+        // 2.6x for 1,500-byte packets.
+        let r = with_parallel_channels(DataSize::from_bytes(1500));
+        assert!((r.reduction - 2.6).abs() < 0.05, "{}", r.reduction);
+        // 39x for 64-byte packets ((30 + 0.8)/0.8 = 38.5).
+        let r = with_parallel_channels(DataSize::from_bytes(64));
+        assert!((r.reduction - 38.5).abs() < 0.5, "{}", r.reduction);
+        // "can reach 1,250x" without parallel channels:
+        // (30 + 0.025)/0.025 = 1,201 ~ 1.25e3.
+        let r = single_logical_interface(DataSize::from_bytes(64));
+        assert!(
+            r.reduction > 1_100.0 && r.reduction < 1_300.0,
+            "{}",
+            r.reduction
+        );
+    }
+
+    #[test]
+    fn reduction_decreases_with_packet_size() {
+        let sizes = [64u64, 256, 576, 1500, 4096];
+        let rows: Vec<f64> = sizes
+            .iter()
+            .map(|&s| with_parallel_channels(DataSize::from_bytes(s)).reduction)
+            .collect();
+        assert!(rows.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn e1_table_has_three_rows() {
+        let t = e1_table();
+        assert_eq!(t.len(), 3);
+        assert!(t.iter().all(|(_, r)| r.reduction > 1.0));
+    }
+
+    #[test]
+    fn transfer_times_match_hand_math() {
+        let r = with_parallel_channels(DataSize::from_bytes(1500));
+        assert_eq!(r.transfer, TimeDelta::from_ps(18_750));
+        let r = single_logical_interface(DataSize::from_bytes(64));
+        assert_eq!(r.transfer, TimeDelta::from_ps(25));
+    }
+}

@@ -1,0 +1,121 @@
+//! Router evolution projections (§5 "Router evolution"): future HBM
+//! generations are expected to deliver 4× the bandwidth and capacity;
+//! monolithic-3D stackable DRAM, 10× — either lets the reference design
+//! shed stacks, footprint and power, or scale capacity further.
+
+use rip_units::{Area, DataRate, Power};
+use serde::{Deserialize, Serialize};
+
+use crate::constants;
+
+/// One memory-technology generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemoryGeneration {
+    /// Today's HBM4 baseline.
+    Hbm4,
+    /// Future HBM (HBM5–8 roadmaps): 4× bandwidth and capacity per
+    /// stack (\[52\]).
+    FutureHbm,
+    /// Monolithic 3-D stackable DRAM: 10× per stack (\[23, 24\]).
+    Monolithic3d,
+}
+
+impl MemoryGeneration {
+    /// Bandwidth/capacity multiplier vs HBM4.
+    pub fn factor(self) -> u64 {
+        match self {
+            MemoryGeneration::Hbm4 => 1,
+            MemoryGeneration::FutureHbm => 4,
+            MemoryGeneration::Monolithic3d => 10,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemoryGeneration::Hbm4 => "HBM4 (today)",
+            MemoryGeneration::FutureHbm => "future HBM (4x)",
+            MemoryGeneration::Monolithic3d => "monolithic 3D DRAM (10x)",
+        }
+    }
+}
+
+/// The reference design re-instantiated on a future memory generation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RoadmapPoint {
+    /// The generation.
+    pub generation: MemoryGeneration,
+    /// Stacks needed per HBM switch to sustain 81.92 Tb/s of memory I/O.
+    pub stacks_per_switch: u64,
+    /// Memory footprint per switch (stack footprint unchanged).
+    pub memory_area_per_switch: Area,
+    /// Memory power per switch (per-stack power unchanged — a
+    /// conservative projection; §5 expects future HBM to also need
+    /// *less* power per bit).
+    pub memory_power_per_switch: Power,
+    /// Alternative reading: capacity achievable with the original 4
+    /// stacks per switch.
+    pub io_with_four_stacks: DataRate,
+}
+
+/// Project the reference design onto `generation`.
+pub fn project(generation: MemoryGeneration) -> RoadmapPoint {
+    let f = generation.factor();
+    let needed = DataRate::from_gbps(81_920);
+    let per_stack = constants::hbm4::bandwidth() * f;
+    let stacks = needed.bps().div_ceil(per_stack.bps());
+    RoadmapPoint {
+        generation,
+        stacks_per_switch: stacks,
+        memory_area_per_switch: constants::hbm4::footprint() * stacks,
+        memory_power_per_switch: constants::hbm4::power() * stacks,
+        io_with_four_stacks: per_stack * 4,
+    }
+}
+
+/// The full §5 roadmap table.
+pub fn table() -> Vec<RoadmapPoint> {
+    vec![
+        project(MemoryGeneration::Hbm4),
+        project(MemoryGeneration::FutureHbm),
+        project(MemoryGeneration::Monolithic3d),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hbm4_needs_four_stacks() {
+        let p = project(MemoryGeneration::Hbm4);
+        assert_eq!(p.stacks_per_switch, 4);
+        assert_eq!(p.memory_area_per_switch.mm2(), 484.0);
+        assert_eq!(p.memory_power_per_switch.watts(), 300.0);
+    }
+
+    #[test]
+    fn future_hbm_needs_one_stack() {
+        let p = project(MemoryGeneration::FutureHbm);
+        assert_eq!(p.stacks_per_switch, 1);
+        // Or 4x the I/O with the original four stacks: 327.68 Tb/s.
+        assert_eq!(p.io_with_four_stacks.tbps(), 327.68);
+    }
+
+    #[test]
+    fn monolithic_3d_needs_one_stack_with_headroom() {
+        let p = project(MemoryGeneration::Monolithic3d);
+        assert_eq!(p.stacks_per_switch, 1);
+        assert_eq!(p.io_with_four_stacks.tbps(), 819.2);
+        assert_eq!(p.memory_power_per_switch.watts(), 75.0);
+    }
+
+    #[test]
+    fn table_is_ordered_by_generation() {
+        let t = table();
+        assert_eq!(t.len(), 3);
+        assert!(t[0].stacks_per_switch >= t[1].stacks_per_switch);
+        assert!(t[1].stacks_per_switch >= t[2].stacks_per_switch);
+        assert!(!t[0].generation.name().is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! Design 1: the single centralized switch (§2.1).
+
+use rip_traffic::Packet;
+use rip_units::{DataRate, DataSize, SimTime, TimeDelta};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of running a trace through the centralized switch.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CentralizedReport {
+    /// Packets offered.
+    pub offered: u64,
+    /// Packets delivered (the rest were dropped at the full ingress queue).
+    pub delivered: u64,
+    /// Data delivered.
+    pub data: DataSize,
+    /// Offered aggregate rate.
+    pub offered_rate: DataRate,
+    /// Delivered aggregate rate.
+    pub delivered_rate: DataRate,
+    /// Fraction of offered packets dropped.
+    pub loss_fraction: f64,
+    /// Mean queueing delay of delivered packets.
+    pub mean_delay: TimeDelta,
+}
+
+/// Design 1 — a single centralized switch fabric in front of one shared
+/// memory of bounded aggregate bandwidth.
+///
+/// Every packet must be written into and read out of the central memory,
+/// so the memory bus serves `2 × size` per packet; deliverable
+/// throughput is capped at half the memory bandwidth regardless of the
+/// traffic pattern (Challenge 1: "prohibitive switching rates as well as
+/// memory access rates"). A bounded ingress queue gives loss behaviour.
+#[derive(Debug, Clone)]
+pub struct CentralizedSwitch {
+    memory_bandwidth: DataRate,
+    /// Ingress queue bound (bytes); arrivals beyond it are dropped.
+    queue_limit: DataSize,
+    /// When the memory bus frees up.
+    bus_free: SimTime,
+    /// Bytes currently queued for the bus.
+    queued: DataSize,
+    /// Lazily drained in-flight completions (time, size).
+    in_flight: Vec<(SimTime, DataSize)>,
+}
+
+impl CentralizedSwitch {
+    /// A centralized switch with the given total memory bandwidth and
+    /// ingress queue bound.
+    pub fn new(memory_bandwidth: DataRate, queue_limit: DataSize) -> Self {
+        assert!(!memory_bandwidth.is_zero());
+        CentralizedSwitch {
+            memory_bandwidth,
+            queue_limit,
+            bus_free: SimTime::ZERO,
+            queued: DataSize::ZERO,
+            in_flight: Vec::new(),
+        }
+    }
+
+    /// The maximum deliverable aggregate rate (half the memory bandwidth:
+    /// every bit crosses the memory twice).
+    pub fn capacity(&self) -> DataRate {
+        self.memory_bandwidth / 2
+    }
+
+    /// Run an arrival-ordered trace. Packets arriving to a full queue
+    /// are dropped.
+    pub fn run(&mut self, packets: &[Packet]) -> CentralizedReport {
+        let mut delivered = 0u64;
+        let mut data = DataSize::ZERO;
+        let mut delay_total_ps: u128 = 0;
+        let mut last_departure = SimTime::ZERO;
+        let mut first_arrival: Option<SimTime> = None;
+        for p in packets {
+            first_arrival.get_or_insert(p.arrival);
+            // Drain completions up to this arrival.
+            let now = p.arrival;
+            let mut drained = DataSize::ZERO;
+            self.in_flight.retain(|&(t, s)| {
+                if t <= now {
+                    drained += s;
+                    false
+                } else {
+                    true
+                }
+            });
+            self.queued = self.queued.saturating_sub(drained);
+            if self.queued + p.size > self.queue_limit {
+                continue; // drop
+            }
+            // Write + read across the shared memory: 2x the packet size.
+            let service = self.memory_bandwidth.transfer_time(p.size * 2);
+            let start = self.bus_free.max(p.arrival);
+            let done = start + service;
+            self.bus_free = done;
+            self.queued += p.size;
+            self.in_flight.push((done, p.size));
+            delivered += 1;
+            data += p.size;
+            delay_total_ps += done.since(p.arrival).as_ps() as u128;
+            last_departure = last_departure.max(done);
+        }
+        let offered: u64 = packets.len() as u64;
+        let first = first_arrival.unwrap_or(SimTime::ZERO);
+        let span = last_departure.saturating_since(first);
+        let offered_bits: u64 = packets.iter().map(|p| p.size.bits()).sum();
+        let offered_span = packets
+            .last()
+            .map(|p| p.arrival.saturating_since(first))
+            .unwrap_or(TimeDelta::ZERO);
+        let rate_of = |bits: u64, dt: TimeDelta| {
+            if dt.is_zero() {
+                DataRate::ZERO
+            } else {
+                DataRate::from_bps(
+                    u64::try_from(bits as u128 * rip_units::PS_PER_S as u128 / dt.as_ps() as u128)
+                        .expect("rate overflow"),
+                )
+            }
+        };
+        CentralizedReport {
+            offered,
+            delivered,
+            data,
+            offered_rate: rate_of(offered_bits, offered_span),
+            delivered_rate: rate_of(data.bits(), span),
+            loss_fraction: if offered == 0 {
+                0.0
+            } else {
+                1.0 - delivered as f64 / offered as f64
+            },
+            mean_delay: if delivered == 0 {
+                TimeDelta::ZERO
+            } else {
+                TimeDelta::from_ps((delay_total_ps / delivered as u128) as u64)
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(n: u64, gap_ns: u64, bytes: u64) -> Vec<Packet> {
+        (0..n)
+            .map(|i| {
+                Packet::new(
+                    i,
+                    (i % 4) as usize,
+                    ((i + 1) % 4) as usize,
+                    DataSize::from_bytes(bytes),
+                    SimTime::from_ns(i * gap_ns),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn capacity_is_half_memory_bandwidth() {
+        let sw = CentralizedSwitch::new(DataRate::from_gbps(100), DataSize::from_mib(1));
+        assert_eq!(sw.capacity(), DataRate::from_gbps(50));
+    }
+
+    #[test]
+    fn under_capacity_no_loss() {
+        // Offered 40 Gb/s vs capacity 50 Gb/s.
+        let mut sw = CentralizedSwitch::new(DataRate::from_gbps(100), DataSize::from_mib(1));
+        let r = sw.run(&trace(1000, 200, 1000)); // 8000 bits / 200 ns = 40 Gb/s
+        assert_eq!(r.delivered, 1000);
+        assert_eq!(r.loss_fraction, 0.0);
+    }
+
+    #[test]
+    fn over_capacity_saturates_and_drops() {
+        // Offered 80 Gb/s vs capacity 50 Gb/s with a small queue.
+        let mut sw = CentralizedSwitch::new(DataRate::from_gbps(100), DataSize::from_bytes(4000));
+        let r = sw.run(&trace(10_000, 100, 1000));
+        assert!(r.loss_fraction > 0.3, "loss {}", r.loss_fraction);
+        // Delivered rate pinned at the capacity.
+        assert!(
+            (r.delivered_rate.gbps() - 50.0).abs() < 2.0,
+            "delivered {}",
+            r.delivered_rate.gbps()
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let mut sw = CentralizedSwitch::new(DataRate::from_gbps(10), DataSize::from_mib(1));
+        let r = sw.run(&[]);
+        assert_eq!(r.offered, 0);
+        assert_eq!(r.delivered, 0);
+        assert_eq!(r.loss_fraction, 0.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Baseline router architectures the paper argues against (§2.1 Designs
+//! 1–3, §3.1 Challenge 6), plus the ideal output-queued reference.
+//!
+//! * [`IdealOqSwitch`] — the "holy grail" ideal output-queued
+//!   shared-memory switch with unbounded memory bandwidth. Serves two
+//!   roles: the throughput/work-conservation reference, and the shadow
+//!   switch in the OQ-mimicking experiment (E4).
+//! * [`CentralizedSwitch`] — Design 1: one switch fabric behind one
+//!   memory of bounded aggregate bandwidth; cannot keep up at petabit
+//!   rates (Challenge 1).
+//! * [`MeshFabric`] — Design 2: a √H×√H mesh of smaller switches with XY
+//!   routing; guaranteed throughput collapses to ≈2/(√H) of capacity —
+//!   20 % for a 10×10 mesh (Challenge 2, \[61\]).
+//! * [`ThreeStageDesign`] / [`DesignPoint`] — Design 3: Clos /
+//!   load-balanced organizations with three electronic stages and three
+//!   OEO conversions per packet (Challenge 3).
+//! * [`LoadBalancedRouter`] / [`ParallelPacketSwitch`] — the
+//!   demand-oblivious per-packet balancing designs (\[31, 38, 47, 48\]):
+//!   full throughput, but per-packet electronic balancing plus output
+//!   resequencing, and extra OEO stages.
+//! * [`SprayingHbmSwitch`] — the statistical alternative of §3.1: spray
+//!   packets randomly over memory channels at worst-case access times
+//!   and re-sequence at the outputs; loses throughput *and* needs a
+//!   large reordering buffer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod centralized;
+mod design_points;
+mod load_balanced;
+mod mesh;
+mod oq;
+mod spraying;
+
+pub use centralized::{CentralizedReport, CentralizedSwitch};
+pub use design_points::{DesignPoint, ThreeStageDesign};
+pub use load_balanced::{BalancedReport, LoadBalancedRouter, ParallelPacketSwitch};
+pub use mesh::MeshFabric;
+pub use oq::{Departure, IdealOqSwitch};
+pub use spraying::{SprayingHbmSwitch, SprayingReport};

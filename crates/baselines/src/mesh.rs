@@ -1,0 +1,241 @@
+//! Design 2: the √H×√H mesh of smaller switches (§2.1 Challenge 2).
+
+use rip_traffic::TrafficMatrix;
+use serde::{Deserialize, Serialize};
+
+/// A `k × k` mesh of switch chiplets with dimension-ordered (XY)
+/// routing.
+///
+/// Each node terminates one external port of normalized rate 1; every
+/// mesh link has capacity `link_capacity` (in the same units). Demands
+/// route X-first then Y; the achievable throughput factor of a traffic
+/// matrix is `link_capacity / max-link-load` (fluid model), capped at 1.
+///
+/// The paper's point (Challenge 2, citing \[61\]): for a 10×10 mesh the
+/// guaranteed factor over admissible matrices is ≈20 % — 80 % of the
+/// capacity and power is spent on pass-through traffic.
+///
+/// ```
+/// use rip_baselines::MeshFabric;
+/// let mesh = MeshFabric::new(10, 1.0);
+/// assert_eq!(mesh.worst_case_bound(), 0.2); // the paper's 20%
+/// let tm = mesh.bisection_tm();
+/// assert!((mesh.throughput_factor(&tm) - 0.2).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MeshFabric {
+    k: usize,
+    link_capacity: f64,
+}
+
+impl MeshFabric {
+    /// A `k × k` mesh with the given per-link capacity (external port
+    /// rate = 1.0).
+    pub fn new(k: usize, link_capacity: f64) -> Self {
+        assert!(k >= 2, "mesh needs at least 2x2");
+        assert!(link_capacity > 0.0);
+        MeshFabric { k, link_capacity }
+    }
+
+    /// Mesh side length.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of nodes `k²`.
+    pub fn nodes(&self) -> usize {
+        self.k * self.k
+    }
+
+    fn coords(&self, node: usize) -> (usize, usize) {
+        (node % self.k, node / self.k)
+    }
+
+    /// Directed-link index space: for each node, 4 outgoing directions
+    /// (0=+x, 1=−x, 2=+y, 3=−y); links off the edge are unused.
+    fn link_index(&self, node: usize, dir: usize) -> usize {
+        node * 4 + dir
+    }
+
+    /// The XY route from `src` to `dst` as a list of directed link
+    /// indices (empty if `src == dst`).
+    pub fn route_xy(&self, src: usize, dst: usize) -> Vec<usize> {
+        let (mut x, mut y) = self.coords(src);
+        let (dx, dy) = self.coords(dst);
+        let mut links = Vec::new();
+        while x != dx {
+            let (dir, nx) = if dx > x { (0, x + 1) } else { (1, x - 1) };
+            links.push(self.link_index(y * self.k + x, dir));
+            x = nx;
+        }
+        while y != dy {
+            let (dir, ny) = if dy > y { (2, y + 1) } else { (3, y - 1) };
+            links.push(self.link_index(y * self.k + x, dir));
+            y = ny;
+        }
+        links
+    }
+
+    /// Hop count of the XY route.
+    pub fn hops(&self, src: usize, dst: usize) -> usize {
+        let (x, y) = self.coords(src);
+        let (dx, dy) = self.coords(dst);
+        x.abs_diff(dx) + y.abs_diff(dy)
+    }
+
+    /// Per-directed-link loads when routing `tm` (node-to-node demands,
+    /// normalized to external port rate) with XY routing.
+    pub fn link_loads(&self, tm: &TrafficMatrix) -> Vec<f64> {
+        assert_eq!(tm.n(), self.nodes(), "TM size must match node count");
+        let mut loads = vec![0.0; self.nodes() * 4];
+        for s in 0..self.nodes() {
+            for d in 0..self.nodes() {
+                let dem = tm.demand(s, d);
+                if dem > 0.0 {
+                    for l in self.route_xy(s, d) {
+                        loads[l] += dem;
+                    }
+                }
+            }
+        }
+        loads
+    }
+
+    /// Fluid throughput factor for `tm`: every demand can be served at
+    /// this fraction without any link exceeding capacity (≤ 1.0).
+    pub fn throughput_factor(&self, tm: &TrafficMatrix) -> f64 {
+        let max_load = self
+            .link_loads(tm)
+            .into_iter()
+            .fold(0.0f64, f64::max);
+        if max_load == 0.0 {
+            1.0
+        } else {
+            (self.link_capacity / max_load).min(1.0)
+        }
+    }
+
+    /// The adversarial admissible matrix that saturates the vertical
+    /// bisection: every node in the left half sends its full rate to the
+    /// mirror node in the right half (a permutation, hence admissible).
+    pub fn bisection_tm(&self) -> TrafficMatrix {
+        let n = self.nodes();
+        let k = self.k;
+        let perm: Vec<usize> = (0..n)
+            .map(|node| {
+                let (x, y) = self.coords(node);
+                // Mirror across the vertical cut.
+                let mx = k - 1 - x;
+                y * k + mx
+            })
+            .collect();
+        TrafficMatrix::permutation(&perm, 1.0).expect("mirror map is a permutation")
+    }
+
+    /// The closed-form worst-case (guaranteed) throughput bound from the
+    /// bisection argument: `2k` directed links of capacity `c` cross the
+    /// vertical cut, while up to `k²/2` external ports (rate 1) may send
+    /// across it, giving `Θ = 2k·c / (k²/2 · 1) = 4c/k` — wait, XY
+    /// routing crosses the cut on exactly `k` rightward links for
+    /// left→right demands, so the one-directional bound is `k·c/(k²/2)`
+    /// `= 2c/k`. For k = 10, c = 1 this is the paper's 20 %.
+    pub fn worst_case_bound(&self) -> f64 {
+        (2.0 * self.link_capacity / self.k as f64).min(1.0)
+    }
+
+    /// Mean XY hop count under a uniform traffic matrix — the
+    /// pass-through multiplier that wastes capacity and power.
+    pub fn mean_hops_uniform(&self) -> f64 {
+        let n = self.nodes();
+        let total: usize = (0..n)
+            .flat_map(|s| (0..n).map(move |d| (s, d)))
+            .map(|(s, d)| self.hops(s, d))
+            .sum();
+        total as f64 / (n * n) as f64
+    }
+
+    /// Fraction of total switch/link work spent on pass-through
+    /// (non-terminating) hops under uniform traffic: `1 − 1/mean_hops`.
+    pub fn pass_through_fraction(&self) -> f64 {
+        let h = self.mean_hops_uniform();
+        if h <= 1.0 {
+            0.0
+        } else {
+            1.0 - 1.0 / h
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xy_route_shape() {
+        let m = MeshFabric::new(4, 1.0);
+        // (0,0) -> (2,1): two +x hops then one +y hop.
+        let src = 0;
+        let dst = 1 * 4 + 2;
+        let route = m.route_xy(src, dst);
+        assert_eq!(route.len(), 3);
+        assert_eq!(m.hops(src, dst), 3);
+        assert!(m.route_xy(5, 5).is_empty());
+    }
+
+    #[test]
+    fn paper_20_percent_for_10x10() {
+        let m = MeshFabric::new(10, 1.0);
+        // Closed-form bound.
+        assert!((m.worst_case_bound() - 0.2).abs() < 1e-12);
+        // The explicit adversarial TM achieves (at most) the bound.
+        let tm = m.bisection_tm();
+        assert!(tm.is_admissible());
+        let factor = m.throughput_factor(&tm);
+        assert!(
+            (factor - 0.2).abs() < 0.05,
+            "measured worst-case factor {factor}"
+        );
+    }
+
+    #[test]
+    fn uniform_traffic_does_better_than_worst_case() {
+        let m = MeshFabric::new(10, 1.0);
+        let tm = TrafficMatrix::uniform(100, 1.0);
+        assert!(m.throughput_factor(&tm) > m.worst_case_bound());
+    }
+
+    #[test]
+    fn bisection_tm_crosses_the_cut() {
+        let m = MeshFabric::new(4, 1.0);
+        let tm = m.bisection_tm();
+        // Node (0, y) sends to (3, y).
+        assert_eq!(tm.demand(0, 3), 1.0);
+        assert_eq!(tm.demand(4, 7), 1.0);
+        // Rightward cut links between x=1 and x=2 carry k=4 nodes' x2
+        // demands each... verify max link load is k/2 = 2 per crossing
+        // link row: each row has 2 left nodes crossing on 1 link.
+        let loads = m.link_loads(&tm);
+        let max = loads.into_iter().fold(0.0f64, f64::max);
+        assert!((max - 2.0).abs() < 1e-12, "max load {max}");
+        assert!((m.throughput_factor(&tm) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_hops_grows_with_k() {
+        let m4 = MeshFabric::new(4, 1.0);
+        let m10 = MeshFabric::new(10, 1.0);
+        assert!(m10.mean_hops_uniform() > m4.mean_hops_uniform());
+        // k x k mesh mean hop distance = 2*(k^2-1)/(3k) ~ 2k/3.
+        let expect = 2.0 * (100.0 - 1.0) / 30.0;
+        assert!((m10.mean_hops_uniform() - expect).abs() < 1e-9);
+        // Pass-through work dominates for k = 10 (the paper's "waste").
+        assert!(m10.pass_through_fraction() > 0.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "TM size")]
+    fn tm_size_mismatch_panics() {
+        let m = MeshFabric::new(4, 1.0);
+        m.link_loads(&TrafficMatrix::uniform(4, 1.0));
+    }
+}

@@ -1,0 +1,88 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! hidden refresh on/off, strict vs pipelined random access, exact-size
+//! vs burst-padded transfers, and the spraying baseline's resequencer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use rip_baselines::SprayingHbmSwitch;
+use rip_hbm::{
+    AccessPattern, Direction, HbmGeometry, HbmGroup, HbmTiming, PfiConfig, PfiController,
+    RandomAccessController,
+};
+use rip_traffic::Packet;
+use rip_units::{DataRate, DataSize, SimTime, TimeDelta};
+use std::hint::black_box;
+
+fn one_stack() -> HbmGroup {
+    HbmGroup::new(1, HbmGeometry::hbm4(), HbmTiming::hbm4())
+}
+
+fn bench_refresh_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pfi_refresh");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, enabled) in [("on", true), ("off", false)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut group = one_stack();
+                let mut pfi = PfiController::new(PfiConfig::reference(), &group).unwrap();
+                pfi.set_refresh_enabled(enabled);
+                black_box(pfi.run_sustained(&mut group, 200))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_random_access_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("random_access_modes_64B");
+    g.sample_size(20).measurement_time(Duration::from_secs(3));
+    for (name, strict, pad) in [
+        ("strict_exact", true, false),
+        ("pipelined_exact", false, false),
+        ("strict_burst_padded", true, true),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut group = one_stack();
+                let mut ctl = RandomAccessController::new(AccessPattern::ParallelChannels, 7);
+                ctl.set_strict(strict);
+                ctl.set_pad_to_burst(pad);
+                black_box(ctl.run(&mut group, 1000, DataSize::from_bytes(64), Direction::Write))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_spraying(c: &mut Criterion) {
+    let trace: Vec<Packet> = (0..4000u64)
+        .map(|i| {
+            Packet::new(
+                i,
+                (i % 16) as usize,
+                (i % 16) as usize,
+                DataSize::from_bytes(512),
+                SimTime::from_ps(i * 100),
+            )
+        })
+        .collect();
+    c.bench_function("spraying_resequencer_4k_packets", |b| {
+        b.iter(|| {
+            let sw = SprayingHbmSwitch::new(
+                32,
+                DataRate::from_gbps(640),
+                TimeDelta::from_ns(30),
+                9,
+            );
+            black_box(sw.run(&trace, 16))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_refresh_ablation,
+    bench_random_access_modes,
+    bench_spraying
+);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Micro-benches of the hot components: event queue, cyclical crossbar,
+//! ECMP hashes, batch assembly and the traffic generator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rip_core::{BatchAssembler, CyclicalCrossbar};
+use rip_sim::EventQueue;
+use rip_traffic::hash::{crc32c, fnv1a, lane_for, HashKind};
+use rip_traffic::{ArrivalProcess, FlowKey, Packet, PacketGenerator, SizeDistribution};
+use rip_units::{DataRate, DataSize, SimTime};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..10_000u64 {
+                // Pseudo-shuffled times exercise heap reordering.
+                q.schedule(SimTime::from_ns((i * 2_654_435_761) % 1_000_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_crossbar(c: &mut Criterion) {
+    let xb = CyclicalCrossbar::new(16);
+    c.bench_function("crossbar_mapping_64k", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for slot in 0..4096u64 {
+                for input in 0..16 {
+                    acc = acc.wrapping_add(xb.module_for(input, slot));
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_hashes(c: &mut Criterion) {
+    let flow = FlowKey {
+        src_ip: 0x0A000001,
+        dst_ip: 0x0B000002,
+        src_port: 12345,
+        dst_port: 443,
+        proto: 6,
+    };
+    let bytes = flow.to_bytes();
+    let mut g = c.benchmark_group("flow_hash");
+    g.bench_function("crc32c_13B", |b| b.iter(|| black_box(crc32c(&bytes))));
+    g.bench_function("fnv1a_13B", |b| b.iter(|| black_box(fnv1a(&bytes))));
+    g.bench_function("lane_for_64lanes", |b| {
+        b.iter(|| black_box(lane_for(flow, 64, HashKind::Crc32c)))
+    });
+    g.finish();
+}
+
+fn bench_batch_assembly(c: &mut Criterion) {
+    c.bench_function("batch_assembler_1k_packets", |b| {
+        b.iter(|| {
+            let mut a = BatchAssembler::new(0, 16, DataSize::from_kib(4));
+            let mut batches = 0usize;
+            for i in 0..1000u64 {
+                let p = Packet::new(
+                    i,
+                    0,
+                    (i % 16) as usize,
+                    DataSize::from_bytes(64 + (i * 97) % 1400),
+                    SimTime::ZERO,
+                );
+                batches += a.push(&p).len();
+            }
+            black_box(batches)
+        })
+    });
+}
+
+fn bench_traffic_gen(c: &mut Criterion) {
+    c.bench_function("packet_generator_10k", |b| {
+        b.iter(|| {
+            let mut g = PacketGenerator::new(
+                0,
+                DataRate::from_gbps(640),
+                0.9,
+                vec![1.0; 16],
+                SizeDistribution::Imix,
+                ArrivalProcess::Poisson,
+                256,
+                42,
+            )
+            .unwrap();
+            let mut bytes = 0u64;
+            for _ in 0..10_000 {
+                bytes += g.next_packet().unwrap().size.bytes();
+            }
+            black_box(bytes)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_crossbar,
+    bench_hashes,
+    bench_batch_assembly,
+    bench_traffic_gen
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Forwarding-substrate benches: LPM lookups per second on the trie vs
+//! the compiled stride table, and table construction cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use rip_fib::{StrideTable, SyntheticRib};
+use std::hint::black_box;
+
+fn bench_lookups(c: &mut Criterion) {
+    let rib = SyntheticRib::generate(50_000, 16, 42);
+    let trie = rib.trie();
+    let table = rib.stride_table(16);
+    // A fixed probe set so trie and table race on identical work.
+    let probes: Vec<u32> = (0..4096u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+    let mut g = c.benchmark_group("lpm_4096_lookups_50k_routes");
+    g.bench_function("binary_trie", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &ip in &probes {
+                if let Some((_, h)) = trie.lookup(ip) {
+                    acc = acc.wrapping_add(h as u64);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("stride_table_16", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &ip in &probes {
+                if let Some(h) = table.lookup(ip) {
+                    acc = acc.wrapping_add(h as u64);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let rib = SyntheticRib::generate(20_000, 16, 7);
+    let mut g = c.benchmark_group("fib_construction_20k_routes");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    g.bench_function("build_trie", |b| b.iter(|| black_box(rib.trie())));
+    let trie = rib.trie();
+    g.bench_function("compile_stride_16", |b| {
+        b.iter(|| black_box(StrideTable::compile(&trie, 16).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_rib_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rib_generation");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    g.bench_function("synthetic_rib_10k_routes", |b| {
+        b.iter(|| black_box(SyntheticRib::generate(10_000, 16, 1)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lookups, bench_construction, bench_rib_generation);
+criterion_main!(benches);

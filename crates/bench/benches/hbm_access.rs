@@ -1,0 +1,70 @@
+//! E1/E2 engine benches: the PFI controller and the random-access
+//! baseline driving the HBM4 device model.
+//!
+//! Criterion times the *simulator*; the scientific bandwidth numbers
+//! are printed by the `repro` binary. These benches keep the device
+//! model's hot paths (command legality checks, bank FSM updates) honest.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use rip_hbm::{
+    AccessPattern, Direction, HbmGeometry, HbmGroup, HbmTiming, PfiConfig, PfiController,
+    RandomAccessController,
+};
+use rip_units::DataSize;
+use std::hint::black_box;
+
+fn one_stack() -> HbmGroup {
+    HbmGroup::new(1, HbmGeometry::hbm4(), HbmTiming::hbm4())
+}
+
+fn bench_pfi_sustained(c: &mut Criterion) {
+    c.bench_function("pfi_sustained_100_frames_32ch", |b| {
+        b.iter(|| {
+            let mut group = one_stack();
+            let mut pfi = PfiController::new(PfiConfig::reference(), &group).unwrap();
+            black_box(pfi.run_sustained(&mut group, 100))
+        })
+    });
+}
+
+fn bench_pfi_full_width(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pfi_full_width");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    g.bench_function("pfi_sustained_20_frames_128ch", |b| {
+        b.iter(|| {
+            let mut group = HbmGroup::reference();
+            let mut pfi = PfiController::new(PfiConfig::reference(), &group).unwrap();
+            black_box(pfi.run_sustained(&mut group, 20))
+        })
+    });
+    g.finish();
+}
+
+fn bench_random_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("random_access_1000");
+    g.sample_size(20).measurement_time(Duration::from_secs(3));
+    for (name, size) in [("64B", 64u64), ("1500B", 1500)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut group = one_stack();
+                let mut ctl = RandomAccessController::new(AccessPattern::ParallelChannels, 7);
+                black_box(ctl.run(
+                    &mut group,
+                    1000,
+                    DataSize::from_bytes(size),
+                    Direction::Write,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pfi_sustained,
+    bench_pfi_full_width,
+    bench_random_access
+);
+criterion_main!(benches);

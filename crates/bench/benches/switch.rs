@@ -1,0 +1,53 @@
+//! E3/E4/E14 engine benches: the full HBM-switch discrete-event
+//! pipeline, and the SPS fluid model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use rip_bench::uniform_trace;
+use rip_core::{HbmSwitch, RouterConfig, SpsRouter, SpsWorkload};
+use rip_photonics::SplitPattern;
+use rip_traffic::FiberFill;
+use rip_units::SimTime;
+use std::hint::black_box;
+
+fn bench_switch_des(c: &mut Criterion) {
+    let cfg = RouterConfig::small();
+    let horizon = SimTime::from_ns(30_000);
+    let drain = SimTime::from_ns(120_000);
+    let mut g = c.benchmark_group("hbm_switch_des_30us");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for load in [0.3, 0.9] {
+        let trace = uniform_trace(&cfg, load, horizon, 0xBE);
+        g.bench_function(format!("load_{load}"), |b| {
+            b.iter(|| {
+                let mut sw = HbmSwitch::new(cfg.clone()).unwrap();
+                black_box(sw.run(&trace, drain))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_oq_shadow(c: &mut Criterion) {
+    let cfg = RouterConfig::small();
+    let trace = uniform_trace(&cfg, 0.9, SimTime::from_ns(30_000), 0xBE);
+    c.bench_function("ideal_oq_shadow_30us", |b| {
+        b.iter(|| {
+            let mut sw = rip_baselines::IdealOqSwitch::new(cfg.ribbons, cfg.port_rate());
+            black_box(sw.run(&trace))
+        })
+    });
+}
+
+fn bench_sps_fluid(c: &mut Criterion) {
+    let cfg = RouterConfig::small();
+    let router = SpsRouter::new(cfg.clone(), SplitPattern::PseudoRandom { seed: 1 }).unwrap();
+    let mut w = SpsWorkload::uniform(cfg.ribbons, 0.25, 2);
+    w.fill = FiberFill::Linear;
+    c.bench_function("sps_fluid_loads", |b| {
+        b.iter(|| black_box(router.fluid_loads(&w)))
+    });
+}
+
+criterion_group!(benches, bench_switch_des, bench_oq_shadow, bench_sps_fluid);
+criterion_main!(benches);

@@ -1,0 +1,239 @@
+//! `ripsim` — run an HBM-switch simulation from a JSON specification.
+//!
+//! The downstream-user entry point: describe a router configuration and
+//! a workload in one JSON file, get the switch report. Writes a sample
+//! spec with `--example-spec`.
+//!
+//! ```text
+//! ripsim --example-spec > my_sim.json
+//! ripsim my_sim.json
+//! ```
+
+use rip_bench::Table;
+use rip_core::{HbmSwitch, RouterConfig};
+use rip_traffic::{
+    merge_streams, ArrivalProcess, PacketGenerator, SizeDistribution, TrafficMatrix,
+};
+use rip_units::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Destination mix of the workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+enum MatrixSpec {
+    /// Uniform over all outputs.
+    Uniform,
+    /// A fraction of each input's traffic targets one output.
+    Hotspot { output: usize, fraction: f64 },
+    /// Input `i` sends to output `(i + shift) mod N`.
+    Permutation { shift: usize },
+    /// Log-normally skewed demands.
+    LogNormal { sigma: f64, seed: u64 },
+}
+
+impl MatrixSpec {
+    fn build(&self, n: usize) -> Result<TrafficMatrix, String> {
+        Ok(match *self {
+            MatrixSpec::Uniform => TrafficMatrix::uniform(n, 1.0),
+            MatrixSpec::Hotspot { output, fraction } => {
+                if output >= n || !(0.0..=1.0).contains(&fraction) {
+                    return Err("bad hotspot spec".into());
+                }
+                TrafficMatrix::hotspot(n, 1.0, output, fraction)
+            }
+            MatrixSpec::Permutation { shift } => {
+                let perm: Vec<usize> = (0..n).map(|i| (i + shift) % n).collect();
+                TrafficMatrix::permutation(&perm, 1.0)?
+            }
+            MatrixSpec::LogNormal { sigma, seed } => TrafficMatrix::log_normal(n, 1.0, sigma, seed),
+        })
+    }
+}
+
+/// Packet-size mix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+enum SizeSpec {
+    Fixed { bytes: u64 },
+    Uniform { min: u64, max: u64 },
+    Imix,
+}
+
+impl SizeSpec {
+    fn build(&self) -> SizeDistribution {
+        match *self {
+            SizeSpec::Fixed { bytes } => {
+                SizeDistribution::Fixed(rip_units::DataSize::from_bytes(bytes))
+            }
+            SizeSpec::Uniform { min, max } => SizeDistribution::Uniform { min, max },
+            SizeSpec::Imix => SizeDistribution::Imix,
+        }
+    }
+}
+
+/// Arrival process.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+enum ProcessSpec {
+    Poisson,
+    Cbr,
+    OnOff { mean_burst_packets: f64 },
+}
+
+impl ProcessSpec {
+    fn build(&self) -> ArrivalProcess {
+        match *self {
+            ProcessSpec::Poisson => ArrivalProcess::Poisson,
+            ProcessSpec::Cbr => ArrivalProcess::Cbr,
+            ProcessSpec::OnOff { mean_burst_packets } => ArrivalProcess::OnOff {
+                mean_burst_packets,
+            },
+        }
+    }
+}
+
+/// The complete simulation specification.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SimSpec {
+    /// The switch configuration (every §2.2/§3.2 parameter).
+    router: RouterConfig,
+    /// Offered load per port, 0..=1.
+    load: f64,
+    /// Destination mix.
+    matrix: MatrixSpec,
+    /// Packet sizes.
+    sizes: SizeSpec,
+    /// Arrival process.
+    process: ProcessSpec,
+    /// Flows per port.
+    flows: usize,
+    /// RNG seed.
+    seed: u64,
+    /// Simulated arrival horizon, microseconds.
+    horizon_us: u64,
+    /// Extra drain time after the last arrival, as a multiple of the
+    /// horizon.
+    drain_factor: u64,
+}
+
+impl SimSpec {
+    fn example() -> Self {
+        SimSpec {
+            router: RouterConfig::small(),
+            load: 0.8,
+            matrix: MatrixSpec::Uniform,
+            sizes: SizeSpec::Imix,
+            process: ProcessSpec::Poisson,
+            flows: 256,
+            seed: 42,
+            horizon_us: 100,
+            drain_factor: 4,
+        }
+    }
+}
+
+fn run(spec: &SimSpec) -> Result<(), String> {
+    spec.router.validate()?;
+    if !(0.0..=1.0).contains(&spec.load) {
+        return Err(format!("load {} out of [0, 1]", spec.load));
+    }
+    if spec.horizon_us == 0 || spec.drain_factor == 0 {
+        return Err("horizon and drain factor must be positive".into());
+    }
+    let n = spec.router.ribbons;
+    let tm = spec.matrix.build(n)?;
+    let horizon = SimTime::from_ns(spec.horizon_us * 1000);
+    let streams: Vec<_> = (0..n)
+        .map(|port| {
+            let mut g = PacketGenerator::new(
+                port,
+                spec.router.port_rate(),
+                (spec.load * tm.row_load(port)).min(1.0),
+                tm.row(port).to_vec(),
+                spec.sizes.build(),
+                spec.process.build(),
+                spec.flows,
+                rip_sim::rng::derive_seed(spec.seed, port as u64),
+            )?;
+            Ok(g.generate_until(horizon))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let trace = merge_streams(streams);
+    println!(
+        "spec: {} ports x {}, frame {}, load {:.2}, {} packets over {} us",
+        n,
+        spec.router.port_rate(),
+        spec.router.frame_size(),
+        spec.load,
+        trace.len(),
+        spec.horizon_us
+    );
+    let mut sw = HbmSwitch::new(spec.router.clone())?;
+    let drain = SimTime::from_ns(spec.horizon_us * 1000 * (1 + spec.drain_factor));
+    let mut r = sw.run(&trace, drain);
+
+    let mut t = Table::new(&["metric", "value"]);
+    t.row(&["offered packets".into(), r.offered_packets.to_string()]);
+    t.row(&["delivered packets".into(), r.delivered_packets.to_string()]);
+    t.row(&[
+        "delivery fraction".into(),
+        format!("{:.3}%", r.delivery_fraction * 100.0),
+    ]);
+    t.row(&["delivered rate".into(), format!("{}", r.delivered_rate)]);
+    t.row(&[
+        "drops input / HBM-region".into(),
+        format!("{} / {}", r.dropped_input, r.dropped_frames),
+    ]);
+    t.row(&[
+        "delay mean / p99".into(),
+        format!(
+            "{:.2} us / {:.2} us",
+            r.delays_ns.mean().unwrap_or(f64::NAN) / 1e3,
+            r.delays_ns.quantile(0.99).unwrap_or(f64::NAN) / 1e3
+        ),
+    ]);
+    t.row(&[
+        "HBM utilization".into(),
+        format!("{:.1}%", r.hbm_utilization * 100.0),
+    ]);
+    t.row(&[
+        "SRAM peaks in/tail/head".into(),
+        format!("{} / {} / {}", r.input_peak, r.tail_peak, r.head_peak),
+    ]);
+    t.row(&["padding injected".into(), format!("{}", r.padded_bytes)]);
+    t.print("ripsim report");
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--example-spec") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&SimSpec::example()).expect("spec serializes")
+        );
+        return;
+    }
+    let Some(path) = args.first() else {
+        eprintln!("usage: ripsim <spec.json> | ripsim --example-spec");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("ripsim: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let spec: SimSpec = match serde_json::from_str(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ripsim: bad spec: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(&spec) {
+        eprintln!("ripsim: {e}");
+        std::process::exit(1);
+    }
+}

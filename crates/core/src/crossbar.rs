@@ -1,0 +1,120 @@
+//! The N×N cyclical crossbar (§3.2 ➁(i)): a pure rotation, no
+//! scheduling.
+
+use serde::{Deserialize, Serialize};
+
+/// An `N × N` cyclical crossbar: at slot `t`, input `i` is connected to
+/// module `(i + t) mod N`.
+///
+/// Because the connection pattern is a rotation, every slot is a
+/// permutation — no two inputs ever contend for a module, so the
+/// crossbar needs no scheduler and can be built from 1-D multiplexors
+/// with cyclic selects (or an equivalent spatial-division mesh; §3.2).
+///
+/// An input holding a batch sliced into `N` slices sends slice `j` to
+/// module `j`, "always starting from the first SRAM module": it starts
+/// at the first slot where it faces module 0 and then emits one slice
+/// per slot, walking the modules in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CyclicalCrossbar {
+    n: usize,
+}
+
+impl CyclicalCrossbar {
+    /// An `n × n` rotation crossbar.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        CyclicalCrossbar { n }
+    }
+
+    /// Port count.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The module input `i` is connected to at slot `t`.
+    pub fn module_for(&self, input: usize, slot: u64) -> usize {
+        assert!(input < self.n);
+        ((input as u64 + slot) % self.n as u64) as usize
+    }
+
+    /// The input connected to `module` at slot `t`.
+    pub fn input_for(&self, module: usize, slot: u64) -> usize {
+        assert!(module < self.n);
+        let m = module as u64 + self.n as u64 - (slot % self.n as u64);
+        (m % self.n as u64) as usize
+    }
+
+    /// The first slot ≥ `from` at which `input` faces module 0 — the
+    /// slot a new batch starts its slice walk.
+    pub fn next_start_slot(&self, input: usize, from: u64) -> u64 {
+        assert!(input < self.n);
+        // Need (input + t) ≡ 0 (mod n) -> t ≡ -input.
+        let want = (self.n - input) % self.n;
+        let rem = (from % self.n as u64) as usize;
+        let add = (want + self.n - rem) % self.n;
+        from + add as u64
+    }
+
+    /// Slots needed to stripe one `n`-slice batch (one slice per slot).
+    pub fn slots_per_batch(&self) -> u64 {
+        self.n as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_is_a_permutation_every_slot() {
+        let xb = CyclicalCrossbar::new(16);
+        for slot in 0..40u64 {
+            let mut seen = vec![false; 16];
+            for i in 0..16 {
+                let m = xb.module_for(i, slot);
+                assert!(!seen[m], "slot {slot}: module {m} hit twice");
+                seen[m] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_mapping_round_trips() {
+        let xb = CyclicalCrossbar::new(7);
+        for slot in 0..21u64 {
+            for i in 0..7 {
+                let m = xb.module_for(i, slot);
+                assert_eq!(xb.input_for(m, slot), i);
+            }
+        }
+    }
+
+    #[test]
+    fn start_slot_faces_module_zero() {
+        let xb = CyclicalCrossbar::new(8);
+        for input in 0..8 {
+            for from in 0..30u64 {
+                let s = xb.next_start_slot(input, from);
+                assert!(s >= from && s < from + 8);
+                assert_eq!(xb.module_for(input, s), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn slice_walk_visits_modules_in_order() {
+        let xb = CyclicalCrossbar::new(4);
+        let start = xb.next_start_slot(2, 5);
+        let walk: Vec<usize> = (0..4).map(|j| xb.module_for(2, start + j)).collect();
+        assert_eq!(walk, vec![0, 1, 2, 3]);
+        assert_eq!(xb.slots_per_batch(), 4);
+    }
+
+    #[test]
+    fn trivial_1x1() {
+        let xb = CyclicalCrossbar::new(1);
+        assert_eq!(xb.module_for(0, 12345), 0);
+        assert_eq!(xb.next_start_slot(0, 7), 7);
+    }
+}

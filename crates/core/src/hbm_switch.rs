@@ -1,0 +1,850 @@
+//! The HBM switch (§3.2, Fig. 3): the full discrete-event composition of
+//! input ports, cyclical crossbars, tail SRAM, the PFI-driven HBM group,
+//! head SRAM and output ports.
+
+use std::collections::{HashSet, VecDeque};
+
+use rip_hbm::{HbmGroup, PfiController};
+use rip_sim::stats::Histogram;
+use rip_sim::{EventQueue, Series, TraceLog};
+use rip_traffic::Packet;
+use rip_units::{DataRate, DataSize, SimTime, TimeDelta};
+
+use crate::batch::{Batch, BatchAssembler};
+use crate::config::RouterConfig;
+use crate::output::{OutputPort, PacketDeparture};
+use crate::sram::{Frame, HeadSram, TailSram};
+
+/// Observable milestones recorded by the optional switch trace
+/// ([`HbmSwitch::enable_trace`]) — the simulator's pcap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchEvent {
+    /// A full frame was written to the HBM for `output`.
+    FrameWritten {
+        /// Destination output.
+        output: usize,
+        /// Per-output frame index.
+        index: u64,
+    },
+    /// A frame was read from the HBM for `output`.
+    FrameRead {
+        /// Destination output.
+        output: usize,
+        /// Per-output frame index.
+        index: u64,
+    },
+    /// A padded frame bypassed the HBM straight to the head SRAM.
+    Bypass {
+        /// Destination output.
+        output: usize,
+    },
+    /// A packet was dropped at a full input VOQ.
+    InputDrop {
+        /// Ingress port.
+        input: usize,
+    },
+    /// A full frame was dropped at a full per-output HBM region.
+    FrameDrop {
+        /// Destination output.
+        output: usize,
+    },
+}
+
+/// Events of the switch simulation.
+#[derive(Debug)]
+enum Ev {
+    /// A packet arrives at an input port.
+    Arrival(Packet),
+    /// The last event of the trace was delivered.
+    ArrivalsDone,
+    /// A batch finished striping across the tail SRAM modules.
+    BatchAtTail(Batch),
+    /// A partial batch waited too long at an input port.
+    FlushTimeout {
+        /// Input port.
+        input: usize,
+        /// Output VOQ.
+        output: usize,
+    },
+    /// The cyclical read engine's next turn.
+    ReadTurn,
+    /// A frame arrived at the head SRAM (HBM read or bypass).
+    FrameAtHead(Frame),
+    /// An output port pulls its next batch.
+    Drain(usize),
+}
+
+/// End-of-run report of one HBM switch.
+#[derive(Debug, Clone)]
+pub struct SwitchReport {
+    /// Packets offered by the trace.
+    pub offered_packets: u64,
+    /// Bytes offered.
+    pub offered_bytes: DataSize,
+    /// Packets fully delivered.
+    pub delivered_packets: u64,
+    /// Payload bytes drained at outputs.
+    pub delivered_bytes: DataSize,
+    /// Packets dropped at full input VOQs.
+    pub dropped_input: u64,
+    /// Frames dropped at full per-output HBM regions.
+    pub dropped_frames: u64,
+    /// Bytes dropped (input + frame drops).
+    pub dropped_bytes: DataSize,
+    /// Padding bytes injected (timeout flushes and padded/bypass frames).
+    pub padded_bytes: DataSize,
+    /// Per-packet delay histogram, in nanoseconds.
+    pub delays_ns: Histogram,
+    /// All packet departures (for mimicking comparisons).
+    pub departures: Vec<PacketDeparture>,
+    /// Simulated span from first arrival to last departure.
+    pub span: TimeDelta,
+    /// Delivered aggregate rate over the span.
+    pub delivered_rate: DataRate,
+    /// `delivered_bytes / offered_bytes`.
+    pub delivery_fraction: f64,
+    /// HBM utilization over the span (moved data vs peak).
+    pub hbm_utilization: f64,
+    /// Peak input VOQ bytes over all ports.
+    pub input_peak: DataSize,
+    /// Peak tail SRAM bytes.
+    pub tail_peak: DataSize,
+    /// Peak head SRAM bytes.
+    pub head_peak: DataSize,
+    /// Mean egress lane-spread CV across outputs.
+    pub lane_spread_cv: f64,
+}
+
+/// The HBM switch simulator.
+///
+/// Feed an arrival-ordered packet trace (`input`/`output` are switch
+/// port indices `0..N`) to [`HbmSwitch::run`]; the switch plays the
+/// complete §3.2 pipeline against the cycle-exact HBM device model and
+/// reports throughput, delay, loss, occupancy and utilization.
+pub struct HbmSwitch {
+    cfg: RouterConfig,
+    group: HbmGroup,
+    pfi: PfiController,
+    assemblers: Vec<BatchAssembler>,
+    input_xbar_free: Vec<SimTime>,
+    flush_pending: Vec<Vec<bool>>,
+    tail: TailSram,
+    /// Simulator-side mirror of the HBM per-output FIFOs: frame
+    /// contents + write-completion time. (The switch itself needs no
+    /// such bookkeeping — the controller's two counters per output are
+    /// its whole state, the paper's "no bookkeeping" claim.)
+    hbm_frames: Vec<VecDeque<(Frame, SimTime)>>,
+    head: HeadSram,
+    pending_to_head: Vec<usize>,
+    outputs: Vec<OutputPort>,
+    drain_scheduled: Vec<bool>,
+    read_cursor: usize,
+    /// Batches striping toward the tail SRAM (scheduled BatchAtTail
+    /// events) — tracked so the read engine does not shut down while
+    /// data is still in flight.
+    batches_in_flight: usize,
+    arrivals_done: bool,
+    dropped_ids: HashSet<u64>,
+    // Statistics.
+    offered_packets: u64,
+    offered_bytes: DataSize,
+    delivered_packets: u64,
+    delivered_bytes: DataSize,
+    dropped_input: u64,
+    dropped_frames: u64,
+    dropped_bytes: DataSize,
+    padded_bytes: DataSize,
+    delays_ns: Histogram,
+    departures: Vec<PacketDeparture>,
+    first_arrival: Option<SimTime>,
+    last_departure: SimTime,
+    input_peak: DataSize,
+    /// Optional event trace (None = tracing off).
+    trace: Option<TraceLog<SwitchEvent>>,
+    /// Total frames buffered in the HBM over time (sampled at frame
+    /// writes/reads when tracing is on).
+    hbm_occupancy: Series,
+}
+
+impl HbmSwitch {
+    /// Build a switch from a validated configuration.
+    pub fn new(cfg: RouterConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        let n = cfg.ribbons;
+        let group = HbmGroup::new(cfg.stacks_per_switch, cfg.hbm_geometry, cfg.hbm_timing);
+        let pfi = PfiController::new(cfg.pfi(), &group)?;
+        let k = cfg.batch_size();
+        Ok(HbmSwitch {
+            assemblers: (0..n).map(|i| BatchAssembler::new(i, n, k)).collect(),
+            input_xbar_free: vec![SimTime::ZERO; n],
+            flush_pending: vec![vec![false; n]; n],
+            tail: TailSram::new(n, cfg.batches_per_frame()),
+            hbm_frames: vec![VecDeque::new(); n],
+            head: HeadSram::new(n, cfg.head_frames),
+            pending_to_head: vec![0; n],
+            outputs: (0..n)
+                .map(|o| {
+                    let mut port =
+                        OutputPort::new(o, cfg.port_rate(), cfg.alpha(), cfg.wavelengths);
+                    if cfg.per_lane_egress {
+                        port.set_lane_rate(Some(cfg.rate_per_wavelength));
+                    }
+                    port
+                })
+                .collect(),
+            drain_scheduled: vec![false; n],
+            read_cursor: 0,
+            batches_in_flight: 0,
+            arrivals_done: false,
+            dropped_ids: HashSet::new(),
+            offered_packets: 0,
+            offered_bytes: DataSize::ZERO,
+            delivered_packets: 0,
+            delivered_bytes: DataSize::ZERO,
+            dropped_input: 0,
+            dropped_frames: 0,
+            dropped_bytes: DataSize::ZERO,
+            padded_bytes: DataSize::ZERO,
+            delays_ns: Histogram::new(),
+            departures: Vec::new(),
+            first_arrival: None,
+            last_departure: SimTime::ZERO,
+            input_peak: DataSize::ZERO,
+            trace: None,
+            hbm_occupancy: Series::new(4096),
+            group,
+            pfi,
+            cfg,
+        })
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &RouterConfig {
+        &self.cfg
+    }
+
+    /// Record switch milestones into a bounded trace (keep the most
+    /// recent `capacity` events) and sample the HBM frame occupancy.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(TraceLog::new(capacity));
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&TraceLog<SwitchEvent>> {
+        self.trace.as_ref()
+    }
+
+    /// HBM frame-occupancy series (non-empty only when tracing is on).
+    pub fn hbm_occupancy(&self) -> &Series {
+        &self.hbm_occupancy
+    }
+
+    fn record(&mut self, now: SimTime, ev: SwitchEvent) {
+        if let Some(log) = self.trace.as_mut() {
+            log.push(now, ev);
+            let buffered: u64 = (0..self.cfg.ribbons)
+                .map(|o| self.pfi.frames_buffered(o))
+                .sum();
+            self.hbm_occupancy.record(now, buffered as f64);
+        }
+    }
+
+    /// Time for one batch to cross an internal (sped-up) interface.
+    fn batch_time(&self) -> TimeDelta {
+        self.cfg.internal_rate().transfer_time(self.cfg.batch_size())
+    }
+
+    /// Interval between cyclical read turns: one frame per output per
+    /// `K / internal rate`, round-robin over N outputs.
+    fn read_interval(&self) -> TimeDelta {
+        self.cfg.internal_rate().transfer_time(self.cfg.frame_size()) / self.cfg.ribbons as u64
+    }
+
+    /// Tail→head bypass transit time: one frame over the full HBM-width
+    /// path.
+    fn bypass_latency(&self) -> TimeDelta {
+        self.cfg.hbm_peak().transfer_time(self.cfg.frame_size())
+    }
+
+    fn send_batch(&mut self, q: &mut EventQueue<Ev>, now: SimTime, batch: Batch) {
+        let i = batch.input;
+        let dt = self.batch_time();
+        let t0 = now.max(self.input_xbar_free[i]);
+        self.input_xbar_free[i] = t0 + dt;
+        self.batches_in_flight += 1;
+        // Serialization over N crossbar slots plus worst-case alignment
+        // until the input faces module 0.
+        q.schedule(t0 + dt + dt, Ev::BatchAtTail(batch));
+    }
+
+    fn write_frame(&mut self, now: SimTime, frame: Frame) {
+        let o = frame.output;
+        let op = self.pfi.write_frame(&mut self.group, now, o);
+        self.hbm_frames[o].push_back((frame, op.end));
+        self.record(
+            now,
+            SwitchEvent::FrameWritten {
+                output: o,
+                index: op.frame_index,
+            },
+        );
+    }
+
+    fn system_empty(&self) -> bool {
+        self.arrivals_done
+            && self.batches_in_flight == 0
+            && self.assemblers.iter().all(|a| a.total_queued().is_zero())
+            && self.tail.occupancy().bytes.is_zero()
+            && (0..self.cfg.ribbons).all(|o| {
+                self.pfi.frames_buffered(o) == 0
+                    && self.pending_to_head[o] == 0
+                    && !self.head.has_data(o)
+                    && !self.drain_scheduled[o]
+            })
+    }
+
+    fn handle(&mut self, q: &mut EventQueue<Ev>, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::Arrival(p) => self.on_arrival(q, now, p),
+            Ev::ArrivalsDone => self.arrivals_done = true,
+            Ev::BatchAtTail(b) => {
+                self.batches_in_flight -= 1;
+                self.on_batch_at_tail(now, b);
+            }
+            Ev::FlushTimeout { input, output } => {
+                self.flush_pending[input][output] = false;
+                if !self.assemblers[input].queued(output).is_zero() {
+                    if let Some(b) = self.assemblers[input].flush(output) {
+                        self.padded_bytes += b.padding;
+                        self.send_batch(q, now, b);
+                    }
+                }
+            }
+            Ev::ReadTurn => self.on_read_turn(q, now),
+            Ev::FrameAtHead(frame) => {
+                let o = frame.output;
+                self.pending_to_head[o] -= 1;
+                self.head.push_frame(frame);
+                if !self.drain_scheduled[o] && self.head.has_data(o) {
+                    self.drain_scheduled[o] = true;
+                    q.schedule(now, Ev::Drain(o));
+                }
+            }
+            Ev::Drain(o) => self.on_drain(q, now, o),
+        }
+    }
+
+    fn on_arrival(&mut self, q: &mut EventQueue<Ev>, now: SimTime, p: Packet) {
+        self.offered_packets += 1;
+        self.offered_bytes += p.size;
+        self.first_arrival.get_or_insert(now);
+        let a = &mut self.assemblers[p.input];
+        if a.total_queued() + p.size > self.cfg.input_queue_limit {
+            self.dropped_input += 1;
+            self.dropped_bytes += p.size;
+            self.dropped_ids.insert(p.id);
+            self.record(now, SwitchEvent::InputDrop { input: p.input });
+            return;
+        }
+        let was_empty = a.queued(p.output).is_zero();
+        let batches = a.push(&p);
+        let queued = self.assemblers[p.input].total_queued();
+        self.input_peak = self.input_peak.max(queued);
+        if was_empty
+            && self.cfg.batch_timeout_batches > 0
+            && !self.assemblers[p.input].queued(p.output).is_zero()
+            && !self.flush_pending[p.input][p.output]
+        {
+            self.flush_pending[p.input][p.output] = true;
+            let timeout = self.batch_time() * self.cfg.batch_timeout_batches;
+            q.schedule(
+                now + timeout,
+                Ev::FlushTimeout {
+                    input: p.input,
+                    output: p.output,
+                },
+            );
+        }
+        for b in batches {
+            self.send_batch(q, now, b);
+        }
+    }
+
+    fn on_batch_at_tail(&mut self, now: SimTime, b: Batch) {
+        if let Some(frame) = self.tail.push_batch(b) {
+            let o = frame.output;
+            if !self.pfi.can_accept_frame(&self.group, o) {
+                // Per-output HBM region full: the frame is lost.
+                self.dropped_frames += 1;
+                self.dropped_bytes += frame.payload();
+                for batch in &frame.batches {
+                    for c in &batch.chunks {
+                        self.dropped_ids.insert(c.packet);
+                    }
+                }
+                self.record(now, SwitchEvent::FrameDrop { output: o });
+            } else {
+                self.write_frame(now, frame);
+            }
+        }
+    }
+
+    fn on_read_turn(&mut self, q: &mut EventQueue<Ev>, now: SimTime) {
+        let o = self.read_cursor;
+        self.read_cursor = (self.read_cursor + 1) % self.cfg.ribbons;
+        let room = self.head.frames_buffered(o) + self.pending_to_head[o] < self.cfg.head_frames;
+        if room {
+            let hbm_ready = self
+                .hbm_frames[o]
+                .front()
+                .is_some_and(|&(_, ready)| ready <= now);
+            if self.pfi.frames_buffered(o) > 0 && hbm_ready {
+                let op = self
+                    .pfi
+                    .read_frame(&mut self.group, now, o)
+                    .expect("frames_buffered > 0");
+                let (frame, _) = self.hbm_frames[o].pop_front().expect("mirror in sync");
+                self.pending_to_head[o] += 1;
+                self.record(
+                    now,
+                    SwitchEvent::FrameRead {
+                        output: o,
+                        index: op.frame_index,
+                    },
+                );
+                q.schedule(op.end, Ev::FrameAtHead(frame));
+            } else if self.cfg.padding_and_bypass
+                && self.pfi.frames_buffered(o) == 0
+                && self.tail.forming_len(o) > 0
+            {
+                // HBM empty for this output: pad the partial frame and
+                // bypass the HBM straight into the head SRAM (§4).
+                let frame = self.tail.take_padded_frame(o).expect("forming_len > 0");
+                self.padded_bytes += self.cfg.batch_size() * frame.padded_batches;
+                self.pending_to_head[o] += 1;
+                self.record(now, SwitchEvent::Bypass { output: o });
+                q.schedule(now + self.bypass_latency(), Ev::FrameAtHead(frame));
+            }
+        }
+        if !self.system_empty() {
+            q.schedule(now + self.read_interval(), Ev::ReadTurn);
+        }
+    }
+
+    fn on_drain(&mut self, q: &mut EventQueue<Ev>, now: SimTime, o: usize) {
+        match self.head.pop_batch(o) {
+            Some(batch) => {
+                let payload = batch.payload();
+                let (end, deps) = self.outputs[o].drain_batch(&batch, now);
+                self.delivered_bytes += payload;
+                for d in deps {
+                    if self.dropped_ids.contains(&d.packet) {
+                        continue; // partially dropped packet: not delivered
+                    }
+                    self.delivered_packets += 1;
+                    self.delays_ns.record(d.time.since(d.arrival).as_ns_f64());
+                    self.last_departure = self.last_departure.max(d.time);
+                    self.departures.push(d);
+                }
+                q.schedule(end, Ev::Drain(o));
+            }
+            None => {
+                self.drain_scheduled[o] = false;
+            }
+        }
+    }
+
+    /// Run an arrival-ordered trace to completion (or `horizon`,
+    /// whichever comes first) and report.
+    pub fn run(&mut self, trace: &[Packet], horizon: SimTime) -> SwitchReport {
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        let mut last_arrival = SimTime::ZERO;
+        for p in trace {
+            assert!(
+                p.arrival >= last_arrival,
+                "trace must be arrival-ordered"
+            );
+            last_arrival = p.arrival;
+            q.schedule(p.arrival, Ev::Arrival(*p));
+        }
+        q.schedule(last_arrival, Ev::ArrivalsDone);
+        q.schedule(SimTime::ZERO, Ev::ReadTurn);
+        while let Some(t) = q.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let (now, ev) = q.pop().expect("peeked");
+            self.handle(&mut q, now, ev);
+        }
+        self.report()
+    }
+
+    /// Build the report from current state.
+    pub fn report(&self) -> SwitchReport {
+        let first = self.first_arrival.unwrap_or(SimTime::ZERO);
+        let span = self.last_departure.saturating_since(first);
+        let delivered_rate = if span.is_zero() {
+            DataRate::ZERO
+        } else {
+            DataRate::from_bps(
+                u64::try_from(
+                    self.delivered_bytes.bits() as u128 * rip_units::PS_PER_S as u128
+                        / span.as_ps() as u128,
+                )
+                .expect("rate overflow"),
+            )
+        };
+        let end = first + span;
+        let lane_cv = if self.outputs.is_empty() {
+            0.0
+        } else {
+            self.outputs.iter().map(|p| p.lane_spread_cv()).sum::<f64>()
+                / self.outputs.len() as f64
+        };
+        SwitchReport {
+            offered_packets: self.offered_packets,
+            offered_bytes: self.offered_bytes,
+            delivered_packets: self.delivered_packets,
+            delivered_bytes: self.delivered_bytes,
+            dropped_input: self.dropped_input,
+            dropped_frames: self.dropped_frames,
+            dropped_bytes: self.dropped_bytes,
+            padded_bytes: self.padded_bytes,
+            delays_ns: self.delays_ns.clone(),
+            departures: self.departures.clone(),
+            span,
+            delivered_rate,
+            delivery_fraction: if self.offered_bytes.is_zero() {
+                1.0
+            } else {
+                self.delivered_bytes.bits() as f64 / self.offered_bytes.bits() as f64
+            },
+            hbm_utilization: if span.is_zero() {
+                0.0
+            } else {
+                self.group.utilization(first, end)
+            },
+            input_peak: self.input_peak,
+            tail_peak: self.tail.occupancy().peak,
+            head_peak: self.head.occupancy().peak,
+            lane_spread_cv: lane_cv,
+        }
+    }
+
+    /// Access to the HBM group (device-level stats).
+    pub fn hbm(&self) -> &HbmGroup {
+        &self.group
+    }
+
+    /// Access to an output port (lane stats, OEO energy).
+    pub fn output_port(&self, o: usize) -> &OutputPort {
+        &self.outputs[o]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rip_traffic::{ArrivalProcess, PacketGenerator, SizeDistribution, TrafficMatrix};
+
+    /// Build an arrival-ordered trace for the small config.
+    fn trace(load: f64, tm: &TrafficMatrix, horizon: SimTime, seed: u64) -> Vec<Packet> {
+        let cfg = RouterConfig::small();
+        let streams: Vec<Vec<Packet>> = (0..cfg.ribbons)
+            .map(|i| {
+                let mut g = PacketGenerator::new(
+                    i,
+                    cfg.port_rate(),
+                    load * tm.row_load(i),
+                    tm.row(i).to_vec(),
+                    SizeDistribution::Imix,
+                    ArrivalProcess::Poisson,
+                    256,
+                    seed,
+                )
+                .unwrap();
+                g.generate_until(horizon)
+            })
+            .collect();
+        rip_traffic::merge_streams(streams)
+    }
+
+    fn horizon_us(us: u64) -> SimTime {
+        SimTime::from_ns(us * 1000)
+    }
+
+    #[test]
+    fn delivers_everything_at_moderate_uniform_load() {
+        let cfg = RouterConfig::small();
+        let mut sw = HbmSwitch::new(cfg.clone()).unwrap();
+        let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
+        let t = trace(0.7, &tm, horizon_us(100), 42);
+        assert!(!t.is_empty());
+        let r = sw.run(&t, horizon_us(400));
+        assert_eq!(r.dropped_input, 0, "input drops at moderate load");
+        assert_eq!(r.dropped_frames, 0, "frame drops at moderate load");
+        assert!(
+            r.delivery_fraction > 0.999,
+            "delivered only {}",
+            r.delivery_fraction
+        );
+        assert_eq!(r.delivered_packets + r.dropped_input, r.offered_packets);
+    }
+
+    #[test]
+    fn high_admissible_load_sustains_throughput() {
+        let cfg = RouterConfig::small();
+        let mut sw = HbmSwitch::new(cfg.clone()).unwrap();
+        let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
+        let t = trace(0.92, &tm, horizon_us(150), 7);
+        let offered: u64 = t.iter().map(|p| p.size.bits()).sum();
+        let r = sw.run(&t, horizon_us(600));
+        // E3: ~100% throughput for admissible traffic.
+        assert!(
+            r.delivery_fraction > 0.995,
+            "delivered {} of offered",
+            r.delivery_fraction
+        );
+        let offered_rate = offered as f64 / (150e-6) / 1e9; // Gb/s
+        assert!(offered_rate > 0.8 * 0.92 * 4.0 * 640.0 * 0.9 / 1.0); // sanity
+    }
+
+    #[test]
+    fn departures_per_output_are_fifo_per_flow_pair() {
+        let cfg = RouterConfig::small();
+        let mut sw = HbmSwitch::new(cfg.clone()).unwrap();
+        let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
+        let t = trace(0.8, &tm, horizon_us(60), 3);
+        let r = sw.run(&t, horizon_us(400));
+        // Packets of the same (input, output) pair must depart in
+        // arrival (id) order — PFI's frame ordering guarantee.
+        use std::collections::HashMap;
+        let mut key_of: HashMap<u64, (usize, usize)> = HashMap::new();
+        for p in &t {
+            key_of.insert(p.id, (p.input, p.output));
+        }
+        let mut last_id: HashMap<(usize, usize), u64> = HashMap::new();
+        let mut _checked = 0;
+        let mut by_time = r.departures.clone();
+        by_time.sort_by_key(|d| (d.time, d.packet));
+        for d in &by_time {
+            let key = key_of[&d.packet];
+            if let Some(&prev) = last_id.get(&key) {
+                assert!(
+                    d.packet > prev,
+                    "pair {key:?}: packet {} departed after {}",
+                    prev,
+                    d.packet
+                );
+            }
+            last_id.insert(key, d.packet);
+            _checked += 1;
+        }
+        assert!(r.delivered_packets > 100);
+    }
+
+    #[test]
+    fn hotspot_inadmissible_load_drops_but_keeps_hot_output_saturated() {
+        // Shrink the HBM so the per-output region (stack/4/32 KiB
+        // frames) fills within a short run — at the real 64 GB stack the
+        // router would absorb ~50 ms of oversubscription, the paper's
+        // §4 buffering headline.
+        let mut cfg = RouterConfig::small();
+        cfg.hbm_geometry.stack_capacity = rip_units::DataSize::from_mib(32);
+        cfg.validate().unwrap();
+        assert_eq!(cfg.region_frames(), 256);
+        let mut sw = HbmSwitch::new(cfg.clone()).unwrap();
+        // Every input sends 60% of its traffic to output 0: column load
+        // 4 x 0.9 x 0.6 = 2.16 -> inadmissible.
+        let tm = TrafficMatrix::hotspot(cfg.ribbons, 1.0, 0, 0.6);
+        let t = trace(0.9, &tm, horizon_us(500), 5);
+        let r = sw.run(&t, horizon_us(650));
+        assert!(
+            r.dropped_input + r.dropped_frames > 0,
+            "oversubscription must drop"
+        );
+        // The hot output's line stays busy: delivered >= what output 0
+        // can carry, i.e. delivery fraction ~ capacity/offered.
+        assert!(r.delivery_fraction > 0.5, "{}", r.delivery_fraction);
+        assert!(r.delivery_fraction < 0.95, "{}", r.delivery_fraction);
+    }
+
+    #[test]
+    fn low_load_latency_is_bounded_by_padding_and_bypass() {
+        let cfg = RouterConfig::small();
+        let mut sw = HbmSwitch::new(cfg.clone()).unwrap();
+        let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
+        let t = trace(0.05, &tm, horizon_us(50), 9);
+        let r = sw.run(&t, horizon_us(4000));
+        assert!(
+            r.delivery_fraction > 0.999,
+            "padding/bypass must flush everything: {}",
+            r.delivery_fraction
+        );
+        assert!(r.padded_bytes.bytes() > 0, "padding must have been used");
+        // Delay bounded by the flush timeout + pipeline, far below the
+        // horizon.
+        let p99 = r.delays_ns.clone().quantile(0.99).unwrap();
+        assert!(p99 < 200_000.0, "p99 delay {p99} ns too large");
+    }
+
+    #[test]
+    fn without_padding_low_load_strands_data() {
+        let mut cfg = RouterConfig::small();
+        cfg.padding_and_bypass = false;
+        cfg.batch_timeout_batches = 0;
+        let mut sw = HbmSwitch::new(cfg.clone()).unwrap();
+        let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
+        let t = trace(0.05, &tm, horizon_us(50), 9);
+        let r = sw.run(&t, horizon_us(4000));
+        // Partial frames and partial batches strand without padding;
+        // full frames do still fill eventually at 5% load, so the loss
+        // is partial but must be visible.
+        assert!(
+            r.delivery_fraction < 0.99,
+            "expected stranding, delivered {}",
+            r.delivery_fraction
+        );
+        // And the padded run of the sibling test delivers everything,
+        // strictly more than this run.
+        let mut padded_cfg = RouterConfig::small();
+        padded_cfg.padding_and_bypass = true;
+        let mut padded = HbmSwitch::new(padded_cfg).unwrap();
+        let rp = padded.run(&t, horizon_us(4000));
+        assert!(rp.delivery_fraction > r.delivery_fraction);
+    }
+
+    #[test]
+    fn hbm_utilization_tracks_load() {
+        let cfg = RouterConfig::small();
+        let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
+        let mut lo = HbmSwitch::new(cfg.clone()).unwrap();
+        let r_lo = lo.run(&trace(0.3, &tm, horizon_us(100), 11), horizon_us(500));
+        let mut hi = HbmSwitch::new(cfg.clone()).unwrap();
+        let r_hi = hi.run(&trace(0.9, &tm, horizon_us(100), 11), horizon_us(500));
+        assert!(
+            r_hi.hbm_utilization > r_lo.hbm_utilization,
+            "hi {} vs lo {}",
+            r_hi.hbm_utilization,
+            r_lo.hbm_utilization
+        );
+        // At 90% offered, both directions cross the HBM: utilization
+        // approaches 0.9 (of the 2NP-rated group).
+        assert!(r_hi.hbm_utilization > 0.6, "{}", r_hi.hbm_utilization);
+    }
+
+    #[test]
+    fn dynamic_pages_absorb_hotspots_better_than_static_regions() {
+        // Same tiny memory, same inadmissible hotspot: dynamic pages let
+        // the hot output borrow idle outputs' buffer and drop less.
+        let mk = |mode| {
+            let mut cfg = RouterConfig::small();
+            cfg.hbm_geometry.stack_capacity = rip_units::DataSize::from_mib(32);
+            cfg.region_mode = mode;
+            cfg
+        };
+        let tm = TrafficMatrix::hotspot(4, 1.0, 0, 0.6);
+        let t = trace(0.9, &tm, horizon_us(500), 5);
+        let mut s = HbmSwitch::new(mk(rip_hbm::RegionMode::Static)).unwrap();
+        let rs = s.run(&t, horizon_us(650));
+        let mut d = HbmSwitch::new(mk(rip_hbm::RegionMode::DynamicPages { page_rows: 8 }))
+            .unwrap();
+        let rd = d.run(&t, horizon_us(650));
+        assert!(rs.dropped_bytes.bytes() > 0, "static must drop here");
+        assert!(
+            rd.dropped_bytes < rs.dropped_bytes,
+            "dynamic {} !< static {}",
+            rd.dropped_bytes,
+            rs.dropped_bytes
+        );
+        assert!(rd.delivery_fraction > rs.delivery_fraction);
+    }
+
+    #[test]
+    fn per_lane_egress_adds_wavelength_serialization_delay() {
+        let tm = TrafficMatrix::uniform(4, 1.0);
+        let base = RouterConfig::small();
+        let t = trace(0.6, &tm, horizon_us(80), 31);
+        let mut agg = HbmSwitch::new(base.clone()).unwrap();
+        let ra = agg.run(&t, horizon_us(400));
+        let mut cfg = base;
+        cfg.per_lane_egress = true;
+        let mut lane = HbmSwitch::new(cfg).unwrap();
+        let rl = lane.run(&t, horizon_us(400));
+        // Both deliver everything at moderate load...
+        assert!(ra.delivery_fraction > 0.999);
+        assert!(rl.delivery_fraction > 0.999, "{}", rl.delivery_fraction);
+        // ...but the lane model pays per-wavelength serialization.
+        let ma = ra.delays_ns.clone().mean().unwrap();
+        let ml = rl.delays_ns.clone().mean().unwrap();
+        assert!(ml > ma, "lane mean {ml} !> aggregate mean {ma}");
+    }
+
+    #[test]
+    fn trace_records_frame_lifecycle() {
+        let cfg = RouterConfig::small();
+        let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
+        let t = trace(0.8, &tm, horizon_us(60), 37);
+        let mut sw = HbmSwitch::new(cfg).unwrap();
+        sw.enable_trace(100_000);
+        let r = sw.run(&t, horizon_us(300));
+        assert!(r.delivered_packets > 0);
+        let log = sw.trace().expect("tracing enabled");
+        let mut writes = 0u64;
+        let mut reads = 0u64;
+        let mut last_t = rip_units::SimTime::ZERO;
+        for &(at, ev) in log.events() {
+            assert!(at >= last_t, "trace must be time-ordered");
+            last_t = at;
+            match ev {
+                SwitchEvent::FrameWritten { .. } => writes += 1,
+                SwitchEvent::FrameRead { .. } => reads += 1,
+                _ => {}
+            }
+        }
+        assert!(writes > 0, "frames must have been written");
+        assert!(reads <= writes, "cannot read more frames than written");
+        // Occupancy series populated and bounded by what was written.
+        let occ = sw.hbm_occupancy();
+        assert!(occ.samples_seen() > 0);
+        assert!(occ.max().unwrap() <= writes as f64);
+    }
+
+    #[test]
+    fn tracing_off_records_nothing() {
+        let cfg = RouterConfig::small();
+        let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
+        let t = trace(0.5, &tm, horizon_us(20), 38);
+        let mut sw = HbmSwitch::new(cfg).unwrap();
+        sw.run(&t, horizon_us(100));
+        assert!(sw.trace().is_none());
+        assert_eq!(sw.hbm_occupancy().samples_seen(), 0);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let cfg = RouterConfig::small();
+        let mut sw = HbmSwitch::new(cfg).unwrap();
+        let r = sw.run(&[], horizon_us(1));
+        assert_eq!(r.offered_packets, 0);
+        assert_eq!(r.delivery_fraction, 1.0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let cfg = RouterConfig::small();
+        let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
+        let t = trace(0.6, &tm, horizon_us(40), 21);
+        let mut a = HbmSwitch::new(cfg.clone()).unwrap();
+        let ra = a.run(&t, horizon_us(200));
+        let mut b = HbmSwitch::new(cfg).unwrap();
+        let rb = b.run(&t, horizon_us(200));
+        assert_eq!(ra.delivered_packets, rb.delivered_packets);
+        assert_eq!(ra.delivered_bytes, rb.delivered_bytes);
+        assert_eq!(ra.departures.len(), rb.departures.len());
+        assert_eq!(
+            ra.departures.last().map(|d| (d.packet, d.time)),
+            rb.departures.last().map(|d| (d.packet, d.time))
+        );
+    }
+}

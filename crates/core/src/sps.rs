@@ -1,0 +1,343 @@
+//! The top-level Split-Parallel Switch (§2): the optical front end
+//! splits fibers over `H` independent HBM switches; each packet crosses
+//! exactly one of them (one OEO conversion).
+
+use rip_photonics::{FrontEnd, SplitPattern};
+use rip_traffic::{
+    ArrivalProcess, FiberFill, Packet, PacketGenerator, SizeDistribution, TrafficMatrix,
+};
+use rip_units::{DataSize, SimTime};
+
+use crate::config::RouterConfig;
+use crate::hbm_switch::{HbmSwitch, SwitchReport};
+
+/// Workload specification for an SPS run.
+#[derive(Debug, Clone)]
+pub struct SpsWorkload {
+    /// Ribbon-to-ribbon traffic matrix (destination mix per ribbon).
+    pub tm: TrafficMatrix,
+    /// Aggregate offered load per ribbon, in units of total ribbon rate
+    /// (1.0 = all fibers full).
+    pub load: f64,
+    /// How the load is spread over each ribbon's fibers.
+    pub fill: FiberFill,
+    /// Packet-size mix.
+    pub sizes: SizeDistribution,
+    /// Arrival process per fiber.
+    pub process: ArrivalProcess,
+    /// Flow pool per fiber.
+    pub flows: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SpsWorkload {
+    /// A uniform Poisson/IMIX workload at the given load.
+    pub fn uniform(ribbons: usize, load: f64, seed: u64) -> Self {
+        SpsWorkload {
+            tm: TrafficMatrix::uniform(ribbons, 1.0),
+            load,
+            fill: FiberFill::Uniform,
+            sizes: SizeDistribution::Imix,
+            process: ArrivalProcess::Poisson,
+            flows: 128,
+            seed,
+        }
+    }
+}
+
+/// Per-switch summary within an SPS report.
+#[derive(Debug, Clone)]
+pub struct PerSwitch {
+    /// Offered bytes at this switch.
+    pub offered: DataSize,
+    /// Delivered bytes.
+    pub delivered: DataSize,
+    /// Dropped bytes.
+    pub dropped: DataSize,
+    /// Full switch report.
+    pub report: SwitchReport,
+}
+
+/// End-to-end SPS run outcome.
+#[derive(Debug, Clone)]
+pub struct SpsReport {
+    /// Per-switch outcomes.
+    pub switches: Vec<PerSwitch>,
+    /// Total offered bytes.
+    pub offered: DataSize,
+    /// Total delivered bytes.
+    pub delivered: DataSize,
+    /// `1 − delivered/offered`.
+    pub loss_fraction: f64,
+    /// Offered-byte imbalance across switches: max/mean.
+    pub load_imbalance: f64,
+}
+
+/// The Split-Parallel Switch: `H` HBM switches behind a spatial fiber
+/// split.
+pub struct SpsRouter {
+    cfg: RouterConfig,
+    front_end: FrontEnd,
+}
+
+impl SpsRouter {
+    /// Build an SPS router with the given split pattern.
+    pub fn new(cfg: RouterConfig, pattern: SplitPattern) -> Result<Self, String> {
+        cfg.validate()?;
+        let front_end = FrontEnd::new(
+            cfg.ribbons,
+            cfg.fibers_per_ribbon,
+            cfg.wavelengths,
+            cfg.rate_per_wavelength,
+            cfg.switches,
+            pattern,
+        )?;
+        Ok(SpsRouter { cfg, front_end })
+    }
+
+    /// The optical front end (split map, rates).
+    pub fn front_end(&self) -> &FrontEnd {
+        &self.front_end
+    }
+
+    /// Generate per-fiber traffic for `workload` and return the `H`
+    /// per-switch arrival-ordered traces (packet `input`/`output` are
+    /// ribbon indices — switch-port indices).
+    pub fn split_traffic(&self, w: &SpsWorkload, horizon: SimTime) -> Vec<Vec<Packet>> {
+        assert_eq!(w.tm.n(), self.cfg.ribbons, "TM must be ribbon-sized");
+        let f = self.cfg.fibers_per_ribbon;
+        let mut per_switch: Vec<Vec<Packet>> = vec![Vec::new(); self.cfg.switches];
+        for ribbon in 0..self.cfg.ribbons {
+            // Per-fiber offered loads for this ribbon.
+            let fiber_loads = w.fill.loads(f, w.load * f as f64);
+            for (fiber, &load) in fiber_loads.iter().enumerate() {
+                if load <= 0.0 {
+                    continue;
+                }
+                let mut g = PacketGenerator::new(
+                    ribbon,
+                    self.front_end.fiber_rate(),
+                    load.min(1.0),
+                    w.tm.row(ribbon).to_vec(),
+                    w.sizes.clone(),
+                    w.process,
+                    w.flows,
+                    rip_sim::rng::derive_seed(w.seed, (ribbon * f + fiber) as u64),
+                )
+                .expect("valid generator");
+                let sw = self.front_end.split().switch_for(ribbon, fiber);
+                per_switch[sw].extend(g.generate_until(horizon));
+            }
+        }
+        for t in per_switch.iter_mut() {
+            t.sort_by_key(|p| (p.arrival, p.input, p.id));
+        }
+        per_switch
+    }
+
+    /// Run the full router on `workload` until `horizon` (+ drain time).
+    ///
+    /// The `H` HBM switches are fully independent after the optical
+    /// split — exactly the property the SPS architecture banks on — so
+    /// they are simulated on parallel threads (crossbeam scope); results
+    /// are deterministic regardless of scheduling because each switch's
+    /// simulation is self-contained.
+    pub fn run(&self, w: &SpsWorkload, horizon: SimTime) -> SpsReport {
+        let traces = self.split_traffic(w, horizon);
+        let drain = SimTime::from_ps(horizon.as_ps() * 2);
+        let reports: Vec<SwitchReport> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = traces
+                .iter()
+                .map(|trace| {
+                    let cfg = self.cfg.clone();
+                    scope.spawn(move |_| {
+                        let mut sw = HbmSwitch::new(cfg).expect("validated config");
+                        sw.run(trace, drain)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("switch simulation thread panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope");
+        let mut switches = Vec::with_capacity(reports.len());
+        let mut offered = DataSize::ZERO;
+        let mut delivered = DataSize::ZERO;
+        for report in reports {
+            offered += report.offered_bytes;
+            delivered += report.delivered_bytes;
+            switches.push(PerSwitch {
+                offered: report.offered_bytes,
+                delivered: report.delivered_bytes,
+                dropped: report.dropped_bytes,
+                report,
+            });
+        }
+        let max = switches.iter().map(|s| s.offered.bits()).max().unwrap_or(0);
+        let mean = if switches.is_empty() {
+            0
+        } else {
+            offered.bits() / switches.len() as u64
+        };
+        SpsReport {
+            offered,
+            delivered,
+            loss_fraction: if offered.is_zero() {
+                0.0
+            } else {
+                1.0 - delivered.bits() as f64 / offered.bits() as f64
+            },
+            load_imbalance: if mean == 0 { 1.0 } else { max as f64 / mean as f64 },
+            switches,
+        }
+    }
+
+    /// Fluid-model per-switch per-output loads for `workload` (fast path
+    /// for imbalance studies; no packet simulation). Returns
+    /// `loads[switch][output]` in units of switch-port rate.
+    pub fn fluid_loads(&self, w: &SpsWorkload) -> Vec<Vec<f64>> {
+        let f = self.cfg.fibers_per_ribbon;
+        let alpha = self.cfg.alpha() as f64;
+        let mut loads = vec![vec![0.0; self.cfg.ribbons]; self.cfg.switches];
+        for ribbon in 0..self.cfg.ribbons {
+            let fiber_loads = w.fill.loads(f, w.load * f as f64);
+            let row_total = w.tm.row_load(ribbon).max(f64::MIN_POSITIVE);
+            for (fiber, &load) in fiber_loads.iter().enumerate() {
+                let sw = self.front_end.split().switch_for(ribbon, fiber);
+                for out in 0..self.cfg.ribbons {
+                    // Fiber load is in fiber-rate units; a switch port
+                    // aggregates alpha fibers.
+                    loads[sw][out] += load * (w.tm.demand(ribbon, out) / row_total) / alpha;
+                }
+            }
+        }
+        loads
+    }
+
+    /// Predicted loss fraction from the fluid loads: any per-switch
+    /// output loaded beyond 1.0 drops the excess.
+    pub fn fluid_loss(&self, w: &SpsWorkload) -> f64 {
+        let loads = self.fluid_loads(w);
+        let total: f64 = loads.iter().flatten().sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let excess: f64 = loads
+            .iter()
+            .flatten()
+            .map(|&l| (l - 1.0).max(0.0))
+            .sum();
+        excess / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_router(pattern: SplitPattern) -> SpsRouter {
+        SpsRouter::new(RouterConfig::small(), pattern).unwrap()
+    }
+
+    #[test]
+    fn split_traffic_routes_fibers_to_the_right_switch() {
+        let r = small_router(SplitPattern::Sequential);
+        let w = SpsWorkload::uniform(4, 0.5, 1);
+        let traces = r.split_traffic(&w, SimTime::from_ns(20_000));
+        assert_eq!(traces.len(), 4);
+        // All traces non-empty and arrival-ordered.
+        for t in &traces {
+            assert!(!t.is_empty());
+            assert!(t.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+            assert!(t.iter().all(|p| p.input < 4 && p.output < 4));
+        }
+    }
+
+    #[test]
+    fn uniform_fill_balances_switch_loads() {
+        let r = small_router(SplitPattern::Sequential);
+        let w = SpsWorkload::uniform(4, 0.6, 2);
+        let loads = r.fluid_loads(&w);
+        for sw in &loads {
+            for &l in sw {
+                assert!((l - 0.6).abs() < 1e-9, "load {l}");
+            }
+        }
+        assert_eq!(r.fluid_loss(&w), 0.0);
+    }
+
+    #[test]
+    fn first_filled_skew_overloads_first_switch_under_sequential_split() {
+        let r = small_router(SplitPattern::Sequential);
+        let mut w = SpsWorkload::uniform(4, 0.25, 3);
+        // All traffic on the first quarter of each ribbon's fibers —
+        // exactly the fibers feeding switch 0.
+        w.fill = FiberFill::FirstFilled { used: 4 };
+        let loads = r.fluid_loads(&w);
+        // Switch 0 sees per-output load 1.0; others none.
+        assert!((loads[0][0] - 1.0).abs() < 1e-9, "{}", loads[0][0]);
+        assert!(loads[1].iter().all(|&l| l == 0.0));
+        // Raising the load past the first fibers' capacity spills over.
+        let mut w2 = w.clone();
+        w2.load = 0.5;
+        w2.fill = FiberFill::FirstFilled { used: 8 };
+        let loads2 = r.fluid_loads(&w2);
+        assert!(loads2[0][0] > 0.9);
+        assert!(loads2[1][0] > 0.9);
+        assert!(loads2[2][0] == 0.0);
+    }
+
+    #[test]
+    fn pseudo_random_split_spreads_fill_skew() {
+        let seq = small_router(SplitPattern::Sequential);
+        let rand = small_router(SplitPattern::PseudoRandom { seed: 77 });
+        let mut w = SpsWorkload::uniform(4, 0.25, 4);
+        w.fill = FiberFill::FirstFilled { used: 4 };
+        let seq_max = seq
+            .fluid_loads(&w)
+            .iter()
+            .flatten()
+            .cloned()
+            .fold(0.0, f64::max);
+        let rand_max = rand
+            .fluid_loads(&w)
+            .iter()
+            .flatten()
+            .cloned()
+            .fold(0.0, f64::max);
+        assert!((seq_max - 1.0).abs() < 1e-9);
+        assert!(
+            rand_max < seq_max,
+            "pseudo-random max {rand_max} should beat sequential {seq_max}"
+        );
+    }
+
+    #[test]
+    fn end_to_end_uniform_run_is_lossless() {
+        let r = small_router(SplitPattern::PseudoRandom { seed: 5 });
+        let w = SpsWorkload::uniform(4, 0.5, 6);
+        let report = r.run(&w, SimTime::from_ns(30_000));
+        assert!(report.offered.bytes() > 0);
+        assert!(
+            report.loss_fraction < 0.001,
+            "loss {}",
+            report.loss_fraction
+        );
+        assert!(report.load_imbalance < 1.2, "{}", report.load_imbalance);
+        assert_eq!(report.switches.len(), 4);
+    }
+
+    #[test]
+    fn tm_size_mismatch_panics() {
+        let r = small_router(SplitPattern::Sequential);
+        let mut w = SpsWorkload::uniform(4, 0.5, 1);
+        w.tm = TrafficMatrix::uniform(8, 1.0);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            r.split_traffic(&w, SimTime::from_ns(100))
+        }));
+        assert!(res.is_err());
+    }
+}

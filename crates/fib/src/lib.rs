@@ -1,0 +1,31 @@
+//! Forwarding substrate for the router-in-a-package reproduction.
+//!
+//! §3.2 ➀ of the paper: "a processing chiplet determines the HBM switch
+//! output for incoming variable-length packets". That determination is
+//! an IPv4 longest-prefix-match against a core-router FIB. This crate
+//! provides that substrate:
+//!
+//! * [`Ipv4Prefix`] — validated prefixes with parsing and containment;
+//! * [`FibTrie`] — an arena-allocated binary trie with insert / remove /
+//!   exact-match / longest-prefix-match;
+//! * [`StrideTable`] — a DIR-24-8-style flat lookup table compiled from
+//!   a trie (first-level stride configurable so tests stay small),
+//!   giving O(1)–O(2) lookups as a linecard pipeline would;
+//! * [`SyntheticRib`] — seeded core-BGP-like route tables (prefix-length
+//!   mix peaking at /24) mapping prefixes to egress ribbons;
+//! * [`assign_outputs`] — rewrite a packet trace's outputs by looking up
+//!   each packet's destination address, wiring the FIB into the switch
+//!   simulations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod prefix;
+mod rib;
+mod stride;
+mod trie;
+
+pub use prefix::Ipv4Prefix;
+pub use rib::{assign_outputs, SyntheticRib};
+pub use stride::StrideTable;
+pub use trie::FibTrie;

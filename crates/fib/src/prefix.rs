@@ -1,0 +1,184 @@
+//! IPv4 prefixes.
+
+use core::fmt;
+use core::str::FromStr;
+use serde::{Deserialize, Serialize};
+
+/// A validated IPv4 prefix: `addr/len` with all host bits zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Ipv4Prefix {
+    addr: u32,
+    len: u8,
+}
+
+impl Ipv4Prefix {
+    /// The default route `0.0.0.0/0`.
+    pub const DEFAULT: Ipv4Prefix = Ipv4Prefix { addr: 0, len: 0 };
+
+    /// Construct from a network address and prefix length.
+    ///
+    /// Returns an error if `len > 32` or host bits are set.
+    pub fn new(addr: u32, len: u8) -> Result<Self, String> {
+        if len > 32 {
+            return Err(format!("prefix length {len} > 32"));
+        }
+        let p = Ipv4Prefix { addr, len };
+        if addr & !p.mask() != 0 {
+            return Err(format!(
+                "host bits set in {}/{len}",
+                fmt_addr(addr)
+            ));
+        }
+        Ok(p)
+    }
+
+    /// Construct, truncating any host bits instead of erroring.
+    pub fn truncating(addr: u32, len: u8) -> Self {
+        let len = len.min(32);
+        let p = Ipv4Prefix { addr: 0, len };
+        Ipv4Prefix {
+            addr: addr & p.mask(),
+            len,
+        }
+    }
+
+    /// The network address.
+    pub fn addr(&self) -> u32 {
+        self.addr
+    }
+
+    /// The prefix length.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// True for the zero-length default route.
+    pub fn is_default(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The netmask.
+    pub fn mask(&self) -> u32 {
+        if self.len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - self.len)
+        }
+    }
+
+    /// True if `ip` falls inside this prefix.
+    pub fn contains(&self, ip: u32) -> bool {
+        ip & self.mask() == self.addr
+    }
+
+    /// True if `other` is fully inside this prefix.
+    pub fn covers(&self, other: &Ipv4Prefix) -> bool {
+        other.len >= self.len && self.contains(other.addr)
+    }
+
+    /// The `i`-th bit of the network address, MSB first (bit 0 is the
+    /// top bit) — the trie descent order.
+    pub fn bit(&self, i: u8) -> bool {
+        debug_assert!(i < 32);
+        (self.addr >> (31 - i)) & 1 == 1
+    }
+}
+
+fn fmt_addr(a: u32) -> String {
+    format!(
+        "{}.{}.{}.{}",
+        (a >> 24) & 0xFF,
+        (a >> 16) & 0xFF,
+        (a >> 8) & 0xFF,
+        a & 0xFF
+    )
+}
+
+impl fmt::Display for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", fmt_addr(self.addr), self.len)
+    }
+}
+
+impl FromStr for Ipv4Prefix {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        let (ip, len) = s
+            .split_once('/')
+            .ok_or_else(|| format!("missing '/' in prefix {s:?}"))?;
+        let len: u8 = len.parse().map_err(|_| format!("bad length in {s:?}"))?;
+        let octets: Vec<&str> = ip.split('.').collect();
+        if octets.len() != 4 {
+            return Err(format!("bad IPv4 address in {s:?}"));
+        }
+        let mut addr: u32 = 0;
+        for o in octets {
+            let v: u8 = o.parse().map_err(|_| format!("bad octet {o:?} in {s:?}"))?;
+            addr = (addr << 8) | v as u32;
+        }
+        Ipv4Prefix::new(addr, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let p: Ipv4Prefix = "10.1.0.0/16".parse().unwrap();
+        assert_eq!(p.addr(), 0x0A01_0000);
+        assert_eq!(p.len(), 16);
+        assert_eq!(p.to_string(), "10.1.0.0/16");
+        let d: Ipv4Prefix = "0.0.0.0/0".parse().unwrap();
+        assert!(d.is_default());
+        assert_eq!(d, Ipv4Prefix::DEFAULT);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!("10.0.0.0".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0.0/33".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0.1/24".parse::<Ipv4Prefix>().is_err()); // host bits
+        assert!("10.0.0/24".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0.256/24".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0.0/x".parse::<Ipv4Prefix>().is_err());
+    }
+
+    #[test]
+    fn truncating_clears_host_bits() {
+        let p = Ipv4Prefix::truncating(0x0A00_00FF, 24);
+        assert_eq!(p, "10.0.0.0/24".parse().unwrap());
+        assert_eq!(Ipv4Prefix::truncating(u32::MAX, 40).len(), 32);
+    }
+
+    #[test]
+    fn containment() {
+        let p: Ipv4Prefix = "192.168.0.0/16".parse().unwrap();
+        assert!(p.contains(0xC0A8_1234));
+        assert!(!p.contains(0xC0A9_0000));
+        let q: Ipv4Prefix = "192.168.4.0/24".parse().unwrap();
+        assert!(p.covers(&q));
+        assert!(!q.covers(&p));
+        assert!(Ipv4Prefix::DEFAULT.contains(0xDEAD_BEEF));
+    }
+
+    #[test]
+    fn bits_msb_first() {
+        let p: Ipv4Prefix = "128.0.0.0/1".parse().unwrap();
+        assert!(p.bit(0));
+        let q: Ipv4Prefix = "64.0.0.0/2".parse().unwrap();
+        assert!(!q.bit(0));
+        assert!(q.bit(1));
+    }
+
+    #[test]
+    fn masks() {
+        assert_eq!(Ipv4Prefix::DEFAULT.mask(), 0);
+        let p: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        assert_eq!(p.mask(), 0xFF00_0000);
+        let h: Ipv4Prefix = "1.2.3.4/32".parse().unwrap();
+        assert_eq!(h.mask(), u32::MAX);
+    }
+}

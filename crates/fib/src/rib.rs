@@ -1,0 +1,202 @@
+//! Synthetic core-router RIBs and trace integration.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rip_sim::rng::{rng_for, weighted_index};
+use rip_traffic::Packet;
+use serde::{Deserialize, Serialize};
+
+use crate::prefix::Ipv4Prefix;
+use crate::stride::StrideTable;
+use crate::trie::FibTrie;
+
+/// A seeded synthetic route table shaped like a core BGP table: the
+/// prefix-length histogram peaks at /24 with mass at /16–/22 and a thin
+/// tail of short prefixes, plus a default route; next hops are egress
+/// ribbon indices.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SyntheticRib {
+    routes: Vec<(Ipv4Prefix, u32)>,
+    outputs: usize,
+}
+
+/// Core-table-like prefix length mix: `(length, relative weight)`.
+/// Roughly follows public BGP snapshots: >50 % /24s, a broad /19–/23
+/// shoulder, and few short prefixes.
+const LENGTH_MIX: &[(u8, f64)] = &[
+    (8, 0.4),
+    (12, 0.8),
+    (16, 6.0),
+    (18, 2.5),
+    (19, 4.0),
+    (20, 6.5),
+    (21, 5.5),
+    (22, 12.0),
+    (23, 9.0),
+    (24, 53.0),
+];
+
+impl SyntheticRib {
+    /// Generate `routes` routes over `outputs` egress ports,
+    /// deterministically from `seed`. A default route to output 0 is
+    /// always present (core routers always resolve).
+    pub fn generate(routes: usize, outputs: usize, seed: u64) -> Self {
+        assert!(outputs > 0, "need at least one output");
+        let mut rng: StdRng = rng_for(seed, 0xF1B);
+        let weights: Vec<f64> = LENGTH_MIX.iter().map(|&(_, w)| w).collect();
+        let mut set = std::collections::HashSet::new();
+        let mut out = Vec::with_capacity(routes + 1);
+        out.push((Ipv4Prefix::DEFAULT, 0u32));
+        while out.len() <= routes {
+            let len = LENGTH_MIX[weighted_index(&mut rng, &weights).expect("weights")].0;
+            let prefix = Ipv4Prefix::truncating(rng.random(), len);
+            if set.insert(prefix) {
+                out.push((prefix, rng.random_range(0..outputs as u32)));
+            }
+        }
+        SyntheticRib {
+            routes: out,
+            outputs,
+        }
+    }
+
+    /// The routes, default first.
+    pub fn routes(&self) -> &[(Ipv4Prefix, u32)] {
+        &self.routes
+    }
+
+    /// Number of routes (incl. the default).
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Never empty (the default route is always present).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Egress port count.
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// Build the trie FIB.
+    pub fn trie(&self) -> FibTrie {
+        let mut t = FibTrie::new();
+        for &(p, h) in &self.routes {
+            t.insert(p, h);
+        }
+        t
+    }
+
+    /// Compile the stride table (via the trie).
+    pub fn stride_table(&self, stride: u8) -> StrideTable {
+        StrideTable::compile(&self.trie(), stride).expect("valid stride")
+    }
+}
+
+/// Rewrite each packet's `output` by looking its destination address up
+/// in `table` — the §3.2 ➀ "processing chiplet determines the HBM
+/// switch output" step applied to a synthetic trace. Packets missing in
+/// the FIB (impossible with a default route) are dropped from the
+/// returned trace.
+pub fn assign_outputs(trace: &[Packet], table: &StrideTable) -> Vec<Packet> {
+    trace
+        .iter()
+        .filter_map(|p| {
+            table.lookup(p.flow.dst_ip).map(|hop| {
+                let mut q = *p;
+                q.output = hop as usize;
+                q
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_sized() {
+        let a = SyntheticRib::generate(10_000, 16, 42);
+        let b = SyntheticRib::generate(10_000, 16, 42);
+        assert_eq!(a.routes(), b.routes());
+        assert_eq!(a.len(), 10_001); // + default
+        let c = SyntheticRib::generate(10_000, 16, 43);
+        assert_ne!(a.routes(), c.routes());
+    }
+
+    #[test]
+    fn length_histogram_peaks_at_24() {
+        let rib = SyntheticRib::generate(20_000, 16, 7);
+        let mut hist = [0usize; 33];
+        for (p, _) in rib.routes() {
+            hist[p.len() as usize] += 1;
+        }
+        let frac24 = hist[24] as f64 / rib.len() as f64;
+        assert!((0.4..0.65).contains(&frac24), "/24 share {frac24}");
+        assert!(hist[22] > hist[16]);
+        assert!(hist[8] < hist[16]);
+    }
+
+    #[test]
+    fn every_address_resolves_via_default() {
+        let rib = SyntheticRib::generate(1000, 8, 1);
+        let table = rib.stride_table(16);
+        let mut rng = rng_for(9, 9);
+        for _ in 0..1000 {
+            let ip: u32 = rng.random();
+            let hop = table.lookup(ip);
+            assert!(hop.is_some());
+            assert!((hop.unwrap() as usize) < 8);
+        }
+    }
+
+    #[test]
+    fn trie_and_stride_table_agree_on_the_synthetic_rib() {
+        let rib = SyntheticRib::generate(5_000, 16, 3);
+        let trie = rib.trie();
+        let table = rib.stride_table(16);
+        let mut rng = rng_for(4, 4);
+        for _ in 0..8_000 {
+            let ip: u32 = rng.random();
+            assert_eq!(
+                table.lookup(ip),
+                trie.lookup(ip).map(|(_, h)| h),
+                "mismatch at {ip:#010x}"
+            );
+        }
+    }
+
+    #[test]
+    fn assign_outputs_rewrites_by_destination() {
+        use rip_units::{DataSize, SimTime};
+        let rib = SyntheticRib::generate(1000, 4, 5);
+        let table = rib.stride_table(16);
+        let mut rng = rng_for(11, 11);
+        let trace: Vec<Packet> = (0..500)
+            .map(|i| {
+                let mut p = Packet::new(
+                    i,
+                    (i % 4) as usize,
+                    0,
+                    DataSize::from_bytes(500),
+                    SimTime::from_ns(i),
+                );
+                p.flow.dst_ip = rng.random();
+                p
+            })
+            .collect();
+        let routed = assign_outputs(&trace, &table);
+        assert_eq!(routed.len(), 500);
+        let trie = rib.trie();
+        for p in &routed {
+            let (_, hop) = trie.lookup(p.flow.dst_ip).unwrap();
+            assert_eq!(p.output, hop as usize);
+        }
+        // Several distinct outputs are actually used.
+        let used: std::collections::HashSet<usize> = routed.iter().map(|p| p.output).collect();
+        assert!(used.len() > 1);
+    }
+}

@@ -1,0 +1,241 @@
+//! A DIR-24-8-style compiled lookup table: one flat first-level array
+//! indexed by the top `stride` bits, with per-chunk second-level arrays
+//! for longer prefixes — the constant-time structure a linecard
+//! pipeline uses, compiled from the [`FibTrie`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::trie::FibTrie;
+
+/// Packed table entry, as the hardware tables store it:
+/// `0` = no route; `1..=0x7FFF_FFFF` = next hop + 1;
+/// `>= 0x8000_0000` = second-level table index (first level only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(transparent)]
+struct Entry(u32);
+
+const INDIRECT_BIT: u32 = 0x8000_0000;
+
+impl Entry {
+    const EMPTY: Entry = Entry(0);
+
+    fn direct(hop: Option<u32>) -> Entry {
+        match hop {
+            None => Entry(0),
+            Some(h) => {
+                debug_assert!(h < INDIRECT_BIT - 1, "next hop too large to pack");
+                Entry(h + 1)
+            }
+        }
+    }
+
+    fn indirect(idx: u32) -> Entry {
+        debug_assert!(idx < INDIRECT_BIT);
+        Entry(INDIRECT_BIT | idx)
+    }
+
+    fn is_indirect(self) -> bool {
+        self.0 & INDIRECT_BIT != 0
+    }
+
+    fn as_indirect(self) -> u32 {
+        self.0 & !INDIRECT_BIT
+    }
+
+    fn as_direct(self) -> Option<u32> {
+        debug_assert!(!self.is_indirect());
+        self.0.checked_sub(1)
+    }
+}
+
+/// The compiled stride table.
+///
+/// The classic hardware configuration is a 2²⁴-entry first level
+/// ("DIR-24-8"); the stride is configurable so tests can run with 2¹⁶
+/// entries. Lookup cost: one memory access for prefixes up to the
+/// stride length, two beyond it — independent of table size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StrideTable {
+    stride: u8,
+    level1: Vec<Entry>,
+    /// Each second-level table covers the remaining `32 − stride` bits
+    /// of one chunk (packed hop+1 values, 0 = none).
+    level2: Vec<Vec<u32>>,
+}
+
+impl StrideTable {
+    /// Compile a trie into a stride table with the given first-level
+    /// stride (8–24 bits).
+    pub fn compile(trie: &FibTrie, stride: u8) -> Result<Self, String> {
+        if !(8..=24).contains(&stride) {
+            return Err(format!("stride {stride} out of 8..=24"));
+        }
+        let l1_size = 1usize << stride;
+        let mut level1 = vec![Entry::EMPTY; l1_size];
+        let mut level2: Vec<Vec<u32>> = Vec::new();
+        let rest_bits = 32 - stride;
+
+        // Pass 1: prefixes no longer than the stride expand into runs
+        // of first-level entries; longer-first ordering is achieved by
+        // sorting routes by prefix length ascending so more-specific
+        // routes overwrite less-specific ones.
+        let mut routes = trie.iter();
+        routes.sort_by_key(|(p, _)| p.len());
+        for (prefix, hop) in routes.iter().filter(|(p, _)| p.len() <= stride) {
+            let base = (prefix.addr() >> rest_bits) as usize;
+            let span = 1usize << (stride - prefix.len());
+            for e in level1.iter_mut().skip(base).take(span) {
+                debug_assert!(!e.is_indirect(), "pass 1 precedes pass 2");
+                *e = Entry::direct(Some(*hop));
+            }
+        }
+        // Pass 2: longer prefixes materialize second-level tables,
+        // seeded with the chunk's current (less-specific) answer.
+        for (prefix, hop) in routes.iter().filter(|(p, _)| p.len() > stride) {
+            let chunk = (prefix.addr() >> rest_bits) as usize;
+            let table_idx = if level1[chunk].is_indirect() {
+                level1[chunk].as_indirect() as usize
+            } else {
+                let default = level1[chunk];
+                let idx = level2.len();
+                level2.push(vec![default.0; 1usize << rest_bits]);
+                level1[chunk] = Entry::indirect(idx as u32);
+                idx
+            };
+            let inner_bits = prefix.len() - stride;
+            let inner_base =
+                ((prefix.addr() & !(u32::MAX << rest_bits)) >> (rest_bits - inner_bits)) as usize;
+            let span = 1usize << (rest_bits - inner_bits);
+            let start = inner_base << (rest_bits - inner_bits);
+            for e in level2[table_idx].iter_mut().skip(start).take(span) {
+                *e = Entry::direct(Some(*hop)).0;
+            }
+        }
+        Ok(StrideTable {
+            stride,
+            level1,
+            level2,
+        })
+    }
+
+    /// Longest-prefix-match lookup (next hop only; length is a trie
+    /// concern).
+    pub fn lookup(&self, ip: u32) -> Option<u32> {
+        let rest_bits = 32 - self.stride;
+        let e = self.level1[(ip >> rest_bits) as usize];
+        if e.is_indirect() {
+            let packed =
+                self.level2[e.as_indirect() as usize][(ip & !(u32::MAX << rest_bits)) as usize];
+            packed.checked_sub(1)
+        } else {
+            e.as_direct()
+        }
+    }
+
+    /// The first-level stride in bits.
+    pub fn stride(&self) -> u8 {
+        self.stride
+    }
+
+    /// Memory footprint in bytes (4 B packed entries at both levels —
+    /// the in-memory representation).
+    pub fn memory_bytes(&self) -> usize {
+        (self.level1.len() + self.level2.iter().map(Vec::len).sum::<usize>()) * 4
+    }
+
+    /// Number of second-level tables materialized.
+    pub fn level2_tables(&self) -> usize {
+        self.level2.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefix::Ipv4Prefix;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn build(routes: &[(&str, u32)], stride: u8) -> (FibTrie, StrideTable) {
+        let mut t = FibTrie::new();
+        for (s, h) in routes {
+            t.insert(p(s), *h);
+        }
+        let st = StrideTable::compile(&t, stride).unwrap();
+        (t, st)
+    }
+
+    #[test]
+    fn agrees_with_trie_on_basic_routes() {
+        let (t, st) = build(
+            &[
+                ("0.0.0.0/0", 9),
+                ("10.0.0.0/8", 1),
+                ("10.1.0.0/16", 2),
+                ("10.1.2.0/24", 3),
+                ("192.168.0.0/16", 4),
+                ("1.2.3.4/32", 5),
+            ],
+            16,
+        );
+        for ip in [
+            0x0A010203u32,
+            0x0A010300,
+            0x0A020000,
+            0x0B000000,
+            0xC0A80001,
+            0x01020304,
+            0x01020305,
+            0xFFFFFFFF,
+            0,
+        ] {
+            assert_eq!(
+                st.lookup(ip),
+                t.lookup(ip).map(|(_, h)| h),
+                "mismatch at {ip:#010x}"
+            );
+        }
+    }
+
+    #[test]
+    fn longer_than_stride_prefixes_use_level2() {
+        let (_, st) = build(&[("10.1.2.0/24", 3)], 16);
+        assert_eq!(st.level2_tables(), 1);
+        assert_eq!(st.lookup(0x0A010205), Some(3));
+        assert_eq!(st.lookup(0x0A010305), None);
+    }
+
+    #[test]
+    fn chunk_default_is_preserved_inside_level2() {
+        // /8 covers the chunk; /24 punches a hole; the rest of the
+        // chunk must still answer with the /8 hop.
+        let (_, st) = build(&[("10.0.0.0/8", 1), ("10.1.2.0/24", 3)], 16);
+        assert_eq!(st.lookup(0x0A010203), Some(3));
+        assert_eq!(st.lookup(0x0A01FF00), Some(1));
+    }
+
+    #[test]
+    fn empty_table_answers_none() {
+        let (_, st) = build(&[], 16);
+        assert_eq!(st.lookup(0x12345678), None);
+        assert_eq!(st.level2_tables(), 0);
+    }
+
+    #[test]
+    fn stride_bounds_validated() {
+        let t = FibTrie::new();
+        assert!(StrideTable::compile(&t, 7).is_err());
+        assert!(StrideTable::compile(&t, 25).is_err());
+        assert!(StrideTable::compile(&t, 24).is_ok());
+    }
+
+    #[test]
+    fn memory_accounting_scales_with_tables() {
+        let (_, small) = build(&[("10.0.0.0/8", 1)], 16);
+        let (_, more) = build(&[("10.0.0.0/8", 1), ("10.1.2.0/24", 3), ("10.2.2.0/24", 4)], 16);
+        assert!(more.memory_bytes() > small.memory_bytes());
+        assert_eq!(more.level2_tables(), 2);
+    }
+}

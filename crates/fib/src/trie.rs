@@ -1,0 +1,260 @@
+//! Arena-allocated binary trie with longest-prefix-match.
+
+use serde::{Deserialize, Serialize};
+
+use crate::prefix::Ipv4Prefix;
+
+/// Index of a trie node in the arena (`u32::MAX` = none).
+type NodeId = u32;
+const NONE: NodeId = u32::MAX;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Node {
+    children: [NodeId; 2],
+    /// Next hop stored at this node, if a prefix ends here.
+    next_hop: Option<u32>,
+}
+
+impl Node {
+    fn new() -> Self {
+        Node {
+            children: [NONE, NONE],
+            next_hop: None,
+        }
+    }
+}
+
+/// A binary (unibit) trie FIB: exact semantics reference for the
+/// compiled [`crate::StrideTable`], and the structure route updates are
+/// applied to.
+///
+/// ```
+/// use rip_fib::FibTrie;
+/// let mut fib = FibTrie::new();
+/// fib.insert("0.0.0.0/0".parse().unwrap(), 99);
+/// fib.insert("10.1.0.0/16".parse().unwrap(), 2);
+/// assert_eq!(fib.lookup(0x0A01_0203), Some((16, 2))); // 10.1.2.3
+/// assert_eq!(fib.lookup(0x0B00_0001), Some((0, 99))); // default route
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FibTrie {
+    nodes: Vec<Node>,
+    routes: usize,
+}
+
+impl Default for FibTrie {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FibTrie {
+    /// An empty trie (no default route).
+    pub fn new() -> Self {
+        FibTrie {
+            nodes: vec![Node::new()],
+            routes: 0,
+        }
+    }
+
+    /// Number of routes installed.
+    pub fn len(&self) -> usize {
+        self.routes
+    }
+
+    /// True if no routes are installed.
+    pub fn is_empty(&self) -> bool {
+        self.routes == 0
+    }
+
+    /// Number of arena nodes (memory footprint indicator).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Insert `prefix → next_hop`, replacing any existing route for the
+    /// same prefix. Returns the previous next hop, if any.
+    pub fn insert(&mut self, prefix: Ipv4Prefix, next_hop: u32) -> Option<u32> {
+        let mut cur: NodeId = 0;
+        for i in 0..prefix.len() {
+            let b = prefix.bit(i) as usize;
+            let next = self.nodes[cur as usize].children[b];
+            let next = if next == NONE {
+                let id = self.nodes.len() as NodeId;
+                self.nodes.push(Node::new());
+                self.nodes[cur as usize].children[b] = id;
+                id
+            } else {
+                next
+            };
+            cur = next;
+        }
+        let old = self.nodes[cur as usize].next_hop.replace(next_hop);
+        if old.is_none() {
+            self.routes += 1;
+        }
+        old
+    }
+
+    /// Remove the route for exactly `prefix`. Returns its next hop if
+    /// it existed. (Arena nodes are retained; route churn in a core FIB
+    /// reuses paths constantly, so we trade a little memory for zero
+    /// restructuring.)
+    pub fn remove(&mut self, prefix: Ipv4Prefix) -> Option<u32> {
+        let node = self.locate(prefix)?;
+        let old = self.nodes[node as usize].next_hop.take();
+        if old.is_some() {
+            self.routes -= 1;
+        }
+        old
+    }
+
+    /// Exact-match lookup of a prefix.
+    pub fn get(&self, prefix: Ipv4Prefix) -> Option<u32> {
+        self.nodes[self.locate(prefix)? as usize].next_hop
+    }
+
+    fn locate(&self, prefix: Ipv4Prefix) -> Option<NodeId> {
+        let mut cur: NodeId = 0;
+        for i in 0..prefix.len() {
+            let b = prefix.bit(i) as usize;
+            cur = self.nodes[cur as usize].children[b];
+            if cur == NONE {
+                return None;
+            }
+        }
+        Some(cur)
+    }
+
+    /// Longest-prefix-match: the next hop of the most specific prefix
+    /// containing `ip`, with the matched length.
+    pub fn lookup(&self, ip: u32) -> Option<(u8, u32)> {
+        let mut cur: NodeId = 0;
+        let mut best: Option<(u8, u32)> = self.nodes[0].next_hop.map(|h| (0, h));
+        for i in 0..32u8 {
+            let b = ((ip >> (31 - i)) & 1) as usize;
+            cur = self.nodes[cur as usize].children[b];
+            if cur == NONE {
+                break;
+            }
+            if let Some(h) = self.nodes[cur as usize].next_hop {
+                best = Some((i + 1, h));
+            }
+        }
+        best
+    }
+
+    /// Iterate over all installed `(prefix, next_hop)` routes in
+    /// lexicographic (DFS) order.
+    pub fn iter(&self) -> Vec<(Ipv4Prefix, u32)> {
+        let mut out = Vec::with_capacity(self.routes);
+        self.dfs(0, 0, 0, &mut out);
+        out
+    }
+
+    fn dfs(&self, node: NodeId, addr: u32, depth: u8, out: &mut Vec<(Ipv4Prefix, u32)>) {
+        let n = &self.nodes[node as usize];
+        if let Some(h) = n.next_hop {
+            out.push((Ipv4Prefix::truncating(addr, depth), h));
+        }
+        if depth == 32 {
+            return;
+        }
+        for (b, &child) in n.children.iter().enumerate() {
+            if child != NONE {
+                let next_addr = addr | ((b as u32) << (31 - depth));
+                self.dfs(child, next_addr, depth + 1, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn empty_trie_matches_nothing() {
+        let t = FibTrie::new();
+        assert!(t.is_empty());
+        assert_eq!(t.lookup(0x0A000001), None);
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut t = FibTrie::new();
+        t.insert(p("0.0.0.0/0"), 99);
+        t.insert(p("10.0.0.0/8"), 1);
+        t.insert(p("10.1.0.0/16"), 2);
+        t.insert(p("10.1.2.0/24"), 3);
+        assert_eq!(t.lookup(0x0A010203), Some((24, 3))); // 10.1.2.3
+        assert_eq!(t.lookup(0x0A010300), Some((16, 2))); // 10.1.3.0
+        assert_eq!(t.lookup(0x0A020000), Some((8, 1))); // 10.2.0.0
+        assert_eq!(t.lookup(0x0B000000), Some((0, 99))); // default
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn insert_replaces_and_reports_old() {
+        let mut t = FibTrie::new();
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 7), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(0x0A000000), Some((8, 7)));
+    }
+
+    #[test]
+    fn remove_exposes_less_specific() {
+        let mut t = FibTrie::new();
+        t.insert(p("10.0.0.0/8"), 1);
+        t.insert(p("10.1.0.0/16"), 2);
+        assert_eq!(t.remove(p("10.1.0.0/16")), Some(2));
+        assert_eq!(t.lookup(0x0A010000), Some((8, 1)));
+        assert_eq!(t.remove(p("10.1.0.0/16")), None);
+        assert_eq!(t.remove(p("192.168.0.0/16")), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn host_routes_work() {
+        let mut t = FibTrie::new();
+        t.insert(p("1.2.3.4/32"), 5);
+        assert_eq!(t.lookup(0x01020304), Some((32, 5)));
+        assert_eq!(t.lookup(0x01020305), None);
+    }
+
+    #[test]
+    fn get_is_exact_not_lpm() {
+        let mut t = FibTrie::new();
+        t.insert(p("10.0.0.0/8"), 1);
+        assert_eq!(t.get(p("10.0.0.0/8")), Some(1));
+        assert_eq!(t.get(p("10.1.0.0/16")), None);
+    }
+
+    #[test]
+    fn iter_returns_all_routes() {
+        let mut t = FibTrie::new();
+        let routes = [("0.0.0.0/0", 9), ("10.0.0.0/8", 1), ("192.168.1.0/24", 2)];
+        for (s, h) in routes {
+            t.insert(p(s), h);
+        }
+        let got = t.iter();
+        assert_eq!(got.len(), 3);
+        for (s, h) in routes {
+            assert!(got.contains(&(p(s), h)));
+        }
+    }
+
+    #[test]
+    fn sibling_prefixes_do_not_interfere() {
+        let mut t = FibTrie::new();
+        t.insert(p("128.0.0.0/1"), 1);
+        t.insert(p("0.0.0.0/1"), 2);
+        assert_eq!(t.lookup(0xFFFF_FFFF), Some((1, 1)));
+        assert_eq!(t.lookup(0x0000_0001), Some((1, 2)));
+    }
+}

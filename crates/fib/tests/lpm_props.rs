@@ -1,0 +1,115 @@
+//! Property tests: the trie agrees with a naive linear-scan LPM, and
+//! the compiled stride table agrees with the trie, for arbitrary route
+//! sets; removals behave like re-building without the removed route.
+
+use proptest::prelude::*;
+use rip_fib::{FibTrie, Ipv4Prefix, StrideTable};
+
+/// Naive reference LPM: scan all routes, keep the longest match.
+fn naive_lookup(routes: &[(Ipv4Prefix, u32)], ip: u32) -> Option<(u8, u32)> {
+    routes
+        .iter()
+        .filter(|(p, _)| p.contains(ip))
+        .max_by_key(|(p, _)| p.len())
+        .map(|(p, h)| (p.len(), h))
+        .map(|(l, &h)| (l, h))
+}
+
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(a, l)| Ipv4Prefix::truncating(a, l))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn trie_matches_naive_lpm(
+        routes in prop::collection::vec((arb_prefix(), 0u32..16), 0..60),
+        probes in prop::collection::vec(any::<u32>(), 1..40),
+    ) {
+        // Deduplicate by prefix, keeping the last occurrence — the same
+        // semantics as sequential trie inserts.
+        let mut dedup: std::collections::HashMap<Ipv4Prefix, u32> = Default::default();
+        let mut trie = FibTrie::new();
+        for (p, h) in &routes {
+            dedup.insert(*p, *h);
+            trie.insert(*p, *h);
+        }
+        let flat: Vec<(Ipv4Prefix, u32)> = dedup.into_iter().collect();
+        prop_assert_eq!(trie.len(), flat.len());
+        for &ip in &probes {
+            prop_assert_eq!(trie.lookup(ip), naive_lookup(&flat, ip), "ip {:#010x}", ip);
+        }
+    }
+
+    #[test]
+    fn stride_table_matches_trie(
+        // Few long (> stride) prefixes keep the debug-build second-level
+        // tables small; coverage of the expansion logic is unchanged.
+        routes in prop::collection::vec((arb_prefix(), 0u32..16), 0..12),
+        probes in prop::collection::vec(any::<u32>(), 1..40),
+        stride in prop::sample::select(vec![14u8, 16]),
+    ) {
+        let mut trie = FibTrie::new();
+        for (p, h) in &routes {
+            trie.insert(*p, *h);
+        }
+        let table = StrideTable::compile(&trie, stride).unwrap();
+        for &ip in &probes {
+            prop_assert_eq!(
+                table.lookup(ip),
+                trie.lookup(ip).map(|(_, h)| h),
+                "ip {:#010x} stride {}", ip, stride
+            );
+        }
+    }
+
+    #[test]
+    fn removal_equals_rebuild_without_route(
+        routes in prop::collection::vec((arb_prefix(), 0u32..16), 1..40),
+        victim in any::<prop::sample::Index>(),
+        probes in prop::collection::vec(any::<u32>(), 1..30),
+    ) {
+        let mut dedup: std::collections::HashMap<Ipv4Prefix, u32> = Default::default();
+        for (p, h) in &routes {
+            dedup.insert(*p, *h);
+        }
+        let flat: Vec<(Ipv4Prefix, u32)> = dedup.into_iter().collect();
+        let victim = flat[victim.index(flat.len())].0;
+
+        let mut with_removal = FibTrie::new();
+        for (p, h) in &flat {
+            with_removal.insert(*p, *h);
+        }
+        with_removal.remove(victim);
+
+        let mut rebuilt = FibTrie::new();
+        for (p, h) in flat.iter().filter(|(p, _)| *p != victim) {
+            rebuilt.insert(*p, *h);
+        }
+        prop_assert_eq!(with_removal.len(), rebuilt.len());
+        for &ip in &probes {
+            prop_assert_eq!(with_removal.lookup(ip), rebuilt.lookup(ip));
+        }
+    }
+
+    #[test]
+    fn iter_round_trips_through_a_fresh_trie(
+        routes in prop::collection::vec((arb_prefix(), 0u32..16), 0..50),
+    ) {
+        let mut trie = FibTrie::new();
+        for (p, h) in &routes {
+            trie.insert(*p, *h);
+        }
+        let mut rebuilt = FibTrie::new();
+        for (p, h) in trie.iter() {
+            rebuilt.insert(p, h);
+        }
+        prop_assert_eq!(rebuilt.len(), trie.len());
+        let mut a = trie.iter();
+        let mut b = rebuilt.iter();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,159 @@
+//! Per-bank DRAM state machine.
+
+use rip_units::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// The row-level state of one DRAM bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BankState {
+    /// No row open; the bank may be activated once `idle_at` has passed.
+    Idle,
+    /// A row is open and column accesses may be issued after tRCD.
+    Active {
+        /// The open row index.
+        row: u64,
+    },
+}
+
+/// One DRAM bank: open-row state plus the timestamps the channel-level
+/// rules are enforced against.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Bank {
+    state: BankState,
+    /// When the last ACT was issued (for tRAS / tRC).
+    act_issued: SimTime,
+    /// When column accesses may start (ACT + tRCD).
+    ready_for_cas: SimTime,
+    /// When the bank becomes usable again after PRE / REFsb.
+    idle_at: SimTime,
+    /// End of the last column transfer touching this bank.
+    last_cas_end: SimTime,
+    /// When the bank was last refreshed.
+    last_refresh: SimTime,
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bank {
+    /// A fresh, idle, just-refreshed bank at t = 0.
+    pub fn new() -> Self {
+        Bank {
+            state: BankState::Idle,
+            act_issued: SimTime::ZERO,
+            ready_for_cas: SimTime::ZERO,
+            idle_at: SimTime::ZERO,
+            last_cas_end: SimTime::ZERO,
+            last_refresh: SimTime::ZERO,
+        }
+    }
+
+    /// Current FSM state.
+    pub fn state(&self) -> BankState {
+        self.state
+    }
+
+    /// True if no row is open.
+    pub fn is_idle(&self) -> bool {
+        matches!(self.state, BankState::Idle)
+    }
+
+    /// The open row, if any.
+    pub fn open_row(&self) -> Option<u64> {
+        match self.state {
+            BankState::Active { row } => Some(row),
+            BankState::Idle => None,
+        }
+    }
+
+    /// When the bank may accept a new ACT (idle only).
+    pub fn idle_at(&self) -> SimTime {
+        self.idle_at
+    }
+
+    /// When column accesses to the open row may start.
+    pub fn ready_for_cas(&self) -> SimTime {
+        self.ready_for_cas
+    }
+
+    /// When the last ACT was issued.
+    pub fn act_issued(&self) -> SimTime {
+        self.act_issued
+    }
+
+    /// End of the most recent column transfer.
+    pub fn last_cas_end(&self) -> SimTime {
+        self.last_cas_end
+    }
+
+    /// When the bank was last refreshed.
+    pub fn last_refresh(&self) -> SimTime {
+        self.last_refresh
+    }
+
+    // --- mutations, called by the channel after rule checks -------------
+
+    pub(crate) fn do_activate(&mut self, now: SimTime, row: u64, ready_for_cas: SimTime) {
+        self.state = BankState::Active { row };
+        self.act_issued = now;
+        self.ready_for_cas = ready_for_cas;
+    }
+
+    pub(crate) fn do_cas_end(&mut self, end: SimTime) {
+        self.last_cas_end = end;
+    }
+
+    pub(crate) fn do_precharge(&mut self, idle_at: SimTime) {
+        self.state = BankState::Idle;
+        self.idle_at = idle_at;
+    }
+
+    pub(crate) fn do_refresh(&mut self, now: SimTime, idle_at: SimTime) {
+        self.last_refresh = now;
+        self.idle_at = idle_at;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_bank_is_idle_and_ready() {
+        let b = Bank::new();
+        assert!(b.is_idle());
+        assert_eq!(b.open_row(), None);
+        assert_eq!(b.idle_at(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn activate_opens_row() {
+        let mut b = Bank::new();
+        b.do_activate(SimTime::from_ns(10), 7, SimTime::from_ns(26));
+        assert_eq!(b.state(), BankState::Active { row: 7 });
+        assert_eq!(b.open_row(), Some(7));
+        assert_eq!(b.ready_for_cas(), SimTime::from_ns(26));
+        assert_eq!(b.act_issued(), SimTime::from_ns(10));
+    }
+
+    #[test]
+    fn precharge_closes_row() {
+        let mut b = Bank::new();
+        b.do_activate(SimTime::from_ns(10), 7, SimTime::from_ns(26));
+        b.do_precharge(SimTime::from_ns(60));
+        assert!(b.is_idle());
+        assert_eq!(b.idle_at(), SimTime::from_ns(60));
+    }
+
+    #[test]
+    fn refresh_updates_timestamps() {
+        let mut b = Bank::new();
+        b.do_refresh(SimTime::from_ns(100), SimTime::from_ns(220));
+        assert_eq!(b.last_refresh(), SimTime::from_ns(100));
+        assert_eq!(b.idle_at(), SimTime::from_ns(220));
+        assert!(b.is_idle());
+    }
+}

@@ -1,0 +1,161 @@
+//! HBM stack / channel geometry.
+
+use rip_units::{DataRate, DataSize};
+use serde::{Deserialize, Serialize};
+
+/// Physical organization of an HBM stack and its channels.
+///
+/// The reference geometry ([`HbmGeometry::hbm4`]) follows §3.1 Design 5 of
+/// the paper: a 2,048-bit ultra-wide interface organized as 32 channels of
+/// 64 bits, each pin at 10 Gb/s, for 20.48 Tb/s per stack; 64 GB capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HbmGeometry {
+    /// Independent channels per stack (HBM4: 32).
+    pub channels_per_stack: usize,
+    /// Data width of one channel in bits (HBM4: 64).
+    pub channel_width_bits: u64,
+    /// Per-pin data rate in Gb/s (announced HBM4 parts: 10).
+    pub gbps_per_pin: u64,
+    /// Banks per channel.
+    pub banks_per_channel: usize,
+    /// Row (page) size per bank.
+    pub row_size: DataSize,
+    /// Total stack capacity (HBM4: 64 GB).
+    pub stack_capacity: DataSize,
+    /// Burst length in column accesses — the minimum transfer granule is
+    /// `channel_width_bits * burst_length` bits.
+    pub burst_length: u64,
+}
+
+impl HbmGeometry {
+    /// Reference HBM4 geometry (paper §3.1 Design 5).
+    pub const fn hbm4() -> Self {
+        HbmGeometry {
+            channels_per_stack: 32,
+            channel_width_bits: 64,
+            gbps_per_pin: 10,
+            banks_per_channel: 64,
+            row_size: DataSize::from_kib(2),
+            stack_capacity: DataSize::from_gib(64),
+            burst_length: 8,
+        }
+    }
+
+    /// Peak data rate of one channel (width × per-pin rate).
+    pub fn channel_rate(&self) -> DataRate {
+        DataRate::from_gbps(self.channel_width_bits * self.gbps_per_pin)
+    }
+
+    /// Peak data rate of one stack.
+    pub fn stack_rate(&self) -> DataRate {
+        self.channel_rate() * self.channels_per_stack as u64
+    }
+
+    /// Capacity of one channel.
+    pub fn channel_capacity(&self) -> DataSize {
+        self.stack_capacity / self.channels_per_stack as u64
+    }
+
+    /// Capacity of one bank.
+    pub fn bank_capacity(&self) -> DataSize {
+        self.channel_capacity() / self.banks_per_channel as u64
+    }
+
+    /// Number of rows per bank.
+    pub fn rows_per_bank(&self) -> u64 {
+        self.bank_capacity().chunks(self.row_size)
+    }
+
+    /// Minimum transfer granule: one burst.
+    pub fn burst_size(&self) -> DataSize {
+        DataSize::from_bits(self.channel_width_bits * self.burst_length)
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.channels_per_stack == 0 || self.banks_per_channel == 0 {
+            return Err("channel and bank counts must be positive".into());
+        }
+        if self.channel_width_bits == 0 || self.gbps_per_pin == 0 || self.burst_length == 0 {
+            return Err("channel width, pin rate and burst length must be positive".into());
+        }
+        if self.row_size.is_zero() {
+            return Err("row size must be positive".into());
+        }
+        if !self
+            .channel_capacity()
+            .is_multiple_of(self.row_size * self.banks_per_channel as u64)
+        {
+            return Err(format!(
+                "channel capacity {} is not an integer number of rows across {} banks of {}",
+                self.channel_capacity(),
+                self.banks_per_channel,
+                self.row_size
+            ));
+        }
+        if !self.row_size.is_multiple_of(self.burst_size()) {
+            return Err(format!(
+                "row size {} is not a multiple of the burst size {}",
+                self.row_size,
+                self.burst_size()
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for HbmGeometry {
+    fn default() -> Self {
+        Self::hbm4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hbm4_reference_rates_match_paper() {
+        let g = HbmGeometry::hbm4();
+        g.validate().expect("reference geometry valid");
+        // One channel: 64 bit x 10 Gb/s = 640 Gb/s = 80 GB/s.
+        assert_eq!(g.channel_rate(), DataRate::from_gbps(640));
+        // One stack: 32 channels = 20.48 Tb/s.
+        assert_eq!(g.stack_rate().tbps(), 20.48);
+        // Four stacks = 81.92 Tb/s (checked in group tests).
+    }
+
+    #[test]
+    fn capacities_divide_exactly() {
+        let g = HbmGeometry::hbm4();
+        assert_eq!(g.channel_capacity(), DataSize::from_gib(2));
+        assert_eq!(g.bank_capacity(), DataSize::from_mib(32));
+        assert_eq!(g.rows_per_bank(), 16 * 1024);
+        assert_eq!(g.burst_size(), DataSize::from_bytes(64));
+    }
+
+    #[test]
+    fn segment_is_unit_fraction_of_row() {
+        // Paper: S = 1 KB is "a unit fraction of a row length".
+        let g = HbmGeometry::hbm4();
+        let s = DataSize::from_kib(1);
+        assert!(g.row_size.is_multiple_of(s));
+        // And an integer multiple of the burst length granule.
+        assert!(s.is_multiple_of(g.burst_size()));
+    }
+
+    #[test]
+    fn validation_catches_bad_geometry() {
+        let mut g = HbmGeometry::hbm4();
+        g.row_size = DataSize::from_bytes(1000); // not burst-aligned
+        assert!(g.validate().is_err());
+
+        let mut g = HbmGeometry::hbm4();
+        g.banks_per_channel = 0;
+        assert!(g.validate().is_err());
+
+        let mut g = HbmGeometry::hbm4();
+        g.burst_length = 0;
+        assert!(g.validate().is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! A group of HBM stacks presented as `T` parallel channels.
+
+use rip_units::{DataRate, DataSize, SimTime, TimeDelta};
+
+use crate::channel::Channel;
+use crate::geometry::HbmGeometry;
+use crate::timing::HbmTiming;
+
+/// `B` HBM stacks ganged behind one HBM switch, exposed as a flat array
+/// of `T = B × channels_per_stack` independent channels (paper §3.1
+/// Design 5: B = 4 stacks, T = 128 channels, 81.92 Tb/s).
+#[derive(Debug, Clone)]
+pub struct HbmGroup {
+    geometry: HbmGeometry,
+    timing: HbmTiming,
+    stacks: usize,
+    channels: Vec<Channel>,
+}
+
+impl HbmGroup {
+    /// Build a group of `stacks` stacks with the given geometry/timing.
+    pub fn new(stacks: usize, geometry: HbmGeometry, timing: HbmTiming) -> Self {
+        assert!(stacks > 0, "group needs at least one stack");
+        geometry.validate().expect("invalid HBM geometry");
+        timing.validate().expect("invalid HBM timing");
+        let t = stacks * geometry.channels_per_stack;
+        let channels = (0..t)
+            .map(|_| Channel::new(timing, geometry.channel_rate(), geometry.banks_per_channel))
+            .collect();
+        HbmGroup {
+            geometry,
+            timing,
+            stacks,
+            channels,
+        }
+    }
+
+    /// Reference group: 4 × HBM4 stacks = 128 channels, 81.92 Tb/s.
+    pub fn reference() -> Self {
+        HbmGroup::new(4, HbmGeometry::hbm4(), HbmTiming::hbm4())
+    }
+
+    /// Number of stacks.
+    pub fn num_stacks(&self) -> usize {
+        self.stacks
+    }
+
+    /// Total number of channels `T`.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Geometry shared by all stacks.
+    pub fn geometry(&self) -> &HbmGeometry {
+        &self.geometry
+    }
+
+    /// Timing rules shared by all channels.
+    pub fn timing(&self) -> &HbmTiming {
+        &self.timing
+    }
+
+    /// Peak aggregate data rate (all channels).
+    pub fn peak_rate(&self) -> DataRate {
+        self.geometry.channel_rate() * self.channels.len() as u64
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> DataSize {
+        self.geometry.stack_capacity * self.stacks as u64
+    }
+
+    /// Immutable access to channel `i`.
+    pub fn channel(&self, i: usize) -> &Channel {
+        &self.channels[i]
+    }
+
+    /// Mutable access to channel `i`.
+    pub fn channel_mut(&mut self, i: usize) -> &mut Channel {
+        &mut self.channels[i]
+    }
+
+    /// Iterate over all channels.
+    pub fn channels(&self) -> impl Iterator<Item = &Channel> {
+        self.channels.iter()
+    }
+
+    /// Total data moved across all channels (reads + writes).
+    pub fn total_data(&self) -> DataSize {
+        self.channels.iter().map(|c| c.stats().total_data()).sum()
+    }
+
+    /// Achieved aggregate rate over the window `[start, end]`.
+    pub fn achieved_rate(&self, start: SimTime, end: SimTime) -> DataRate {
+        let dt = end.since(start);
+        if dt.is_zero() {
+            return DataRate::ZERO;
+        }
+        let bits: u64 = self
+            .channels
+            .iter()
+            .map(|c| c.stats().bits_read + c.stats().bits_written)
+            .sum();
+        let bps = bits as u128 * rip_units::PS_PER_S as u128 / dt.as_ps() as u128;
+        DataRate::from_bps(u64::try_from(bps).expect("rate overflow"))
+    }
+
+    /// Fraction of peak bandwidth achieved over `[start, end]`.
+    pub fn utilization(&self, start: SimTime, end: SimTime) -> f64 {
+        self.achieved_rate(start, end).fraction_of(self.peak_rate())
+    }
+
+    /// Mean data-bus busy fraction across channels over `elapsed`.
+    pub fn mean_bus_utilization(&self, elapsed: TimeDelta) -> f64 {
+        if self.channels.is_empty() {
+            return 0.0;
+        }
+        self.channels
+            .iter()
+            .map(|c| c.stats().bus_busy.utilization(elapsed))
+            .sum::<f64>()
+            / self.channels.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_group_matches_paper() {
+        let g = HbmGroup::reference();
+        assert_eq!(g.num_channels(), 128);
+        assert_eq!(g.num_stacks(), 4);
+        // 81.92 Tb/s aggregate, 256 GB capacity.
+        assert_eq!(g.peak_rate().tbps(), 81.92);
+        assert_eq!(g.capacity(), DataSize::from_gib(256));
+    }
+
+    #[test]
+    fn small_group_utilization_accounting() {
+        use crate::channel::Direction;
+        let mut g = HbmGroup::new(1, HbmGeometry::hbm4(), HbmTiming::hbm4());
+        let t0 = SimTime::ZERO;
+        // Write one 1 KiB segment on every channel in lockstep.
+        let seg = DataSize::from_kib(1);
+        let mut end = t0;
+        for i in 0..g.num_channels() {
+            let ch = g.channel_mut(i);
+            let ready = ch.activate(t0, 0, 0).unwrap();
+            end = ch.access(ready, 0, 0, seg, Direction::Write).unwrap();
+        }
+        assert_eq!(g.total_data(), seg * 32);
+        let rate = g.achieved_rate(t0, end);
+        // 32 KiB in 28.8 ns (16 tRCD + 12.8 transfer).
+        let expect = 32.0 * 1024.0 * 8.0 / 28.8e-9 / 1e12; // Tb/s
+        assert!((rate.tbps() - expect).abs() / expect < 0.01);
+        assert!(g.utilization(t0, end) > 0.0);
+    }
+
+    #[test]
+    fn zero_window_rate_is_zero() {
+        let g = HbmGroup::reference();
+        assert_eq!(g.achieved_rate(SimTime::ZERO, SimTime::ZERO), DataRate::ZERO);
+    }
+}

@@ -1,0 +1,336 @@
+//! Per-output HBM region allocation (§3.2 "HBM memory organization"):
+//! "This region allocation could be static, or dynamic with large
+//! per-output pages. … With dynamic allocation using large per-output
+//! pages, a small extra amount of SRAM would suffice to track pointers
+//! to these large pages."
+
+use std::collections::VecDeque;
+
+use rip_units::DataSize;
+use serde::{Deserialize, Serialize};
+
+/// How the HBM rows are divided among the `N` per-output FIFO regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegionMode {
+    /// Fixed `1/N` of every bank per output; head/tail/count tracked
+    /// with plain counters (zero pointer SRAM).
+    Static,
+    /// Outputs draw large pages (`page_rows` rows across all banks and
+    /// channels) from a shared free list, so a hot output can claim idle
+    /// outputs' buffer space; a page-pointer table in SRAM tracks the
+    /// FIFO of pages per output.
+    DynamicPages {
+        /// Rows per page (per bank).
+        page_rows: u64,
+    },
+}
+
+/// Per-output page FIFO state (dynamic mode).
+#[derive(Debug, Clone, Default)]
+struct OutputPages {
+    /// Page ids currently held, oldest first.
+    pages: VecDeque<u64>,
+    /// Page position (slot/slots_per_page) of `pages.front()`.
+    first_page_pos: u64,
+}
+
+/// Maps `(output, frame slot)` to a row and manages page churn.
+///
+/// A frame's "slot" is its per-bank segment index `n / (L/γ)`; the
+/// allocator is agnostic to groups and channels because PFI writes the
+/// same row index into every bank of the frame's group on every channel.
+#[derive(Debug, Clone)]
+pub struct RegionAllocator {
+    mode: RegionMode,
+    rows_per_bank: u64,
+    segs_per_row: u64,
+    num_outputs: usize,
+    /// Dynamic state (unused in static mode).
+    free_pages: Vec<u64>,
+    per_output: Vec<OutputPages>,
+}
+
+impl RegionAllocator {
+    /// Build an allocator. `rows_per_bank` and `segs_per_row` come from
+    /// the device geometry and segment size.
+    pub fn new(
+        mode: RegionMode,
+        rows_per_bank: u64,
+        segs_per_row: u64,
+        num_outputs: usize,
+    ) -> Result<Self, String> {
+        if rows_per_bank == 0 || segs_per_row == 0 || num_outputs == 0 {
+            return Err("allocator dimensions must be positive".into());
+        }
+        match mode {
+            RegionMode::Static => {
+                if rows_per_bank < num_outputs as u64 {
+                    return Err("fewer rows than outputs for static regions".into());
+                }
+            }
+            RegionMode::DynamicPages { page_rows } => {
+                if page_rows == 0 || rows_per_bank % page_rows != 0 {
+                    return Err(format!(
+                        "page size {page_rows} must evenly divide {rows_per_bank} rows"
+                    ));
+                }
+                let pages = rows_per_bank / page_rows;
+                if pages < num_outputs as u64 {
+                    return Err("fewer pages than outputs".into());
+                }
+            }
+        }
+        let free_pages = match mode {
+            RegionMode::Static => Vec::new(),
+            RegionMode::DynamicPages { page_rows } => {
+                // LIFO free list, low page ids handed out first.
+                (0..rows_per_bank / page_rows).rev().collect()
+            }
+        };
+        Ok(RegionAllocator {
+            mode,
+            rows_per_bank,
+            segs_per_row,
+            num_outputs,
+            free_pages,
+            per_output: vec![OutputPages::default(); num_outputs],
+        })
+    }
+
+    /// The allocation mode.
+    pub fn mode(&self) -> RegionMode {
+        self.mode
+    }
+
+    /// Slots each page holds (dynamic mode).
+    fn slots_per_page(&self, page_rows: u64) -> u64 {
+        page_rows * self.segs_per_row
+    }
+
+    /// Static per-output capacity, in slots.
+    pub fn static_slots_per_output(&self) -> u64 {
+        (self.rows_per_bank / self.num_outputs as u64) * self.segs_per_row
+    }
+
+    /// True if a write at `slot` for `output` can be placed
+    /// (`buffered_slots` = slots currently occupied, i.e. written and
+    /// not yet read — the controller's counter difference in slot
+    /// units... in practice callers pass the *frame* counters scaled).
+    pub fn can_accept(&self, output: usize, slot: u64, buffered_slots: u64) -> bool {
+        match self.mode {
+            RegionMode::Static => buffered_slots < self.static_slots_per_output(),
+            RegionMode::DynamicPages { page_rows } => {
+                let spp = self.slots_per_page(page_rows);
+                let pos = slot / spp;
+                let out = &self.per_output[output];
+                let rel = pos.checked_sub(out.first_page_pos).expect("slot regressed");
+                rel < out.pages.len() as u64 || !self.free_pages.is_empty()
+            }
+        }
+    }
+
+    /// Row for a *write* at `slot` of `output`, allocating a page at
+    /// page boundaries in dynamic mode. Returns `None` when out of
+    /// pages (caller drops the frame).
+    pub fn row_for_write(&mut self, output: usize, slot: u64) -> Option<u64> {
+        match self.mode {
+            RegionMode::Static => Some(self.static_row(output, slot)),
+            RegionMode::DynamicPages { page_rows } => {
+                let spp = self.slots_per_page(page_rows);
+                let pos = slot / spp;
+                let rel = pos
+                    .checked_sub(self.per_output[output].first_page_pos)
+                    .expect("write slot regressed");
+                debug_assert!(rel <= self.per_output[output].pages.len() as u64);
+                if rel == self.per_output[output].pages.len() as u64 {
+                    let page = self.free_pages.pop()?;
+                    self.per_output[output].pages.push_back(page);
+                }
+                let page = self.per_output[output].pages[rel as usize];
+                Some(page * page_rows + (slot % spp) / self.segs_per_row)
+            }
+        }
+    }
+
+    /// Row for a *read* at `slot` of `output`. Frees the page when
+    /// `done_with_slot` is later called past its last slot.
+    pub fn row_for_read(&self, output: usize, slot: u64) -> u64 {
+        match self.mode {
+            RegionMode::Static => self.static_row(output, slot),
+            RegionMode::DynamicPages { page_rows } => {
+                let spp = self.slots_per_page(page_rows);
+                let pos = slot / spp;
+                let out = &self.per_output[output];
+                let rel = pos.checked_sub(out.first_page_pos).expect("read slot regressed");
+                let page = out.pages[rel as usize];
+                page * page_rows + (slot % spp) / self.segs_per_row
+            }
+        }
+    }
+
+    /// Notify that every frame up to and including the one at `slot`
+    /// whose group index made it the *last* frame of that slot has been
+    /// read; when a page's final slot completes, the page returns to the
+    /// free list. Call with the read frame counter *after* the read.
+    pub fn reads_advanced_to(&mut self, output: usize, next_read_slot: u64) {
+        if let RegionMode::DynamicPages { page_rows } = self.mode {
+            let spp = self.slots_per_page(page_rows);
+            let out = &mut self.per_output[output];
+            while !out.pages.is_empty() && next_read_slot / spp > out.first_page_pos {
+                let page = out.pages.pop_front().expect("nonempty");
+                self.free_pages.push(page);
+                out.first_page_pos += 1;
+            }
+        }
+    }
+
+    /// Pages currently held by `output` (dynamic mode; 0 in static).
+    pub fn pages_held(&self, output: usize) -> usize {
+        self.per_output[output].pages.len()
+    }
+
+    /// Pages on the free list (dynamic mode).
+    pub fn pages_free(&self) -> usize {
+        self.free_pages.len()
+    }
+
+    /// The "small extra amount of SRAM" for the page-pointer state:
+    /// one pointer per page plus a head/tail pair per output. Static
+    /// mode needs only the counters (≈16 B per output).
+    pub fn pointer_sram(&self) -> DataSize {
+        match self.mode {
+            RegionMode::Static => DataSize::from_bytes(16 * self.num_outputs as u64),
+            RegionMode::DynamicPages { page_rows } => {
+                let pages = self.rows_per_bank / page_rows;
+                DataSize::from_bytes(8 * pages + 16 * self.num_outputs as u64)
+            }
+        }
+    }
+
+    fn static_row(&self, output: usize, slot: u64) -> u64 {
+        let rows_per_region = self.rows_per_bank / self.num_outputs as u64;
+        let row_in_region = (slot / self.segs_per_row) % rows_per_region;
+        output as u64 * rows_per_region + row_in_region
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dyn_alloc() -> RegionAllocator {
+        // 16 rows/bank, 2 segs/row, 4 outputs, pages of 2 rows
+        // -> 8 pages of 4 slots each.
+        RegionAllocator::new(RegionMode::DynamicPages { page_rows: 2 }, 16, 2, 4).unwrap()
+    }
+
+    #[test]
+    fn static_rows_match_legacy_mapping() {
+        let a = RegionAllocator::new(RegionMode::Static, 16, 2, 4).unwrap();
+        // 4 rows per region; rows wrap FIFO within the region.
+        assert_eq!(a.static_row(0, 0), 0);
+        assert_eq!(a.static_row(0, 1), 0); // 2 segs per row
+        assert_eq!(a.static_row(0, 2), 1);
+        assert_eq!(a.static_row(0, 8), 0); // wrap after 4 rows
+        assert_eq!(a.static_row(2, 0), 8);
+        assert_eq!(a.pointer_sram(), DataSize::from_bytes(64));
+    }
+
+    #[test]
+    fn static_capacity_caps_each_output() {
+        let a = RegionAllocator::new(RegionMode::Static, 16, 2, 4).unwrap();
+        assert_eq!(a.static_slots_per_output(), 8);
+        assert!(a.can_accept(0, 0, 7));
+        assert!(!a.can_accept(0, 0, 8));
+    }
+
+    #[test]
+    fn dynamic_allocates_and_frees_pages_fifo() {
+        let mut a = dyn_alloc();
+        assert_eq!(a.pages_free(), 8);
+        // Output 0 writes 5 slots: needs 2 pages (4 slots each).
+        for slot in 0..5 {
+            let row = a.row_for_write(0, slot).expect("pages available");
+            assert!(row < 16);
+        }
+        assert_eq!(a.pages_held(0), 2);
+        assert_eq!(a.pages_free(), 6);
+        // Reads of the same rows return identical indices.
+        for slot in 0..5 {
+            let w = a.row_for_write(0, slot).unwrap();
+            assert_eq!(a.row_for_read(0, slot), w);
+        }
+        // Reading past slot 3 frees the first page.
+        a.reads_advanced_to(0, 4);
+        assert_eq!(a.pages_held(0), 1);
+        assert_eq!(a.pages_free(), 7);
+        // Low page ids are handed out first and recycled.
+        let recycled = a.row_for_write(1, 0).unwrap();
+        assert!(recycled < 16);
+    }
+
+    #[test]
+    fn dynamic_lets_one_output_take_everything_then_starve_others() {
+        let mut a = dyn_alloc();
+        // Output 0 grabs all 8 pages (32 slots).
+        for slot in 0..32 {
+            assert!(a.row_for_write(0, slot).is_some(), "slot {slot}");
+        }
+        assert_eq!(a.pages_free(), 0);
+        assert!(!a.can_accept(1, 0, 0));
+        assert!(a.row_for_write(1, 0).is_none());
+        // Static mode would have capped output 0 at 8 slots but output 1
+        // would still be accepted.
+        let s = RegionAllocator::new(RegionMode::Static, 16, 2, 4).unwrap();
+        assert!(!s.can_accept(0, 0, 8));
+        assert!(s.can_accept(1, 0, 0));
+    }
+
+    #[test]
+    fn dynamic_rows_of_live_outputs_never_collide() {
+        let mut a = dyn_alloc();
+        // Interleave writes from all outputs and check row disjointness
+        // among currently-held pages.
+        let mut rows: Vec<Vec<u64>> = vec![Vec::new(); 4];
+        for slot in 0..4 {
+            for o in 0..4 {
+                rows[o].push(a.row_for_write(o, slot).unwrap());
+            }
+        }
+        for o1 in 0..4 {
+            for o2 in (o1 + 1)..4 {
+                for r1 in &rows[o1] {
+                    assert!(!rows[o2].contains(r1), "row {r1} shared by {o1} and {o2}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pointer_sram_is_small() {
+        let a = dyn_alloc();
+        // 8 pages x 8 B + 4 outputs x 16 B = 128 B.
+        assert_eq!(a.pointer_sram(), DataSize::from_bytes(128));
+        // Reference-scale: 16k rows/bank, pages of 64 rows -> 256 pages
+        // -> ~2 KiB of pointers: "a small extra amount of SRAM".
+        let big =
+            RegionAllocator::new(RegionMode::DynamicPages { page_rows: 64 }, 16 * 1024, 2, 16)
+                .unwrap();
+        assert!(big.pointer_sram() < DataSize::from_kib(4));
+    }
+
+    #[test]
+    fn validation_rejects_bad_pages() {
+        assert!(
+            RegionAllocator::new(RegionMode::DynamicPages { page_rows: 3 }, 16, 2, 4).is_err()
+        );
+        assert!(
+            RegionAllocator::new(RegionMode::DynamicPages { page_rows: 0 }, 16, 2, 4).is_err()
+        );
+        assert!(
+            RegionAllocator::new(RegionMode::DynamicPages { page_rows: 8 }, 16, 2, 4).is_err()
+        );
+        assert!(RegionAllocator::new(RegionMode::Static, 2, 2, 4).is_err());
+        assert!(RegionAllocator::new(RegionMode::Static, 0, 2, 4).is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! Property fuzz of the PFI controller: arbitrary interleavings of
+//! frame writes and reads across outputs, region modes and stripe
+//! widths must (a) never violate a device timing rule — the channel
+//! checker panics on any illegal command — and (b) preserve per-output
+//! frame FIFO accounting.
+
+use proptest::prelude::*;
+use rip_hbm::{HbmGeometry, HbmGroup, HbmTiming, PfiConfig, PfiController, RegionMode};
+use rip_units::{DataSize, SimTime, TimeDelta};
+
+fn small_group() -> HbmGroup {
+    let geo = HbmGeometry {
+        channels_per_stack: 4,
+        channel_width_bits: 64,
+        gbps_per_pin: 10,
+        banks_per_channel: 16,
+        row_size: DataSize::from_kib(2),
+        stack_capacity: DataSize::from_gib(1),
+        burst_length: 8,
+    };
+    HbmGroup::new(1, geo, HbmTiming::hbm4())
+}
+
+/// One fuzz step: (output, is_write, time advance in ns).
+type Step = (usize, bool, u64);
+
+fn run_fuzz(
+    steps: &[Step],
+    region_mode: RegionMode,
+    stripe: Option<usize>,
+    refresh: bool,
+) -> Result<(), TestCaseError> {
+    let mut group = small_group();
+    let cfg = PfiConfig {
+        gamma: 4,
+        segment: DataSize::from_kib(1),
+        num_outputs: 4,
+        stripe_channels: stripe,
+        region_mode,
+    };
+    let mut pfi = PfiController::new(cfg, &group).unwrap();
+    pfi.set_refresh_enabled(refresh);
+    let mut now = SimTime::ZERO;
+    let mut written = [0u64; 4];
+    let mut read = [0u64; 4];
+    for &(output, is_write, advance) in steps {
+        let output = output % 4;
+        now = now.max(pfi.last_issue_time()) + TimeDelta::from_ns(advance);
+        if is_write {
+            if pfi.can_accept_frame(&group, output) {
+                let op = pfi.write_frame(&mut group, now, output);
+                prop_assert_eq!(op.output, output);
+                prop_assert_eq!(op.frame_index, written[output]);
+                written[output] += 1;
+                prop_assert!(op.end > op.first_cas);
+            }
+        } else {
+            match pfi.read_frame(&mut group, now, output) {
+                Some(op) => {
+                    prop_assert_eq!(op.frame_index, read[output]);
+                    read[output] += 1;
+                }
+                None => prop_assert_eq!(written[output], read[output]),
+            }
+        }
+        prop_assert_eq!(pfi.frames_buffered(output), written[output] - read[output]);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn static_regions_survive_arbitrary_interleavings(
+        steps in prop::collection::vec((0usize..4, any::<bool>(), 0u64..200), 1..120),
+        refresh in any::<bool>(),
+    ) {
+        run_fuzz(&steps, RegionMode::Static, None, refresh)?;
+    }
+
+    #[test]
+    fn dynamic_pages_survive_arbitrary_interleavings(
+        steps in prop::collection::vec((0usize..4, any::<bool>(), 0u64..200), 1..120),
+    ) {
+        run_fuzz(&steps, RegionMode::DynamicPages { page_rows: 2 }, None, true)?;
+    }
+
+    #[test]
+    fn striped_frames_survive_arbitrary_interleavings(
+        steps in prop::collection::vec((0usize..4, any::<bool>(), 0u64..200), 1..120),
+        stripe_pow in 0u32..2,
+    ) {
+        let stripe = 4usize >> stripe_pow; // 4 or 2 channels
+        run_fuzz(&steps, RegionMode::Static, Some(stripe), true)?;
+    }
+}

@@ -1,0 +1,104 @@
+//! Property fuzz of the region allocator: arbitrary FIFO write/read
+//! slot sequences per output must keep rows in bounds, keep live
+//! outputs' rows disjoint, and conserve pages.
+
+use proptest::prelude::*;
+use rip_fuzz_helpers::*;
+
+/// Local helpers module (kept in-file; `rip_fuzz_helpers` is a shim so
+/// the name reads well in failure output).
+mod rip_fuzz_helpers {
+    pub use rip_hbm::{RegionAllocator, RegionMode};
+    pub use std::collections::HashMap;
+}
+
+const ROWS: u64 = 64;
+const SEGS_PER_ROW: u64 = 2;
+const OUTPUTS: usize = 4;
+const PAGE_ROWS: u64 = 4;
+
+fn alloc() -> RegionAllocator {
+    RegionAllocator::new(
+        RegionMode::DynamicPages {
+            page_rows: PAGE_ROWS,
+        },
+        ROWS,
+        SEGS_PER_ROW,
+        OUTPUTS,
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Steps: (output, write?) — writes advance the output's write slot,
+    /// reads advance its read slot (only when behind the write slot).
+    #[test]
+    fn dynamic_allocator_invariants(
+        steps in prop::collection::vec((0usize..OUTPUTS, any::<bool>()), 1..300),
+    ) {
+        let mut a = alloc();
+        let mut write_slot = [0u64; OUTPUTS];
+        let mut read_slot = [0u64; OUTPUTS];
+        // Rows each output currently owns (slot -> row).
+        let mut live: Vec<HashMap<u64, u64>> = vec![HashMap::new(); OUTPUTS];
+        let total_pages = (ROWS / PAGE_ROWS) as usize;
+        for (o, is_write) in steps {
+            if is_write {
+                if !a.can_accept(o, write_slot[o], 0) {
+                    // Full: a write must fail cleanly.
+                    prop_assert!(a.row_for_write(o, write_slot[o]).is_none());
+                    continue;
+                }
+                let row = a.row_for_write(o, write_slot[o]).expect("accepted write");
+                prop_assert!(row < ROWS, "row {row} out of bounds");
+                // Reads of the same slot agree.
+                prop_assert_eq!(a.row_for_read(o, write_slot[o]), row);
+                live[o].insert(write_slot[o], row);
+                write_slot[o] += 1;
+            } else if read_slot[o] < write_slot[o] {
+                live[o].remove(&read_slot[o]);
+                read_slot[o] += 1;
+                a.reads_advanced_to(o, read_slot[o]);
+            }
+            // Disjointness of rows across outputs, over live slots that
+            // sit in still-held pages.
+            let mut seen: HashMap<u64, usize> = HashMap::new();
+            for (owner, slots) in live.iter().enumerate() {
+                for (&slot, &row) in slots {
+                    // Skip rows whose page was already freed (read side
+                    // passed them).
+                    if slot < read_slot[owner] {
+                        continue;
+                    }
+                    if let Some(prev) = seen.insert(row, owner) {
+                        prop_assert_eq!(
+                            prev, owner,
+                            "row {} shared by outputs {} and {}", row, prev, owner
+                        );
+                    }
+                }
+            }
+            // Page conservation.
+            let held: usize = (0..OUTPUTS).map(|o| a.pages_held(o)).sum();
+            prop_assert_eq!(held + a.pages_free(), total_pages);
+        }
+    }
+
+    /// The static allocator never exceeds its per-output region and is a
+    /// pure function of (output, slot).
+    #[test]
+    fn static_allocator_is_pure_and_bounded(
+        queries in prop::collection::vec((0usize..OUTPUTS, 0u64..10_000), 1..200),
+    ) {
+        let a = RegionAllocator::new(RegionMode::Static, ROWS, SEGS_PER_ROW, OUTPUTS).unwrap();
+        let region = ROWS / OUTPUTS as u64;
+        for (o, slot) in queries {
+            let r1 = a.row_for_read(o, slot);
+            let r2 = a.row_for_read(o, slot);
+            prop_assert_eq!(r1, r2);
+            prop_assert!(r1 >= o as u64 * region && r1 < (o as u64 + 1) * region);
+        }
+    }
+}

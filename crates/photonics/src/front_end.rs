@@ -1,0 +1,179 @@
+//! The package-level optical front end (§2.2 "Modules"/"Operation").
+
+use rip_units::DataRate;
+use serde::{Deserialize, Serialize};
+
+use crate::oeo::LaneFault;
+use crate::split::{SplitMap, SplitPattern};
+
+/// The optical front end of one router package: `N` fiber ribbons of `F`
+/// fibers, each fiber carrying `W` WDM wavelengths of `R` each, passively
+/// coupled into waveguides and spatially split over `H` HBM switches.
+///
+/// The same `N` ribbons also serve as the egress (each fiber carries a
+/// separate set of `W` output wavelengths), so total package I/O is
+/// `2·N·F·W·R`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FrontEnd {
+    /// N — fiber ribbons (and ports per HBM switch).
+    pub ribbons: usize,
+    /// F — fibers per ribbon.
+    pub fibers_per_ribbon: usize,
+    /// W — WDM wavelengths per fiber, per direction.
+    pub wavelengths_per_fiber: usize,
+    /// R — rate per wavelength.
+    pub rate_per_wavelength: DataRate,
+    split: SplitMap,
+    /// Per-(ribbon, fiber) health, for fault injection.
+    faults: Vec<Vec<LaneFault>>,
+}
+
+impl FrontEnd {
+    /// Build a front end splitting over `switches` with `pattern`.
+    pub fn new(
+        ribbons: usize,
+        fibers_per_ribbon: usize,
+        wavelengths_per_fiber: usize,
+        rate_per_wavelength: DataRate,
+        switches: usize,
+        pattern: SplitPattern,
+    ) -> Result<Self, String> {
+        if wavelengths_per_fiber == 0 || rate_per_wavelength.is_zero() {
+            return Err("wavelength count and rate must be positive".into());
+        }
+        let split = SplitMap::new(ribbons, fibers_per_ribbon, switches, pattern)?;
+        Ok(FrontEnd {
+            ribbons,
+            fibers_per_ribbon,
+            wavelengths_per_fiber,
+            rate_per_wavelength,
+            faults: vec![vec![LaneFault::Healthy; fibers_per_ribbon]; ribbons],
+            split,
+        })
+    }
+
+    /// The paper's reference front end: N=16 ribbons, F=64 fibers, W=16
+    /// wavelengths at R=40 Gb/s, split over H=16 switches.
+    pub fn reference(pattern: SplitPattern) -> Self {
+        FrontEnd::new(16, 64, 16, DataRate::from_gbps(40), 16, pattern)
+            .expect("reference front end is valid")
+    }
+
+    /// The fiber split map.
+    pub fn split(&self) -> &SplitMap {
+        &self.split
+    }
+
+    /// H — the number of HBM switches behind this front end.
+    pub fn switches(&self) -> usize {
+        self.split.switches()
+    }
+
+    /// α — fibers per (ribbon, switch) pair.
+    pub fn alpha(&self) -> usize {
+        self.split.alpha()
+    }
+
+    /// Nominal rate of one fiber (`W · R`).
+    pub fn fiber_rate(&self) -> DataRate {
+        self.rate_per_wavelength * self.wavelengths_per_fiber as u64
+    }
+
+    /// Rate of one HBM switch port (`α · W · R` — the paper's P).
+    pub fn port_rate(&self) -> DataRate {
+        self.fiber_rate() * self.alpha() as u64
+    }
+
+    /// Total ingress rate (`N · F · W · R`); egress is the same again.
+    pub fn total_ingress(&self) -> DataRate {
+        self.fiber_rate() * (self.ribbons * self.fibers_per_ribbon) as u64
+    }
+
+    /// Total package I/O, both directions (`2 · N · F · W · R`).
+    pub fn total_io(&self) -> DataRate {
+        self.total_ingress() * 2
+    }
+
+    /// Per-switch I/O (ingress + egress) — what each HBM switch's memory
+    /// system must sustain (`2·N·F·W·R / H`).
+    pub fn per_switch_io(&self) -> DataRate {
+        self.total_io() / self.switches() as u64
+    }
+
+    /// Inject a fault on `(ribbon, fiber)`.
+    pub fn set_fault(&mut self, ribbon: usize, fiber: usize, fault: LaneFault) {
+        self.faults[ribbon][fiber] = fault;
+    }
+
+    /// Health of `(ribbon, fiber)`.
+    pub fn fault(&self, ribbon: usize, fiber: usize) -> LaneFault {
+        self.faults[ribbon][fiber]
+    }
+
+    /// Effective (fault-adjusted) rate of `(ribbon, fiber)`.
+    pub fn effective_fiber_rate(&self, ribbon: usize, fiber: usize) -> DataRate {
+        self.faults[ribbon][fiber].effective_rate(self.fiber_rate())
+    }
+
+    /// Effective ingress capacity arriving at each switch, given faults.
+    pub fn effective_switch_capacity(&self) -> Vec<DataRate> {
+        let mut caps = vec![DataRate::ZERO; self.switches()];
+        for r in 0..self.ribbons {
+            for f in 0..self.fibers_per_ribbon {
+                let s = self.split.switch_for(r, f);
+                caps[s] = caps[s] + self.effective_fiber_rate(r, f);
+            }
+        }
+        caps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_matches_paper_rates() {
+        let fe = FrontEnd::reference(SplitPattern::Sequential);
+        assert_eq!(fe.alpha(), 4);
+        // Fiber: 16 x 40 = 640 Gb/s. Port P = 4 x 640 = 2.56 Tb/s.
+        assert_eq!(fe.fiber_rate(), DataRate::from_gbps(640));
+        assert_eq!(fe.port_rate(), DataRate::from_gbps(2560));
+        // Total ingress 655.36 Tb/s; total I/O 1.31 Pb/s.
+        assert_eq!(fe.total_ingress().bps(), 655_360_000_000_000);
+        assert_eq!(fe.total_io().bps(), 1_310_720_000_000_000);
+        // Per-switch memory I/O: 81.92 Tb/s, matching 4 HBM4 stacks.
+        assert_eq!(fe.per_switch_io().tbps(), 81.92);
+    }
+
+    #[test]
+    fn faults_reduce_switch_capacity() {
+        let mut fe = FrontEnd::new(
+            2,
+            8,
+            4,
+            DataRate::from_gbps(10),
+            4,
+            SplitPattern::Sequential,
+        )
+        .unwrap();
+        let healthy = fe.effective_switch_capacity();
+        // All switches equal: 2 ribbons x 2 fibers x 40 Gb/s = 160 Gb/s.
+        assert!(healthy.iter().all(|&c| c == DataRate::from_gbps(160)));
+        fe.set_fault(0, 0, LaneFault::Dead);
+        fe.set_fault(1, 1, LaneFault::Degraded(0.5));
+        let faulty = fe.effective_switch_capacity();
+        // Fibers 0 and 1 of each ribbon feed switch 0 (sequential, α=2).
+        assert_eq!(faulty[0], DataRate::from_gbps(160 - 40 - 20));
+        assert_eq!(faulty[1], DataRate::from_gbps(160));
+        assert_eq!(fe.fault(0, 0), LaneFault::Dead);
+        assert_eq!(fe.effective_fiber_rate(0, 0), DataRate::ZERO);
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(FrontEnd::new(1, 8, 0, DataRate::from_gbps(40), 4, SplitPattern::Striped).is_err());
+        assert!(FrontEnd::new(1, 8, 16, DataRate::ZERO, 4, SplitPattern::Striped).is_err());
+        assert!(FrontEnd::new(1, 9, 16, DataRate::from_gbps(40), 4, SplitPattern::Striped).is_err());
+    }
+}

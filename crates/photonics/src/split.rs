@@ -1,0 +1,261 @@
+//! Spatial fiber splitting: the SPS front-end mapping (§2.1 Design 4).
+
+use rip_sim::rng::permutation;
+use serde::{Deserialize, Serialize};
+
+/// How the `F` fibers of each ribbon are distributed over the `H`
+/// parallel HBM switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SplitPattern {
+    /// The "poor man's" split the paper starts from: fibers
+    /// `0..α` of every ribbon go to switch 0, `α..2α` to switch 1, etc.
+    /// Because operators connect (and load) the first fibers of a ribbon
+    /// first, this concentrates load on the first switches (§2.1
+    /// Challenge 4), and the pattern is trivially known to an attacker.
+    Sequential,
+    /// Round-robin: fiber `f` goes to switch `f mod H`. Better than
+    /// sequential under fill-order skew, but still a publicly guessable
+    /// pattern.
+    Striped,
+    /// The paper's remedy (§2.1 Idea 4): a pseudo-random choice of the
+    /// `α` fibers connecting each ribbon to each switch, drawn from the
+    /// given seed. Each ribbon gets an independent permutation.
+    PseudoRandom {
+        /// Seed of the per-ribbon permutations (a manufacturing-time
+        /// secret; unknown to the attacker of experiment E17).
+        seed: u64,
+    },
+}
+
+/// The complete `(ribbon, fiber) → (switch, local waveguide)` assignment
+/// for one package.
+///
+/// ```
+/// use rip_photonics::{SplitMap, SplitPattern};
+/// // The paper's geometry: 16 ribbons x 64 fibers over 16 switches.
+/// let map = SplitMap::new(16, 64, 16, SplitPattern::PseudoRandom { seed: 7 }).unwrap();
+/// assert_eq!(map.alpha(), 4); // every (ribbon, switch) pair gets 4 fibers
+/// assert_eq!(map.fibers_for(0, 3).len(), 4);
+/// ```
+///
+/// Invariant (checked at construction): every `(ribbon, switch)` pair is
+/// connected by exactly `α = F/H` fibers, so each HBM switch port
+/// receives exactly `1/H` of each ribbon's fibers — the *spatial* load
+/// balance the architecture relies on. What the pattern controls is
+/// *which* fibers those are, which matters once per-fiber loads are
+/// skewed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SplitMap {
+    ribbons: usize,
+    fibers_per_ribbon: usize,
+    switches: usize,
+    pattern: SplitPattern,
+    /// `assign[ribbon][fiber] = switch`.
+    assign: Vec<Vec<usize>>,
+}
+
+impl SplitMap {
+    /// Build the assignment. `fibers_per_ribbon` must be divisible by
+    /// `switches`.
+    pub fn new(
+        ribbons: usize,
+        fibers_per_ribbon: usize,
+        switches: usize,
+        pattern: SplitPattern,
+    ) -> Result<Self, String> {
+        if ribbons == 0 || fibers_per_ribbon == 0 || switches == 0 {
+            return Err("ribbon, fiber and switch counts must be positive".into());
+        }
+        if fibers_per_ribbon % switches != 0 {
+            return Err(format!(
+                "fibers per ribbon ({fibers_per_ribbon}) not divisible by switches ({switches})"
+            ));
+        }
+        let alpha = fibers_per_ribbon / switches;
+        let assign = (0..ribbons)
+            .map(|r| match pattern {
+                SplitPattern::Sequential => (0..fibers_per_ribbon).map(|f| f / alpha).collect(),
+                SplitPattern::Striped => (0..fibers_per_ribbon).map(|f| f % switches).collect(),
+                SplitPattern::PseudoRandom { seed } => {
+                    // Independent permutation per ribbon; fiber at
+                    // permuted position p goes to switch p / alpha.
+                    let perm = permutation(fibers_per_ribbon, seed, r as u64);
+                    let mut v = vec![0usize; fibers_per_ribbon];
+                    for (pos, &fiber) in perm.iter().enumerate() {
+                        v[fiber] = pos / alpha;
+                    }
+                    v
+                }
+            })
+            .collect();
+        let map = SplitMap {
+            ribbons,
+            fibers_per_ribbon,
+            switches,
+            pattern,
+            assign,
+        };
+        map.check_invariant()?;
+        Ok(map)
+    }
+
+    fn check_invariant(&self) -> Result<(), String> {
+        let alpha = self.alpha();
+        for r in 0..self.ribbons {
+            let mut counts = vec![0usize; self.switches];
+            for f in 0..self.fibers_per_ribbon {
+                counts[self.assign[r][f]] += 1;
+            }
+            if counts.iter().any(|&c| c != alpha) {
+                return Err(format!(
+                    "ribbon {r}: fibers per switch {counts:?} != alpha {alpha}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// `α = F/H`: fibers connecting each ribbon to each switch.
+    pub fn alpha(&self) -> usize {
+        self.fibers_per_ribbon / self.switches
+    }
+
+    /// Number of ribbons `N`.
+    pub fn ribbons(&self) -> usize {
+        self.ribbons
+    }
+
+    /// Fibers per ribbon `F`.
+    pub fn fibers_per_ribbon(&self) -> usize {
+        self.fibers_per_ribbon
+    }
+
+    /// Number of switches `H`.
+    pub fn switches(&self) -> usize {
+        self.switches
+    }
+
+    /// The pattern this map was built from.
+    pub fn pattern(&self) -> SplitPattern {
+        self.pattern
+    }
+
+    /// Which switch fiber `fiber` of ribbon `ribbon` is spliced to.
+    pub fn switch_for(&self, ribbon: usize, fiber: usize) -> usize {
+        self.assign[ribbon][fiber]
+    }
+
+    /// The fibers of `ribbon` that feed `switch` (ascending order).
+    pub fn fibers_for(&self, ribbon: usize, switch: usize) -> Vec<usize> {
+        (0..self.fibers_per_ribbon)
+            .filter(|&f| self.assign[ribbon][f] == switch)
+            .collect()
+    }
+
+    /// Given per-fiber loads (normalized, indexed `[ribbon][fiber]`),
+    /// return the total load arriving at each switch.
+    pub fn switch_loads(&self, fiber_loads: &[Vec<f64>]) -> Vec<f64> {
+        assert_eq!(fiber_loads.len(), self.ribbons, "ribbon count mismatch");
+        let mut loads = vec![0.0; self.switches];
+        for (r, row) in fiber_loads.iter().enumerate() {
+            assert_eq!(
+                row.len(),
+                self.fibers_per_ribbon,
+                "fiber count mismatch on ribbon {r}"
+            );
+            for (f, &l) in row.iter().enumerate() {
+                loads[self.assign[r][f]] += l;
+            }
+        }
+        loads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_groups_consecutive_fibers() {
+        let m = SplitMap::new(2, 8, 4, SplitPattern::Sequential).unwrap();
+        assert_eq!(m.alpha(), 2);
+        assert_eq!(m.switch_for(0, 0), 0);
+        assert_eq!(m.switch_for(0, 1), 0);
+        assert_eq!(m.switch_for(0, 2), 1);
+        assert_eq!(m.switch_for(0, 7), 3);
+        assert_eq!(m.fibers_for(1, 0), vec![0, 1]);
+    }
+
+    #[test]
+    fn striped_round_robins() {
+        let m = SplitMap::new(1, 8, 4, SplitPattern::Striped).unwrap();
+        assert_eq!(m.switch_for(0, 0), 0);
+        assert_eq!(m.switch_for(0, 1), 1);
+        assert_eq!(m.switch_for(0, 5), 1);
+        assert_eq!(m.fibers_for(0, 2), vec![2, 6]);
+    }
+
+    #[test]
+    fn pseudo_random_is_balanced_and_deterministic() {
+        let m1 = SplitMap::new(16, 64, 16, SplitPattern::PseudoRandom { seed: 42 }).unwrap();
+        let m2 = SplitMap::new(16, 64, 16, SplitPattern::PseudoRandom { seed: 42 }).unwrap();
+        for r in 0..16 {
+            for s in 0..16 {
+                let fibers = m1.fibers_for(r, s);
+                assert_eq!(fibers.len(), 4, "alpha must be exactly 4");
+                assert_eq!(fibers, m2.fibers_for(r, s), "determinism");
+            }
+        }
+        let m3 = SplitMap::new(16, 64, 16, SplitPattern::PseudoRandom { seed: 43 }).unwrap();
+        let same = (0..16).all(|r| (0..64).all(|f| m1.switch_for(r, f) == m3.switch_for(r, f)));
+        assert!(!same, "different seeds must give different maps");
+    }
+
+    #[test]
+    fn ribbons_get_independent_permutations() {
+        let m = SplitMap::new(4, 64, 16, SplitPattern::PseudoRandom { seed: 7 }).unwrap();
+        let r0: Vec<_> = (0..64).map(|f| m.switch_for(0, f)).collect();
+        let r1: Vec<_> = (0..64).map(|f| m.switch_for(1, f)).collect();
+        assert_ne!(r0, r1, "per-ribbon permutations must differ");
+    }
+
+    #[test]
+    fn rejects_indivisible_fiber_counts() {
+        assert!(SplitMap::new(2, 10, 4, SplitPattern::Sequential).is_err());
+        assert!(SplitMap::new(0, 8, 4, SplitPattern::Sequential).is_err());
+    }
+
+    #[test]
+    fn switch_loads_sum_preserved() {
+        let m = SplitMap::new(2, 8, 4, SplitPattern::PseudoRandom { seed: 1 }).unwrap();
+        // Skewed fiber loads: first fibers loaded, rest idle.
+        let loads = vec![
+            vec![1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0],
+            vec![1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        ];
+        let per_switch = m.switch_loads(&loads);
+        let total: f64 = per_switch.iter().sum();
+        assert!((total - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequential_concentrates_fill_order_skew() {
+        // Paper §2.1 Challenge 4: with the first fibers loaded first,
+        // sequential splitting overloads the first switch.
+        let m_seq = SplitMap::new(1, 64, 16, SplitPattern::Sequential).unwrap();
+        let m_rand = SplitMap::new(1, 64, 16, SplitPattern::PseudoRandom { seed: 9 }).unwrap();
+        // Only the first 16 fibers carry traffic.
+        let loads = vec![(0..64).map(|f| if f < 16 { 1.0 } else { 0.0 }).collect()];
+        let seq = m_seq.switch_loads(&loads);
+        let rand = m_rand.switch_loads(&loads);
+        let seq_max = seq.iter().cloned().fold(0.0, f64::max);
+        let rand_max = rand.iter().cloned().fold(0.0, f64::max);
+        // Sequential: switches 0..4 get 4.0 each, the rest get zero.
+        assert_eq!(seq_max, 4.0);
+        // Pseudo-random spreads far better than the worst case.
+        assert!(
+            rand_max < seq_max,
+            "pseudo-random max {rand_max} should beat sequential {seq_max}"
+        );
+    }
+}

@@ -1,0 +1,264 @@
+//! Time-ordered event queue with deterministic tie-breaking.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rip_units::SimTime;
+
+/// One scheduled entry: fires at `time`; among equal times, entries fire
+/// in insertion order (`seq`).
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest (time, seq)
+        // pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue.
+///
+/// Events scheduled for the same instant are delivered in the order they
+/// were scheduled, which makes whole simulations reproducible bit-for-bit
+/// regardless of heap internals.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    last_popped: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            last_popped: SimTime::ZERO,
+        }
+    }
+
+    /// Schedule `event` to fire at `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is earlier than the last popped event — scheduling
+    /// into the past is always a simulation bug.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        assert!(
+            time >= self.last_popped,
+            "scheduling into the past: {time} < last popped {}",
+            self.last_popped
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Remove and return the earliest event, with its firing time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.last_popped);
+        self.last_popped = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// The firing time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The time of the most recently popped event (simulation "now").
+    pub fn now(&self) -> SimTime {
+        self.last_popped
+    }
+}
+
+/// A minimal simulation driver around an [`EventQueue`].
+///
+/// The handler receives the current time, the event, and the queue (to
+/// schedule follow-ups). `run` drains the queue; `run_until` stops at a
+/// horizon, leaving later events pending.
+pub struct Simulation<E> {
+    queue: EventQueue<E>,
+}
+
+impl<E> Default for Simulation<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Simulation<E> {
+    /// A fresh simulation at time zero.
+    pub fn new() -> Self {
+        Simulation {
+            queue: EventQueue::new(),
+        }
+    }
+
+    /// Schedule an initial event.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        self.queue.schedule(time, event);
+    }
+
+    /// Current simulation time (time of the last handled event).
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Run until the queue is empty.
+    pub fn run<F>(&mut self, mut handler: F)
+    where
+        F: FnMut(SimTime, E, &mut EventQueue<E>),
+    {
+        while let Some((now, ev)) = self.queue.pop() {
+            handler(now, ev, &mut self.queue);
+        }
+    }
+
+    /// Run until the queue is empty or the next event is after `horizon`.
+    ///
+    /// Events at exactly `horizon` are handled; later ones stay queued.
+    /// Returns the number of events handled.
+    pub fn run_until<F>(&mut self, horizon: SimTime, mut handler: F) -> u64
+    where
+        F: FnMut(SimTime, E, &mut EventQueue<E>),
+    {
+        let mut handled = 0;
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked event must pop");
+            handler(now, ev, &mut self.queue);
+            handled += 1;
+        }
+        handled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rip_units::TimeDelta;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(30), "c");
+        q.schedule(SimTime::from_ns(10), "a");
+        q.schedule(SimTime::from_ns(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(10), ());
+        q.pop();
+        q.schedule(SimTime::from_ns(9), ());
+    }
+
+    #[test]
+    fn scheduling_at_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(10), 1);
+        q.pop();
+        q.schedule(SimTime::from_ns(10), 2);
+        assert_eq!(q.pop().unwrap().1, 2);
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut sim = Simulation::new();
+        for i in 0..10u64 {
+            sim.schedule(SimTime::from_ns(i * 10), i);
+        }
+        let mut seen = Vec::new();
+        let n = sim.run_until(SimTime::from_ns(40), |_, e, _| seen.push(e));
+        assert_eq!(n, 5); // events at 0,10,20,30,40
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        assert_eq!(sim.pending(), 5);
+        assert_eq!(sim.now(), SimTime::from_ns(40));
+    }
+
+    #[test]
+    fn cascading_schedules() {
+        let mut sim = Simulation::new();
+        sim.schedule(SimTime::ZERO, 0u32);
+        let mut count = 0;
+        sim.run(|now, n, q| {
+            count += 1;
+            if n < 99 {
+                q.schedule(now + TimeDelta::from_ns(1), n + 1);
+            }
+        });
+        assert_eq!(count, 100);
+        assert_eq!(sim.now(), SimTime::from_ns(99));
+    }
+
+    #[test]
+    fn now_tracks_last_popped() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.schedule(SimTime::from_ns(7), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(7)));
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_ns(7));
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,178 @@
+//! Time-series recording with bounded memory, and a typed trace log —
+//! the observability hooks the switch simulations expose (the pcap-file
+//! idiom of embedded network stacks, adapted to a simulator).
+
+use std::collections::VecDeque;
+
+use rip_units::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A `(time, value)` series with bounded memory: when the point budget
+/// is exhausted, every other point is dropped and the keep-stride
+/// doubles, so arbitrarily long runs keep a uniform summary at full
+/// time coverage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Series {
+    points: Vec<(SimTime, f64)>,
+    max_points: usize,
+    /// Record every `stride`-th sample.
+    stride: u64,
+    seen: u64,
+}
+
+impl Series {
+    /// A series keeping at most `max_points` points (≥ 2).
+    pub fn new(max_points: usize) -> Self {
+        assert!(max_points >= 2, "need at least two points");
+        Series {
+            points: Vec::new(),
+            max_points,
+            stride: 1,
+            seen: 0,
+        }
+    }
+
+    /// Offer one sample.
+    pub fn record(&mut self, t: SimTime, v: f64) {
+        if self.seen % self.stride == 0 {
+            if self.points.len() == self.max_points {
+                // Decimate: keep every other retained point, double the
+                // stride.
+                let mut i = 0;
+                self.points.retain(|_| {
+                    i += 1;
+                    i % 2 == 1
+                });
+                self.stride *= 2;
+            }
+            self.points.push((t, v));
+        }
+        self.seen += 1;
+    }
+
+    /// The retained points, in time order.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Samples offered (not retained).
+    pub fn samples_seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Largest retained value.
+    pub fn max(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |m, v| Some(m.map_or(v, |m: f64| m.max(v))))
+    }
+
+    /// Value of the last retained point.
+    pub fn last(&self) -> Option<(SimTime, f64)> {
+        self.points.last().copied()
+    }
+}
+
+/// A bounded ring buffer of typed, timestamped trace events.
+#[derive(Debug, Clone)]
+pub struct TraceLog<E> {
+    events: VecDeque<(SimTime, E)>,
+    capacity: usize,
+    total: u64,
+}
+
+impl<E> TraceLog<E> {
+    /// A log retaining the most recent `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        TraceLog {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            total: 0,
+        }
+    }
+
+    /// Append one event.
+    pub fn push(&mut self, t: SimTime, event: E) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back((t, event));
+        self.total += 1;
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &(SimTime, E)> {
+        self.events.iter()
+    }
+
+    /// Events retained right now.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events ever pushed (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_keeps_everything_under_budget() {
+        let mut s = Series::new(16);
+        for i in 0..10u64 {
+            s.record(SimTime::from_ns(i), i as f64);
+        }
+        assert_eq!(s.points().len(), 10);
+        assert_eq!(s.samples_seen(), 10);
+        assert_eq!(s.max(), Some(9.0));
+        assert_eq!(s.last().unwrap().1, 9.0);
+    }
+
+    #[test]
+    fn series_decimates_beyond_budget() {
+        let mut s = Series::new(16);
+        for i in 0..1000u64 {
+            s.record(SimTime::from_ns(i), i as f64);
+        }
+        assert!(s.points().len() <= 16);
+        assert_eq!(s.samples_seen(), 1000);
+        // Coverage spans the whole run: first point early, last late.
+        let pts = s.points();
+        assert!(pts[0].0 <= SimTime::from_ns(64));
+        assert!(pts[pts.len() - 1].0 >= SimTime::from_ns(900));
+        // Time-ordered.
+        assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn series_empty_is_safe() {
+        let s = Series::new(4);
+        assert!(s.points().is_empty());
+        assert_eq!(s.max(), None);
+        assert_eq!(s.last(), None);
+    }
+
+    #[test]
+    fn trace_log_evicts_oldest() {
+        let mut log = TraceLog::new(3);
+        for i in 0..5 {
+            log.push(SimTime::from_ns(i), i);
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.total_recorded(), 5);
+        let kept: Vec<u64> = log.events().map(|&(_, e)| e).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+        assert!(!log.is_empty());
+    }
+}

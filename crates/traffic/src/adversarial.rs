@@ -1,0 +1,161 @@
+//! Adversarial traffic against the SPS split pattern (§2.1 Challenge 4
+//! item (2): "an adversarial attacker could exploit the known internal
+//! splitting pattern of the fibers").
+
+use serde::{Deserialize, Serialize};
+
+/// An attacker with a bounded traffic budget who tries to overload one
+/// internal HBM switch by loading exactly the fibers they *believe* are
+/// spliced to it.
+///
+/// The attacker knows the package's public geometry (`N`, `F`, `H`) and
+/// the *kind* of split pattern, but for a pseudo-random split they do not
+/// know the manufacturing seed — so their belief map is wrong and the
+/// attack diffuses. The effectiveness metric is the victim's load under
+/// the *true* map.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Attacker {
+    /// Total attack traffic, in units of fully loaded fibers.
+    pub budget: f64,
+}
+
+impl Attacker {
+    /// A new attacker with the given budget (fiber-line-rate units).
+    pub fn new(budget: f64) -> Self {
+        assert!(budget >= 0.0);
+        Attacker { budget }
+    }
+
+    /// Offered per-fiber loads (`[ribbon][fiber]`, each ≤ 1.0) when the
+    /// attacker targets `victim` according to their `believed` split
+    /// map. Fibers believed to reach the victim are filled to line rate,
+    /// ribbon by ribbon, until the budget runs out; remaining budget is
+    /// discarded (the attacker gains nothing loading other switches).
+    pub fn fiber_loads_targeting(
+        &self,
+        believed: &rip_photonics::SplitMap,
+        victim: usize,
+    ) -> Vec<Vec<f64>> {
+        let ribbons = believed.ribbons();
+        let fibers = believed.fibers_per_ribbon();
+        let mut loads = vec![vec![0.0; fibers]; ribbons];
+        let mut remaining = self.budget;
+        'outer: for r in 0..ribbons {
+            for f in believed.fibers_for(r, victim) {
+                if remaining <= 0.0 {
+                    break 'outer;
+                }
+                let put = remaining.min(1.0);
+                loads[r][f] = put;
+                remaining -= put;
+            }
+        }
+        loads
+    }
+
+    /// The victim's actual load when the attack lands on the `truth`
+    /// map, and the maximum load any switch sees.
+    pub fn evaluate(
+        &self,
+        believed: &rip_photonics::SplitMap,
+        truth: &rip_photonics::SplitMap,
+        victim: usize,
+    ) -> AttackOutcome {
+        let loads = self.fiber_loads_targeting(believed, victim);
+        let per_switch = truth.switch_loads(&loads);
+        let victim_load = per_switch[victim];
+        let max_load = per_switch.iter().cloned().fold(0.0, f64::max);
+        let total: f64 = per_switch.iter().sum();
+        AttackOutcome {
+            victim_load,
+            max_load,
+            total_delivered: total,
+            concentration: if total > 0.0 {
+                victim_load / (total / truth.switches() as f64)
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Result of evaluating an attack against the true split map.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackOutcome {
+    /// Load landing on the intended victim switch.
+    pub victim_load: f64,
+    /// Largest load on any switch.
+    pub max_load: f64,
+    /// Total attack load delivered.
+    pub total_delivered: f64,
+    /// Victim load relative to a perfectly even spread (1.0 = no
+    /// concentration achieved; `H` = perfect concentration).
+    pub concentration: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rip_photonics::{SplitMap, SplitPattern};
+
+    #[test]
+    fn known_sequential_pattern_is_fully_exploitable() {
+        let truth = SplitMap::new(4, 16, 4, SplitPattern::Sequential).unwrap();
+        let atk = Attacker::new(8.0);
+        // Attacker believes (correctly) the pattern is sequential.
+        let outcome = atk.evaluate(&truth, &truth, 0);
+        // All 8 fiber-loads land on switch 0: perfect concentration.
+        assert!((outcome.victim_load - 8.0).abs() < 1e-12);
+        assert!((outcome.concentration - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pseudo_random_pattern_diffuses_the_attack() {
+        let truth = SplitMap::new(16, 64, 16, SplitPattern::PseudoRandom { seed: 1234 }).unwrap();
+        // Attacker guesses sequential (or any wrong seed).
+        let believed = SplitMap::new(16, 64, 16, SplitPattern::Sequential).unwrap();
+        let atk = Attacker::new(32.0);
+        let outcome = atk.evaluate(&believed, &truth, 0);
+        // Victim receives roughly its fair share 32/16 = 2.0, far from 32.
+        assert!(
+            outcome.victim_load < 8.0,
+            "victim load {} should be diffused",
+            outcome.victim_load
+        );
+        assert!((outcome.total_delivered - 32.0).abs() < 1e-9);
+        assert!(outcome.concentration < 4.0);
+    }
+
+    #[test]
+    fn wrong_seed_is_as_good_as_no_knowledge() {
+        let truth = SplitMap::new(16, 64, 16, SplitPattern::PseudoRandom { seed: 1 }).unwrap();
+        let believed = SplitMap::new(16, 64, 16, SplitPattern::PseudoRandom { seed: 2 }).unwrap();
+        let atk = Attacker::new(16.0);
+        let outcome = atk.evaluate(&believed, &truth, 3);
+        assert!(outcome.concentration < 4.0, "{}", outcome.concentration);
+    }
+
+    #[test]
+    fn correct_seed_recovers_the_attack() {
+        let truth = SplitMap::new(16, 64, 16, SplitPattern::PseudoRandom { seed: 9 }).unwrap();
+        let atk = Attacker::new(16.0);
+        let outcome = atk.evaluate(&truth, &truth, 5);
+        assert!((outcome.victim_load - 16.0).abs() < 1e-12);
+        assert!((outcome.concentration - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_is_respected_and_clamped() {
+        let m = SplitMap::new(2, 8, 4, SplitPattern::Sequential).unwrap();
+        let atk = Attacker::new(2.5);
+        let loads = atk.fiber_loads_targeting(&m, 1);
+        let total: f64 = loads.iter().flatten().sum();
+        assert!((total - 2.5).abs() < 1e-12);
+        assert!(loads.iter().flatten().all(|&l| l <= 1.0));
+        // Budget above the victim's fiber count saturates.
+        let atk = Attacker::new(100.0);
+        let loads = atk.fiber_loads_targeting(&m, 1);
+        let total: f64 = loads.iter().flatten().sum();
+        assert!((total - 4.0).abs() < 1e-12); // 2 ribbons x alpha 2
+    }
+}

@@ -1,0 +1,144 @@
+//! Trace-level fault injection, in the spirit of smoltcp's
+//! `--drop-chance` / `--corrupt-chance` example switches: degrade a
+//! packet trace before feeding it to a switch, to exercise loss and
+//! corruption handling deterministically.
+
+use rand::Rng;
+use rip_sim::rng::rng_for;
+use serde::{Deserialize, Serialize};
+
+use crate::packet::Packet;
+
+/// What happened to the trace under injection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// Packets passed through unharmed.
+    pub passed: u64,
+    /// Packets silently dropped.
+    pub dropped: u64,
+    /// Packets passed with corrupted size (truncated on the wire).
+    pub corrupted: u64,
+}
+
+/// A deterministic packet-trace fault injector.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FaultInjector {
+    /// Probability a packet is dropped.
+    pub drop_chance: f64,
+    /// Probability a surviving packet is truncated (its size halved,
+    /// floor 64 B) — the switch will still carry it; end hosts would
+    /// discard it on checksum.
+    pub corrupt_chance: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl FaultInjector {
+    /// Build an injector; chances are clamped to `[0, 1]`.
+    pub fn new(drop_chance: f64, corrupt_chance: f64, seed: u64) -> Self {
+        FaultInjector {
+            drop_chance: drop_chance.clamp(0.0, 1.0),
+            corrupt_chance: corrupt_chance.clamp(0.0, 1.0),
+            seed,
+        }
+    }
+
+    /// Apply the faults to `trace`, returning the degraded trace and a
+    /// summary. Order and timestamps of surviving packets are kept.
+    pub fn apply(&self, trace: &[Packet]) -> (Vec<Packet>, FaultSummary) {
+        let mut rng = rng_for(self.seed, 0xFA17);
+        let mut out = Vec::with_capacity(trace.len());
+        let mut summary = FaultSummary::default();
+        for p in trace {
+            if rng.random_bool(self.drop_chance) {
+                summary.dropped += 1;
+                continue;
+            }
+            if rng.random_bool(self.corrupt_chance) {
+                let mut q = *p;
+                q.size = rip_units::DataSize::from_bytes((p.size.bytes() / 2).max(64));
+                summary.corrupted += 1;
+                out.push(q);
+            } else {
+                summary.passed += 1;
+                out.push(*p);
+            }
+        }
+        (out, summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rip_units::{DataSize, SimTime};
+
+    fn trace(n: u64) -> Vec<Packet> {
+        (0..n)
+            .map(|i| Packet::new(i, 0, 0, DataSize::from_bytes(1000), SimTime::from_ns(i)))
+            .collect()
+    }
+
+    #[test]
+    fn zero_chances_pass_everything() {
+        let inj = FaultInjector::new(0.0, 0.0, 1);
+        let (out, s) = inj.apply(&trace(100));
+        assert_eq!(out.len(), 100);
+        assert_eq!(s.passed, 100);
+        assert_eq!(s.dropped + s.corrupted, 0);
+    }
+
+    #[test]
+    fn drop_chance_drops_about_the_right_fraction() {
+        let inj = FaultInjector::new(0.15, 0.0, 2);
+        let (out, s) = inj.apply(&trace(20_000));
+        let frac = s.dropped as f64 / 20_000.0;
+        assert!((frac - 0.15).abs() < 0.02, "{frac}");
+        assert_eq!(out.len() as u64, s.passed);
+        // Ordering preserved.
+        assert!(out.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+    }
+
+    #[test]
+    fn corruption_truncates_surviving_packets() {
+        let inj = FaultInjector::new(0.0, 1.0, 3);
+        let (out, s) = inj.apply(&trace(50));
+        assert_eq!(s.corrupted, 50);
+        assert!(out.iter().all(|p| p.size == DataSize::from_bytes(500)));
+    }
+
+    #[test]
+    fn corruption_floors_at_64_bytes() {
+        let inj = FaultInjector::new(0.0, 1.0, 3);
+        let tiny = vec![Packet::new(
+            0,
+            0,
+            0,
+            DataSize::from_bytes(80),
+            SimTime::ZERO,
+        )];
+        let (out, _) = inj.apply(&tiny);
+        assert_eq!(out[0].size, DataSize::from_bytes(64));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = trace(1000);
+        let a = FaultInjector::new(0.2, 0.1, 7).apply(&t);
+        let b = FaultInjector::new(0.2, 0.1, 7).apply(&t);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        let c = FaultInjector::new(0.2, 0.1, 8).apply(&t);
+        assert_ne!(a.1, c.1);
+    }
+
+    #[test]
+    fn chances_clamp() {
+        let inj = FaultInjector::new(7.0, -3.0, 1);
+        assert_eq!(inj.drop_chance, 1.0);
+        assert_eq!(inj.corrupt_chance, 0.0);
+        let (out, s) = inj.apply(&trace(10));
+        assert!(out.is_empty());
+        assert_eq!(s.dropped, 10);
+    }
+}

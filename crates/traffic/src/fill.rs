@@ -1,0 +1,104 @@
+//! Per-fiber fill-order load models (§2.1 Challenge 4).
+//!
+//! "Practically, the first fiber of each input is typically connected
+//! first, and therefore has a higher load" — operators provision fibers
+//! incrementally, so per-fiber utilization is a decreasing function of
+//! the fiber index. These models produce that skew.
+
+use serde::{Deserialize, Serialize};
+
+/// How the fibers of a ribbon are loaded.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FiberFill {
+    /// All fibers equally loaded (the ECMP/LAG-hashed ideal of §4).
+    Uniform,
+    /// Only the first `used` fibers carry traffic, all at equal load
+    /// (a partially provisioned ribbon).
+    FirstFilled {
+        /// Number of in-service fibers.
+        used: usize,
+    },
+    /// Load decreases linearly from the first fiber to the last:
+    /// fiber `f` of `F` gets weight `F - f`.
+    Linear,
+    /// Load decreases geometrically: fiber `f` gets weight `ratio^f`.
+    Geometric {
+        /// Per-fiber decay in (0, 1].
+        ratio: f64,
+    },
+}
+
+impl FiberFill {
+    /// Per-fiber load fractions for a ribbon of `fibers` fibers carrying
+    /// `total_load` (in units of fiber line rates, so a fully loaded
+    /// fiber contributes 1.0). Loads are clamped to 1.0 per fiber where
+    /// the model would exceed line rate; excess is NOT redistributed —
+    /// callers treat the result as offered load per fiber.
+    pub fn loads(&self, fibers: usize, total_load: f64) -> Vec<f64> {
+        assert!(fibers > 0, "need at least one fiber");
+        assert!(total_load >= 0.0, "load must be non-negative");
+        let weights: Vec<f64> = match *self {
+            FiberFill::Uniform => vec![1.0; fibers],
+            FiberFill::FirstFilled { used } => {
+                let used = used.clamp(1, fibers);
+                (0..fibers).map(|f| if f < used { 1.0 } else { 0.0 }).collect()
+            }
+            FiberFill::Linear => (0..fibers).map(|f| (fibers - f) as f64).collect(),
+            FiberFill::Geometric { ratio } => {
+                let r = ratio.clamp(f64::MIN_POSITIVE, 1.0);
+                (0..fibers).map(|f| r.powi(f as i32)).collect()
+            }
+        };
+        let sum: f64 = weights.iter().sum();
+        weights
+            .into_iter()
+            .map(|w| (w / sum * total_load).min(1.0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_splits_evenly() {
+        let l = FiberFill::Uniform.loads(8, 4.0);
+        assert!(l.iter().all(|&x| (x - 0.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn first_filled_concentrates() {
+        let l = FiberFill::FirstFilled { used: 4 }.loads(16, 4.0);
+        assert!(l[..4].iter().all(|&x| (x - 1.0).abs() < 1e-12));
+        assert!(l[4..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn first_filled_clamps_used() {
+        let l = FiberFill::FirstFilled { used: 100 }.loads(4, 2.0);
+        assert!(l.iter().all(|&x| (x - 0.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn linear_is_monotonically_decreasing() {
+        let l = FiberFill::Linear.loads(10, 5.0);
+        assert!(l.windows(2).all(|w| w[0] >= w[1]));
+        assert!((l.iter().sum::<f64>() - 5.0).abs() < 1e-9);
+        assert!(l[0] > 2.0 * l[9]);
+    }
+
+    #[test]
+    fn geometric_decays() {
+        let l = FiberFill::Geometric { ratio: 0.5 }.loads(4, 1.0);
+        assert!((l[0] / l[1] - 2.0).abs() < 1e-9);
+        assert!((l.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_fiber_load_clamped_to_line_rate() {
+        // Total load 15 over geometric decay would push fiber 0 over 1.0.
+        let l = FiberFill::Geometric { ratio: 0.25 }.loads(4, 15.0);
+        assert!(l.iter().all(|&x| x <= 1.0));
+    }
+}

@@ -1,0 +1,218 @@
+//! Traffic matrices with admissibility checks.
+
+use rand::Rng;
+use rip_sim::rng::rng_for;
+use serde::{Deserialize, Serialize};
+
+/// An `N×N` traffic matrix of normalized loads: entry `(i, j)` is the
+/// fraction of one port's line rate flowing from input `i` to output `j`.
+///
+/// A matrix is *admissible* when every row sum (ingress load) and column
+/// sum (egress load) is ≤ 1 — the regime in which the paper claims 100 %
+/// throughput for the PFI switch (Design 6).
+///
+/// ```
+/// use rip_traffic::TrafficMatrix;
+/// let uniform = TrafficMatrix::uniform(16, 0.95);
+/// assert!(uniform.is_admissible());
+/// // A 50% hotspot on output 0 oversubscribes it 8x: inadmissible.
+/// let hot = TrafficMatrix::hotspot(16, 1.0, 0, 0.5);
+/// assert!(!hot.is_admissible());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficMatrix {
+    n: usize,
+    /// Row-major demand fractions.
+    demand: Vec<f64>,
+}
+
+impl TrafficMatrix {
+    /// Build from an explicit row-major demand vector.
+    pub fn from_rows(n: usize, demand: Vec<f64>) -> Result<Self, String> {
+        if n == 0 {
+            return Err("matrix must be at least 1x1".into());
+        }
+        if demand.len() != n * n {
+            return Err(format!("expected {} entries, got {}", n * n, demand.len()));
+        }
+        if demand.iter().any(|&d| !(0.0..=1.0 + 1e-9).contains(&d)) {
+            return Err("demands must lie in [0, 1]".into());
+        }
+        Ok(TrafficMatrix { n, demand })
+    }
+
+    /// Uniform matrix: every input spreads `load` evenly over all outputs.
+    pub fn uniform(n: usize, load: f64) -> Self {
+        TrafficMatrix::from_rows(n, vec![load / n as f64; n * n]).expect("uniform matrix is valid")
+    }
+
+    /// Permutation matrix: input `i` sends all of `load` to `perm[i]`.
+    pub fn permutation(perm: &[usize], load: f64) -> Result<Self, String> {
+        let n = perm.len();
+        let mut seen = vec![false; n];
+        for &p in perm {
+            if p >= n || seen[p] {
+                return Err("not a permutation".into());
+            }
+            seen[p] = true;
+        }
+        let mut demand = vec![0.0; n * n];
+        for (i, &p) in perm.iter().enumerate() {
+            demand[i * n + p] = load;
+        }
+        TrafficMatrix::from_rows(n, demand)
+    }
+
+    /// Hotspot matrix: each input sends a fraction `hot_frac` of `load`
+    /// to `hot_output`, spreading the rest uniformly over the others.
+    /// Column loads stay admissible only if `n · load · hot_frac ≤ 1`.
+    pub fn hotspot(n: usize, load: f64, hot_output: usize, hot_frac: f64) -> Self {
+        assert!(hot_output < n && (0.0..=1.0).contains(&hot_frac));
+        let mut demand = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                demand[i * n + j] = if j == hot_output {
+                    load * hot_frac
+                } else {
+                    load * (1.0 - hot_frac) / (n - 1).max(1) as f64
+                };
+            }
+        }
+        TrafficMatrix { n, demand }
+    }
+
+    /// Log-normal skewed matrix: entries drawn log-normally (σ controls
+    /// skew), then scaled so the maximum row/column sum equals `load`.
+    pub fn log_normal(n: usize, load: f64, sigma: f64, seed: u64) -> Self {
+        let mut rng = rng_for(seed, 0x7A11);
+        let mut demand: Vec<f64> = (0..n * n)
+            .map(|_| {
+                // Box-Muller for a standard normal.
+                let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = rng.random_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                (sigma * z).exp()
+            })
+            .collect();
+        // Scale so max(row sum, col sum) = load.
+        let mut max_sum: f64 = 0.0;
+        for i in 0..n {
+            let row: f64 = (0..n).map(|j| demand[i * n + j]).sum();
+            let col: f64 = (0..n).map(|j| demand[j * n + i]).sum();
+            max_sum = max_sum.max(row).max(col);
+        }
+        if max_sum > 0.0 {
+            for d in demand.iter_mut() {
+                *d *= load / max_sum;
+            }
+        }
+        TrafficMatrix { n, demand }
+    }
+
+    /// Matrix size `N`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Demand fraction from `input` to `output`.
+    pub fn demand(&self, input: usize, output: usize) -> f64 {
+        self.demand[input * self.n + output]
+    }
+
+    /// The demand row of `input` (its per-output split).
+    pub fn row(&self, input: usize) -> &[f64] {
+        &self.demand[input * self.n..(input + 1) * self.n]
+    }
+
+    /// Ingress load of `input` (row sum).
+    pub fn row_load(&self, input: usize) -> f64 {
+        self.row(input).iter().sum()
+    }
+
+    /// Egress load of `output` (column sum).
+    pub fn col_load(&self, output: usize) -> f64 {
+        (0..self.n).map(|i| self.demand(i, output)).sum()
+    }
+
+    /// Largest row or column sum.
+    pub fn max_load(&self) -> f64 {
+        (0..self.n)
+            .map(|i| self.row_load(i).max(self.col_load(i)))
+            .fold(0.0, f64::max)
+    }
+
+    /// True if no ingress or egress is oversubscribed.
+    pub fn is_admissible(&self) -> bool {
+        self.max_load() <= 1.0 + 1e-9
+    }
+
+    /// Scale all demands by `factor` (clamped at entry validity).
+    pub fn scaled(&self, factor: f64) -> TrafficMatrix {
+        TrafficMatrix {
+            n: self.n,
+            demand: self.demand.iter().map(|d| d * factor).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_admissible_up_to_full_load() {
+        let m = TrafficMatrix::uniform(16, 1.0);
+        assert!(m.is_admissible());
+        assert!((m.row_load(3) - 1.0).abs() < 1e-9);
+        assert!((m.col_load(7) - 1.0).abs() < 1e-9);
+        assert!((m.demand(0, 0) - 1.0 / 16.0).abs() < 1e-12);
+        assert!((m.max_load() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn permutation_routes_everything_to_one_output() {
+        let m = TrafficMatrix::permutation(&[2, 0, 1], 0.9).unwrap();
+        assert!(m.is_admissible());
+        assert_eq!(m.demand(0, 2), 0.9);
+        assert_eq!(m.demand(0, 0), 0.0);
+        assert!((m.col_load(2) - 0.9).abs() < 1e-12);
+        assert!(TrafficMatrix::permutation(&[0, 0], 1.0).is_err());
+        assert!(TrafficMatrix::permutation(&[5], 1.0).is_err());
+    }
+
+    #[test]
+    fn hotspot_oversubscribes_the_hot_output() {
+        let m = TrafficMatrix::hotspot(8, 1.0, 0, 0.5);
+        // Column 0 receives 8 x 0.5 = 4.0 -> inadmissible.
+        assert!((m.col_load(0) - 4.0).abs() < 1e-9);
+        assert!(!m.is_admissible());
+        // Mild hotspot stays admissible.
+        let m2 = TrafficMatrix::hotspot(8, 0.8, 0, 1.0 / 8.0);
+        assert!(m2.is_admissible());
+    }
+
+    #[test]
+    fn log_normal_is_deterministic_and_scaled() {
+        let a = TrafficMatrix::log_normal(8, 0.9, 1.0, 5);
+        let b = TrafficMatrix::log_normal(8, 0.9, 1.0, 5);
+        assert_eq!(a, b);
+        assert!(a.is_admissible());
+        assert!((a.max_load() - 0.9).abs() < 1e-9);
+        let c = TrafficMatrix::log_normal(8, 0.9, 1.0, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn from_rows_validates() {
+        assert!(TrafficMatrix::from_rows(0, vec![]).is_err());
+        assert!(TrafficMatrix::from_rows(2, vec![0.0; 3]).is_err());
+        assert!(TrafficMatrix::from_rows(2, vec![2.0, 0.0, 0.0, 0.0]).is_err());
+        assert!(TrafficMatrix::from_rows(2, vec![-0.1, 0.0, 0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn scaling() {
+        let m = TrafficMatrix::uniform(4, 1.0).scaled(0.5);
+        assert!((m.row_load(0) - 0.5).abs() < 1e-12);
+    }
+}

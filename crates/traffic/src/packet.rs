@@ -1,0 +1,99 @@
+//! Packets and flows.
+
+use rip_units::{DataSize, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A transport 5-tuple identifying a flow (for ECMP/LAG hashing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlowKey {
+    /// Source IPv4 address.
+    pub src_ip: u32,
+    /// Destination IPv4 address.
+    pub dst_ip: u32,
+    /// Source transport port.
+    pub src_port: u16,
+    /// Destination transport port.
+    pub dst_port: u16,
+    /// IP protocol number (6 = TCP, 17 = UDP).
+    pub proto: u8,
+}
+
+impl FlowKey {
+    /// Serialize the tuple into the canonical 13-byte hash input.
+    pub fn to_bytes(self) -> [u8; 13] {
+        let mut b = [0u8; 13];
+        b[0..4].copy_from_slice(&self.src_ip.to_be_bytes());
+        b[4..8].copy_from_slice(&self.dst_ip.to_be_bytes());
+        b[8..10].copy_from_slice(&self.src_port.to_be_bytes());
+        b[10..12].copy_from_slice(&self.dst_port.to_be_bytes());
+        b[12] = self.proto;
+        b
+    }
+}
+
+/// One variable-length packet traversing the router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Globally unique, monotonically increasing id (per generator).
+    pub id: u64,
+    /// Ingress port index (meaning depends on context: ribbon for the
+    /// SPS level, switch-local port for an HBM switch).
+    pub input: usize,
+    /// Egress port index.
+    pub output: usize,
+    /// Wire size.
+    pub size: DataSize,
+    /// Arrival instant at the router.
+    pub arrival: SimTime,
+    /// The flow this packet belongs to.
+    pub flow: FlowKey,
+}
+
+impl Packet {
+    /// Convenience constructor for tests and simple workloads.
+    pub fn new(id: u64, input: usize, output: usize, size: DataSize, arrival: SimTime) -> Self {
+        Packet {
+            id,
+            input,
+            output,
+            size,
+            arrival,
+            flow: FlowKey {
+                src_ip: 0x0A00_0000 | input as u32,
+                dst_ip: 0x0A01_0000 | output as u32,
+                src_port: (id % 0xFFFF) as u16,
+                dst_port: 80,
+                proto: 6,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_key_bytes_are_canonical() {
+        let k = FlowKey {
+            src_ip: 0x0102_0304,
+            dst_ip: 0x0506_0708,
+            src_port: 0x1122,
+            dst_port: 0x3344,
+            proto: 17,
+        };
+        assert_eq!(
+            k.to_bytes(),
+            [1, 2, 3, 4, 5, 6, 7, 8, 0x11, 0x22, 0x33, 0x44, 17]
+        );
+    }
+
+    #[test]
+    fn convenience_constructor_derives_flow() {
+        let p = Packet::new(7, 3, 9, DataSize::from_bytes(64), SimTime::ZERO);
+        assert_eq!(p.input, 3);
+        assert_eq!(p.output, 9);
+        assert_eq!(p.flow.src_ip & 0xFF, 3);
+        assert_eq!(p.flow.dst_ip & 0xFF, 9);
+    }
+}

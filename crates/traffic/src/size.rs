@@ -1,0 +1,178 @@
+//! Packet-size distributions.
+
+use rand::Rng;
+use rip_units::DataSize;
+use serde::{Deserialize, Serialize};
+
+/// A packet-size distribution.
+///
+/// The paper's baseline-degradation analysis (§3.1 Challenge 6) pivots on
+/// packet size — 2.6× reduction at 1,500 B vs 39× at 64 B — so size
+/// mixes are first-class here.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SizeDistribution {
+    /// Every packet the same size.
+    Fixed(DataSize),
+    /// Uniform over `[min, max]` bytes.
+    Uniform {
+        /// Smallest packet, bytes.
+        min: u64,
+        /// Largest packet, bytes.
+        max: u64,
+    },
+    /// The classic "simple IMIX": 64 B (7 parts), 576 B (4 parts),
+    /// 1,500 B (1 part).
+    Imix,
+    /// Arbitrary empirical mix of `(size, weight)` pairs.
+    Empirical(Vec<(DataSize, f64)>),
+}
+
+impl SizeDistribution {
+    /// Minimum Ethernet payload-bearing packet.
+    pub const MIN_PACKET: DataSize = DataSize::from_bytes(64);
+    /// Classic Ethernet MTU-sized packet.
+    pub const MAX_PACKET: DataSize = DataSize::from_bytes(1500);
+
+    /// Draw one packet size.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> DataSize {
+        match self {
+            SizeDistribution::Fixed(s) => *s,
+            SizeDistribution::Uniform { min, max } => {
+                DataSize::from_bytes(rng.random_range(*min..=*max))
+            }
+            SizeDistribution::Imix => {
+                let x = rng.random_range(0u32..12);
+                if x < 7 {
+                    DataSize::from_bytes(64)
+                } else if x < 11 {
+                    DataSize::from_bytes(576)
+                } else {
+                    DataSize::from_bytes(1500)
+                }
+            }
+            SizeDistribution::Empirical(pairs) => {
+                let weights: Vec<f64> = pairs.iter().map(|(_, w)| *w).collect();
+                let mut r = rip_sim::rng::weighted_index(rng, &weights)
+                    .expect("empirical distribution needs positive weights");
+                if r >= pairs.len() {
+                    r = pairs.len() - 1;
+                }
+                pairs[r].0
+            }
+        }
+    }
+
+    /// Mean packet size in bytes.
+    pub fn mean_bytes(&self) -> f64 {
+        match self {
+            SizeDistribution::Fixed(s) => s.bytes_f64(),
+            SizeDistribution::Uniform { min, max } => (*min + *max) as f64 / 2.0,
+            SizeDistribution::Imix => (7.0 * 64.0 + 4.0 * 576.0 + 1500.0) / 12.0,
+            SizeDistribution::Empirical(pairs) => {
+                let total: f64 = pairs.iter().map(|(_, w)| w).sum();
+                pairs
+                    .iter()
+                    .map(|(s, w)| s.bytes_f64() * w / total)
+                    .sum()
+            }
+        }
+    }
+
+    /// Validate the distribution parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            SizeDistribution::Fixed(s) if s.is_zero() => Err("fixed size must be positive".into()),
+            SizeDistribution::Uniform { min, max } if min > max || *min == 0 => {
+                Err(format!("bad uniform range [{min}, {max}]"))
+            }
+            SizeDistribution::Empirical(pairs) => {
+                if pairs.is_empty() || pairs.iter().all(|(_, w)| *w <= 0.0) {
+                    Err("empirical distribution needs positive weights".into())
+                } else if pairs.iter().any(|(s, _)| s.is_zero()) {
+                    Err("empirical sizes must be positive".into())
+                } else {
+                    Ok(())
+                }
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rip_sim::rng::rng_for;
+
+    #[test]
+    fn fixed_always_same() {
+        let mut rng = rng_for(1, 0);
+        let d = SizeDistribution::Fixed(DataSize::from_bytes(64));
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), DataSize::from_bytes(64));
+        }
+        assert_eq!(d.mean_bytes(), 64.0);
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = rng_for(2, 0);
+        let d = SizeDistribution::Uniform { min: 64, max: 1500 };
+        for _ in 0..1000 {
+            let s = d.sample(&mut rng).bytes();
+            assert!((64..=1500).contains(&s));
+        }
+        assert_eq!(d.mean_bytes(), 782.0);
+    }
+
+    #[test]
+    fn imix_proportions_and_mean() {
+        let mut rng = rng_for(3, 0);
+        let d = SizeDistribution::Imix;
+        let n = 60_000;
+        let mut small = 0;
+        let mut mid = 0;
+        let mut big = 0;
+        for _ in 0..n {
+            match d.sample(&mut rng).bytes() {
+                64 => small += 1,
+                576 => mid += 1,
+                1500 => big += 1,
+                other => panic!("unexpected IMIX size {other}"),
+            }
+        }
+        assert!((small as f64 / n as f64 - 7.0 / 12.0).abs() < 0.02);
+        assert!((mid as f64 / n as f64 - 4.0 / 12.0).abs() < 0.02);
+        assert!((big as f64 / n as f64 - 1.0 / 12.0).abs() < 0.02);
+        assert!((d.mean_bytes() - 354.33).abs() < 0.01);
+    }
+
+    #[test]
+    fn empirical_respects_weights() {
+        let mut rng = rng_for(4, 0);
+        let d = SizeDistribution::Empirical(vec![
+            (DataSize::from_bytes(100), 1.0),
+            (DataSize::from_bytes(200), 3.0),
+        ]);
+        let n = 20_000;
+        let count200 = (0..n)
+            .filter(|_| d.sample(&mut rng).bytes() == 200)
+            .count();
+        assert!((count200 as f64 / n as f64 - 0.75).abs() < 0.02);
+        assert_eq!(d.mean_bytes(), 175.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(SizeDistribution::Fixed(DataSize::ZERO).validate().is_err());
+        assert!(SizeDistribution::Uniform { min: 10, max: 5 }.validate().is_err());
+        assert!(SizeDistribution::Uniform { min: 0, max: 5 }.validate().is_err());
+        assert!(SizeDistribution::Empirical(vec![]).validate().is_err());
+        assert!(
+            SizeDistribution::Empirical(vec![(DataSize::from_bytes(10), 0.0)])
+                .validate()
+                .is_err()
+        );
+        assert!(SizeDistribution::Imix.validate().is_ok());
+    }
+}

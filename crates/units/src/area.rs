@@ -1,0 +1,137 @@
+//! Silicon / substrate area for the §4 design analysis.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, Div, Mul, Sub};
+use serde::{Deserialize, Serialize};
+
+/// An area in square millimetres.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Area {
+    mm2: f64,
+}
+
+impl Area {
+    /// Zero area.
+    pub const ZERO: Area = Area { mm2: 0.0 };
+
+    /// Construct from square millimetres.
+    pub const fn from_mm2(mm2: f64) -> Self {
+        Area { mm2 }
+    }
+
+    /// Construct from a rectangle of `w` × `h` millimetres.
+    pub const fn from_rect_mm(w: f64, h: f64) -> Self {
+        Area { mm2: w * h }
+    }
+
+    /// Square millimetres.
+    pub const fn mm2(self) -> f64 {
+        self.mm2
+    }
+
+    /// Fraction `self / total`.
+    pub fn fraction_of(self, total: Area) -> f64 {
+        self.mm2 / total.mm2
+    }
+}
+
+impl Add for Area {
+    type Output = Area;
+    fn add(self, rhs: Area) -> Area {
+        Area {
+            mm2: self.mm2 + rhs.mm2,
+        }
+    }
+}
+
+impl Sub for Area {
+    type Output = Area;
+    fn sub(self, rhs: Area) -> Area {
+        Area {
+            mm2: self.mm2 - rhs.mm2,
+        }
+    }
+}
+
+impl Mul<f64> for Area {
+    type Output = Area;
+    fn mul(self, rhs: f64) -> Area {
+        Area {
+            mm2: self.mm2 * rhs,
+        }
+    }
+}
+
+impl Mul<u64> for Area {
+    type Output = Area;
+    fn mul(self, rhs: u64) -> Area {
+        self * rhs as f64
+    }
+}
+
+impl Div<f64> for Area {
+    type Output = Area;
+    fn div(self, rhs: f64) -> Area {
+        Area {
+            mm2: self.mm2 / rhs,
+        }
+    }
+}
+
+impl Div<Area> for Area {
+    type Output = f64;
+    fn div(self, rhs: Area) -> f64 {
+        self.mm2 / rhs.mm2
+    }
+}
+
+impl Sum for Area {
+    fn sum<I: Iterator<Item = Area>>(iter: I) -> Area {
+        iter.fold(Area::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Area {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0} mm^2", self.mm2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_area_arithmetic() {
+        // One HBM stack footprint: 11 mm x 11 mm = 121 mm^2 (paper §1/§4).
+        let hbm = Area::from_rect_mm(11.0, 11.0);
+        assert_eq!(hbm.mm2(), 121.0);
+        // Per HBM switch: 800 + 4*121 = 1,284 mm^2; 16 switches = 20,544 mm^2.
+        let per_switch = Area::from_mm2(800.0) + hbm * 4u64;
+        assert_eq!(per_switch.mm2(), 1284.0);
+        let total = per_switch * 16u64;
+        assert_eq!(total.mm2(), 20_544.0);
+        // < 10% of a 500 mm x 500 mm panel.
+        let panel = Area::from_rect_mm(500.0, 500.0);
+        assert!(total.fraction_of(panel) < 0.10);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Area::from_mm2(100.0);
+        let b = Area::from_mm2(30.0);
+        assert_eq!((a + b).mm2(), 130.0);
+        assert_eq!((a - b).mm2(), 70.0);
+        assert_eq!((a * 2.0).mm2(), 200.0);
+        assert_eq!((a / 4.0).mm2(), 25.0);
+        assert!((a / b - 100.0 / 30.0).abs() < 1e-12);
+        let s: Area = vec![a, b].into_iter().sum();
+        assert_eq!(s.mm2(), 130.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Area::from_mm2(20_544.0).to_string(), "20544 mm^2");
+    }
+}

@@ -1,0 +1,303 @@
+//! Data sizes, stored in bits.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+use serde::{Deserialize, Serialize};
+
+/// An amount of data, stored internally in **bits**.
+///
+/// The paper mixes bit- and byte-denominated quantities (2,048-bit SRAM
+/// interfaces, 4 KB batches, 64 GB stacks); this type makes the unit
+/// explicit at every construction and extraction site.
+///
+/// Sizes are exact integers; byte extraction of non-byte-aligned sizes
+/// rounds down, and [`DataSize::is_byte_aligned`] reports alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct DataSize {
+    bits: u64,
+}
+
+impl DataSize {
+    /// Zero bits.
+    pub const ZERO: DataSize = DataSize { bits: 0 };
+
+    /// Construct from a number of bits.
+    pub const fn from_bits(bits: u64) -> Self {
+        DataSize { bits }
+    }
+
+    /// Construct from a number of bytes.
+    pub const fn from_bytes(bytes: u64) -> Self {
+        DataSize { bits: bytes * 8 }
+    }
+
+    /// Construct from binary kilobytes (KiB, 1024 bytes).
+    ///
+    /// The paper's "4 KB batch" and "512 KB frame" are used as powers of
+    /// two (`K = γ·T·S` with S = 1 KB and 2,048-bit interfaces), so KB in
+    /// the paper means KiB here.
+    pub const fn from_kib(kib: u64) -> Self {
+        DataSize::from_bytes(kib * 1024)
+    }
+
+    /// Construct from binary megabytes (MiB).
+    pub const fn from_mib(mib: u64) -> Self {
+        DataSize::from_bytes(mib * 1024 * 1024)
+    }
+
+    /// Construct from binary gigabytes (GiB).
+    pub const fn from_gib(gib: u64) -> Self {
+        DataSize::from_bytes(gib * 1024 * 1024 * 1024)
+    }
+
+    /// The size in bits.
+    pub const fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// The size in whole bytes (rounds down).
+    pub const fn bytes(self) -> u64 {
+        self.bits / 8
+    }
+
+    /// The size in bytes as a float (exact for sub-byte remainders).
+    pub fn bytes_f64(self) -> f64 {
+        self.bits as f64 / 8.0
+    }
+
+    /// True if the size is a whole number of bytes.
+    pub const fn is_byte_aligned(self) -> bool {
+        self.bits % 8 == 0
+    }
+
+    /// True if the size is zero.
+    pub const fn is_zero(self) -> bool {
+        self.bits == 0
+    }
+
+    /// Saturating subtraction.
+    pub const fn saturating_sub(self, rhs: DataSize) -> DataSize {
+        DataSize {
+            bits: self.bits.saturating_sub(rhs.bits),
+        }
+    }
+
+    /// Checked subtraction.
+    pub const fn checked_sub(self, rhs: DataSize) -> Option<DataSize> {
+        match self.bits.checked_sub(rhs.bits) {
+            Some(bits) => Some(DataSize { bits }),
+            None => None,
+        }
+    }
+
+    /// The minimum of two sizes.
+    pub fn min(self, rhs: DataSize) -> DataSize {
+        DataSize {
+            bits: self.bits.min(rhs.bits),
+        }
+    }
+
+    /// The maximum of two sizes.
+    pub fn max(self, rhs: DataSize) -> DataSize {
+        DataSize {
+            bits: self.bits.max(rhs.bits),
+        }
+    }
+
+    /// How many whole `chunk`s fit in `self`.
+    ///
+    /// # Panics
+    /// Panics if `chunk` is zero.
+    pub fn chunks(self, chunk: DataSize) -> u64 {
+        assert!(!chunk.is_zero(), "chunk size must be non-zero");
+        self.bits / chunk.bits
+    }
+
+    /// True if `self` is an exact multiple of `unit`.
+    pub fn is_multiple_of(self, unit: DataSize) -> bool {
+        !unit.is_zero() && self.bits % unit.bits == 0
+    }
+}
+
+impl Add for DataSize {
+    type Output = DataSize;
+    fn add(self, rhs: DataSize) -> DataSize {
+        DataSize {
+            bits: self.bits + rhs.bits,
+        }
+    }
+}
+
+impl AddAssign for DataSize {
+    fn add_assign(&mut self, rhs: DataSize) {
+        self.bits += rhs.bits;
+    }
+}
+
+impl Sub for DataSize {
+    type Output = DataSize;
+    fn sub(self, rhs: DataSize) -> DataSize {
+        DataSize {
+            bits: self
+                .bits
+                .checked_sub(rhs.bits)
+                .expect("DataSize subtraction underflow"),
+        }
+    }
+}
+
+impl SubAssign for DataSize {
+    fn sub_assign(&mut self, rhs: DataSize) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for DataSize {
+    type Output = DataSize;
+    fn mul(self, rhs: u64) -> DataSize {
+        DataSize {
+            bits: self.bits * rhs,
+        }
+    }
+}
+
+impl Mul<DataSize> for u64 {
+    type Output = DataSize;
+    fn mul(self, rhs: DataSize) -> DataSize {
+        rhs * self
+    }
+}
+
+impl Div<u64> for DataSize {
+    type Output = DataSize;
+    fn div(self, rhs: u64) -> DataSize {
+        DataSize {
+            bits: self.bits / rhs,
+        }
+    }
+}
+
+impl Div<DataSize> for DataSize {
+    type Output = u64;
+    /// Integer ratio of two sizes (how many `rhs` fit in `self`).
+    fn div(self, rhs: DataSize) -> u64 {
+        self.chunks(rhs)
+    }
+}
+
+impl Rem<DataSize> for DataSize {
+    type Output = DataSize;
+    fn rem(self, rhs: DataSize) -> DataSize {
+        DataSize {
+            bits: self.bits % rhs.bits,
+        }
+    }
+}
+
+impl Sum for DataSize {
+    fn sum<I: Iterator<Item = DataSize>>(iter: I) -> DataSize {
+        iter.fold(DataSize::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for DataSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.bits;
+        if b % 8 != 0 {
+            return write!(f, "{b} b");
+        }
+        let bytes = b / 8;
+        const KIB: u64 = 1024;
+        const MIB: u64 = 1024 * 1024;
+        const GIB: u64 = 1024 * 1024 * 1024;
+        const TIB: u64 = 1024 * GIB;
+        if bytes >= TIB && bytes % TIB == 0 {
+            write!(f, "{} TiB", bytes / TIB)
+        } else if bytes >= GIB && bytes % GIB == 0 {
+            write!(f, "{} GiB", bytes / GIB)
+        } else if bytes >= MIB && bytes % MIB == 0 {
+            write!(f, "{} MiB", bytes / MIB)
+        } else if bytes >= KIB && bytes % KIB == 0 {
+            write!(f, "{} KiB", bytes / KIB)
+        } else {
+            write!(f, "{bytes} B")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(DataSize::from_bytes(1).bits(), 8);
+        assert_eq!(DataSize::from_kib(4), DataSize::from_bytes(4096));
+        assert_eq!(DataSize::from_mib(1), DataSize::from_kib(1024));
+        assert_eq!(DataSize::from_gib(64).bytes(), 64 << 30);
+    }
+
+    #[test]
+    fn paper_reference_sizes() {
+        // Batch k = 4 KB = N x 2,048-bit interface width.
+        let interface = DataSize::from_bits(2048);
+        assert_eq!(16 * interface, DataSize::from_kib(4));
+        // Frame K = gamma * T * S = 4 * 128 * 1 KiB = 512 KiB.
+        let s = DataSize::from_kib(1);
+        assert_eq!(4 * 128 * s, DataSize::from_kib(512));
+        // Batch slice = k / N = 256 B.
+        assert_eq!(DataSize::from_kib(4) / 16, DataSize::from_bytes(256));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = DataSize::from_bytes(100);
+        let b = DataSize::from_bytes(60);
+        assert_eq!((a + b).bytes(), 160);
+        assert_eq!((a - b).bytes(), 40);
+        assert_eq!(a.saturating_sub(b * 2), DataSize::ZERO);
+        assert_eq!(a.checked_sub(b * 2), None);
+        assert_eq!(a / b, 1);
+        assert_eq!(a % b, DataSize::from_bytes(40));
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = DataSize::from_bytes(1) - DataSize::from_bytes(2);
+    }
+
+    #[test]
+    fn chunks_and_multiples() {
+        let frame = DataSize::from_kib(512);
+        let batch = DataSize::from_kib(4);
+        assert_eq!(frame.chunks(batch), 128);
+        assert!(frame.is_multiple_of(batch));
+        assert!(!DataSize::from_bytes(100).is_multiple_of(DataSize::from_bytes(64)));
+    }
+
+    #[test]
+    fn display_picks_largest_exact_unit() {
+        assert_eq!(DataSize::from_kib(512).to_string(), "512 KiB");
+        assert_eq!(DataSize::from_bytes(1500).to_string(), "1500 B");
+        assert_eq!(DataSize::from_bits(3).to_string(), "3 b");
+        assert_eq!(DataSize::from_gib(4096).to_string(), "4 TiB");
+    }
+
+    #[test]
+    fn alignment() {
+        assert!(DataSize::from_bytes(7).is_byte_aligned());
+        assert!(!DataSize::from_bits(7).is_byte_aligned());
+        assert_eq!(DataSize::from_bits(12).bytes(), 1);
+        assert!((DataSize::from_bits(12).bytes_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: DataSize = (1..=4).map(DataSize::from_bytes).sum();
+        assert_eq!(total, DataSize::from_bytes(10));
+    }
+}

@@ -1,0 +1,54 @@
+//! Typed physical quantities for the petabit router-in-a-package reproduction.
+//!
+//! Every quantity that crosses a crate boundary in this workspace is a
+//! newtype from this crate, so that bits are never confused with bytes,
+//! picoseconds with nanoseconds, or per-lane with aggregate rates. The
+//! conventions are:
+//!
+//! * **Data** is stored in **bits** ([`DataSize`]), with byte-oriented
+//!   constructors, because the paper mixes both freely (4 KB batches,
+//!   2,048-bit interfaces).
+//! * **Time** is stored in integer **picoseconds** ([`SimTime`] for instants,
+//!   [`TimeDelta`] for durations). All HBM/SRAM timings in the paper are
+//!   exact multiples of 1 ps, so simulations are exact and deterministic —
+//!   no floating-point drift in event ordering.
+//! * **Rates** are stored in **bits per second** ([`DataRate`]), with exact
+//!   integer transfer-time computation via 128-bit intermediates.
+//! * Analysis-only quantities ([`Power`], [`Energy`], [`Area`]) are `f64`
+//!   because §4 of the paper is closed-form arithmetic, not simulation.
+//!
+//! # Example
+//!
+//! ```
+//! use rip_units::{DataRate, DataSize};
+//!
+//! // One HBM4 channel: 64 bits wide at 10 Gb/s per bit.
+//! let channel = DataRate::from_gbps(64 * 10);
+//! // Transferring one 1 KiB PFI segment takes exactly 12.8 ns.
+//! let segment = DataSize::from_bytes(1024);
+//! assert_eq!(channel.transfer_time(segment).as_ps(), 12_800);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod area;
+mod data;
+mod power;
+mod rate;
+mod time;
+
+pub use area::Area;
+pub use data::DataSize;
+pub use power::{Energy, Power};
+pub use rate::DataRate;
+pub use time::{SimTime, TimeDelta};
+
+/// Number of picoseconds in a nanosecond.
+pub const PS_PER_NS: u64 = 1_000;
+/// Number of picoseconds in a microsecond.
+pub const PS_PER_US: u64 = 1_000_000;
+/// Number of picoseconds in a millisecond.
+pub const PS_PER_MS: u64 = 1_000_000_000;
+/// Number of picoseconds in a second.
+pub const PS_PER_S: u64 = 1_000_000_000_000;

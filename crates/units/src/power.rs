@@ -1,0 +1,181 @@
+//! Power and energy quantities for the §4 design analysis.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, Div, Mul, Sub};
+use serde::{Deserialize, Serialize};
+
+use crate::DataRate;
+
+/// Electrical power, in watts.
+///
+/// Used by the closed-form §4 analysis (processing chiplets, HBM stacks,
+/// OEO conversion) — `f64` because the paper's arithmetic is approximate
+/// by construction.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Power {
+    watts: f64,
+}
+
+impl Power {
+    /// Zero power.
+    pub const ZERO: Power = Power { watts: 0.0 };
+
+    /// Construct from watts.
+    pub const fn from_watts(watts: f64) -> Self {
+        Power { watts }
+    }
+
+    /// Construct from kilowatts.
+    pub const fn from_kw(kw: f64) -> Self {
+        Power { watts: kw * 1_000.0 }
+    }
+
+    /// The power in watts.
+    pub const fn watts(self) -> f64 {
+        self.watts
+    }
+
+    /// The power in kilowatts.
+    pub fn kilowatts(self) -> f64 {
+        self.watts / 1_000.0
+    }
+
+    /// Fraction `self / total`.
+    pub fn fraction_of(self, total: Power) -> f64 {
+        self.watts / total.watts
+    }
+}
+
+impl Add for Power {
+    type Output = Power;
+    fn add(self, rhs: Power) -> Power {
+        Power {
+            watts: self.watts + rhs.watts,
+        }
+    }
+}
+
+impl Sub for Power {
+    type Output = Power;
+    fn sub(self, rhs: Power) -> Power {
+        Power {
+            watts: self.watts - rhs.watts,
+        }
+    }
+}
+
+impl Mul<f64> for Power {
+    type Output = Power;
+    fn mul(self, rhs: f64) -> Power {
+        Power {
+            watts: self.watts * rhs,
+        }
+    }
+}
+
+impl Mul<u64> for Power {
+    type Output = Power;
+    fn mul(self, rhs: u64) -> Power {
+        self * rhs as f64
+    }
+}
+
+impl Div<f64> for Power {
+    type Output = Power;
+    fn div(self, rhs: f64) -> Power {
+        Power {
+            watts: self.watts / rhs,
+        }
+    }
+}
+
+impl Div<Power> for Power {
+    type Output = f64;
+    fn div(self, rhs: Power) -> f64 {
+        self.watts / rhs.watts
+    }
+}
+
+impl Sum for Power {
+    fn sum<I: Iterator<Item = Power>>(iter: I) -> Power {
+        iter.fold(Power::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Power {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.watts.abs() >= 1_000.0 {
+            write!(f, "{:.2} kW", self.kilowatts())
+        } else {
+            write!(f, "{:.1} W", self.watts)
+        }
+    }
+}
+
+/// Energy per bit, in picojoules per bit.
+///
+/// The OEO conversion figure of merit used in §4 (≈ 1.15 pJ/bit for
+/// commercially available silicon photonics).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Energy {
+    pj_per_bit: f64,
+}
+
+impl Energy {
+    /// Construct from picojoules per bit.
+    pub const fn from_pj_per_bit(pj_per_bit: f64) -> Self {
+        Energy { pj_per_bit }
+    }
+
+    /// Picojoules per bit.
+    pub const fn pj_per_bit(self) -> f64 {
+        self.pj_per_bit
+    }
+
+    /// Sustained power of converting a stream at `rate`:
+    /// `P [W] = pJ/bit × bits/s × 1e-12`.
+    pub fn power_at(self, rate: DataRate) -> Power {
+        Power::from_watts(self.pj_per_bit * rate.bps() as f64 * 1e-12)
+    }
+}
+
+impl fmt::Display for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} pJ/bit", self.pj_per_bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_oeo_power() {
+        // 1.15 pJ/bit at 81.92 Tb/s of I/O ~= 94 W per HBM switch (paper §4).
+        let oeo = Energy::from_pj_per_bit(1.15);
+        let io = DataRate::from_gbps(81_920);
+        let p = oeo.power_at(io);
+        assert!((p.watts() - 94.2).abs() < 0.1, "got {}", p.watts());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Power::from_watts(400.0);
+        let b = Power::from_watts(300.0);
+        assert_eq!((a + b).watts(), 700.0);
+        assert_eq!((a - b).watts(), 100.0);
+        assert_eq!((a * 2.0).watts(), 800.0);
+        assert_eq!((a / 2.0).watts(), 200.0);
+        assert!((b.fraction_of(a + b) - 3.0 / 7.0).abs() < 1e-12);
+        let total: Power = vec![a, b].into_iter().sum();
+        assert_eq!(total.watts(), 700.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Power::from_watts(794.0).to_string(), "794.0 W");
+        assert_eq!(Power::from_kw(12.7).to_string(), "12.70 kW");
+        assert_eq!(Energy::from_pj_per_bit(1.15).to_string(), "1.15 pJ/bit");
+    }
+}

@@ -1,0 +1,351 @@
+//! Simulation time: instants and durations in integer picoseconds.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+use serde::{Deserialize, Serialize};
+
+use crate::{PS_PER_MS, PS_PER_NS, PS_PER_S, PS_PER_US};
+
+/// A duration, in integer picoseconds.
+///
+/// All device timings in the reproduced design (HBM tRCD/tRP/tFAW, SRAM
+/// clock periods, wavelength serialization times) are exact integer
+/// picosecond counts, so simulated schedules are exact and reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct TimeDelta {
+    ps: u64,
+}
+
+impl TimeDelta {
+    /// Zero duration.
+    pub const ZERO: TimeDelta = TimeDelta { ps: 0 };
+
+    /// Construct from picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        TimeDelta { ps }
+    }
+
+    /// Construct from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        TimeDelta { ps: ns * PS_PER_NS }
+    }
+
+    /// Construct from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        TimeDelta { ps: us * PS_PER_US }
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        TimeDelta { ps: ms * PS_PER_MS }
+    }
+
+    /// Construct from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        TimeDelta { ps: s * PS_PER_S }
+    }
+
+    /// The duration in picoseconds.
+    pub const fn as_ps(self) -> u64 {
+        self.ps
+    }
+
+    /// The duration in (fractional) nanoseconds.
+    pub fn as_ns_f64(self) -> f64 {
+        self.ps as f64 / PS_PER_NS as f64
+    }
+
+    /// The duration in (fractional) microseconds.
+    pub fn as_us_f64(self) -> f64 {
+        self.ps as f64 / PS_PER_US as f64
+    }
+
+    /// The duration in (fractional) milliseconds.
+    pub fn as_ms_f64(self) -> f64 {
+        self.ps as f64 / PS_PER_MS as f64
+    }
+
+    /// The duration in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.ps as f64 / PS_PER_S as f64
+    }
+
+    /// True if zero.
+    pub const fn is_zero(self) -> bool {
+        self.ps == 0
+    }
+
+    /// Saturating subtraction.
+    pub const fn saturating_sub(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta {
+            ps: self.ps.saturating_sub(rhs.ps),
+        }
+    }
+
+    /// The minimum of two durations.
+    pub fn min(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta {
+            ps: self.ps.min(rhs.ps),
+        }
+    }
+
+    /// The maximum of two durations.
+    pub fn max(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta {
+            ps: self.ps.max(rhs.ps),
+        }
+    }
+}
+
+impl Add for TimeDelta {
+    type Output = TimeDelta;
+    fn add(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta { ps: self.ps + rhs.ps }
+    }
+}
+
+impl AddAssign for TimeDelta {
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.ps += rhs.ps;
+    }
+}
+
+impl Sub for TimeDelta {
+    type Output = TimeDelta;
+    fn sub(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta {
+            ps: self
+                .ps
+                .checked_sub(rhs.ps)
+                .expect("TimeDelta subtraction underflow"),
+        }
+    }
+}
+
+impl SubAssign for TimeDelta {
+    fn sub_assign(&mut self, rhs: TimeDelta) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for TimeDelta {
+    type Output = TimeDelta;
+    fn mul(self, rhs: u64) -> TimeDelta {
+        TimeDelta { ps: self.ps * rhs }
+    }
+}
+
+impl Mul<TimeDelta> for u64 {
+    type Output = TimeDelta;
+    fn mul(self, rhs: TimeDelta) -> TimeDelta {
+        rhs * self
+    }
+}
+
+impl Div<u64> for TimeDelta {
+    type Output = TimeDelta;
+    fn div(self, rhs: u64) -> TimeDelta {
+        TimeDelta { ps: self.ps / rhs }
+    }
+}
+
+impl Div<TimeDelta> for TimeDelta {
+    type Output = f64;
+    /// Ratio of two durations.
+    fn div(self, rhs: TimeDelta) -> f64 {
+        self.ps as f64 / rhs.ps as f64
+    }
+}
+
+impl Sum for TimeDelta {
+    fn sum<I: Iterator<Item = TimeDelta>>(iter: I) -> TimeDelta {
+        iter.fold(TimeDelta::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for TimeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.ps;
+        if ps == 0 {
+            write!(f, "0 ps")
+        } else if ps % PS_PER_S == 0 {
+            write!(f, "{} s", ps / PS_PER_S)
+        } else if ps >= PS_PER_MS {
+            write!(f, "{:.3} ms", self.as_ms_f64())
+        } else if ps >= PS_PER_US {
+            write!(f, "{:.3} us", self.as_us_f64())
+        } else if ps >= PS_PER_NS {
+            write!(f, "{:.3} ns", self.as_ns_f64())
+        } else {
+            write!(f, "{ps} ps")
+        }
+    }
+}
+
+/// An instant in simulated time, in integer picoseconds since simulation
+/// start.
+///
+/// A `u64` of picoseconds wraps after ~5,100 hours of simulated time — far
+/// beyond any run in this workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime {
+    ps: u64,
+}
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime { ps: 0 };
+
+    /// Construct from picoseconds since the epoch.
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime { ps }
+    }
+
+    /// Construct from nanoseconds since the epoch.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime { ps: ns * PS_PER_NS }
+    }
+
+    /// Picoseconds since the epoch.
+    pub const fn as_ps(self) -> u64 {
+        self.ps
+    }
+
+    /// Duration since the epoch.
+    pub const fn since_epoch(self) -> TimeDelta {
+        TimeDelta::from_ps(self.ps)
+    }
+
+    /// Duration since an earlier instant.
+    ///
+    /// # Panics
+    /// Panics if `earlier` is after `self`.
+    pub fn since(self, earlier: SimTime) -> TimeDelta {
+        TimeDelta::from_ps(
+            self.ps
+                .checked_sub(earlier.ps)
+                .expect("SimTime::since: earlier instant is after self"),
+        )
+    }
+
+    /// Saturating duration since another instant (zero if `other` is later).
+    pub const fn saturating_since(self, other: SimTime) -> TimeDelta {
+        TimeDelta::from_ps(self.ps.saturating_sub(other.ps))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, rhs: SimTime) -> SimTime {
+        SimTime {
+            ps: self.ps.max(rhs.ps),
+        }
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, rhs: SimTime) -> SimTime {
+        SimTime {
+            ps: self.ps.min(rhs.ps),
+        }
+    }
+}
+
+impl Add<TimeDelta> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: TimeDelta) -> SimTime {
+        SimTime {
+            ps: self.ps + rhs.as_ps(),
+        }
+    }
+}
+
+impl AddAssign<TimeDelta> for SimTime {
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.ps += rhs.as_ps();
+    }
+}
+
+impl Sub<TimeDelta> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: TimeDelta) -> SimTime {
+        SimTime {
+            ps: self
+                .ps
+                .checked_sub(rhs.as_ps())
+                .expect("SimTime - TimeDelta underflow"),
+        }
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = TimeDelta;
+    fn sub(self, rhs: SimTime) -> TimeDelta {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.since_epoch())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_constructors() {
+        assert_eq!(TimeDelta::from_ns(30).as_ps(), 30_000);
+        assert_eq!(TimeDelta::from_us(1).as_ps(), 1_000_000);
+        assert_eq!(TimeDelta::from_ms(51).as_ms_f64(), 51.0);
+        assert_eq!(TimeDelta::from_secs(1).as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    fn instant_arithmetic() {
+        let t0 = SimTime::ZERO;
+        let t1 = t0 + TimeDelta::from_ns(100);
+        assert_eq!(t1.since(t0), TimeDelta::from_ns(100));
+        assert_eq!(t1 - t0, TimeDelta::from_ns(100));
+        assert_eq!(t1 - TimeDelta::from_ns(40), SimTime::from_ns(60));
+        assert_eq!(t0.saturating_since(t1), TimeDelta::ZERO);
+        assert_eq!(t0.max(t1), t1);
+        assert_eq!(t0.min(t1), t0);
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier instant is after self")]
+    fn since_panics_on_reversed_order() {
+        SimTime::ZERO.since(SimTime::from_ns(1));
+    }
+
+    #[test]
+    fn delta_arithmetic() {
+        let a = TimeDelta::from_ns(10);
+        let b = TimeDelta::from_ns(4);
+        assert_eq!((a + b).as_ps(), 14_000);
+        assert_eq!((a - b).as_ps(), 6_000);
+        assert_eq!(a.saturating_sub(b * 3), TimeDelta::ZERO);
+        assert_eq!(a * 3, TimeDelta::from_ns(30));
+        assert_eq!(a / 2, TimeDelta::from_ns(5));
+        assert!((a / b - 2.5).abs() < 1e-12);
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(TimeDelta::from_ps(500).to_string(), "500 ps");
+        assert_eq!(TimeDelta::from_ns(30).to_string(), "30.000 ns");
+        assert_eq!(TimeDelta::from_us(12).to_string(), "12.000 us");
+        assert_eq!(TimeDelta::from_secs(2).to_string(), "2 s");
+        assert_eq!(TimeDelta::ZERO.to_string(), "0 ps");
+        assert_eq!(SimTime::from_ns(1).to_string(), "t=1.000 ns");
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: TimeDelta = (1..=3).map(TimeDelta::from_ns).sum();
+        assert_eq!(total, TimeDelta::from_ns(6));
+    }
+}

@@ -1,0 +1,38 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use rip_core::RouterConfig;
+use rip_traffic::{
+    merge_streams, ArrivalProcess, Packet, PacketGenerator, SizeDistribution, TrafficMatrix,
+};
+use rip_units::SimTime;
+
+/// Build an arrival-ordered trace for an HBM switch.
+pub fn trace_for(
+    cfg: &RouterConfig,
+    tm: &TrafficMatrix,
+    load: f64,
+    horizon: SimTime,
+    seed: u64,
+) -> Vec<Packet> {
+    let streams: Vec<Vec<Packet>> = (0..cfg.ribbons)
+        .map(|i| {
+            let row = (load * tm.row_load(i)).min(1.0);
+            if row <= 0.0 {
+                return Vec::new();
+            }
+            let mut g = PacketGenerator::new(
+                i,
+                cfg.port_rate(),
+                row,
+                tm.row(i).to_vec(),
+                SizeDistribution::Imix,
+                ArrivalProcess::Poisson,
+                128,
+                rip_sim::rng::derive_seed(seed, i as u64),
+            )
+            .expect("valid generator");
+            g.generate_until(horizon)
+        })
+        .collect();
+    merge_streams(streams)
+}

@@ -1,0 +1,82 @@
+//! E4 integration: the HBM switch mimics the ideal OQ switch within a
+//! finite lag, across loads, matrices and speedups.
+
+use rip_core::{MimicChecker, RouterConfig};
+use rip_integration_tests::trace_for;
+use rip_traffic::TrafficMatrix;
+use rip_units::{SimTime, TimeDelta};
+
+fn cfg_with_headroom() -> RouterConfig {
+    let mut cfg = RouterConfig::small();
+    cfg.hbm_geometry.channels_per_stack = 16;
+    cfg
+}
+
+#[test]
+fn lag_is_finite_across_matrices() {
+    let cfg = cfg_with_headroom();
+    let horizon = SimTime::from_ns(60_000);
+    let drain = SimTime::from_ns(500_000);
+    let perm: Vec<usize> = (0..cfg.ribbons).map(|i| (i + 1) % cfg.ribbons).collect();
+    for tm in [
+        TrafficMatrix::uniform(cfg.ribbons, 1.0),
+        TrafficMatrix::permutation(&perm, 1.0).unwrap(),
+        TrafficMatrix::log_normal(cfg.ribbons, 1.0, 0.8, 2),
+    ] {
+        let trace = trace_for(&cfg, &tm, 0.8, horizon, 31);
+        let r = MimicChecker::new(cfg.clone()).run(&trace, drain);
+        assert!(r.compared > 100, "compared only {}", r.compared);
+        // "Within a finite delay": bounded well below the trace span.
+        assert!(
+            r.max_lag < TimeDelta::from_ns(20_000),
+            "max lag {} too large",
+            r.max_lag
+        );
+    }
+}
+
+#[test]
+fn lag_does_not_grow_with_trace_length() {
+    let cfg = cfg_with_headroom();
+    let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
+    let short = MimicChecker::new(cfg.clone()).run(
+        &trace_for(&cfg, &tm, 0.75, SimTime::from_ns(40_000), 7),
+        SimTime::from_ns(300_000),
+    );
+    let long = MimicChecker::new(cfg.clone()).run(
+        &trace_for(&cfg, &tm, 0.75, SimTime::from_ns(160_000), 7),
+        SimTime::from_ns(900_000),
+    );
+    assert!(long.compared > 2 * short.compared);
+    let s = short.max_lag.as_ns_f64().max(1.0);
+    assert!(
+        long.max_lag.as_ns_f64() < 3.0 * s + 50_000.0,
+        "lag grew: {} vs {}",
+        long.max_lag,
+        short.max_lag
+    );
+}
+
+#[test]
+fn speedup_strictly_helps_at_high_load() {
+    let base = cfg_with_headroom();
+    let tm = TrafficMatrix::uniform(base.ribbons, 1.0);
+    let trace = trace_for(&base, &tm, 0.9, SimTime::from_ns(80_000), 3);
+    let drain = SimTime::from_ns(600_000);
+    let r1 = MimicChecker::new(base.clone()).run(&trace, drain);
+    let mut fast = base.clone();
+    fast.speedup = 2.0;
+    let r2 = MimicChecker::new(fast).run(&trace, drain);
+    assert!(r2.mean_lag <= r1.mean_lag, "{} > {}", r2.mean_lag, r1.mean_lag);
+    assert!(r2.p99_lag <= r1.p99_lag);
+}
+
+#[test]
+fn every_compared_packet_is_reported_in_the_histogram() {
+    let cfg = cfg_with_headroom();
+    let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
+    let trace = trace_for(&cfg, &tm, 0.6, SimTime::from_ns(30_000), 5);
+    let r = MimicChecker::new(cfg).run(&trace, SimTime::from_ns(300_000));
+    assert_eq!(r.lags_ns.count() as u64, r.compared);
+    assert!(r.fraction_within(r.max_lag) > 0.99);
+}

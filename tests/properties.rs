@@ -1,0 +1,218 @@
+//! Property-based tests on the workspace's core invariants.
+
+use proptest::prelude::*;
+use rip_baselines::IdealOqSwitch;
+use rip_core::{BatchAssembler, CyclicalCrossbar};
+use rip_photonics::{SplitMap, SplitPattern};
+use rip_sim::stats::Histogram;
+use rip_sim::EventQueue;
+use rip_traffic::hash::{lane_for, HashKind};
+use rip_traffic::{FlowKey, Packet, TrafficMatrix};
+use rip_units::{DataRate, DataSize, SimTime};
+
+proptest! {
+    /// Batch assembly never loses, duplicates or reorders a byte, for
+    /// arbitrary packet-size sequences, including jumbos that straddle
+    /// several batches.
+    #[test]
+    fn batch_assembly_conserves_bytes(
+        sizes in prop::collection::vec(1u64..9000, 1..200),
+        outputs in 1usize..8,
+    ) {
+        let k = DataSize::from_kib(1);
+        let mut a = BatchAssembler::new(0, outputs, k);
+        let mut batches = Vec::new();
+        let mut offered = 0u64;
+        for (i, &s) in sizes.iter().enumerate() {
+            offered += s;
+            let p = Packet::new(i as u64, 0, i % outputs, DataSize::from_bytes(s), SimTime::ZERO);
+            batches.extend(a.push(&p));
+        }
+        for o in 0..outputs {
+            while let Some(b) = a.flush(o) {
+                batches.push(b);
+            }
+        }
+        // Conservation.
+        let out: u64 = batches.iter().map(|b| b.payload().bytes()).sum();
+        prop_assert_eq!(out, offered);
+        // Every full batch is exactly k; every batch is k with padding.
+        for b in &batches {
+            prop_assert_eq!(b.size(), k);
+        }
+        // Per-output chunk streams reconstruct whole packets in order.
+        for o in 0..outputs {
+            let mut expected: Vec<(u64, u64)> = Vec::new(); // (id, size)
+            for (i, &s) in sizes.iter().enumerate() {
+                if i % outputs == o {
+                    expected.push((i as u64, s));
+                }
+            }
+            let mut iter = expected.into_iter();
+            let mut cur: Option<(u64, u64, u64)> = iter.next().map(|(id, s)| (id, s, 0));
+            for b in batches.iter().filter(|b| b.output == o) {
+                for c in &b.chunks {
+                    let (id, size, off) = cur.take().expect("chunk beyond expected packets");
+                    prop_assert_eq!(c.packet, id);
+                    prop_assert_eq!(c.offset, off);
+                    let new_off = off + c.len.bytes();
+                    prop_assert!(new_off <= size);
+                    if c.is_last {
+                        prop_assert_eq!(new_off, size);
+                        cur = iter.next().map(|(id, s)| (id, s, 0));
+                    } else {
+                        cur = Some((id, size, new_off));
+                    }
+                }
+            }
+            prop_assert!(cur.is_none() || cur.map(|c| c.2) == Some(0) || cur.is_some());
+        }
+    }
+
+    /// The cyclical crossbar is a permutation at every slot, and every
+    /// input's slice walk starting at its start slot visits modules
+    /// 0..n in order.
+    #[test]
+    fn crossbar_is_always_a_permutation(n in 1usize..64, slot in 0u64..10_000) {
+        let xb = CyclicalCrossbar::new(n);
+        let mut seen = vec![false; n];
+        for i in 0..n {
+            let m = xb.module_for(i, slot);
+            prop_assert!(!seen[m]);
+            seen[m] = true;
+            prop_assert_eq!(xb.input_for(m, slot), i);
+        }
+        let input = (slot as usize) % n;
+        let start = xb.next_start_slot(input, slot);
+        for j in 0..n as u64 {
+            prop_assert_eq!(xb.module_for(input, start + j), j as usize);
+        }
+    }
+
+    /// Every split pattern assigns exactly alpha fibers of every ribbon
+    /// to every switch.
+    #[test]
+    fn split_maps_are_alpha_regular(
+        ribbons in 1usize..12,
+        alpha in 1usize..6,
+        switches in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let fibers = alpha * switches;
+        for pattern in [
+            SplitPattern::Sequential,
+            SplitPattern::Striped,
+            SplitPattern::PseudoRandom { seed },
+        ] {
+            let m = SplitMap::new(ribbons, fibers, switches, pattern).unwrap();
+            for r in 0..ribbons {
+                for s in 0..switches {
+                    prop_assert_eq!(m.fibers_for(r, s).len(), alpha);
+                }
+            }
+        }
+    }
+
+    /// Event queues deliver in non-decreasing time order and FIFO
+    /// within equal times.
+    #[test]
+    fn event_queue_orders_deliveries(times in prop::collection::vec(0u64..1000, 1..300)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_ns(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, i)) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(i > li, "FIFO violated among equal times");
+                }
+            }
+            last = Some((t, i));
+        }
+    }
+
+    /// Exact transfer-time arithmetic: ceil-rounded, monotone in size,
+    /// and the inverse (data_in) never under-delivers.
+    #[test]
+    fn rate_arithmetic_is_consistent(
+        bps in 1u64..10_000_000_000_000,
+        bytes in 1u64..1_000_000,
+    ) {
+        let r = DataRate::from_bps(bps);
+        let s = DataSize::from_bytes(bytes);
+        let t = r.transfer_time(s);
+        prop_assert!(t.as_ps() > 0);
+        // Monotone.
+        let t2 = r.transfer_time(s + DataSize::from_bytes(1));
+        prop_assert!(t2 >= t);
+        // data_in(t) >= s (ceil rounding can only over-cover).
+        prop_assert!(r.data_in(t).bits() >= s.bits());
+    }
+
+    /// Histogram quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn histogram_quantiles_monotone(samples in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=10 {
+            let q = i as f64 / 10.0;
+            let v = h.quantile(q).unwrap();
+            prop_assert!(v >= prev);
+            prev = v;
+        }
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(h.quantile(0.0).unwrap(), min);
+        prop_assert_eq!(h.quantile(1.0).unwrap(), max);
+    }
+
+    /// Flow hashing always lands within the lane count and is stable.
+    #[test]
+    fn hash_lanes_in_range(
+        src in any::<u32>(), dst in any::<u32>(),
+        sp in any::<u16>(), dp in any::<u16>(),
+        proto in any::<u8>(), lanes in 1usize..256,
+    ) {
+        let f = FlowKey { src_ip: src, dst_ip: dst, src_port: sp, dst_port: dp, proto };
+        for kind in [HashKind::Fnv1a, HashKind::Crc32c] {
+            let lane = lane_for(f, lanes, kind);
+            prop_assert!(lane < lanes);
+            prop_assert_eq!(lane, lane_for(f, lanes, kind));
+        }
+    }
+
+    /// The ideal OQ switch is work-conserving and FIFO per output:
+    /// departures are non-decreasing per output, each at least
+    /// arrival + serialization.
+    #[test]
+    fn ideal_oq_invariants(
+        arrivals in prop::collection::vec((0u64..10_000, 0usize..4, 64u64..1500), 1..100),
+    ) {
+        let mut sorted = arrivals.clone();
+        sorted.sort_by_key(|&(t, _, _)| t);
+        let rate = DataRate::from_gbps(100);
+        let mut sw = IdealOqSwitch::new(4, rate);
+        let mut last_dep = vec![SimTime::ZERO; 4];
+        for (i, &(t, o, s)) in sorted.iter().enumerate() {
+            let p = Packet::new(i as u64, 0, o, DataSize::from_bytes(s), SimTime::from_ns(t));
+            let d = sw.offer(&p);
+            let min_dep = p.arrival + rate.transfer_time(p.size);
+            prop_assert!(d.departure >= min_dep);
+            prop_assert!(d.departure >= last_dep[o]);
+            last_dep[o] = d.departure;
+        }
+    }
+
+    /// Uniform and permutation matrices are admissible at load <= 1.
+    #[test]
+    fn canonical_matrices_admissible(n in 1usize..32, load in 0.0f64..1.0) {
+        prop_assert!(TrafficMatrix::uniform(n, load).is_admissible());
+        let perm: Vec<usize> = (0..n).map(|i| (i + 1) % n).collect();
+        prop_assert!(TrafficMatrix::permutation(&perm, load).unwrap().is_admissible());
+    }
+}

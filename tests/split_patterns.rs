@@ -1,0 +1,95 @@
+//! E5/E15/E17 integration: split patterns, fill skew, hashing evenness
+//! and the adversarial scenario at the paper's full N/F/H geometry.
+
+use rip_photonics::{SplitMap, SplitPattern};
+use rip_traffic::{Attacker, FiberFill};
+
+const N: usize = 16;
+const F: usize = 64;
+const H: usize = 16;
+
+fn loads_for(fill: FiberFill, total: f64) -> Vec<Vec<f64>> {
+    (0..N).map(|_| fill.loads(F, total)).collect()
+}
+
+#[test]
+fn all_patterns_conserve_load_and_alpha() {
+    for pattern in [
+        SplitPattern::Sequential,
+        SplitPattern::Striped,
+        SplitPattern::PseudoRandom { seed: 99 },
+    ] {
+        let m = SplitMap::new(N, F, H, pattern).unwrap();
+        assert_eq!(m.alpha(), 4);
+        let loads = loads_for(FiberFill::Linear, 16.0);
+        let per_switch = m.switch_loads(&loads);
+        let total: f64 = per_switch.iter().sum();
+        assert!((total - 16.0 * N as f64).abs() < 1e-6, "{pattern:?}");
+    }
+}
+
+#[test]
+fn uniform_fill_is_perfectly_balanced_under_any_pattern() {
+    for pattern in [
+        SplitPattern::Sequential,
+        SplitPattern::Striped,
+        SplitPattern::PseudoRandom { seed: 4 },
+    ] {
+        let m = SplitMap::new(N, F, H, pattern).unwrap();
+        let per_switch = m.switch_loads(&loads_for(FiberFill::Uniform, 32.0));
+        let expect = 32.0 * N as f64 / H as f64;
+        for (s, &l) in per_switch.iter().enumerate() {
+            assert!((l - expect).abs() < 1e-9, "{pattern:?} switch {s}: {l}");
+        }
+    }
+}
+
+#[test]
+fn fill_skew_hurts_sequential_most_at_full_geometry() {
+    let seq = SplitMap::new(N, F, H, SplitPattern::Sequential).unwrap();
+    let rnd = SplitMap::new(N, F, H, SplitPattern::PseudoRandom { seed: 12 }).unwrap();
+    let striped = SplitMap::new(N, F, H, SplitPattern::Striped).unwrap();
+    // Quarter of the fibers lit, at full rate.
+    let loads = loads_for(FiberFill::FirstFilled { used: F / 4 }, 16.0);
+    let max = |m: &SplitMap| {
+        m.switch_loads(&loads)
+            .into_iter()
+            .fold(0.0f64, f64::max)
+    };
+    let (s, r, st) = (max(&seq), max(&rnd), max(&striped));
+    // Sequential concentrates everything on the first H/4 switches.
+    assert!(s >= 4.0 * N as f64 - 1e-9, "sequential max {s}");
+    assert!(r < s, "pseudo-random {r} !< sequential {s}");
+    // Striped is perfectly balanced for this particular skew.
+    assert!(st < r + 1e-9, "striped {st} vs random {r}");
+}
+
+#[test]
+fn pseudo_random_concentration_is_near_fair_across_many_seeds() {
+    // Statistical check: over many secret seeds, a sequential-believing
+    // attacker's concentration stays near 1 (fair share).
+    let believed = SplitMap::new(N, F, H, SplitPattern::Sequential).unwrap();
+    let atk = Attacker::new(32.0);
+    let mut worst: f64 = 0.0;
+    for seed in 0..50 {
+        let truth = SplitMap::new(N, F, H, SplitPattern::PseudoRandom { seed }).unwrap();
+        let out = atk.evaluate(&believed, &truth, 0);
+        worst = worst.max(out.concentration);
+    }
+    // Far below the H=16 a correct-belief attacker achieves.
+    assert!(worst < 4.0, "worst concentration {worst}");
+}
+
+#[test]
+fn attack_on_every_victim_behaves_the_same() {
+    let truth = SplitMap::new(N, F, H, SplitPattern::PseudoRandom { seed: 1234 }).unwrap();
+    let atk = Attacker::new(16.0);
+    for victim in 0..H {
+        let correct = atk.evaluate(&truth, &truth, victim);
+        assert!(
+            (correct.concentration - H as f64).abs() < 1e-9,
+            "victim {victim}: {}",
+            correct.concentration
+        );
+    }
+}
