@@ -1,0 +1,97 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::thread::scope` for structured
+//! fork/join parallelism; since Rust 1.63 the standard library provides
+//! the same capability, so this shim forwards to [`std::thread::scope`]
+//! while keeping crossbeam's `Result`-returning signature (a panic in
+//! any spawned thread surfaces as `Err` instead of unwinding).
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads (crossbeam-utils API subset).
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// The error payload of a panicked scope: the boxed panic value.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle passed to [`scope`]'s closure and to every
+    /// spawned thread's closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// A handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish; `Err` carries its panic
+        /// payload.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the
+        /// scope handle again so it can spawn siblings (crossbeam
+        /// convention).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let me = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&me)),
+            }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing, scoped threads can be
+    /// spawned; joins them all before returning.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .iter()
+                .map(|&x| scope.spawn(move |_| x * 10))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn panic_in_scope_becomes_err() {
+        let r = crate::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,529 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors a self-contained serialization layer exposing the serde
+//! surface it uses: `#[derive(Serialize, Deserialize)]` (with the
+//! `transparent`, `tag`, `rename_all` and `default` attributes),
+//! plus `serde_json::{to_string, to_string_pretty, from_str}`.
+//!
+//! Unlike upstream serde's visitor architecture, this implementation
+//! round-trips through an owned [`Value`] tree — simpler, and entirely
+//! sufficient for the configuration files and report dumps this
+//! workspace reads and writes.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map (insertion order preserved for determinism).
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number, kept in its widest lossless representation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+}
+
+impl Value {
+    /// The fields if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The contents if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Short description of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// A deserialization error.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// An error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// "expected X, found Y while parsing T".
+    pub fn expected(what: &str, found: &Value, ty: &str) -> Self {
+        DeError {
+            msg: format!("expected {what}, found {} while parsing {ty}", found.kind()),
+        }
+    }
+
+    /// "missing field F of T".
+    pub fn missing(field: &str, ty: &str) -> Self {
+        DeError {
+            msg: format!("missing field `{field}` of {ty}"),
+        }
+    }
+
+    /// "unknown variant V of T".
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        DeError {
+            msg: format!("unknown variant `{variant}` of {ty}"),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// The value to use when a field of this type is absent from an
+    /// object (`None` means "absence is an error"). `Option<T>` uses
+    /// this to default to `None`, matching upstream serde.
+    #[doc(hidden)]
+    fn absent() -> Option<Self> {
+        None
+    }
+}
+
+/// Compatibility alias used via `serde::de::DeserializeOwned` bounds.
+pub mod de {
+    /// Owned deserialization (all deserialization here is owned).
+    pub trait DeserializeOwned: super::Deserialize {}
+    impl<T: super::Deserialize> DeserializeOwned for T {}
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = match v {
+                    Value::Number(n) => *n,
+                    _ => return Err(DeError::expected("number", v, stringify!($t))),
+                };
+                let u = match n {
+                    Number::U64(u) => u,
+                    Number::I64(i) if i >= 0 => i as u64,
+                    Number::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                        f as u64
+                    }
+                    _ => {
+                        return Err(DeError::custom(format!(
+                            "number {n:?} out of range for {}",
+                            stringify!($t)
+                        )))
+                    }
+                };
+                <$t>::try_from(u).map_err(|_| {
+                    DeError::custom(format!("{u} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 {
+                    Value::Number(Number::U64(i as u64))
+                } else {
+                    Value::Number(Number::I64(i))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = match v {
+                    Value::Number(n) => *n,
+                    _ => return Err(DeError::expected("number", v, stringify!($t))),
+                };
+                let i = match n {
+                    Number::I64(i) => i,
+                    Number::U64(u) if u <= i64::MAX as u64 => u as i64,
+                    Number::F64(f)
+                        if f.fract() == 0.0
+                            && f >= i64::MIN as f64
+                            && f <= i64::MAX as f64 =>
+                    {
+                        f as i64
+                    }
+                    _ => {
+                        return Err(DeError::custom(format!(
+                            "number {n:?} out of range for {}",
+                            stringify!($t)
+                        )))
+                    }
+                };
+                <$t>::try_from(i).map_err(|_| {
+                    DeError::custom(format!("{i} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+ser_de_int!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::F64(*self as f64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Number(Number::F64(f)) => Ok(*f as $t),
+                    Value::Number(Number::U64(u)) => Ok(*u as $t),
+                    Value::Number(Number::I64(i)) => Ok(*i as $t),
+                    _ => Err(DeError::expected("number", v, stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+ser_de_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", v, "bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", v, "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::expected("single-char string", v, "char")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn absent() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(a) => a.iter().map(T::from_value).collect(),
+            _ => Err(DeError::expected("array", v, "Vec")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let a = v
+            .as_array()
+            .ok_or_else(|| DeError::expected("array", v, "array"))?;
+        if a.len() != N {
+            return Err(DeError::custom(format!(
+                "expected array of length {N}, found {}",
+                a.len()
+            )));
+        }
+        let items: Result<Vec<T>, DeError> = a.iter().map(T::from_value).collect();
+        items.map(|v| {
+            v.try_into()
+                .expect("length checked above; array conversion cannot fail")
+        })
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Vec::<T>::from_value(v).map(Into::into)
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Vec::<T>::from_value(v).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", v, "map"))?;
+        obj.iter()
+            .map(|(k, val)| V::from_value(val).map(|v| (k.clone(), v)))
+            .collect()
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let a = v.as_array().ok_or_else(|| DeError::expected("array", v, "tuple"))?;
+                let expect = [$( $n , )+].len();
+                if a.len() != expect {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of {expect} elements, found {}", a.len()
+                    )));
+                }
+                Ok(($($t::from_value(&a[$n])?,)+))
+            }
+        }
+    )*};
+}
+ser_de_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+// ---------------------------------------------------------------------------
+// Derive-support helpers (referenced by generated code; not public API)
+// ---------------------------------------------------------------------------
+
+/// Look up `key` in an object's fields.
+#[doc(hidden)]
+pub fn __get<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialize a required field (absent `Option` fields become `None`).
+#[doc(hidden)]
+pub fn __field<T: Deserialize>(
+    obj: &[(String, Value)],
+    key: &str,
+    ty: &str,
+) -> Result<T, DeError> {
+    match __get(obj, key) {
+        Some(v) => T::from_value(v)
+            .map_err(|e| DeError::custom(format!("{ty}.{key}: {e}"))),
+        None => T::absent().ok_or_else(|| DeError::missing(key, ty)),
+    }
+}
+
+/// Deserialize a `#[serde(default)]` field.
+#[doc(hidden)]
+pub fn __field_or_default<T: Deserialize + Default>(
+    obj: &[(String, Value)],
+    key: &str,
+    ty: &str,
+) -> Result<T, DeError> {
+    match __get(obj, key) {
+        Some(v) => T::from_value(v)
+            .map_err(|e| DeError::custom(format!("{ty}.{key}: {e}"))),
+        None => Ok(T::default()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        let v: Vec<u8> = Deserialize::from_value(&vec![1u8, 2, 3].to_value()).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        let t: (u32, f64) = Deserialize::from_value(&(5u32, 0.25f64).to_value()).unwrap();
+        assert_eq!(t, (5, 0.25));
+    }
+
+    #[test]
+    fn option_absence_defaults_to_none() {
+        let obj: Vec<(String, Value)> = vec![];
+        let x: Option<u64> = __field(&obj, "missing", "T").unwrap();
+        assert_eq!(x, None);
+        let err = __field::<u64>(&obj, "missing", "T").unwrap_err();
+        assert!(err.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn numeric_conversions_are_lenient_but_sound() {
+        // Whole floats convert to ints (hand-written JSON convenience).
+        assert_eq!(u32::from_value(&Value::Number(Number::F64(8.0))).unwrap(), 8);
+        assert!(u32::from_value(&Value::Number(Number::F64(8.5))).is_err());
+        assert!(u8::from_value(&Value::Number(Number::U64(256))).is_err());
+        assert!(u64::from_value(&Value::Number(Number::I64(-1))).is_err());
+    }
+}

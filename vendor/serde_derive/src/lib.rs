@@ -1,0 +1,668 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls against the
+//! vendored value-tree serde (see `vendor/serde`). The parser is
+//! hand-rolled over `proc_macro::TokenStream` (no `syn`/`quote` in the
+//! offline environment) and supports the shapes this workspace uses:
+//!
+//! - structs with named fields, tuple structs, unit structs
+//! - enums with unit, tuple and struct variants (externally tagged by
+//!   default, internally tagged with `#[serde(tag = "...")]`)
+//! - container attributes: `transparent`, `tag = "..."`,
+//!   `rename_all = "snake_case"`
+//! - field attribute: `default`
+//!
+//! Generics are intentionally unsupported (nothing in the workspace
+//! derives serde on a generic type); the macro emits a clear
+//! `compile_error!` if that changes.
+
+use proc_macro::{TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Model
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct ContainerAttrs {
+    transparent: bool,
+    tag: Option<String>,
+    rename_all: Option<String>,
+}
+
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    default: bool,
+}
+
+struct NamedField {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<NamedField>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    attrs: ContainerAttrs,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek_punct(&self, c: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c)
+    }
+
+    fn peek_ident(&self, s: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == s)
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), String> {
+        match self.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == c => Ok(()),
+            other => Err(format!("expected `{c}`, found {other:?}")),
+        }
+    }
+}
+
+/// Strip the surrounding quotes from a string literal's token text.
+fn unquote(lit: &str) -> String {
+    let s = lit.trim();
+    if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
+        s[1..s.len() - 1].to_string()
+    } else {
+        s.to_string()
+    }
+}
+
+/// Parse the items of one `#[serde(...)]` group: `key` or `key = "v"`.
+fn parse_serde_items(group: TokenStream) -> Result<Vec<(String, Option<String>)>, String> {
+    let mut out = Vec::new();
+    let mut cur = Cursor::new(group);
+    while !cur.at_end() {
+        let key = cur.expect_ident()?;
+        let mut value = None;
+        if cur.peek_punct('=') {
+            cur.next();
+            match cur.next() {
+                Some(TokenTree::Literal(l)) => value = Some(unquote(&l.to_string())),
+                other => return Err(format!("expected literal after `{key} =`, found {other:?}")),
+            }
+        }
+        out.push((key, value));
+        if cur.peek_punct(',') {
+            cur.next();
+        }
+    }
+    Ok(out)
+}
+
+/// Consume any attributes at the cursor; return the serde items found.
+fn parse_attrs(cur: &mut Cursor) -> Result<Vec<(String, Option<String>)>, String> {
+    let mut items = Vec::new();
+    while cur.peek_punct('#') {
+        cur.next();
+        let group = match cur.next() {
+            Some(TokenTree::Group(g)) => g,
+            other => return Err(format!("expected attribute group, found {other:?}")),
+        };
+        let mut inner = Cursor::new(group.stream());
+        if inner.peek_ident("serde") {
+            inner.next();
+            match inner.next() {
+                Some(TokenTree::Group(g)) => items.extend(parse_serde_items(g.stream())?),
+                other => return Err(format!("malformed #[serde] attribute: {other:?}")),
+            }
+        }
+        // Non-serde attributes (doc comments, derives, etc.) are skipped.
+    }
+    Ok(items)
+}
+
+fn container_attrs(items: &[(String, Option<String>)]) -> Result<ContainerAttrs, String> {
+    let mut a = ContainerAttrs::default();
+    for (key, value) in items {
+        match (key.as_str(), value) {
+            ("transparent", None) => a.transparent = true,
+            ("tag", Some(v)) => a.tag = Some(v.clone()),
+            ("rename_all", Some(v)) => {
+                if v != "snake_case" {
+                    return Err(format!("unsupported rename_all = \"{v}\" (only snake_case)"));
+                }
+                a.rename_all = Some(v.clone());
+            }
+            _ => return Err(format!("unsupported container serde attribute `{key}`")),
+        }
+    }
+    Ok(a)
+}
+
+fn field_attrs(items: &[(String, Option<String>)]) -> Result<FieldAttrs, String> {
+    let mut a = FieldAttrs::default();
+    for (key, value) in items {
+        match (key.as_str(), value) {
+            ("default", None) => a.default = true,
+            _ => return Err(format!("unsupported field serde attribute `{key}`")),
+        }
+    }
+    Ok(a)
+}
+
+/// Skip visibility qualifiers (`pub`, `pub(crate)`, ...).
+fn skip_visibility(cur: &mut Cursor) {
+    if cur.peek_ident("pub") {
+        cur.next();
+        if let Some(TokenTree::Group(g)) = cur.peek() {
+            if g.delimiter() == proc_macro::Delimiter::Parenthesis {
+                cur.next();
+            }
+        }
+    }
+}
+
+/// Skip a type expression up to a top-level `,` (or the end), tracking
+/// angle-bracket depth so commas inside `Vec<(A, B)>` don't split.
+fn skip_type(cur: &mut Cursor) {
+    let mut angle: i32 = 0;
+    while let Some(t) = cur.peek() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle <= 0 => return,
+            _ => {}
+        }
+        cur.next();
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Result<Vec<NamedField>, String> {
+    let mut cur = Cursor::new(group);
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        let attrs = field_attrs(&parse_attrs(&mut cur)?)?;
+        skip_visibility(&mut cur);
+        let name = cur.expect_ident()?;
+        cur.expect_punct(':')?;
+        skip_type(&mut cur);
+        if cur.peek_punct(',') {
+            cur.next();
+        }
+        fields.push(NamedField { name, attrs });
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_fields(group: TokenStream) -> Result<usize, String> {
+    let mut cur = Cursor::new(group);
+    let mut count = 0;
+    while !cur.at_end() {
+        let _ = parse_attrs(&mut cur)?;
+        skip_visibility(&mut cur);
+        if cur.at_end() {
+            break;
+        }
+        skip_type(&mut cur);
+        count += 1;
+        if cur.peek_punct(',') {
+            cur.next();
+        }
+    }
+    Ok(count)
+}
+
+fn parse_variants(group: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut cur = Cursor::new(group);
+    let mut variants = Vec::new();
+    while !cur.at_end() {
+        let _ = parse_attrs(&mut cur)?;
+        let name = cur.expect_ident()?;
+        let fields = match cur.peek() {
+            Some(TokenTree::Group(g)) => {
+                let g = g.clone();
+                cur.next();
+                match g.delimiter() {
+                    proc_macro::Delimiter::Brace => Fields::Named(parse_named_fields(g.stream())?),
+                    proc_macro::Delimiter::Parenthesis => {
+                        Fields::Tuple(parse_tuple_fields(g.stream())?)
+                    }
+                    other => return Err(format!("unexpected variant delimiter {other:?}")),
+                }
+            }
+            _ => Fields::Unit,
+        };
+        if cur.peek_punct(',') {
+            cur.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut cur = Cursor::new(input);
+    let attrs = container_attrs(&parse_attrs(&mut cur)?)?;
+    skip_visibility(&mut cur);
+    let keyword = cur.expect_ident()?;
+    let name = cur.expect_ident()?;
+    if cur.peek_punct('<') {
+        return Err(format!(
+            "derive(Serialize/Deserialize) on generic type `{name}` is not supported by the \
+             vendored serde_derive"
+        ));
+    }
+    let body = match keyword.as_str() {
+        "struct" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == proc_macro::Delimiter::Brace => {
+                Body::Struct(Fields::Named(parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == proc_macro::Delimiter::Parenthesis => {
+                Body::Struct(Fields::Tuple(parse_tuple_fields(g.stream())?))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Struct(Fields::Unit),
+            other => return Err(format!("unexpected struct body: {other:?}")),
+        },
+        "enum" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == proc_macro::Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unexpected enum body: {other:?}")),
+        },
+        other => return Err(format!("expected struct or enum, found `{other}`")),
+    };
+    Ok(Item { name, attrs, body })
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn rendered_name(raw: &str, attrs: &ContainerAttrs) -> String {
+    if attrs.rename_all.is_some() {
+        snake_case(raw)
+    } else {
+        raw.to_string()
+    }
+}
+
+fn gen_serialize(item: &Item) -> Result<String, String> {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => match fields {
+            Fields::Named(fs) if item.attrs.transparent => {
+                if fs.len() != 1 {
+                    return Err("#[serde(transparent)] needs exactly one field".into());
+                }
+                format!("serde::Serialize::to_value(&self.{})", fs[0].name)
+            }
+            Fields::Named(fs) => {
+                let entries: Vec<String> = fs
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(String::from(\"{key}\"), serde::Serialize::to_value(&self.{f}))",
+                            key = rendered_name(&f.name, &item.attrs),
+                            f = f.name
+                        )
+                    })
+                    .collect();
+                format!("serde::Value::Object(vec![{}])", entries.join(", "))
+            }
+            Fields::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+            Fields::Tuple(n) => {
+                let entries: Vec<String> = (0..*n)
+                    .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("serde::Value::Array(vec![{}])", entries.join(", "))
+            }
+            Fields::Unit => "serde::Value::Null".to_string(),
+        },
+        Body::Enum(variants) => {
+            let mut arms = Vec::new();
+            for v in variants {
+                let vname = rendered_name(&v.name, &item.attrs);
+                let arm = if let Some(tag) = &item.attrs.tag {
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{v} => serde::Value::Object(vec![(String::from(\"{tag}\"), \
+                             serde::Value::String(String::from(\"{vname}\")))]),",
+                            v = v.name
+                        ),
+                        Fields::Named(fs) => {
+                            let pats: Vec<&str> =
+                                fs.iter().map(|f| f.name.as_str()).collect();
+                            let entries: Vec<String> = fs
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(String::from(\"{key}\"), \
+                                         serde::Serialize::to_value({f}))",
+                                        key = rendered_name(&f.name, &item.attrs),
+                                        f = f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{v} {{ {pats} }} => {{ let mut __o = \
+                                 vec![(String::from(\"{tag}\"), \
+                                 serde::Value::String(String::from(\"{vname}\")))]; \
+                                 __o.extend(vec![{entries}]); serde::Value::Object(__o) }},",
+                                v = v.name,
+                                pats = pats.join(", "),
+                                entries = entries.join(", ")
+                            )
+                        }
+                        Fields::Tuple(_) => {
+                            return Err(format!(
+                                "tuple variant {name}::{} cannot be internally tagged",
+                                v.name
+                            ))
+                        }
+                    }
+                } else {
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{v} => serde::Value::String(String::from(\"{vname}\")),",
+                            v = v.name
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{v}(__f0) => serde::Value::Object(vec![\
+                             (String::from(\"{vname}\"), serde::Serialize::to_value(__f0))]),",
+                            v = v.name
+                        ),
+                        Fields::Tuple(n) => {
+                            let pats: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let vals: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{v}({pats}) => serde::Value::Object(vec![\
+                                 (String::from(\"{vname}\"), serde::Value::Array(vec![{vals}]))]),",
+                                v = v.name,
+                                pats = pats.join(", "),
+                                vals = vals.join(", ")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let pats: Vec<&str> =
+                                fs.iter().map(|f| f.name.as_str()).collect();
+                            let entries: Vec<String> = fs
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(String::from(\"{key}\"), \
+                                         serde::Serialize::to_value({f}))",
+                                        key = rendered_name(&f.name, &item.attrs),
+                                        f = f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{v} {{ {pats} }} => serde::Value::Object(vec![\
+                                 (String::from(\"{vname}\"), \
+                                 serde::Value::Object(vec![{entries}]))]),",
+                                v = v.name,
+                                pats = pats.join(", "),
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                };
+                arms.push(arm);
+            }
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    Ok(format!(
+        "impl serde::Serialize for {name} {{ fn to_value(&self) -> serde::Value {{ {body} }} }}"
+    ))
+}
+
+fn named_field_builders(fs: &[NamedField], attrs: &ContainerAttrs, ty: &str) -> Vec<String> {
+    fs.iter()
+        .map(|f| {
+            let getter = if f.attrs.default {
+                "serde::__field_or_default"
+            } else {
+                "serde::__field"
+            };
+            format!(
+                "{f}: {getter}(__obj, \"{key}\", \"{ty}\")?",
+                f = f.name,
+                key = rendered_name(&f.name, attrs),
+            )
+        })
+        .collect()
+}
+
+fn gen_deserialize(item: &Item) -> Result<String, String> {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => match fields {
+            Fields::Named(fs) if item.attrs.transparent => {
+                if fs.len() != 1 {
+                    return Err("#[serde(transparent)] needs exactly one field".into());
+                }
+                format!(
+                    "Ok({name} {{ {f}: serde::Deserialize::from_value(v)? }})",
+                    f = fs[0].name
+                )
+            }
+            Fields::Named(fs) => {
+                let builders = named_field_builders(fs, &item.attrs, name);
+                format!(
+                    "let __obj = v.as_object().ok_or_else(|| \
+                     serde::DeError::expected(\"object\", v, \"{name}\"))?; \
+                     Ok({name} {{ {} }})",
+                    builders.join(", ")
+                )
+            }
+            Fields::Tuple(1) => format!("Ok({name}(serde::Deserialize::from_value(v)?))"),
+            Fields::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("serde::Deserialize::from_value(&__a[{i}])?"))
+                    .collect();
+                format!(
+                    "let __a = v.as_array().ok_or_else(|| \
+                     serde::DeError::expected(\"array\", v, \"{name}\"))?; \
+                     if __a.len() != {n} {{ return Err(serde::DeError::custom(format!(\
+                     \"expected {n} elements for {name}, found {{}}\", __a.len()))); }} \
+                     Ok({name}({elems}))",
+                    elems = elems.join(", ")
+                )
+            }
+            Fields::Unit => format!("let _ = v; Ok({name})"),
+        },
+        Body::Enum(variants) => {
+            if let Some(tag) = &item.attrs.tag {
+                let mut arms = Vec::new();
+                for v in variants {
+                    let vname = rendered_name(&v.name, &item.attrs);
+                    let arm = match &v.fields {
+                        Fields::Unit => format!("\"{vname}\" => Ok({name}::{v}),", v = v.name),
+                        Fields::Named(fs) => {
+                            let builders = named_field_builders(fs, &item.attrs, name);
+                            format!(
+                                "\"{vname}\" => Ok({name}::{v} {{ {} }}),",
+                                builders.join(", "),
+                                v = v.name
+                            )
+                        }
+                        Fields::Tuple(_) => {
+                            return Err(format!(
+                                "tuple variant {name}::{} cannot be internally tagged",
+                                v.name
+                            ))
+                        }
+                    };
+                    arms.push(arm);
+                }
+                format!(
+                    "let __obj = v.as_object().ok_or_else(|| \
+                     serde::DeError::expected(\"object\", v, \"{name}\"))?; \
+                     let __tag = serde::__get(__obj, \"{tag}\").and_then(|t| t.as_str())\
+                     .ok_or_else(|| serde::DeError::custom(\
+                     \"missing `{tag}` tag for {name}\"))?; \
+                     match __tag {{ {} __other => \
+                     Err(serde::DeError::unknown_variant(__other, \"{name}\")) }}",
+                    arms.join(" ")
+                )
+            } else {
+                let mut string_arms = Vec::new();
+                let mut object_arms = Vec::new();
+                for v in variants {
+                    let vname = rendered_name(&v.name, &item.attrs);
+                    match &v.fields {
+                        Fields::Unit => {
+                            string_arms
+                                .push(format!("\"{vname}\" => Ok({name}::{v}),", v = v.name));
+                            object_arms
+                                .push(format!("\"{vname}\" => Ok({name}::{v}),", v = v.name));
+                        }
+                        Fields::Tuple(1) => object_arms.push(format!(
+                            "\"{vname}\" => Ok({name}::{v}(\
+                             serde::Deserialize::from_value(__payload)?)),",
+                            v = v.name
+                        )),
+                        Fields::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Deserialize::from_value(&__a[{i}])?"))
+                                .collect();
+                            object_arms.push(format!(
+                                "\"{vname}\" => {{ let __a = __payload.as_array()\
+                                 .ok_or_else(|| serde::DeError::expected(\
+                                 \"array\", __payload, \"{name}\"))?; \
+                                 if __a.len() != {n} {{ return Err(serde::DeError::custom(\
+                                 format!(\"expected {n} elements for {name}::{v}, found {{}}\", \
+                                 __a.len()))); }} Ok({name}::{v}({elems})) }},",
+                                v = v.name,
+                                elems = elems.join(", ")
+                            ));
+                        }
+                        Fields::Named(fs) => {
+                            let builders = named_field_builders(fs, &item.attrs, name);
+                            object_arms.push(format!(
+                                "\"{vname}\" => {{ let __obj = __payload.as_object()\
+                                 .ok_or_else(|| serde::DeError::expected(\
+                                 \"object\", __payload, \"{name}\"))?; \
+                                 Ok({name}::{v} {{ {} }}) }},",
+                                builders.join(", "),
+                                v = v.name
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "match v {{ \
+                     serde::Value::String(__s) => match __s.as_str() {{ {sa} __other => \
+                     Err(serde::DeError::unknown_variant(__other, \"{name}\")) }}, \
+                     serde::Value::Object(__o) if __o.len() == 1 => {{ \
+                     let (__k, __payload) = &__o[0]; \
+                     match __k.as_str() {{ {oa} __other => \
+                     Err(serde::DeError::unknown_variant(__other, \"{name}\")) }} }}, \
+                     __other => Err(serde::DeError::expected(\
+                     \"string or single-key object\", __other, \"{name}\")) }}",
+                    sa = string_arms.join(" "),
+                    oa = object_arms.join(" ")
+                )
+            }
+        }
+    };
+    Ok(format!(
+        "impl serde::Deserialize for {name} {{ \
+         fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{ {body} }} }}"
+    ))
+}
+
+fn finish(result: Result<String, String>) -> TokenStream {
+    let src = match result {
+        Ok(src) => src,
+        Err(msg) => format!("compile_error!({:?});", msg),
+    };
+    src.parse().unwrap_or_else(|e| {
+        format!(
+            "compile_error!({:?});",
+            format!("vendored serde_derive generated invalid code: {e:?}")
+        )
+        .parse()
+        .expect("compile_error token stream parses")
+    })
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    finish(parse_item(input).and_then(|item| gen_serialize(&item)))
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    finish(parse_item(input).and_then(|item| gen_deserialize(&item)))
+}
