@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repository CI gate: formatting, lints, and the full test suite.
+# Everything runs offline against the vendored dependencies.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "CI OK"

@@ -89,12 +89,15 @@ pub fn comparison_rows() -> Vec<(String, f64)> {
             "Cisco white paper (core, high)".into(),
             constants::cisco_linecards::RECOMMENDED_RANGE_MS.1,
         ),
-        ("Cisco Q100 linecard".into(), constants::cisco_linecards::Q100_MS),
-        ("Cisco Q200 linecard".into(), constants::cisco_linecards::Q200_MS),
         (
-            "Cisco 8201-32FH".into(),
-            constants::cisco_8201::buffer_ms(),
+            "Cisco Q100 linecard".into(),
+            constants::cisco_linecards::Q100_MS,
         ),
+        (
+            "Cisco Q200 linecard".into(),
+            constants::cisco_linecards::Q200_MS,
+        ),
+        ("Cisco 8201-32FH".into(), constants::cisco_8201::buffer_ms()),
     ]
 }
 
@@ -137,10 +140,7 @@ mod tests {
     #[test]
     fn buffer_ms_math() {
         // 1 GB at 1 Tb/s = 8 ms.
-        let ms = buffer_ms(
-            DataSize::from_bytes(1_000_000_000),
-            DataRate::from_tbps(1),
-        );
+        let ms = buffer_ms(DataSize::from_bytes(1_000_000_000), DataRate::from_tbps(1));
         assert!((ms - 8.0).abs() < 1e-9);
     }
 

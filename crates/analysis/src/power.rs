@@ -42,7 +42,9 @@ impl RouterPower {
 
     /// Share of total power going to processing (§5: ≈50 %).
     pub fn processing_share(&self) -> f64 {
-        self.per_switch.processing.fraction_of(self.per_switch.total())
+        self.per_switch
+            .processing
+            .fraction_of(self.per_switch.total())
     }
 
     /// Share going to HBM (§5: ≈40 %).
@@ -64,8 +66,8 @@ impl RouterPower {
 /// Model one HBM switch handling `ingress` of incoming traffic with
 /// `stacks` HBM stacks and `memory_io` of total OEO I/O.
 pub fn switch_power(ingress: DataRate, stacks: usize, oeo_io: DataRate) -> SwitchPower {
-    let processing = constants::tomahawk5::power()
-        * ingress.fraction_of(constants::tomahawk5::capacity());
+    let processing =
+        constants::tomahawk5::power() * ingress.fraction_of(constants::tomahawk5::capacity());
     let hbm = constants::hbm4::power() * stacks as u64;
     let oeo = constants::oeo_energy().power_at(oeo_io);
     SwitchPower {
@@ -114,7 +116,11 @@ mod tests {
     fn paper_headline_794w_and_12_7kw() {
         let r = reference();
         let p = r.per_switch;
-        assert!((p.processing.watts() - 400.0).abs() < 1.0, "{}", p.processing);
+        assert!(
+            (p.processing.watts() - 400.0).abs() < 1.0,
+            "{}",
+            p.processing
+        );
         assert!((p.hbm.watts() - 300.0).abs() < 1e-9, "{}", p.hbm);
         assert!((p.oeo.watts() - 94.0).abs() < 0.5, "{}", p.oeo);
         assert!((p.total().watts() - 794.0).abs() < 1.5, "{}", p.total());

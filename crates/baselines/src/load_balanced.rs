@@ -131,8 +131,10 @@ impl LoadBalancedRouter {
             DataRate::ZERO
         } else {
             DataRate::from_bps(
-                u64::try_from(data.bits() as u128 * rip_units::PS_PER_S as u128 / span.as_ps() as u128)
-                    .expect("rate overflow"),
+                u64::try_from(
+                    data.bits() as u128 * rip_units::PS_PER_S as u128 / span.as_ps() as u128,
+                )
+                .expect("rate overflow"),
             )
         };
         BalancedReport {
@@ -204,8 +206,8 @@ impl ParallelPacketSwitch {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rip_sim::rng::rng_for;
     use rand::Rng;
+    use rip_sim::rng::rng_for;
 
     /// Admissible uniform trace at `load` on `n` ports of `rate`.
     fn uniform_trace(n: usize, rate: DataRate, load: f64, count: u64, seed: u64) -> Vec<Packet> {
@@ -216,8 +218,14 @@ mod tests {
         let mut out = Vec::new();
         for i in 0..count {
             let input = (i % n as u64) as usize;
-            t[input] = t[input] + TimeDelta::from_ps(gap_ps);
-            out.push(Packet::new(i, input, rng.random_range(0..n), size, t[input]));
+            t[input] += TimeDelta::from_ps(gap_ps);
+            out.push(Packet::new(
+                i,
+                input,
+                rng.random_range(0..n),
+                size,
+                t[input],
+            ));
         }
         out.sort_by_key(|p| (p.arrival, p.input, p.id));
         out

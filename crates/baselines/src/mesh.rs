@@ -104,10 +104,7 @@ impl MeshFabric {
     /// Fluid throughput factor for `tm`: every demand can be served at
     /// this fraction without any link exceeding capacity (≤ 1.0).
     pub fn throughput_factor(&self, tm: &TrafficMatrix) -> f64 {
-        let max_load = self
-            .link_loads(tm)
-            .into_iter()
-            .fold(0.0f64, f64::max);
+        let max_load = self.link_loads(tm).into_iter().fold(0.0f64, f64::max);
         if max_load == 0.0 {
             1.0
         } else {
@@ -175,7 +172,7 @@ mod tests {
         let m = MeshFabric::new(4, 1.0);
         // (0,0) -> (2,1): two +x hops then one +y hop.
         let src = 0;
-        let dst = 1 * 4 + 2;
+        let dst = 4 + 2;
         let route = m.route_xy(src, dst);
         assert_eq!(route.len(), 3);
         assert_eq!(m.hops(src, dst), 3);

@@ -72,7 +72,11 @@ impl IdealOqSwitch {
     /// Offer one packet (arrivals must be fed in non-decreasing arrival
     /// order). Returns its departure record.
     pub fn offer(&mut self, p: &Packet) -> Departure {
-        assert!(p.output < self.num_ports, "output {} out of range", p.output);
+        assert!(
+            p.output < self.num_ports,
+            "output {} out of range",
+            p.output
+        );
         // Drain bookkeeping: anything that left before this arrival.
         let now = p.arrival;
         let fl = &mut self.in_flight[p.output];
@@ -234,7 +238,11 @@ mod tests {
         let pkts: Vec<Packet> = (0..1000).map(|i| pkt(i, 0, 1000, i * 80)).collect();
         sw.run(&pkts);
         let rate = sw.delivered_rate(SimTime::ZERO);
-        assert!((rate.gbps() - 100.0).abs() / 100.0 < 0.01, "{}", rate.gbps());
+        assert!(
+            (rate.gbps() - 100.0).abs() / 100.0 < 0.01,
+            "{}",
+            rate.gbps()
+        );
         assert_eq!(sw.mean_delay(&pkts), TimeDelta::from_ns(80));
     }
 

@@ -77,8 +77,7 @@ impl SprayingHbmSwitch {
         // Per-output sequence assignment and completion times.
         let mut next_seq = vec![0u64; num_outputs];
         // (output, seq, completion, size)
-        let mut records: Vec<(usize, u64, SimTime, DataSize)> =
-            Vec::with_capacity(packets.len());
+        let mut records: Vec<(usize, u64, SimTime, DataSize)> = Vec::with_capacity(packets.len());
         let mut first_arrival: Option<SimTime> = None;
         for p in packets {
             assert!(p.output < num_outputs);
@@ -141,8 +140,10 @@ impl SprayingHbmSwitch {
             DataRate::ZERO
         } else {
             DataRate::from_bps(
-                u64::try_from(data.bits() as u128 * rip_units::PS_PER_S as u128 / span.as_ps() as u128)
-                    .expect("rate overflow"),
+                u64::try_from(
+                    data.bits() as u128 * rip_units::PS_PER_S as u128 / span.as_ps() as u128,
+                )
+                .expect("rate overflow"),
             )
         };
         let peak_rate = self.peak_rate();
@@ -187,12 +188,7 @@ mod tests {
     fn reduction_matches_worst_case_math_for_64b() {
         // 4 channels of 80 GB/s, 30 ns overhead, 64 B packets:
         // service = 30.8 ns vs transfer 0.8 ns -> reduction ~38.5x.
-        let sw = SprayingHbmSwitch::new(
-            4,
-            DataRate::from_gbps(640),
-            TimeDelta::from_ns(30),
-            1,
-        );
+        let sw = SprayingHbmSwitch::new(4, DataRate::from_gbps(640), TimeDelta::from_ns(30), 1);
         let r = sw.run(&saturating_trace(4000, 64, 4), 4);
         // Random channel choice leaves some channels idle at times, so
         // the measured reduction is at least the deterministic 38.5.
@@ -205,12 +201,7 @@ mod tests {
 
     #[test]
     fn reduction_for_1500b_packets() {
-        let sw = SprayingHbmSwitch::new(
-            4,
-            DataRate::from_gbps(640),
-            TimeDelta::from_ns(30),
-            1,
-        );
+        let sw = SprayingHbmSwitch::new(4, DataRate::from_gbps(640), TimeDelta::from_ns(30), 1);
         let r = sw.run(&saturating_trace(4000, 1500, 4), 4);
         assert!(
             r.reduction > 2.4 && r.reduction < 4.0,
@@ -221,12 +212,7 @@ mod tests {
 
     #[test]
     fn resequencing_buffer_is_nonempty_under_spraying() {
-        let sw = SprayingHbmSwitch::new(
-            8,
-            DataRate::from_gbps(640),
-            TimeDelta::from_ns(30),
-            2,
-        );
+        let sw = SprayingHbmSwitch::new(8, DataRate::from_gbps(640), TimeDelta::from_ns(30), 2);
         let r = sw.run(&saturating_trace(8000, 512, 4), 4);
         assert!(r.peak_reorder.bytes() > 0, "no reordering observed");
         assert!(r.reordered_fraction > 0.1, "{}", r.reordered_fraction);
@@ -237,12 +223,7 @@ mod tests {
     fn single_channel_never_reorders() {
         // One channel serializes everything: completions are in arrival
         // order, so per-output sequences complete in order too.
-        let sw = SprayingHbmSwitch::new(
-            1,
-            DataRate::from_gbps(640),
-            TimeDelta::from_ns(30),
-            3,
-        );
+        let sw = SprayingHbmSwitch::new(1, DataRate::from_gbps(640), TimeDelta::from_ns(30), 3);
         let r = sw.run(&saturating_trace(1000, 256, 4), 4);
         assert_eq!(r.reordered_fraction, 0.0);
         assert_eq!(r.peak_reorder, DataSize::ZERO);

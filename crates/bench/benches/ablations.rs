@@ -3,7 +3,6 @@
 //! vs burst-padded transfers, and the spraying baseline's resequencer.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use rip_baselines::SprayingHbmSwitch;
 use rip_hbm::{
     AccessPattern, Direction, HbmGeometry, HbmGroup, HbmTiming, PfiConfig, PfiController,
@@ -12,6 +11,7 @@ use rip_hbm::{
 use rip_traffic::Packet;
 use rip_units::{DataRate, DataSize, SimTime, TimeDelta};
 use std::hint::black_box;
+use std::time::Duration;
 
 fn one_stack() -> HbmGroup {
     HbmGroup::new(1, HbmGeometry::hbm4(), HbmTiming::hbm4())
@@ -68,12 +68,8 @@ fn bench_spraying(c: &mut Criterion) {
         .collect();
     c.bench_function("spraying_resequencer_4k_packets", |b| {
         b.iter(|| {
-            let sw = SprayingHbmSwitch::new(
-                32,
-                DataRate::from_gbps(640),
-                TimeDelta::from_ns(30),
-                9,
-            );
+            let sw =
+                SprayingHbmSwitch::new(32, DataRate::from_gbps(640), TimeDelta::from_ns(30), 9);
             black_box(sw.run(&trace, 16))
         })
     });

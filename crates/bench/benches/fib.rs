@@ -2,16 +2,18 @@
 //! the compiled stride table, and table construction cost.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use rip_fib::{StrideTable, SyntheticRib};
 use std::hint::black_box;
+use std::time::Duration;
 
 fn bench_lookups(c: &mut Criterion) {
     let rib = SyntheticRib::generate(50_000, 16, 42);
     let trie = rib.trie();
     let table = rib.stride_table(16);
     // A fixed probe set so trie and table race on identical work.
-    let probes: Vec<u32> = (0..4096u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+    let probes: Vec<u32> = (0..4096u32)
+        .map(|i| i.wrapping_mul(2_654_435_761))
+        .collect();
     let mut g = c.benchmark_group("lpm_4096_lookups_50k_routes");
     g.bench_function("binary_trie", |b| {
         b.iter(|| {
@@ -59,5 +61,10 @@ fn bench_rib_generation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_lookups, bench_construction, bench_rib_generation);
+criterion_group!(
+    benches,
+    bench_lookups,
+    bench_construction,
+    bench_rib_generation
+);
 criterion_main!(benches);

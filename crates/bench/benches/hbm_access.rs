@@ -6,13 +6,13 @@
 //! model's hot paths (command legality checks, bank FSM updates) honest.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use rip_hbm::{
     AccessPattern, Direction, HbmGeometry, HbmGroup, HbmTiming, PfiConfig, PfiController,
     RandomAccessController,
 };
 use rip_units::DataSize;
 use std::hint::black_box;
+use std::time::Duration;
 
 fn one_stack() -> HbmGroup {
     HbmGroup::new(1, HbmGeometry::hbm4(), HbmTiming::hbm4())

@@ -2,13 +2,13 @@
 //! pipeline, and the SPS fluid model.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use rip_bench::uniform_trace;
 use rip_core::{HbmSwitch, RouterConfig, SpsRouter, SpsWorkload};
 use rip_photonics::SplitPattern;
 use rip_traffic::FiberFill;
 use rip_units::SimTime;
 use std::hint::black_box;
+use std::time::Duration;
 
 fn bench_switch_des(c: &mut Criterion) {
     let cfg = RouterConfig::small();

@@ -19,9 +19,7 @@ use rip_hbm::{
     PfiController, RandomAccessController, RegionMode,
 };
 use rip_photonics::SplitPattern;
-use rip_traffic::{
-    ArrivalProcess, Attacker, FiberFill, SizeDistribution, TrafficMatrix,
-};
+use rip_traffic::{ArrivalProcess, Attacker, FiberFill, SizeDistribution, TrafficMatrix};
 use rip_units::{DataRate, DataSize, SimTime, TimeDelta};
 
 struct Opts {
@@ -42,10 +40,7 @@ fn main() {
         only: args.into_iter().filter(|a| !a.starts_with("--")).collect(),
     };
     println!("Petabit Router-in-a-Package — experiment reproduction");
-    println!(
-        "mode: {}",
-        if opts.quick { "quick" } else { "full" }
-    );
+    println!("mode: {}", if opts.quick { "quick" } else { "full" });
     if opts.wants("E1") {
         e1(&opts);
     }
@@ -120,13 +115,7 @@ fn one_stack() -> HbmGroup {
 // --------------------------------------------------------------------
 fn e1(o: &Opts) {
     let n_acc: u64 = if o.quick { 2_000 } else { 20_000 };
-    let mut t = Table::new(&[
-        "variant",
-        "packet",
-        "analytic x",
-        "simulated x",
-        "paper",
-    ]);
+    let mut t = Table::new(&["variant", "packet", "analytic x", "simulated x", "paper"]);
     let cases = [
         (
             "parallel channels",
@@ -150,9 +139,7 @@ fn e1(o: &Opts) {
     for (name, size, pattern, paper) in cases {
         let analytic = match pattern {
             AccessPattern::ParallelChannels => random_access::with_parallel_channels(size),
-            AccessPattern::SingleLogicalInterface => {
-                random_access::single_logical_interface(size)
-            }
+            AccessPattern::SingleLogicalInterface => random_access::single_logical_interface(size),
         };
         let mut group = one_stack();
         let mut ctl = RandomAccessController::new(pattern, 0xE1);
@@ -292,7 +279,10 @@ fn e3(o: &Opts) {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("cell")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("cell"))
+            .collect()
     })
     .expect("scope");
     for (name, load, delivered, drops) in results {
@@ -324,7 +314,9 @@ fn e4(o: &Opts) {
             format!("{}", r.compared),
         ]);
     }
-    t.print("E4  OQ-mimicking: departure lag vs ideal OQ switch (paper: finite with small speedup)");
+    t.print(
+        "E4  OQ-mimicking: departure lag vs ideal OQ switch (paper: finite with small speedup)",
+    );
 }
 
 // --------------------------------------------------------------------
@@ -489,9 +481,21 @@ fn e9(o: &Opts) {
         format!("{}", worst.input_ports),
         format!("{}", exp.input_ports),
     ]);
-    t.row(&["tail SRAM".into(), format!("{}", worst.tail), format!("{}", exp.tail)]);
-    t.row(&["head SRAM".into(), format!("{}", worst.head), format!("{}", exp.head)]);
-    t.row(&["total".into(), format!("{}", worst.total), format!("{}", exp.total)]);
+    t.row(&[
+        "tail SRAM".into(),
+        format!("{}", worst.tail),
+        format!("{}", exp.tail),
+    ]);
+    t.row(&[
+        "head SRAM".into(),
+        format!("{}", worst.head),
+        format!("{}", exp.head),
+    ]);
+    t.row(&[
+        "total".into(),
+        format!("{}", worst.total),
+        format!("{}", exp.total),
+    ]);
     t.print("E9  SRAM budget per HBM switch (paper total: 14.5 MB, between our two models)");
 
     // Measured: frame-forming SRAM (PFI) vs resequencing buffer
@@ -529,9 +533,21 @@ fn e10() {
         format!("{}", p.processing),
         "400 W".into(),
     ]);
-    t.row(&["4 x HBM4 stacks".into(), format!("{}", p.hbm), "300 W".into()]);
-    t.row(&["OEO @81.92 Tb/s".into(), format!("{}", p.oeo), "94 W".into()]);
-    t.row(&["total per switch".into(), format!("{}", p.total()), "794 W".into()]);
+    t.row(&[
+        "4 x HBM4 stacks".into(),
+        format!("{}", p.hbm),
+        "300 W".into(),
+    ]);
+    t.row(&[
+        "OEO @81.92 Tb/s".into(),
+        format!("{}", p.oeo),
+        "94 W".into(),
+    ]);
+    t.row(&[
+        "total per switch".into(),
+        format!("{}", p.total()),
+        "794 W".into(),
+    ]);
     t.row(&[
         "router total (16 switches)".into(),
         format!("{}", r.total()),
@@ -573,8 +589,16 @@ fn e10() {
 fn e11() {
     let a = area::reference();
     let mut t = Table::new(&["quantity", "value", "paper"]);
-    t.row(&["per switch".into(), format!("{}", a.per_switch), "1,284 mm^2".into()]);
-    t.row(&["16 switches".into(), format!("{}", a.total), "20,544 mm^2".into()]);
+    t.row(&[
+        "per switch".into(),
+        format!("{}", a.per_switch),
+        "1,284 mm^2".into(),
+    ]);
+    t.row(&[
+        "16 switches".into(),
+        format!("{}", a.total),
+        "20,544 mm^2".into(),
+    ]);
     t.row(&[
         "fraction of 500x500 mm panel".into(),
         format!("{:.1}%", a.panel_fraction * 100.0),
@@ -665,9 +689,7 @@ fn e14(o: &Opts) {
                 format!("{:.1}%", r.delivery_fraction * 100.0),
                 format!(
                     "{:.1}%",
-                    r.padded_bytes.bytes() as f64
-                        / r.offered_bytes.bytes().max(1) as f64
-                        * 100.0
+                    r.padded_bytes.bytes() as f64 / r.offered_bytes.bytes().max(1) as f64 * 100.0
                 ),
             ]);
         }
@@ -719,7 +741,13 @@ fn e16() {
         DataRate::from_gbps(2560),
         0.5,
     );
-    let mut t = Table::new(&["stripe T'", "frame K'", "fill @50%", "drain", "total latency"]);
+    let mut t = Table::new(&[
+        "stripe T'",
+        "frame K'",
+        "fill @50%",
+        "drain",
+        "total latency",
+    ]);
     for r in rows.iter().take(6) {
         t.row(&[
             format!("{}", r.stripe_channels),
@@ -731,9 +759,7 @@ fn e16() {
     }
     t.print("E16 Datacenter variant: smaller frames => lower latency (paper §5)");
     let floor = datacenter::min_frame(128, DataRate::from_gbps(640), TimeDelta::from_ns(30));
-    println!(
-        "full-stripe frame floor at peak rate: {floor} (gamma*S >= tRC x channel rate)"
-    );
+    println!("full-stripe frame floor at peak rate: {floor} (gamma*S >= tRC x channel rate)");
 }
 
 // --------------------------------------------------------------------
@@ -755,11 +781,21 @@ fn e17() {
         "victim load",
         "concentration (1=diffuse, H=perfect)",
     ]);
-    let cases: [(&str, &str, &rip_photonics::SplitMap, &rip_photonics::SplitMap); 4] = [
+    let cases: [(
+        &str,
+        &str,
+        &rip_photonics::SplitMap,
+        &rip_photonics::SplitMap,
+    ); 4] = [
         ("sequential", "sequential (correct)", &seq, &seq),
         ("striped", "striped (correct)", &striped, &striped),
         ("pseudo-random", "sequential (wrong)", &seq, &secret),
-        ("pseudo-random", "pseudo-random, wrong seed", &wrong, &secret),
+        (
+            "pseudo-random",
+            "pseudo-random, wrong seed",
+            &wrong,
+            &secret,
+        ),
     ];
     for (truth_name, belief_name, believed, truth) in cases {
         let out = atk.evaluate(believed, truth, 0);
@@ -778,12 +814,7 @@ fn e17() {
 // --------------------------------------------------------------------
 fn e18(o: &Opts) {
     let horizon_us: u64 = if o.quick { 200 } else { 500 };
-    let mut t = Table::new(&[
-        "region allocation",
-        "dropped",
-        "delivered",
-        "pointer SRAM",
-    ]);
+    let mut t = Table::new(&["region allocation", "dropped", "delivered", "pointer SRAM"]);
     for (name, mode) in [
         ("static 1/N regions", RegionMode::Static),
         (
@@ -806,11 +837,10 @@ fn e18(o: &Opts) {
         );
         let mut sw = HbmSwitch::new(cfg.clone()).unwrap();
         let r = sw.run(&trace, SimTime::from_ns(horizon_us * 1300));
-        let pfi = PfiController::new(cfg.pfi(), &rip_hbm::HbmGroup::new(
-            cfg.stacks_per_switch,
-            cfg.hbm_geometry,
-            cfg.hbm_timing,
-        ))
+        let pfi = PfiController::new(
+            cfg.pfi(),
+            &rip_hbm::HbmGroup::new(cfg.stacks_per_switch, cfg.hbm_geometry, cfg.hbm_timing),
+        )
         .unwrap();
         t.row(&[
             name.into(),

@@ -2,19 +2,24 @@
 //!
 //! The downstream-user entry point: describe a router configuration and
 //! a workload in one JSON file, get the switch report. Writes a sample
-//! spec with `--example-spec`.
+//! spec with `--example-spec`. `ripsim resilience` runs the canned
+//! fault-injection demo: one of four HBM channels dies mid-run and
+//! recovers, and the report shows the before/during/after timeline.
 //!
 //! ```text
 //! ripsim --example-spec > my_sim.json
 //! ripsim my_sim.json
+//! ripsim resilience
 //! ```
 
+use std::collections::HashMap;
+
 use rip_bench::Table;
-use rip_core::{HbmSwitch, RouterConfig};
+use rip_core::{FaultKind, FaultPlan, HbmSwitch, RouterConfig};
 use rip_traffic::{
     merge_streams, ArrivalProcess, PacketGenerator, SizeDistribution, TrafficMatrix,
 };
-use rip_units::SimTime;
+use rip_units::{DataSize, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Destination mix of the workload.
@@ -85,9 +90,9 @@ impl ProcessSpec {
         match *self {
             ProcessSpec::Poisson => ArrivalProcess::Poisson,
             ProcessSpec::Cbr => ArrivalProcess::Cbr,
-            ProcessSpec::OnOff { mean_burst_packets } => ArrivalProcess::OnOff {
-                mean_burst_packets,
-            },
+            ProcessSpec::OnOff { mean_burst_packets } => {
+                ArrivalProcess::OnOff { mean_burst_packets }
+            }
         }
     }
 }
@@ -133,7 +138,7 @@ impl SimSpec {
 }
 
 fn run(spec: &SimSpec) -> Result<(), String> {
-    spec.router.validate()?;
+    spec.router.validate().map_err(|e| e.to_string())?;
     if !(0.0..=1.0).contains(&spec.load) {
         return Err(format!("load {} out of [0, 1]", spec.load));
     }
@@ -168,7 +173,7 @@ fn run(spec: &SimSpec) -> Result<(), String> {
         trace.len(),
         spec.horizon_us
     );
-    let mut sw = HbmSwitch::new(spec.router.clone())?;
+    let mut sw = HbmSwitch::new(spec.router.clone()).map_err(|e| e.to_string())?;
     let drain = SimTime::from_ns(spec.horizon_us * 1000 * (1 + spec.drain_factor));
     let mut r = sw.run(&trace, drain);
 
@@ -205,8 +210,135 @@ fn run(spec: &SimSpec) -> Result<(), String> {
     Ok(())
 }
 
+/// Build a uniform IMIX/Poisson trace for `cfg` at `load` over `horizon`.
+fn uniform_trace(
+    cfg: &RouterConfig,
+    load: f64,
+    horizon: SimTime,
+    seed: u64,
+) -> Vec<rip_traffic::Packet> {
+    let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
+    let streams: Vec<_> = (0..cfg.ribbons)
+        .map(|port| {
+            let mut g = PacketGenerator::new(
+                port,
+                cfg.port_rate(),
+                load * tm.row_load(port),
+                tm.row(port).to_vec(),
+                SizeDistribution::Imix,
+                ArrivalProcess::Poisson,
+                256,
+                rip_sim::rng::derive_seed(seed, port as u64),
+            )
+            .expect("valid generator");
+            g.generate_until(horizon)
+        })
+        .collect();
+    merge_streams(streams)
+}
+
+/// Delivered bits within `[from, to)`, from the departure log.
+fn window_bits(
+    r: &rip_core::SwitchReport,
+    sizes: &HashMap<u64, DataSize>,
+    from: SimTime,
+    to: SimTime,
+) -> u64 {
+    r.departures
+        .iter()
+        .filter(|d| d.time >= from && d.time < to)
+        .map(|d| sizes[&d.packet].bits())
+        .sum()
+}
+
+/// The canned fault-injection demo: 1-of-4 HBM channels down at `T`,
+/// recovered at `2T`, with the before/during/after timeline.
+fn run_resilience() {
+    let cfg = RouterConfig::resilience_small();
+    let t_fault = SimTime::from_ns(150 * 1000); // T = 150 us
+    let t_recover = SimTime::from_ns(300 * 1000); // 2T
+    let horizon = SimTime::from_ns(600 * 1000); // 4T of arrivals
+    let drain = SimTime::from_ns(2_400 * 1000);
+    let plan = FaultPlan::new()
+        .inject(t_fault, FaultKind::HbmChannelDown { channel: 3 })
+        .recover(t_recover, FaultKind::HbmChannelDown { channel: 3 });
+    plan.validate(&cfg).expect("demo plan valid");
+
+    println!(
+        "resilience demo: {} channels x {}, channel 3 down {} -> {}",
+        cfg.channels(),
+        cfg.hbm_geometry.channel_rate(),
+        t_fault,
+        t_recover
+    );
+
+    // Load just above the degraded capacity: the fault window shows the
+    // ~3/4 cliff, the post-recovery window the backlog catch-up.
+    let trace = uniform_trace(&cfg, 0.75, horizon, 42);
+    let sizes: HashMap<u64, DataSize> = trace.iter().map(|p| (p.id, p.size)).collect();
+    let mut sw = HbmSwitch::new(cfg.clone()).expect("valid config");
+    let r = sw.run_with_faults(&trace, drain, &plan);
+
+    let window_secs = 150e-6;
+    let rate = |bits: u64| bits as f64 / window_secs / 1e9; // Gb/s
+    let healthy = window_bits(&r, &sizes, SimTime::ZERO, t_fault);
+    let degraded = window_bits(&r, &sizes, t_fault, t_recover);
+    let catchup = window_bits(&r, &sizes, t_recover, SimTime::from_ns(450 * 1000));
+    let settled = window_bits(&r, &sizes, SimTime::from_ns(450 * 1000), horizon);
+    let mut t = Table::new(&["phase", "window", "delivered", "vs healthy"]);
+    for (phase, window, bits) in [
+        ("healthy", "0-150 us", healthy),
+        ("1/4 channels down", "150-300 us", degraded),
+        ("recovered, catch-up", "300-450 us", catchup),
+        ("recovered, settled", "450-600 us", settled),
+    ] {
+        t.row(&[
+            phase.into(),
+            window.into(),
+            format!("{:.1} Gb/s", rate(bits)),
+            format!("{:.2}", bits as f64 / healthy as f64),
+        ]);
+    }
+    t.print("delivered rate timeline (offered 0.75)");
+
+    let mut t = Table::new(&["metric", "value"]);
+    t.row(&["time degraded".into(), format!("{}", r.time_degraded)]);
+    t.row(&["HBM capacity lost".into(), format!("{}", r.capacity_lost)]);
+    t.row(&[
+        "drops fault / congestion".into(),
+        format!(
+            "{} / {}",
+            r.dropped_packets_fault, r.dropped_packets_congestion
+        ),
+    ]);
+    t.row(&[
+        "recovery drain".into(),
+        r.recovery_drain
+            .map_or("not reached".into(), |d| format!("{d}")),
+    ]);
+    t.print("degraded-mode accounting");
+
+    // Under the degraded admissible load (≤ 0.7 of 3/4 capacity), the
+    // same fault costs zero packets.
+    let safe_load = 0.5;
+    let trace = uniform_trace(&cfg, safe_load, horizon, 42);
+    let mut sw = HbmSwitch::new(cfg).expect("valid config");
+    let r = sw.run_with_faults(&trace, drain, &plan);
+    println!(
+        "at offered {:.2} (<= 0.7 of degraded capacity): {} fault drops, {} congestion drops, delivery {:.4}%",
+        safe_load,
+        r.dropped_packets_fault,
+        r.dropped_packets_congestion,
+        r.delivery_fraction * 100.0
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("resilience") {
+        run_resilience();
+        return;
+    }
     if args.iter().any(|a| a == "--example-spec") {
         println!(
             "{}",
@@ -215,7 +347,7 @@ fn main() {
         return;
     }
     let Some(path) = args.first() else {
-        eprintln!("usage: ripsim <spec.json> | ripsim --example-spec");
+        eprintln!("usage: ripsim <spec.json> | ripsim --example-spec | ripsim resilience");
         std::process::exit(2);
     };
     let text = match std::fs::read_to_string(path) {

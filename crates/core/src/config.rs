@@ -5,6 +5,8 @@ use rip_hbm::{HbmGeometry, HbmTiming, PfiConfig, RegionMode};
 use rip_units::{DataRate, DataSize};
 use serde::{Deserialize, Serialize};
 
+use crate::error::ConfigError;
+
 /// The SRAM interface width used throughout the paper's HBM switch
 /// (input ports, crossbar ports and tail/head SRAM modules): 2,048 bits.
 pub const SRAM_INTERFACE_BITS: u64 = 2_048;
@@ -107,6 +109,43 @@ impl RouterConfig {
                 channel_width_bits: 64,
                 gbps_per_pin: 10,
                 banks_per_channel: 32,
+                row_size: DataSize::from_kib(2),
+                stack_capacity: DataSize::from_gib(16),
+                burst_length: 8,
+            },
+            hbm_timing: HbmTiming::hbm4(),
+            gamma: 4,
+            segment: DataSize::from_kib(1),
+            speedup: 1.0,
+            input_queue_limit: DataSize::from_kib(512),
+            head_frames: 2,
+            padding_and_bypass: true,
+            batch_timeout_batches: 64,
+            stripe_channels: None,
+            region_mode: RegionMode::Static,
+            per_lane_egress: false,
+        }
+    }
+
+    /// An even smaller configuration for fault-injection studies:
+    /// T = 4 channels per switch, so one dead channel is exactly a
+    /// quarter of the plane's memory bandwidth — degradation ratios
+    /// come out as round fractions. Same ratio discipline as
+    /// [`RouterConfig::small`] (k = N × interface width, K = γ·T·S,
+    /// memory rate = 2·N·P exactly).
+    pub fn resilience_small() -> Self {
+        RouterConfig {
+            ribbons: 4,
+            fibers_per_ribbon: 16,
+            wavelengths: 2,
+            rate_per_wavelength: DataRate::from_gbps(40),
+            switches: 4,
+            stacks_per_switch: 1,
+            hbm_geometry: HbmGeometry {
+                channels_per_stack: 4,
+                channel_width_bits: 64,
+                gbps_per_pin: 10,
+                banks_per_channel: 16,
                 row_size: DataSize::from_kib(2),
                 stack_capacity: DataSize::from_gib(16),
                 burst_length: 8,
@@ -248,43 +287,41 @@ impl RouterConfig {
     }
 
     /// Validate every constraint the design relies on.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.ribbons == 0 || self.switches == 0 || self.stacks_per_switch == 0 {
-            return Err("counts must be positive".into());
+            return Err(ConfigError::ZeroCounts);
         }
-        if self.fibers_per_ribbon % self.switches != 0 {
-            return Err(format!(
-                "F = {} not divisible by H = {}",
-                self.fibers_per_ribbon, self.switches
-            ));
+        if !self.fibers_per_ribbon.is_multiple_of(self.switches) {
+            return Err(ConfigError::FiberSwitchDivisibility {
+                fibers: self.fibers_per_ribbon,
+                switches: self.switches,
+            });
         }
-        self.hbm_geometry.validate()?;
-        self.hbm_timing.validate()?;
+        self.hbm_geometry.validate().map_err(ConfigError::Hbm)?;
+        self.hbm_timing.validate().map_err(ConfigError::Hbm)?;
         if !(1.0..=4.0).contains(&self.speedup) {
-            return Err(format!("speedup {} out of [1, 4]", self.speedup));
+            return Err(ConfigError::SpeedupOutOfRange(self.speedup));
         }
         // Memory bandwidth must cover ingress + egress with the speedup.
         let needed = self.per_switch_memory_io().scale(self.speedup);
         if self.hbm_peak().bps() < needed.bps() {
-            return Err(format!(
-                "HBM peak {} below required {} (2·N·P × speedup)",
-                self.hbm_peak(),
-                needed
-            ));
+            return Err(ConfigError::MemoryBelowRequired {
+                peak: self.hbm_peak(),
+                needed,
+            });
         }
         // Frame must be a whole number of batches.
         if !self.frame_size().is_multiple_of(self.batch_size()) {
-            return Err(format!(
-                "frame {} not a multiple of batch {}",
-                self.frame_size(),
-                self.batch_size()
-            ));
+            return Err(ConfigError::FrameBatchMismatch {
+                frame: self.frame_size(),
+                batch: self.batch_size(),
+            });
         }
         if self.head_frames == 0 {
-            return Err("head SRAM must hold at least one frame".into());
+            return Err(ConfigError::NoHeadFrames);
         }
         if self.region_frames() < 2 {
-            return Err("per-output HBM region must hold at least 2 frames".into());
+            return Err(ConfigError::RegionTooSmall);
         }
         Ok(())
     }
@@ -332,6 +369,30 @@ mod tests {
         assert_eq!(c.batches_per_frame(), 32);
         // Memory exactly covers 2NP as in the reference design.
         assert_eq!(c.per_switch_memory_io(), c.hbm_peak());
+    }
+
+    #[test]
+    fn resilience_config_preserves_ratios() {
+        let c = RouterConfig::resilience_small();
+        c.validate().expect("resilience config valid");
+        assert_eq!(c.alpha(), 4);
+        assert_eq!(c.channels(), 4);
+        // P = 4 fibers x 2λ x 40 Gb/s = 320 Gb/s per port.
+        assert_eq!(c.port_rate(), DataRate::from_gbps(320));
+        assert_eq!(c.batch_size(), DataSize::from_kib(1));
+        assert_eq!(c.frame_size(), DataSize::from_kib(16));
+        assert_eq!(c.batches_per_frame(), 16);
+        // Memory exactly covers 2NP: 4 x 640 Gb/s = 2.56 Tb/s.
+        assert_eq!(c.per_switch_memory_io(), c.hbm_peak());
+        // One dead channel = exactly a quarter of the HBM peak.
+        assert_eq!(c.hbm_peak(), c.hbm_geometry.channel_rate() * 4);
+        c.pfi()
+            .validate(&rip_hbm::HbmGroup::new(
+                c.stacks_per_switch,
+                c.hbm_geometry,
+                c.hbm_timing,
+            ))
+            .expect("resilience PFI valid");
     }
 
     #[test]

@@ -70,7 +70,7 @@ mod tests {
     fn rotation_is_a_permutation_every_slot() {
         let xb = CyclicalCrossbar::new(16);
         for slot in 0..40u64 {
-            let mut seen = vec![false; 16];
+            let mut seen = [false; 16];
             for i in 0..16 {
                 let m = xb.module_for(i, slot);
                 assert!(!seen[m], "slot {slot}: module {m} hit twice");

@@ -1,0 +1,93 @@
+//! Typed configuration errors for the router core.
+
+use std::error::Error;
+use std::fmt;
+
+use rip_hbm::PfiConfigError;
+use rip_units::{DataRate, DataSize};
+
+/// Everything [`crate::RouterConfig::validate`] (and the constructors
+/// built on it) can reject, as a typed error instead of a bare string.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A structural count (ribbons, switches, stacks) is zero.
+    ZeroCounts,
+    /// `F` fibers per ribbon do not divide evenly over `H` switches.
+    FiberSwitchDivisibility {
+        /// F — fibers per ribbon.
+        fibers: usize,
+        /// H — switches.
+        switches: usize,
+    },
+    /// The HBM geometry or timing set is inconsistent.
+    Hbm(String),
+    /// The internal speedup is outside the design's `[1, 4]` window.
+    SpeedupOutOfRange(f64),
+    /// HBM peak bandwidth does not cover `2·N·P ×` speedup.
+    MemoryBelowRequired {
+        /// Available HBM peak.
+        peak: DataRate,
+        /// Required memory I/O.
+        needed: DataRate,
+    },
+    /// The frame size is not a whole number of batches.
+    FrameBatchMismatch {
+        /// K — frame size.
+        frame: DataSize,
+        /// k — batch size.
+        batch: DataSize,
+    },
+    /// The head SRAM budget is zero frames.
+    NoHeadFrames,
+    /// A per-output HBM region cannot hold even two frames.
+    RegionTooSmall,
+    /// The PFI engine rejected the derived interleaving parameters.
+    Pfi(PfiConfigError),
+    /// The optical front end rejected the split parameters.
+    Photonics(String),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroCounts => write!(f, "counts must be positive"),
+            ConfigError::FiberSwitchDivisibility { fibers, switches } => {
+                write!(f, "F = {fibers} not divisible by H = {switches}")
+            }
+            ConfigError::Hbm(msg) => write!(f, "HBM parameters invalid: {msg}"),
+            ConfigError::SpeedupOutOfRange(s) => write!(f, "speedup {s} out of [1, 4]"),
+            ConfigError::MemoryBelowRequired { peak, needed } => write!(
+                f,
+                "HBM peak {peak} below required {needed} (2·N·P × speedup)"
+            ),
+            ConfigError::FrameBatchMismatch { frame, batch } => {
+                write!(f, "frame {frame} not a multiple of batch {batch}")
+            }
+            ConfigError::NoHeadFrames => {
+                write!(f, "head SRAM must hold at least one frame")
+            }
+            ConfigError::RegionTooSmall => {
+                write!(f, "per-output HBM region must hold at least 2 frames")
+            }
+            ConfigError::Pfi(e) => write!(f, "PFI configuration invalid: {e}"),
+            ConfigError::Photonics(msg) => {
+                write!(f, "optical front end invalid: {msg}")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ConfigError::Pfi(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PfiConfigError> for ConfigError {
+    fn from(e: PfiConfigError) -> Self {
+        ConfigError::Pfi(e)
+    }
+}

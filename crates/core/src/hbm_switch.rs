@@ -12,7 +12,9 @@ use rip_units::{DataRate, DataSize, SimTime, TimeDelta};
 
 use crate::batch::{Batch, BatchAssembler};
 use crate::config::RouterConfig;
+use crate::error::ConfigError;
 use crate::output::{OutputPort, PacketDeparture};
+use crate::resilience::{FaultAction, FaultEvent, FaultKind, FaultPlan};
 use crate::sram::{Frame, HeadSram, TailSram};
 
 /// Observable milestones recorded by the optional switch trace
@@ -72,6 +74,8 @@ enum Ev {
     FrameAtHead(Frame),
     /// An output port pulls its next batch.
     Drain(usize),
+    /// A component fails or recovers ([`FaultPlan`]).
+    Fault(FaultEvent),
 }
 
 /// End-of-run report of one HBM switch.
@@ -113,6 +117,19 @@ pub struct SwitchReport {
     pub head_peak: DataSize,
     /// Mean egress lane-spread CV across outputs.
     pub lane_spread_cv: f64,
+    /// Packets lost while a fault was active (input + frame drops).
+    pub dropped_packets_fault: u64,
+    /// Packets lost with no fault active — plain congestion.
+    pub dropped_packets_congestion: u64,
+    /// Total time at least one fault was active.
+    pub time_degraded: TimeDelta,
+    /// HBM bandwidth-time lost to dead channels (integrated
+    /// `channel_rate × dead channels` over the run).
+    pub capacity_lost: DataSize,
+    /// Time from the last recovery until the HBM frame occupancy first
+    /// returned to its pre-fault baseline (`None` if no fault ran or
+    /// the backlog never drained within the run).
+    pub recovery_drain: Option<TimeDelta>,
 }
 
 /// The HBM switch simulator.
@@ -154,6 +171,17 @@ pub struct HbmSwitch {
     dropped_frames: u64,
     dropped_bytes: DataSize,
     padded_bytes: DataSize,
+    // Fault / degraded-mode accounting.
+    active_faults: usize,
+    dead_channels: usize,
+    last_roll: SimTime,
+    time_degraded: TimeDelta,
+    capacity_lost: DataSize,
+    baseline_occupancy: Option<u64>,
+    pending_recovery: Option<SimTime>,
+    recovery_drain: Option<TimeDelta>,
+    dropped_packets_fault: u64,
+    dropped_packets_congestion: u64,
     delays_ns: Histogram,
     departures: Vec<PacketDeparture>,
     first_arrival: Option<SimTime>,
@@ -168,7 +196,7 @@ pub struct HbmSwitch {
 
 impl HbmSwitch {
     /// Build a switch from a validated configuration.
-    pub fn new(cfg: RouterConfig) -> Result<Self, String> {
+    pub fn new(cfg: RouterConfig) -> Result<Self, ConfigError> {
         cfg.validate()?;
         let n = cfg.ribbons;
         let group = HbmGroup::new(cfg.stacks_per_switch, cfg.hbm_geometry, cfg.hbm_timing);
@@ -205,6 +233,16 @@ impl HbmSwitch {
             dropped_frames: 0,
             dropped_bytes: DataSize::ZERO,
             padded_bytes: DataSize::ZERO,
+            active_faults: 0,
+            dead_channels: 0,
+            last_roll: SimTime::ZERO,
+            time_degraded: TimeDelta::ZERO,
+            capacity_lost: DataSize::ZERO,
+            baseline_occupancy: None,
+            pending_recovery: None,
+            recovery_drain: None,
+            dropped_packets_fault: 0,
+            dropped_packets_congestion: 0,
             delays_ns: Histogram::new(),
             departures: Vec::new(),
             first_arrival: None,
@@ -251,13 +289,18 @@ impl HbmSwitch {
 
     /// Time for one batch to cross an internal (sped-up) interface.
     fn batch_time(&self) -> TimeDelta {
-        self.cfg.internal_rate().transfer_time(self.cfg.batch_size())
+        self.cfg
+            .internal_rate()
+            .transfer_time(self.cfg.batch_size())
     }
 
     /// Interval between cyclical read turns: one frame per output per
     /// `K / internal rate`, round-robin over N outputs.
     fn read_interval(&self) -> TimeDelta {
-        self.cfg.internal_rate().transfer_time(self.cfg.frame_size()) / self.cfg.ribbons as u64
+        self.cfg
+            .internal_rate()
+            .transfer_time(self.cfg.frame_size())
+            / self.cfg.ribbons as u64
     }
 
     /// Tail→head bypass transit time: one frame over the full HBM-width
@@ -288,6 +331,86 @@ impl HbmSwitch {
                 index: op.frame_index,
             },
         );
+    }
+
+    /// Total frames currently buffered in the HBM across outputs.
+    fn hbm_frames_total(&self) -> u64 {
+        (0..self.cfg.ribbons)
+            .map(|o| self.pfi.frames_buffered(o))
+            .sum()
+    }
+
+    /// Integrate degraded-time and lost-capacity up to `now`.
+    fn roll_capacity(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_roll);
+        if !dt.is_zero() {
+            if self.active_faults > 0 {
+                self.time_degraded += dt;
+            }
+            if self.dead_channels > 0 {
+                let lost = self.cfg.hbm_geometry.channel_rate() * self.dead_channels as u64;
+                self.capacity_lost += lost.data_in(dt);
+            }
+        }
+        self.last_roll = self.last_roll.max(now);
+    }
+
+    fn on_fault(&mut self, q: &mut EventQueue<Ev>, now: SimTime, f: FaultEvent) {
+        if f.kind.is_photonic() {
+            return; // front-end scope; applied by the SPS layer
+        }
+        self.roll_capacity(now);
+        if self.baseline_occupancy.is_none() && matches!(f.action, FaultAction::Inject) {
+            self.baseline_occupancy = Some(self.hbm_frames_total());
+        }
+        match (f.kind, f.action) {
+            (FaultKind::HbmChannelDown { channel }, FaultAction::Inject) => {
+                self.group.fail_channel(channel);
+                self.dead_channels += 1;
+                self.active_faults += 1;
+            }
+            (FaultKind::HbmChannelDown { channel }, FaultAction::Recover) => {
+                self.group.recover_channel(channel);
+                self.dead_channels -= 1;
+                self.active_faults -= 1;
+            }
+            (FaultKind::HbmBankStuck { channel, bank }, FaultAction::Inject) => {
+                self.group.stick_bank(channel, bank);
+                self.active_faults += 1;
+            }
+            (FaultKind::HbmBankStuck { channel, bank }, FaultAction::Recover) => {
+                self.group.unstick_bank(channel, bank);
+                self.active_faults -= 1;
+            }
+            (FaultKind::RefreshStorm { duration }, FaultAction::Inject) => {
+                self.pfi.set_refresh_storm(now + duration);
+                self.active_faults += 1;
+                // Storms self-recover: schedule the bookkeeping event.
+                q.schedule(
+                    now + duration,
+                    Ev::Fault(FaultEvent {
+                        at: now + duration,
+                        kind: f.kind,
+                        action: FaultAction::Recover,
+                    }),
+                );
+            }
+            (FaultKind::RefreshStorm { .. }, FaultAction::Recover) => {
+                self.active_faults -= 1;
+            }
+            (FaultKind::WavelengthLoss { .. } | FaultKind::PlaneDown { .. }, _) => {
+                unreachable!("photonic faults returned above")
+            }
+        }
+        if let Err(e) = self.pfi.check_degraded(&self.group) {
+            panic!("fault plan drives the PFI engine past redistribution limits: {e}");
+        }
+        if self.active_faults == 0
+            && self.pending_recovery.is_none()
+            && self.recovery_drain.is_none()
+        {
+            self.pending_recovery = Some(now);
+        }
     }
 
     fn system_empty(&self) -> bool {
@@ -331,6 +454,15 @@ impl HbmSwitch {
                 }
             }
             Ev::Drain(o) => self.on_drain(q, now, o),
+            Ev::Fault(f) => self.on_fault(q, now, f),
+        }
+        // After the last recovery, watch for the HBM backlog returning
+        // to its pre-fault level — the time-to-drain metric.
+        if let (Some(t0), Some(base)) = (self.pending_recovery, self.baseline_occupancy) {
+            if self.hbm_frames_total() <= base {
+                self.recovery_drain = Some(now.saturating_since(t0));
+                self.pending_recovery = None;
+            }
         }
     }
 
@@ -343,6 +475,11 @@ impl HbmSwitch {
             self.dropped_input += 1;
             self.dropped_bytes += p.size;
             self.dropped_ids.insert(p.id);
+            if self.active_faults > 0 {
+                self.dropped_packets_fault += 1;
+            } else {
+                self.dropped_packets_congestion += 1;
+            }
             self.record(now, SwitchEvent::InputDrop { input: p.input });
             return;
         }
@@ -379,7 +516,13 @@ impl HbmSwitch {
                 self.dropped_bytes += frame.payload();
                 for batch in &frame.batches {
                     for c in &batch.chunks {
-                        self.dropped_ids.insert(c.packet);
+                        if self.dropped_ids.insert(c.packet) {
+                            if self.active_faults > 0 {
+                                self.dropped_packets_fault += 1;
+                            } else {
+                                self.dropped_packets_congestion += 1;
+                            }
+                        }
                     }
                 }
                 self.record(now, SwitchEvent::FrameDrop { output: o });
@@ -394,8 +537,7 @@ impl HbmSwitch {
         self.read_cursor = (self.read_cursor + 1) % self.cfg.ribbons;
         let room = self.head.frames_buffered(o) + self.pending_to_head[o] < self.cfg.head_frames;
         if room {
-            let hbm_ready = self
-                .hbm_frames[o]
+            let hbm_ready = self.hbm_frames[o]
                 .front()
                 .is_some_and(|&(_, ready)| ready <= now);
             if self.pfi.frames_buffered(o) > 0 && hbm_ready {
@@ -457,15 +599,36 @@ impl HbmSwitch {
     /// Run an arrival-ordered trace to completion (or `horizon`,
     /// whichever comes first) and report.
     pub fn run(&mut self, trace: &[Packet], horizon: SimTime) -> SwitchReport {
+        self.run_with_faults(trace, horizon, &FaultPlan::default())
+    }
+
+    /// Run a trace while applying `plan` mid-flight: channels fail and
+    /// recover, banks stick, refresh storms rage — and the report's
+    /// degraded-mode fields account for it. Channel indices in the plan
+    /// are switch-local (`0..T`); photonic events are ignored here (the
+    /// SPS layer applies them at the front end). An empty plan is
+    /// byte-identical to [`HbmSwitch::run`].
+    ///
+    /// # Panics
+    /// Panics if the plan degrades the device past what the PFI engine
+    /// can redistribute (see `PfiController::check_degraded`).
+    pub fn run_with_faults(
+        &mut self,
+        trace: &[Packet],
+        horizon: SimTime,
+        plan: &FaultPlan,
+    ) -> SwitchReport {
         let mut q: EventQueue<Ev> = EventQueue::new();
         let mut last_arrival = SimTime::ZERO;
         for p in trace {
-            assert!(
-                p.arrival >= last_arrival,
-                "trace must be arrival-ordered"
-            );
+            assert!(p.arrival >= last_arrival, "trace must be arrival-ordered");
             last_arrival = p.arrival;
             q.schedule(p.arrival, Ev::Arrival(*p));
+        }
+        for ev in plan.events() {
+            if !ev.kind.is_photonic() {
+                q.schedule(ev.at, Ev::Fault(*ev));
+            }
         }
         q.schedule(last_arrival, Ev::ArrivalsDone);
         q.schedule(SimTime::ZERO, Ev::ReadTurn);
@@ -476,6 +639,7 @@ impl HbmSwitch {
             let (now, ev) = q.pop().expect("peeked");
             self.handle(&mut q, now, ev);
         }
+        self.roll_capacity(self.last_departure);
         self.report()
     }
 
@@ -498,8 +662,7 @@ impl HbmSwitch {
         let lane_cv = if self.outputs.is_empty() {
             0.0
         } else {
-            self.outputs.iter().map(|p| p.lane_spread_cv()).sum::<f64>()
-                / self.outputs.len() as f64
+            self.outputs.iter().map(|p| p.lane_spread_cv()).sum::<f64>() / self.outputs.len() as f64
         };
         SwitchReport {
             offered_packets: self.offered_packets,
@@ -528,6 +691,11 @@ impl HbmSwitch {
             tail_peak: self.tail.occupancy().peak,
             head_peak: self.head.occupancy().peak,
             lane_spread_cv: lane_cv,
+            dropped_packets_fault: self.dropped_packets_fault,
+            dropped_packets_congestion: self.dropped_packets_congestion,
+            time_degraded: self.time_degraded,
+            capacity_lost: self.capacity_lost,
+            recovery_drain: self.recovery_drain,
         }
     }
 
@@ -624,7 +792,6 @@ mod tests {
             key_of.insert(p.id, (p.input, p.output));
         }
         let mut last_id: HashMap<(usize, usize), u64> = HashMap::new();
-        let mut _checked = 0;
         let mut by_time = r.departures.clone();
         by_time.sort_by_key(|d| (d.time, d.packet));
         for d in &by_time {
@@ -638,7 +805,6 @@ mod tests {
                 );
             }
             last_id.insert(key, d.packet);
-            _checked += 1;
         }
         assert!(r.delivered_packets > 100);
     }
@@ -747,8 +913,7 @@ mod tests {
         let t = trace(0.9, &tm, horizon_us(500), 5);
         let mut s = HbmSwitch::new(mk(rip_hbm::RegionMode::Static)).unwrap();
         let rs = s.run(&t, horizon_us(650));
-        let mut d = HbmSwitch::new(mk(rip_hbm::RegionMode::DynamicPages { page_rows: 8 }))
-            .unwrap();
+        let mut d = HbmSwitch::new(mk(rip_hbm::RegionMode::DynamicPages { page_rows: 8 })).unwrap();
         let rd = d.run(&t, horizon_us(650));
         assert!(rs.dropped_bytes.bytes() > 0, "static must drop here");
         assert!(

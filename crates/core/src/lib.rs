@@ -46,17 +46,21 @@
 mod batch;
 mod config;
 mod crossbar;
+mod error;
 mod hbm_switch;
 mod mimic;
 mod output;
+mod resilience;
 mod sps;
 mod sram;
 
 pub use batch::{Batch, BatchAssembler, Chunk};
 pub use config::{RouterConfig, SRAM_INTERFACE_BITS};
 pub use crossbar::CyclicalCrossbar;
+pub use error::ConfigError;
 pub use hbm_switch::{HbmSwitch, SwitchEvent, SwitchReport};
 pub use mimic::{MimicChecker, MimicReport};
 pub use output::{OutputPort, PacketDeparture};
+pub use resilience::{FaultAction, FaultEvent, FaultKind, FaultPlan, FaultPlanError};
 pub use sps::{PerSwitch, SpsReport, SpsRouter, SpsWorkload};
 pub use sram::{Frame, HeadSram, SramOccupancy, TailSram};

@@ -96,7 +96,11 @@ impl OutputPort {
     /// serialized (padding is discarded before E/O). Returns the drain
     /// end time and the departures of packets whose last chunk was in
     /// this batch.
-    pub fn drain_batch(&mut self, batch: &Batch, start: SimTime) -> (SimTime, Vec<PacketDeparture>) {
+    pub fn drain_batch(
+        &mut self,
+        batch: &Batch,
+        start: SimTime,
+    ) -> (SimTime, Vec<PacketDeparture>) {
         let start = start.max(self.busy_until);
         let mut pos = DataSize::ZERO;
         let mut departures = Vec::new();

@@ -2,14 +2,17 @@
 //! splits fibers over `H` independent HBM switches; each packet crosses
 //! exactly one of them (one OEO conversion).
 
-use rip_photonics::{FrontEnd, SplitPattern};
+use rip_photonics::{FrontEnd, SplitMap, SplitPattern};
+use rip_traffic::hash::{lane_for, HashKind};
 use rip_traffic::{
     ArrivalProcess, FiberFill, Packet, PacketGenerator, SizeDistribution, TrafficMatrix,
 };
 use rip_units::{DataSize, SimTime};
 
 use crate::config::RouterConfig;
+use crate::error::ConfigError;
 use crate::hbm_switch::{HbmSwitch, SwitchReport};
+use crate::resilience::{FaultAction, FaultKind, FaultPlan};
 
 /// Workload specification for an SPS run.
 #[derive(Debug, Clone)]
@@ -72,6 +75,14 @@ pub struct SpsReport {
     pub loss_fraction: f64,
     /// Offered-byte imbalance across switches: max/mean.
     pub load_imbalance: f64,
+    /// Packets dropped at the optical front end (lost wavelengths).
+    pub front_end_dropped_packets: u64,
+    /// Bytes dropped at the optical front end.
+    pub front_end_dropped: DataSize,
+    /// Per-plane offered load relative to plane ingress capacity
+    /// (`N·P` over the generation horizon); > 1 means a degraded split
+    /// re-steered more traffic onto the plane than it can carry.
+    pub plane_overload: Vec<f64>,
 }
 
 /// The Split-Parallel Switch: `H` HBM switches behind a spatial fiber
@@ -81,9 +92,18 @@ pub struct SpsRouter {
     front_end: FrontEnd,
 }
 
+/// One photonic-fault epoch: the front-end state effective from `start`
+/// until the next epoch begins.
+struct Epoch {
+    start: SimTime,
+    split: SplitMap,
+    /// Lost wavelengths, `[ribbon][lambda]`.
+    lost: Vec<Vec<bool>>,
+}
+
 impl SpsRouter {
     /// Build an SPS router with the given split pattern.
-    pub fn new(cfg: RouterConfig, pattern: SplitPattern) -> Result<Self, String> {
+    pub fn new(cfg: RouterConfig, pattern: SplitPattern) -> Result<Self, ConfigError> {
         cfg.validate()?;
         let front_end = FrontEnd::new(
             cfg.ribbons,
@@ -92,7 +112,8 @@ impl SpsRouter {
             cfg.rate_per_wavelength,
             cfg.switches,
             pattern,
-        )?;
+        )
+        .map_err(ConfigError::Photonics)?;
         Ok(SpsRouter { cfg, front_end })
     }
 
@@ -144,16 +165,45 @@ impl SpsRouter {
     /// are deterministic regardless of scheduling because each switch's
     /// simulation is self-contained.
     pub fn run(&self, w: &SpsWorkload, horizon: SimTime) -> SpsReport {
-        let traces = self.split_traffic(w, horizon);
+        self.run_with_faults(w, horizon, &FaultPlan::default())
+    }
+
+    /// Run the router while applying a [`FaultPlan`] across every layer:
+    /// photonic events (lost wavelengths, dead planes) partition time
+    /// into epochs with re-derived split maps at the front end, and HBM
+    /// events are projected onto the plane that owns each global channel
+    /// (refresh storms hit every plane's controller). An empty plan is
+    /// byte-identical to [`SpsRouter::run`].
+    ///
+    /// # Panics
+    /// Panics if the plan fails [`FaultPlan::validate`] for this
+    /// router's configuration.
+    pub fn run_with_faults(
+        &self,
+        w: &SpsWorkload,
+        horizon: SimTime,
+        plan: &FaultPlan,
+    ) -> SpsReport {
+        plan.validate(&self.cfg)
+            .expect("fault plan must be valid for this router");
+        let (traces, fe_dropped_packets, fe_dropped) = if plan.has_photonic_events() {
+            self.split_traffic_faulted(w, horizon, plan)
+        } else {
+            (self.split_traffic(w, horizon), 0, DataSize::ZERO)
+        };
         let drain = SimTime::from_ps(horizon.as_ps() * 2);
+        let plans: Vec<FaultPlan> = (0..self.cfg.switches)
+            .map(|s| plan.project_switch(&self.cfg, s))
+            .collect();
         let reports: Vec<SwitchReport> = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = traces
                 .iter()
-                .map(|trace| {
+                .zip(plans.iter())
+                .map(|(trace, sub_plan)| {
                     let cfg = self.cfg.clone();
                     scope.spawn(move |_| {
                         let mut sw = HbmSwitch::new(cfg).expect("validated config");
-                        sw.run(trace, drain)
+                        sw.run_with_faults(trace, drain, sub_plan)
                     })
                 })
                 .collect();
@@ -163,12 +213,21 @@ impl SpsRouter {
                 .collect()
         })
         .expect("crossbeam scope");
+        // Plane ingress capacity over the generation horizon.
+        let plane_capacity =
+            (self.cfg.port_rate() * self.cfg.ribbons as u64).data_in(horizon.since(SimTime::ZERO));
         let mut switches = Vec::with_capacity(reports.len());
         let mut offered = DataSize::ZERO;
         let mut delivered = DataSize::ZERO;
+        let mut plane_overload = Vec::with_capacity(reports.len());
         for report in reports {
             offered += report.offered_bytes;
             delivered += report.delivered_bytes;
+            plane_overload.push(if plane_capacity.is_zero() {
+                0.0
+            } else {
+                report.offered_bytes.bits() as f64 / plane_capacity.bits() as f64
+            });
             switches.push(PerSwitch {
                 offered: report.offered_bytes,
                 delivered: report.delivered_bytes,
@@ -190,9 +249,109 @@ impl SpsRouter {
             } else {
                 1.0 - delivered.bits() as f64 / offered.bits() as f64
             },
-            load_imbalance: if mean == 0 { 1.0 } else { max as f64 / mean as f64 },
+            load_imbalance: if mean == 0 {
+                1.0
+            } else {
+                max as f64 / mean as f64
+            },
             switches,
+            front_end_dropped_packets: fe_dropped_packets,
+            front_end_dropped: fe_dropped,
+            plane_overload,
         }
+    }
+
+    /// The photonic-fault epochs of `plan`: every wavelength-loss or
+    /// plane transition snapshots a new front-end state (split map +
+    /// lost-wavelength mask) effective from its timestamp.
+    fn epochs(&self, plan: &FaultPlan) -> Vec<Epoch> {
+        let mut alive = vec![true; self.cfg.switches];
+        let mut lost = vec![vec![false; self.cfg.wavelengths]; self.cfg.ribbons];
+        let mut epochs = vec![Epoch {
+            start: SimTime::ZERO,
+            split: self.front_end.split().clone(),
+            lost: lost.clone(),
+        }];
+        for ev in plan.events().iter().filter(|e| e.kind.is_photonic()) {
+            match ev.kind {
+                FaultKind::WavelengthLoss { ribbon, lambda } => {
+                    lost[ribbon][lambda] = matches!(ev.action, FaultAction::Inject);
+                }
+                FaultKind::PlaneDown { switch } => {
+                    alive[switch] = matches!(ev.action, FaultAction::Recover);
+                }
+                _ => unreachable!("filtered to photonic events"),
+            }
+            let split = if alive.iter().all(|&a| a) {
+                self.front_end.split().clone()
+            } else {
+                self.front_end
+                    .degraded_split(&alive)
+                    .expect("validated plan keeps at least one plane alive")
+            };
+            let ep = Epoch {
+                start: ev.at,
+                split,
+                lost: lost.clone(),
+            };
+            match epochs.last_mut() {
+                Some(last) if last.start == ev.at => *last = ep,
+                _ => epochs.push(ep),
+            }
+        }
+        epochs
+    }
+
+    /// [`SpsRouter::split_traffic`] under photonic faults: each packet
+    /// is routed by the split map of its arrival epoch, and packets on
+    /// a lost wavelength (flow-hashed ingress lane) are dropped at the
+    /// front end before reaching any switch. Returns the per-switch
+    /// traces plus front-end drop counts.
+    fn split_traffic_faulted(
+        &self,
+        w: &SpsWorkload,
+        horizon: SimTime,
+        plan: &FaultPlan,
+    ) -> (Vec<Vec<Packet>>, u64, DataSize) {
+        assert_eq!(w.tm.n(), self.cfg.ribbons, "TM must be ribbon-sized");
+        let epochs = self.epochs(plan);
+        let f = self.cfg.fibers_per_ribbon;
+        let mut per_switch: Vec<Vec<Packet>> = vec![Vec::new(); self.cfg.switches];
+        let mut dropped_packets = 0u64;
+        let mut dropped = DataSize::ZERO;
+        for ribbon in 0..self.cfg.ribbons {
+            let fiber_loads = w.fill.loads(f, w.load * f as f64);
+            for (fiber, &load) in fiber_loads.iter().enumerate() {
+                if load <= 0.0 {
+                    continue;
+                }
+                let mut g = PacketGenerator::new(
+                    ribbon,
+                    self.front_end.fiber_rate(),
+                    load.min(1.0),
+                    w.tm.row(ribbon).to_vec(),
+                    w.sizes.clone(),
+                    w.process,
+                    w.flows,
+                    rip_sim::rng::derive_seed(w.seed, (ribbon * f + fiber) as u64),
+                )
+                .expect("valid generator");
+                for p in g.generate_until(horizon) {
+                    let ep = &epochs[epochs.partition_point(|e| e.start <= p.arrival) - 1];
+                    let lambda = lane_for(p.flow, self.cfg.wavelengths, HashKind::Crc32c);
+                    if ep.lost[ribbon][lambda] {
+                        dropped_packets += 1;
+                        dropped += p.size;
+                        continue;
+                    }
+                    per_switch[ep.split.switch_for(ribbon, fiber)].push(p);
+                }
+            }
+        }
+        for t in per_switch.iter_mut() {
+            t.sort_by_key(|p| (p.arrival, p.input, p.id));
+        }
+        (per_switch, dropped_packets, dropped)
     }
 
     /// Fluid-model per-switch per-output loads for `workload` (fast path
@@ -207,10 +366,10 @@ impl SpsRouter {
             let row_total = w.tm.row_load(ribbon).max(f64::MIN_POSITIVE);
             for (fiber, &load) in fiber_loads.iter().enumerate() {
                 let sw = self.front_end.split().switch_for(ribbon, fiber);
-                for out in 0..self.cfg.ribbons {
+                for (out, l) in loads[sw].iter_mut().enumerate() {
                     // Fiber load is in fiber-rate units; a switch port
                     // aggregates alpha fibers.
-                    loads[sw][out] += load * (w.tm.demand(ribbon, out) / row_total) / alpha;
+                    *l += load * (w.tm.demand(ribbon, out) / row_total) / alpha;
                 }
             }
         }
@@ -225,11 +384,7 @@ impl SpsRouter {
         if total <= 0.0 {
             return 0.0;
         }
-        let excess: f64 = loads
-            .iter()
-            .flatten()
-            .map(|&l| (l - 1.0).max(0.0))
-            .sum();
+        let excess: f64 = loads.iter().flatten().map(|&l| (l - 1.0).max(0.0)).sum();
         excess / total
     }
 }

@@ -81,8 +81,7 @@ impl TailSram {
         self.occupancy.add(batch.size());
         self.forming[o].push_back(batch);
         if self.forming[o].len() as u64 >= self.batches_per_frame {
-            let batches: Vec<Batch> = self
-                .forming[o]
+            let batches: Vec<Batch> = self.forming[o]
                 .drain(..self.batches_per_frame as usize)
                 .collect();
             let size: DataSize = batches.iter().map(|b| b.size()).sum();

@@ -24,10 +24,7 @@ impl Ipv4Prefix {
         }
         let p = Ipv4Prefix { addr, len };
         if addr & !p.mask() != 0 {
-            return Err(format!(
-                "host bits set in {}/{len}",
-                fmt_addr(addr)
-            ));
+            return Err(format!("host bits set in {}/{len}", fmt_addr(addr)));
         }
         Ok(p)
     }
@@ -48,6 +45,7 @@ impl Ipv4Prefix {
     }
 
     /// The prefix length.
+    #[allow(clippy::len_without_is_empty)] // length in bits, not a container
     pub fn len(&self) -> u8 {
         self.len
     }

@@ -234,7 +234,10 @@ mod tests {
     #[test]
     fn memory_accounting_scales_with_tables() {
         let (_, small) = build(&[("10.0.0.0/8", 1)], 16);
-        let (_, more) = build(&[("10.0.0.0/8", 1), ("10.1.2.0/24", 3), ("10.2.2.0/24", 4)], 16);
+        let (_, more) = build(
+            &[("10.0.0.0/8", 1), ("10.1.2.0/24", 3), ("10.2.2.0/24", 4)],
+            16,
+        );
         assert!(more.memory_bytes() > small.memory_bytes());
         assert_eq!(more.level2_tables(), 2);
     }

@@ -251,7 +251,12 @@ impl Channel {
     /// Issue an ACT: open `row` in `bank` at time `now`.
     ///
     /// Returns when the row is ready for column accesses (now + tRCD).
-    pub fn activate(&mut self, now: SimTime, bank: usize, row: u64) -> Result<SimTime, TimingError> {
+    pub fn activate(
+        &mut self,
+        now: SimTime,
+        bank: usize,
+        row: u64,
+    ) -> Result<SimTime, TimingError> {
         self.check_bank(bank)?;
         let b = &self.banks[bank];
         if !b.is_idle() {
@@ -457,7 +462,10 @@ mod tests {
         let err = ch
             .access(SimTime::from_ns(50), 0, 5, seg(), Direction::Read)
             .unwrap_err();
-        assert!(matches!(err, TimingError::RowNotOpen { open_row: None, .. }));
+        assert!(matches!(
+            err,
+            TimingError::RowNotOpen { open_row: None, .. }
+        ));
 
         ch.activate(SimTime::from_ns(50), 0, 5).unwrap();
         let err = ch
@@ -491,7 +499,8 @@ mod tests {
     fn bus_serializes_accesses() {
         let mut ch = test_channel();
         ch.activate(SimTime::ZERO, 0, 1).unwrap();
-        ch.activate(SimTime::ZERO + TimeDelta::from_ns(1), 1, 1).unwrap();
+        ch.activate(SimTime::ZERO + TimeDelta::from_ns(1), 1, 1)
+            .unwrap();
         let end0 = ch
             .access(SimTime::from_ns(16), 0, 1, seg(), Direction::Write)
             .unwrap();
@@ -596,7 +605,7 @@ mod tests {
         assert_eq!(err, TimingError::RefreshNotIdle { bank: 0 });
         let done = ch.refresh_bank(SimTime::from_ns(100), 1).unwrap();
         assert_eq!(done, SimTime::from_ns(220)); // +tRFCsb = 120 ns
-        // Bank unusable while refreshing.
+                                                 // Bank unusable while refreshing.
         let err = ch.activate(SimTime::from_ns(150), 1, 0).unwrap_err();
         assert!(matches!(err, TimingError::BankNotIdleYet { .. }));
         assert_eq!(ch.stats().refreshes.get(), 1);

@@ -1,14 +1,21 @@
 //! Memory controllers: the paper's PFI engine and the random-access
 //! baseline it is compared against (§3.1 Challenge 6 / Design 6).
 
+use std::collections::BTreeMap;
+
 use rand::Rng;
 use rip_sim::rng::rng_for;
 use rip_units::{DataRate, DataSize, SimTime, TimeDelta};
 use serde::{Deserialize, Serialize};
 
 use crate::channel::Direction;
+use crate::error::PfiConfigError;
 use crate::group::HbmGroup;
 use crate::region::{RegionAllocator, RegionMode};
+
+/// Write-time placement of one degraded frame: the alive mask of its
+/// stripe subset plus the stuck `(channel, bank)` pairs at write time.
+type DegradedPlacement = (u128, Vec<(usize, usize)>);
 
 /// Configuration of the Parallel Frame Interleaving engine.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -62,29 +69,28 @@ impl PfiConfig {
     ///   needed by the following group (seamless group chaining);
     /// * the ACT stagger obeys the four-activation window: at most 4
     ///   activations per tFAW.
-    pub fn validate(&self, group: &HbmGroup) -> Result<(), String> {
+    pub fn validate(&self, group: &HbmGroup) -> Result<(), PfiConfigError> {
         let g = group.geometry();
         if self.gamma == 0 || self.num_outputs == 0 {
-            return Err("gamma and num_outputs must be positive".into());
+            return Err(PfiConfigError::ZeroParameter);
         }
-        if g.banks_per_channel % self.gamma != 0 {
-            return Err(format!(
-                "banks per channel ({}) not divisible by gamma ({})",
-                g.banks_per_channel, self.gamma
-            ));
+        if !g.banks_per_channel.is_multiple_of(self.gamma) {
+            return Err(PfiConfigError::GammaBanks {
+                banks: g.banks_per_channel,
+                gamma: self.gamma,
+            });
         }
         if !self.segment.is_multiple_of(g.burst_size()) {
-            return Err(format!(
-                "segment {} is not a multiple of the burst granule {}",
-                self.segment,
-                g.burst_size()
-            ));
+            return Err(PfiConfigError::SegmentBurst {
+                segment: self.segment,
+                burst: g.burst_size(),
+            });
         }
         if !g.row_size.is_multiple_of(self.segment) {
-            return Err(format!(
-                "segment {} is not a unit fraction of the row size {}",
-                self.segment, g.row_size
-            ));
+            return Err(PfiConfigError::SegmentRow {
+                segment: self.segment,
+                row: g.row_size,
+            });
         }
         let seg_time = g.channel_rate().transfer_time(self.segment);
         let t = group.timing();
@@ -92,33 +98,30 @@ impl PfiConfig {
         // γ segment slots of its group.
         let group_span = seg_time * self.gamma as u64;
         if group_span < t.t_rc() {
-            return Err(format!(
-                "gamma ({}) too small: group span {} < tRC {} breaks seamless \
-                 staggered interleaving",
-                self.gamma,
-                group_span,
-                t.t_rc()
-            ));
+            return Err(PfiConfigError::GammaTrc {
+                gamma: self.gamma,
+                span: group_span,
+                t_rc: t.t_rc(),
+            });
         }
         // Four-activation window: ACTs are staggered one per segment
         // time, so 5 consecutive ACTs span 4 segment times.
         if seg_time * 4 < t.t_faw {
-            return Err(format!(
-                "ACT stagger {} x4 violates tFAW {}: segment too small for \
-                 the four-activation window",
-                seg_time, t.t_faw
-            ));
+            return Err(PfiConfigError::SegmentFaw {
+                seg_time,
+                t_faw: t.t_faw,
+            });
         }
         let banks_per_output = g.banks_per_channel / self.gamma;
         if banks_per_output == 0 || g.rows_per_bank() < self.num_outputs as u64 {
-            return Err("too many outputs for the per-bank row budget".into());
+            return Err(PfiConfigError::OutputBudget);
         }
         if let Some(stripe) = self.stripe_channels {
-            if stripe == 0 || group.num_channels() % stripe != 0 {
-                return Err(format!(
-                    "stripe width {stripe} must evenly divide the {} channels",
-                    group.num_channels()
-                ));
+            if stripe == 0 || !group.num_channels().is_multiple_of(stripe) {
+                return Err(PfiConfigError::Stripe {
+                    stripe,
+                    channels: group.num_channels(),
+                });
             }
         }
         // The region allocator has its own constraints (page divisibility,
@@ -128,7 +131,8 @@ impl PfiConfig {
             g.rows_per_bank(),
             g.row_size.chunks(self.segment),
             self.num_outputs,
-        )?;
+        )
+        .map_err(PfiConfigError::Region)?;
         Ok(())
     }
 }
@@ -163,6 +167,12 @@ pub struct SustainedReport {
     pub peak: DataRate,
     /// `achieved / peak`.
     pub utilization: f64,
+    /// Peak rate of the channels in service at the end of the run
+    /// (equals `peak` on a healthy device).
+    pub effective_peak: DataRate,
+    /// `achieved / effective_peak` — how close the survivors run to
+    /// their own ceiling under degradation.
+    pub effective_utilization: f64,
     /// Fraction of the window lost to read↔write turnaround gaps
     /// (the paper's ≈2 % "frame interleaving cycle" transitions).
     pub turnaround_fraction: f64,
@@ -199,13 +209,23 @@ pub struct PfiController {
     /// Refresh bookkeeping: worst inter-refresh gap seen per bank is
     /// tracked lazily from channel state at report time.
     refresh_enabled: bool,
+    /// Refresh-storm fault: until this instant every pump refreshes the
+    /// maximum number of banks with no staleness threshold and no group
+    /// exclusion, so REFsb collides with imminent activations.
+    storm_until: SimTime,
+    /// Write-time placement of frames written while the device was
+    /// degraded, per output: frame index → (alive mask of the stripe
+    /// subset, stuck `(channel, bank)` pairs). Reads replay this
+    /// placement; the maps stay empty on a healthy device, preserving
+    /// the paper's counters-only FIFO state in the common case.
+    degraded: Vec<BTreeMap<u64, DegradedPlacement>>,
     /// Row mapping / page churn for the per-output FIFO regions.
     region: RegionAllocator,
 }
 
 impl PfiController {
     /// Build a controller for `group`, validating the configuration.
-    pub fn new(cfg: PfiConfig, group: &HbmGroup) -> Result<Self, String> {
+    pub fn new(cfg: PfiConfig, group: &HbmGroup) -> Result<Self, PfiConfigError> {
         cfg.validate(group)?;
         let g = group.geometry();
         let region = RegionAllocator::new(
@@ -213,13 +233,16 @@ impl PfiController {
             g.rows_per_bank(),
             g.row_size.chunks(cfg.segment),
             cfg.num_outputs,
-        )?;
+        )
+        .map_err(PfiConfigError::Region)?;
         Ok(PfiController {
             cfg,
             next_write: vec![0; cfg.num_outputs],
             next_read: vec![0; cfg.num_outputs],
             last_start: SimTime::ZERO,
             refresh_enabled: true,
+            storm_until: SimTime::ZERO,
+            degraded: vec![BTreeMap::new(); cfg.num_outputs],
             region,
         })
     }
@@ -227,6 +250,19 @@ impl PfiController {
     /// Disable the opportunistic refresh engine (for ablation benches).
     pub fn set_refresh_enabled(&mut self, enabled: bool) {
         self.refresh_enabled = enabled;
+    }
+
+    /// Run the refresh engine in storm mode until `until` (sim time):
+    /// every pump fires indiscriminately — no staleness threshold, no
+    /// group exclusion — modeling a runaway refresh controller whose
+    /// tRFCsb windows collide with imminent activations.
+    pub fn set_refresh_storm(&mut self, until: SimTime) {
+        self.storm_until = until;
+    }
+
+    /// Whether the refresh storm is still in force at `now`.
+    pub fn refresh_storm_active(&self, now: SimTime) -> bool {
+        now < self.storm_until
     }
 
     /// The configuration in force.
@@ -280,8 +316,115 @@ impl PfiController {
         &self.region
     }
 
+    /// Alive mask covering a full stripe subset (bit `i` = channel
+    /// `base + i` in service; channels ≥ 128 are implicitly alive).
+    fn full_mask(stripe: usize) -> u128 {
+        if stripe >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << stripe) - 1
+        }
+    }
+
+    /// `(first channel, width)` of the stripe subset serving `output`.
+    fn subset_base(&self, group: &HbmGroup, output: usize) -> (usize, usize) {
+        let t = group.num_channels();
+        let stripe = self.cfg.stripe(t);
+        let subsets = t / stripe;
+        ((output % subsets) * stripe, stripe)
+    }
+
+    /// Snapshot the health of `output`'s stripe subset: the alive mask
+    /// plus the stuck `(channel, bank)` pairs on its live channels.
+    fn subset_health(&self, group: &HbmGroup, output: usize) -> (u128, Vec<(usize, usize)>) {
+        let (base, stripe) = self.subset_base(group, output);
+        if group.fully_healthy() {
+            return (Self::full_mask(stripe), Vec::new());
+        }
+        assert!(
+            stripe <= 128,
+            "degraded mode supports stripes up to 128 channels"
+        );
+        let mut mask = 0u128;
+        let mut stuck = Vec::new();
+        for idx in 0..stripe {
+            let ci = base + idx;
+            if group.channel_alive(ci) {
+                mask |= 1u128 << idx;
+                for bank in 0..group.geometry().banks_per_channel {
+                    if group.bank_stuck(ci, bank) {
+                        stuck.push((ci, bank));
+                    }
+                }
+            }
+        }
+        (mask, stuck)
+    }
+
+    /// Whether the controller can still place every new frame on the
+    /// current (possibly degraded) device. Each stripe subset must keep
+    /// at least one live channel; no live channel may have a fully-stuck
+    /// interleaving group; and the segments displaced from failed
+    /// channels/banks must fit in the spare column slots of the
+    /// surviving open rows (one base segment per episode leaves
+    /// `segs_per_row − 1` spare slots in its row).
+    pub fn check_degraded(&self, group: &HbmGroup) -> Result<(), PfiConfigError> {
+        if group.fully_healthy() {
+            return Ok(());
+        }
+        let g = group.geometry();
+        let t = group.num_channels();
+        let stripe = self.cfg.stripe(t);
+        let subsets = t / stripe;
+        let gamma = self.cfg.gamma;
+        let num_groups = g.banks_per_channel / gamma;
+        let segs_per_row = g.row_size.chunks(self.cfg.segment) as usize;
+        for s in 0..subsets {
+            let base = s * stripe;
+            let alive: Vec<usize> = (base..base + stripe)
+                .filter(|&ci| group.channel_alive(ci))
+                .collect();
+            if alive.is_empty() {
+                return Err(PfiConfigError::SubsetDead { subset: s });
+            }
+            for &ci in &alive {
+                for h in 0..num_groups {
+                    if (0..gamma).all(|j| group.bank_stuck(ci, h * gamma + j)) {
+                        return Err(PfiConfigError::GroupStuck {
+                            channel: ci,
+                            group: h,
+                        });
+                    }
+                }
+            }
+            let dead = stripe - alive.len();
+            for h in 0..num_groups {
+                let stuck_live: usize = alive
+                    .iter()
+                    .map(|&ci| {
+                        (0..gamma)
+                            .filter(|&j| group.bank_stuck(ci, h * gamma + j))
+                            .count()
+                    })
+                    .sum();
+                let displaced = dead * gamma + stuck_live;
+                let episodes = alive.len() * gamma - stuck_live;
+                let spare = episodes * (segs_per_row - 1);
+                if displaced > spare {
+                    return Err(PfiConfigError::RedistributionOverflow {
+                        subset: s,
+                        displaced,
+                        spare,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Transfer one frame for `output` in direction `dir`, starting no
     /// earlier than `start`. Returns the completed op.
+    #[allow(clippy::too_many_arguments)]
     fn frame_op(
         &mut self,
         group: &mut HbmGroup,
@@ -290,6 +433,8 @@ impl PfiController {
         n: u64,
         row: u64,
         dir: Direction,
+        mask: u128,
+        stuck: &[(usize, usize)],
     ) -> FrameOp {
         assert!(
             start >= self.last_start,
@@ -299,10 +444,11 @@ impl PfiController {
         let num_groups = self.num_groups(group);
         let h = (n % num_groups as u64) as usize;
         let seg = self.cfg.segment;
-        let mut first_cas = SimTime::ZERO;
+        let mut first_cas: Option<SimTime> = None;
         let mut end = SimTime::ZERO;
         let refresh_due = group.timing().t_refi_sb * 3 / 4;
         let refresh_enabled = self.refresh_enabled;
+        let storm_until = self.storm_until;
         let gamma = self.cfg.gamma;
         // Channel subset for this frame: full stripe by default; with a
         // narrower stripe, output o uses subset o mod (T/T') so subsets
@@ -311,12 +457,46 @@ impl PfiController {
         let stripe = self.cfg.stripe(t_all);
         let subsets = t_all / stripe;
         let first_channel = (output % subsets) * stripe;
+        // Episode plan: one ACT→CAS→PRE episode per live (channel, bank)
+        // of group h. Segments displaced from dead channels and stuck
+        // banks ride as *extra CAS bursts on already-open rows* of the
+        // surviving episodes — no extra ACT, so the staggered schedule
+        // stays legal — rotated by frame index so no single bank absorbs
+        // the displaced load on every frame.
+        let mut episodes: Vec<(usize, usize, usize)> = Vec::with_capacity(stripe * gamma);
+        let mut displaced = 0usize;
+        for idx in 0..stripe {
+            let ci = first_channel + idx;
+            let ch_alive = idx >= 128 || mask & (1u128 << idx) != 0;
+            for j in 0..gamma {
+                let bank = h * gamma + j;
+                if ch_alive && !stuck.contains(&(ci, bank)) {
+                    episodes.push((ci, bank, 0));
+                } else {
+                    displaced += 1;
+                }
+            }
+        }
+        assert!(
+            !episodes.is_empty(),
+            "no live (channel, bank) for output {output} group {h}: \
+             callers must gate on check_degraded"
+        );
+        for e in 0..displaced {
+            let k = (n as usize).wrapping_add(e) % episodes.len();
+            episodes[k].2 += 1;
+        }
+        let mut i = 0usize;
         for ci in first_channel..first_channel + stripe {
             let ch = group.channel_mut(ci);
             let mut prev_cas_end: Option<SimTime> = None;
             let mut channel_end = SimTime::ZERO;
-            for j in 0..gamma {
-                let bank = h * gamma + j;
+            let mut first_on_channel = true;
+            let mut any = false;
+            while i < episodes.len() && episodes[i].0 == ci {
+                let (_, bank, extra) = episodes[i];
+                i += 1;
+                any = true;
                 // Issue the ACT as early as legal (pipelined behind the
                 // previous bank's transfer), but not before the frame
                 // became available.
@@ -327,11 +507,20 @@ impl PfiController {
                 let cas_t = ready
                     .max(ch.earliest_cas(bank, dir))
                     .max(prev_cas_end.unwrap_or(SimTime::ZERO));
-                let cas_end = ch
+                let mut cas_end = ch
                     .access(cas_t, bank, row, seg, dir)
                     .unwrap_or_else(|e| panic!("PFI CAS schedule bug: {e}"));
-                if j == 0 && (ci == 0 || cas_t > first_cas) {
-                    first_cas = if ci == 0 { cas_t } else { first_cas.max(cas_t) };
+                // Displaced segments: extra bursts on the row this
+                // episode already opened.
+                for _ in 0..extra {
+                    let t2 = cas_end.max(ch.earliest_cas(bank, dir));
+                    cas_end = ch
+                        .access(t2, bank, row, seg, dir)
+                        .unwrap_or_else(|e| panic!("PFI extra-CAS schedule bug: {e}"));
+                }
+                if first_on_channel {
+                    first_cas = Some(first_cas.map_or(cas_t, |f| f.max(cas_t)));
+                    first_on_channel = false;
                 }
                 prev_cas_end = Some(cas_end);
                 channel_end = channel_end.max(cas_end);
@@ -341,28 +530,45 @@ impl PfiController {
                 ch.precharge(pre_t, bank)
                     .unwrap_or_else(|e| panic!("PFI PRE schedule bug: {e}"));
             }
+            if !any {
+                continue; // dead channel: no episodes, no refresh pump
+            }
             end = end.max(channel_end);
             // Hidden refresh (§4 "frame interleaving cycle"): while group
             // `h` is on the bus, banks of *distant* groups are guaranteed
             // idle for many group slots — refresh the most starved ones
             // there. Excluding the group just serviced and the next one
             // keeps REFsb (tRFCsb = 120 ns) from colliding with imminent
-            // activations, which is what makes refresh invisible.
+            // activations, which is what makes refresh invisible. A
+            // refresh storm removes both safeguards.
             if refresh_enabled {
-                Self::pump_refresh(ch, channel_end, h, gamma, num_groups, refresh_due);
+                if channel_end < storm_until {
+                    Self::pump_refresh(
+                        ch,
+                        channel_end,
+                        h,
+                        gamma,
+                        num_groups,
+                        TimeDelta::ZERO,
+                        true,
+                    );
+                } else {
+                    Self::pump_refresh(ch, channel_end, h, gamma, num_groups, refresh_due, false);
+                }
             }
         }
         FrameOp {
             output,
             frame_index: n,
             group: h,
-            first_cas,
+            first_cas: first_cas.unwrap_or(SimTime::ZERO),
             end,
         }
     }
 
     /// Refresh up to 4 due banks on `ch` at `now`, avoiding groups `h`
     /// and `h+1` (imminently reusable) when more than 2 groups exist.
+    /// `ignore_exclusion` (storm mode) drops the group safeguard.
     fn pump_refresh(
         ch: &mut crate::channel::Channel,
         now: SimTime,
@@ -370,9 +576,10 @@ impl PfiController {
         gamma: usize,
         num_groups: usize,
         due: TimeDelta,
+        ignore_exclusion: bool,
     ) {
         let excluded = |bank: usize| {
-            if num_groups <= 2 {
+            if ignore_exclusion || num_groups <= 2 {
                 return false;
             }
             let g = bank / gamma;
@@ -408,7 +615,14 @@ impl PfiController {
             .row_for_write(output, n / num_groups)
             .unwrap_or_else(|| panic!("write_frame on a full region for output {output}"));
         self.next_write[output] += 1;
-        self.frame_op(group, start, output, n, row, Direction::Write)
+        // Record where a degraded frame lands so its read can replay the
+        // placement exactly (nothing is recorded on a healthy device).
+        let (mask, stuck) = self.subset_health(group, output);
+        let (_, stripe) = self.subset_base(group, output);
+        if mask != Self::full_mask(stripe) || !stuck.is_empty() {
+            self.degraded[output].insert(n, (mask, stuck.clone()));
+        }
+        self.frame_op(group, start, output, n, row, Direction::Write, mask, &stuck)
     }
 
     /// Read the next frame for `output`, if one is buffered.
@@ -425,7 +639,16 @@ impl PfiController {
         let num_groups = self.num_groups(group) as u64;
         let row = self.region.row_for_read(output, n / num_groups);
         self.next_read[output] += 1;
-        let op = self.frame_op(group, start, output, n, row, Direction::Read);
+        // Replay the write-time placement: a frame written degraded is
+        // read from exactly the banks it landed on, and a frame written
+        // healthy drains even off channels that have failed since
+        // ("drain before dark" — a failed channel completes reads of
+        // data written before the failure; it only refuses new writes).
+        let (_, stripe) = self.subset_base(group, output);
+        let (mask, stuck) = self.degraded[output]
+            .remove(&n)
+            .unwrap_or((Self::full_mask(stripe), Vec::new()));
+        let op = self.frame_op(group, start, output, n, row, Direction::Read, mask, &stuck);
         self.region
             .reads_advanced_to(output, self.next_read[output] / num_groups);
         Some(op)
@@ -483,9 +706,12 @@ impl PfiController {
         // Worst staleness: oldest un-refreshed bank relative to run end.
         let max_refresh_gap = group
             .channels()
-            .flat_map(|c| (0..c.num_banks()).map(move |b| end.saturating_since(c.bank(b).last_refresh())))
+            .flat_map(|c| {
+                (0..c.num_banks()).map(move |b| end.saturating_since(c.bank(b).last_refresh()))
+            })
             .max()
             .unwrap_or(TimeDelta::ZERO);
+        let effective_peak = group.effective_peak_rate();
         SustainedReport {
             frames: done,
             data,
@@ -493,6 +719,8 @@ impl PfiController {
             achieved,
             peak,
             utilization: achieved.fraction_of(peak),
+            effective_peak,
+            effective_utilization: achieved.fraction_of(effective_peak),
             turnaround_fraction,
             refreshes,
             max_refresh_gap,
@@ -614,7 +842,8 @@ impl RandomAccessController {
                     let ci = (i % t as u64) as usize;
                     let bank = self.rng.random_range(0..banks);
                     let row = self.rng.random_range(0..rows);
-                    let (cas_t, done) = self.one_access(group, ci, cursors[ci], bank, row, share, dir);
+                    let (cas_t, done) =
+                        self.one_access(group, ci, cursors[ci], bank, row, share, dir);
                     first.get_or_insert(cas_t);
                     cursors[ci] = done;
                     last = last.max(done);
@@ -670,6 +899,7 @@ impl RandomAccessController {
 
     /// One strict/pipelined ACT→CAS→PRE episode on channel `ci`,
     /// starting no earlier than `start`. Returns (CAS start, episode end).
+    #[allow(clippy::too_many_arguments)]
     fn one_access(
         &mut self,
         group: &mut HbmGroup,
@@ -835,7 +1065,10 @@ mod tests {
         let group = HbmGroup::reference();
         let cfg = PfiConfig::reference();
         cfg.validate(&group).expect("reference PFI config is valid");
-        assert_eq!(cfg.frame_size(group.num_channels()), DataSize::from_kib(512));
+        assert_eq!(
+            cfg.frame_size(group.num_channels()),
+            DataSize::from_kib(512)
+        );
     }
 
     #[test]
@@ -991,7 +1224,11 @@ mod tests {
             t_refi * 2
         );
         // And refresh did not dent utilization.
-        assert!(report.utilization > 0.95, "utilization {}", report.utilization);
+        assert!(
+            report.utilization > 0.95,
+            "utilization {}",
+            report.utilization
+        );
     }
 
     #[test]
@@ -1068,7 +1305,12 @@ mod tests {
         // Paper: 2.6x reduction for 1,500-byte packets.
         let mut group = small_group();
         let mut ctl = RandomAccessController::new(AccessPattern::ParallelChannels, 7);
-        let report = ctl.run(&mut group, 2000, DataSize::from_bytes(1500), Direction::Write);
+        let report = ctl.run(
+            &mut group,
+            2000,
+            DataSize::from_bytes(1500),
+            Direction::Write,
+        );
         // Expected: (30 + 18.75) / 18.75 = 2.6.
         assert!(
             (report.reduction - 2.6).abs() < 0.1,
@@ -1111,8 +1353,12 @@ mod tests {
         // But it must beat the strict variant.
         let mut group2 = small_group();
         let mut strict = RandomAccessController::new(AccessPattern::ParallelChannels, 7);
-        let strict_report =
-            strict.run(&mut group2, 2000, DataSize::from_bytes(64), Direction::Write);
+        let strict_report = strict.run(
+            &mut group2,
+            2000,
+            DataSize::from_bytes(64),
+            Direction::Write,
+        );
         assert!(report.reduction < strict_report.reduction);
     }
 
@@ -1177,5 +1423,186 @@ mod tests {
     #[should_panic(expected = "locality out of range")]
     fn open_page_rejects_bad_locality() {
         OpenPageController::new(1.5, 0);
+    }
+
+    #[test]
+    fn validation_reports_typed_errors() {
+        let group = small_group();
+        let mut cfg = small_cfg();
+        cfg.gamma = 3;
+        assert_eq!(
+            cfg.validate(&group),
+            Err(PfiConfigError::GammaBanks {
+                banks: 16,
+                gamma: 3
+            })
+        );
+        let mut cfg = small_cfg();
+        cfg.gamma = 1;
+        assert!(matches!(
+            cfg.validate(&group),
+            Err(PfiConfigError::GammaTrc { .. })
+        ));
+        let mut cfg = small_cfg();
+        cfg.stripe_channels = Some(3);
+        assert!(matches!(
+            cfg.validate(&group),
+            Err(PfiConfigError::Stripe {
+                stripe: 3,
+                channels: 4
+            })
+        ));
+        // The typed error formats like the old string did.
+        let msg = cfg.validate(&group).unwrap_err().to_string();
+        assert!(msg.contains("stripe width 3"), "{msg}");
+    }
+
+    #[test]
+    fn one_dead_channel_sustains_alive_fraction_of_peak() {
+        let mut group = small_group();
+        let mut pfi = PfiController::new(small_cfg(), &group).unwrap();
+        group.fail_channel(3);
+        pfi.check_degraded(&group).expect("1-of-4 dead is feasible");
+        let report = pfi.run_sustained(&mut group, 300);
+        // Survivors still run near their own ceiling...
+        assert!(
+            report.effective_utilization > 0.90,
+            "effective utilization {}",
+            report.effective_utilization
+        );
+        // ...so the aggregate lands at ~3/4 of the healthy device peak.
+        assert!(
+            report.utilization > 0.68 && report.utilization < 0.78,
+            "degraded utilization {}",
+            report.utilization
+        );
+        assert_eq!(report.effective_peak, group.geometry().channel_rate() * 3);
+    }
+
+    #[test]
+    fn fail_recover_before_traffic_is_identical_to_healthy() {
+        let mut g1 = small_group();
+        let mut p1 = PfiController::new(small_cfg(), &g1).unwrap();
+        let r1 = p1.run_sustained(&mut g1, 100);
+        let mut g2 = small_group();
+        let mut p2 = PfiController::new(small_cfg(), &g2).unwrap();
+        g2.fail_channel(2);
+        g2.stick_bank(0, 5);
+        g2.recover_channel(2);
+        g2.unstick_bank(0, 5);
+        let r2 = p2.run_sustained(&mut g2, 100);
+        assert_eq!(r1.achieved, r2.achieved);
+        assert_eq!(r1.elapsed, r2.elapsed);
+        assert_eq!(r1.refreshes, r2.refreshes);
+    }
+
+    #[test]
+    fn stuck_bank_costs_little() {
+        let mut group = small_group();
+        let mut pfi = PfiController::new(small_cfg(), &group).unwrap();
+        group.stick_bank(1, 0);
+        pfi.check_degraded(&group)
+            .expect("one stuck bank is feasible");
+        let report = pfi.run_sustained(&mut group, 300);
+        // One stuck bank of 64 (4 channels x 16) barely dents the rate.
+        assert!(report.utilization > 0.90, "{}", report.utilization);
+    }
+
+    #[test]
+    fn fully_stuck_group_is_rejected() {
+        let mut group = small_group();
+        let pfi = PfiController::new(small_cfg(), &group).unwrap();
+        for j in 0..4 {
+            group.stick_bank(2, j); // all of interleaving group 0
+        }
+        assert_eq!(
+            pfi.check_degraded(&group),
+            Err(PfiConfigError::GroupStuck {
+                channel: 2,
+                group: 0
+            })
+        );
+    }
+
+    #[test]
+    fn all_channels_dead_is_rejected() {
+        let mut group = small_group();
+        let pfi = PfiController::new(small_cfg(), &group).unwrap();
+        for ci in 0..4 {
+            group.fail_channel(ci);
+        }
+        assert_eq!(
+            pfi.check_degraded(&group),
+            Err(PfiConfigError::SubsetDead { subset: 0 })
+        );
+    }
+
+    #[test]
+    fn too_many_dead_channels_overflow_redistribution() {
+        // 2 KiB rows / 1 KiB segments leave one spare slot per open row:
+        // 2-of-4 dead is exactly absorbable, 3-of-4 is not.
+        let mut group = small_group();
+        let pfi = PfiController::new(small_cfg(), &group).unwrap();
+        group.fail_channel(0);
+        group.fail_channel(1);
+        pfi.check_degraded(&group)
+            .expect("2-of-4 dead is the boundary case");
+        group.fail_channel(2);
+        assert_eq!(
+            pfi.check_degraded(&group),
+            Err(PfiConfigError::RedistributionOverflow {
+                subset: 0,
+                displaced: 12,
+                spare: 4
+            })
+        );
+    }
+
+    #[test]
+    fn degraded_write_replays_placement_on_read() {
+        let mut group = small_group();
+        let mut pfi = PfiController::new(small_cfg(), &group).unwrap();
+        group.fail_channel(3);
+        pfi.write_frame(&mut group, SimTime::ZERO, 0);
+        assert_eq!(group.channel(3).stats().writes.get(), 0);
+        // The channel comes back before the frame drains: the read must
+        // replay the degraded placement, not touch the recovered channel.
+        group.recover_channel(3);
+        let t = pfi.last_issue_time();
+        pfi.read_frame(&mut group, t, 0).unwrap();
+        assert_eq!(group.channel(3).stats().reads.get(), 0);
+        // The next (healthy) frame uses all four channels again.
+        let t = pfi.last_issue_time();
+        pfi.write_frame(&mut group, t, 0);
+        let t = pfi.last_issue_time();
+        pfi.read_frame(&mut group, t, 0).unwrap();
+        assert!(group.channel(3).stats().writes.get() > 0);
+        assert!(group.channel(3).stats().reads.get() > 0);
+    }
+
+    #[test]
+    fn refresh_storm_tanks_utilization() {
+        let mut g1 = small_group();
+        let mut p1 = PfiController::new(small_cfg(), &g1).unwrap();
+        let healthy = p1.run_sustained(&mut g1, 300);
+        let mut g2 = small_group();
+        let mut p2 = PfiController::new(small_cfg(), &g2).unwrap();
+        p2.set_refresh_storm(SimTime::from_ns(1_000_000));
+        assert!(p2.refresh_storm_active(SimTime::ZERO));
+        let storm = p2.run_sustained(&mut g2, 300);
+        assert!(
+            storm.utilization < healthy.utilization - 0.05,
+            "storm {} vs healthy {}",
+            storm.utilization,
+            healthy.utilization
+        );
+        assert!(
+            storm.refreshes > healthy.refreshes,
+            "storm {} vs healthy {} refreshes",
+            storm.refreshes,
+            healthy.refreshes
+        );
+        // Device health is unaffected — the storm is a controller fault.
+        assert_eq!(storm.effective_peak, storm.peak);
     }
 }

@@ -56,9 +56,11 @@ impl HbmEnergyModel {
         if elapsed.is_zero() {
             return Power::ZERO;
         }
-        let dynamic: f64 = group.channels().map(|c| self.dynamic_joules(c.stats())).sum();
-        let background_w =
-            self.background_mw_per_channel * 1e-3 * group.num_channels() as f64;
+        let dynamic: f64 = group
+            .channels()
+            .map(|c| self.dynamic_joules(c.stats()))
+            .sum();
+        let background_w = self.background_mw_per_channel * 1e-3 * group.num_channels() as f64;
         Power::from_watts(dynamic / elapsed.as_secs_f64() + background_w)
     }
 
@@ -119,9 +121,7 @@ mod tests {
             // same activity.
             (
                 model.group_power(&group, rep.elapsed).watts(),
-                model
-                    .group_power(&group, rep.elapsed * 2)
-                    .watts(),
+                model.group_power(&group, rep.elapsed * 2).watts(),
             )
         };
         let (full, half) = mk(400);

@@ -1,0 +1,152 @@
+//! Typed configuration and degraded-mode errors for the PFI engine.
+
+use rip_units::{DataSize, TimeDelta};
+
+/// Why a [`crate::PfiConfig`] cannot drive a given HBM group — either a
+/// static constraint of §3.2 (segment/γ geometry, timing windows), or a
+/// degraded-mode infeasibility (so many channels/banks failed that the
+/// surviving rows cannot absorb the displaced segments).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PfiConfigError {
+    /// γ or N was zero.
+    ZeroParameter,
+    /// Bank count is not divisible into whole γ-groups.
+    GammaBanks {
+        /// Banks per channel `L`.
+        banks: usize,
+        /// γ — banks per interleaving group.
+        gamma: usize,
+    },
+    /// Segment is not a multiple of the burst granule.
+    SegmentBurst {
+        /// Configured segment size `S`.
+        segment: DataSize,
+        /// Device burst granule.
+        burst: DataSize,
+    },
+    /// Segment is not a unit fraction of the row length.
+    SegmentRow {
+        /// Configured segment size `S`.
+        segment: DataSize,
+        /// Device row size.
+        row: DataSize,
+    },
+    /// γ segment-times do not cover tRC: seamless staggered interleaving
+    /// would stall on the first bank of each group.
+    GammaTrc {
+        /// γ — banks per interleaving group.
+        gamma: usize,
+        /// Span of one group (γ segment times).
+        span: TimeDelta,
+        /// Device tRC.
+        t_rc: TimeDelta,
+    },
+    /// The one-ACT-per-segment stagger violates the four-activation
+    /// window.
+    SegmentFaw {
+        /// One segment transfer time.
+        seg_time: TimeDelta,
+        /// Device tFAW.
+        t_faw: TimeDelta,
+    },
+    /// More outputs than the per-bank row budget supports.
+    OutputBudget,
+    /// Stripe width `T'` does not evenly divide the channel count.
+    Stripe {
+        /// Configured stripe width.
+        stripe: usize,
+        /// Channels in the group.
+        channels: usize,
+    },
+    /// The per-output region allocator rejected its parameters.
+    Region(String),
+    /// Degraded mode: every channel of a stripe subset has failed, so no
+    /// frame for that subset's outputs can be placed at all.
+    SubsetDead {
+        /// Index of the fully-failed subset.
+        subset: usize,
+    },
+    /// Degraded mode: the displaced segments of failed channels/banks
+    /// exceed the spare column space of the surviving open rows.
+    RedistributionOverflow {
+        /// Stripe subset affected.
+        subset: usize,
+        /// Segments that must be re-homed per frame.
+        displaced: usize,
+        /// Spare segment slots available per frame.
+        spare: usize,
+    },
+    /// Degraded mode: all γ banks of an interleaving group are stuck on
+    /// a live channel, so frames mapping to that group cannot be placed.
+    GroupStuck {
+        /// Channel with the fully-stuck group.
+        channel: usize,
+        /// Interleaving group index.
+        group: usize,
+    },
+}
+
+impl std::fmt::Display for PfiConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PfiConfigError::ZeroParameter => {
+                write!(f, "gamma and num_outputs must be positive")
+            }
+            PfiConfigError::GammaBanks { banks, gamma } => {
+                write!(
+                    f,
+                    "banks per channel ({banks}) not divisible by gamma ({gamma})"
+                )
+            }
+            PfiConfigError::SegmentBurst { segment, burst } => {
+                write!(
+                    f,
+                    "segment {segment} is not a multiple of the burst granule {burst}"
+                )
+            }
+            PfiConfigError::SegmentRow { segment, row } => {
+                write!(
+                    f,
+                    "segment {segment} is not a unit fraction of the row size {row}"
+                )
+            }
+            PfiConfigError::GammaTrc { gamma, span, t_rc } => write!(
+                f,
+                "gamma ({gamma}) too small: group span {span} < tRC {t_rc} breaks seamless \
+                 staggered interleaving"
+            ),
+            PfiConfigError::SegmentFaw { seg_time, t_faw } => write!(
+                f,
+                "ACT stagger {seg_time} x4 violates tFAW {t_faw}: segment too small for \
+                 the four-activation window"
+            ),
+            PfiConfigError::OutputBudget => {
+                write!(f, "too many outputs for the per-bank row budget")
+            }
+            PfiConfigError::Stripe { stripe, channels } => {
+                write!(
+                    f,
+                    "stripe width {stripe} must evenly divide the {channels} channels"
+                )
+            }
+            PfiConfigError::Region(msg) => write!(f, "region allocator: {msg}"),
+            PfiConfigError::SubsetDead { subset } => {
+                write!(f, "every channel of stripe subset {subset} has failed")
+            }
+            PfiConfigError::RedistributionOverflow {
+                subset,
+                displaced,
+                spare,
+            } => write!(
+                f,
+                "subset {subset}: {displaced} displaced segments per frame exceed the {spare} \
+                 spare row slots of the surviving channels"
+            ),
+            PfiConfigError::GroupStuck { channel, group } => {
+                write!(f, "channel {channel}: all banks of group {group} are stuck")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PfiConfigError {}

@@ -15,6 +15,14 @@ pub struct HbmGroup {
     timing: HbmTiming,
     stacks: usize,
     channels: Vec<Channel>,
+    /// Per-channel health: a failed channel accepts no new frame
+    /// segments (in-flight data drains before the channel goes dark).
+    alive: Vec<bool>,
+    /// Stuck-at banks, per channel: a stuck bank cannot activate for new
+    /// frames; its segments re-home to healthy banks of the same group.
+    stuck: Vec<Vec<bool>>,
+    /// Count of `true` entries across `stuck` (fast emptiness check).
+    stuck_count: usize,
 }
 
 impl HbmGroup {
@@ -32,6 +40,9 @@ impl HbmGroup {
             timing,
             stacks,
             channels,
+            alive: vec![true; t],
+            stuck: vec![vec![false; geometry.banks_per_channel]; t],
+            stuck_count: 0,
         }
     }
 
@@ -60,9 +71,79 @@ impl HbmGroup {
         &self.timing
     }
 
-    /// Peak aggregate data rate (all channels).
+    /// Peak aggregate data rate (all channels, healthy device).
     pub fn peak_rate(&self) -> DataRate {
         self.geometry.channel_rate() * self.channels.len() as u64
+    }
+
+    /// Mark channel `i` failed: it accepts no new frame segments.
+    pub fn fail_channel(&mut self, i: usize) {
+        self.alive[i] = false;
+    }
+
+    /// Return channel `i` to service.
+    pub fn recover_channel(&mut self, i: usize) {
+        self.alive[i] = true;
+    }
+
+    /// Whether channel `i` is in service.
+    pub fn channel_alive(&self, i: usize) -> bool {
+        self.alive[i]
+    }
+
+    /// Number of channels currently in service.
+    pub fn num_alive_channels(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Whether every channel is alive and no bank is stuck.
+    pub fn fully_healthy(&self) -> bool {
+        self.stuck_count == 0 && self.alive.iter().all(|&a| a)
+    }
+
+    /// Mark `bank` of channel `channel` stuck: it cannot activate for
+    /// new frames.
+    pub fn stick_bank(&mut self, channel: usize, bank: usize) {
+        if !self.stuck[channel][bank] {
+            self.stuck[channel][bank] = true;
+            self.stuck_count += 1;
+        }
+    }
+
+    /// Return `bank` of channel `channel` to service.
+    pub fn unstick_bank(&mut self, channel: usize, bank: usize) {
+        if self.stuck[channel][bank] {
+            self.stuck[channel][bank] = false;
+            self.stuck_count -= 1;
+        }
+    }
+
+    /// Whether `bank` of channel `channel` is stuck.
+    pub fn bank_stuck(&self, channel: usize, bank: usize) -> bool {
+        self.stuck[channel][bank]
+    }
+
+    /// All currently stuck `(channel, bank)` pairs (empty in the healthy
+    /// common case, at zero cost).
+    pub fn stuck_banks(&self) -> Vec<(usize, usize)> {
+        if self.stuck_count == 0 {
+            return Vec::new();
+        }
+        let mut v = Vec::with_capacity(self.stuck_count);
+        for (c, banks) in self.stuck.iter().enumerate() {
+            for (b, &s) in banks.iter().enumerate() {
+                if s {
+                    v.push((c, b));
+                }
+            }
+        }
+        v
+    }
+
+    /// Peak aggregate rate of the channels currently in service — the
+    /// ceiling a degraded device can sustain.
+    pub fn effective_peak_rate(&self) -> DataRate {
+        self.geometry.channel_rate() * self.num_alive_channels() as u64
     }
 
     /// Total capacity.
@@ -161,6 +242,44 @@ mod tests {
     #[test]
     fn zero_window_rate_is_zero() {
         let g = HbmGroup::reference();
-        assert_eq!(g.achieved_rate(SimTime::ZERO, SimTime::ZERO), DataRate::ZERO);
+        assert_eq!(
+            g.achieved_rate(SimTime::ZERO, SimTime::ZERO),
+            DataRate::ZERO
+        );
+    }
+
+    #[test]
+    fn channel_failure_tracks_effective_peak() {
+        let mut g = HbmGroup::new(1, HbmGeometry::hbm4(), HbmTiming::hbm4());
+        let t = g.num_channels();
+        assert!(g.fully_healthy());
+        assert_eq!(g.effective_peak_rate(), g.peak_rate());
+        g.fail_channel(3);
+        assert!(!g.channel_alive(3));
+        assert!(!g.fully_healthy());
+        assert_eq!(g.num_alive_channels(), t - 1);
+        assert_eq!(
+            g.effective_peak_rate(),
+            g.geometry().channel_rate() * (t as u64 - 1)
+        );
+        g.recover_channel(3);
+        assert!(g.fully_healthy());
+        assert_eq!(g.effective_peak_rate(), g.peak_rate());
+    }
+
+    #[test]
+    fn stuck_banks_enumerate_and_clear() {
+        let mut g = HbmGroup::new(1, HbmGeometry::hbm4(), HbmTiming::hbm4());
+        assert!(g.stuck_banks().is_empty());
+        g.stick_bank(1, 5);
+        g.stick_bank(2, 0);
+        g.stick_bank(1, 5); // idempotent
+        assert!(g.bank_stuck(1, 5));
+        assert!(!g.fully_healthy());
+        assert_eq!(g.stuck_banks(), vec![(1, 5), (2, 0)]);
+        g.unstick_bank(1, 5);
+        g.unstick_bank(2, 0);
+        assert!(g.fully_healthy());
+        assert!(g.stuck_banks().is_empty());
     }
 }

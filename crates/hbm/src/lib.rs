@@ -35,6 +35,7 @@ mod bank;
 mod channel;
 pub mod controller;
 mod energy;
+mod error;
 mod geometry;
 mod group;
 mod region;
@@ -47,7 +48,8 @@ pub use controller::{
     RandomAccessController, SustainedReport,
 };
 pub use energy::HbmEnergyModel;
+pub use error::PfiConfigError;
 pub use geometry::HbmGeometry;
-pub use region::{RegionAllocator, RegionMode};
 pub use group::HbmGroup;
+pub use region::{RegionAllocator, RegionMode};
 pub use timing::HbmTiming;

@@ -69,7 +69,7 @@ impl RegionAllocator {
                 }
             }
             RegionMode::DynamicPages { page_rows } => {
-                if page_rows == 0 || rows_per_bank % page_rows != 0 {
+                if page_rows == 0 || !rows_per_bank.is_multiple_of(page_rows) {
                     return Err(format!(
                         "page size {page_rows} must evenly divide {rows_per_bank} rows"
                     ));
@@ -161,7 +161,9 @@ impl RegionAllocator {
                 let spp = self.slots_per_page(page_rows);
                 let pos = slot / spp;
                 let out = &self.per_output[output];
-                let rel = pos.checked_sub(out.first_page_pos).expect("read slot regressed");
+                let rel = pos
+                    .checked_sub(out.first_page_pos)
+                    .expect("read slot regressed");
                 let page = out.pages[rel as usize];
                 page * page_rows + (slot % spp) / self.segs_per_row
             }
@@ -293,8 +295,8 @@ mod tests {
         // among currently-held pages.
         let mut rows: Vec<Vec<u64>> = vec![Vec::new(); 4];
         for slot in 0..4 {
-            for o in 0..4 {
-                rows[o].push(a.row_for_write(o, slot).unwrap());
+            for (o, row) in rows.iter_mut().enumerate() {
+                row.push(a.row_for_write(o, slot).unwrap());
             }
         }
         for o1 in 0..4 {
@@ -321,15 +323,9 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_pages() {
-        assert!(
-            RegionAllocator::new(RegionMode::DynamicPages { page_rows: 3 }, 16, 2, 4).is_err()
-        );
-        assert!(
-            RegionAllocator::new(RegionMode::DynamicPages { page_rows: 0 }, 16, 2, 4).is_err()
-        );
-        assert!(
-            RegionAllocator::new(RegionMode::DynamicPages { page_rows: 8 }, 16, 2, 4).is_err()
-        );
+        assert!(RegionAllocator::new(RegionMode::DynamicPages { page_rows: 3 }, 16, 2, 4).is_err());
+        assert!(RegionAllocator::new(RegionMode::DynamicPages { page_rows: 0 }, 16, 2, 4).is_err());
+        assert!(RegionAllocator::new(RegionMode::DynamicPages { page_rows: 8 }, 16, 2, 4).is_err());
         assert!(RegionAllocator::new(RegionMode::Static, 2, 2, 4).is_err());
         assert!(RegionAllocator::new(RegionMode::Static, 0, 2, 4).is_err());
     }

@@ -26,6 +26,11 @@ pub struct FrontEnd {
     split: SplitMap,
     /// Per-(ribbon, fiber) health, for fault injection.
     faults: Vec<Vec<LaneFault>>,
+    /// Lost WDM wavelengths, `[ribbon][lambda]` — a failed comb-laser
+    /// line takes one wavelength out on every fiber of the ribbon.
+    /// Absent in older serialized configs, hence the default.
+    #[serde(default)]
+    wavelength_faults: Vec<Vec<bool>>,
 }
 
 impl FrontEnd {
@@ -48,6 +53,7 @@ impl FrontEnd {
             wavelengths_per_fiber,
             rate_per_wavelength,
             faults: vec![vec![LaneFault::Healthy; fibers_per_ribbon]; ribbons],
+            wavelength_faults: vec![vec![false; wavelengths_per_fiber]; ribbons],
             split,
         })
     }
@@ -110,9 +116,48 @@ impl FrontEnd {
         self.faults[ribbon][fiber]
     }
 
-    /// Effective (fault-adjusted) rate of `(ribbon, fiber)`.
+    /// Mark wavelength `lambda` of `ribbon` lost (`true`) or restored
+    /// (`false`) — e.g. one comb-laser line dying takes the wavelength
+    /// out on every fiber of the ribbon.
+    pub fn set_wavelength_fault(&mut self, ribbon: usize, lambda: usize, lost: bool) {
+        assert!(ribbon < self.ribbons, "ribbon {ribbon} out of range");
+        assert!(
+            lambda < self.wavelengths_per_fiber,
+            "wavelength {lambda} out of range"
+        );
+        if self.wavelength_faults.len() < self.ribbons {
+            // Deserialized from an older config without the field.
+            self.wavelength_faults = vec![vec![false; self.wavelengths_per_fiber]; self.ribbons];
+        }
+        self.wavelength_faults[ribbon][lambda] = lost;
+    }
+
+    /// Whether wavelength `lambda` of `ribbon` is currently lost.
+    pub fn wavelength_lost(&self, ribbon: usize, lambda: usize) -> bool {
+        self.wavelength_faults
+            .get(ribbon)
+            .is_some_and(|v| v.get(lambda).copied().unwrap_or(false))
+    }
+
+    /// Number of lost wavelengths on `ribbon`.
+    pub fn lost_wavelengths(&self, ribbon: usize) -> usize {
+        self.wavelength_faults
+            .get(ribbon)
+            .map_or(0, |v| v.iter().filter(|&&l| l).count())
+    }
+
+    /// Effective (fault-adjusted) rate of `(ribbon, fiber)`: lane faults
+    /// and lost wavelengths both shave capacity.
     pub fn effective_fiber_rate(&self, ribbon: usize, fiber: usize) -> DataRate {
-        self.faults[ribbon][fiber].effective_rate(self.fiber_rate())
+        let alive = self.wavelengths_per_fiber - self.lost_wavelengths(ribbon);
+        let base = self.rate_per_wavelength * alive as u64;
+        self.faults[ribbon][fiber].effective_rate(base)
+    }
+
+    /// The split rebuilt with dead switch planes excluded — see
+    /// [`SplitMap::degraded`].
+    pub fn degraded_split(&self, alive: &[bool]) -> Result<SplitMap, String> {
+        self.split.degraded(alive)
     }
 
     /// Effective ingress capacity arriving at each switch, given faults.
@@ -171,9 +216,47 @@ mod tests {
     }
 
     #[test]
+    fn wavelength_loss_shaves_ribbon_capacity() {
+        let mut fe = FrontEnd::new(
+            2,
+            8,
+            4,
+            DataRate::from_gbps(10),
+            4,
+            SplitPattern::Sequential,
+        )
+        .unwrap();
+        assert!(!fe.wavelength_lost(0, 1));
+        fe.set_wavelength_fault(0, 1, true);
+        assert!(fe.wavelength_lost(0, 1));
+        assert_eq!(fe.lost_wavelengths(0), 1);
+        // Every fiber of ribbon 0 loses 1/4 of its rate; ribbon 1 is whole.
+        assert_eq!(fe.effective_fiber_rate(0, 0), DataRate::from_gbps(30));
+        assert_eq!(fe.effective_fiber_rate(1, 0), DataRate::from_gbps(40));
+        // Each switch sees 2 fibers per ribbon: 30x2 + 40x2 = 140 Gb/s.
+        let caps = fe.effective_switch_capacity();
+        assert!(caps.iter().all(|&c| c == DataRate::from_gbps(140)));
+        fe.set_wavelength_fault(0, 1, false);
+        assert_eq!(fe.effective_fiber_rate(0, 0), DataRate::from_gbps(40));
+    }
+
+    #[test]
+    fn degraded_split_excludes_dead_plane() {
+        let fe = FrontEnd::new(2, 8, 4, DataRate::from_gbps(10), 4, SplitPattern::Striped).unwrap();
+        let d = fe.degraded_split(&[true, false, true, true]).unwrap();
+        for r in 0..2 {
+            assert!(d.fibers_for(r, 1).is_empty());
+            let total: usize = [0, 2, 3].iter().map(|&s| d.fibers_for(r, s).len()).sum();
+            assert_eq!(total, 8);
+        }
+    }
+
+    #[test]
     fn rejects_degenerate_parameters() {
         assert!(FrontEnd::new(1, 8, 0, DataRate::from_gbps(40), 4, SplitPattern::Striped).is_err());
         assert!(FrontEnd::new(1, 8, 16, DataRate::ZERO, 4, SplitPattern::Striped).is_err());
-        assert!(FrontEnd::new(1, 9, 16, DataRate::from_gbps(40), 4, SplitPattern::Striped).is_err());
+        assert!(
+            FrontEnd::new(1, 9, 16, DataRate::from_gbps(40), 4, SplitPattern::Striped).is_err()
+        );
     }
 }

@@ -127,7 +127,10 @@ mod tests {
         assert_eq!(LaneFault::Degraded(7.0).capacity_factor(), 1.0);
         assert_eq!(LaneFault::Degraded(-1.0).capacity_factor(), 0.0);
         let r = DataRate::from_gbps(40);
-        assert_eq!(LaneFault::Degraded(0.25).effective_rate(r), DataRate::from_gbps(10));
+        assert_eq!(
+            LaneFault::Degraded(0.25).effective_rate(r),
+            DataRate::from_gbps(10)
+        );
         assert_eq!(LaneFault::Dead.effective_rate(r), DataRate::ZERO);
     }
 }

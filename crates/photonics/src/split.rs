@@ -66,7 +66,7 @@ impl SplitMap {
         if ribbons == 0 || fibers_per_ribbon == 0 || switches == 0 {
             return Err("ribbon, fiber and switch counts must be positive".into());
         }
-        if fibers_per_ribbon % switches != 0 {
+        if !fibers_per_ribbon.is_multiple_of(switches) {
             return Err(format!(
                 "fibers per ribbon ({fibers_per_ribbon}) not divisible by switches ({switches})"
             ));
@@ -150,6 +150,58 @@ impl SplitMap {
         (0..self.fibers_per_ribbon)
             .filter(|&f| self.assign[ribbon][f] == switch)
             .collect()
+    }
+
+    /// Rebuild the split with the dead switches of `alive` excluded:
+    /// every fiber pointing at a dead switch is re-spliced, one at a
+    /// time, to whichever surviving switch currently has the fewest of
+    /// that ribbon's fibers (ties to the lowest index). Per ribbon the
+    /// surviving switches end up within one fiber of each other — the
+    /// best spatial balance a degraded package can offer — but each now
+    /// carries `H/H_alive` of the load, so the caller must expect
+    /// per-switch overload at high offered rates.
+    pub fn degraded(&self, alive: &[bool]) -> Result<SplitMap, String> {
+        if alive.len() != self.switches {
+            return Err(format!(
+                "alive mask has {} entries for {} switches",
+                alive.len(),
+                self.switches
+            ));
+        }
+        if alive.iter().all(|&a| a) {
+            return Ok(self.clone());
+        }
+        if !alive.iter().any(|&a| a) {
+            return Err("every switch plane is down".into());
+        }
+        let mut assign = self.assign.clone();
+        for row in assign.iter_mut() {
+            let mut counts = vec![0usize; self.switches];
+            for &s in row.iter() {
+                if alive[s] {
+                    counts[s] += 1;
+                }
+            }
+            for slot in row.iter_mut() {
+                if !alive[*slot] {
+                    let target = (0..self.switches)
+                        .filter(|&s| alive[s])
+                        .min_by_key(|&s| counts[s])
+                        .expect("at least one switch alive");
+                    *slot = target;
+                    counts[target] += 1;
+                }
+            }
+        }
+        // The exact-α invariant intentionally does not hold here; the
+        // re-spliced map trades it for keeping every fiber lit.
+        Ok(SplitMap {
+            ribbons: self.ribbons,
+            fibers_per_ribbon: self.fibers_per_ribbon,
+            switches: self.switches,
+            pattern: self.pattern,
+            assign,
+        })
     }
 
     /// Given per-fiber loads (normalized, indexed `[ribbon][fiber]`),
@@ -236,6 +288,55 @@ mod tests {
         let per_switch = m.switch_loads(&loads);
         let total: f64 = per_switch.iter().sum();
         assert!((total - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degraded_split_rebalances_over_survivors() {
+        let m = SplitMap::new(4, 16, 4, SplitPattern::PseudoRandom { seed: 5 }).unwrap();
+        let mut alive = vec![true; 4];
+        alive[2] = false;
+        let d = m.degraded(&alive).unwrap();
+        for r in 0..4 {
+            assert!(
+                d.fibers_for(r, 2).is_empty(),
+                "dead switch must get no fibers"
+            );
+            // 16 fibers over 3 survivors: 6/5/5 per ribbon — within one.
+            let counts: Vec<usize> = [0, 1, 3]
+                .iter()
+                .map(|&s| d.fibers_for(r, s).len())
+                .collect();
+            assert_eq!(counts.iter().sum::<usize>(), 16);
+            assert!(
+                counts.iter().max().unwrap() - counts.iter().min().unwrap() <= 1,
+                "{counts:?}"
+            );
+            // Fibers that pointed at survivors are untouched.
+            for f in 0..16 {
+                if m.switch_for(r, f) != 2 {
+                    assert_eq!(d.switch_for(r, f), m.switch_for(r, f));
+                }
+            }
+        }
+        // Determinism: same inputs, same re-splice.
+        let d2 = m.degraded(&alive).unwrap();
+        for r in 0..4 {
+            for f in 0..16 {
+                assert_eq!(d.switch_for(r, f), d2.switch_for(r, f));
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_split_rejects_bad_masks() {
+        let m = SplitMap::new(1, 8, 4, SplitPattern::Sequential).unwrap();
+        assert!(m.degraded(&[true; 3]).is_err(), "mask length mismatch");
+        assert!(m.degraded(&[false; 4]).is_err(), "all planes down");
+        // All-alive is the identity.
+        let same = m.degraded(&[true; 4]).unwrap();
+        for f in 0..8 {
+            assert_eq!(same.switch_for(0, f), m.switch_for(0, f));
+        }
     }
 
     #[test]

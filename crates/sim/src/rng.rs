@@ -41,7 +41,8 @@ pub fn permutation(n: usize, seed: u64, stream: u64) -> Vec<usize> {
 /// vector. Returns `None` if all weights are zero or the slice is empty.
 pub fn weighted_index<R: Rng>(rng: &mut R, weights: &[f64]) -> Option<usize> {
     let total: f64 = weights.iter().sum();
-    if !(total > 0.0) {
+    // NaN totals (from NaN weights) fall through to None as well.
+    if total.partial_cmp(&0.0) != Some(core::cmp::Ordering::Greater) {
         return None;
     }
     let mut x = rng.random_range(0.0..total);

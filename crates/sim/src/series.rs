@@ -34,7 +34,7 @@ impl Series {
 
     /// Offer one sample.
     pub fn record(&mut self, t: SimTime, v: f64) {
-        if self.seen % self.stride == 0 {
+        if self.seen.is_multiple_of(self.stride) {
             if self.points.len() == self.max_points {
                 // Decimate: keep every other retained point, double the
                 // stride.

@@ -383,7 +383,7 @@ mod tests {
         tw.update(SimTime::from_ns(10), 10.0); // 0 for 10ns
         tw.update(SimTime::from_ns(30), 0.0); // 10 for 20ns
         let avg = tw.average(SimTime::from_ns(40)); // 0 for 10ns
-        // (0*10 + 10*20 + 0*10) / 40 = 5
+                                                    // (0*10 + 10*20 + 0*10) / 40 = 5
         assert!((avg - 5.0).abs() < 1e-12);
         assert_eq!(tw.peak(), 10.0);
         assert_eq!(tw.current(), 0.0);

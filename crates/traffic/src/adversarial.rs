@@ -40,13 +40,13 @@ impl Attacker {
         let fibers = believed.fibers_per_ribbon();
         let mut loads = vec![vec![0.0; fibers]; ribbons];
         let mut remaining = self.budget;
-        'outer: for r in 0..ribbons {
+        'outer: for (r, row) in loads.iter_mut().enumerate() {
             for f in believed.fibers_for(r, victim) {
                 if remaining <= 0.0 {
                     break 'outer;
                 }
                 let put = remaining.min(1.0);
-                loads[r][f] = put;
+                row[f] = put;
                 remaining -= put;
             }
         }

@@ -134,8 +134,7 @@ impl PacketGenerator {
                 if self.burst_left == 0 {
                     // Draw a new burst; the OFF gap balances the load:
                     // E[off] = E[burst bytes serialization] x (1/load - 1).
-                    let burst =
-                        (exp_ps(&mut self.rng, mean_burst_packets * 1000.0) / 1000).max(1);
+                    let burst = (exp_ps(&mut self.rng, mean_burst_packets * 1000.0) / 1000).max(1);
                     self.burst_left = burst;
                     let mean_off = mean_gap * mean_burst_packets * (1.0 - self.load);
                     self.burst_left -= 1;

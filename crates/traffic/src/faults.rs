@@ -18,6 +18,12 @@ pub struct FaultSummary {
     pub dropped: u64,
     /// Packets passed with corrupted size (truncated on the wire).
     pub corrupted: u64,
+    /// Packets delivered out of order (held back past a later packet).
+    #[serde(default)]
+    pub reordered: u64,
+    /// Packets emitted twice (the copy carries a marked id).
+    #[serde(default)]
+    pub duplicated: u64,
 }
 
 /// A deterministic packet-trace fault injector.
@@ -29,40 +35,93 @@ pub struct FaultInjector {
     /// floor 64 B) — the switch will still carry it; end hosts would
     /// discard it on checksum.
     pub corrupt_chance: f64,
+    /// Probability a surviving packet is held back and re-emitted after
+    /// the next survivor, with its arrival bumped so timestamps stay
+    /// non-decreasing. Models a reordering hop.
+    #[serde(default)]
+    pub reorder_chance: f64,
+    /// Probability a surviving packet is emitted twice. The copy keeps
+    /// size and arrival but carries the original id with its top bit
+    /// set, so duplicates are distinguishable downstream.
+    #[serde(default)]
+    pub duplicate_chance: f64,
     /// RNG seed.
     pub seed: u64,
 }
 
+/// Id marker bit carried by duplicated packets.
+pub const DUPLICATE_ID_BIT: u64 = 1 << 63;
+
 impl FaultInjector {
-    /// Build an injector; chances are clamped to `[0, 1]`.
+    /// Build an injector; chances are clamped to `[0, 1]`. Reordering
+    /// and duplication start at zero; see [`FaultInjector::with_reorder`]
+    /// and [`FaultInjector::with_duplicate`].
     pub fn new(drop_chance: f64, corrupt_chance: f64, seed: u64) -> Self {
         FaultInjector {
             drop_chance: drop_chance.clamp(0.0, 1.0),
             corrupt_chance: corrupt_chance.clamp(0.0, 1.0),
+            reorder_chance: 0.0,
+            duplicate_chance: 0.0,
             seed,
         }
     }
 
+    /// Set the reordering probability (clamped to `[0, 1]`).
+    pub fn with_reorder(mut self, chance: f64) -> Self {
+        self.reorder_chance = chance.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Set the duplication probability (clamped to `[0, 1]`).
+    pub fn with_duplicate(mut self, chance: f64) -> Self {
+        self.duplicate_chance = chance.clamp(0.0, 1.0);
+        self
+    }
+
     /// Apply the faults to `trace`, returning the degraded trace and a
-    /// summary. Order and timestamps of surviving packets are kept.
+    /// summary. Timestamps in the output are non-decreasing; packet
+    /// order is preserved except where reordering is injected.
     pub fn apply(&self, trace: &[Packet]) -> (Vec<Packet>, FaultSummary) {
         let mut rng = rng_for(self.seed, 0xFA17);
         let mut out = Vec::with_capacity(trace.len());
         let mut summary = FaultSummary::default();
+        let mut held: Option<Packet> = None;
         for p in trace {
             if rng.random_bool(self.drop_chance) {
                 summary.dropped += 1;
                 continue;
             }
-            if rng.random_bool(self.corrupt_chance) {
+            let q = if rng.random_bool(self.corrupt_chance) {
                 let mut q = *p;
                 q.size = rip_units::DataSize::from_bytes((p.size.bytes() / 2).max(64));
                 summary.corrupted += 1;
-                out.push(q);
+                q
             } else {
                 summary.passed += 1;
-                out.push(*p);
+                *p
+            };
+            if held.is_none() && rng.random_bool(self.reorder_chance) {
+                held = Some(q);
+                continue;
             }
+            let arrival = q.arrival;
+            out.push(q);
+            if rng.random_bool(self.duplicate_chance) {
+                let mut dup = q;
+                dup.id |= DUPLICATE_ID_BIT;
+                summary.duplicated += 1;
+                out.push(dup);
+            }
+            if let Some(mut h) = held.take() {
+                h.arrival = h.arrival.max(arrival);
+                summary.reordered += 1;
+                out.push(h);
+            }
+        }
+        // A packet still held at end of trace was never overtaken:
+        // emit it in place, uncounted.
+        if let Some(h) = held {
+            out.push(h);
         }
         (out, summary)
     }
@@ -130,6 +189,59 @@ mod tests {
         assert_eq!(a.1, b.1);
         let c = FaultInjector::new(0.2, 0.1, 8).apply(&t);
         assert_ne!(a.1, c.1);
+    }
+
+    #[test]
+    fn reorder_swaps_but_keeps_timestamps_monotone() {
+        let inj = FaultInjector::new(0.0, 0.0, 11).with_reorder(0.3);
+        let t = trace(5000);
+        let (out, s) = inj.apply(&t);
+        assert_eq!(out.len(), 5000, "reordering neither adds nor removes");
+        assert!(s.reordered > 1000 && s.reordered < 2000, "{}", s.reordered);
+        assert!(out.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        // Same multiset of ids, different order.
+        let mut ids: Vec<u64> = out.iter().map(|p| p.id).collect();
+        assert!(ids.windows(2).any(|w| w[0] > w[1]), "no inversion seen");
+        ids.sort_unstable();
+        assert_eq!(ids, (0..5000).collect::<Vec<u64>>());
+        // Determinism.
+        assert_eq!(inj.apply(&t), inj.apply(&t));
+    }
+
+    #[test]
+    fn duplicates_carry_marked_ids() {
+        let inj = FaultInjector::new(0.0, 0.0, 13).with_duplicate(1.0);
+        let t = trace(50);
+        let (out, s) = inj.apply(&t);
+        assert_eq!(s.duplicated, 50);
+        assert_eq!(out.len(), 100);
+        for pair in out.chunks(2) {
+            assert_eq!(pair[1].id, pair[0].id | DUPLICATE_ID_BIT);
+            assert_eq!(pair[1].size, pair[0].size);
+            assert_eq!(pair[1].arrival, pair[0].arrival);
+        }
+    }
+
+    #[test]
+    fn reorder_and_duplicate_compose_with_drops() {
+        let inj = FaultInjector::new(0.1, 0.05, 17)
+            .with_reorder(0.1)
+            .with_duplicate(0.1);
+        let t = trace(10_000);
+        let (out, s) = inj.apply(&t);
+        assert_eq!(s.passed + s.corrupted + s.dropped, 10_000);
+        assert_eq!(out.len() as u64, s.passed + s.corrupted + s.duplicated);
+        assert!(out.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert!(s.reordered > 0 && s.duplicated > 0);
+    }
+
+    #[test]
+    fn builders_clamp() {
+        let inj = FaultInjector::new(0.0, 0.0, 1)
+            .with_reorder(5.0)
+            .with_duplicate(-2.0);
+        assert_eq!(inj.reorder_chance, 1.0);
+        assert_eq!(inj.duplicate_chance, 0.0);
     }
 
     #[test]

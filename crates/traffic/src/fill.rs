@@ -41,7 +41,9 @@ impl FiberFill {
             FiberFill::Uniform => vec![1.0; fibers],
             FiberFill::FirstFilled { used } => {
                 let used = used.clamp(1, fibers);
-                (0..fibers).map(|f| if f < used { 1.0 } else { 0.0 }).collect()
+                (0..fibers)
+                    .map(|f| if f < used { 1.0 } else { 0.0 })
+                    .collect()
             }
             FiberFill::Linear => (0..fibers).map(|f| (fibers - f) as f64).collect(),
             FiberFill::Geometric { ratio } => {

@@ -35,7 +35,7 @@ mod size;
 
 pub use adversarial::Attacker;
 pub use arrivals::{merge_streams, ArrivalProcess, PacketGenerator};
-pub use faults::{FaultInjector, FaultSummary};
+pub use faults::{FaultInjector, FaultSummary, DUPLICATE_ID_BIT};
 pub use fill::FiberFill;
 pub use matrix::TrafficMatrix;
 pub use packet::{FlowKey, Packet};

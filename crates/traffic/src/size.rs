@@ -70,10 +70,7 @@ impl SizeDistribution {
             SizeDistribution::Imix => (7.0 * 64.0 + 4.0 * 576.0 + 1500.0) / 12.0,
             SizeDistribution::Empirical(pairs) => {
                 let total: f64 = pairs.iter().map(|(_, w)| w).sum();
-                pairs
-                    .iter()
-                    .map(|(s, w)| s.bytes_f64() * w / total)
-                    .sum()
+                pairs.iter().map(|(s, w)| s.bytes_f64() * w / total).sum()
             }
         }
     }
@@ -155,9 +152,7 @@ mod tests {
             (DataSize::from_bytes(200), 3.0),
         ]);
         let n = 20_000;
-        let count200 = (0..n)
-            .filter(|_| d.sample(&mut rng).bytes() == 200)
-            .count();
+        let count200 = (0..n).filter(|_| d.sample(&mut rng).bytes() == 200).count();
         assert!((count200 as f64 / n as f64 - 0.75).abs() < 0.02);
         assert_eq!(d.mean_bytes(), 175.0);
     }
@@ -165,8 +160,12 @@ mod tests {
     #[test]
     fn validation() {
         assert!(SizeDistribution::Fixed(DataSize::ZERO).validate().is_err());
-        assert!(SizeDistribution::Uniform { min: 10, max: 5 }.validate().is_err());
-        assert!(SizeDistribution::Uniform { min: 0, max: 5 }.validate().is_err());
+        assert!(SizeDistribution::Uniform { min: 10, max: 5 }
+            .validate()
+            .is_err());
+        assert!(SizeDistribution::Uniform { min: 0, max: 5 }
+            .validate()
+            .is_err());
         assert!(SizeDistribution::Empirical(vec![]).validate().is_err());
         assert!(
             SizeDistribution::Empirical(vec![(DataSize::from_bytes(10), 0.0)])

@@ -13,7 +13,9 @@ use serde::{Deserialize, Serialize};
 ///
 /// Sizes are exact integers; byte extraction of non-byte-aligned sizes
 /// rounds down, and [`DataSize::is_byte_aligned`] reports alignment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct DataSize {
     bits: u64,
 }
@@ -68,7 +70,7 @@ impl DataSize {
 
     /// True if the size is a whole number of bytes.
     pub const fn is_byte_aligned(self) -> bool {
-        self.bits % 8 == 0
+        self.bits.is_multiple_of(8)
     }
 
     /// True if the size is zero.
@@ -116,7 +118,7 @@ impl DataSize {
 
     /// True if `self` is an exact multiple of `unit`.
     pub fn is_multiple_of(self, unit: DataSize) -> bool {
-        !unit.is_zero() && self.bits % unit.bits == 0
+        !unit.is_zero() && self.bits.is_multiple_of(unit.bits)
     }
 }
 
@@ -204,7 +206,7 @@ impl Sum for DataSize {
 impl fmt::Display for DataSize {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let b = self.bits;
-        if b % 8 != 0 {
+        if !b.is_multiple_of(8) {
             return write!(f, "{b} b");
         }
         let bytes = b / 8;
@@ -212,13 +214,13 @@ impl fmt::Display for DataSize {
         const MIB: u64 = 1024 * 1024;
         const GIB: u64 = 1024 * 1024 * 1024;
         const TIB: u64 = 1024 * GIB;
-        if bytes >= TIB && bytes % TIB == 0 {
+        if bytes >= TIB && bytes.is_multiple_of(TIB) {
             write!(f, "{} TiB", bytes / TIB)
-        } else if bytes >= GIB && bytes % GIB == 0 {
+        } else if bytes >= GIB && bytes.is_multiple_of(GIB) {
             write!(f, "{} GiB", bytes / GIB)
-        } else if bytes >= MIB && bytes % MIB == 0 {
+        } else if bytes >= MIB && bytes.is_multiple_of(MIB) {
             write!(f, "{} MiB", bytes / MIB)
-        } else if bytes >= KIB && bytes % KIB == 0 {
+        } else if bytes >= KIB && bytes.is_multiple_of(KIB) {
             write!(f, "{} KiB", bytes / KIB)
         } else {
             write!(f, "{bytes} B")

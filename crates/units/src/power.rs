@@ -28,7 +28,9 @@ impl Power {
 
     /// Construct from kilowatts.
     pub const fn from_kw(kw: f64) -> Self {
-        Power { watts: kw * 1_000.0 }
+        Power {
+            watts: kw * 1_000.0,
+        }
     }
 
     /// The power in watts.

@@ -13,7 +13,9 @@ use crate::{DataSize, TimeDelta, PS_PER_S};
 /// round **up** to the next picosecond: a device is never credited with
 /// finishing earlier than physically possible, which keeps simulated
 /// utilization conservative.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct DataRate {
     bps: u64,
 }
@@ -92,7 +94,10 @@ impl DataRate {
 
     /// Scale the rate by a (speedup) factor, rounding to the nearest b/s.
     pub fn scale(self, factor: f64) -> DataRate {
-        assert!(factor.is_finite() && factor >= 0.0, "invalid rate scale factor");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "invalid rate scale factor"
+        );
         DataRate {
             bps: (self.bps as f64 * factor).round() as u64,
         }
@@ -215,7 +220,10 @@ mod tests {
 
     #[test]
     fn zero_size_takes_zero_time() {
-        assert_eq!(DataRate::ZERO.transfer_time(DataSize::ZERO), TimeDelta::ZERO);
+        assert_eq!(
+            DataRate::ZERO.transfer_time(DataSize::ZERO),
+            TimeDelta::ZERO
+        );
     }
 
     #[test]

@@ -12,7 +12,9 @@ use crate::{PS_PER_MS, PS_PER_NS, PS_PER_S, PS_PER_US};
 /// All device timings in the reproduced design (HBM tRCD/tRP/tFAW, SRAM
 /// clock periods, wavelength serialization times) are exact integer
 /// picosecond counts, so simulated schedules are exact and reproducible.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct TimeDelta {
     ps: u64,
 }
@@ -101,7 +103,9 @@ impl TimeDelta {
 impl Add for TimeDelta {
     type Output = TimeDelta;
     fn add(self, rhs: TimeDelta) -> TimeDelta {
-        TimeDelta { ps: self.ps + rhs.ps }
+        TimeDelta {
+            ps: self.ps + rhs.ps,
+        }
     }
 }
 
@@ -169,7 +173,7 @@ impl fmt::Display for TimeDelta {
         let ps = self.ps;
         if ps == 0 {
             write!(f, "0 ps")
-        } else if ps % PS_PER_S == 0 {
+        } else if ps.is_multiple_of(PS_PER_S) {
             write!(f, "{} s", ps / PS_PER_S)
         } else if ps >= PS_PER_MS {
             write!(f, "{:.3} ms", self.as_ms_f64())
@@ -188,7 +192,9 @@ impl fmt::Display for TimeDelta {
 ///
 /// A `u64` of picoseconds wraps after ~5,100 hours of simulated time — far
 /// beyond any run in this workspace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime {
     ps: u64,
 }

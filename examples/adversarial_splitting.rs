@@ -21,11 +21,11 @@ fn main() {
     let attacker = Attacker::new(32.0);
     println!("attacker budget: 32 fiber-loads, victim: internal switch 0\n");
 
-    let secret = SplitMap::new(n, f, h, SplitPattern::PseudoRandom { seed: 0xC0FFEE })
-        .expect("valid split");
+    let secret =
+        SplitMap::new(n, f, h, SplitPattern::PseudoRandom { seed: 0xC0FFEE }).expect("valid split");
     let sequential = SplitMap::new(n, f, h, SplitPattern::Sequential).expect("valid split");
-    let guessed = SplitMap::new(n, f, h, SplitPattern::PseudoRandom { seed: 0xDEAD })
-        .expect("valid split");
+    let guessed =
+        SplitMap::new(n, f, h, SplitPattern::PseudoRandom { seed: 0xDEAD }).expect("valid split");
 
     let scenarios: [(&str, &SplitMap, &SplitMap); 3] = [
         (

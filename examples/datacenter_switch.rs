@@ -72,7 +72,11 @@ fn main() {
             row.total_latency
         );
     }
-    let floor = datacenter::min_frame(128, DataRate::from_gbps(640), rip_units::TimeDelta::from_ns(30));
+    let floor = datacenter::min_frame(
+        128,
+        DataRate::from_gbps(640),
+        rip_units::TimeDelta::from_ns(30),
+    );
     println!("(full-stripe frame floor at peak rate: {floor})\n");
 
     println!("--- measured on the packet-level simulator, 60% load ---");

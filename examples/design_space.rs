@@ -36,10 +36,8 @@ fn main() {
             DesignPoint::Centralized => {
                 // Challenge 1, demonstrated: a centralized switch whose
                 // memory covers only half the needed rate saturates.
-                let mut sw = CentralizedSwitch::new(
-                    DataRate::from_gbps(100),
-                    DataSize::from_kib(64),
-                );
+                let mut sw =
+                    CentralizedSwitch::new(DataRate::from_gbps(100), DataSize::from_kib(64));
                 let trace: Vec<Packet> = (0..20_000u64)
                     .map(|i| {
                         Packet::new(

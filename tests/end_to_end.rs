@@ -88,7 +88,12 @@ fn departures_exit_on_the_right_output_in_flow_order() {
         let p = by_id[&d.packet];
         assert!(d.fiber < cfg.alpha() && d.wavelength < cfg.wavelengths);
         if let Some(&prev) = last.get(&(p.input, p.output)) {
-            assert!(d.packet > prev, "FIFO violated for pair ({}, {})", p.input, p.output);
+            assert!(
+                d.packet > prev,
+                "FIFO violated for pair ({}, {})",
+                p.input,
+                p.output
+            );
         }
         last.insert((p.input, p.output), d.packet);
     }

@@ -67,7 +67,12 @@ fn speedup_strictly_helps_at_high_load() {
     let mut fast = base.clone();
     fast.speedup = 2.0;
     let r2 = MimicChecker::new(fast).run(&trace, drain);
-    assert!(r2.mean_lag <= r1.mean_lag, "{} > {}", r2.mean_lag, r1.mean_lag);
+    assert!(
+        r2.mean_lag <= r1.mean_lag,
+        "{} > {}",
+        r2.mean_lag,
+        r1.mean_lag
+    );
     assert!(r2.p99_lag <= r1.p99_lag);
 }
 

@@ -2,7 +2,8 @@
 
 use proptest::prelude::*;
 use rip_baselines::IdealOqSwitch;
-use rip_core::{BatchAssembler, CyclicalCrossbar};
+use rip_core::{BatchAssembler, CyclicalCrossbar, FaultKind, FaultPlan, HbmSwitch, RouterConfig};
+use rip_integration_tests::trace_for;
 use rip_photonics::{SplitMap, SplitPattern};
 use rip_sim::stats::Histogram;
 use rip_sim::EventQueue;
@@ -197,7 +198,7 @@ proptest! {
         sorted.sort_by_key(|&(t, _, _)| t);
         let rate = DataRate::from_gbps(100);
         let mut sw = IdealOqSwitch::new(4, rate);
-        let mut last_dep = vec![SimTime::ZERO; 4];
+        let mut last_dep = [SimTime::ZERO; 4];
         for (i, &(t, o, s)) in sorted.iter().enumerate() {
             let p = Packet::new(i as u64, 0, o, DataSize::from_bytes(s), SimTime::from_ns(t));
             let d = sw.offer(&p);
@@ -214,5 +215,120 @@ proptest! {
         prop_assert!(TrafficMatrix::uniform(n, load).is_admissible());
         let perm: Vec<usize> = (0..n).map(|i| (i + 1) % n).collect();
         prop_assert!(TrafficMatrix::permutation(&perm, load).unwrap().is_admissible());
+    }
+}
+
+/// Generate a small, always-valid fault plan against
+/// `RouterConfig::resilience_small()` (4 channels, 16 banks/channel):
+/// one inject within the horizon, with an optional recover after it.
+fn small_fault_plan(horizon_ns: u64) -> impl Strategy<Value = FaultPlan> {
+    (
+        (0usize..3, 0usize..4, 0usize..16), // fault kind, channel, bank
+        1u64..20,                           // storm duration, us (for RefreshStorm)
+        1..horizon_ns,                      // inject time, ns
+        0..horizon_ns,                      // recover delay, ns; 0 = never recover
+    )
+        .prop_map(
+            move |((which, channel, bank), storm_us, t_inject, recover_after)| {
+                let kind = match which {
+                    0 => FaultKind::HbmChannelDown { channel },
+                    1 => FaultKind::HbmBankStuck { channel, bank },
+                    _ => FaultKind::RefreshStorm {
+                        duration: rip_units::TimeDelta::from_us(storm_us),
+                    },
+                };
+                let mut plan = FaultPlan::new().inject(SimTime::from_ns(t_inject), kind);
+                // Refresh storms schedule their own recovery; an explicit
+                // Recover for them is rejected by validation.
+                if recover_after > 0 && !matches!(kind, FaultKind::RefreshStorm { .. }) {
+                    plan = plan.recover(SimTime::from_ns(t_inject + recover_after), kind);
+                }
+                plan
+            },
+        )
+}
+
+// Whole-switch properties run full discrete-event simulations, so they
+// get far fewer cases than the cheap structural properties above.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Packet conservation under any valid fault plan: once the switch
+    /// drains, every offered packet was either delivered, dropped
+    /// because of the fault, or dropped by ordinary congestion.
+    #[test]
+    fn faulted_switch_conserves_packets(
+        plan in small_fault_plan(60_000),
+        load in 0.3f64..0.8,
+        seed in any::<u64>(),
+    ) {
+        let cfg = RouterConfig::resilience_small();
+        plan.validate(&cfg).expect("strategy only builds valid plans");
+        let horizon = SimTime::from_ns(60_000);
+        let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
+        let trace = trace_for(&cfg, &tm, load, horizon, seed);
+        let mut sw = HbmSwitch::new(cfg).unwrap();
+        let r = sw.run_with_faults(&trace, SimTime::from_ns(600_000), &plan);
+        prop_assert_eq!(
+            r.delivered_packets + r.dropped_packets_fault + r.dropped_packets_congestion,
+            trace.len() as u64,
+            "delivered {} + fault {} + congestion {} != offered {}",
+            r.delivered_packets,
+            r.dropped_packets_fault,
+            r.dropped_packets_congestion,
+            trace.len(),
+        );
+    }
+
+    /// A zero-event fault plan is byte-identical to the plain run: same
+    /// deliveries, same departure times, no degraded accounting.
+    #[test]
+    fn empty_fault_plan_is_identity(seed in any::<u64>(), load in 0.3f64..0.9) {
+        let cfg = RouterConfig::resilience_small();
+        let horizon = SimTime::from_ns(30_000);
+        let drain = SimTime::from_ns(300_000);
+        let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
+        let trace = trace_for(&cfg, &tm, load, horizon, seed);
+        let plain = HbmSwitch::new(cfg.clone()).unwrap().run(&trace, drain);
+        let faulted =
+            HbmSwitch::new(cfg).unwrap().run_with_faults(&trace, drain, &FaultPlan::new());
+        prop_assert_eq!(plain.delivered_packets, faulted.delivered_packets);
+        prop_assert_eq!(&plain.departures, &faulted.departures);
+        prop_assert_eq!(faulted.time_degraded, rip_units::TimeDelta::ZERO);
+        prop_assert_eq!(faulted.dropped_packets_fault, 0);
+        prop_assert!(faulted.recovery_drain.is_none());
+    }
+
+    /// Fail-then-recover returns the sustained delivered rate to the
+    /// healthy baseline: with 1-of-4 channels down for one window, the
+    /// post-catch-up window delivers within 10% of the pre-fault one.
+    #[test]
+    fn recovery_restores_sustained_rate(seed in prop::sample::select(vec![7u64, 21, 42])) {
+        let cfg = RouterConfig::resilience_small();
+        let t = 150_000u64; // ns; window length, fault at t, recover 2t
+        let plan = FaultPlan::new()
+            .inject(SimTime::from_ns(t), FaultKind::HbmChannelDown { channel: 3 })
+            .recover(SimTime::from_ns(2 * t), FaultKind::HbmChannelDown { channel: 3 });
+        let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
+        let trace = trace_for(&cfg, &tm, 0.75, SimTime::from_ns(4 * t), seed);
+        let sizes: std::collections::HashMap<u64, u64> =
+            trace.iter().map(|p| (p.id, p.size.bits())).collect();
+        let mut sw = HbmSwitch::new(cfg).unwrap();
+        let r = sw.run_with_faults(&trace, SimTime::from_ns(16 * t), &plan);
+        let window = |i: u64| -> u64 {
+            r.departures
+                .iter()
+                .filter(|d| {
+                    d.time >= SimTime::from_ns(i * t) && d.time < SimTime::from_ns((i + 1) * t)
+                })
+                .map(|d| sizes[&d.packet])
+                .sum()
+        };
+        let healthy = window(0) as f64;
+        let degraded = window(1) as f64 / healthy;
+        let settled = window(3) as f64 / healthy;
+        prop_assert!((0.6..=0.9).contains(&degraded), "degraded ratio {degraded:.3}");
+        prop_assert!((0.9..=1.1).contains(&settled), "settled ratio {settled:.3}");
+        prop_assert!(r.recovery_drain.is_some());
     }
 }

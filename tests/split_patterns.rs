@@ -51,11 +51,7 @@ fn fill_skew_hurts_sequential_most_at_full_geometry() {
     let striped = SplitMap::new(N, F, H, SplitPattern::Striped).unwrap();
     // Quarter of the fibers lit, at full rate.
     let loads = loads_for(FiberFill::FirstFilled { used: F / 4 }, 16.0);
-    let max = |m: &SplitMap| {
-        m.switch_loads(&loads)
-            .into_iter()
-            .fold(0.0f64, f64::max)
-    };
+    let max = |m: &SplitMap| m.switch_loads(&loads).into_iter().fold(0.0f64, f64::max);
     let (s, r, st) = (max(&seq), max(&rnd), max(&striped));
     // Sequential concentrates everything on the first H/4 switches.
     assert!(s >= 4.0 * N as f64 - 1e-9, "sequential max {s}");

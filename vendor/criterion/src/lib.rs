@@ -53,7 +53,12 @@ impl Bencher {
     }
 }
 
-fn run_one(name: &str, sample_size: usize, measurement_time: Duration, f: impl FnOnce(&mut Bencher)) {
+fn run_one(
+    name: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    f: impl FnOnce(&mut Bencher),
+) {
     let mut b = Bencher {
         samples: Vec::new(),
         sample_size: sample_size.max(1),

@@ -77,10 +77,7 @@ mod tests {
     fn scope_joins_and_returns() {
         let data = [1u64, 2, 3, 4];
         let total = crate::thread::scope(|scope| {
-            let handles: Vec<_> = data
-                .iter()
-                .map(|&x| scope.spawn(move |_| x * 10))
-                .collect();
+            let handles: Vec<_> = data.iter().map(|&x| scope.spawn(move |_| x * 10)).collect();
             handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
         })
         .unwrap();

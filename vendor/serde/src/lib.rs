@@ -467,14 +467,9 @@ pub fn __get<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
 
 /// Deserialize a required field (absent `Option` fields become `None`).
 #[doc(hidden)]
-pub fn __field<T: Deserialize>(
-    obj: &[(String, Value)],
-    key: &str,
-    ty: &str,
-) -> Result<T, DeError> {
+pub fn __field<T: Deserialize>(obj: &[(String, Value)], key: &str, ty: &str) -> Result<T, DeError> {
     match __get(obj, key) {
-        Some(v) => T::from_value(v)
-            .map_err(|e| DeError::custom(format!("{ty}.{key}: {e}"))),
+        Some(v) => T::from_value(v).map_err(|e| DeError::custom(format!("{ty}.{key}: {e}"))),
         None => T::absent().ok_or_else(|| DeError::missing(key, ty)),
     }
 }
@@ -487,8 +482,7 @@ pub fn __field_or_default<T: Deserialize + Default>(
     ty: &str,
 ) -> Result<T, DeError> {
     match __get(obj, key) {
-        Some(v) => T::from_value(v)
-            .map_err(|e| DeError::custom(format!("{ty}.{key}: {e}"))),
+        Some(v) => T::from_value(v).map_err(|e| DeError::custom(format!("{ty}.{key}: {e}"))),
         None => Ok(T::default()),
     }
 }
@@ -502,7 +496,7 @@ mod tests {
         assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
         assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
         assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
-        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert!(bool::from_value(&true.to_value()).unwrap());
         let v: Vec<u8> = Deserialize::from_value(&vec![1u8, 2, 3].to_value()).unwrap();
         assert_eq!(v, vec![1, 2, 3]);
         let t: (u32, f64) = Deserialize::from_value(&(5u32, 0.25f64).to_value()).unwrap();
@@ -521,7 +515,10 @@ mod tests {
     #[test]
     fn numeric_conversions_are_lenient_but_sound() {
         // Whole floats convert to ints (hand-written JSON convenience).
-        assert_eq!(u32::from_value(&Value::Number(Number::F64(8.0))).unwrap(), 8);
+        assert_eq!(
+            u32::from_value(&Value::Number(Number::F64(8.0))).unwrap(),
+            8
+        );
         assert!(u32::from_value(&Value::Number(Number::F64(8.5))).is_err());
         assert!(u8::from_value(&Value::Number(Number::U64(256))).is_err());
         assert!(u64::from_value(&Value::Number(Number::I64(-1))).is_err());

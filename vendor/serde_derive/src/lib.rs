@@ -179,7 +179,9 @@ fn container_attrs(items: &[(String, Option<String>)]) -> Result<ContainerAttrs,
             ("tag", Some(v)) => a.tag = Some(v.clone()),
             ("rename_all", Some(v)) => {
                 if v != "snake_case" {
-                    return Err(format!("unsupported rename_all = \"{v}\" (only snake_case)"));
+                    return Err(format!(
+                        "unsupported rename_all = \"{v}\" (only snake_case)"
+                    ));
                 }
                 a.rename_all = Some(v.clone());
             }
@@ -395,8 +397,7 @@ fn gen_serialize(item: &Item) -> Result<String, String> {
                             v = v.name
                         ),
                         Fields::Named(fs) => {
-                            let pats: Vec<&str> =
-                                fs.iter().map(|f| f.name.as_str()).collect();
+                            let pats: Vec<&str> = fs.iter().map(|f| f.name.as_str()).collect();
                             let entries: Vec<String> = fs
                                 .iter()
                                 .map(|f| {
@@ -450,8 +451,7 @@ fn gen_serialize(item: &Item) -> Result<String, String> {
                             )
                         }
                         Fields::Named(fs) => {
-                            let pats: Vec<&str> =
-                                fs.iter().map(|f| f.name.as_str()).collect();
+                            let pats: Vec<&str> = fs.iter().map(|f| f.name.as_str()).collect();
                             let entries: Vec<String> = fs
                                 .iter()
                                 .map(|f| {
