@@ -4,6 +4,11 @@
 //! Usage: `repro [--quick] [E1 E5 ...]`
 //!   --quick   shrink simulation horizons (CI-friendly)
 //!   `E<n>`    run only the listed experiments
+//!
+//! `repro bench [--quick]` instead runs the perf-trajectory benchmarks
+//! and writes `BENCH_sps_throughput.json` and `BENCH_hbm_access.json`
+//! (stable schema, sim-time-derived metrics only — two same-seed runs
+//! are byte-identical).
 
 use rip_analysis::{
     area, buffering, capacity, datacenter, internal_traffic, modularity, power, random_access,
@@ -35,6 +40,11 @@ impl Opts {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("bench") {
+        let quick = args.iter().any(|a| a == "--quick");
+        run_bench(quick);
+        return;
+    }
     let opts = Opts {
         quick: args.iter().any(|a| a == "--quick"),
         only: args.into_iter().filter(|a| !a.starts_with("--")).collect(),
@@ -678,7 +688,7 @@ fn e14(o: &Opts) {
             }
             let trace = uniform_trace(&cfg, load, horizon, 0xE14);
             let mut sw = HbmSwitch::new(cfg).unwrap();
-            let mut r = sw.run(&trace, drain);
+            let r = sw.run(&trace, drain);
             let mean = r.delays_ns.mean().unwrap_or(f64::NAN) / 1000.0;
             let p99 = r.delays_ns.quantile(0.99).unwrap_or(f64::NAN) / 1000.0;
             t.row(&[
@@ -950,4 +960,181 @@ fn e20(o: &Opts) {
         "0 B (no resequencer)".into(),
     ]);
     t.print("E20 Per-packet balancing designs vs SPS at 0.9 load (paper §2.1 Design 3)");
+}
+
+// --------------------------------------------------------------------
+// `repro bench` — the perf trajectory (BENCH_*.json emission)
+// --------------------------------------------------------------------
+
+/// `BENCH_sps_throughput.json`: end-to-end SPS throughput/latency on
+/// the scaled router. Every value is derived from sim time and
+/// deterministic counters — never wall-clock.
+#[derive(serde::Serialize)]
+struct SpsThroughputBench {
+    schema: &'static str,
+    config: &'static str,
+    seed: u64,
+    load: f64,
+    horizon_ns: u64,
+    offered_bytes: u64,
+    delivered_bytes: u64,
+    loss_fraction: f64,
+    load_imbalance: f64,
+    delivered_gbps: f64,
+    delay_mean_ns: f64,
+    delay_p50_ns: f64,
+    delay_p99_ns: f64,
+    frame_fill_efficiency: f64,
+    frames_written: u64,
+    frames_bypassed: u64,
+    hbm_row_hit_ratio: f64,
+    hbm_faw_stall_ps: u64,
+    hbm_wtr_turnaround_ps: u64,
+    oeo_energy_joules: f64,
+}
+
+/// `BENCH_hbm_access.json`: device-level sustained PFI + random-access
+/// baselines on one HBM4 stack.
+#[derive(serde::Serialize)]
+struct HbmAccessBench {
+    schema: &'static str,
+    frames: u64,
+    pfi_utilization: f64,
+    pfi_achieved_gbps: f64,
+    pfi_turnaround_fraction: f64,
+    pfi_refreshes: u64,
+    pfi_row_hit_ratio: f64,
+    pfi_faw_stall_ps: u64,
+    cmd_act: u64,
+    cmd_pre: u64,
+    cmd_rd: u64,
+    cmd_wr: u64,
+    cmd_ref: u64,
+    random_1500b_reduction: f64,
+    random_64b_reduction: f64,
+}
+
+fn write_json<T: serde::Serialize>(path: &str, value: &T) {
+    let mut body = serde_json::to_string_pretty(value).expect("bench serialization");
+    body.push('\n');
+    std::fs::write(path, body).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {path}");
+}
+
+fn run_bench(quick: bool) {
+    println!("Petabit Router-in-a-Package — benchmark emission");
+    println!("mode: {}", if quick { "quick" } else { "full" });
+
+    // SPS end-to-end throughput at 0.8 load on the scaled router.
+    let cfg = RouterConfig::small();
+    let seed = 0xBE7C;
+    let load = 0.8;
+    let horizon = SimTime::from_ns(if quick { 40_000 } else { 200_000 });
+    let router = SpsRouter::new(cfg.clone(), SplitPattern::Striped).expect("valid config");
+    let w = SpsWorkload::uniform(cfg.ribbons, load, seed);
+    let r = router.run(&w, horizon);
+    // Merge per-plane delay histograms in plane order (deterministic).
+    let mut delays = rip_sim::stats::Histogram::new();
+    for s in &r.switches {
+        delays.merge_from(&s.report.delays_ns);
+    }
+    let span_ps: u64 = r
+        .switches
+        .iter()
+        .map(|s| s.report.span.as_ps())
+        .max()
+        .unwrap_or(0);
+    let delivered_gbps = if span_ps == 0 {
+        0.0
+    } else {
+        r.delivered.bits() as f64 / (span_ps as f64 * 1e-12) / 1e9
+    };
+    let m = &r.metrics;
+    let sps = SpsThroughputBench {
+        schema: "rip-bench/sps_throughput/v1",
+        config: "small",
+        seed,
+        load,
+        horizon_ns: horizon.as_ps() / 1000,
+        offered_bytes: r.offered.bytes(),
+        delivered_bytes: r.delivered.bytes(),
+        loss_fraction: r.loss_fraction,
+        load_imbalance: r.load_imbalance,
+        delivered_gbps,
+        delay_mean_ns: delays.mean().unwrap_or(0.0),
+        delay_p50_ns: delays.quantile(0.5).unwrap_or(0.0),
+        delay_p99_ns: delays.quantile(0.99).unwrap_or(0.0),
+        frame_fill_efficiency: m
+            .gauge("switch.frame.fill_efficiency")
+            .map_or(0.0, |g| g.value),
+        frames_written: m.counter("switch.frames.written"),
+        frames_bypassed: m.counter("switch.frames.bypass"),
+        hbm_row_hit_ratio: m.gauge("hbm.row_hit_ratio").map_or(0.0, |g| g.value),
+        hbm_faw_stall_ps: m.counter("hbm.faw_stall_ps"),
+        hbm_wtr_turnaround_ps: m.counter("hbm.wtr_turnaround_ps"),
+        oeo_energy_joules: r
+            .switches
+            .iter()
+            .filter_map(|s| s.report.metrics.gauge("phy.oeo_energy_j"))
+            .map(|g| g.value)
+            .sum(),
+    };
+    write_json("BENCH_sps_throughput.json", &sps);
+
+    // Device-level: sustained PFI duty cycle + random-access baselines.
+    let frames: u64 = if quick { 400 } else { 4_000 };
+    let mut group = one_stack();
+    let mut pfi = PfiController::new(PfiConfig::reference(), &group).expect("valid");
+    let rep = pfi.run_sustained(&mut group, frames);
+    let (mut hits, mut misses, mut faw_ps) = (0u64, 0u64, 0u64);
+    let (mut act, mut pre, mut rd, mut wr, mut refr) = (0u64, 0u64, 0u64, 0u64, 0u64);
+    for ch in group.channels() {
+        let s = ch.stats();
+        hits += s.row_hits.get();
+        misses += s.row_misses.get();
+        faw_ps += s.faw_stall.total().as_ps();
+        act += s.activates.get();
+        pre += s.precharges.get();
+        rd += s.reads.get();
+        wr += s.writes.get();
+        refr += s.refreshes.get();
+    }
+    let n_acc: u64 = if quick { 1_000 } else { 10_000 };
+    let mut g1 = one_stack();
+    let r1500 = RandomAccessController::new(AccessPattern::ParallelChannels, 0xBE7C).run(
+        &mut g1,
+        n_acc,
+        DataSize::from_bytes(1500),
+        Direction::Write,
+    );
+    let mut g64 = one_stack();
+    let r64 = RandomAccessController::new(AccessPattern::ParallelChannels, 0xBE7C).run(
+        &mut g64,
+        n_acc,
+        DataSize::from_bytes(64),
+        Direction::Write,
+    );
+    let hbm = HbmAccessBench {
+        schema: "rip-bench/hbm_access/v1",
+        frames,
+        pfi_utilization: rep.utilization,
+        pfi_achieved_gbps: rep.achieved.bps() as f64 / 1e9,
+        pfi_turnaround_fraction: rep.turnaround_fraction,
+        pfi_refreshes: rep.refreshes,
+        pfi_row_hit_ratio: if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        },
+        pfi_faw_stall_ps: faw_ps,
+        cmd_act: act,
+        cmd_pre: pre,
+        cmd_rd: rd,
+        cmd_wr: wr,
+        cmd_ref: refr,
+        random_1500b_reduction: r1500.reduction,
+        random_64b_reduction: r64.reduction,
+    };
+    write_json("BENCH_hbm_access.json", &hbm);
+    println!("\ndone.");
 }

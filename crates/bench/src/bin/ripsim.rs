@@ -5,10 +5,15 @@
 //! spec with `--example-spec`. `ripsim resilience` runs the canned
 //! fault-injection demo: one of four HBM channels dies mid-run and
 //! recovers, and the report shows the before/during/after timeline.
+//! `ripsim trace [spec.json]` runs the spec (or the example spec) with
+//! event tracing on and streams the full telemetry surface — switch
+//! events, counters, gauges, histogram summaries, queue-depth series —
+//! to stdout as deterministic JSONL (sim-time-stamped only).
 //!
 //! ```text
 //! ripsim --example-spec > my_sim.json
 //! ripsim my_sim.json
+//! ripsim trace my_sim.json > telemetry.jsonl
 //! ripsim resilience
 //! ```
 
@@ -137,7 +142,8 @@ impl SimSpec {
     }
 }
 
-fn run(spec: &SimSpec) -> Result<(), String> {
+/// Validate `spec` and build its arrival-ordered packet trace.
+fn build_workload(spec: &SimSpec) -> Result<Vec<rip_traffic::Packet>, String> {
     spec.router.validate().map_err(|e| e.to_string())?;
     if !(0.0..=1.0).contains(&spec.load) {
         return Err(format!("load {} out of [0, 1]", spec.load));
@@ -163,7 +169,12 @@ fn run(spec: &SimSpec) -> Result<(), String> {
             Ok(g.generate_until(horizon))
         })
         .collect::<Result<Vec<_>, String>>()?;
-    let trace = merge_streams(streams);
+    Ok(merge_streams(streams))
+}
+
+fn run(spec: &SimSpec) -> Result<(), String> {
+    let trace = build_workload(spec)?;
+    let n = spec.router.ribbons;
     println!(
         "spec: {} ports x {}, frame {}, load {:.2}, {} packets over {} us",
         n,
@@ -175,7 +186,7 @@ fn run(spec: &SimSpec) -> Result<(), String> {
     );
     let mut sw = HbmSwitch::new(spec.router.clone()).map_err(|e| e.to_string())?;
     let drain = SimTime::from_ns(spec.horizon_us * 1000 * (1 + spec.drain_factor));
-    let mut r = sw.run(&trace, drain);
+    let r = sw.run(&trace, drain);
 
     let mut t = Table::new(&["metric", "value"]);
     t.row(&["offered packets".into(), r.offered_packets.to_string()]);
@@ -207,6 +218,142 @@ fn run(spec: &SimSpec) -> Result<(), String> {
     ]);
     t.row(&["padding injected".into(), format!("{}", r.padded_bytes)]);
     t.print("ripsim report");
+    Ok(())
+}
+
+// --------------------------------------------------------------------
+// `ripsim trace` — JSONL telemetry export
+// --------------------------------------------------------------------
+
+/// Header line: schema tag plus the spec that produced the run.
+#[derive(Serialize)]
+struct MetaLine {
+    record: String,
+    schema: String,
+    spec: SimSpec,
+}
+
+/// One switch milestone from the bounded event trace.
+#[derive(Serialize)]
+struct EventLine {
+    record: String,
+    t_ps: u64,
+    event: rip_core::SwitchEvent,
+}
+
+/// Final value of a monotone counter.
+#[derive(Serialize)]
+struct CounterLine {
+    record: String,
+    name: String,
+    value: u64,
+}
+
+/// Final value of a last-write-wins gauge.
+#[derive(Serialize)]
+struct GaugeLine {
+    record: String,
+    name: String,
+    at_ps: u64,
+    value: f64,
+}
+
+/// Summary of a log-bucketed histogram.
+#[derive(Serialize)]
+struct HistogramLine {
+    record: String,
+    name: String,
+    count: u64,
+    min: Option<f64>,
+    max: Option<f64>,
+    p50: Option<f64>,
+    p99: Option<f64>,
+}
+
+/// One decimated point of a time series.
+#[derive(Serialize)]
+struct SeriesLine {
+    record: String,
+    name: String,
+    t_ps: u64,
+    value: f64,
+}
+
+fn emit<T: Serialize>(line: &T) {
+    println!(
+        "{}",
+        serde_json::to_string(line).expect("trace line serializes")
+    );
+}
+
+/// Run `spec` with event tracing on and stream the whole telemetry
+/// surface — events, counters, gauges, histogram summaries, series —
+/// to stdout as JSONL. Every timestamp is sim time (picoseconds), so
+/// two same-seed runs produce byte-identical output.
+fn run_trace(spec: &SimSpec) -> Result<(), String> {
+    let trace = build_workload(spec)?;
+    let mut sw = HbmSwitch::new(spec.router.clone()).map_err(|e| e.to_string())?;
+    sw.enable_trace(1 << 20);
+    let drain = SimTime::from_ns(spec.horizon_us * 1000 * (1 + spec.drain_factor));
+    let r = sw.run(&trace, drain);
+
+    emit(&MetaLine {
+        record: "meta".into(),
+        schema: "rip-trace/v1".into(),
+        spec: spec.clone(),
+    });
+    for &(at, event) in sw.trace().expect("tracing enabled").events() {
+        emit(&EventLine {
+            record: "event".into(),
+            t_ps: at.as_ps(),
+            event,
+        });
+    }
+    for (name, &value) in r.metrics.counters() {
+        emit(&CounterLine {
+            record: "counter".into(),
+            name: name.clone(),
+            value,
+        });
+    }
+    for (name, g) in r.metrics.gauges() {
+        emit(&GaugeLine {
+            record: "gauge".into(),
+            name: name.clone(),
+            at_ps: g.at.as_ps(),
+            value: g.value,
+        });
+    }
+    for (name, h) in r.metrics.histograms() {
+        emit(&HistogramLine {
+            record: "histogram".into(),
+            name: name.clone(),
+            count: h.count(),
+            min: h.min(),
+            max: h.max(),
+            p50: h.quantile(0.5),
+            p99: h.quantile(0.99),
+        });
+    }
+    for &(t, value) in sw.hbm_occupancy().points() {
+        emit(&SeriesLine {
+            record: "series".into(),
+            name: "hbm.frame_occupancy".into(),
+            t_ps: t.as_ps(),
+            value,
+        });
+    }
+    for o in 0..spec.router.ribbons {
+        let name = format!("out{o:02}.queue_depth_frames");
+        for &(t, value) in sw.output_depth(o).points() {
+            emit(&SeriesLine {
+                record: "series".into(),
+                name: name.clone(),
+                t_ps: t.as_ps(),
+                value,
+            });
+        }
+    }
     Ok(())
 }
 
@@ -333,10 +480,36 @@ fn run_resilience() {
     );
 }
 
+/// Read and parse a spec file, exiting with a usage error on failure.
+fn load_spec(path: &str) -> SimSpec {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("ripsim: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match serde_json::from_str(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ripsim: bad spec: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("resilience") {
         run_resilience();
+        return;
+    }
+    if args.first().map(String::as_str) == Some("trace") {
+        let spec = args.get(1).map_or_else(SimSpec::example, |p| load_spec(p));
+        if let Err(e) = run_trace(&spec) {
+            eprintln!("ripsim: {e}");
+            std::process::exit(1);
+        }
         return;
     }
     if args.iter().any(|a| a == "--example-spec") {
@@ -347,23 +520,13 @@ fn main() {
         return;
     }
     let Some(path) = args.first() else {
-        eprintln!("usage: ripsim <spec.json> | ripsim --example-spec | ripsim resilience");
+        eprintln!(
+            "usage: ripsim <spec.json> | ripsim trace [spec.json] | \
+             ripsim --example-spec | ripsim resilience"
+        );
         std::process::exit(2);
     };
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("ripsim: cannot read {path}: {e}");
-            std::process::exit(2);
-        }
-    };
-    let spec: SimSpec = match serde_json::from_str(&text) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("ripsim: bad spec: {e}");
-            std::process::exit(2);
-        }
-    };
+    let spec = load_spec(path);
     if let Err(e) = run(&spec) {
         eprintln!("ripsim: {e}");
         std::process::exit(1);

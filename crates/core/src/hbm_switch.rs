@@ -7,8 +7,10 @@ use std::collections::{HashSet, VecDeque};
 use rip_hbm::{HbmGroup, PfiController};
 use rip_sim::stats::Histogram;
 use rip_sim::{EventQueue, Series, TraceLog};
+use rip_telemetry::MetricsRegistry;
 use rip_traffic::Packet;
 use rip_units::{DataRate, DataSize, SimTime, TimeDelta};
+use serde::{Deserialize, Serialize};
 
 use crate::batch::{Batch, BatchAssembler};
 use crate::config::RouterConfig;
@@ -19,7 +21,7 @@ use crate::sram::{Frame, HeadSram, TailSram};
 
 /// Observable milestones recorded by the optional switch trace
 /// ([`HbmSwitch::enable_trace`]) — the simulator's pcap.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SwitchEvent {
     /// A full frame was written to the HBM for `output`.
     FrameWritten {
@@ -79,7 +81,11 @@ enum Ev {
 }
 
 /// End-of-run report of one HBM switch.
-#[derive(Debug, Clone)]
+///
+/// Serializes with declaration-order fields and `BTreeMap`-ordered
+/// metrics, so two same-seed runs produce byte-identical JSON (the
+/// golden-report snapshot tests rely on this).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SwitchReport {
     /// Packets offered by the trace.
     pub offered_packets: u64,
@@ -130,6 +136,9 @@ pub struct SwitchReport {
     /// returned to its pre-fault baseline (`None` if no fault ran or
     /// the backlog never drained within the run).
     pub recovery_drain: Option<TimeDelta>,
+    /// Deterministic sim-time telemetry: frame path/fill metrics, HBM
+    /// command mix and stall accounting, photonic lane/energy totals.
+    pub metrics: MetricsRegistry,
 }
 
 /// The HBM switch simulator.
@@ -192,6 +201,12 @@ pub struct HbmSwitch {
     /// Total frames buffered in the HBM over time (sampled at frame
     /// writes/reads when tracing is on).
     hbm_occupancy: Series,
+    /// Always-on deterministic telemetry accumulated during the run
+    /// (completed by device/photonic aggregates in [`HbmSwitch::report`]).
+    metrics: MetricsRegistry,
+    /// Per-output HBM queue depth over time (frames), sampled at every
+    /// frame write/read with bounded memory.
+    output_depth: Vec<Series>,
 }
 
 impl HbmSwitch {
@@ -250,6 +265,8 @@ impl HbmSwitch {
             input_peak: DataSize::ZERO,
             trace: None,
             hbm_occupancy: Series::new(4096),
+            metrics: MetricsRegistry::new(),
+            output_depth: (0..n).map(|_| Series::new(1024)).collect(),
             group,
             pfi,
             cfg,
@@ -322,8 +339,16 @@ impl HbmSwitch {
 
     fn write_frame(&mut self, now: SimTime, frame: Frame) {
         let o = frame.output;
+        // Frame fill efficiency: payload actually carried vs. the fixed
+        // frame capacity the HBM write pays for.
+        self.metrics
+            .inc("switch.frame.payload_bytes", frame.payload().bytes());
+        self.metrics
+            .inc("switch.frame.capacity_bytes", self.cfg.frame_size().bytes());
+        self.metrics.inc("switch.frames.written", 1);
         let op = self.pfi.write_frame(&mut self.group, now, o);
         self.hbm_frames[o].push_back((frame, op.end));
+        self.sample_output_depth(now, o);
         self.record(
             now,
             SwitchEvent::FrameWritten {
@@ -331,6 +356,15 @@ impl HbmSwitch {
                 index: op.frame_index,
             },
         );
+    }
+
+    /// Sample output `o`'s HBM queue depth (frames) into its series and
+    /// depth histogram.
+    fn sample_output_depth(&mut self, now: SimTime, o: usize) {
+        let depth = self.pfi.frames_buffered(o) as f64;
+        self.output_depth[o].record(now, depth);
+        self.metrics
+            .observe(&format!("switch.out{o:02}.queue_depth_frames"), depth);
     }
 
     /// Total frames currently buffered in the HBM across outputs.
@@ -545,8 +579,13 @@ impl HbmSwitch {
                     .pfi
                     .read_frame(&mut self.group, now, o)
                     .expect("frames_buffered > 0");
-                let (frame, _) = self.hbm_frames[o].pop_front().expect("mirror in sync");
+                let (frame, written) = self.hbm_frames[o].pop_front().expect("mirror in sync");
                 self.pending_to_head[o] += 1;
+                // HBM-path latency: write completion → head arrival.
+                self.metrics
+                    .observe("switch.path.hbm_ns", op.end.since(written).as_ns_f64());
+                self.metrics.inc("switch.frames.read", 1);
+                self.sample_output_depth(now, o);
                 self.record(
                     now,
                     SwitchEvent::FrameRead {
@@ -564,6 +603,9 @@ impl HbmSwitch {
                 let frame = self.tail.take_padded_frame(o).expect("forming_len > 0");
                 self.padded_bytes += self.cfg.batch_size() * frame.padded_batches;
                 self.pending_to_head[o] += 1;
+                self.metrics
+                    .observe("switch.path.bypass_ns", self.bypass_latency().as_ns_f64());
+                self.metrics.inc("switch.frames.bypass", 1);
                 self.record(now, SwitchEvent::Bypass { output: o });
                 q.schedule(now + self.bypass_latency(), Ev::FrameAtHead(frame));
             }
@@ -664,6 +706,7 @@ impl HbmSwitch {
         } else {
             self.outputs.iter().map(|p| p.lane_spread_cv()).sum::<f64>() / self.outputs.len() as f64
         };
+        let metrics = self.final_metrics(end, span);
         SwitchReport {
             offered_packets: self.offered_packets,
             offered_bytes: self.offered_bytes,
@@ -696,12 +739,114 @@ impl HbmSwitch {
             time_degraded: self.time_degraded,
             capacity_lost: self.capacity_lost,
             recovery_drain: self.recovery_drain,
+            metrics,
         }
+    }
+
+    /// The run-time registry plus the end-of-run aggregates pulled from
+    /// the HBM device model and the photonic egress stages. Every value
+    /// derives from sim time and deterministic counters — never
+    /// wall-clock — so repeated same-seed runs serialize identically.
+    fn final_metrics(&self, end: SimTime, span: TimeDelta) -> MetricsRegistry {
+        let mut m = self.metrics.clone();
+        // HBM command mix, row locality and stall accounting.
+        let (mut act, mut pre, mut rd, mut wr, mut refr) = (0u64, 0u64, 0u64, 0u64, 0u64);
+        let (mut hits, mut misses) = (0u64, 0u64);
+        let (mut faw_ps, mut turn_ps, mut bus_ps) = (0u64, 0u64, 0u64);
+        for ch in self.group.channels() {
+            let s = ch.stats();
+            act += s.activates.get();
+            pre += s.precharges.get();
+            rd += s.reads.get();
+            wr += s.writes.get();
+            refr += s.refreshes.get();
+            hits += s.row_hits.get();
+            misses += s.row_misses.get();
+            faw_ps += s.faw_stall.total().as_ps();
+            turn_ps += s.turnaround.total().as_ps();
+            bus_ps += s.bus_busy.total().as_ps();
+            if !span.is_zero() {
+                for b in 0..ch.num_banks() {
+                    m.observe(
+                        "hbm.bank_busy_frac",
+                        ch.bank_busy(b).as_ps() as f64 / span.as_ps() as f64,
+                    );
+                }
+            }
+        }
+        m.inc("hbm.cmd.act", act);
+        m.inc("hbm.cmd.pre", pre);
+        m.inc("hbm.cmd.rd", rd);
+        m.inc("hbm.cmd.wr", wr);
+        m.inc("hbm.cmd.ref", refr);
+        m.inc("hbm.row_hits", hits);
+        m.inc("hbm.row_misses", misses);
+        m.inc("hbm.faw_stall_ps", faw_ps);
+        m.inc("hbm.wtr_turnaround_ps", turn_ps);
+        m.inc("hbm.bus_busy_ps", bus_ps);
+        if hits + misses > 0 {
+            m.set_gauge(
+                "hbm.row_hit_ratio",
+                end,
+                hits as f64 / (hits + misses) as f64,
+            );
+        }
+        // Frame fill efficiency over everything written to the HBM.
+        let cap = m.counter("switch.frame.capacity_bytes");
+        if cap > 0 {
+            m.set_gauge(
+                "switch.frame.fill_efficiency",
+                end,
+                m.counter("switch.frame.payload_bytes") as f64 / cap as f64,
+            );
+        }
+        // Photonic egress: per-lane utilization and E/O energy totals.
+        let mut oeo_bits = 0u64;
+        let mut oeo_events = 0u64;
+        let mut oeo_joules = 0.0f64;
+        let lane_bps = self.cfg.rate_per_wavelength.bps();
+        for p in &self.outputs {
+            oeo_bits += p.oeo().total_converted().bits();
+            oeo_events += p.oeo().conversions();
+            oeo_joules += p.oeo_energy_joules();
+            if !span.is_zero() && lane_bps > 0 {
+                let span_s = span.as_ps() as f64 * 1e-12;
+                for &bytes in p.lane_bytes() {
+                    m.observe(
+                        "phy.lane_util",
+                        bytes as f64 * 8.0 / (lane_bps as f64 * span_s),
+                    );
+                }
+            }
+        }
+        m.inc("phy.oeo_bits", oeo_bits);
+        m.inc("phy.oeo_conversions", oeo_events);
+        m.set_gauge("phy.oeo_energy_j", end, oeo_joules);
+        m
     }
 
     /// Access to the HBM group (device-level stats).
     pub fn hbm(&self) -> &HbmGroup {
         &self.group
+    }
+
+    /// The live telemetry registry (run-time metrics only; the full
+    /// set including device/photonic aggregates is in
+    /// [`SwitchReport::metrics`]).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Per-output HBM queue depth series (frames over sim time).
+    pub fn output_depth(&self, o: usize) -> &Series {
+        &self.output_depth[o]
+    }
+
+    /// Toggle HBM command recording on every channel, so a run's
+    /// complete ACT/RD/WR/PRE/REFsb stream can be replayed through an
+    /// independent timing-conformance checker afterwards.
+    pub fn set_hbm_command_recording(&mut self, on: bool) {
+        self.group.set_record_commands(on);
     }
 
     /// Access to an output port (lane stats, OEO energy).
@@ -850,7 +995,7 @@ mod tests {
         assert!(r.padded_bytes.bytes() > 0, "padding must have been used");
         // Delay bounded by the flush timeout + pipeline, far below the
         // horizon.
-        let p99 = r.delays_ns.clone().quantile(0.99).unwrap();
+        let p99 = r.delays_ns.quantile(0.99).unwrap();
         assert!(p99 < 200_000.0, "p99 delay {p99} ns too large");
     }
 
@@ -940,8 +1085,8 @@ mod tests {
         assert!(ra.delivery_fraction > 0.999);
         assert!(rl.delivery_fraction > 0.999, "{}", rl.delivery_fraction);
         // ...but the lane model pays per-wavelength serialization.
-        let ma = ra.delays_ns.clone().mean().unwrap();
-        let ml = rl.delays_ns.clone().mean().unwrap();
+        let ma = ra.delays_ns.mean().unwrap();
+        let ml = rl.delays_ns.mean().unwrap();
         assert!(ml > ma, "lane mean {ml} !> aggregate mean {ma}");
     }
 

@@ -72,7 +72,6 @@ impl MimicChecker {
             TimeDelta::from_ps((total_ps / compared as u128) as u64)
         };
         let p99 = lags
-            .clone()
             .quantile(0.99)
             .map(|ns| TimeDelta::from_ps((ns * 1000.0) as u64))
             .unwrap_or(TimeDelta::ZERO);
@@ -92,12 +91,11 @@ impl MimicReport {
         if self.compared == 0 {
             return 1.0;
         }
-        let mut h = self.lags_ns.clone();
         // Binary search over quantiles is overkill; count directly.
         let bound_ns = bound.as_ns_f64();
         let within = (0..=100)
             .map(|q| q as f64 / 100.0)
-            .filter(|&q| h.quantile(q).is_some_and(|v| v <= bound_ns))
+            .filter(|&q| self.lags_ns.quantile(q).is_some_and(|v| v <= bound_ns))
             .count();
         within as f64 / 101.0
     }

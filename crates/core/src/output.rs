@@ -173,6 +173,11 @@ impl OutputPort {
     pub fn oeo_energy_joules(&self) -> f64 {
         self.oeo.energy_joules()
     }
+
+    /// The E/O conversion stage itself (bits converted, event counts).
+    pub fn oeo(&self) -> &OeoConverter {
+        &self.oeo
+    }
 }
 
 #[cfg(test)]

@@ -3,11 +3,13 @@
 //! exactly one of them (one OEO conversion).
 
 use rip_photonics::{FrontEnd, SplitMap, SplitPattern};
+use rip_telemetry::MetricsRegistry;
 use rip_traffic::hash::{lane_for, HashKind};
 use rip_traffic::{
     ArrivalProcess, FiberFill, Packet, PacketGenerator, SizeDistribution, TrafficMatrix,
 };
 use rip_units::{DataSize, SimTime};
+use serde::{Deserialize, Serialize};
 
 use crate::config::RouterConfig;
 use crate::error::ConfigError;
@@ -50,7 +52,7 @@ impl SpsWorkload {
 }
 
 /// Per-switch summary within an SPS report.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PerSwitch {
     /// Offered bytes at this switch.
     pub offered: DataSize,
@@ -63,7 +65,12 @@ pub struct PerSwitch {
 }
 
 /// End-to-end SPS run outcome.
-#[derive(Debug, Clone)]
+///
+/// Field order and the `BTreeMap`-backed metrics make the serialized
+/// form byte-stable across runs and thread schedules: per-plane reports
+/// are always collected and merged in plane order after the crossbeam
+/// join, never in thread-completion order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SpsReport {
     /// Per-switch outcomes.
     pub switches: Vec<PerSwitch>,
@@ -83,6 +90,10 @@ pub struct SpsReport {
     /// (`N·P` over the generation horizon); > 1 means a degraded split
     /// re-steered more traffic onto the plane than it can carry.
     pub plane_overload: Vec<f64>,
+    /// Telemetry merged over all planes in plane order (counters add,
+    /// histograms merge bucket-wise, gauges keep the latest write), so
+    /// totals are invariant under plane-count repartitioning.
+    pub metrics: MetricsRegistry,
 }
 
 /// The Split-Parallel Switch: `H` HBM switches behind a spatial fiber
@@ -220,7 +231,12 @@ impl SpsRouter {
         let mut offered = DataSize::ZERO;
         let mut delivered = DataSize::ZERO;
         let mut plane_overload = Vec::with_capacity(reports.len());
+        // Deterministic telemetry merge: reports arrive in spawn (plane)
+        // order from the ordered join above, and the merge itself is
+        // associative/commutative, so thread scheduling cannot change it.
+        let mut metrics = MetricsRegistry::new();
         for report in reports {
+            metrics.merge(&report.metrics);
             offered += report.offered_bytes;
             delivered += report.delivered_bytes;
             plane_overload.push(if plane_capacity.is_zero() {
@@ -258,6 +274,7 @@ impl SpsRouter {
             front_end_dropped_packets: fe_dropped_packets,
             front_end_dropped: fe_dropped,
             plane_overload,
+            metrics,
         }
     }
 

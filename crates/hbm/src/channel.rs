@@ -123,6 +123,47 @@ impl std::fmt::Display for TimingError {
 
 impl std::error::Error for TimingError {}
 
+/// One command as issued on a channel, for replay by an independent
+/// timing-conformance checker (recording is off by default; see
+/// [`Channel::set_record_commands`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HbmCommand {
+    /// Issue time of the command.
+    pub at: SimTime,
+    /// Target bank.
+    pub bank: usize,
+    /// Which command, with its operands.
+    pub kind: HbmCommandKind,
+}
+
+/// The command kinds a [`Channel`] can issue.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum HbmCommandKind {
+    /// ACT — open `row`.
+    Activate {
+        /// Row opened.
+        row: u64,
+    },
+    /// RD column access occupying the data bus until `end`.
+    Read {
+        /// Transfer size.
+        size: DataSize,
+        /// Bus-release time.
+        end: SimTime,
+    },
+    /// WR column access occupying the data bus until `end`.
+    Write {
+        /// Transfer size.
+        size: DataSize,
+        /// Bus-release time.
+        end: SimTime,
+    },
+    /// PRE — close the open row.
+    Precharge,
+    /// REFsb — single-bank refresh.
+    RefreshSb,
+}
+
 /// Command and bandwidth accounting for one channel.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ChannelStats {
@@ -136,6 +177,12 @@ pub struct ChannelStats {
     pub writes: Counter,
     /// REFsb commands issued.
     pub refreshes: Counter,
+    /// Column accesses that reused the row opened by a prior access
+    /// (any CAS after the first one under the same ACT).
+    pub row_hits: Counter,
+    /// Column accesses that paid a fresh ACT (the first CAS under each
+    /// ACT).
+    pub row_misses: Counter,
     /// Bits read off the device.
     pub bits_read: u64,
     /// Bits written into the device.
@@ -144,12 +191,26 @@ pub struct ChannelStats {
     pub bus_busy: BusyTime,
     /// Bus time lost to read↔write turnaround gaps.
     pub turnaround: BusyTime,
+    /// Time ACTs spent stalled behind the tFAW window beyond every
+    /// other constraint (bank idle-at and ACT ordering).
+    pub faw_stall: BusyTime,
 }
 
 impl ChannelStats {
     /// Total data moved in either direction.
     pub fn total_data(&self) -> DataSize {
         DataSize::from_bits(self.bits_read + self.bits_written)
+    }
+
+    /// Fraction of column accesses that hit an already-open row
+    /// (`None` before any access).
+    pub fn row_hit_ratio(&self) -> Option<f64> {
+        let total = self.row_hits.get() + self.row_misses.get();
+        if total == 0 {
+            None
+        } else {
+            Some(self.row_hits.get() as f64 / total as f64)
+        }
     }
 }
 
@@ -169,6 +230,11 @@ pub struct Channel {
     /// non-decreasing time order for the tFAW window to be sound).
     last_act: SimTime,
     stats: ChannelStats,
+    /// Busy time (ACT → end of PRE/REFsb) accumulated per bank.
+    bank_busy: Vec<TimeDelta>,
+    /// When `true`, every issued command is appended to `commands`.
+    record_commands: bool,
+    commands: Vec<HbmCommand>,
 }
 
 impl Channel {
@@ -185,6 +251,9 @@ impl Channel {
             recent_acts: VecDeque::with_capacity(4),
             last_act: SimTime::ZERO,
             stats: ChannelStats::default(),
+            bank_busy: vec![TimeDelta::ZERO; banks],
+            record_commands: false,
+            commands: Vec::new(),
         }
     }
 
@@ -216,6 +285,34 @@ impl Channel {
     /// When the data bus frees up.
     pub fn bus_free_at(&self) -> SimTime {
         self.bus_free_at
+    }
+
+    /// Busy time (ACT until PRE/REFsb completion) accumulated by `bank`.
+    pub fn bank_busy(&self, bank: usize) -> TimeDelta {
+        self.bank_busy[bank]
+    }
+
+    /// Toggle command recording. When on, every ACT/RD/WR/PRE/REFsb is
+    /// appended to an in-order log for replay by an external
+    /// timing-conformance checker. Off by default (zero cost).
+    pub fn set_record_commands(&mut self, on: bool) {
+        self.record_commands = on;
+    }
+
+    /// The recorded command stream, in issue order.
+    pub fn commands(&self) -> &[HbmCommand] {
+        &self.commands
+    }
+
+    /// Drop the recorded command stream (recording state unchanged).
+    pub fn clear_commands(&mut self) {
+        self.commands.clear();
+    }
+
+    fn log(&mut self, at: SimTime, bank: usize, kind: HbmCommandKind) {
+        if self.record_commands {
+            self.commands.push(HbmCommand { at, bank, kind });
+        }
     }
 
     fn check_bank(&self, bank: usize) -> Result<(), TimingError> {
@@ -279,6 +376,15 @@ impl Channel {
             "ACT issued out of time order: {now} < last ACT {}",
             self.last_act
         );
+        // How long the tFAW window held this ACT back beyond every
+        // other constraint — the "stall" the telemetry layer reports.
+        if self.recent_acts.len() == 4 {
+            let faw_gate = self.recent_acts[0] + self.timing.t_faw;
+            let other_gate = b.idle_at().max(self.last_act);
+            if faw_gate > other_gate {
+                self.stats.faw_stall.add(faw_gate - other_gate);
+            }
+        }
         let ready = now + self.timing.t_rcd;
         self.banks[bank].do_activate(now, row, ready);
         if self.recent_acts.len() == 4 {
@@ -287,6 +393,7 @@ impl Channel {
         self.recent_acts.push_back(now);
         self.last_act = now;
         self.stats.activates.inc();
+        self.log(now, bank, HbmCommandKind::Activate { row });
         Ok(ready)
     }
 
@@ -351,6 +458,13 @@ impl Channel {
         if gate > raw_free && now >= gate {
             self.stats.turnaround.add(gate - raw_free);
         }
+        // Row hit/miss: the first CAS under an ACT paid the row
+        // opening (miss); any further CAS reuses the open row (hit).
+        if b.last_cas_end() > b.act_issued() {
+            self.stats.row_hits.inc();
+        } else {
+            self.stats.row_misses.inc();
+        }
         let dt = bus_time(self.rate, size);
         let end = now + dt;
         self.bus_free_at = end;
@@ -361,10 +475,12 @@ impl Channel {
             Direction::Read => {
                 self.stats.reads.inc();
                 self.stats.bits_read += size.bits();
+                self.log(now, bank, HbmCommandKind::Read { size, end });
             }
             Direction::Write => {
                 self.stats.writes.inc();
                 self.stats.bits_written += size.bits();
+                self.log(now, bank, HbmCommandKind::Write { size, end });
             }
         }
         Ok(end)
@@ -390,8 +506,10 @@ impl Channel {
             return Err(TimingError::PreTooEarly { earliest });
         }
         let idle_at = now + self.timing.t_rp;
+        self.bank_busy[bank] += idle_at - b.act_issued();
         self.banks[bank].do_precharge(idle_at);
         self.stats.precharges.inc();
+        self.log(now, bank, HbmCommandKind::Precharge);
         Ok(idle_at)
     }
 
@@ -409,8 +527,10 @@ impl Channel {
             return Err(TimingError::RefreshNotIdle { bank });
         }
         let idle_at = now + self.timing.t_rfc_sb;
+        self.bank_busy[bank] += self.timing.t_rfc_sb;
         self.banks[bank].do_refresh(now, idle_at);
         self.stats.refreshes.inc();
+        self.log(now, bank, HbmCommandKind::RefreshSb);
         Ok(idle_at)
     }
 

@@ -166,6 +166,16 @@ impl HbmGroup {
         self.channels.iter()
     }
 
+    /// Toggle command recording on every channel (see
+    /// [`Channel::set_record_commands`]): when on, each channel keeps an
+    /// in-order ACT/RD/WR/PRE/REFsb log for replay by an external
+    /// timing-conformance checker.
+    pub fn set_record_commands(&mut self, on: bool) {
+        for ch in &mut self.channels {
+            ch.set_record_commands(on);
+        }
+    }
+
     /// Total data moved across all channels (reads + writes).
     pub fn total_data(&self) -> DataSize {
         self.channels.iter().map(|c| c.stats().total_data()).sum()

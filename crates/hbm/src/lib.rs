@@ -42,7 +42,7 @@ mod region;
 mod timing;
 
 pub use bank::{Bank, BankState};
-pub use channel::{Channel, ChannelStats, Direction, TimingError};
+pub use channel::{Channel, ChannelStats, Direction, HbmCommand, HbmCommandKind, TimingError};
 pub use controller::{
     AccessPattern, AccessReport, FrameOp, OpenPageController, PfiConfig, PfiController,
     RandomAccessController, SustainedReport,

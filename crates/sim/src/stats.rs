@@ -123,7 +123,6 @@ impl MeanVar {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Histogram {
     samples: Vec<f64>,
-    sorted: bool,
 }
 
 impl Histogram {
@@ -135,7 +134,6 @@ impl Histogram {
     /// Record one sample.
     pub fn record(&mut self, x: f64) {
         self.samples.push(x);
-        self.sorted = false;
     }
 
     /// Number of samples.
@@ -143,19 +141,32 @@ impl Histogram {
         self.samples.len()
     }
 
+    /// The raw samples, in recording order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Append every sample of `other` (e.g. merging per-plane delay
+    /// histograms in plane order).
+    pub fn merge_from(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
     /// Exact quantile `q` in \[0,1\] (nearest-rank). None if empty.
-    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+    ///
+    /// Non-mutating: selects the nearest-rank sample out of a scratch
+    /// copy, so report code can query quantiles through `&self`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.samples.is_empty() {
             return None;
         }
         assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
-        if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in histogram"));
-            self.sorted = true;
-        }
         let idx = ((q * (self.samples.len() - 1) as f64).round()) as usize;
-        Some(self.samples[idx])
+        let mut scratch = self.samples.clone();
+        let (_, nth, _) = scratch.select_nth_unstable_by(idx, |a, b| {
+            a.partial_cmp(b).expect("NaN sample in histogram")
+        });
+        Some(*nth)
     }
 
     /// Sample mean. None if empty.
@@ -371,7 +382,7 @@ mod tests {
 
     #[test]
     fn histogram_empty() {
-        let mut h = Histogram::new();
+        let h = Histogram::new();
         assert_eq!(h.quantile(0.5), None);
         assert_eq!(h.mean(), None);
         assert_eq!(h.max(), None);

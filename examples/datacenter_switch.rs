@@ -40,7 +40,7 @@ fn run_variant(name: &str, cfg: RouterConfig, load: f64) {
     let horizon = SimTime::from_ns(120_000);
     let t = trace(&cfg, load, horizon, 99);
     let mut sw = HbmSwitch::new(cfg.clone()).expect("valid config");
-    let mut r = sw.run(&t, SimTime::from_ns(900_000));
+    let r = sw.run(&t, SimTime::from_ns(900_000));
     println!(
         "{name}: frame {} | mean delay {:.2} us | p99 {:.2} us | delivered {:.2}% | HBM util {:.0}%",
         cfg.frame_size(),

@@ -62,11 +62,10 @@ fn main() {
         report.dropped_input, report.dropped_frames
     );
     println!("HBM utilization   : {:.1}%", report.hbm_utilization * 100.0);
-    let mut delays = report.delays_ns.clone();
     println!(
         "delay mean/p99    : {:.2} us / {:.2} us",
-        delays.mean().unwrap_or(0.0) / 1e3,
-        delays.quantile(0.99).unwrap_or(0.0) / 1e3
+        report.delays_ns.mean().unwrap_or(0.0) / 1e3,
+        report.delays_ns.quantile(0.99).unwrap_or(0.0) / 1e3
     );
     println!(
         "SRAM peaks        : input {} | tail {} | head {}",

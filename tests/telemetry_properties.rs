@@ -1,0 +1,156 @@
+//! Property-based tests for the telemetry layer: histogram merge is a
+//! commutative monoid, quantile bounds bracket the exact nearest-rank
+//! statistic, and counter totals are invariant under repartitioning
+//! work across any number of per-plane registries.
+
+use proptest::prelude::*;
+use rip_telemetry::{LogHistogram, MetricsRegistry};
+use rip_units::SimTime;
+
+fn hist(values: &[f64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Positive finite samples spanning ~15 orders of magnitude.
+fn sample() -> impl Strategy<Value = f64> {
+    (1e-3f64..1e12).prop_map(|v| v)
+}
+
+proptest! {
+    /// Merging histograms is commutative: recording two sample sets in
+    /// either merge order yields bit-identical state (no stored float
+    /// sums whose accumulation order could differ).
+    #[test]
+    fn histogram_merge_is_commutative(
+        a in prop::collection::vec(sample(), 0..200),
+        b in prop::collection::vec(sample(), 0..200),
+    ) {
+        let (ha, hb) = (hist(&a), hist(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+}
+
+proptest! {
+    /// Merging histograms is associative — the property that makes the
+    /// per-plane merge independent of how planes are grouped.
+    #[test]
+    fn histogram_merge_is_associative(
+        a in prop::collection::vec(sample(), 0..100),
+        b in prop::collection::vec(sample(), 0..100),
+        c in prop::collection::vec(sample(), 0..100),
+    ) {
+        let (ha, hb, hc) = (hist(&a), hist(&b), hist(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+}
+
+proptest! {
+    /// Merging equals recording everything into one histogram.
+    #[test]
+    fn histogram_merge_equals_bulk_record(
+        a in prop::collection::vec(sample(), 0..200),
+        b in prop::collection::vec(sample(), 0..200),
+    ) {
+        let mut merged = hist(&a);
+        merged.merge(&hist(&b));
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(merged, hist(&all));
+    }
+}
+
+proptest! {
+    /// `quantile_bounds` brackets the exact nearest-rank order
+    /// statistic of the recorded samples (the log-bucket guarantee:
+    /// within one bucket, i.e. <= 25% relative error).
+    #[test]
+    fn quantile_bounds_bracket_exact_order_statistic(
+        values in prop::collection::vec(sample(), 1..300),
+        q in 0.0f64..1.0,
+    ) {
+        let h = hist(&values);
+        let mut sorted = values.clone();
+        sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+        let exact = sorted[rank];
+        let (lo, hi) = h.quantile_bounds(q).expect("non-empty");
+        prop_assert!(
+            lo <= exact && exact <= hi,
+            "exact {exact} outside bucket [{lo}, {hi}] at q={q}"
+        );
+    }
+}
+
+proptest! {
+    /// Counter totals are invariant under partitioning the increments
+    /// across `k` per-plane registries and merging — the invariant the
+    /// SPS report relies on when the plane count changes.
+    #[test]
+    fn counter_totals_invariant_under_repartitioning(
+        incs in prop::collection::vec((0usize..4, 1u64..1000), 1..200),
+        k in 1usize..6,
+    ) {
+        let names = ["a", "b", "c", "d"];
+        let mut whole = MetricsRegistry::new();
+        for &(n, by) in &incs {
+            whole.inc(names[n], by);
+        }
+        let mut parts: Vec<MetricsRegistry> =
+            (0..k).map(|_| MetricsRegistry::new()).collect();
+        for (i, &(n, by)) in incs.iter().enumerate() {
+            parts[i % k].inc(names[n], by);
+        }
+        let mut merged = MetricsRegistry::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        for n in names {
+            prop_assert_eq!(merged.counter(n), whole.counter(n));
+        }
+    }
+}
+
+proptest! {
+    /// Full-registry merge (counters + gauges + histograms) is
+    /// order-independent.
+    #[test]
+    fn registry_merge_is_commutative(
+        a in prop::collection::vec(sample(), 0..100),
+        b in prop::collection::vec(sample(), 0..100),
+        ta in 0u64..1_000_000,
+        tb in 0u64..1_000_000,
+    ) {
+        let mut ra = MetricsRegistry::new();
+        for &v in &a {
+            ra.observe("h", v);
+            ra.inc("n", 1);
+        }
+        ra.set_gauge("g", SimTime::from_ns(ta), a.len() as f64);
+        let mut rb = MetricsRegistry::new();
+        for &v in &b {
+            rb.observe("h", v);
+            rb.inc("n", 1);
+        }
+        rb.set_gauge("g", SimTime::from_ns(tb), b.len() as f64);
+        let mut ab = ra.clone();
+        ab.merge(&rb);
+        let mut ba = rb.clone();
+        ba.merge(&ra);
+        prop_assert_eq!(ab, ba);
+    }
+}
