@@ -18,12 +18,16 @@ bench_dir="$(mktemp -d)"
 trap 'rm -rf "$bench_dir"' EXIT
 cargo build --release -q -p rip-bench --bin repro
 (cd "$bench_dir" && "$OLDPWD/target/release/repro" bench --quick > /dev/null)
-for f in BENCH_sps_throughput.json BENCH_hbm_access.json; do
+for f in BENCH_sps_throughput.json BENCH_hbm_access.json BENCH_streaming_memory.json; do
   grep -o '"[a-z_0-9]*":' "$bench_dir/$f" | sort -u > "$bench_dir/$f.keys"
 done
 cat "$bench_dir"/BENCH_sps_throughput.json.keys "$bench_dir"/BENCH_hbm_access.json.keys \
+  "$bench_dir"/BENCH_streaming_memory.json.keys \
   | sort -u > "$bench_dir/bench.keys"
 diff -u tests/bench_schema_expected.txt "$bench_dir/bench.keys" \
   || { echo "BENCH_*.json schema drifted from tests/bench_schema_expected.txt"; exit 1; }
+
+echo "==> streaming soak smoke (bounded in-flight memory)"
+(cd "$bench_dir" && "$OLDPWD/target/release/repro" soak --quick)
 
 echo "CI OK"

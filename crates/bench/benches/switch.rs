@@ -20,7 +20,7 @@ fn bench_switch_des(c: &mut Criterion) {
         let trace = uniform_trace(&cfg, load, horizon, 0xBE);
         g.bench_function(format!("load_{load}"), |b| {
             b.iter(|| {
-                let mut sw = HbmSwitch::new(cfg.clone()).unwrap();
+                let sw = HbmSwitch::new(cfg.clone()).unwrap();
                 black_box(sw.run(&trace, drain))
             })
         });

@@ -6,9 +6,14 @@
 //!   `E<n>`    run only the listed experiments
 //!
 //! `repro bench [--quick]` instead runs the perf-trajectory benchmarks
-//! and writes `BENCH_sps_throughput.json` and `BENCH_hbm_access.json`
-//! (stable schema, sim-time-derived metrics only — two same-seed runs
-//! are byte-identical).
+//! and writes `BENCH_sps_throughput.json`, `BENCH_hbm_access.json` and
+//! `BENCH_streaming_memory.json` (stable schema, sim-time-derived
+//! metrics only — two same-seed runs are byte-identical).
+//!
+//! `repro soak [--quick]` runs the long-horizon streaming soak check:
+//! it quadruples the arrival horizon and asserts that offered traffic
+//! scales with it while the engine's peak in-flight packet count stays
+//! flat (O(in-flight) memory, not O(trace)). Exits non-zero on failure.
 
 use rip_analysis::{
     area, buffering, capacity, datacenter, internal_traffic, modularity, power, random_access,
@@ -17,8 +22,10 @@ use rip_analysis::{
 use rip_baselines::{
     DesignPoint, LoadBalancedRouter, MeshFabric, ParallelPacketSwitch, SprayingHbmSwitch,
 };
-use rip_bench::{f, switch_trace, uniform_trace, Table};
-use rip_core::{HbmSwitch, MimicChecker, RouterConfig, SpsRouter, SpsWorkload};
+use rip_bench::{f, switch_trace, uniform_source, uniform_trace, Table};
+use rip_core::{
+    DrainPolicy, FaultPlan, HbmSwitch, MimicChecker, RouterConfig, SpsRouter, SpsWorkload,
+};
 use rip_hbm::{
     AccessPattern, Direction, HbmGeometry, HbmGroup, HbmTiming, OpenPageController, PfiConfig,
     PfiController, RandomAccessController, RegionMode,
@@ -43,6 +50,11 @@ fn main() {
     if args.first().map(String::as_str) == Some("bench") {
         let quick = args.iter().any(|a| a == "--quick");
         run_bench(quick);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("soak") {
+        let quick = args.iter().any(|a| a == "--quick");
+        run_soak(quick);
         return;
     }
     let opts = Opts {
@@ -278,7 +290,7 @@ fn e3(o: &Opts) {
                         horizon,
                         0xE3,
                     );
-                    let mut sw = HbmSwitch::new(cfg).unwrap();
+                    let sw = HbmSwitch::new(cfg).unwrap();
                     let r = sw.run(&trace, drain);
                     (
                         name.clone(),
@@ -307,15 +319,15 @@ fn e3(o: &Opts) {
 fn e4(o: &Opts) {
     let mut cfg = RouterConfig::small();
     cfg.hbm_geometry.channels_per_stack = 16; // headroom for speedup
+    cfg.drain = DrainPolicy::HorizonFactor { factor: 8 };
     let horizon_us: u64 = if o.quick { 40 } else { 120 };
     let horizon = SimTime::from_ns(horizon_us * 1000);
-    let drain = SimTime::from_ns(horizon_us * 8000);
     let trace = uniform_trace(&cfg, 0.85, horizon, 0xE4);
     let mut t = Table::new(&["speedup", "mean lag", "p99 lag", "max lag", "compared"]);
     for speedup in [1.0, 1.25, 1.5, 2.0] {
         let mut c = cfg.clone();
         c.speedup = speedup;
-        let r = MimicChecker::new(c).run(&trace, drain);
+        let r = MimicChecker::new(c).run_to_drain(&trace, horizon);
         t.row(&[
             f(speedup, 2),
             format!("{}", r.mean_lag),
@@ -514,7 +526,7 @@ fn e9(o: &Opts) {
     let horizon_us: u64 = if o.quick { 50 } else { 150 };
     let horizon = SimTime::from_ns(horizon_us * 1000);
     let trace = uniform_trace(&cfg, 0.9, horizon, 0xE9);
-    let mut sw = HbmSwitch::new(cfg.clone()).unwrap();
+    let sw = HbmSwitch::new(cfg.clone()).unwrap();
     let r = sw.run(&trace, SimTime::from_ns(horizon_us * 4000));
     let pfi_sram = r.tail_peak + r.head_peak + r.input_peak;
     let spray = SprayingHbmSwitch::new(
@@ -687,7 +699,7 @@ fn e14(o: &Opts) {
                 cfg.batch_timeout_batches = 0;
             }
             let trace = uniform_trace(&cfg, load, horizon, 0xE14);
-            let mut sw = HbmSwitch::new(cfg).unwrap();
+            let sw = HbmSwitch::new(cfg).unwrap();
             let r = sw.run(&trace, drain);
             let mean = r.delays_ns.mean().unwrap_or(f64::NAN) / 1000.0;
             let p99 = r.delays_ns.quantile(0.99).unwrap_or(f64::NAN) / 1000.0;
@@ -732,7 +744,7 @@ fn e15(o: &Opts) {
     // Egress side: output ports hash flows over alpha x W lanes.
     let horizon = SimTime::from_ns(if o.quick { 40_000 } else { 120_000 });
     let trace = uniform_trace(&cfg, 0.8, horizon, 0xE15);
-    let mut sw = HbmSwitch::new(cfg).unwrap();
+    let sw = HbmSwitch::new(cfg).unwrap();
     let r = sw.run(&trace, SimTime::from_ps(horizon.as_ps() * 4));
     println!(
         "egress lane spread CV across fibers x wavelengths: {:.3} (0 = perfectly even)",
@@ -845,7 +857,7 @@ fn e18(o: &Opts) {
             SimTime::from_ns(horizon_us * 1000),
             0xE18,
         );
-        let mut sw = HbmSwitch::new(cfg.clone()).unwrap();
+        let sw = HbmSwitch::new(cfg.clone()).unwrap();
         let r = sw.run(&trace, SimTime::from_ns(horizon_us * 1300));
         let pfi = PfiController::new(
             cfg.pfi(),
@@ -944,7 +956,7 @@ fn e20(o: &Opts) {
         format!("{:.1}%", pps.reordered_fraction * 100.0),
         format!("{}", pps.peak_reorder),
     ]);
-    let mut sw = HbmSwitch::new(cfg.clone()).unwrap();
+    let sw = HbmSwitch::new(cfg.clone()).unwrap();
     let r = sw.run(&trace, SimTime::from_ps(horizon.as_ps() * 4));
     let mean = r
         .delays_ns
@@ -1012,6 +1024,39 @@ struct HbmAccessBench {
     cmd_ref: u64,
     random_1500b_reduction: f64,
     random_64b_reduction: f64,
+}
+
+/// `BENCH_streaming_memory.json`: the E22 long-horizon soak sweep. The
+/// streaming engine's working set is its peak in-flight packet count;
+/// `batch_trace_bytes` is the documented counterfactual — what a
+/// materialized trace of the same run would occupy, growing linearly
+/// with the horizon while `peak_in_flight_packets` stays flat.
+#[derive(serde::Serialize)]
+struct StreamingMemoryBench {
+    schema: &'static str,
+    config: &'static str,
+    seed: u64,
+    load: f64,
+    drain_factor: u64,
+    horizons_ns: Vec<u64>,
+    offered_packets: Vec<u64>,
+    delivered_packets: Vec<u64>,
+    peak_in_flight_packets: Vec<u64>,
+    batch_trace_bytes: Vec<u64>,
+}
+
+/// Run the streaming engine at `load` over `horizon` and return its
+/// consuming report (no trace is ever materialized).
+fn stream_run(
+    cfg: &RouterConfig,
+    load: f64,
+    horizon: SimTime,
+    seed: u64,
+) -> rip_core::SwitchReport {
+    let src = uniform_source(cfg, load, horizon, seed);
+    let mut sw = HbmSwitch::new(cfg.clone()).expect("valid config");
+    sw.run_source(src, cfg.drain.deadline(horizon), &FaultPlan::default());
+    sw.into_report()
 }
 
 fn write_json<T: serde::Serialize>(path: &str, value: &T) {
@@ -1136,5 +1181,84 @@ fn run_bench(quick: bool) {
         random_64b_reduction: r64.reduction,
     };
     write_json("BENCH_hbm_access.json", &hbm);
+
+    // E22 — streaming-engine memory vs horizon: offered work grows with
+    // the horizon, the engine's in-flight working set does not.
+    let soak_cfg = RouterConfig::small();
+    let soak_seed = 0x50AC;
+    let soak_load = 0.8;
+    let base_ns: u64 = if quick { 20_000 } else { 100_000 };
+    let horizons_ns: Vec<u64> = vec![base_ns, base_ns * 2, base_ns * 4];
+    let mut offered = Vec::new();
+    let mut delivered = Vec::new();
+    let mut peaks = Vec::new();
+    let mut batch_bytes = Vec::new();
+    for &h_ns in &horizons_ns {
+        let r = stream_run(&soak_cfg, soak_load, SimTime::from_ns(h_ns), soak_seed);
+        offered.push(r.offered_packets);
+        delivered.push(r.delivered_packets);
+        peaks.push(r.peak_in_flight_packets);
+        batch_bytes.push(r.offered_packets * std::mem::size_of::<rip_traffic::Packet>() as u64);
+    }
+    let streaming = StreamingMemoryBench {
+        schema: "rip-bench/streaming_memory/v1",
+        config: "small",
+        seed: soak_seed,
+        load: soak_load,
+        drain_factor: match soak_cfg.drain {
+            DrainPolicy::HorizonFactor { factor } => factor,
+        },
+        horizons_ns,
+        offered_packets: offered,
+        delivered_packets: delivered,
+        peak_in_flight_packets: peaks,
+        batch_trace_bytes: batch_bytes,
+    };
+    write_json("BENCH_streaming_memory.json", &streaming);
     println!("\ndone.");
+}
+
+// --------------------------------------------------------------------
+// `repro soak` — self-asserting long-horizon streaming check
+// --------------------------------------------------------------------
+
+/// Quadruple the arrival horizon and assert that offered traffic scales
+/// with it while the streaming engine's peak in-flight packet count
+/// stays flat. Exits non-zero if either property fails.
+fn run_soak(quick: bool) {
+    println!("Petabit Router-in-a-Package — streaming soak check");
+    println!("mode: {}", if quick { "quick" } else { "full" });
+    let cfg = RouterConfig::small();
+    let seed = 0x50AC;
+    let load = 0.8;
+    let h1 = SimTime::from_ns(if quick { 20_000 } else { 100_000 });
+    let h2 = SimTime::from_ps(h1.as_ps() * 4);
+    let r1 = stream_run(&cfg, load, h1, seed);
+    let r2 = stream_run(&cfg, load, h2, seed);
+    for (h, r) in [(h1, &r1), (h2, &r2)] {
+        println!(
+            "horizon {h}: offered {} packets, delivered {}, peak in-flight {}",
+            r.offered_packets, r.delivered_packets, r.peak_in_flight_packets
+        );
+    }
+    // 4x the horizon must offer at least ~3x the packets (Poisson noise
+    // margin) while the working set stays bounded: flat up to a small
+    // additive allowance, nowhere near the 4x a materialized trace pays.
+    let offered_scales = r2.offered_packets >= 3 * r1.offered_packets;
+    let peak_flat = r2.peak_in_flight_packets <= 2 * r1.peak_in_flight_packets + 64;
+    if !offered_scales || !peak_flat {
+        eprintln!(
+            "soak FAILED: offered {} -> {} (want >= 3x), peak in-flight {} -> {} (want flat)",
+            r1.offered_packets,
+            r2.offered_packets,
+            r1.peak_in_flight_packets,
+            r2.peak_in_flight_packets
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "soak OK: offered scaled {:.2}x, peak in-flight {:.2}x (bounded)",
+        r2.offered_packets as f64 / r1.offered_packets.max(1) as f64,
+        r2.peak_in_flight_packets as f64 / r1.peak_in_flight_packets.max(1) as f64
+    );
 }

@@ -9,20 +9,28 @@
 //! event tracing on and streams the full telemetry surface — switch
 //! events, counters, gauges, histogram summaries, queue-depth series —
 //! to stdout as deterministic JSONL (sim-time-stamped only).
+//! `ripsim soak [spec.json]` reruns the spec at 4x its arrival horizon
+//! and checks the streaming engine's in-flight working set stays flat.
+//!
+//! All simulation modes are pull-based: arrivals are generated on
+//! demand by a merged packet source, never materialized as a trace, so
+//! the horizon can grow without the memory footprint following it.
 //!
 //! ```text
 //! ripsim --example-spec > my_sim.json
 //! ripsim my_sim.json
 //! ripsim trace my_sim.json > telemetry.jsonl
+//! ripsim soak my_sim.json
 //! ripsim resilience
 //! ```
 
 use std::collections::HashMap;
 
 use rip_bench::Table;
-use rip_core::{FaultKind, FaultPlan, HbmSwitch, RouterConfig};
+use rip_core::{DrainPolicy, FaultKind, FaultPlan, HbmSwitch, RouterConfig};
 use rip_traffic::{
-    merge_streams, ArrivalProcess, PacketGenerator, SizeDistribution, TrafficMatrix,
+    merge_streams, ArrivalProcess, BoundedSource, MergedSource, PacketGenerator, SizeDistribution,
+    TrafficMatrix,
 };
 use rip_units::{DataSize, SimTime};
 use serde::{Deserialize, Serialize};
@@ -142,8 +150,13 @@ impl SimSpec {
     }
 }
 
-/// Validate `spec` and build its arrival-ordered packet trace.
-fn build_workload(spec: &SimSpec) -> Result<Vec<rip_traffic::Packet>, String> {
+/// Validate `spec` and build its pull-based packet source: the same
+/// arrival sequence the old materialized trace held, streamed lazily
+/// (one bounded generator per port, deterministically merged).
+fn build_source(
+    spec: &SimSpec,
+    horizon: SimTime,
+) -> Result<MergedSource<BoundedSource<PacketGenerator>>, String> {
     spec.router.validate().map_err(|e| e.to_string())?;
     if !(0.0..=1.0).contains(&spec.load) {
         return Err(format!("load {} out of [0, 1]", spec.load));
@@ -153,10 +166,9 @@ fn build_workload(spec: &SimSpec) -> Result<Vec<rip_traffic::Packet>, String> {
     }
     let n = spec.router.ribbons;
     let tm = spec.matrix.build(n)?;
-    let horizon = SimTime::from_ns(spec.horizon_us * 1000);
-    let streams: Vec<_> = (0..n)
+    let lanes: Vec<BoundedSource<PacketGenerator>> = (0..n)
         .map(|port| {
-            let mut g = PacketGenerator::new(
+            let g = PacketGenerator::new(
                 port,
                 spec.router.port_rate(),
                 (spec.load * tm.row_load(port)).min(1.0),
@@ -166,27 +178,36 @@ fn build_workload(spec: &SimSpec) -> Result<Vec<rip_traffic::Packet>, String> {
                 spec.flows,
                 rip_sim::rng::derive_seed(spec.seed, port as u64),
             )?;
-            Ok(g.generate_until(horizon))
+            Ok(BoundedSource::new(g, horizon))
         })
         .collect::<Result<Vec<_>, String>>()?;
-    Ok(merge_streams(streams))
+    Ok(MergedSource::new(lanes))
+}
+
+/// The spec's simulation deadline: its drain factor applied on top of
+/// the arrival horizon by the explicit [`DrainPolicy`].
+fn drain_deadline(spec: &SimSpec, horizon: SimTime) -> SimTime {
+    DrainPolicy::HorizonFactor {
+        factor: 1 + spec.drain_factor,
+    }
+    .deadline(horizon)
 }
 
 fn run(spec: &SimSpec) -> Result<(), String> {
-    let trace = build_workload(spec)?;
+    let horizon = SimTime::from_ns(spec.horizon_us * 1000);
+    let source = build_source(spec, horizon)?;
     let n = spec.router.ribbons;
     println!(
-        "spec: {} ports x {}, frame {}, load {:.2}, {} packets over {} us",
+        "spec: {} ports x {}, frame {}, load {:.2}, streaming arrivals over {} us",
         n,
         spec.router.port_rate(),
         spec.router.frame_size(),
         spec.load,
-        trace.len(),
         spec.horizon_us
     );
     let mut sw = HbmSwitch::new(spec.router.clone()).map_err(|e| e.to_string())?;
-    let drain = SimTime::from_ns(spec.horizon_us * 1000 * (1 + spec.drain_factor));
-    let r = sw.run(&trace, drain);
+    sw.run_source(source, drain_deadline(spec, horizon), &FaultPlan::default());
+    let r = sw.into_report();
 
     let mut t = Table::new(&["metric", "value"]);
     t.row(&["offered packets".into(), r.offered_packets.to_string()]);
@@ -217,7 +238,49 @@ fn run(spec: &SimSpec) -> Result<(), String> {
         format!("{} / {} / {}", r.input_peak, r.tail_peak, r.head_peak),
     ]);
     t.row(&["padding injected".into(), format!("{}", r.padded_bytes)]);
+    t.row(&[
+        "peak in-flight packets".into(),
+        r.peak_in_flight_packets.to_string(),
+    ]);
     t.print("ripsim report");
+    Ok(())
+}
+
+/// `ripsim soak [spec.json]`: run the spec streaming at its horizon and
+/// again at 4x the horizon, and check that offered traffic scales with
+/// the horizon while the engine's peak in-flight packet count stays
+/// flat — the O(in-flight) memory property of the pull-based engine.
+fn run_soak(spec: &SimSpec) -> Result<(), String> {
+    let mut reports = Vec::new();
+    for mult in [1u64, 4] {
+        let horizon = SimTime::from_ns(spec.horizon_us * 1000 * mult);
+        let source = build_source(spec, horizon)?;
+        let mut sw = HbmSwitch::new(spec.router.clone()).map_err(|e| e.to_string())?;
+        sw.run_source(source, drain_deadline(spec, horizon), &FaultPlan::default());
+        let r = sw.into_report();
+        println!(
+            "horizon {} us: offered {}, delivered {}, peak in-flight {}",
+            spec.horizon_us * mult,
+            r.offered_packets,
+            r.delivered_packets,
+            r.peak_in_flight_packets
+        );
+        reports.push(r);
+    }
+    let (r1, r2) = (&reports[0], &reports[1]);
+    if r2.offered_packets < 3 * r1.offered_packets {
+        return Err(format!(
+            "offered packets did not scale with the horizon: {} -> {}",
+            r1.offered_packets, r2.offered_packets
+        ));
+    }
+    if r2.peak_in_flight_packets > 2 * r1.peak_in_flight_packets + 64 {
+        return Err(format!(
+            "peak in-flight grew with the horizon: {} -> {}",
+            r1.peak_in_flight_packets, r2.peak_in_flight_packets
+        ));
+    }
+    println!("soak OK: in-flight working set stays bounded at 4x the horizon");
     Ok(())
 }
 
@@ -291,18 +354,31 @@ fn emit<T: Serialize>(line: &T) {
 /// to stdout as JSONL. Every timestamp is sim time (picoseconds), so
 /// two same-seed runs produce byte-identical output.
 fn run_trace(spec: &SimSpec) -> Result<(), String> {
-    let trace = build_workload(spec)?;
+    let horizon = SimTime::from_ns(spec.horizon_us * 1000);
+    let source = build_source(spec, horizon)?;
     let mut sw = HbmSwitch::new(spec.router.clone()).map_err(|e| e.to_string())?;
     sw.enable_trace(1 << 20);
-    let drain = SimTime::from_ns(spec.horizon_us * 1000 * (1 + spec.drain_factor));
-    let r = sw.run(&trace, drain);
+    sw.run_source(source, drain_deadline(spec, horizon), &FaultPlan::default());
+    // Copy the series out before consuming the switch for its report;
+    // the emission order below is part of the JSONL contract.
+    let events: Vec<(SimTime, rip_core::SwitchEvent)> = sw
+        .trace()
+        .expect("tracing enabled")
+        .events()
+        .copied()
+        .collect();
+    let hbm_points: Vec<(SimTime, f64)> = sw.hbm_occupancy().points().to_vec();
+    let output_points: Vec<Vec<(SimTime, f64)>> = (0..spec.router.ribbons)
+        .map(|o| sw.output_depth(o).points().to_vec())
+        .collect();
+    let r = sw.into_report();
 
     emit(&MetaLine {
         record: "meta".into(),
         schema: "rip-trace/v1".into(),
         spec: spec.clone(),
     });
-    for &(at, event) in sw.trace().expect("tracing enabled").events() {
+    for &(at, event) in &events {
         emit(&EventLine {
             record: "event".into(),
             t_ps: at.as_ps(),
@@ -335,7 +411,7 @@ fn run_trace(spec: &SimSpec) -> Result<(), String> {
             p99: h.quantile(0.99),
         });
     }
-    for &(t, value) in sw.hbm_occupancy().points() {
+    for &(t, value) in &hbm_points {
         emit(&SeriesLine {
             record: "series".into(),
             name: "hbm.frame_occupancy".into(),
@@ -343,9 +419,9 @@ fn run_trace(spec: &SimSpec) -> Result<(), String> {
             value,
         });
     }
-    for o in 0..spec.router.ribbons {
+    for (o, points) in output_points.iter().enumerate() {
         let name = format!("out{o:02}.queue_depth_frames");
-        for &(t, value) in sw.output_depth(o).points() {
+        for &(t, value) in points {
             emit(&SeriesLine {
                 record: "series".into(),
                 name: name.clone(),
@@ -423,7 +499,7 @@ fn run_resilience() {
     // ~3/4 cliff, the post-recovery window the backlog catch-up.
     let trace = uniform_trace(&cfg, 0.75, horizon, 42);
     let sizes: HashMap<u64, DataSize> = trace.iter().map(|p| (p.id, p.size)).collect();
-    let mut sw = HbmSwitch::new(cfg.clone()).expect("valid config");
+    let sw = HbmSwitch::new(cfg.clone()).expect("valid config");
     let r = sw.run_with_faults(&trace, drain, &plan);
 
     let window_secs = 150e-6;
@@ -469,7 +545,7 @@ fn run_resilience() {
     // same fault costs zero packets.
     let safe_load = 0.5;
     let trace = uniform_trace(&cfg, safe_load, horizon, 42);
-    let mut sw = HbmSwitch::new(cfg).expect("valid config");
+    let sw = HbmSwitch::new(cfg).expect("valid config");
     let r = sw.run_with_faults(&trace, drain, &plan);
     println!(
         "at offered {:.2} (<= 0.7 of degraded capacity): {} fault drops, {} congestion drops, delivery {:.4}%",
@@ -512,6 +588,14 @@ fn main() {
         }
         return;
     }
+    if args.first().map(String::as_str) == Some("soak") {
+        let spec = args.get(1).map_or_else(SimSpec::example, |p| load_spec(p));
+        if let Err(e) = run_soak(&spec) {
+            eprintln!("ripsim: soak FAILED: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     if args.iter().any(|a| a == "--example-spec") {
         println!(
             "{}",
@@ -522,7 +606,7 @@ fn main() {
     let Some(path) = args.first() else {
         eprintln!(
             "usage: ripsim <spec.json> | ripsim trace [spec.json] | \
-             ripsim --example-spec | ripsim resilience"
+             ripsim soak [spec.json] | ripsim --example-spec | ripsim resilience"
         );
         std::process::exit(2);
     };

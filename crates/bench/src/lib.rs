@@ -6,7 +6,8 @@
 
 use rip_core::RouterConfig;
 use rip_traffic::{
-    merge_streams, ArrivalProcess, Packet, PacketGenerator, SizeDistribution, TrafficMatrix,
+    merge_streams, ArrivalProcess, BoundedSource, MergedSource, Packet, PacketGenerator,
+    SizeDistribution, TrafficMatrix,
 };
 use rip_units::SimTime;
 
@@ -48,6 +49,60 @@ pub fn switch_trace(
 /// Convenience: a uniform IMIX Poisson trace.
 pub fn uniform_trace(cfg: &RouterConfig, load: f64, horizon: SimTime, seed: u64) -> Vec<Packet> {
     switch_trace(
+        cfg,
+        &TrafficMatrix::uniform(cfg.ribbons, 1.0),
+        load,
+        SizeDistribution::Imix,
+        ArrivalProcess::Poisson,
+        horizon,
+        seed,
+    )
+}
+
+/// Pull-based counterpart of [`switch_trace`]: a merged source yielding
+/// the identical packet sequence without materializing the trace (one
+/// generator per port makes `(arrival, input, id)` unique, so the merge
+/// order equals the batch sort order).
+pub fn switch_source(
+    cfg: &RouterConfig,
+    tm: &TrafficMatrix,
+    load: f64,
+    sizes: SizeDistribution,
+    process: ArrivalProcess,
+    horizon: SimTime,
+    seed: u64,
+) -> MergedSource<BoundedSource<PacketGenerator>> {
+    let lanes: Vec<BoundedSource<PacketGenerator>> = (0..cfg.ribbons)
+        .filter_map(|i| {
+            let row_load = (load * tm.row_load(i)).min(1.0);
+            if row_load <= 0.0 {
+                return None;
+            }
+            let g = PacketGenerator::new(
+                i,
+                cfg.port_rate(),
+                row_load,
+                tm.row(i).to_vec(),
+                sizes.clone(),
+                process,
+                256,
+                rip_sim::rng::derive_seed(seed, i as u64),
+            )
+            .expect("valid generator");
+            Some(BoundedSource::new(g, horizon))
+        })
+        .collect();
+    MergedSource::new(lanes)
+}
+
+/// Pull-based counterpart of [`uniform_trace`].
+pub fn uniform_source(
+    cfg: &RouterConfig,
+    load: f64,
+    horizon: SimTime,
+    seed: u64,
+) -> MergedSource<BoundedSource<PacketGenerator>> {
+    switch_source(
         cfg,
         &TrafficMatrix::uniform(cfg.ribbons, 1.0),
         load,
@@ -131,6 +186,16 @@ mod tests {
         let t = uniform_trace(&cfg, 0.5, SimTime::from_ns(20_000), 1);
         assert!(!t.is_empty());
         assert!(t.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+    }
+
+    #[test]
+    fn source_builder_matches_trace_builder() {
+        use rip_traffic::PacketSource as _;
+        let cfg = RouterConfig::small();
+        let h = SimTime::from_ns(20_000);
+        let batch = uniform_trace(&cfg, 0.5, h, 1);
+        let streamed: Vec<Packet> = uniform_source(&cfg, 0.5, h, 1).packets().collect();
+        assert_eq!(batch, streamed);
     }
 
     #[test]

@@ -11,6 +11,54 @@ use crate::error::ConfigError;
 /// (input ports, crossbar ports and tail/head SRAM modules): 2,048 bits.
 pub const SRAM_INTERFACE_BITS: u64 = 2_048;
 
+/// How long a run keeps simulating after arrivals stop, so in-flight
+/// data can drain to the outputs.
+///
+/// Replaces the former hard-coded `drain = 2 × horizon`: the policy is
+/// carried on [`RouterConfig`], validated with it, and honored by the
+/// SPS router, the mimicking checker and the bench binaries. Absent
+/// from a serialized config, it deserializes to the default (factor 2),
+/// which is byte-identical to the old constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum DrainPolicy {
+    /// Simulate until `factor ×` the arrival horizon. `factor` counts
+    /// the horizon itself, so it must be at least 1 (1 = stop with the
+    /// arrivals, no extra drain time); the default is 2 — one extra
+    /// horizon of drain, ample for every admissible workload in the
+    /// experiment suite.
+    HorizonFactor {
+        /// Multiple of the arrival horizon to simulate in total.
+        factor: u64,
+    },
+}
+
+impl Default for DrainPolicy {
+    fn default() -> Self {
+        DrainPolicy::HorizonFactor { factor: 2 }
+    }
+}
+
+impl DrainPolicy {
+    /// The absolute simulation deadline for an arrival horizon.
+    pub fn deadline(&self, horizon: rip_units::SimTime) -> rip_units::SimTime {
+        match *self {
+            DrainPolicy::HorizonFactor { factor } => {
+                rip_units::SimTime::from_ps(horizon.as_ps().saturating_mul(factor))
+            }
+        }
+    }
+
+    /// Reject degenerate policies (a factor of 0 would end runs before
+    /// the first arrival).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        match *self {
+            DrainPolicy::HorizonFactor { factor: 0 } => Err(ConfigError::DrainFactorZero),
+            _ => Ok(()),
+        }
+    }
+}
+
 /// Complete configuration of one router-in-a-package.
 ///
 /// The reference values ([`RouterConfig::reference`]) are the paper's:
@@ -65,6 +113,10 @@ pub struct RouterConfig {
     /// Form a padded batch if a partial batch waits longer than this
     /// many batch times at an input port (0 disables the timeout).
     pub batch_timeout_batches: u64,
+    /// How long runs keep draining after arrivals end (defaults to
+    /// twice the arrival horizon; see [`DrainPolicy`]).
+    #[serde(default)]
+    pub drain: DrainPolicy,
 }
 
 impl RouterConfig {
@@ -86,6 +138,7 @@ impl RouterConfig {
             head_frames: 2,
             padding_and_bypass: true,
             batch_timeout_batches: 64,
+            drain: DrainPolicy::default(),
             stripe_channels: None,
             region_mode: RegionMode::Static,
             per_lane_egress: false,
@@ -121,6 +174,7 @@ impl RouterConfig {
             head_frames: 2,
             padding_and_bypass: true,
             batch_timeout_batches: 64,
+            drain: DrainPolicy::default(),
             stripe_channels: None,
             region_mode: RegionMode::Static,
             per_lane_egress: false,
@@ -158,6 +212,7 @@ impl RouterConfig {
             head_frames: 2,
             padding_and_bypass: true,
             batch_timeout_batches: 64,
+            drain: DrainPolicy::default(),
             stripe_channels: None,
             region_mode: RegionMode::Static,
             per_lane_egress: false,
@@ -193,6 +248,7 @@ impl RouterConfig {
             head_frames: 2,
             padding_and_bypass: true,
             batch_timeout_batches: 64,
+            drain: DrainPolicy::default(),
             stripe_channels: None,
             region_mode: RegionMode::Static,
             per_lane_egress: false,
@@ -323,6 +379,7 @@ impl RouterConfig {
         if self.region_frames() < 2 {
             return Err(ConfigError::RegionTooSmall);
         }
+        self.drain.validate()?;
         Ok(())
     }
 }

@@ -41,6 +41,9 @@ pub enum ConfigError {
     NoHeadFrames,
     /// A per-output HBM region cannot hold even two frames.
     RegionTooSmall,
+    /// The drain policy's horizon factor is zero (the run would end
+    /// before the arrival horizon itself).
+    DrainFactorZero,
     /// The PFI engine rejected the derived interleaving parameters.
     Pfi(PfiConfigError),
     /// The optical front end rejected the split parameters.
@@ -68,6 +71,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::RegionTooSmall => {
                 write!(f, "per-output HBM region must hold at least 2 frames")
+            }
+            ConfigError::DrainFactorZero => {
+                write!(f, "drain policy must cover at least 1× the arrival horizon")
             }
             ConfigError::Pfi(e) => write!(f, "PFI configuration invalid: {e}"),
             ConfigError::Photonics(msg) => {

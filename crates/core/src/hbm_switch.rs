@@ -6,9 +6,9 @@ use std::collections::{HashSet, VecDeque};
 
 use rip_hbm::{HbmGroup, PfiController};
 use rip_sim::stats::Histogram;
-use rip_sim::{EventQueue, Series, TraceLog};
+use rip_sim::{EventQueue, Feeder, Series, TraceLog};
 use rip_telemetry::MetricsRegistry;
-use rip_traffic::Packet;
+use rip_traffic::{Packet, PacketSource, ReplaySource};
 use rip_units::{DataRate, DataSize, SimTime, TimeDelta};
 use serde::{Deserialize, Serialize};
 
@@ -103,6 +103,11 @@ pub struct SwitchReport {
     pub dropped_bytes: DataSize,
     /// Padding bytes injected (timeout flushes and padded/bypass frames).
     pub padded_bytes: DataSize,
+    /// Peak number of packets simultaneously inside the switch
+    /// (accepted at an input but not yet delivered or dropped). This is
+    /// the streaming engine's memory high-water mark: it depends on
+    /// load and congestion, not on the simulated horizon.
+    pub peak_in_flight_packets: u64,
     /// Per-packet delay histogram, in nanoseconds.
     pub delays_ns: Histogram,
     /// All packet departures (for mimicking comparisons).
@@ -180,6 +185,11 @@ pub struct HbmSwitch {
     dropped_frames: u64,
     dropped_bytes: DataSize,
     padded_bytes: DataSize,
+    /// Packets accepted but not yet delivered or dropped, and the
+    /// high-water mark — the streaming engine's O(in-flight) memory
+    /// argument, measured.
+    live_packets: u64,
+    peak_in_flight: u64,
     // Fault / degraded-mode accounting.
     active_faults: usize,
     dead_channels: usize,
@@ -248,6 +258,8 @@ impl HbmSwitch {
             dropped_frames: 0,
             dropped_bytes: DataSize::ZERO,
             padded_bytes: DataSize::ZERO,
+            live_packets: 0,
+            peak_in_flight: 0,
             active_faults: 0,
             dead_channels: 0,
             last_roll: SimTime::ZERO,
@@ -517,6 +529,8 @@ impl HbmSwitch {
             self.record(now, SwitchEvent::InputDrop { input: p.input });
             return;
         }
+        self.live_packets += 1;
+        self.peak_in_flight = self.peak_in_flight.max(self.live_packets);
         let was_empty = a.queued(p.output).is_zero();
         let batches = a.push(&p);
         let queued = self.assemblers[p.input].total_queued();
@@ -551,6 +565,7 @@ impl HbmSwitch {
                 for batch in &frame.batches {
                     for c in &batch.chunks {
                         if self.dropped_ids.insert(c.packet) {
+                            self.live_packets -= 1;
                             if self.active_faults > 0 {
                                 self.dropped_packets_fault += 1;
                             } else {
@@ -626,6 +641,7 @@ impl HbmSwitch {
                         continue; // partially dropped packet: not delivered
                     }
                     self.delivered_packets += 1;
+                    self.live_packets -= 1;
                     self.delays_ns.record(d.time.since(d.arrival).as_ns_f64());
                     self.last_departure = self.last_departure.max(d.time);
                     self.departures.push(d);
@@ -639,8 +655,11 @@ impl HbmSwitch {
     }
 
     /// Run an arrival-ordered trace to completion (or `horizon`,
-    /// whichever comes first) and report.
-    pub fn run(&mut self, trace: &[Packet], horizon: SimTime) -> SwitchReport {
+    /// whichever comes first) and report. Consumes the switch: the
+    /// report takes ownership of the delay histogram and departure log
+    /// instead of cloning them. Use [`HbmSwitch::run_source`] to keep
+    /// the switch alive for post-run inspection.
+    pub fn run(self, trace: &[Packet], horizon: SimTime) -> SwitchReport {
         self.run_with_faults(trace, horizon, &FaultPlan::default())
     }
 
@@ -651,10 +670,29 @@ impl HbmSwitch {
     /// SPS layer applies them at the front end). An empty plan is
     /// byte-identical to [`HbmSwitch::run`].
     ///
+    /// Internally this replays the trace through the streaming engine
+    /// ([`HbmSwitch::run_source`]); same-seed results are byte-identical
+    /// to the materialized batch engine ([`HbmSwitch::run_preloaded`]).
+    ///
     /// # Panics
     /// Panics if the plan degrades the device past what the PFI engine
     /// can redistribute (see `PfiController::check_degraded`).
     pub fn run_with_faults(
+        mut self,
+        trace: &[Packet],
+        horizon: SimTime,
+        plan: &FaultPlan,
+    ) -> SwitchReport {
+        self.run_source(ReplaySource::new(trace), horizon, plan);
+        self.into_report()
+    }
+
+    /// The materialized-trace reference engine: pre-schedules every
+    /// arrival into the event queue before running, exactly like the
+    /// original batch pipeline (O(horizon) memory). Kept as the
+    /// byte-identity oracle for the streaming engine — the equivalence
+    /// property suite runs both and compares serialized reports.
+    pub fn run_preloaded(
         &mut self,
         trace: &[Packet],
         horizon: SimTime,
@@ -685,8 +723,84 @@ impl HbmSwitch {
         self.report()
     }
 
-    /// Build the report from current state.
+    /// The streaming engine: pull arrivals incrementally from `source`
+    /// as simulated time advances, instead of pre-scheduling the whole
+    /// trace. Memory is O(in-flight packets + event queue), independent
+    /// of the horizon, so soak runs can extend arbitrarily.
+    ///
+    /// Determinism / equivalence argument (the equivalence suite checks
+    /// this byte-for-byte): the batch engine's only use of the
+    /// pre-scheduled arrivals is that, at any instant `t`, arrivals pop
+    /// before every other event at `t` (they were scheduled first, so
+    /// they hold the lowest tie-break sequence numbers). This loop
+    /// reproduces that order with a one-packet [`Feeder`] lookahead:
+    /// the pending arrival is dispatched whenever its time is `<=` the
+    /// queue's next event time, and static faults are scheduled before
+    /// the initial `ReadTurn` just as the batch path orders them. The
+    /// `arrivals_done` flag (batch: an `ArrivalsDone` event at the last
+    /// arrival time) is set as soon as the source is exhausted; the
+    /// flag is only read by the read engine's shutdown check, which in
+    /// the batch order always runs after `ArrivalsDone` at equal times,
+    /// so the earlier set is unobservable.
+    ///
+    /// Does not consume the switch — inspect traces/series afterwards,
+    /// then call [`HbmSwitch::report`] or [`HbmSwitch::into_report`].
+    pub fn run_source<S: PacketSource>(&mut self, source: S, horizon: SimTime, plan: &FaultPlan) {
+        let mut source = source;
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        for ev in plan.events() {
+            if !ev.kind.is_photonic() {
+                q.schedule(ev.at, Ev::Fault(*ev));
+            }
+        }
+        q.schedule(SimTime::ZERO, Ev::ReadTurn);
+        let mut feeder = Feeder::new(|| source.next_packet().map(|p| (p.arrival, p)));
+        loop {
+            if feeder.is_exhausted() {
+                self.arrivals_done = true;
+            }
+            let take_arrival = match (feeder.peek_time(), q.peek_time()) {
+                (Some(a), Some(t)) => a <= t,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_arrival {
+                let at = feeder.peek_time().expect("peeked");
+                if at > horizon {
+                    break;
+                }
+                let (_, p) = feeder.pop().expect("peeked");
+                self.handle(&mut q, at, Ev::Arrival(p));
+            } else {
+                let t = q.peek_time().expect("peeked");
+                if t > horizon {
+                    break;
+                }
+                let (now, ev) = q.pop().expect("peeked");
+                self.handle(&mut q, now, ev);
+            }
+        }
+        self.roll_capacity(self.last_departure);
+    }
+
+    /// Build the report from current state, cloning the delay histogram
+    /// and departure log (use [`HbmSwitch::into_report`] at end of run
+    /// to avoid the clones).
     pub fn report(&self) -> SwitchReport {
+        self.build_report(self.delays_ns.clone(), self.departures.clone())
+    }
+
+    /// Build the end-of-run report, consuming the switch: the delay
+    /// histogram and the (potentially very large) departure log move
+    /// into the report instead of being cloned.
+    pub fn into_report(mut self) -> SwitchReport {
+        let delays_ns = std::mem::replace(&mut self.delays_ns, Histogram::new());
+        let departures = std::mem::take(&mut self.departures);
+        self.build_report(delays_ns, departures)
+    }
+
+    fn build_report(&self, delays_ns: Histogram, departures: Vec<PacketDeparture>) -> SwitchReport {
         let first = self.first_arrival.unwrap_or(SimTime::ZERO);
         let span = self.last_departure.saturating_since(first);
         let delivered_rate = if span.is_zero() {
@@ -716,8 +830,9 @@ impl HbmSwitch {
             dropped_frames: self.dropped_frames,
             dropped_bytes: self.dropped_bytes,
             padded_bytes: self.padded_bytes,
-            delays_ns: self.delays_ns.clone(),
-            departures: self.departures.clone(),
+            peak_in_flight_packets: self.peak_in_flight,
+            delays_ns,
+            departures,
             span,
             delivered_rate,
             delivery_fraction: if self.offered_bytes.is_zero() {
@@ -791,6 +906,10 @@ impl HbmSwitch {
                 hits as f64 / (hits + misses) as f64,
             );
         }
+        // Streaming-memory high-water mark; summed across planes when
+        // SPS merges registries, giving an upper bound on the router's
+        // total in-flight footprint.
+        m.inc("switch.packets.peak_in_flight", self.peak_in_flight);
         // Frame fill efficiency over everything written to the HBM.
         let cap = m.counter("switch.frame.capacity_bytes");
         if cap > 0 {
@@ -889,7 +1008,7 @@ mod tests {
     #[test]
     fn delivers_everything_at_moderate_uniform_load() {
         let cfg = RouterConfig::small();
-        let mut sw = HbmSwitch::new(cfg.clone()).unwrap();
+        let sw = HbmSwitch::new(cfg.clone()).unwrap();
         let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
         let t = trace(0.7, &tm, horizon_us(100), 42);
         assert!(!t.is_empty());
@@ -907,7 +1026,7 @@ mod tests {
     #[test]
     fn high_admissible_load_sustains_throughput() {
         let cfg = RouterConfig::small();
-        let mut sw = HbmSwitch::new(cfg.clone()).unwrap();
+        let sw = HbmSwitch::new(cfg.clone()).unwrap();
         let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
         let t = trace(0.92, &tm, horizon_us(150), 7);
         let offered: u64 = t.iter().map(|p| p.size.bits()).sum();
@@ -925,7 +1044,7 @@ mod tests {
     #[test]
     fn departures_per_output_are_fifo_per_flow_pair() {
         let cfg = RouterConfig::small();
-        let mut sw = HbmSwitch::new(cfg.clone()).unwrap();
+        let sw = HbmSwitch::new(cfg.clone()).unwrap();
         let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
         let t = trace(0.8, &tm, horizon_us(60), 3);
         let r = sw.run(&t, horizon_us(400));
@@ -964,7 +1083,7 @@ mod tests {
         cfg.hbm_geometry.stack_capacity = rip_units::DataSize::from_mib(32);
         cfg.validate().unwrap();
         assert_eq!(cfg.region_frames(), 256);
-        let mut sw = HbmSwitch::new(cfg.clone()).unwrap();
+        let sw = HbmSwitch::new(cfg.clone()).unwrap();
         // Every input sends 60% of its traffic to output 0: column load
         // 4 x 0.9 x 0.6 = 2.16 -> inadmissible.
         let tm = TrafficMatrix::hotspot(cfg.ribbons, 1.0, 0, 0.6);
@@ -983,7 +1102,7 @@ mod tests {
     #[test]
     fn low_load_latency_is_bounded_by_padding_and_bypass() {
         let cfg = RouterConfig::small();
-        let mut sw = HbmSwitch::new(cfg.clone()).unwrap();
+        let sw = HbmSwitch::new(cfg.clone()).unwrap();
         let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
         let t = trace(0.05, &tm, horizon_us(50), 9);
         let r = sw.run(&t, horizon_us(4000));
@@ -1004,7 +1123,7 @@ mod tests {
         let mut cfg = RouterConfig::small();
         cfg.padding_and_bypass = false;
         cfg.batch_timeout_batches = 0;
-        let mut sw = HbmSwitch::new(cfg.clone()).unwrap();
+        let sw = HbmSwitch::new(cfg.clone()).unwrap();
         let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
         let t = trace(0.05, &tm, horizon_us(50), 9);
         let r = sw.run(&t, horizon_us(4000));
@@ -1020,7 +1139,7 @@ mod tests {
         // strictly more than this run.
         let mut padded_cfg = RouterConfig::small();
         padded_cfg.padding_and_bypass = true;
-        let mut padded = HbmSwitch::new(padded_cfg).unwrap();
+        let padded = HbmSwitch::new(padded_cfg).unwrap();
         let rp = padded.run(&t, horizon_us(4000));
         assert!(rp.delivery_fraction > r.delivery_fraction);
     }
@@ -1029,9 +1148,9 @@ mod tests {
     fn hbm_utilization_tracks_load() {
         let cfg = RouterConfig::small();
         let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
-        let mut lo = HbmSwitch::new(cfg.clone()).unwrap();
+        let lo = HbmSwitch::new(cfg.clone()).unwrap();
         let r_lo = lo.run(&trace(0.3, &tm, horizon_us(100), 11), horizon_us(500));
-        let mut hi = HbmSwitch::new(cfg.clone()).unwrap();
+        let hi = HbmSwitch::new(cfg.clone()).unwrap();
         let r_hi = hi.run(&trace(0.9, &tm, horizon_us(100), 11), horizon_us(500));
         assert!(
             r_hi.hbm_utilization > r_lo.hbm_utilization,
@@ -1056,9 +1175,9 @@ mod tests {
         };
         let tm = TrafficMatrix::hotspot(4, 1.0, 0, 0.6);
         let t = trace(0.9, &tm, horizon_us(500), 5);
-        let mut s = HbmSwitch::new(mk(rip_hbm::RegionMode::Static)).unwrap();
+        let s = HbmSwitch::new(mk(rip_hbm::RegionMode::Static)).unwrap();
         let rs = s.run(&t, horizon_us(650));
-        let mut d = HbmSwitch::new(mk(rip_hbm::RegionMode::DynamicPages { page_rows: 8 })).unwrap();
+        let d = HbmSwitch::new(mk(rip_hbm::RegionMode::DynamicPages { page_rows: 8 })).unwrap();
         let rd = d.run(&t, horizon_us(650));
         assert!(rs.dropped_bytes.bytes() > 0, "static must drop here");
         assert!(
@@ -1075,11 +1194,11 @@ mod tests {
         let tm = TrafficMatrix::uniform(4, 1.0);
         let base = RouterConfig::small();
         let t = trace(0.6, &tm, horizon_us(80), 31);
-        let mut agg = HbmSwitch::new(base.clone()).unwrap();
+        let agg = HbmSwitch::new(base.clone()).unwrap();
         let ra = agg.run(&t, horizon_us(400));
         let mut cfg = base;
         cfg.per_lane_egress = true;
-        let mut lane = HbmSwitch::new(cfg).unwrap();
+        let lane = HbmSwitch::new(cfg).unwrap();
         let rl = lane.run(&t, horizon_us(400));
         // Both deliver everything at moderate load...
         assert!(ra.delivery_fraction > 0.999);
@@ -1097,8 +1216,12 @@ mod tests {
         let t = trace(0.8, &tm, horizon_us(60), 37);
         let mut sw = HbmSwitch::new(cfg).unwrap();
         sw.enable_trace(100_000);
-        let r = sw.run(&t, horizon_us(300));
-        assert!(r.delivered_packets > 0);
+        sw.run_source(
+            ReplaySource::new(&t),
+            horizon_us(300),
+            &FaultPlan::default(),
+        );
+        assert!(sw.report().delivered_packets > 0);
         let log = sw.trace().expect("tracing enabled");
         let mut writes = 0u64;
         let mut reads = 0u64;
@@ -1126,15 +1249,56 @@ mod tests {
         let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
         let t = trace(0.5, &tm, horizon_us(20), 38);
         let mut sw = HbmSwitch::new(cfg).unwrap();
-        sw.run(&t, horizon_us(100));
+        sw.run_source(
+            ReplaySource::new(&t),
+            horizon_us(100),
+            &FaultPlan::default(),
+        );
         assert!(sw.trace().is_none());
         assert_eq!(sw.hbm_occupancy().samples_seen(), 0);
     }
 
     #[test]
+    fn streaming_engine_matches_preloaded_engine() {
+        let cfg = RouterConfig::small();
+        let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
+        let t = trace(0.8, &tm, horizon_us(80), 19);
+        let mut batch = HbmSwitch::new(cfg.clone()).unwrap();
+        let rb = batch.run_preloaded(&t, horizon_us(400), &FaultPlan::default());
+        let rs = HbmSwitch::new(cfg).unwrap().run(&t, horizon_us(400));
+        assert_eq!(
+            format!("{rb:?}"),
+            format!("{rs:?}"),
+            "streaming run must be indistinguishable from the batch engine"
+        );
+    }
+
+    #[test]
+    fn in_flight_telemetry_balances() {
+        let cfg = RouterConfig::small();
+        let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
+        let t = trace(0.7, &tm, horizon_us(100), 23);
+        let r = HbmSwitch::new(cfg).unwrap().run(&t, horizon_us(400));
+        assert!(r.peak_in_flight_packets > 0);
+        assert!(r.peak_in_flight_packets <= r.offered_packets);
+        // The run drained fully, so the peak is far below the horizon's
+        // total packet count — the O(in-flight) memory claim.
+        assert!(
+            r.peak_in_flight_packets < r.offered_packets / 2,
+            "peak {} vs offered {}",
+            r.peak_in_flight_packets,
+            r.offered_packets
+        );
+        assert_eq!(
+            r.metrics.counter("switch.packets.peak_in_flight"),
+            r.peak_in_flight_packets
+        );
+    }
+
+    #[test]
     fn empty_trace_is_safe() {
         let cfg = RouterConfig::small();
-        let mut sw = HbmSwitch::new(cfg).unwrap();
+        let sw = HbmSwitch::new(cfg).unwrap();
         let r = sw.run(&[], horizon_us(1));
         assert_eq!(r.offered_packets, 0);
         assert_eq!(r.delivery_fraction, 1.0);
@@ -1145,9 +1309,9 @@ mod tests {
         let cfg = RouterConfig::small();
         let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
         let t = trace(0.6, &tm, horizon_us(40), 21);
-        let mut a = HbmSwitch::new(cfg.clone()).unwrap();
+        let a = HbmSwitch::new(cfg.clone()).unwrap();
         let ra = a.run(&t, horizon_us(200));
-        let mut b = HbmSwitch::new(cfg).unwrap();
+        let b = HbmSwitch::new(cfg).unwrap();
         let rb = b.run(&t, horizon_us(200));
         assert_eq!(ra.delivered_packets, rb.delivered_packets);
         assert_eq!(ra.delivered_bytes, rb.delivered_bytes);

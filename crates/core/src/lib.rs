@@ -34,7 +34,7 @@
 //! use rip_units::{DataSize, SimTime};
 //!
 //! let cfg = RouterConfig::small(); // ratio-preserving scaled config
-//! let mut switch = HbmSwitch::new(cfg).unwrap();
+//! let switch = HbmSwitch::new(cfg).unwrap();
 //! let trace = vec![Packet::new(1, 0, 2, DataSize::from_bytes(1500), SimTime::ZERO)];
 //! let report = switch.run(&trace, SimTime::from_ns(1_000_000));
 //! assert_eq!(report.delivered_packets, 1);
@@ -55,12 +55,12 @@ mod sps;
 mod sram;
 
 pub use batch::{Batch, BatchAssembler, Chunk};
-pub use config::{RouterConfig, SRAM_INTERFACE_BITS};
+pub use config::{DrainPolicy, RouterConfig, SRAM_INTERFACE_BITS};
 pub use crossbar::CyclicalCrossbar;
 pub use error::ConfigError;
 pub use hbm_switch::{HbmSwitch, SwitchEvent, SwitchReport};
 pub use mimic::{MimicChecker, MimicReport};
 pub use output::{OutputPort, PacketDeparture};
 pub use resilience::{FaultAction, FaultEvent, FaultKind, FaultPlan, FaultPlanError};
-pub use sps::{PerSwitch, SpsReport, SpsRouter, SpsWorkload};
+pub use sps::{PerSwitch, PlaneSource, SpsReport, SpsRouter, SpsWorkload};
 pub use sram::{Frame, HeadSram, SramOccupancy, TailSram};

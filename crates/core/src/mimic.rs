@@ -5,11 +5,12 @@
 
 use rip_baselines::IdealOqSwitch;
 use rip_sim::stats::Histogram;
-use rip_traffic::Packet;
+use rip_traffic::{Packet, PacketSource, ReplaySource};
 use rip_units::{SimTime, TimeDelta};
 
 use crate::config::RouterConfig;
 use crate::hbm_switch::HbmSwitch;
+use crate::resilience::FaultPlan;
 
 /// Relative-delay (lag) statistics of the HBM switch vs the ideal OQ
 /// shadow fed the identical arrival sequence.
@@ -42,12 +43,31 @@ impl MimicChecker {
 
     /// Run both switches on `trace` and report the lag distribution.
     pub fn run(&self, trace: &[Packet], horizon: SimTime) -> MimicReport {
-        let mut shadow = IdealOqSwitch::new(self.cfg.ribbons, self.cfg.port_rate());
-        shadow.run(trace);
-        let ideal = shadow.departure_map();
+        self.run_source(ReplaySource::new(trace), horizon)
+    }
 
+    /// Like [`MimicChecker::run`] but with the configuration's
+    /// [`DrainPolicy`](crate::DrainPolicy) computing the simulation
+    /// deadline from the arrival horizon.
+    pub fn run_to_drain(&self, trace: &[Packet], horizon: SimTime) -> MimicReport {
+        self.run(trace, self.cfg.drain.deadline(horizon))
+    }
+
+    /// Streaming form of [`MimicChecker::run`]: both switches consume
+    /// the same pull-based source. Each packet is offered to the ideal
+    /// OQ shadow at the moment the streaming engine pulls it, so the
+    /// shadow sees the identical arrival sequence without any
+    /// materialized trace.
+    pub fn run_source<S: PacketSource>(&self, source: S, horizon: SimTime) -> MimicReport {
+        let mut shadow = IdealOqSwitch::new(self.cfg.ribbons, self.cfg.port_rate());
         let mut switch = HbmSwitch::new(self.cfg.clone()).expect("valid config");
-        let report = switch.run(trace, horizon);
+        let mut tap = ShadowTap {
+            inner: source,
+            shadow: &mut shadow,
+        };
+        switch.run_source(&mut tap, horizon, &FaultPlan::default());
+        let report = switch.into_report();
+        let ideal = shadow.departure_map();
 
         let mut lags = Histogram::new();
         let mut max_lag = TimeDelta::ZERO;
@@ -82,6 +102,21 @@ impl MimicChecker {
             p99_lag: p99,
             lags_ns: lags,
         }
+    }
+}
+
+/// Source wrapper that offers every pulled packet to the ideal OQ
+/// shadow, so shadow and switch consume one identical stream.
+struct ShadowTap<'a, S> {
+    inner: S,
+    shadow: &'a mut IdealOqSwitch,
+}
+
+impl<S: PacketSource> PacketSource for ShadowTap<'_, S> {
+    fn next_packet(&mut self) -> Option<Packet> {
+        let p = self.inner.next_packet()?;
+        self.shadow.offer(&p);
+        Some(p)
     }
 }
 

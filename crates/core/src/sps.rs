@@ -6,7 +6,8 @@ use rip_photonics::{FrontEnd, SplitMap, SplitPattern};
 use rip_telemetry::MetricsRegistry;
 use rip_traffic::hash::{lane_for, HashKind};
 use rip_traffic::{
-    ArrivalProcess, FiberFill, Packet, PacketGenerator, SizeDistribution, TrafficMatrix,
+    ArrivalProcess, BoundedSource, FiberFill, Packet, PacketGenerator, PacketSource,
+    SizeDistribution, TrafficMatrix,
 };
 use rip_units::{DataSize, SimTime};
 use serde::{Deserialize, Serialize};
@@ -112,6 +113,111 @@ struct Epoch {
     lost: Vec<Vec<bool>>,
 }
 
+/// The streaming front end of one plane: a pull-based demultiplexing
+/// source built by [`SpsRouter::plane_source`].
+///
+/// It re-derives every per-fiber [`PacketGenerator`] (same seeds as
+/// [`SpsRouter::split_traffic`]), k-way-merges them in global
+/// `(arrival, input, id)` order with lane insertion order as the final
+/// tie-break — the exact order `split_traffic`'s stable sort produces —
+/// and filters the merged stream through the photonic fault epochs:
+/// packets on a lost wavelength are dropped at the front end (counted
+/// here when this plane would have received them), and packets steered
+/// to other planes are skipped. Each plane's source regenerates the
+/// full fiber set independently, trading H× generation CPU for
+/// O(fibers) memory per plane instead of a materialized per-plane
+/// trace; per-plane reports stay byte-identical to the batch split.
+pub struct PlaneSource {
+    lanes: Vec<FiberLane>,
+    epochs: Vec<Epoch>,
+    /// Whether each epoch has any lost wavelength (skips the per-packet
+    /// flow hash in healthy epochs).
+    epoch_has_loss: Vec<bool>,
+    plane: usize,
+    wavelengths: usize,
+    fe_dropped_packets: u64,
+    fe_dropped: DataSize,
+}
+
+/// One (ribbon, fiber) generator lane inside a [`PlaneSource`], with a
+/// one-packet merge lookahead. The fiber index lives here because
+/// [`Packet`] does not carry it, and the split map routes by fiber.
+struct FiberLane {
+    ribbon: usize,
+    fiber: usize,
+    source: BoundedSource<PacketGenerator>,
+    pending: Option<Packet>,
+    done: bool,
+}
+
+impl PlaneSource {
+    /// Packets dropped at the optical front end that this plane's split
+    /// would otherwise have received (lost-wavelength drops). Summing
+    /// over all planes reproduces the router-global front-end count.
+    pub fn front_end_dropped_packets(&self) -> u64 {
+        self.fe_dropped_packets
+    }
+
+    /// Bytes of the packets counted by
+    /// [`PlaneSource::front_end_dropped_packets`].
+    pub fn front_end_dropped(&self) -> DataSize {
+        self.fe_dropped
+    }
+}
+
+impl PacketSource for PlaneSource {
+    fn next_packet(&mut self) -> Option<Packet> {
+        loop {
+            // Refill lane lookaheads and pick the globally earliest
+            // packet; strict `<` keeps the earliest lane on full
+            // (arrival, input, id) ties, matching the stable sort.
+            let mut best: Option<usize> = None;
+            for i in 0..self.lanes.len() {
+                if self.lanes[i].pending.is_none() && !self.lanes[i].done {
+                    match self.lanes[i].source.next_packet() {
+                        Some(p) => self.lanes[i].pending = Some(p),
+                        None => self.lanes[i].done = true,
+                    }
+                }
+                if let Some(p) = &self.lanes[i].pending {
+                    let better = match best {
+                        None => true,
+                        Some(b) => {
+                            let q = self.lanes[b].pending.as_ref().expect("best has pending");
+                            (p.arrival, p.input, p.id) < (q.arrival, q.input, q.id)
+                        }
+                    };
+                    if better {
+                        best = Some(i);
+                    }
+                }
+            }
+            let i = best?;
+            let p = self.lanes[i]
+                .pending
+                .take()
+                .expect("chosen lane has pending");
+            let (ribbon, fiber) = (self.lanes[i].ribbon, self.lanes[i].fiber);
+            let e = self.epochs.partition_point(|ep| ep.start <= p.arrival) - 1;
+            let ep = &self.epochs[e];
+            let target = ep.split.switch_for(ribbon, fiber);
+            if self.epoch_has_loss[e] {
+                let lambda = lane_for(p.flow, self.wavelengths, HashKind::Crc32c);
+                if ep.lost[ribbon][lambda] {
+                    if target == self.plane {
+                        self.fe_dropped_packets += 1;
+                        self.fe_dropped += p.size;
+                    }
+                    continue;
+                }
+            }
+            if target == self.plane {
+                return Some(p);
+            }
+        }
+    }
+}
+
 impl SpsRouter {
     /// Build an SPS router with the given split pattern.
     pub fn new(cfg: RouterConfig, pattern: SplitPattern) -> Result<Self, ConfigError> {
@@ -168,6 +274,65 @@ impl SpsRouter {
         per_switch
     }
 
+    /// Build the streaming front end for one plane: a [`PlaneSource`]
+    /// yielding, in arrival order, exactly the packets that
+    /// [`SpsRouter::split_traffic`] (or, under photonic faults,
+    /// [`SpsRouter::split_traffic_faulted`]) would place in plane
+    /// `plane`'s trace — without materializing any trace. Pass
+    /// [`FaultPlan::default`] for a healthy front end.
+    pub fn plane_source(
+        &self,
+        w: &SpsWorkload,
+        horizon: SimTime,
+        plan: &FaultPlan,
+        plane: usize,
+    ) -> PlaneSource {
+        assert_eq!(w.tm.n(), self.cfg.ribbons, "TM must be ribbon-sized");
+        assert!(plane < self.cfg.switches, "plane index out of range");
+        let f = self.cfg.fibers_per_ribbon;
+        let mut lanes = Vec::new();
+        for ribbon in 0..self.cfg.ribbons {
+            let fiber_loads = w.fill.loads(f, w.load * f as f64);
+            for (fiber, &load) in fiber_loads.iter().enumerate() {
+                if load <= 0.0 {
+                    continue;
+                }
+                let g = PacketGenerator::new(
+                    ribbon,
+                    self.front_end.fiber_rate(),
+                    load.min(1.0),
+                    w.tm.row(ribbon).to_vec(),
+                    w.sizes.clone(),
+                    w.process,
+                    w.flows,
+                    rip_sim::rng::derive_seed(w.seed, (ribbon * f + fiber) as u64),
+                )
+                .expect("valid generator");
+                lanes.push(FiberLane {
+                    ribbon,
+                    fiber,
+                    source: BoundedSource::new(g, horizon),
+                    pending: None,
+                    done: false,
+                });
+            }
+        }
+        let epochs = self.epochs(plan);
+        let epoch_has_loss = epochs
+            .iter()
+            .map(|e| e.lost.iter().flatten().any(|&b| b))
+            .collect();
+        PlaneSource {
+            lanes,
+            epochs,
+            epoch_has_loss,
+            plane,
+            wavelengths: self.cfg.wavelengths,
+            fe_dropped_packets: 0,
+            fe_dropped: DataSize::ZERO,
+        }
+    }
+
     /// Run the full router on `workload` until `horizon` (+ drain time).
     ///
     /// The `H` HBM switches are fully independent after the optical
@@ -197,24 +362,29 @@ impl SpsRouter {
     ) -> SpsReport {
         plan.validate(&self.cfg)
             .expect("fault plan must be valid for this router");
-        let (traces, fe_dropped_packets, fe_dropped) = if plan.has_photonic_events() {
-            self.split_traffic_faulted(w, horizon, plan)
-        } else {
-            (self.split_traffic(w, horizon), 0, DataSize::ZERO)
-        };
-        let drain = SimTime::from_ps(horizon.as_ps() * 2);
+        let drain = self.cfg.drain.deadline(horizon);
         let plans: Vec<FaultPlan> = (0..self.cfg.switches)
             .map(|s| plan.project_switch(&self.cfg, s))
             .collect();
-        let reports: Vec<SwitchReport> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = traces
+        // Each plane pulls its arrivals from a streaming front-end
+        // demux instead of a materialized trace: memory per plane is
+        // O(fibers + in-flight), independent of horizon. Reports are
+        // byte-identical to the former batch split (see PlaneSource).
+        let results: Vec<(SwitchReport, u64, DataSize)> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = plans
                 .iter()
-                .zip(plans.iter())
-                .map(|(trace, sub_plan)| {
+                .enumerate()
+                .map(|(plane, sub_plan)| {
                     let cfg = self.cfg.clone();
+                    let mut src = self.plane_source(w, horizon, plan, plane);
                     scope.spawn(move |_| {
                         let mut sw = HbmSwitch::new(cfg).expect("validated config");
-                        sw.run_with_faults(trace, drain, sub_plan)
+                        sw.run_source(&mut src, drain, sub_plan);
+                        (
+                            sw.into_report(),
+                            src.front_end_dropped_packets(),
+                            src.front_end_dropped(),
+                        )
                     })
                 })
                 .collect();
@@ -224,6 +394,16 @@ impl SpsRouter {
                 .collect()
         })
         .expect("crossbeam scope");
+        let mut fe_dropped_packets = 0u64;
+        let mut fe_dropped = DataSize::ZERO;
+        let reports: Vec<SwitchReport> = results
+            .into_iter()
+            .map(|(report, fe_pkts, fe_bytes)| {
+                fe_dropped_packets += fe_pkts;
+                fe_dropped += fe_bytes;
+                report
+            })
+            .collect();
         // Plane ingress capacity over the generation horizon.
         let plane_capacity =
             (self.cfg.port_rate() * self.cfg.ribbons as u64).data_in(horizon.since(SimTime::ZERO));
@@ -323,8 +503,10 @@ impl SpsRouter {
     /// is routed by the split map of its arrival epoch, and packets on
     /// a lost wavelength (flow-hashed ingress lane) are dropped at the
     /// front end before reaching any switch. Returns the per-switch
-    /// traces plus front-end drop counts.
-    fn split_traffic_faulted(
+    /// traces plus front-end drop counts. Materializing batch
+    /// counterpart of [`SpsRouter::plane_source`]; kept public as the
+    /// reference for the streaming-equivalence suite.
+    pub fn split_traffic_faulted(
         &self,
         w: &SpsWorkload,
         horizon: SimTime,

@@ -1,0 +1,142 @@
+//! Bounded-lookahead feeder for streaming event loops.
+//!
+//! Batch engines pre-schedule every external arrival into the
+//! [`EventQueue`](crate::EventQueue) before running, which costs
+//! O(horizon) memory. A [`Feeder`] instead wraps a pull closure and
+//! holds only a small lookahead window, so a driver can interleave
+//! "next external arrival" with "next internal event" and keep memory
+//! proportional to the in-flight work.
+
+use std::collections::VecDeque;
+
+use rip_units::SimTime;
+
+/// A bounded-lookahead buffer over a pull-based, time-ordered stream.
+///
+/// The closure yields `(time, item)` pairs in non-decreasing time
+/// order (checked) and `None` once exhausted. The feeder pulls lazily:
+/// at most `lookahead` items are buffered at any moment, so the
+/// driver's memory footprint is independent of how long the stream is.
+pub struct Feeder<T, F> {
+    pull: F,
+    buf: VecDeque<(SimTime, T)>,
+    lookahead: usize,
+    /// The source returned `None`; never pull it again.
+    source_done: bool,
+    /// Largest time pulled so far, for the ordering check.
+    last_pulled: SimTime,
+}
+
+impl<T, F: FnMut() -> Option<(SimTime, T)>> Feeder<T, F> {
+    /// A feeder with the minimal single-item lookahead.
+    pub fn new(pull: F) -> Self {
+        Self::with_lookahead(pull, 1)
+    }
+
+    /// A feeder buffering up to `lookahead` items (at least 1).
+    pub fn with_lookahead(pull: F, lookahead: usize) -> Self {
+        Self {
+            pull,
+            buf: VecDeque::new(),
+            lookahead: lookahead.max(1),
+            source_done: false,
+            last_pulled: SimTime::ZERO,
+        }
+    }
+
+    fn fill(&mut self) {
+        while !self.source_done && self.buf.len() < self.lookahead {
+            match (self.pull)() {
+                Some((t, item)) => {
+                    assert!(
+                        t >= self.last_pulled,
+                        "source must yield non-decreasing times"
+                    );
+                    self.last_pulled = t;
+                    self.buf.push_back((t, item));
+                }
+                None => self.source_done = true,
+            }
+        }
+    }
+
+    /// Time of the next buffered item, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.fill();
+        self.buf.front().map(|(t, _)| *t)
+    }
+
+    /// Remove and return the next item.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.fill();
+        self.buf.pop_front()
+    }
+
+    /// True once the source is drained and no items remain buffered.
+    pub fn is_exhausted(&mut self) -> bool {
+        self.fill();
+        self.source_done && self.buf.is_empty()
+    }
+}
+
+impl<T, F> std::fmt::Debug for Feeder<T, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Feeder")
+            .field("buffered", &self.buf.len())
+            .field("lookahead", &self.lookahead)
+            .field("source_done", &self.source_done)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn times(v: &[u64]) -> impl FnMut() -> Option<(SimTime, u64)> + '_ {
+        let mut it = v.iter().copied();
+        move || it.next().map(|t| (SimTime::from_ns(t), t))
+    }
+
+    #[test]
+    fn yields_items_in_order() {
+        let v = [1, 2, 2, 5];
+        let mut f = Feeder::new(times(&v));
+        assert_eq!(f.peek_time(), Some(SimTime::from_ns(1)));
+        let mut got = Vec::new();
+        while let Some((_, x)) = f.pop() {
+            got.push(x);
+        }
+        assert_eq!(got, v);
+        assert!(f.is_exhausted());
+    }
+
+    #[test]
+    fn buffers_at_most_lookahead() {
+        let mut pulled = 0usize;
+        let mut f = Feeder::new(|| {
+            pulled += 1;
+            Some((SimTime::from_ns(pulled as u64), pulled))
+        });
+        // One peek pulls exactly one item, not the whole stream.
+        assert!(f.peek_time().is_some());
+        let (_, first) = f.pop().unwrap();
+        assert_eq!(first, 1);
+    }
+
+    #[test]
+    fn empty_source_is_exhausted_immediately() {
+        let mut f: Feeder<u64, _> = Feeder::new(|| None);
+        assert!(f.is_exhausted());
+        assert_eq!(f.peek_time(), None);
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn out_of_order_source_panics() {
+        let v = [5, 1];
+        let mut f = Feeder::new(times(&v));
+        while f.pop().is_some() {}
+    }
+}

@@ -11,6 +11,10 @@
 //!   seed.
 //! * [`Simulation`] — a thin driver that pops events and hands them to a
 //!   handler together with a scheduling context.
+//! * [`Feeder`] — a bounded-lookahead buffer over a pull-based external
+//!   arrival stream, so streaming drivers interleave source pulls with
+//!   queue events in O(lookahead) memory instead of pre-scheduling the
+//!   whole horizon.
 //! * [`rng`] — seeded, stream-splittable random number generation. Every
 //!   stochastic component of the workspace takes an explicit `u64` seed.
 //! * [`stats`] — counters, Welford mean/variance, histograms with exact
@@ -42,10 +46,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod feeder;
 mod queue;
 pub mod rng;
 mod series;
 pub mod stats;
 
+pub use feeder::Feeder;
 pub use queue::{EventQueue, Simulation};
 pub use series::{Series, TraceLog};

@@ -163,28 +163,17 @@ impl PacketGenerator {
     }
 
     /// Generate packets until `horizon`, in arrival order.
+    ///
+    /// The first packet drawn beyond the horizon is discarded (its RNG
+    /// draws are consumed, not rewound) — callers use fresh generators
+    /// per run. This is a materializing convenience wrapper over
+    /// [`BoundedSource`](crate::BoundedSource); the streaming engines
+    /// pull the same sequence incrementally instead.
     pub fn generate_until(&mut self, horizon: SimTime) -> Vec<Packet> {
-        let mut out = Vec::new();
-        if self.load == 0.0 {
-            return out;
-        }
-        loop {
-            let before = self.clock;
-            match self.next_packet() {
-                Some(p) if p.arrival <= horizon => out.push(p),
-                Some(p) => {
-                    // Rewind logically: the packet is beyond the horizon;
-                    // keep it for a subsequent call by restoring nothing —
-                    // callers use fresh generators per run, so we simply
-                    // drop it and stop. Document: the final partial gap is
-                    // not replayed.
-                    let _ = (before, p);
-                    break;
-                }
-                None => break,
-            }
-        }
-        out
+        use crate::source::PacketSource as _;
+        crate::source::BoundedSource::new(&mut *self, horizon)
+            .packets()
+            .collect()
     }
 }
 

@@ -19,7 +19,10 @@
 //! * [`hash`] — ECMP/LAG 5-tuple hashing (FNV-1a and CRC-32C) used to
 //!   spread flows over fibers/wavelengths;
 //! * [`Attacker`] — adversarial generators that exploit a known split
-//!   pattern (experiment E17).
+//!   pattern (experiment E17);
+//! * [`PacketSource`] — pull-based streaming: generators, bounded and
+//!   k-way-merged sources, and slice replay, all byte-identical to the
+//!   materialized batch helpers for the same seed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +35,7 @@ pub mod hash;
 mod matrix;
 mod packet;
 mod size;
+mod source;
 
 pub use adversarial::Attacker;
 pub use arrivals::{merge_streams, ArrivalProcess, PacketGenerator};
@@ -40,3 +44,4 @@ pub use fill::FiberFill;
 pub use matrix::TrafficMatrix;
 pub use packet::{FlowKey, Packet};
 pub use size::SizeDistribution;
+pub use source::{BoundedSource, MergedSource, PacketSource, Packets, ReplaySource};

@@ -39,7 +39,7 @@ fn trace(cfg: &RouterConfig, load: f64, horizon: SimTime, seed: u64) -> Vec<rip_
 fn run_variant(name: &str, cfg: RouterConfig, load: f64) {
     let horizon = SimTime::from_ns(120_000);
     let t = trace(&cfg, load, horizon, 99);
-    let mut sw = HbmSwitch::new(cfg.clone()).expect("valid config");
+    let sw = HbmSwitch::new(cfg.clone()).expect("valid config");
     let r = sw.run(&t, SimTime::from_ns(900_000));
     println!(
         "{name}: frame {} | mean delay {:.2} us | p99 {:.2} us | delivered {:.2}% | HBM util {:.0}%",

@@ -77,7 +77,7 @@ fn main() {
         .count();
     assert_eq!(disagreements, 0, "trie and stride table must agree");
 
-    let mut sw = HbmSwitch::new(cfg).expect("valid config");
+    let sw = HbmSwitch::new(cfg).expect("valid config");
     let r = sw.run(&routed, SimTime::from_ns(500_000));
     println!(
         "\nswitch run: delivered {:.2}% ({} packets), mean delay {:.2} us",

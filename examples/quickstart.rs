@@ -47,7 +47,7 @@ fn main() {
     let trace = merge_streams(streams);
     println!("offered: {} packets", trace.len());
 
-    let mut switch = HbmSwitch::new(cfg).expect("valid config");
+    let switch = HbmSwitch::new(cfg).expect("valid config");
     let report = switch.run(&trace, SimTime::from_ns(800_000));
 
     println!("\n--- report ---");

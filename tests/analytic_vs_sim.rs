@@ -138,7 +138,7 @@ fn e14_measured_delay_brackets_the_first_order_model() {
             g.generate_until(horizon)
         })
         .collect();
-    let mut sw = HbmSwitch::new(cfg.clone()).unwrap();
+    let sw = HbmSwitch::new(cfg.clone()).unwrap();
     let r = sw.run(&merge_streams(streams), SimTime::from_ns(900_000));
     let measured_ns = r.delays_ns.mean().unwrap();
     let hbm_frame_time = cfg.hbm_peak().transfer_time(cfg.frame_size());

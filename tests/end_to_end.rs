@@ -59,7 +59,7 @@ fn every_delivered_packet_was_offered_exactly_once() {
     let cfg = RouterConfig::small();
     let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
     let trace = trace_for(&cfg, &tm, 0.8, SimTime::from_ns(60_000), 9);
-    let mut sw = HbmSwitch::new(cfg).unwrap();
+    let sw = HbmSwitch::new(cfg).unwrap();
     let r = sw.run(&trace, SimTime::from_ns(400_000));
     use std::collections::HashSet;
     let offered: HashSet<u64> = trace.iter().map(|p| p.id).collect();
@@ -76,7 +76,7 @@ fn departures_exit_on_the_right_output_in_flow_order() {
     let cfg = RouterConfig::small();
     let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
     let trace = trace_for(&cfg, &tm, 0.7, SimTime::from_ns(50_000), 13);
-    let mut sw = HbmSwitch::new(cfg.clone()).unwrap();
+    let sw = HbmSwitch::new(cfg.clone()).unwrap();
     let r = sw.run(&trace, SimTime::from_ns(400_000));
     // Check output correctness and per-(input,output) FIFO order.
     use std::collections::HashMap;
@@ -141,7 +141,7 @@ fn fib_routed_traffic_flows_through_the_switch() {
     for p in routed.iter().take(500) {
         assert_eq!(p.output, trie.lookup(p.flow.dst_ip).unwrap().1 as usize);
     }
-    let mut sw = HbmSwitch::new(cfg).unwrap();
+    let sw = HbmSwitch::new(cfg).unwrap();
     let r = sw.run(&routed, SimTime::from_ns(400_000));
     assert!(r.delivery_fraction > 0.995, "{}", r.delivery_fraction);
 }
@@ -154,7 +154,7 @@ fn fault_injected_trace_still_delivers_survivors() {
     let injector = rip_traffic::FaultInjector::new(0.15, 0.1, 3);
     let (degraded, summary) = injector.apply(&raw);
     assert!(summary.dropped > 0 && summary.corrupted > 0);
-    let mut sw = HbmSwitch::new(cfg).unwrap();
+    let sw = HbmSwitch::new(cfg).unwrap();
     let r = sw.run(&degraded, SimTime::from_ns(400_000));
     assert_eq!(r.offered_packets as usize, degraded.len());
     assert!(r.delivery_fraction > 0.995, "{}", r.delivery_fraction);
@@ -166,7 +166,7 @@ fn striped_datacenter_variant_runs_end_to_end() {
     cfg.stripe_channels = Some(4);
     let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
     let trace = trace_for(&cfg, &tm, 0.8, SimTime::from_ns(60_000), 17);
-    let mut sw = HbmSwitch::new(cfg).unwrap();
+    let sw = HbmSwitch::new(cfg).unwrap();
     let r = sw.run(&trace, SimTime::from_ns(400_000));
     assert!(r.delivery_fraction > 0.995, "{}", r.delivery_fraction);
 }

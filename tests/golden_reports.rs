@@ -16,7 +16,7 @@ fn switch_report_json() -> String {
     let cfg = RouterConfig::small();
     let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
     let trace = trace_for(&cfg, &tm, 0.8, SimTime::from_ns(100_000), 42);
-    let mut sw = HbmSwitch::new(cfg).expect("valid config");
+    let sw = HbmSwitch::new(cfg).expect("valid config");
     let r = sw.run(&trace, SimTime::from_ns(400_000));
     serde_json::to_string(&r).expect("report serializes")
 }
@@ -64,7 +64,7 @@ fn switch_report_round_trips_through_json() {
     let cfg = RouterConfig::small();
     let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
     let trace = trace_for(&cfg, &tm, 0.5, SimTime::from_ns(50_000), 3);
-    let mut sw = HbmSwitch::new(cfg).expect("valid config");
+    let sw = HbmSwitch::new(cfg).expect("valid config");
     let r = sw.run(&trace, SimTime::from_ns(200_000));
     let json = serde_json::to_string(&r).expect("serializes");
     let back: rip_core::SwitchReport = serde_json::from_str(&json).expect("deserializes");

@@ -5,7 +5,8 @@ use std::collections::VecDeque;
 use rip_core::RouterConfig;
 use rip_hbm::{HbmCommand, HbmCommandKind, HbmTiming};
 use rip_traffic::{
-    merge_streams, ArrivalProcess, Packet, PacketGenerator, SizeDistribution, TrafficMatrix,
+    merge_streams, ArrivalProcess, BoundedSource, MergedSource, Packet, PacketGenerator,
+    SizeDistribution, TrafficMatrix,
 };
 use rip_units::{DataRate, SimTime};
 
@@ -38,6 +39,39 @@ pub fn trace_for(
         })
         .collect();
     merge_streams(streams)
+}
+
+/// Pull-based counterpart of [`trace_for`]: yields the identical packet
+/// sequence lazily (one bounded generator per non-idle port, merged
+/// deterministically), never holding the trace in memory.
+pub fn source_for(
+    cfg: &RouterConfig,
+    tm: &TrafficMatrix,
+    load: f64,
+    horizon: SimTime,
+    seed: u64,
+) -> MergedSource<BoundedSource<PacketGenerator>> {
+    let lanes: Vec<BoundedSource<PacketGenerator>> = (0..cfg.ribbons)
+        .filter_map(|i| {
+            let row = (load * tm.row_load(i)).min(1.0);
+            if row <= 0.0 {
+                return None;
+            }
+            let g = PacketGenerator::new(
+                i,
+                cfg.port_rate(),
+                row,
+                tm.row(i).to_vec(),
+                SizeDistribution::Imix,
+                ArrivalProcess::Poisson,
+                128,
+                rip_sim::rng::derive_seed(seed, i as u64),
+            )
+            .expect("valid generator");
+            Some(BoundedSource::new(g, horizon))
+        })
+        .collect();
+    MergedSource::new(lanes)
 }
 
 // --------------------------------------------------------------------

@@ -267,7 +267,7 @@ proptest! {
         let horizon = SimTime::from_ns(60_000);
         let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
         let trace = trace_for(&cfg, &tm, load, horizon, seed);
-        let mut sw = HbmSwitch::new(cfg).unwrap();
+        let sw = HbmSwitch::new(cfg).unwrap();
         let r = sw.run_with_faults(&trace, SimTime::from_ns(600_000), &plan);
         prop_assert_eq!(
             r.delivered_packets + r.dropped_packets_fault + r.dropped_packets_congestion,
@@ -313,7 +313,7 @@ proptest! {
         let trace = trace_for(&cfg, &tm, 0.75, SimTime::from_ns(4 * t), seed);
         let sizes: std::collections::HashMap<u64, u64> =
             trace.iter().map(|p| (p.id, p.size.bits())).collect();
-        let mut sw = HbmSwitch::new(cfg).unwrap();
+        let sw = HbmSwitch::new(cfg).unwrap();
         let r = sw.run_with_faults(&trace, SimTime::from_ns(16 * t), &plan);
         let window = |i: u64| -> u64 {
             r.departures

@@ -79,7 +79,7 @@ fn degraded_rate_tracks_surviving_channels_and_recovers() {
     let trace = uniform_trace(&cfg, 0.75, horizon, 42);
     let sizes: HashMap<u64, DataSize> = trace.iter().map(|p| (p.id, p.size)).collect();
 
-    let mut sw = HbmSwitch::new(cfg).expect("valid config");
+    let sw = HbmSwitch::new(cfg).expect("valid config");
     let r = sw.run_with_faults(&trace, drain, &plan);
 
     let w = |i: u64| {
@@ -137,7 +137,7 @@ fn no_fault_loss_below_degraded_capacity() {
     let drain = SimTime::from_ns(16 * T * 1000);
     let trace = uniform_trace(&cfg, 0.5, horizon, 42);
 
-    let mut sw = HbmSwitch::new(cfg).expect("valid config");
+    let sw = HbmSwitch::new(cfg).expect("valid config");
     let r = sw.run_with_faults(&trace, drain, &plan);
 
     assert_eq!(r.dropped_packets_fault, 0, "fault-attributed drops");

@@ -1,0 +1,310 @@
+//! Streaming-engine equivalence suite.
+//!
+//! The pull-based simulation engine must be a drop-in replacement for
+//! the materialized-trace pipeline: for the same seed, the serialized
+//! reports of both engines must be byte-identical — across uniform,
+//! hotspot and faulted workloads, at the single-switch level, through
+//! the SPS front end (live generators, no trace), in the OQ-mimic
+//! comparison and in the ideal-OQ baseline. A final soak property
+//! checks the payoff: the streaming engine's working set (peak
+//! in-flight packets) stays flat as the horizon grows.
+
+use proptest::prelude::*;
+use rip_baselines::IdealOqSwitch;
+use rip_core::{
+    FaultKind, FaultPlan, HbmSwitch, MimicChecker, RouterConfig, SpsRouter, SpsWorkload,
+};
+use rip_integration_tests::{source_for, trace_for};
+use rip_photonics::SplitPattern;
+use rip_traffic::{Packet, PacketSource, ReplaySource, TrafficMatrix};
+use rip_units::SimTime;
+
+fn report_json(r: &rip_core::SwitchReport) -> String {
+    serde_json::to_string(r).expect("report serializes")
+}
+
+/// Batch oracle vs streaming engine on the same replayed trace.
+fn assert_engines_agree(cfg: &RouterConfig, trace: &[Packet], horizon: SimTime, plan: &FaultPlan) {
+    let mut batch = HbmSwitch::new(cfg.clone()).expect("valid config");
+    let rb = batch.run_preloaded(trace, horizon, plan);
+
+    let mut streaming = HbmSwitch::new(cfg.clone()).expect("valid config");
+    streaming.run_source(ReplaySource::new(trace), horizon, plan);
+    let rs = streaming.into_report();
+
+    assert_eq!(
+        report_json(&rb),
+        report_json(&rs),
+        "streaming and batch engines diverged"
+    );
+}
+
+#[test]
+fn streaming_matches_batch_on_uniform_traffic() {
+    let cfg = RouterConfig::small();
+    let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
+    let horizon = SimTime::from_ns(60_000);
+    let trace = trace_for(&cfg, &tm, 0.8, horizon, 42);
+    assert!(!trace.is_empty());
+    assert_engines_agree(
+        &cfg,
+        &trace,
+        cfg.drain.deadline(horizon),
+        &FaultPlan::default(),
+    );
+}
+
+#[test]
+fn streaming_matches_batch_on_hotspot_traffic() {
+    let cfg = RouterConfig::small();
+    let tm = TrafficMatrix::hotspot(cfg.ribbons, 1.0, 0, 0.5);
+    let horizon = SimTime::from_ns(60_000);
+    let trace = trace_for(&cfg, &tm, 0.9, horizon, 7);
+    assert_engines_agree(
+        &cfg,
+        &trace,
+        cfg.drain.deadline(horizon),
+        &FaultPlan::default(),
+    );
+}
+
+#[test]
+fn streaming_matches_batch_under_faults() {
+    let cfg = RouterConfig::resilience_small();
+    let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
+    let horizon = SimTime::from_ns(80_000);
+    let trace = trace_for(&cfg, &tm, 0.7, horizon, 17);
+    let plan = FaultPlan::new()
+        .inject(
+            SimTime::from_ns(20_000),
+            FaultKind::HbmChannelDown { channel: 1 },
+        )
+        .recover(
+            SimTime::from_ns(50_000),
+            FaultKind::HbmChannelDown { channel: 1 },
+        )
+        .inject(
+            SimTime::from_ns(30_000),
+            FaultKind::HbmBankStuck {
+                channel: 0,
+                bank: 2,
+            },
+        );
+    plan.validate(&cfg).expect("plan valid");
+    assert_engines_agree(&cfg, &trace, SimTime::from_ns(400_000), &plan);
+}
+
+#[test]
+fn live_source_matches_materialized_trace_end_to_end() {
+    // The strongest single-switch form: the streaming run never sees a
+    // trace at all — packets come straight out of the generators.
+    let cfg = RouterConfig::small();
+    let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
+    let horizon = SimTime::from_ns(60_000);
+    let deadline = cfg.drain.deadline(horizon);
+
+    let trace = trace_for(&cfg, &tm, 0.8, horizon, 42);
+    let mut batch = HbmSwitch::new(cfg.clone()).expect("valid config");
+    let rb = batch.run_preloaded(&trace, deadline, &FaultPlan::default());
+
+    let src = source_for(&cfg, &tm, 0.8, horizon, 42);
+    let mut streaming = HbmSwitch::new(cfg.clone()).expect("valid config");
+    streaming.run_source(src, deadline, &FaultPlan::default());
+    let rs = streaming.into_report();
+
+    assert_eq!(report_json(&rb), report_json(&rs));
+}
+
+#[test]
+fn plane_source_yields_exactly_the_split_traffic() {
+    let cfg = RouterConfig::resilience_small();
+    let router = SpsRouter::new(cfg.clone(), SplitPattern::Striped).expect("valid config");
+    let w = SpsWorkload::uniform(cfg.ribbons, 0.6, 11);
+    let horizon = SimTime::from_ns(50_000);
+    let per_switch = router.split_traffic(&w, horizon);
+    for (plane, batch) in per_switch.iter().enumerate() {
+        let mut src = router.plane_source(&w, horizon, &FaultPlan::default(), plane);
+        let mut streamed = Vec::new();
+        while let Some(p) = src.next_packet() {
+            streamed.push(p);
+        }
+        assert_eq!(
+            &streamed, batch,
+            "plane {plane} stream diverged from the batch split"
+        );
+        assert_eq!(src.front_end_dropped_packets(), 0);
+    }
+}
+
+#[test]
+fn plane_source_matches_faulted_split_including_drop_totals() {
+    let cfg = RouterConfig::resilience_small();
+    let router = SpsRouter::new(cfg.clone(), SplitPattern::Striped).expect("valid config");
+    let w = SpsWorkload::uniform(cfg.ribbons, 0.6, 13);
+    let horizon = SimTime::from_ns(60_000);
+    let plan = FaultPlan::new()
+        .inject(
+            SimTime::from_ns(15_000),
+            FaultKind::WavelengthLoss {
+                ribbon: 0,
+                lambda: 1,
+            },
+        )
+        .recover(
+            SimTime::from_ns(40_000),
+            FaultKind::WavelengthLoss {
+                ribbon: 0,
+                lambda: 1,
+            },
+        );
+    plan.validate(&cfg).expect("plan valid");
+
+    let (per_switch, batch_drops, batch_dropped_bytes) =
+        router.split_traffic_faulted(&w, horizon, &plan);
+    let mut fe_drops = 0u64;
+    let mut fe_bytes = rip_units::DataSize::ZERO;
+    for (plane, batch) in per_switch.iter().enumerate() {
+        let mut src = router.plane_source(&w, horizon, &plan, plane);
+        let mut streamed = Vec::new();
+        while let Some(p) = src.next_packet() {
+            streamed.push(p);
+        }
+        assert_eq!(
+            &streamed, batch,
+            "plane {plane} faulted stream diverged from the batch split"
+        );
+        fe_drops += src.front_end_dropped_packets();
+        fe_bytes += src.front_end_dropped();
+    }
+    assert!(batch_drops > 0, "fault window should drop something");
+    assert_eq!(fe_drops, batch_drops);
+    assert_eq!(fe_bytes, batch_dropped_bytes);
+}
+
+#[test]
+fn sps_streaming_run_matches_per_plane_batch_runs() {
+    // The full router path (crossbeam threads fed by PlaneSource) must
+    // equal running each plane's batch trace through the batch engine.
+    let cfg = RouterConfig::resilience_small();
+    let router = SpsRouter::new(cfg.clone(), SplitPattern::Striped).expect("valid config");
+    let w = SpsWorkload::uniform(cfg.ribbons, 0.7, 19);
+    let horizon = SimTime::from_ns(40_000);
+    let r = router.run(&w, horizon);
+
+    let per_switch = router.split_traffic(&w, horizon);
+    let deadline = cfg.drain.deadline(horizon);
+    for (plane, trace) in per_switch.iter().enumerate() {
+        let mut sw = HbmSwitch::new(cfg.clone()).expect("valid config");
+        let batch = sw.run_preloaded(trace, deadline, &FaultPlan::default());
+        assert_eq!(
+            report_json(&batch),
+            report_json(&r.switches[plane].report),
+            "plane {plane} SPS report diverged from its batch run"
+        );
+    }
+}
+
+#[test]
+fn mimic_checker_matches_inline_batch_reference() {
+    let cfg = RouterConfig::small();
+    let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
+    let horizon = SimTime::from_ns(40_000);
+    let deadline = SimTime::from_ns(300_000);
+    let trace = trace_for(&cfg, &tm, 0.7, horizon, 23);
+
+    let streamed = MimicChecker::new(cfg.clone()).run(&trace, deadline);
+
+    // Inline batch reference: ideal shadow over the trace, batch engine
+    // for the HBM side, same lag definition.
+    let mut ideal_sw = IdealOqSwitch::new(cfg.ribbons, cfg.port_rate());
+    ideal_sw.run(&trace);
+    let ideal = ideal_sw.departure_map();
+    let mut sw = HbmSwitch::new(cfg).expect("valid config");
+    let report = sw.run_preloaded(&trace, deadline, &FaultPlan::default());
+    let mut compared = 0u64;
+    let mut max_lag = rip_units::TimeDelta::ZERO;
+    for d in &report.departures {
+        let Some(&idep) = ideal.get(&d.packet) else {
+            continue;
+        };
+        max_lag = max_lag.max(d.time.saturating_since(idep));
+        compared += 1;
+    }
+    assert!(compared > 100);
+    assert_eq!(streamed.compared, compared);
+    assert_eq!(streamed.max_lag, max_lag);
+}
+
+#[test]
+fn oq_run_source_matches_run() {
+    let cfg = RouterConfig::small();
+    let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
+    let horizon = SimTime::from_ns(40_000);
+    let trace = trace_for(&cfg, &tm, 0.8, horizon, 29);
+
+    let mut batch = IdealOqSwitch::new(cfg.ribbons, cfg.port_rate());
+    let db = batch.run(&trace);
+    let mut streaming = IdealOqSwitch::new(cfg.ribbons, cfg.port_rate());
+    let ds = streaming.run_source(source_for(&cfg, &tm, 0.8, horizon, 29));
+    assert_eq!(db, ds);
+}
+
+#[test]
+fn peak_in_flight_stays_flat_as_horizon_grows() {
+    let cfg = RouterConfig::small();
+    let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
+    let run_at = |h: SimTime| {
+        let mut sw = HbmSwitch::new(cfg.clone()).expect("valid config");
+        sw.run_source(
+            source_for(&cfg, &tm, 0.8, h, 31),
+            cfg.drain.deadline(h),
+            &FaultPlan::default(),
+        );
+        sw.into_report()
+    };
+    let short = run_at(SimTime::from_ns(30_000));
+    let long = run_at(SimTime::from_ns(90_000));
+    assert!(
+        long.offered_packets > 2 * short.offered_packets,
+        "offered did not scale: {} -> {}",
+        short.offered_packets,
+        long.offered_packets
+    );
+    assert!(
+        long.peak_in_flight_packets <= 2 * short.peak_in_flight_packets + 64,
+        "in-flight working set grew with the horizon: {} -> {}",
+        short.peak_in_flight_packets,
+        long.peak_in_flight_packets
+    );
+    assert!(short.peak_in_flight_packets > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Byte identity holds for arbitrary seeds, loads and hotspot
+    /// skews, not just the hand-picked cases above.
+    #[test]
+    fn streaming_equals_batch_for_random_workloads(
+        seed in any::<u64>(),
+        load in 0.3f64..0.95,
+        hot in 0usize..2,
+    ) {
+        let cfg = RouterConfig::small();
+        let tm = if hot == 0 {
+            TrafficMatrix::uniform(cfg.ribbons, 1.0)
+        } else {
+            TrafficMatrix::hotspot(cfg.ribbons, 1.0, 0, 0.4)
+        };
+        let horizon = SimTime::from_ns(25_000);
+        let deadline = cfg.drain.deadline(horizon);
+        let trace = trace_for(&cfg, &tm, load, horizon, seed);
+
+        let mut batch = HbmSwitch::new(cfg.clone()).expect("valid config");
+        let rb = batch.run_preloaded(&trace, deadline, &FaultPlan::default());
+        let mut streaming = HbmSwitch::new(cfg.clone()).expect("valid config");
+        streaming.run_source(source_for(&cfg, &tm, load, horizon, seed), deadline, &FaultPlan::default());
+        let rs = streaming.into_report();
+        prop_assert_eq!(report_json(&rb), report_json(&rs));
+    }
+}

@@ -12,7 +12,7 @@
 use rip_core::{FaultKind, FaultPlan, HbmSwitch, RouterConfig};
 use rip_hbm::{HbmGeometry, HbmGroup, HbmTiming, PfiConfig, PfiController};
 use rip_integration_tests::{trace_for, TimingChecker};
-use rip_traffic::TrafficMatrix;
+use rip_traffic::{ReplaySource, TrafficMatrix};
 use rip_units::{SimTime, TimeDelta};
 
 /// Replay every channel's recorded stream; panic on any violation.
@@ -39,7 +39,11 @@ fn uniform_workload_is_conformant() {
     let trace = trace_for(&cfg, &tm, 0.8, SimTime::from_ns(120_000), 11);
     let mut sw = HbmSwitch::new(cfg).expect("valid config");
     sw.set_hbm_command_recording(true);
-    sw.run(&trace, SimTime::from_ns(500_000));
+    sw.run_source(
+        ReplaySource::new(&trace),
+        SimTime::from_ns(500_000),
+        &FaultPlan::default(),
+    );
     assert_conformant(&sw, "uniform");
 }
 
@@ -50,7 +54,11 @@ fn hotspot_workload_is_conformant() {
     let trace = trace_for(&cfg, &tm, 0.8, SimTime::from_ns(120_000), 13);
     let mut sw = HbmSwitch::new(cfg).expect("valid config");
     sw.set_hbm_command_recording(true);
-    sw.run(&trace, SimTime::from_ns(500_000));
+    sw.run_source(
+        ReplaySource::new(&trace),
+        SimTime::from_ns(500_000),
+        &FaultPlan::default(),
+    );
     assert_conformant(&sw, "hotspot");
 }
 
@@ -80,7 +88,7 @@ fn faulted_workload_is_conformant() {
     plan.validate(&cfg).expect("plan valid");
     let mut sw = HbmSwitch::new(cfg).expect("valid config");
     sw.set_hbm_command_recording(true);
-    sw.run_with_faults(&trace, SimTime::from_ns(700_000), &plan);
+    sw.run_source(ReplaySource::new(&trace), SimTime::from_ns(700_000), &plan);
     assert_conformant(&sw, "faulted");
 }
 
