@@ -13,21 +13,30 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
-echo "==> bench smoke (schema check)"
+echo "==> bench smoke (schema check, live epoch streaming on)"
 bench_dir="$(mktemp -d)"
 trap 'rm -rf "$bench_dir"' EXIT
 cargo build --release -q -p rip-bench --bin repro
-(cd "$bench_dir" && "$OLDPWD/target/release/repro" bench --quick > /dev/null)
-for f in BENCH_sps_throughput.json BENCH_hbm_access.json BENCH_streaming_memory.json; do
+(cd "$bench_dir" && "$OLDPWD/target/release/repro" bench --quick --live-epochs > /dev/null)
+for f in BENCH_sps_throughput.json BENCH_hbm_access.json BENCH_streaming_memory.json \
+         BENCH_telemetry_overhead.json; do
   grep -o '"[a-z_0-9]*":' "$bench_dir/$f" | sort -u > "$bench_dir/$f.keys"
 done
 cat "$bench_dir"/BENCH_sps_throughput.json.keys "$bench_dir"/BENCH_hbm_access.json.keys \
   "$bench_dir"/BENCH_streaming_memory.json.keys \
+  "$bench_dir"/BENCH_telemetry_overhead.json.keys \
   | sort -u > "$bench_dir/bench.keys"
 diff -u tests/bench_schema_expected.txt "$bench_dir/bench.keys" \
   || { echo "BENCH_*.json schema drifted from tests/bench_schema_expected.txt"; exit 1; }
+test -s "$bench_dir/BENCH_sps_epochs.jsonl" \
+  || { echo "bench --live-epochs produced no BENCH_sps_epochs.jsonl"; exit 1; }
 
-echo "==> streaming soak smoke (bounded in-flight memory)"
-(cd "$bench_dir" && "$OLDPWD/target/release/repro" soak --quick)
+echo "==> streaming soak smoke (bounded in-flight memory + live epoch determinism)"
+for d in soak_a soak_b; do
+  mkdir "$bench_dir/$d"
+  (cd "$bench_dir/$d" && "$OLDPWD/target/release/repro" soak --quick --live-epochs)
+done
+cmp "$bench_dir/soak_a/SOAK_epochs.jsonl" "$bench_dir/soak_b/SOAK_epochs.jsonl" \
+  || { echo "same-seed live soak streams are not byte-identical"; exit 1; }
 
 echo "CI OK"

@@ -5,15 +5,24 @@
 //!   --quick   shrink simulation horizons (CI-friendly)
 //!   `E<n>`    run only the listed experiments
 //!
-//! `repro bench [--quick]` instead runs the perf-trajectory benchmarks
-//! and writes `BENCH_sps_throughput.json`, `BENCH_hbm_access.json` and
-//! `BENCH_streaming_memory.json` (stable schema, sim-time-derived
-//! metrics only — two same-seed runs are byte-identical).
+//! `repro bench [--quick] [--live-epochs]` instead runs the
+//! perf-trajectory benchmarks and writes `BENCH_sps_throughput.json`,
+//! `BENCH_hbm_access.json`, `BENCH_streaming_memory.json` and
+//! `BENCH_telemetry_overhead.json` (stable schema; all values except
+//! the overhead bench's wall-clock fields are sim-time-derived, so two
+//! same-seed runs are byte-identical). With `--live-epochs` the SPS
+//! throughput run also streams per-plane epoch deltas and sampled
+//! packet-lifecycle spans to `BENCH_sps_epochs.jsonl`.
 //!
-//! `repro soak [--quick]` runs the long-horizon streaming soak check:
-//! it quadruples the arrival horizon and asserts that offered traffic
-//! scales with it while the engine's peak in-flight packet count stays
-//! flat (O(in-flight) memory, not O(trace)). Exits non-zero on failure.
+//! `repro soak [--quick] [--live-epochs]` runs the long-horizon
+//! streaming soak check: it quadruples the arrival horizon and asserts
+//! that offered traffic scales with it while the engine's peak
+//! in-flight packet count stays flat (O(in-flight) memory, not
+//! O(trace)). With `--live-epochs` both runs stream epoch telemetry,
+//! the per-epoch `switch.packets.peak_in_flight` gauge series is
+//! asserted flat, and the full stream is written to
+//! `SOAK_epochs.jsonl` (byte-identical across same-seed runs — CI
+//! diffs it). Exits non-zero on failure.
 
 use rip_analysis::{
     area, buffering, capacity, datacenter, internal_traffic, modularity, power, random_access,
@@ -24,7 +33,8 @@ use rip_baselines::{
 };
 use rip_bench::{f, switch_trace, uniform_source, uniform_trace, Table};
 use rip_core::{
-    DrainPolicy, FaultPlan, HbmSwitch, MimicChecker, RouterConfig, SpsRouter, SpsWorkload,
+    DrainPolicy, FaultPlan, HbmSwitch, LiveOptions, MimicChecker, RouterConfig, SpsRouter,
+    SpsWorkload,
 };
 use rip_hbm::{
     AccessPattern, Direction, HbmGeometry, HbmGroup, HbmTiming, OpenPageController, PfiConfig,
@@ -49,12 +59,14 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("bench") {
         let quick = args.iter().any(|a| a == "--quick");
-        run_bench(quick);
+        let live = args.iter().any(|a| a == "--live-epochs");
+        run_bench(quick, live);
         return;
     }
     if args.first().map(String::as_str) == Some("soak") {
         let quick = args.iter().any(|a| a == "--quick");
-        run_soak(quick);
+        let live = args.iter().any(|a| a == "--live-epochs");
+        run_soak(quick, live);
         return;
     }
     let opts = Opts {
@@ -1045,6 +1057,30 @@ struct StreamingMemoryBench {
     batch_trace_bytes: Vec<u64>,
 }
 
+/// `BENCH_telemetry_overhead.json` (E23): wall-clock cost of the live
+/// epoch/span stream vs the silent path on the standard SPS config.
+/// The wall-clock fields are the only non-deterministic values any
+/// BENCH file carries — they are what "overhead" means — and CI pins
+/// only the schema keys, never values, so they stay outside the
+/// byte-diff contract. The stream-shape fields (`epochs_emitted`,
+/// `span_events`, `epoch_stream_bytes`) are fully deterministic.
+#[derive(serde::Serialize)]
+struct TelemetryOverheadBench {
+    schema: &'static str,
+    config: &'static str,
+    seed: u64,
+    load: f64,
+    horizon_ns: u64,
+    epoch_ns: u64,
+    sample_one_in: u64,
+    epochs_emitted: u64,
+    span_events: u64,
+    epoch_stream_bytes: u64,
+    silent_wall_ms: f64,
+    live_wall_ms: f64,
+    overhead_fraction: f64,
+}
+
 /// Run the streaming engine at `load` over `horizon` and return its
 /// consuming report (no trace is ever materialized).
 fn stream_run(
@@ -1059,6 +1095,25 @@ fn stream_run(
     sw.into_report()
 }
 
+/// [`stream_run`] with live telemetry: epoch deltas and sampled spans
+/// are buffered in a [`MemorySink`](rip_telemetry::MemorySink) and
+/// returned alongside the report.
+fn stream_run_live(
+    cfg: &RouterConfig,
+    load: f64,
+    horizon: SimTime,
+    seed: u64,
+    period: TimeDelta,
+) -> (rip_core::SwitchReport, rip_telemetry::MemorySink) {
+    let src = uniform_source(cfg, load, horizon, seed);
+    let mut sw = HbmSwitch::new(cfg.clone()).expect("valid config");
+    let staged = rip_telemetry::SharedSink::new();
+    sw.enable_live_telemetry(period, 64, Box::new(staged.clone()));
+    sw.run_source(src, cfg.drain.deadline(horizon), &FaultPlan::default());
+    let report = sw.into_report();
+    (report, staged.take())
+}
+
 fn write_json<T: serde::Serialize>(path: &str, value: &T) {
     let mut body = serde_json::to_string_pretty(value).expect("bench serialization");
     body.push('\n');
@@ -1066,7 +1121,7 @@ fn write_json<T: serde::Serialize>(path: &str, value: &T) {
     println!("wrote {path}");
 }
 
-fn run_bench(quick: bool) {
+fn run_bench(quick: bool, live: bool) {
     println!("Petabit Router-in-a-Package — benchmark emission");
     println!("mode: {}", if quick { "quick" } else { "full" });
 
@@ -1077,7 +1132,27 @@ fn run_bench(quick: bool) {
     let horizon = SimTime::from_ns(if quick { 40_000 } else { 200_000 });
     let router = SpsRouter::new(cfg.clone(), SplitPattern::Striped).expect("valid config");
     let w = SpsWorkload::uniform(cfg.ribbons, load, seed);
-    let r = router.run(&w, horizon);
+    let r = if live {
+        // Same run, but every plane streams epoch deltas and sampled
+        // lifecycle spans; the merged stream lands in a JSONL file.
+        let f = std::fs::File::create("BENCH_sps_epochs.jsonl").expect("create epochs file");
+        let mut sink = rip_telemetry::JsonlSink::new(std::io::BufWriter::new(f));
+        let r = router.run_streamed(
+            &w,
+            horizon,
+            &FaultPlan::default(),
+            LiveOptions {
+                period: TimeDelta::from_ns(2_000),
+                sample_one_in: 64,
+            },
+            &mut sink,
+        );
+        sink.flush();
+        println!("wrote BENCH_sps_epochs.jsonl ({} records)", sink.records());
+        r
+    } else {
+        router.run(&w, horizon)
+    };
     // Merge per-plane delay histograms in plane order (deterministic).
     let mut delays = rip_sim::stats::Histogram::new();
     for s in &r.switches {
@@ -1215,6 +1290,77 @@ fn run_bench(quick: bool) {
         batch_trace_bytes: batch_bytes,
     };
     write_json("BENCH_streaming_memory.json", &streaming);
+
+    // E23 — telemetry overhead: the live epoch/span stream vs the
+    // silent path, identical seed and horizon, min-of-3 wall clock.
+    let tel_seed = 0x0B5E;
+    let tel_load = 0.8;
+    let tel_horizon = SimTime::from_ns(if quick { 20_000 } else { 60_000 });
+    let tel_opts = LiveOptions {
+        period: TimeDelta::from_ns(5_000),
+        sample_one_in: 256,
+    };
+    let tel_router = SpsRouter::new(cfg.clone(), SplitPattern::Striped).expect("valid config");
+    let tel_w = SpsWorkload::uniform(cfg.ribbons, tel_load, tel_seed);
+    // Interleave silent and live reps and keep the min of each: on a
+    // multi-threaded 100 ms workload, back-to-back blocks of reps pick
+    // up machine drift that dwarfs the real streaming cost.
+    let reps = 5;
+    let mut silent_ms = f64::INFINITY;
+    let mut live_ms = f64::INFINITY;
+    let mut stream = Vec::new();
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        let r = tel_router.run(&tel_w, tel_horizon);
+        silent_ms = silent_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        assert!(r.offered.bytes() > 0);
+
+        let mut buf: Vec<u8> = Vec::with_capacity(1 << 20);
+        let mut sink = rip_telemetry::JsonlSink::new(&mut buf);
+        let t0 = std::time::Instant::now();
+        let r = tel_router.run_streamed(
+            &tel_w,
+            tel_horizon,
+            &FaultPlan::default(),
+            tel_opts,
+            &mut sink,
+        );
+        live_ms = live_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        drop(sink);
+        assert!(r.offered.bytes() > 0);
+        stream = buf;
+    }
+    let (mut epochs, mut spans) = (0u64, 0u64);
+    for line in stream.split(|&b| b == b'\n') {
+        if line.starts_with(b"{\"record\":\"epoch\"") {
+            epochs += 1;
+        } else if line.starts_with(b"{\"record\":\"span\"") {
+            spans += 1;
+        }
+    }
+    let overhead = (live_ms - silent_ms) / silent_ms;
+    let tel = TelemetryOverheadBench {
+        schema: "rip-bench/telemetry_overhead/v1",
+        config: "small",
+        seed: tel_seed,
+        load: tel_load,
+        horizon_ns: tel_horizon.as_ps() / 1000,
+        epoch_ns: tel_opts.period.as_ps() / 1000,
+        sample_one_in: tel_opts.sample_one_in,
+        epochs_emitted: epochs,
+        span_events: spans,
+        epoch_stream_bytes: stream.len() as u64,
+        silent_wall_ms: silent_ms,
+        live_wall_ms: live_ms,
+        overhead_fraction: overhead,
+    };
+    write_json("BENCH_telemetry_overhead.json", &tel);
+    println!(
+        "telemetry overhead: silent {silent_ms:.1} ms, live {live_ms:.1} ms \
+         ({:+.1}%, target < 5%), {epochs} epochs + {spans} spans = {} bytes",
+        overhead * 100.0,
+        stream.len()
+    );
     println!("\ndone.");
 }
 
@@ -1224,8 +1370,12 @@ fn run_bench(quick: bool) {
 
 /// Quadruple the arrival horizon and assert that offered traffic scales
 /// with it while the streaming engine's peak in-flight packet count
-/// stays flat. Exits non-zero if either property fails.
-fn run_soak(quick: bool) {
+/// stays flat. With `live`, both runs also stream epoch telemetry: the
+/// per-epoch `switch.packets.peak_in_flight` gauge series must be
+/// non-decreasing, plateau early (flat), and end at the report's value,
+/// and the whole stream is written to `SOAK_epochs.jsonl`. Exits
+/// non-zero if any property fails.
+fn run_soak(quick: bool, live: bool) {
     println!("Petabit Router-in-a-Package — streaming soak check");
     println!("mode: {}", if quick { "quick" } else { "full" });
     let cfg = RouterConfig::small();
@@ -1233,8 +1383,18 @@ fn run_soak(quick: bool) {
     let load = 0.8;
     let h1 = SimTime::from_ns(if quick { 20_000 } else { 100_000 });
     let h2 = SimTime::from_ps(h1.as_ps() * 4);
-    let r1 = stream_run(&cfg, load, h1, seed);
-    let r2 = stream_run(&cfg, load, h2, seed);
+    let period = TimeDelta::from_ns(2_000);
+    let (r1, r2, sinks) = if live {
+        let (r1, m1) = stream_run_live(&cfg, load, h1, seed, period);
+        let (r2, m2) = stream_run_live(&cfg, load, h2, seed, period);
+        (r1, r2, Some((m1, m2)))
+    } else {
+        (
+            stream_run(&cfg, load, h1, seed),
+            stream_run(&cfg, load, h2, seed),
+            None,
+        )
+    };
     for (h, r) in [(h1, &r1), (h2, &r2)] {
         println!(
             "horizon {h}: offered {} packets, delivered {}, peak in-flight {}",
@@ -1261,4 +1421,46 @@ fn run_soak(quick: bool) {
         r2.offered_packets as f64 / r1.offered_packets.max(1) as f64,
         r2.peak_in_flight_packets as f64 / r1.peak_in_flight_packets.max(1) as f64
     );
+    if let Some((m1, m2)) = sinks {
+        // The live stamp makes `switch.packets.peak_in_flight` a
+        // per-epoch gauge series (re-stamped at every boundary). On
+        // the 4x run it must be non-decreasing (it is a cumulative
+        // peak), plateau by the quarter mark — i.e. stay flat past the
+        // 1x-horizon-equivalent prefix — and end at the report value.
+        let series: Vec<f64> = m2
+            .records()
+            .iter()
+            .filter_map(|rec| match rec {
+                rip_telemetry::SinkRecord::Epoch { delta, .. } => delta
+                    .gauges()
+                    .get("switch.packets.peak_in_flight")
+                    .map(|g| g.value),
+                _ => None,
+            })
+            .collect();
+        let monotone = series.windows(2).all(|w| w[0] <= w[1]);
+        let last = series.last().copied().unwrap_or(0.0);
+        let quarter = series.get(series.len() / 4).copied().unwrap_or(0.0);
+        let flat = last <= 2.0 * quarter + 64.0;
+        let matches_report = last == r2.peak_in_flight_packets as f64;
+        if series.len() < 4 || !monotone || !flat || !matches_report {
+            eprintln!(
+                "soak FAILED: peak gauge series bad (epochs {}, monotone {monotone}, \
+                 quarter {quarter}, last {last}, report {})",
+                series.len(),
+                r2.peak_in_flight_packets
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "peak gauge series OK: {} epochs, quarter-mark {quarter}, final {last} (flat)",
+            series.len()
+        );
+        let f = std::fs::File::create("SOAK_epochs.jsonl").expect("create epochs file");
+        let mut sink = rip_telemetry::JsonlSink::new(std::io::BufWriter::new(f));
+        m1.replay_renamed("soak1x", &mut sink);
+        m2.replay_renamed("soak4x", &mut sink);
+        sink.flush();
+        println!("wrote SOAK_epochs.jsonl ({} records)", sink.records());
+    }
 }

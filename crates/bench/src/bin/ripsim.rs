@@ -8,9 +8,15 @@
 //! `ripsim trace [spec.json]` runs the spec (or the example spec) with
 //! event tracing on and streams the full telemetry surface — switch
 //! events, counters, gauges, histogram summaries, queue-depth series —
-//! to stdout as deterministic JSONL (sim-time-stamped only).
-//! `ripsim soak [spec.json]` reruns the spec at 4x its arrival horizon
-//! and checks the streaming engine's in-flight working set stays flat.
+//! to stdout as deterministic JSONL (sim-time-stamped only), closed by
+//! a terminal `run_end` record carrying the record count and the full
+//! metric totals. The writer is flushed even on early termination.
+//! `ripsim soak [spec.json] [--epoch <ps>]` reruns the spec at 4x its
+//! arrival horizon and checks the streaming engine's in-flight working
+//! set stays flat. With an epoch period (from `--epoch` or the spec's
+//! `epoch_ps` field) both runs stream live epoch deltas and sampled
+//! lifecycle spans to stdout as JSONL while they execute; the human
+//! summary moves to stderr.
 //!
 //! All simulation modes are pull-based: arrivals are generated on
 //! demand by a merged packet source, never materialized as a trace, so
@@ -21,6 +27,8 @@
 //! ripsim my_sim.json
 //! ripsim trace my_sim.json > telemetry.jsonl
 //! ripsim soak my_sim.json
+//! ripsim soak configs/soak_live.json > epochs.jsonl
+//! ripsim soak my_sim.json --epoch 2000000 > epochs.jsonl
 //! ripsim resilience
 //! ```
 
@@ -132,6 +140,12 @@ struct SimSpec {
     /// Extra drain time after the last arrival, as a multiple of the
     /// horizon.
     drain_factor: u64,
+    /// Live-telemetry epoch period in picoseconds (`ripsim soak`):
+    /// when set, epoch deltas and sampled lifecycle spans stream to
+    /// stdout as JSONL while the run executes. `--epoch <ps>` on the
+    /// command line overrides it. Absent/null = silent.
+    #[serde(default)]
+    epoch_ps: Option<u64>,
 }
 
 impl SimSpec {
@@ -146,6 +160,7 @@ impl SimSpec {
             seed: 42,
             horizon_us: 100,
             drain_factor: 4,
+            epoch_ps: None,
         }
     }
 }
@@ -246,25 +261,51 @@ fn run(spec: &SimSpec) -> Result<(), String> {
     Ok(())
 }
 
-/// `ripsim soak [spec.json]`: run the spec streaming at its horizon and
-/// again at 4x the horizon, and check that offered traffic scales with
-/// the horizon while the engine's peak in-flight packet count stays
-/// flat — the O(in-flight) memory property of the pull-based engine.
+/// `ripsim soak [spec.json] [--epoch <ps>]`: run the spec streaming at
+/// its horizon and again at 4x the horizon, and check that offered
+/// traffic scales with the horizon while the engine's peak in-flight
+/// packet count stays flat — the O(in-flight) memory property of the
+/// pull-based engine. With an epoch period, both runs stream live
+/// epoch deltas (plus 1-in-256 sampled lifecycle spans) to stdout as
+/// JSONL while they execute, and the human summary moves to stderr so
+/// the stream stays machine-clean.
 fn run_soak(spec: &SimSpec) -> Result<(), String> {
+    let period = match spec.epoch_ps {
+        Some(0) => return Err("epoch_ps must be positive".into()),
+        Some(ps) => Some(rip_units::TimeDelta::from_ps(ps)),
+        None => None,
+    };
+    // Route the human lines to stderr whenever JSONL owns stdout.
+    let say: fn(std::fmt::Arguments) = if period.is_some() {
+        |a| eprintln!("{a}")
+    } else {
+        |a| println!("{a}")
+    };
     let mut reports = Vec::new();
     for mult in [1u64, 4] {
         let horizon = SimTime::from_ns(spec.horizon_us * 1000 * mult);
         let source = build_source(spec, horizon)?;
         let mut sw = HbmSwitch::new(spec.router.clone()).map_err(|e| e.to_string())?;
+        if let Some(period) = period {
+            let sink = rip_telemetry::JsonlSink::new(std::io::BufWriter::new(std::io::stdout()));
+            sw.enable_live_telemetry(period, 256, Box::new(sink));
+        }
         sw.run_source(source, drain_deadline(spec, horizon), &FaultPlan::default());
+        let epochs = sw.live_epochs_emitted();
+        let spans = sw.live_spans_emitted();
         let r = sw.into_report();
-        println!(
+        say(format_args!(
             "horizon {} us: offered {}, delivered {}, peak in-flight {}",
             spec.horizon_us * mult,
             r.offered_packets,
             r.delivered_packets,
             r.peak_in_flight_packets
-        );
+        ));
+        if period.is_some() {
+            say(format_args!(
+                "streamed {epochs} epoch deltas and {spans} lifecycle spans"
+            ));
+        }
         reports.push(r);
     }
     let (r1, r2) = (&reports[0], &reports[1]);
@@ -280,7 +321,9 @@ fn run_soak(spec: &SimSpec) -> Result<(), String> {
             r1.peak_in_flight_packets, r2.peak_in_flight_packets
         ));
     }
-    println!("soak OK: in-flight working set stays bounded at 4x the horizon");
+    say(format_args!(
+        "soak OK: in-flight working set stays bounded at 4x the horizon"
+    ));
     Ok(())
 }
 
@@ -342,11 +385,60 @@ struct SeriesLine {
     value: f64,
 }
 
-fn emit<T: Serialize>(line: &T) {
-    println!(
-        "{}",
-        serde_json::to_string(line).expect("trace line serializes")
-    );
+/// Terminal record of a trace stream: carries the number of records
+/// emitted before it plus the full metric totals, so a consumer can
+/// both detect truncation and cross-check the per-record stream.
+#[derive(Serialize)]
+struct RunEndLine {
+    record: String,
+    t_ps: u64,
+    records: u64,
+    totals: rip_telemetry::MetricsRegistry,
+}
+
+/// JSONL writer for `ripsim trace`: buffers stdout, counts records,
+/// and flushes even when the process unwinds early (broken pipe,
+/// panic), so a consumer never silently loses the tail of a trace.
+struct JsonlGuard {
+    out: std::io::BufWriter<std::io::Stdout>,
+    records: u64,
+}
+
+impl JsonlGuard {
+    fn new() -> Self {
+        JsonlGuard {
+            out: std::io::BufWriter::new(std::io::stdout()),
+            records: 0,
+        }
+    }
+
+    fn emit<T: Serialize>(&mut self, line: &T) {
+        use std::io::Write;
+        let s = serde_json::to_string(line).expect("trace line serializes");
+        self.out.write_all(s.as_bytes()).expect("write trace line");
+        self.out.write_all(b"\n").expect("write trace line");
+        self.records += 1;
+    }
+
+    /// Close the stream with the terminal `run_end` record and flush.
+    fn finish(mut self, at: SimTime, totals: rip_telemetry::MetricsRegistry) {
+        use std::io::Write;
+        let records = self.records;
+        self.emit(&RunEndLine {
+            record: "run_end".into(),
+            t_ps: at.as_ps(),
+            records,
+            totals,
+        });
+        self.out.flush().expect("flush trace stream");
+    }
+}
+
+impl Drop for JsonlGuard {
+    fn drop(&mut self) {
+        use std::io::Write;
+        let _ = self.out.flush();
+    }
 }
 
 /// Run `spec` with event tracing on and stream the whole telemetry
@@ -373,27 +465,28 @@ fn run_trace(spec: &SimSpec) -> Result<(), String> {
         .collect();
     let r = sw.into_report();
 
-    emit(&MetaLine {
+    let mut out = JsonlGuard::new();
+    out.emit(&MetaLine {
         record: "meta".into(),
         schema: "rip-trace/v1".into(),
         spec: spec.clone(),
     });
     for &(at, event) in &events {
-        emit(&EventLine {
+        out.emit(&EventLine {
             record: "event".into(),
             t_ps: at.as_ps(),
             event,
         });
     }
     for (name, &value) in r.metrics.counters() {
-        emit(&CounterLine {
+        out.emit(&CounterLine {
             record: "counter".into(),
             name: name.clone(),
             value,
         });
     }
     for (name, g) in r.metrics.gauges() {
-        emit(&GaugeLine {
+        out.emit(&GaugeLine {
             record: "gauge".into(),
             name: name.clone(),
             at_ps: g.at.as_ps(),
@@ -401,7 +494,7 @@ fn run_trace(spec: &SimSpec) -> Result<(), String> {
         });
     }
     for (name, h) in r.metrics.histograms() {
-        emit(&HistogramLine {
+        out.emit(&HistogramLine {
             record: "histogram".into(),
             name: name.clone(),
             count: h.count(),
@@ -412,7 +505,7 @@ fn run_trace(spec: &SimSpec) -> Result<(), String> {
         });
     }
     for &(t, value) in &hbm_points {
-        emit(&SeriesLine {
+        out.emit(&SeriesLine {
             record: "series".into(),
             name: "hbm.frame_occupancy".into(),
             t_ps: t.as_ps(),
@@ -422,7 +515,7 @@ fn run_trace(spec: &SimSpec) -> Result<(), String> {
     for (o, points) in output_points.iter().enumerate() {
         let name = format!("out{o:02}.queue_depth_frames");
         for &(t, value) in points {
-            emit(&SeriesLine {
+            out.emit(&SeriesLine {
                 record: "series".into(),
                 name: name.clone(),
                 t_ps: t.as_ps(),
@@ -430,6 +523,12 @@ fn run_trace(spec: &SimSpec) -> Result<(), String> {
             });
         }
     }
+    let end = r
+        .departures
+        .iter()
+        .map(|d| d.time)
+        .fold(SimTime::ZERO, SimTime::max);
+    out.finish(end, r.metrics);
     Ok(())
 }
 
@@ -589,7 +688,33 @@ fn main() {
         return;
     }
     if args.first().map(String::as_str) == Some("soak") {
-        let spec = args.get(1).map_or_else(SimSpec::example, |p| load_spec(p));
+        let mut spec_path: Option<&str> = None;
+        let mut epoch: Option<u64> = None;
+        let mut rest = args[1..].iter();
+        while let Some(a) = rest.next() {
+            if a == "--epoch" {
+                let Some(v) = rest.next() else {
+                    eprintln!("ripsim: --epoch needs a value in picoseconds");
+                    std::process::exit(2);
+                };
+                match v.parse::<u64>() {
+                    Ok(ps) => epoch = Some(ps),
+                    Err(e) => {
+                        eprintln!("ripsim: bad --epoch value {v}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            } else if spec_path.is_none() {
+                spec_path = Some(a);
+            } else {
+                eprintln!("ripsim: unexpected argument {a}");
+                std::process::exit(2);
+            }
+        }
+        let mut spec = spec_path.map_or_else(SimSpec::example, load_spec);
+        if epoch.is_some() {
+            spec.epoch_ps = epoch;
+        }
         if let Err(e) = run_soak(&spec) {
             eprintln!("ripsim: soak FAILED: {e}");
             std::process::exit(1);
@@ -606,7 +731,8 @@ fn main() {
     let Some(path) = args.first() else {
         eprintln!(
             "usage: ripsim <spec.json> | ripsim trace [spec.json] | \
-             ripsim soak [spec.json] | ripsim --example-spec | ripsim resilience"
+             ripsim soak [spec.json] [--epoch <ps>] | ripsim --example-spec | \
+             ripsim resilience"
         );
         std::process::exit(2);
     };

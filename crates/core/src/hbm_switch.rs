@@ -7,7 +7,7 @@ use std::collections::{HashSet, VecDeque};
 use rip_hbm::{HbmGroup, PfiController};
 use rip_sim::stats::Histogram;
 use rip_sim::{EventQueue, Feeder, Series, TraceLog};
-use rip_telemetry::MetricsRegistry;
+use rip_telemetry::{EpochClock, MetricsRegistry, Snapshot, SpanEvent, TelemetrySink};
 use rip_traffic::{Packet, PacketSource, ReplaySource};
 use rip_units::{DataRate, DataSize, SimTime, TimeDelta};
 use serde::{Deserialize, Serialize};
@@ -53,6 +53,63 @@ pub enum SwitchEvent {
         output: usize,
     },
 }
+
+/// Registry name the switch publishes live records under (the SPS
+/// layer renames per-plane streams to `plane00`, `plane01`, …).
+const LIVE_SOURCE: &str = "switch";
+
+/// Live-streaming state, present only when
+/// [`HbmSwitch::enable_live_telemetry`] was called. Everything here is
+/// driven by sim time and the packet's own flow hash, so enabling it
+/// never perturbs the simulation itself — two same-seed runs stream
+/// byte-identical records, and the silent path is untouched.
+struct LiveTelemetry {
+    clock: EpochClock,
+    /// Registry state at the last flushed boundary.
+    prev: Snapshot,
+    sink: Box<dyn TelemetrySink + Send>,
+    /// Lifecycle sampling: packets whose flow hash satisfies
+    /// `fnv1a(flow) % sample_one_in == 0` get span events (0 = off).
+    sample_one_in: u64,
+    /// Ids of sampled packets currently inside the switch.
+    sampled: PacketIdSet,
+    epochs_emitted: u64,
+    spans_emitted: u64,
+    /// `run_source` finished and the terminal records were emitted.
+    finished: bool,
+}
+
+impl LiveTelemetry {
+    fn samples_flow(&self, flow: &rip_traffic::FlowKey) -> bool {
+        self.sample_one_in > 0
+            && rip_traffic::hash::fnv1a(&flow.to_bytes()).is_multiple_of(self.sample_one_in)
+    }
+}
+
+/// Hasher for the sampled-packet id set. The set is probed once per
+/// chunk on the live path, so SipHash would be measurable overhead; a
+/// single Fibonacci multiply mixes the (near-sequential) packet ids
+/// well enough for membership tests.
+#[derive(Default)]
+struct PacketIdHasher(u64);
+
+impl std::hash::Hasher for PacketIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type PacketIdSet = HashSet<u64, std::hash::BuildHasherDefault<PacketIdHasher>>;
 
 /// Events of the switch simulation.
 #[derive(Debug)]
@@ -217,6 +274,12 @@ pub struct HbmSwitch {
     /// Per-output HBM queue depth over time (frames), sampled at every
     /// frame write/read with bounded memory.
     output_depth: Vec<Series>,
+    /// Live epoch streaming + lifecycle sampling (None = silent).
+    live: Option<LiveTelemetry>,
+    /// Cached next epoch boundary in ps; `u64::MAX` when live telemetry
+    /// is off or finished. Keeps the per-event flush check to one
+    /// integer compare.
+    live_boundary_ps: u64,
 }
 
 impl HbmSwitch {
@@ -279,6 +342,8 @@ impl HbmSwitch {
             hbm_occupancy: Series::new(4096),
             metrics: MetricsRegistry::new(),
             output_depth: (0..n).map(|_| Series::new(1024)).collect(),
+            live: None,
+            live_boundary_ps: u64::MAX,
             group,
             pfi,
             cfg,
@@ -299,6 +364,166 @@ impl HbmSwitch {
     /// The recorded trace, if tracing was enabled.
     pub fn trace(&self) -> Option<&TraceLog<SwitchEvent>> {
         self.trace.as_ref()
+    }
+
+    /// Stream live telemetry into `sink` while [`HbmSwitch::run_source`]
+    /// executes: one [`rip_telemetry::EpochDelta`] per `period` of sim
+    /// time, plus sampled packet-lifecycle span events when
+    /// `sample_one_in > 0` (a packet is sampled when
+    /// `fnv1a(flow) % sample_one_in == 0` — keyed on the flow hash, not
+    /// an RNG, so the sampled set is identical across same-seed runs).
+    ///
+    /// Determinism rules: epoch boundaries are exact multiples of
+    /// `period` in sim time (never wall-clock), all record maps are
+    /// `BTreeMap`-ordered, and streaming never alters the simulation —
+    /// a live run's report is the silent run's report plus the live
+    /// gauge series. The final epoch delta is taken against the full
+    /// end-of-run registry (device + photonic aggregates included), so
+    /// replaying every emitted delta reconstructs
+    /// [`SwitchReport::metrics`] byte-identically.
+    ///
+    /// Only [`HbmSwitch::run_source`] flushes; [`HbmSwitch::run_preloaded`]
+    /// (the batch oracle) stays silent.
+    pub fn enable_live_telemetry(
+        &mut self,
+        period: TimeDelta,
+        sample_one_in: u64,
+        sink: Box<dyn TelemetrySink + Send>,
+    ) {
+        let clock = EpochClock::new(period);
+        self.live_boundary_ps = clock.next_boundary().as_ps();
+        self.live = Some(LiveTelemetry {
+            clock,
+            prev: Snapshot::empty(),
+            sink,
+            sample_one_in,
+            sampled: PacketIdSet::default(),
+            epochs_emitted: 0,
+            spans_emitted: 0,
+            finished: false,
+        });
+    }
+
+    /// Epoch records emitted so far (0 when live telemetry is off).
+    pub fn live_epochs_emitted(&self) -> u64 {
+        self.live.as_ref().map_or(0, |l| l.epochs_emitted)
+    }
+
+    /// Span records emitted so far (0 when live telemetry is off).
+    pub fn live_spans_emitted(&self) -> u64 {
+        self.live.as_ref().map_or(0, |l| l.spans_emitted)
+    }
+
+    /// Flush every epoch whose boundary is at or before the next event
+    /// time `t` (an event exactly at a boundary belongs to the next
+    /// epoch). `pulled` is the feeder's source-progress counter.
+    ///
+    /// Called before every event dispatch, so the no-flush case must be
+    /// one integer compare: `live_boundary_ps` caches the next boundary
+    /// and is `u64::MAX` whenever live telemetry is off or finished.
+    #[inline]
+    fn live_flush_epochs(&mut self, t: SimTime, pulled: u64) {
+        while t.as_ps() >= self.live_boundary_ps {
+            self.live_flush_one(pulled);
+        }
+    }
+
+    /// Close the currently accumulating epoch and emit its delta.
+    fn live_flush_one(&mut self, pulled: u64) {
+        // Take `live` out so the sink call can borrow `self.metrics`
+        // without aliasing.
+        let mut live = self.live.take().expect("live checked by caller");
+        let (epoch, _from, to) = live.clock.advance();
+        self.live_boundary_ps = live.clock.next_boundary().as_ps();
+        self.stamp_live_gauges(to, pulled);
+        let snap = self.metrics.snapshot(to);
+        let delta = snap.delta_since(&live.prev);
+        live.sink.on_epoch(LIVE_SOURCE, epoch, &delta);
+        live.prev = snap;
+        live.epochs_emitted += 1;
+        self.live = Some(live);
+    }
+
+    /// The per-epoch gauge series: working-set and source progress,
+    /// stamped at the epoch boundary so soak runs can watch growth live.
+    fn stamp_live_gauges(&mut self, at: SimTime, pulled: u64) {
+        self.metrics
+            .set_gauge("switch.packets.in_flight", at, self.live_packets as f64);
+        self.metrics.set_gauge(
+            "switch.packets.peak_in_flight",
+            at,
+            self.peak_in_flight as f64,
+        );
+        self.metrics.set_gauge(
+            "switch.packets.delivered",
+            at,
+            self.delivered_packets as f64,
+        );
+        self.metrics
+            .set_gauge("switch.feeder.pulled_packets", at, pulled as f64);
+    }
+
+    /// Emit the terminal records: a final epoch delta taken against the
+    /// complete end-of-run registry (so merged deltas reconstruct
+    /// [`SwitchReport::metrics`] exactly), then `run_end` with the
+    /// totals.
+    fn live_finish(&mut self, pulled: u64) {
+        if self.live.as_ref().is_none_or(|l| l.finished) {
+            return;
+        }
+        // Same end-of-run instant the report derives.
+        let first = self.first_arrival.unwrap_or(SimTime::ZERO);
+        let span = self.last_departure.saturating_since(first);
+        let end = first + span;
+        let mut live = self.live.take().expect("checked above");
+        let epoch = live.clock.epoch();
+        self.stamp_live_gauges(end, pulled);
+        let final_metrics = self.final_metrics(end, span);
+        let snap = final_metrics.snapshot(end);
+        let delta = snap.delta_since(&live.prev);
+        live.sink.on_epoch(LIVE_SOURCE, epoch, &delta);
+        live.epochs_emitted += 1;
+        live.sink.on_run_end(LIVE_SOURCE, end, &final_metrics);
+        live.prev = snap;
+        live.finished = true;
+        self.live_boundary_ps = u64::MAX;
+        self.live = Some(live);
+    }
+
+    /// Emit `stage` for `packet` if it is being sampled.
+    fn live_span(&mut self, packet: u64, stage: &'static str, at: SimTime, port: usize) {
+        if let Some(live) = self.live.as_mut() {
+            if live.sampled.contains(&packet) {
+                live.spans_emitted += 1;
+                live.sink.on_span(
+                    LIVE_SOURCE,
+                    &SpanEvent {
+                        packet,
+                        stage,
+                        at,
+                        port,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Emit a terminal `stage` for `packet` and stop sampling it.
+    fn live_span_end(&mut self, packet: u64, stage: &'static str, at: SimTime, port: usize) {
+        if let Some(live) = self.live.as_mut() {
+            if live.sampled.remove(&packet) {
+                live.spans_emitted += 1;
+                live.sink.on_span(
+                    LIVE_SOURCE,
+                    &SpanEvent {
+                        packet,
+                        stage,
+                        at,
+                        port,
+                    },
+                );
+            }
+        }
     }
 
     /// HBM frame-occupancy series (non-empty only when tracing is on).
@@ -351,6 +576,17 @@ impl HbmSwitch {
 
     fn write_frame(&mut self, now: SimTime, frame: Frame) {
         let o = frame.output;
+        if self.live.is_some() {
+            let mut last = u64::MAX;
+            for batch in &frame.batches {
+                for c in &batch.chunks {
+                    if c.packet != last {
+                        last = c.packet;
+                        self.live_span(c.packet, "hbm_write", now, o);
+                    }
+                }
+            }
+        }
         // Frame fill efficiency: payload actually carried vs. the fixed
         // frame capacity the HBM write pays for.
         self.metrics
@@ -527,10 +763,41 @@ impl HbmSwitch {
                 self.dropped_packets_congestion += 1;
             }
             self.record(now, SwitchEvent::InputDrop { input: p.input });
+            // A would-be-sampled packet's drop is still visible in the
+            // span stream (it was never admitted, so it is not tracked).
+            if let Some(live) = self.live.as_mut() {
+                if live.samples_flow(&p.flow) {
+                    live.spans_emitted += 1;
+                    live.sink.on_span(
+                        LIVE_SOURCE,
+                        &SpanEvent {
+                            packet: p.id,
+                            stage: "input_drop",
+                            at: now,
+                            port: p.input,
+                        },
+                    );
+                }
+            }
             return;
         }
         self.live_packets += 1;
         self.peak_in_flight = self.peak_in_flight.max(self.live_packets);
+        if let Some(live) = self.live.as_mut() {
+            if live.samples_flow(&p.flow) {
+                live.sampled.insert(p.id);
+                live.spans_emitted += 1;
+                live.sink.on_span(
+                    LIVE_SOURCE,
+                    &SpanEvent {
+                        packet: p.id,
+                        stage: "arrival",
+                        at: now,
+                        port: p.input,
+                    },
+                );
+            }
+        }
         let was_empty = a.queued(p.output).is_zero();
         let batches = a.push(&p);
         let queued = self.assemblers[p.input].total_queued();
@@ -556,6 +823,17 @@ impl HbmSwitch {
     }
 
     fn on_batch_at_tail(&mut self, now: SimTime, b: Batch) {
+        if self.live.is_some() {
+            // A packet's chunks are contiguous within a batch, so
+            // adjacent dedupe yields one span per packet per batch.
+            let mut last = u64::MAX;
+            for c in &b.chunks {
+                if c.packet != last {
+                    last = c.packet;
+                    self.live_span(c.packet, "sram_enqueue", now, b.output);
+                }
+            }
+        }
         if let Some(frame) = self.tail.push_batch(b) {
             let o = frame.output;
             if !self.pfi.can_accept_frame(&self.group, o) {
@@ -571,6 +849,7 @@ impl HbmSwitch {
                             } else {
                                 self.dropped_packets_congestion += 1;
                             }
+                            self.live_span_end(c.packet, "frame_drop", now, o);
                         }
                     }
                 }
@@ -596,6 +875,17 @@ impl HbmSwitch {
                     .expect("frames_buffered > 0");
                 let (frame, written) = self.hbm_frames[o].pop_front().expect("mirror in sync");
                 self.pending_to_head[o] += 1;
+                if self.live.is_some() {
+                    let mut last = u64::MAX;
+                    for batch in &frame.batches {
+                        for c in &batch.chunks {
+                            if c.packet != last {
+                                last = c.packet;
+                                self.live_span(c.packet, "hbm_read", now, o);
+                            }
+                        }
+                    }
+                }
                 // HBM-path latency: write completion → head arrival.
                 self.metrics
                     .observe("switch.path.hbm_ns", op.end.since(written).as_ns_f64());
@@ -618,6 +908,17 @@ impl HbmSwitch {
                 let frame = self.tail.take_padded_frame(o).expect("forming_len > 0");
                 self.padded_bytes += self.cfg.batch_size() * frame.padded_batches;
                 self.pending_to_head[o] += 1;
+                if self.live.is_some() {
+                    let mut last = u64::MAX;
+                    for batch in &frame.batches {
+                        for c in &batch.chunks {
+                            if c.packet != last {
+                                last = c.packet;
+                                self.live_span(c.packet, "hbm_bypass", now, o);
+                            }
+                        }
+                    }
+                }
                 self.metrics
                     .observe("switch.path.bypass_ns", self.bypass_latency().as_ns_f64());
                 self.metrics.inc("switch.frames.bypass", 1);
@@ -644,6 +945,7 @@ impl HbmSwitch {
                     self.live_packets -= 1;
                     self.delays_ns.record(d.time.since(d.arrival).as_ns_f64());
                     self.last_departure = self.last_departure.max(d.time);
+                    self.live_span_end(d.packet, "departure", d.time, o);
                     self.departures.push(d);
                 }
                 q.schedule(end, Ev::Drain(o));
@@ -770,6 +1072,7 @@ impl HbmSwitch {
                 if at > horizon {
                     break;
                 }
+                self.live_flush_epochs(at, feeder.pulled());
                 let (_, p) = feeder.pop().expect("peeked");
                 self.handle(&mut q, at, Ev::Arrival(p));
             } else {
@@ -777,11 +1080,15 @@ impl HbmSwitch {
                 if t > horizon {
                     break;
                 }
+                self.live_flush_epochs(t, feeder.pulled());
                 let (now, ev) = q.pop().expect("peeked");
                 self.handle(&mut q, now, ev);
             }
         }
         self.roll_capacity(self.last_departure);
+        let pulled = feeder.pulled();
+        drop(feeder);
+        self.live_finish(pulled);
     }
 
     /// Build the report from current state, cloning the delay histogram
@@ -910,6 +1217,15 @@ impl HbmSwitch {
         // SPS merges registries, giving an upper bound on the router's
         // total in-flight footprint.
         m.inc("switch.packets.peak_in_flight", self.peak_in_flight);
+        // Run totals as counters (additive across planes under the SPS
+        // merge; the live gauge series of the same names carries the
+        // per-epoch view).
+        m.inc("switch.packets.offered", self.offered_packets);
+        m.inc("switch.packets.delivered", self.delivered_packets);
+        m.inc(
+            "switch.packets.dropped",
+            self.dropped_packets_fault + self.dropped_packets_congestion,
+        );
         // Frame fill efficiency over everything written to the HBM.
         let cap = m.counter("switch.frame.capacity_bytes");
         if cap > 0 {

@@ -62,5 +62,5 @@ pub use hbm_switch::{HbmSwitch, SwitchEvent, SwitchReport};
 pub use mimic::{MimicChecker, MimicReport};
 pub use output::{OutputPort, PacketDeparture};
 pub use resilience::{FaultAction, FaultEvent, FaultKind, FaultPlan, FaultPlanError};
-pub use sps::{PerSwitch, PlaneSource, SpsReport, SpsRouter, SpsWorkload};
+pub use sps::{LiveOptions, PerSwitch, PlaneSource, SpsReport, SpsRouter, SpsWorkload};
 pub use sram::{Frame, HeadSram, SramOccupancy, TailSram};

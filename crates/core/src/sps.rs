@@ -3,13 +3,13 @@
 //! exactly one of them (one OEO conversion).
 
 use rip_photonics::{FrontEnd, SplitMap, SplitPattern};
-use rip_telemetry::MetricsRegistry;
+use rip_telemetry::{MetricsRegistry, SharedSink, TelemetrySink};
 use rip_traffic::hash::{lane_for, HashKind};
 use rip_traffic::{
     ArrivalProcess, BoundedSource, FiberFill, Packet, PacketGenerator, PacketSource,
     SizeDistribution, TrafficMatrix,
 };
-use rip_units::{DataSize, SimTime};
+use rip_units::{DataSize, SimTime, TimeDelta};
 use serde::{Deserialize, Serialize};
 
 use crate::config::RouterConfig;
@@ -50,6 +50,16 @@ impl SpsWorkload {
             seed,
         }
     }
+}
+
+/// Options controlling live epoch streaming in
+/// [`SpsRouter::run_streamed`].
+#[derive(Debug, Clone, Copy)]
+pub struct LiveOptions {
+    /// Epoch period (sim time) of every plane's epoch clock.
+    pub period: TimeDelta,
+    /// Lifecycle sampling: 1-in-N packets by flow hash (0 = off).
+    pub sample_one_in: u64,
 }
 
 /// Per-switch summary within an SPS report.
@@ -360,12 +370,45 @@ impl SpsRouter {
         horizon: SimTime,
         plan: &FaultPlan,
     ) -> SpsReport {
+        self.run_inner(w, horizon, plan, None)
+    }
+
+    /// [`SpsRouter::run_with_faults`] with live telemetry: every plane
+    /// streams epoch deltas (and sampled lifecycle spans) while it
+    /// runs. Per-plane records are buffered on the worker threads and
+    /// replayed into `sink` in plane order after the ordered join,
+    /// renamed `plane00`, `plane01`, … — so the stream is byte-stable
+    /// across thread schedules, exactly like the merged report. A final
+    /// `sps` `run_end` record carries the plane-merged registry.
+    pub fn run_streamed(
+        &self,
+        w: &SpsWorkload,
+        horizon: SimTime,
+        plan: &FaultPlan,
+        opts: LiveOptions,
+        sink: &mut dyn TelemetrySink,
+    ) -> SpsReport {
+        self.run_inner(w, horizon, plan, Some((opts, sink)))
+    }
+
+    fn run_inner(
+        &self,
+        w: &SpsWorkload,
+        horizon: SimTime,
+        plan: &FaultPlan,
+        live: Option<(LiveOptions, &mut dyn TelemetrySink)>,
+    ) -> SpsReport {
         plan.validate(&self.cfg)
             .expect("fault plan must be valid for this router");
         let drain = self.cfg.drain.deadline(horizon);
         let plans: Vec<FaultPlan> = (0..self.cfg.switches)
             .map(|s| plan.project_switch(&self.cfg, s))
             .collect();
+        let live_opts = live.as_ref().map(|(o, _)| *o);
+        // Per-plane staging buffers for live records (empty and unused
+        // when running silent).
+        let plane_sinks: Vec<SharedSink> =
+            (0..self.cfg.switches).map(|_| SharedSink::new()).collect();
         // Each plane pulls its arrivals from a streaming front-end
         // demux instead of a materialized trace: memory per plane is
         // O(fibers + in-flight), independent of horizon. Reports are
@@ -377,8 +420,16 @@ impl SpsRouter {
                 .map(|(plane, sub_plan)| {
                     let cfg = self.cfg.clone();
                     let mut src = self.plane_source(w, horizon, plan, plane);
+                    let plane_sink = plane_sinks[plane].clone();
                     scope.spawn(move |_| {
                         let mut sw = HbmSwitch::new(cfg).expect("validated config");
+                        if let Some(o) = live_opts {
+                            sw.enable_live_telemetry(
+                                o.period,
+                                o.sample_one_in,
+                                Box::new(plane_sink),
+                            );
+                        }
                         sw.run_source(&mut src, drain, sub_plan);
                         (
                             sw.into_report(),
@@ -437,7 +488,7 @@ impl SpsRouter {
         } else {
             offered.bits() / switches.len() as u64
         };
-        SpsReport {
+        let report = SpsReport {
             offered,
             delivered,
             loss_fraction: if offered.is_zero() {
@@ -455,7 +506,18 @@ impl SpsRouter {
             front_end_dropped: fe_dropped,
             plane_overload,
             metrics,
+        };
+        if let Some((_, sink)) = live {
+            // Replay each plane's buffered stream in plane order, then
+            // close with the router-level merged totals.
+            for (plane, staged) in plane_sinks.iter().enumerate() {
+                staged
+                    .take()
+                    .replay_renamed(&format!("plane{plane:02}"), sink);
+            }
+            sink.on_run_end("sps", drain, &report.metrics);
         }
+        report
     }
 
     /// The photonic-fault epochs of `plan`: every wavelength-loss or

@@ -25,6 +25,9 @@ pub struct Feeder<T, F> {
     source_done: bool,
     /// Largest time pulled so far, for the ordering check.
     last_pulled: SimTime,
+    /// Items pulled from the source so far (including still-buffered
+    /// lookahead items).
+    pulled: u64,
 }
 
 impl<T, F: FnMut() -> Option<(SimTime, T)>> Feeder<T, F> {
@@ -41,6 +44,7 @@ impl<T, F: FnMut() -> Option<(SimTime, T)>> Feeder<T, F> {
             lookahead: lookahead.max(1),
             source_done: false,
             last_pulled: SimTime::ZERO,
+            pulled: 0,
         }
     }
 
@@ -53,6 +57,7 @@ impl<T, F: FnMut() -> Option<(SimTime, T)>> Feeder<T, F> {
                         "source must yield non-decreasing times"
                     );
                     self.last_pulled = t;
+                    self.pulled += 1;
                     self.buf.push_back((t, item));
                 }
                 None => self.source_done = true,
@@ -76,6 +81,14 @@ impl<T, F: FnMut() -> Option<(SimTime, T)>> Feeder<T, F> {
     pub fn is_exhausted(&mut self) -> bool {
         self.fill();
         self.source_done && self.buf.is_empty()
+    }
+
+    /// Items pulled from the source so far. Counts lookahead pulls the
+    /// driver has not consumed yet — it measures source progress, not
+    /// driver progress — and is deterministic for a deterministic
+    /// source, so it is safe to export as live telemetry.
+    pub fn pulled(&self) -> u64 {
+        self.pulled
     }
 }
 
@@ -122,6 +135,18 @@ mod tests {
         assert!(f.peek_time().is_some());
         let (_, first) = f.pop().unwrap();
         assert_eq!(first, 1);
+    }
+
+    #[test]
+    fn pulled_counts_source_progress() {
+        let v = [1, 2, 3];
+        let mut f = Feeder::new(times(&v));
+        assert_eq!(f.pulled(), 0);
+        // Peeking pulls one lookahead item.
+        f.peek_time();
+        assert_eq!(f.pulled(), 1);
+        while f.pop().is_some() {}
+        assert_eq!(f.pulled(), 3);
     }
 
     #[test]

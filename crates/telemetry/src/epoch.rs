@@ -1,0 +1,321 @@
+//! Epoch snapshot/delta support for live telemetry streaming.
+//!
+//! A run is divided into fixed-period epochs by [`EpochClock`], driven
+//! purely by [`SimTime`] (integer picoseconds) — never wall-clock — so
+//! the epoch boundaries, and therefore the emitted stream, are
+//! byte-identical across same-seed runs. At each boundary the engine
+//! takes a [`Snapshot`] of its registry and emits the
+//! [`EpochDelta`] against the previous snapshot.
+//!
+//! The delta algebra is designed so that deltas are *mergeable*:
+//!
+//! * `delta(a, b) ⊕ delta(b, c) == delta(a, c)` (associative merge),
+//! * replaying every epoch delta of a run, in order, onto an empty
+//!   registry reconstructs the final registry byte-identically
+//!   ([`crate::MetricsRegistry::apply_delta`]).
+//!
+//! Three representation rules make that work:
+//!
+//! * **counters** carry increments (`new - old`), omitted when zero —
+//!   except a counter's *first appearance*, which is always emitted
+//!   (even at zero) so the replay creates the key and reconstruction
+//!   stays byte-exact for registries that pre-register zero counters;
+//! * **histograms** carry count/reject/bucket increments but keep the
+//!   *newer cumulative* min/max — cumulative min is non-increasing and
+//!   max non-decreasing, so min-of-min / max-of-max merging always
+//!   resolves to the later epoch's values;
+//! * **gauges** carry the cumulative last-written value, omitted when
+//!   unchanged; merging lets the later epoch overwrite unconditionally
+//!   (last-writer-wins in epoch order, *not* the `(at, value)`
+//!   comparison used for cross-plane merges, which is not associative
+//!   when a gauge is rewritten at the same sim time).
+
+use std::collections::BTreeMap;
+
+use rip_units::{SimTime, TimeDelta};
+use serde::{Deserialize, Serialize};
+
+use crate::{Gauge, LogHistogram, MetricsRegistry};
+
+/// A frozen copy of a [`MetricsRegistry`] stamped with the sim time it
+/// was taken at. Produced by [`MetricsRegistry::snapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    at: SimTime,
+    registry: MetricsRegistry,
+}
+
+impl Snapshot {
+    pub(crate) fn new(at: SimTime, registry: MetricsRegistry) -> Self {
+        Snapshot { at, registry }
+    }
+
+    /// The empty snapshot at sim time zero — the `prev` seed for the
+    /// first epoch of a run.
+    pub fn empty() -> Self {
+        Snapshot {
+            at: SimTime::ZERO,
+            registry: MetricsRegistry::new(),
+        }
+    }
+
+    /// Sim time the snapshot was taken at.
+    pub fn at(&self) -> SimTime {
+        self.at
+    }
+
+    /// The frozen registry.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The delta from an earlier snapshot `prev` of the *same* registry
+    /// to this one. Metrics that did not change are omitted, so an idle
+    /// epoch serializes small.
+    pub fn delta_since(&self, prev: &Snapshot) -> EpochDelta {
+        let mut counters = BTreeMap::new();
+        for (name, &v) in &self.registry.counters {
+            match prev.registry.counters.get(name) {
+                Some(&before) => {
+                    debug_assert!(v >= before, "counter {name} went backwards");
+                    if v > before {
+                        counters.insert(name.clone(), v - before);
+                    }
+                }
+                // First appearance: emit even a zero value so replaying
+                // the delta creates the key.
+                None => {
+                    counters.insert(name.clone(), v);
+                }
+            }
+        }
+        let mut gauges = BTreeMap::new();
+        for (name, &g) in &self.registry.gauges {
+            if prev.registry.gauge(name) != Some(g) {
+                gauges.insert(name.clone(), g);
+            }
+        }
+        let mut histograms = BTreeMap::new();
+        for (name, h) in &self.registry.histograms {
+            match prev.registry.histogram(name) {
+                // A cumulative histogram only changes by absorbing a
+                // sample, which always bumps `count` or `rejected`, so
+                // equal totals mean an identical histogram — no need to
+                // compare the bucket vectors on every idle epoch.
+                Some(p) if p.count == h.count && p.rejected == h.rejected => {}
+                Some(p) => {
+                    histograms.insert(name.clone(), h.diff_since(p));
+                }
+                None => {
+                    histograms.insert(name.clone(), h.clone());
+                }
+            }
+        }
+        EpochDelta {
+            from: prev.at,
+            to: self.at,
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// The change in a registry over one epoch `[from, to)`.
+///
+/// All three maps are `BTreeMap`-keyed, so serialization order is the
+/// lexicographic name order — a requirement for the byte-identical
+/// stream comparison in CI. See the module docs for the merge algebra.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochDelta {
+    from: SimTime,
+    to: SimTime,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, LogHistogram>,
+}
+
+impl EpochDelta {
+    /// Start of the covered interval (inclusive).
+    pub fn from(&self) -> SimTime {
+        self.from
+    }
+
+    /// End of the covered interval (exclusive).
+    pub fn to(&self) -> SimTime {
+        self.to
+    }
+
+    /// Counter increments over the epoch (zero increments omitted).
+    pub fn counters(&self) -> &BTreeMap<String, u64> {
+        &self.counters
+    }
+
+    /// Gauges rewritten during the epoch, as cumulative values.
+    pub fn gauges(&self) -> &BTreeMap<String, Gauge> {
+        &self.gauges
+    }
+
+    /// Histogram increments over the epoch (see module docs for the
+    /// min/max convention).
+    pub fn histograms(&self) -> &BTreeMap<String, LogHistogram> {
+        &self.histograms
+    }
+
+    /// True when the epoch saw no metric change at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Fold a chronologically *later* delta into this one, so that
+    /// `delta(a, b) ⊕ delta(b, c) == delta(a, c)`: counters add,
+    /// histograms add bucket-wise (min/max resolving to the later
+    /// epoch's cumulative values), and later gauges overwrite.
+    pub fn merge(&mut self, later: &EpochDelta) {
+        debug_assert!(later.from >= self.from, "merge must be chronological");
+        for (name, &v) in &later.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, h) in &later.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+        for (name, &g) in &later.gauges {
+            self.gauges.insert(name.clone(), g);
+        }
+        self.to = later.to;
+    }
+}
+
+/// Deterministic fixed-period epoch boundary generator.
+///
+/// Epoch `e` covers `[e·P, (e+1)·P)` in sim time: an event stamped
+/// exactly at a boundary belongs to the *next* epoch, so engines flush
+/// epoch `e` as soon as the next event time reaches
+/// [`EpochClock::next_boundary`].
+#[derive(Debug, Clone)]
+pub struct EpochClock {
+    period_ps: u64,
+    epoch: u64,
+}
+
+impl EpochClock {
+    /// A clock with the given period. Panics on a zero period — a
+    /// zero-length epoch would flush forever without advancing.
+    pub fn new(period: TimeDelta) -> Self {
+        assert!(!period.is_zero(), "epoch period must be non-zero");
+        EpochClock {
+            period_ps: period.as_ps(),
+            epoch: 0,
+        }
+    }
+
+    /// The fixed epoch period.
+    pub fn period(&self) -> TimeDelta {
+        TimeDelta::from_ps(self.period_ps)
+    }
+
+    /// Index of the epoch currently accumulating.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Start of the epoch currently accumulating.
+    pub fn epoch_start(&self) -> SimTime {
+        SimTime::from_ps(self.epoch.saturating_mul(self.period_ps))
+    }
+
+    /// First sim time that no longer belongs to the current epoch.
+    pub fn next_boundary(&self) -> SimTime {
+        SimTime::from_ps((self.epoch + 1).saturating_mul(self.period_ps))
+    }
+
+    /// Close the current epoch and move to the next; returns the closed
+    /// epoch's `(index, start, end)`.
+    pub fn advance(&mut self) -> (u64, SimTime, SimTime) {
+        let index = self.epoch;
+        let from = self.epoch_start();
+        let to = self.next_boundary();
+        self.epoch += 1;
+        (index, from, to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_ns(ns)
+    }
+
+    #[test]
+    fn clock_boundaries_are_exact_multiples() {
+        let mut c = EpochClock::new(TimeDelta::from_ns(100));
+        assert_eq!(c.epoch(), 0);
+        assert_eq!(c.next_boundary(), t(100));
+        let (e, from, to) = c.advance();
+        assert_eq!((e, from, to), (0, t(0), t(100)));
+        assert_eq!(c.epoch_start(), t(100));
+        assert_eq!(c.next_boundary(), t(200));
+    }
+
+    #[test]
+    fn delta_omits_unchanged_metrics() {
+        let mut r = MetricsRegistry::new();
+        r.inc("a", 5);
+        r.inc("b", 1);
+        r.set_gauge("g", t(10), 2.0);
+        r.observe("h", 3.0);
+        let s1 = r.snapshot(t(100));
+        r.inc("a", 2);
+        let s2 = r.snapshot(t(200));
+        let d = s2.delta_since(&s1);
+        assert_eq!(d.from(), t(100));
+        assert_eq!(d.to(), t(200));
+        assert_eq!(d.counters().len(), 1);
+        assert_eq!(d.counters()["a"], 2);
+        assert!(d.gauges().is_empty());
+        assert!(d.histograms().is_empty());
+    }
+
+    #[test]
+    fn delta_merge_equals_spanning_delta() {
+        let mut r = MetricsRegistry::new();
+        let a = r.snapshot(t(0));
+        r.inc("pkts", 3);
+        r.observe("lat", 4.0);
+        r.set_gauge("depth", t(50), 1.0);
+        let b = r.snapshot(t(100));
+        r.inc("pkts", 2);
+        r.observe("lat", 9.0);
+        r.observe("lat", f64::NAN);
+        r.set_gauge("depth", t(150), 0.5);
+        let c = r.snapshot(t(200));
+
+        let mut ab = b.delta_since(&a);
+        let bc = c.delta_since(&b);
+        let ac = c.delta_since(&a);
+        ab.merge(&bc);
+        assert_eq!(ab, ac);
+    }
+
+    #[test]
+    fn replaying_deltas_reconstructs_registry() {
+        let mut r = MetricsRegistry::new();
+        let mut prev = Snapshot::empty();
+        let mut rebuilt = MetricsRegistry::new();
+        for i in 1..=5u64 {
+            r.inc("pkts", i);
+            r.observe("lat", 10.0 / i as f64);
+            r.set_gauge("depth", t(i * 10), i as f64);
+            let snap = r.snapshot(t(i * 100));
+            rebuilt.apply_delta(&snap.delta_since(&prev));
+            prev = snap;
+        }
+        assert_eq!(rebuilt, r);
+        assert_eq!(
+            serde_json::to_string(&rebuilt).unwrap(),
+            serde_json::to_string(&r).unwrap()
+        );
+    }
+}

@@ -21,10 +21,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod epoch;
+mod sink;
+
 use std::collections::BTreeMap;
 
 use rip_units::SimTime;
 use serde::{Deserialize, Serialize};
+
+pub use epoch::{EpochClock, EpochDelta, Snapshot};
+pub use sink::{
+    JsonlSink, MemorySink, PrometheusSink, SharedSink, SinkRecord, SpanEvent, TelemetrySink,
+};
 
 /// Sub-bucket resolution of [`LogHistogram`]: each power-of-two octave
 /// is split into `2^SUB_BITS` buckets, so the relative width of a
@@ -36,13 +44,16 @@ const TOP_BUCKET: u32 = 1 + 2046 * SUBS_PER_OCTAVE + (SUBS_PER_OCTAVE - 1);
 
 /// The bucket index holding a sample.
 ///
-/// Bucket 0 collects every non-positive (and NaN) sample; positive
-/// finite samples map to `1 + exponent·4 + top-2-mantissa-bits`,
-/// computed from the IEEE-754 bit pattern so the mapping is pure
-/// integer arithmetic (deterministic across platforms, unlike `log2`).
+/// Bucket 0 collects every non-positive sample; positive finite
+/// samples map to `1 + exponent·4 + top-2-mantissa-bits`, computed
+/// from the IEEE-754 bit pattern so the mapping is pure integer
+/// arithmetic (deterministic across platforms, unlike `log2`). NaN
+/// never reaches bucketing: [`LogHistogram::record_n`] rejects NaN
+/// samples before calling this (counting them in
+/// [`LogHistogram::rejected`]); the defensive comparison below would
+/// still route one to bucket 0 if it ever slipped through.
 fn bucket_of(v: f64) -> u32 {
-    // NaN lands in bucket 0 too: the comparison is intentionally not
-    // `v <= 0.0`.
+    // Not `v <= 0.0`: `partial_cmp` also catches NaN defensively.
     if v.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         return 0;
     }
@@ -92,6 +103,11 @@ pub struct LogHistogram {
     max: Option<f64>,
     /// `(bucket index, count)`, sorted by index, no zero counts.
     buckets: Vec<(u32, u64)>,
+    /// NaN samples rejected by [`LogHistogram::record_n`]. They are
+    /// counted (so data-quality problems are visible) but never enter
+    /// `count`, the buckets, or min/max.
+    #[serde(default)]
+    rejected: u64,
 }
 
 impl LogHistogram {
@@ -106,8 +122,17 @@ impl LogHistogram {
     }
 
     /// Record `n` identical samples.
+    ///
+    /// NaN samples are rejected: they do not enter `count`, the
+    /// buckets, or min/max, but they are tallied in
+    /// [`LogHistogram::rejected`] so the data-quality problem that
+    /// produced them stays visible.
     pub fn record_n(&mut self, v: f64, n: u64) {
-        if n == 0 || v.is_nan() {
+        if n == 0 {
+            return;
+        }
+        if v.is_nan() {
+            self.rejected += n;
             return;
         }
         self.count += n;
@@ -123,6 +148,11 @@ impl LogHistogram {
     /// Total samples recorded.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// NaN samples rejected (never bucketed).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
     }
 
     /// True when no sample was ever recorded.
@@ -143,6 +173,7 @@ impl LogHistogram {
     /// Merge another histogram into this one (bucket-wise addition).
     pub fn merge(&mut self, other: &LogHistogram) {
         self.count += other.count;
+        self.rejected += other.rejected;
         self.min = match (self.min, other.min) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
@@ -210,6 +241,39 @@ impl LogHistogram {
             .iter()
             .map(|&(idx, n)| (bucket_lower_edge(idx), n))
     }
+
+    /// The histogram of samples recorded since `prev`, where `prev` is
+    /// an earlier state of *this* histogram (cumulative counts only
+    /// grow).
+    ///
+    /// Counts, rejects and buckets are subtracted; `min`/`max` keep the
+    /// *newer cumulative* values. Cumulative min is non-increasing and
+    /// max non-decreasing, so when two consecutive diffs are merged the
+    /// min-of-min / max-of-max rule in [`LogHistogram::merge`] yields
+    /// exactly the later diff's values — which keeps diff merging
+    /// associative and makes replaying every diff reconstruct the
+    /// cumulative histogram byte-identically.
+    pub fn diff_since(&self, prev: &LogHistogram) -> LogHistogram {
+        debug_assert!(self.count >= prev.count, "cumulative count went backwards");
+        debug_assert!(self.rejected >= prev.rejected);
+        let mut buckets = Vec::new();
+        for &(idx, n) in &self.buckets {
+            let before = prev
+                .buckets
+                .binary_search_by_key(&idx, |&(i, _)| i)
+                .map_or(0, |pos| prev.buckets[pos].1);
+            if n > before {
+                buckets.push((idx, n - before));
+            }
+        }
+        LogHistogram {
+            count: self.count - prev.count,
+            min: self.min,
+            max: self.max,
+            buckets,
+            rejected: self.rejected - prev.rejected,
+        }
+    }
 }
 
 /// A last-written value with the sim time it was written at.
@@ -233,9 +297,9 @@ pub struct Gauge {
 /// planes.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MetricsRegistry {
-    counters: BTreeMap<String, u64>,
-    gauges: BTreeMap<String, Gauge>,
-    histograms: BTreeMap<String, LogHistogram>,
+    pub(crate) counters: BTreeMap<String, u64>,
+    pub(crate) gauges: BTreeMap<String, Gauge>,
+    pub(crate) histograms: BTreeMap<String, LogHistogram>,
 }
 
 impl MetricsRegistry {
@@ -316,6 +380,31 @@ impl MetricsRegistry {
                     }
                 })
                 .or_insert(g);
+        }
+    }
+
+    /// Freeze the current state into a [`Snapshot`] stamped `at`, for
+    /// later [`Snapshot::delta_since`] epoch-delta extraction.
+    pub fn snapshot(&self, at: SimTime) -> Snapshot {
+        Snapshot::new(at, self.clone())
+    }
+
+    /// Replay an epoch delta into this registry: counters add,
+    /// histograms merge bucket-wise, and each gauge carried by the
+    /// delta overwrites the current value (the delta's gauge *is* the
+    /// cumulative value as of that epoch, not an increment).
+    ///
+    /// Applying every epoch delta of a run, in order, onto an empty
+    /// registry reconstructs the final registry byte-identically.
+    pub fn apply_delta(&mut self, delta: &EpochDelta) {
+        for (name, &v) in delta.counters() {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, h) in delta.histograms() {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+        for (name, &g) in delta.gauges() {
+            self.gauges.insert(name.clone(), g);
         }
     }
 
@@ -424,6 +513,31 @@ mod tests {
         let mut merged2 = b;
         merged2.merge(&a);
         assert_eq!(merged2, all);
+    }
+
+    #[test]
+    fn nan_samples_are_rejected_and_counted() {
+        let mut h = LogHistogram::new();
+        h.record(1.0);
+        h.record(f64::NAN);
+        h.record_n(f64::NAN, 3);
+        assert_eq!(h.count(), 1, "NaN must not enter the sample count");
+        assert_eq!(h.rejected(), 4);
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(1.0));
+        assert_eq!(h.buckets().map(|(_, n)| n).sum::<u64>(), 1);
+        // Rejection counts survive merges and serde round-trips.
+        let mut other = LogHistogram::new();
+        other.record(f64::NAN);
+        h.merge(&other);
+        assert_eq!(h.rejected(), 5);
+        let json = serde_json::to_string(&h).unwrap();
+        let back: LogHistogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
+        // Pre-`rejected` serialized histograms still deserialize.
+        let legacy: LogHistogram =
+            serde_json::from_str(r#"{"count":0,"min":null,"max":null,"buckets":[]}"#).unwrap();
+        assert_eq!(legacy.rejected(), 0);
     }
 
     #[test]

@@ -1,0 +1,474 @@
+//! Telemetry sinks: where live epoch deltas and span events go.
+//!
+//! Engines push three kinds of records into a [`TelemetrySink`] while
+//! they run: per-epoch registry deltas, sampled packet-lifecycle span
+//! events, and one terminal `run_end` carrying the final cumulative
+//! registry. Everything a sink receives is derived from sim time and
+//! seeded state only, so any sink that serializes records in arrival
+//! order produces a byte-identical stream across same-seed runs.
+//!
+//! Provided sinks:
+//!
+//! * [`JsonlSink`] — one JSON object per line, the format diffed
+//!   byte-for-byte by CI;
+//! * [`PrometheusSink`] — accumulates deltas and renders a
+//!   Prometheus-style text exposition at `run_end`;
+//! * [`MemorySink`] — buffers records for tests and for replay;
+//! * [`SharedSink`] — a clonable, thread-safe handle over a
+//!   [`MemorySink`], used by per-plane worker threads whose buffered
+//!   records are replayed into the caller's sink in plane order.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use rip_units::SimTime;
+use serde::Serialize;
+
+use crate::{bucket_upper_edge, EpochDelta, MetricsRegistry};
+
+/// One sampled packet-lifecycle event: packet `packet` reached `stage`
+/// at sim time `at` on port `port` (input port for arrival-side stages,
+/// output port afterwards).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct SpanEvent {
+    /// Packet id (unique within a run, per plane).
+    pub packet: u64,
+    /// Lifecycle stage, e.g. `"arrival"`, `"sram_enqueue"`,
+    /// `"hbm_write"`, `"hbm_read"`, `"hbm_bypass"`, `"departure"`.
+    pub stage: &'static str,
+    /// Sim time the packet reached the stage.
+    pub at: SimTime,
+    /// Port the stage happened on.
+    pub port: usize,
+}
+
+/// Receiver for live telemetry records. All methods take `&mut self`;
+/// engines own their sink (or a clonable handle) for the duration of a
+/// run.
+pub trait TelemetrySink {
+    /// One closed epoch from registry `source`.
+    fn on_epoch(&mut self, source: &str, epoch: u64, delta: &EpochDelta);
+
+    /// One sampled packet-lifecycle event from `source`.
+    fn on_span(&mut self, source: &str, span: &SpanEvent) {
+        let _ = (source, span);
+    }
+
+    /// The run finished at sim time `at`; `totals` is the final
+    /// cumulative registry (what the end-of-run report serializes).
+    fn on_run_end(&mut self, source: &str, at: SimTime, totals: &MetricsRegistry) {
+        let _ = (source, at, totals);
+    }
+}
+
+/// Deterministic JSONL exporter: one compact JSON object per record,
+/// one record per line, flushed on drop. Two same-seed runs produce
+/// byte-identical streams (all maps are `BTreeMap`-ordered, all
+/// timestamps sim time).
+pub struct JsonlSink<W: Write> {
+    out: W,
+    records: u64,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// A sink writing to `out`.
+    pub fn new(out: W) -> Self {
+        JsonlSink { out, records: 0 }
+    }
+
+    /// Records written so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Flush the underlying writer.
+    pub fn flush(&mut self) {
+        self.out.flush().expect("telemetry sink flush");
+    }
+
+    // The vendored serde_derive cannot derive on lifetime-generic
+    // structs, so record lines are composed from individually
+    // serialized parts (each part is itself serde-serialized, so
+    // escaping and map ordering stay correct).
+    fn write_line(&mut self, line: &str) {
+        self.out
+            .write_all(line.as_bytes())
+            .and_then(|()| self.out.write_all(b"\n"))
+            .expect("telemetry sink write");
+        self.records += 1;
+    }
+}
+
+fn json_str(s: &str) -> String {
+    serde_json::to_string(&s.to_string()).expect("string serializes")
+}
+
+impl<W: Write> TelemetrySink for JsonlSink<W> {
+    fn on_epoch(&mut self, source: &str, epoch: u64, delta: &EpochDelta) {
+        let line = format!(
+            "{{\"record\":\"epoch\",\"source\":{},\"epoch\":{},\"delta\":{}}}",
+            json_str(source),
+            epoch,
+            serde_json::to_string(delta).expect("delta serializes"),
+        );
+        self.write_line(&line);
+    }
+
+    fn on_span(&mut self, source: &str, span: &SpanEvent) {
+        let line = format!(
+            "{{\"record\":\"span\",\"source\":{},\"packet\":{},\"stage\":{},\"t_ps\":{},\"port\":{}}}",
+            json_str(source),
+            span.packet,
+            json_str(span.stage),
+            span.at.as_ps(),
+            span.port,
+        );
+        self.write_line(&line);
+    }
+
+    fn on_run_end(&mut self, source: &str, at: SimTime, totals: &MetricsRegistry) {
+        let line = format!(
+            "{{\"record\":\"run_end\",\"source\":{},\"t_ps\":{},\"records\":{},\"totals\":{}}}",
+            json_str(source),
+            at.as_ps(),
+            self.records,
+            serde_json::to_string(totals).expect("registry serializes"),
+        );
+        self.write_line(&line);
+        self.flush();
+    }
+}
+
+impl<W: Write> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        // Best-effort: never panic in drop (the run may already be
+        // unwinding).
+        let _ = self.out.flush();
+    }
+}
+
+/// Prometheus-style text exposition writer.
+///
+/// Epoch deltas are accumulated into one cumulative registry per
+/// source; the exposition text is rendered (and written) when the
+/// source's `run_end` arrives. Metric names are sanitized to
+/// `[a-zA-Z0-9_]` and prefixed `rip_`; the source becomes a
+/// `source="..."` label, so per-plane registries share metric families.
+pub struct PrometheusSink<W: Write> {
+    out: W,
+    cumulative: BTreeMap<String, MetricsRegistry>,
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+impl<W: Write> PrometheusSink<W> {
+    /// A sink rendering to `out` at each source's `run_end`.
+    pub fn new(out: W) -> Self {
+        PrometheusSink {
+            out,
+            cumulative: BTreeMap::new(),
+        }
+    }
+
+    /// Render one source's cumulative registry as exposition text.
+    fn render(source: &str, reg: &MetricsRegistry, out: &mut W) -> std::io::Result<()> {
+        for (name, &v) in reg.counters() {
+            let n = sanitize(name);
+            writeln!(out, "# TYPE rip_{n} counter")?;
+            writeln!(out, "rip_{n}_total{{source=\"{source}\"}} {v}")?;
+        }
+        for (name, g) in reg.gauges() {
+            let n = sanitize(name);
+            writeln!(out, "# TYPE rip_{n} gauge")?;
+            writeln!(out, "rip_{n}{{source=\"{source}\"}} {}", g.value)?;
+        }
+        for (name, h) in reg.histograms() {
+            let n = sanitize(name);
+            writeln!(out, "# TYPE rip_{n} histogram")?;
+            let mut cum = 0u64;
+            for &(idx, count) in &h.buckets {
+                cum += count;
+                let le = bucket_upper_edge(idx);
+                if le.is_finite() {
+                    writeln!(
+                        out,
+                        "rip_{n}_bucket{{source=\"{source}\",le=\"{le}\"}} {cum}"
+                    )?;
+                } else {
+                    writeln!(
+                        out,
+                        "rip_{n}_bucket{{source=\"{source}\",le=\"+Inf\"}} {cum}"
+                    )?;
+                }
+            }
+            writeln!(
+                out,
+                "rip_{n}_bucket{{source=\"{source}\",le=\"+Inf\"}} {}",
+                h.count()
+            )?;
+            writeln!(out, "rip_{n}_count{{source=\"{source}\"}} {}", h.count())?;
+            if h.rejected() > 0 {
+                writeln!(
+                    out,
+                    "rip_{n}_rejected{{source=\"{source}\"}} {}",
+                    h.rejected()
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<W: Write> TelemetrySink for PrometheusSink<W> {
+    fn on_epoch(&mut self, source: &str, _epoch: u64, delta: &EpochDelta) {
+        self.cumulative
+            .entry(source.to_string())
+            .or_default()
+            .apply_delta(delta);
+    }
+
+    fn on_run_end(&mut self, source: &str, _at: SimTime, totals: &MetricsRegistry) {
+        // `totals` is authoritative (it includes report-time
+        // aggregates); prefer it over the replayed deltas.
+        self.cumulative.insert(source.to_string(), totals.clone());
+        let reg = self.cumulative.get(source).expect("just inserted").clone();
+        Self::render(source, &reg, &mut self.out).expect("telemetry sink write");
+        self.out.flush().expect("telemetry sink flush");
+    }
+}
+
+/// One buffered record, as received by a [`MemorySink`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SinkRecord {
+    /// A closed epoch delta.
+    Epoch {
+        /// Registry the epoch came from.
+        source: String,
+        /// Epoch index.
+        epoch: u64,
+        /// The delta.
+        delta: EpochDelta,
+    },
+    /// A sampled lifecycle event.
+    Span {
+        /// Registry the span came from.
+        source: String,
+        /// The event.
+        span: SpanEvent,
+    },
+    /// End of a source's run.
+    RunEnd {
+        /// Registry that finished.
+        source: String,
+        /// Sim time of the end of the run.
+        at: SimTime,
+        /// Final cumulative registry.
+        totals: MetricsRegistry,
+    },
+}
+
+/// Buffers every record in arrival order — for tests, and as the
+/// per-plane staging buffer whose contents are replayed into the real
+/// sink in deterministic plane order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemorySink {
+    records: Vec<SinkRecord>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// The buffered records, in arrival order.
+    pub fn records(&self) -> &[SinkRecord] {
+        &self.records
+    }
+
+    /// Consume the sink, returning its records.
+    pub fn into_records(self) -> Vec<SinkRecord> {
+        self.records
+    }
+
+    /// Replay every buffered record into `sink`, preserving sources.
+    pub fn replay_into(&self, sink: &mut dyn TelemetrySink) {
+        for rec in &self.records {
+            match rec {
+                SinkRecord::Epoch {
+                    source,
+                    epoch,
+                    delta,
+                } => sink.on_epoch(source, *epoch, delta),
+                SinkRecord::Span { source, span } => sink.on_span(source, span),
+                SinkRecord::RunEnd { source, at, totals } => sink.on_run_end(source, *at, totals),
+            }
+        }
+    }
+
+    /// Replay every buffered record into `sink` under a new source
+    /// name — how per-plane buffers become `plane00`, `plane01`, …
+    /// streams in the caller's sink.
+    pub fn replay_renamed(&self, source: &str, sink: &mut dyn TelemetrySink) {
+        for rec in &self.records {
+            match rec {
+                SinkRecord::Epoch { epoch, delta, .. } => sink.on_epoch(source, *epoch, delta),
+                SinkRecord::Span { span, .. } => sink.on_span(source, span),
+                SinkRecord::RunEnd { at, totals, .. } => sink.on_run_end(source, *at, totals),
+            }
+        }
+    }
+}
+
+impl TelemetrySink for MemorySink {
+    fn on_epoch(&mut self, source: &str, epoch: u64, delta: &EpochDelta) {
+        self.records.push(SinkRecord::Epoch {
+            source: source.to_string(),
+            epoch,
+            delta: delta.clone(),
+        });
+    }
+
+    fn on_span(&mut self, source: &str, span: &SpanEvent) {
+        self.records.push(SinkRecord::Span {
+            source: source.to_string(),
+            span: *span,
+        });
+    }
+
+    fn on_run_end(&mut self, source: &str, at: SimTime, totals: &MetricsRegistry) {
+        self.records.push(SinkRecord::RunEnd {
+            source: source.to_string(),
+            at,
+            totals: totals.clone(),
+        });
+    }
+}
+
+/// A clonable, `Send` handle over a shared [`MemorySink`] — handed to
+/// per-plane worker threads so each can record concurrently; the owner
+/// [`SharedSink::take`]s the buffer back after joining.
+#[derive(Debug, Clone, Default)]
+pub struct SharedSink {
+    inner: Arc<Mutex<MemorySink>>,
+}
+
+impl SharedSink {
+    /// A fresh, empty shared sink.
+    pub fn new() -> Self {
+        SharedSink::default()
+    }
+
+    /// Take the buffered records out, leaving the sink empty.
+    pub fn take(&self) -> MemorySink {
+        std::mem::take(&mut *self.inner.lock().expect("telemetry sink lock"))
+    }
+}
+
+impl TelemetrySink for SharedSink {
+    fn on_epoch(&mut self, source: &str, epoch: u64, delta: &EpochDelta) {
+        self.inner
+            .lock()
+            .expect("telemetry sink lock")
+            .on_epoch(source, epoch, delta);
+    }
+
+    fn on_span(&mut self, source: &str, span: &SpanEvent) {
+        self.inner
+            .lock()
+            .expect("telemetry sink lock")
+            .on_span(source, span);
+    }
+
+    fn on_run_end(&mut self, source: &str, at: SimTime, totals: &MetricsRegistry) {
+        self.inner
+            .lock()
+            .expect("telemetry sink lock")
+            .on_run_end(source, at, totals);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Snapshot;
+
+    #[test]
+    fn jsonl_stream_is_deterministic_and_newline_terminated() {
+        let mut reg = MetricsRegistry::new();
+        let run = |reg: &mut MetricsRegistry| {
+            let mut buf = Vec::new();
+            {
+                let mut sink = JsonlSink::new(&mut buf);
+                let prev = reg.snapshot(SimTime::ZERO);
+                reg.inc("pkts", 7);
+                reg.observe("lat", 3.5);
+                let snap = reg.snapshot(SimTime::from_ns(100));
+                sink.on_epoch("switch", 0, &snap.delta_since(&prev));
+                sink.on_span(
+                    "switch",
+                    &SpanEvent {
+                        packet: 42,
+                        stage: "arrival",
+                        at: SimTime::from_ns(5),
+                        port: 1,
+                    },
+                );
+                sink.on_run_end("switch", SimTime::from_ns(100), reg);
+                assert_eq!(sink.records(), 3);
+            }
+            buf
+        };
+        let a = run(&mut MetricsRegistry::new());
+        let b = run(&mut reg);
+        assert_eq!(a, b, "same inputs must stream byte-identically");
+        let text = String::from_utf8(a).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.ends_with('\n'));
+        assert!(text.starts_with("{\"record\":\"epoch\""));
+        assert!(text.contains("\"record\":\"span\""));
+        assert!(text.contains("\"record\":\"run_end\""));
+    }
+
+    #[test]
+    fn prometheus_renders_counters_gauges_histograms() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc("switch.packets", 9);
+        reg.set_gauge("queue.depth", SimTime::from_ns(10), 4.5);
+        reg.observe("lat.ns", 100.0);
+        reg.observe("lat.ns", 200.0);
+        let mut buf = Vec::new();
+        {
+            let mut sink = PrometheusSink::new(&mut buf);
+            sink.on_run_end("switch", SimTime::from_ns(10), &reg);
+        }
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("rip_switch_packets_total{source=\"switch\"} 9"));
+        assert!(text.contains("rip_queue_depth{source=\"switch\"} 4.5"));
+        assert!(text.contains("rip_lat_ns_count{source=\"switch\"} 2"));
+        assert!(text.contains("le=\"+Inf\"} 2"));
+    }
+
+    #[test]
+    fn shared_sink_replays_renamed() {
+        let shared = SharedSink::new();
+        let mut handle = shared.clone();
+        let reg = MetricsRegistry::new();
+        let snap = reg.snapshot(SimTime::from_ns(50));
+        handle.on_epoch("switch", 0, &snap.delta_since(&Snapshot::empty()));
+        handle.on_run_end("switch", SimTime::from_ns(50), &reg);
+        let mem = shared.take();
+        assert_eq!(mem.records().len(), 2);
+        let mut renamed = MemorySink::new();
+        mem.replay_renamed("plane00", &mut renamed);
+        match &renamed.records()[0] {
+            SinkRecord::Epoch { source, .. } => assert_eq!(source, "plane00"),
+            other => panic!("unexpected record {other:?}"),
+        }
+    }
+}

@@ -1,10 +1,13 @@
 //! Property-based tests for the telemetry layer: histogram merge is a
 //! commutative monoid, quantile bounds bracket the exact nearest-rank
-//! statistic, and counter totals are invariant under repartitioning
-//! work across any number of per-plane registries.
+//! statistic, counter totals are invariant under repartitioning work
+//! across any number of per-plane registries, and the epoch
+//! snapshot/delta algebra composes — merging adjacent deltas equals
+//! the spanning delta, and replaying every delta of a run rebuilds the
+//! final registry byte-identically.
 
 use proptest::prelude::*;
-use rip_telemetry::{LogHistogram, MetricsRegistry};
+use rip_telemetry::{LogHistogram, MetricsRegistry, Snapshot};
 use rip_units::SimTime;
 
 fn hist(values: &[f64]) -> LogHistogram {
@@ -152,5 +155,90 @@ proptest! {
         let mut ba = rb.clone();
         ba.merge(&ra);
         prop_assert_eq!(ab, ba);
+    }
+}
+
+/// One random registry mutation, covering all three metric kinds —
+/// including the NaN samples the histogram reconciliation rejects.
+#[derive(Debug, Clone)]
+enum Op {
+    Inc(usize, u64),
+    Observe(usize, f64),
+    Gauge(usize, u64, f64),
+}
+
+const OP_NAMES: [&str; 3] = ["x", "y", "z"];
+
+fn op() -> impl Strategy<Value = Op> {
+    (
+        (0u8..12, 0usize..3, 1u64..100),
+        (1e-3f64..1e12, 0u64..1_000_000, -1e6f64..1e6),
+    )
+        .prop_map(|((kind, n, by), (s, t, v))| match kind {
+            0..=4 => Op::Inc(n, by),
+            5..=8 => Op::Observe(n, s),
+            9 => Op::Observe(n, f64::NAN),
+            _ => Op::Gauge(n, t, v),
+        })
+}
+
+fn apply(r: &mut MetricsRegistry, op: &Op) {
+    match *op {
+        Op::Inc(n, by) => r.inc(OP_NAMES[n], by),
+        Op::Observe(n, v) => r.observe(OP_NAMES[n], v),
+        Op::Gauge(n, t, v) => r.set_gauge(OP_NAMES[n], SimTime::from_ns(t), v),
+    }
+}
+
+proptest! {
+    /// The epoch-delta merge composes: for any three snapshots a, b, c
+    /// of one evolving registry, `delta(a,b) ⊕ delta(b,c) ==
+    /// delta(a,c)` — so a consumer may coarsen the stream by folding
+    /// adjacent epochs without changing what they describe.
+    #[test]
+    fn delta_merge_equals_spanning_delta(
+        seg1 in prop::collection::vec(op(), 0..60),
+        seg2 in prop::collection::vec(op(), 0..60),
+    ) {
+        let mut r = MetricsRegistry::new();
+        let a = r.snapshot(SimTime::from_ns(100));
+        for o in &seg1 {
+            apply(&mut r, o);
+        }
+        let b = r.snapshot(SimTime::from_ns(200));
+        for o in &seg2 {
+            apply(&mut r, o);
+        }
+        let c = r.snapshot(SimTime::from_ns(300));
+        let mut ab = b.delta_since(&a);
+        ab.merge(&c.delta_since(&b));
+        prop_assert_eq!(ab, c.delta_since(&a));
+    }
+}
+
+proptest! {
+    /// Replaying every epoch delta of a run, in order, onto an empty
+    /// registry reconstructs the final registry byte-identically —
+    /// the lossless-stream guarantee the live exporters rely on.
+    #[test]
+    fn replaying_deltas_reconstructs_final_registry(
+        segs in prop::collection::vec(prop::collection::vec(op(), 0..40), 1..8),
+    ) {
+        let mut r = MetricsRegistry::new();
+        let mut prev = Snapshot::empty();
+        let mut rebuilt = MetricsRegistry::new();
+        for (i, seg) in segs.iter().enumerate() {
+            for o in seg {
+                apply(&mut r, o);
+            }
+            let snap = r.snapshot(SimTime::from_ns((i as u64 + 1) * 100));
+            rebuilt.apply_delta(&snap.delta_since(&prev));
+            prev = snap;
+        }
+        prop_assert_eq!(&rebuilt, &r);
+        prop_assert_eq!(
+            serde_json::to_string(&rebuilt).unwrap(),
+            serde_json::to_string(&r).unwrap()
+        );
     }
 }
