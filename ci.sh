@@ -16,11 +16,18 @@ cargo test --workspace -q
 echo "==> bench smoke (schema check, live epoch streaming on)"
 bench_dir="$(mktemp -d)"
 trap 'rm -rf "$bench_dir"' EXIT
-cargo build --release -q -p rip-bench --bin repro
+cargo build --release -q -p rip-bench --bin repro --bin ripsim
+
+# The sorted set of JSON keys a BENCH file emits — the schema contract
+# pinned by tests/bench_schema_expected.txt.
+bench_keys() {
+  grep -o '"[a-z_0-9]*":' "$1" | sort -u
+}
+
 (cd "$bench_dir" && "$OLDPWD/target/release/repro" bench --quick --live-epochs > /dev/null)
 for f in BENCH_sps_throughput.json BENCH_hbm_access.json BENCH_streaming_memory.json \
          BENCH_telemetry_overhead.json; do
-  grep -o '"[a-z_0-9]*":' "$bench_dir/$f" | sort -u > "$bench_dir/$f.keys"
+  bench_keys "$bench_dir/$f" > "$bench_dir/$f.keys"
 done
 cat "$bench_dir"/BENCH_sps_throughput.json.keys "$bench_dir"/BENCH_hbm_access.json.keys \
   "$bench_dir"/BENCH_streaming_memory.json.keys \
@@ -38,5 +45,58 @@ for d in soak_a soak_b; do
 done
 cmp "$bench_dir/soak_a/SOAK_epochs.jsonl" "$bench_dir/soak_b/SOAK_epochs.jsonl" \
   || { echo "same-seed live soak streams are not byte-identical"; exit 1; }
+
+echo "==> chrome trace export (same-seed byte identity)"
+target/release/ripsim trace --chrome "$bench_dir/trace_a.json" configs/soak_live.json 2> /dev/null
+target/release/ripsim trace --chrome "$bench_dir/trace_b.json" configs/soak_live.json 2> /dev/null
+cmp "$bench_dir/trace_a.json" "$bench_dir/trace_b.json" \
+  || { echo "same-seed chrome trace exports are not byte-identical"; exit 1; }
+grep -q '"ph":"X"' "$bench_dir/trace_a.json" \
+  || { echo "chrome trace export carries no duration events"; exit 1; }
+grep -q '"name":"ch00/b00"' "$bench_dir/trace_a.json" \
+  || { echo "chrome trace export carries no per-bank HBM tracks"; exit 1; }
+
+echo "==> metrics endpoint smoke (live scrape during soak)"
+target/release/ripsim soak configs/soak_live.json \
+  --metrics 127.0.0.1:0 --metrics-port-file "$bench_dir/metrics.port" \
+  --metrics-hold-ms 8000 \
+  > "$bench_dir/soak_live.jsonl" 2> "$bench_dir/soak_live.log" &
+soak_pid=$!
+for _ in $(seq 1 100); do
+  [ -s "$bench_dir/metrics.port" ] && break
+  sleep 0.1
+done
+test -s "$bench_dir/metrics.port" || { echo "soak never published a metrics port"; exit 1; }
+port="$(tr -d '[:space:]' < "$bench_dir/metrics.port")"
+scraped=""
+for _ in $(seq 1 100); do
+  if exec 3<>"/dev/tcp/127.0.0.1/$port" 2> /dev/null; then
+    printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+    cat <&3 > "$bench_dir/scrape.txt"
+    exec 3<&- 3>&-
+    if grep -q '^rip_switch_packets_delivered_total{source="switch"} [0-9]' "$bench_dir/scrape.txt"; then
+      scraped=yes
+      break
+    fi
+  fi
+  sleep 0.2
+done
+wait "$soak_pid" || { echo "healthy live soak exited nonzero"; exit 1; }
+test -n "$scraped" || { echo "metrics scrape never returned switch totals"; exit 1; }
+# Exposition grammar spot-checks: HELP and TYPE exactly once per family.
+grep -q '^# HELP rip_switch_packets_delivered_total ' "$bench_dir/scrape.txt" \
+  || { echo "scrape is missing HELP lines"; exit 1; }
+test "$(grep -c '^# TYPE rip_switch_packets_delivered_total counter$' "$bench_dir/scrape.txt")" = 1 \
+  || { echo "scrape repeats TYPE for a family"; exit 1; }
+grep -q 'le="+Inf"' "$bench_dir/scrape.txt" \
+  || { echo "scrape is missing histogram +Inf buckets"; exit 1; }
+
+echo "==> SLO watchdog smoke (injected channel fault must fail the soak)"
+if target/release/ripsim soak configs/soak_live.json --inject-channel-fault 0 \
+     > /dev/null 2> "$bench_dir/soak_fault.log"; then
+  echo "fault-injected soak unexpectedly exited zero"; exit 1
+fi
+grep -q 'DegradedCapacity' "$bench_dir/soak_fault.log" \
+  || { echo "fault-injected soak fired no degraded-capacity watchdog"; exit 1; }
 
 echo "CI OK"

@@ -346,7 +346,8 @@ mod tests {
             match r {
                 rip_telemetry::SinkRecord::Epoch { delta, .. } => rebuilt.apply_delta(delta),
                 rip_telemetry::SinkRecord::RunEnd { totals: t, .. } => totals = Some(t.clone()),
-                rip_telemetry::SinkRecord::Span { .. } => {}
+                rip_telemetry::SinkRecord::Span { .. }
+                | rip_telemetry::SinkRecord::Watchdog { .. } => {}
             }
         }
         let totals = totals.expect("run_end record");

@@ -1079,6 +1079,13 @@ struct TelemetryOverheadBench {
     silent_wall_ms: f64,
     live_wall_ms: f64,
     overhead_fraction: f64,
+    /// Wall clock of the HBM switch with no tracing at all.
+    trace_silent_wall_ms: f64,
+    /// Same run with the Chrome command trace enabled but its recording
+    /// window entirely outside the simulated interval: the hook cost of
+    /// command capture with zero events exported.
+    trace_outwindow_wall_ms: f64,
+    trace_outwindow_overhead_fraction: f64,
 }
 
 /// Run the streaming engine at `load` over `horizon` and return its
@@ -1097,21 +1104,28 @@ fn stream_run(
 
 /// [`stream_run`] with live telemetry: epoch deltas and sampled spans
 /// are buffered in a [`MemorySink`](rip_telemetry::MemorySink) and
-/// returned alongside the report.
+/// returned alongside the report, with the SLO watchdogs teed into the
+/// stream — the returned events must be empty on a healthy run.
 fn stream_run_live(
     cfg: &RouterConfig,
     load: f64,
     horizon: SimTime,
     seed: u64,
     period: TimeDelta,
-) -> (rip_core::SwitchReport, rip_telemetry::MemorySink) {
+) -> (
+    rip_core::SwitchReport,
+    rip_telemetry::MemorySink,
+    Vec<rip_telemetry::WatchdogEvent>,
+) {
     let src = uniform_source(cfg, load, horizon, seed);
     let mut sw = HbmSwitch::new(cfg.clone()).expect("valid config");
     let staged = rip_telemetry::SharedSink::new();
-    sw.enable_live_telemetry(period, 64, Box::new(staged.clone()));
+    let (wd, handle) =
+        rip_telemetry::Watchdog::new(rip_telemetry::WatchdogConfig::default(), staged.clone());
+    sw.enable_live_telemetry(period, 64, Box::new(wd));
     sw.run_source(src, cfg.drain.deadline(horizon), &FaultPlan::default());
     let report = sw.into_report();
-    (report, staged.take())
+    (report, staged.take(), handle.events())
 }
 
 fn write_json<T: serde::Serialize>(path: &str, value: &T) {
@@ -1339,8 +1353,41 @@ fn run_bench(quick: bool, live: bool) {
         }
     }
     let overhead = (live_ms - silent_ms) / silent_ms;
+
+    // The same question for the command-level Chrome trace: an HBM
+    // switch run with tracing enabled but the recording window entirely
+    // past the simulated interval must stay within the <5% budget too —
+    // the per-command capture hook is the whole cost, no events export.
+    let far =
+        rip_telemetry::TraceWindow::new(SimTime::from_ps(u64::MAX - 1), SimTime::from_ps(u64::MAX))
+            .expect("valid out-of-range window");
+    let mut trace_silent_ms = f64::INFINITY;
+    let mut trace_out_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let src = uniform_source(&cfg, tel_load, tel_horizon, tel_seed);
+        let mut sw = HbmSwitch::new(cfg.clone()).expect("valid config");
+        let t0 = std::time::Instant::now();
+        sw.run_source(src, cfg.drain.deadline(tel_horizon), &FaultPlan::default());
+        trace_silent_ms = trace_silent_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        assert!(sw.into_report().offered_packets > 0);
+
+        let src = uniform_source(&cfg, tel_load, tel_horizon, tel_seed);
+        let mut sw = HbmSwitch::new(cfg.clone()).expect("valid config");
+        sw.enable_chrome_trace(far);
+        let t0 = std::time::Instant::now();
+        sw.run_source(src, cfg.drain.deadline(tel_horizon), &FaultPlan::default());
+        trace_out_ms = trace_out_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        let rec = sw.take_chrome_trace().expect("trace enabled");
+        assert!(
+            rec.is_empty(),
+            "out-of-window trace exported {} events",
+            rec.len()
+        );
+    }
+    let trace_overhead = (trace_out_ms - trace_silent_ms) / trace_silent_ms;
+
     let tel = TelemetryOverheadBench {
-        schema: "rip-bench/telemetry_overhead/v1",
+        schema: "rip-bench/telemetry_overhead/v2",
         config: "small",
         seed: tel_seed,
         load: tel_load,
@@ -1353,6 +1400,9 @@ fn run_bench(quick: bool, live: bool) {
         silent_wall_ms: silent_ms,
         live_wall_ms: live_ms,
         overhead_fraction: overhead,
+        trace_silent_wall_ms: trace_silent_ms,
+        trace_outwindow_wall_ms: trace_out_ms,
+        trace_outwindow_overhead_fraction: trace_overhead,
     };
     write_json("BENCH_telemetry_overhead.json", &tel);
     println!(
@@ -1360,6 +1410,11 @@ fn run_bench(quick: bool, live: bool) {
          ({:+.1}%, target < 5%), {epochs} epochs + {spans} spans = {} bytes",
         overhead * 100.0,
         stream.len()
+    );
+    println!(
+        "trace overhead (out-of-window): silent {trace_silent_ms:.1} ms, \
+         traced {trace_out_ms:.1} ms ({:+.1}%, target < 5%)",
+        trace_overhead * 100.0
     );
     println!("\ndone.");
 }
@@ -1385,8 +1440,24 @@ fn run_soak(quick: bool, live: bool) {
     let h2 = SimTime::from_ps(h1.as_ps() * 4);
     let period = TimeDelta::from_ns(2_000);
     let (r1, r2, sinks) = if live {
-        let (r1, m1) = stream_run_live(&cfg, load, h1, seed, period);
-        let (r2, m2) = stream_run_live(&cfg, load, h2, seed, period);
+        let (r1, m1, wd1) = stream_run_live(&cfg, load, h1, seed, period);
+        let (r2, m2, wd2) = stream_run_live(&cfg, load, h2, seed, period);
+        // A healthy soak must not trip any SLO watchdog (stall,
+        // drop-rate, degraded capacity): no false alarms.
+        if !wd1.is_empty() || !wd2.is_empty() {
+            for e in wd1.iter().chain(&wd2) {
+                eprintln!(
+                    "watchdog: {} epoch {} at {} ps: {:?}",
+                    e.source,
+                    e.epoch,
+                    e.at.as_ps(),
+                    e.kind
+                );
+            }
+            eprintln!("soak FAILED: SLO watchdog fired on a healthy run");
+            std::process::exit(1);
+        }
+        println!("SLO watchdogs silent on both healthy runs");
         (r1, r2, Some((m1, m2)))
     } else {
         (

@@ -11,12 +11,21 @@
 //! to stdout as deterministic JSONL (sim-time-stamped only), closed by
 //! a terminal `run_end` record carrying the record count and the full
 //! metric totals. The writer is flushed even on early termination.
+//! `ripsim trace --chrome <out.json>` instead exports a Chrome
+//! trace-event JSON file for Perfetto: per-bank HBM command timelines,
+//! per-output PFI frame lifecycles, sampled packet spans, and per-plane
+//! SPS activity lanes, optionally bounded by
+//! `--trace-window <start_ps>:<end_ps>`.
 //! `ripsim soak [spec.json] [--epoch <ps>]` reruns the spec at 4x its
 //! arrival horizon and checks the streaming engine's in-flight working
 //! set stays flat. With an epoch period (from `--epoch` or the spec's
 //! `epoch_ps` field) both runs stream live epoch deltas and sampled
 //! lifecycle spans to stdout as JSONL while they execute; the human
-//! summary moves to stderr.
+//! summary moves to stderr, and in-process SLO watchdogs (stall,
+//! drop-rate, degraded capacity) fail the soak with a nonzero exit when
+//! they fire. `--metrics <addr>` serves the cumulative stream as a
+//! Prometheus scrape endpoint; `--inject-channel-fault <ch>` proves the
+//! degraded-capacity alarm end to end.
 //!
 //! All simulation modes are pull-based: arrivals are generated on
 //! demand by a merged packet source, never materialized as a trace, so
@@ -33,14 +42,23 @@
 //! ```
 
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use rip_bench::Table;
-use rip_core::{DrainPolicy, FaultKind, FaultPlan, HbmSwitch, RouterConfig};
+use rip_core::{
+    ConfigError, DrainPolicy, FaultKind, FaultPlan, HbmSwitch, LiveOptions, RouterConfig,
+    SpsRouter, SpsWorkload,
+};
+use rip_photonics::SplitPattern;
+use rip_telemetry::{
+    ChromeTraceSink, FanoutSink, JsonlSink, MetricsEndpoint, SharedSink, TelemetrySink,
+    TraceWindow, Watchdog, WatchdogConfig,
+};
 use rip_traffic::{
     merge_streams, ArrivalProcess, BoundedSource, MergedSource, PacketGenerator, SizeDistribution,
     TrafficMatrix,
 };
-use rip_units::{DataSize, SimTime};
+use rip_units::{DataSize, SimTime, TimeDelta};
 use serde::{Deserialize, Serialize};
 
 /// Destination mix of the workload.
@@ -261,6 +279,56 @@ fn run(spec: &SimSpec) -> Result<(), String> {
     Ok(())
 }
 
+/// Command-line options of `ripsim soak` beyond the spec itself.
+#[derive(Default)]
+struct SoakOptions {
+    /// Serve Prometheus exposition of the live epoch stream at this
+    /// address (e.g. `127.0.0.1:0` for an ephemeral port).
+    metrics: Option<String>,
+    /// Write the bound metrics port to this file once the endpoint is
+    /// up — how CI discovers an ephemeral port.
+    metrics_port_file: Option<String>,
+    /// Keep the metrics endpoint alive this long after the runs finish
+    /// so a scraper can read the final totals.
+    metrics_hold_ms: u64,
+    /// Kill this HBM channel a quarter into the arrival horizon and
+    /// never recover it — the degraded-capacity watchdog must fire.
+    inject_channel_fault: Option<usize>,
+}
+
+/// A clonable handle sharing one [`MetricsEndpoint`] across the soak's
+/// two runs (the endpoint owns the listener, so each run's fanout gets
+/// a handle instead).
+#[derive(Clone)]
+struct SharedEndpoint(Arc<Mutex<MetricsEndpoint>>);
+
+impl TelemetrySink for SharedEndpoint {
+    fn on_epoch(&mut self, source: &str, epoch: u64, delta: &rip_telemetry::EpochDelta) {
+        self.0
+            .lock()
+            .expect("endpoint lock")
+            .on_epoch(source, epoch, delta);
+    }
+
+    fn on_span(&mut self, source: &str, span: &rip_telemetry::SpanEvent) {
+        self.0.lock().expect("endpoint lock").on_span(source, span);
+    }
+
+    fn on_watchdog(&mut self, source: &str, event: &rip_telemetry::WatchdogEvent) {
+        self.0
+            .lock()
+            .expect("endpoint lock")
+            .on_watchdog(source, event);
+    }
+
+    fn on_run_end(&mut self, source: &str, at: SimTime, totals: &rip_telemetry::MetricsRegistry) {
+        self.0
+            .lock()
+            .expect("endpoint lock")
+            .on_run_end(source, at, totals);
+    }
+}
+
 /// `ripsim soak [spec.json] [--epoch <ps>]`: run the spec streaming at
 /// its horizon and again at 4x the horizon, and check that offered
 /// traffic scales with the horizon while the engine's peak in-flight
@@ -269,28 +337,71 @@ fn run(spec: &SimSpec) -> Result<(), String> {
 /// epoch deltas (plus 1-in-256 sampled lifecycle spans) to stdout as
 /// JSONL while they execute, and the human summary moves to stderr so
 /// the stream stays machine-clean.
-fn run_soak(spec: &SimSpec) -> Result<(), String> {
+///
+/// The epoch stream is always consumed in-process by the SLO watchdogs
+/// (stall / drop-rate / degraded-capacity); a fired watchdog fails the
+/// soak. `--metrics <addr>` additionally serves the stream's cumulative
+/// totals as a Prometheus scrape endpoint, and
+/// `--inject-channel-fault <ch>` kills an HBM channel mid-run to prove
+/// the degraded-capacity alarm path end to end.
+fn run_soak(spec: &SimSpec, opts: &SoakOptions) -> Result<(), String> {
     let period = match spec.epoch_ps {
-        Some(0) => return Err("epoch_ps must be positive".into()),
-        Some(ps) => Some(rip_units::TimeDelta::from_ps(ps)),
+        Some(0) => return Err(ConfigError::EpochZero.to_string()),
+        Some(ps) => Some(TimeDelta::from_ps(ps)),
         None => None,
     };
+    if opts.metrics.is_some() && period.is_none() {
+        return Err("--metrics needs an epoch period (--epoch or spec epoch_ps)".into());
+    }
     // Route the human lines to stderr whenever JSONL owns stdout.
     let say: fn(std::fmt::Arguments) = if period.is_some() {
         |a| eprintln!("{a}")
     } else {
         |a| println!("{a}")
     };
+    let endpoint = match &opts.metrics {
+        Some(addr) => {
+            let ep = MetricsEndpoint::bind(addr).map_err(|e| format!("metrics bind: {e}"))?;
+            let port = ep.local_addr().port();
+            say(format_args!("metrics endpoint on port {port}"));
+            if let Some(path) = &opts.metrics_port_file {
+                std::fs::write(path, format!("{port}\n"))
+                    .map_err(|e| format!("metrics port file: {e}"))?;
+            }
+            Some(SharedEndpoint(Arc::new(Mutex::new(ep))))
+        }
+        None => None,
+    };
+    let mut watchdog_events = Vec::new();
     let mut reports = Vec::new();
     for mult in [1u64, 4] {
         let horizon = SimTime::from_ns(spec.horizon_us * 1000 * mult);
         let source = build_source(spec, horizon)?;
+        let plan = match opts.inject_channel_fault {
+            Some(channel) => {
+                let plan = FaultPlan::new().inject(
+                    SimTime::from_ps(horizon.as_ps() / 4),
+                    FaultKind::HbmChannelDown { channel },
+                );
+                plan.validate(&spec.router).map_err(|e| e.to_string())?;
+                plan
+            }
+            None => FaultPlan::default(),
+        };
         let mut sw = HbmSwitch::new(spec.router.clone()).map_err(|e| e.to_string())?;
-        if let Some(period) = period {
-            let sink = rip_telemetry::JsonlSink::new(std::io::BufWriter::new(std::io::stdout()));
-            sw.enable_live_telemetry(period, 256, Box::new(sink));
-        }
-        sw.run_source(source, drain_deadline(spec, horizon), &FaultPlan::default());
+        let handle = period.map(|period| {
+            let mut fan = FanoutSink::new();
+            fan.push(Box::new(JsonlSink::new(std::io::BufWriter::new(
+                std::io::stdout(),
+            ))));
+            if let Some(ep) = &endpoint {
+                fan.push(Box::new(ep.clone()));
+            }
+            let (wd, handle) = Watchdog::new(WatchdogConfig::default(), fan);
+            sw.enable_live_telemetry(period, 256, Box::new(wd));
+            handle
+        });
+        sw.run_source(source, drain_deadline(spec, horizon), &plan);
         let epochs = sw.live_epochs_emitted();
         let spans = sw.live_spans_emitted();
         let r = sw.into_report();
@@ -306,7 +417,32 @@ fn run_soak(spec: &SimSpec) -> Result<(), String> {
                 "streamed {epochs} epoch deltas and {spans} lifecycle spans"
             ));
         }
+        if let Some(handle) = handle {
+            watchdog_events.extend(handle.events());
+        }
         reports.push(r);
+    }
+    if opts.metrics_hold_ms > 0 && endpoint.is_some() {
+        say(format_args!(
+            "holding metrics endpoint for {} ms",
+            opts.metrics_hold_ms
+        ));
+        std::thread::sleep(std::time::Duration::from_millis(opts.metrics_hold_ms));
+    }
+    if !watchdog_events.is_empty() {
+        for e in &watchdog_events {
+            say(format_args!(
+                "watchdog: {} epoch {} at {} ps: {:?}",
+                e.source,
+                e.epoch,
+                e.at.as_ps(),
+                e.kind
+            ));
+        }
+        return Err(format!(
+            "{} watchdog alarm(s) fired during the soak",
+            watchdog_events.len()
+        ));
     }
     let (r1, r2) = (&reports[0], &reports[1]);
     if r2.offered_packets < 3 * r1.offered_packets {
@@ -532,6 +668,74 @@ fn run_trace(spec: &SimSpec) -> Result<(), String> {
     Ok(())
 }
 
+/// `ripsim trace --chrome <out.json>`: run the spec with command-level
+/// tracing on and export a Chrome trace-event JSON file for Perfetto.
+/// The file carries three process groups:
+///
+/// * `hbm` — one track per (channel, bank) with the ACT/RD/WR/PRE/REFsb
+///   command timeline as duration events (ACT spans tRCD, PRE spans
+///   tRP) plus a per-channel tFAW rolling-window lane;
+/// * `frames` — per-output PFI frame lifecycles on four lanes
+///   (fill / staggered write / staggered read / drain);
+/// * one process per telemetry source (`switch`, `plane00`…) with
+///   sampled packet-lifecycle spans and per-epoch activity lanes; the
+///   SPS planes come from a second, plane-parallel pass over the same
+///   configuration.
+///
+/// Every timestamp is sim time in integer picoseconds (rendered as
+/// Perfetto microseconds), so two same-seed exports are byte-identical.
+/// `--trace-window <start_ps>:<end_ps>` bounds the recorded interval.
+fn run_trace_chrome(spec: &SimSpec, out_path: &str, window: TraceWindow) -> Result<(), String> {
+    let horizon = SimTime::from_ns(spec.horizon_us * 1000);
+    let source = build_source(spec, horizon)?;
+    let period = match spec.epoch_ps {
+        Some(0) => return Err(ConfigError::EpochZero.to_string()),
+        Some(ps) => TimeDelta::from_ps(ps),
+        None => TimeDelta::from_ps(2_000_000),
+    };
+
+    // Device pass: HBM command timelines and frame lifecycles recorded
+    // in-simulation, plus the staged live stream for packet spans.
+    let mut sw = HbmSwitch::new(spec.router.clone()).map_err(|e| e.to_string())?;
+    sw.enable_chrome_trace(window);
+    let staged = SharedSink::new();
+    sw.enable_live_telemetry(period, 64, Box::new(staged.clone()));
+    sw.run_source(source, drain_deadline(spec, horizon), &FaultPlan::default());
+    let mut rec = sw
+        .take_chrome_trace()
+        .expect("chrome trace was enabled above");
+    let mut chrome = ChromeTraceSink::new(window);
+    staged.take().replay_into(&mut chrome);
+
+    // Plane pass: the same configuration through the plane-parallel SPS
+    // router; its per-plane epoch streams become one activity lane per
+    // plane in the export.
+    let router =
+        SpsRouter::new(spec.router.clone(), SplitPattern::Striped).map_err(|e| e.to_string())?;
+    let w = SpsWorkload::uniform(spec.router.ribbons, spec.load, spec.seed);
+    let opts = LiveOptions {
+        period,
+        sample_one_in: 64,
+    };
+    let mut sps_staged = rip_telemetry::MemorySink::new();
+    router.run_streamed(&w, horizon, &FaultPlan::default(), opts, &mut sps_staged);
+    sps_staged.replay_into(&mut chrome);
+
+    rec.merge(chrome.into_recorder());
+    let events = rec.len();
+    let file =
+        std::fs::File::create(out_path).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    let mut out = std::io::BufWriter::new(file);
+    rec.write_chrome_json(&mut out)
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    eprintln!(
+        "wrote {events} trace events to {out_path} (window {}..{} ps); open in ui.perfetto.dev",
+        window.start().as_ps(),
+        window.end().as_ps()
+    );
+    Ok(())
+}
+
 /// Build a uniform IMIX/Poisson trace for `cfg` at `load` over `horizon`.
 fn uniform_trace(
     cfg: &RouterConfig,
@@ -673,6 +877,18 @@ fn load_spec(path: &str) -> SimSpec {
     }
 }
 
+/// Pull the value of `flag` off the argument iterator, exiting with a
+/// usage error when it is missing.
+fn require_value<'a>(rest: &mut std::slice::Iter<'a, String>, flag: &str, what: &str) -> &'a str {
+    match rest.next() {
+        Some(v) => v,
+        None => {
+            eprintln!("ripsim: {flag} needs {what}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("resilience") {
@@ -680,8 +896,39 @@ fn main() {
         return;
     }
     if args.first().map(String::as_str) == Some("trace") {
-        let spec = args.get(1).map_or_else(SimSpec::example, |p| load_spec(p));
-        if let Err(e) = run_trace(&spec) {
+        let mut spec_path: Option<&str> = None;
+        let mut chrome: Option<&str> = None;
+        let mut window: Option<TraceWindow> = None;
+        let mut rest = args[1..].iter();
+        while let Some(a) = rest.next() {
+            if a == "--chrome" {
+                chrome = Some(require_value(&mut rest, "--chrome", "an output path"));
+            } else if a == "--trace-window" {
+                let v = require_value(&mut rest, "--trace-window", "<start_ps>:<end_ps>");
+                match TraceWindow::parse(v) {
+                    Ok(w) => window = Some(w),
+                    Err(e) => {
+                        eprintln!("ripsim: {}", ConfigError::from(e));
+                        std::process::exit(2);
+                    }
+                }
+            } else if spec_path.is_none() {
+                spec_path = Some(a);
+            } else {
+                eprintln!("ripsim: unexpected argument {a}");
+                std::process::exit(2);
+            }
+        }
+        if window.is_some() && chrome.is_none() {
+            eprintln!("ripsim: --trace-window only applies to --chrome exports");
+            std::process::exit(2);
+        }
+        let spec = spec_path.map_or_else(SimSpec::example, load_spec);
+        let result = match chrome {
+            Some(path) => run_trace_chrome(&spec, path, window.unwrap_or_else(TraceWindow::all)),
+            None => run_trace(&spec),
+        };
+        if let Err(e) = result {
             eprintln!("ripsim: {e}");
             std::process::exit(1);
         }
@@ -690,17 +937,38 @@ fn main() {
     if args.first().map(String::as_str) == Some("soak") {
         let mut spec_path: Option<&str> = None;
         let mut epoch: Option<u64> = None;
+        let mut opts = SoakOptions::default();
         let mut rest = args[1..].iter();
         while let Some(a) = rest.next() {
             if a == "--epoch" {
-                let Some(v) = rest.next() else {
-                    eprintln!("ripsim: --epoch needs a value in picoseconds");
-                    std::process::exit(2);
-                };
+                let v = require_value(&mut rest, "--epoch", "a period in picoseconds");
                 match v.parse::<u64>() {
                     Ok(ps) => epoch = Some(ps),
                     Err(e) => {
                         eprintln!("ripsim: bad --epoch value {v}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            } else if a == "--metrics" {
+                opts.metrics = Some(require_value(&mut rest, "--metrics", "a bind address").into());
+            } else if a == "--metrics-port-file" {
+                opts.metrics_port_file =
+                    Some(require_value(&mut rest, "--metrics-port-file", "a path").into());
+            } else if a == "--metrics-hold-ms" {
+                let v = require_value(&mut rest, "--metrics-hold-ms", "milliseconds");
+                match v.parse::<u64>() {
+                    Ok(ms) => opts.metrics_hold_ms = ms,
+                    Err(e) => {
+                        eprintln!("ripsim: bad --metrics-hold-ms value {v}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            } else if a == "--inject-channel-fault" {
+                let v = require_value(&mut rest, "--inject-channel-fault", "a channel index");
+                match v.parse::<usize>() {
+                    Ok(ch) => opts.inject_channel_fault = Some(ch),
+                    Err(e) => {
+                        eprintln!("ripsim: bad --inject-channel-fault value {v}: {e}");
                         std::process::exit(2);
                     }
                 }
@@ -715,7 +983,7 @@ fn main() {
         if epoch.is_some() {
             spec.epoch_ps = epoch;
         }
-        if let Err(e) = run_soak(&spec) {
+        if let Err(e) = run_soak(&spec, &opts) {
             eprintln!("ripsim: soak FAILED: {e}");
             std::process::exit(1);
         }
@@ -730,9 +998,12 @@ fn main() {
     }
     let Some(path) = args.first() else {
         eprintln!(
-            "usage: ripsim <spec.json> | ripsim trace [spec.json] | \
-             ripsim soak [spec.json] [--epoch <ps>] | ripsim --example-spec | \
-             ripsim resilience"
+            "usage: ripsim <spec.json> | \
+             ripsim trace [spec.json] [--chrome <out.json>] [--trace-window <a>:<b>] | \
+             ripsim soak [spec.json] [--epoch <ps>] [--metrics <addr>] \
+             [--metrics-port-file <path>] [--metrics-hold-ms <ms>] \
+             [--inject-channel-fault <ch>] | \
+             ripsim --example-spec | ripsim resilience"
         );
         std::process::exit(2);
     };

@@ -48,6 +48,11 @@ pub enum ConfigError {
     Pfi(PfiConfigError),
     /// The optical front end rejected the split parameters.
     Photonics(String),
+    /// The telemetry epoch period is zero (`epoch_ps` / `--epoch`
+    /// would never close an epoch).
+    EpochZero,
+    /// A `--trace-window` specification was rejected.
+    TraceWindow(rip_telemetry::TraceWindowError),
 }
 
 impl fmt::Display for ConfigError {
@@ -79,6 +84,10 @@ impl fmt::Display for ConfigError {
             ConfigError::Photonics(msg) => {
                 write!(f, "optical front end invalid: {msg}")
             }
+            ConfigError::EpochZero => {
+                write!(f, "telemetry epoch period must be positive")
+            }
+            ConfigError::TraceWindow(e) => write!(f, "{e}"),
         }
     }
 }
@@ -87,6 +96,7 @@ impl Error for ConfigError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ConfigError::Pfi(e) => Some(e),
+            ConfigError::TraceWindow(e) => Some(e),
             _ => None,
         }
     }
@@ -95,5 +105,11 @@ impl Error for ConfigError {
 impl From<PfiConfigError> for ConfigError {
     fn from(e: PfiConfigError) -> Self {
         ConfigError::Pfi(e)
+    }
+}
+
+impl From<rip_telemetry::TraceWindowError> for ConfigError {
+    fn from(e: rip_telemetry::TraceWindowError) -> Self {
+        ConfigError::TraceWindow(e)
     }
 }

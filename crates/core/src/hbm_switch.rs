@@ -4,10 +4,13 @@
 
 use std::collections::{HashSet, VecDeque};
 
-use rip_hbm::{HbmGroup, PfiController};
+use rip_hbm::{HbmCommandKind, HbmGroup, PfiController};
 use rip_sim::stats::Histogram;
 use rip_sim::{EventQueue, Feeder, Series, TraceLog};
-use rip_telemetry::{EpochClock, MetricsRegistry, Snapshot, SpanEvent, TelemetrySink};
+use rip_telemetry::{
+    EpochClock, MetricsRegistry, Snapshot, SpanEvent, TelemetrySink, TraceRecorder, TraceWindow,
+    PID_FRAMES, PID_HBM,
+};
 use rip_traffic::{Packet, PacketSource, ReplaySource};
 use rip_units::{DataRate, DataSize, SimTime, TimeDelta};
 use serde::{Deserialize, Serialize};
@@ -83,6 +86,38 @@ impl LiveTelemetry {
     fn samples_flow(&self, flow: &rip_traffic::FlowKey) -> bool {
         self.sample_one_in > 0
             && rip_traffic::hash::fnv1a(&flow.to_bytes()).is_multiple_of(self.sample_one_in)
+    }
+}
+
+/// Track lane offsets of the per-output frame-lifecycle quartet on
+/// [`PID_FRAMES`] (tid = `output * 4 + lane`).
+const FRAME_LANE_FILL: u64 = 0;
+const FRAME_LANE_WRITE: u64 = 1;
+const FRAME_LANE_READ: u64 = 2;
+const FRAME_LANE_DRAIN: u64 = 3;
+
+/// Chrome trace-event capture state, present only when
+/// [`HbmSwitch::enable_chrome_trace`] was called. Frame-lifecycle
+/// spans are recorded as the run executes; the per-bank HBM command
+/// tracks are post-processed from the device command log by
+/// [`HbmSwitch::take_chrome_trace`]. Purely passive: it observes sim
+/// times the pipeline already computes, so enabling it never perturbs
+/// the simulation.
+struct ChromeTrace {
+    rec: TraceRecorder,
+    /// Sim time the currently forming frame of each output started
+    /// filling (first batch at the tail SRAM), `None` when no frame is
+    /// forming.
+    fill_start: Vec<Option<SimTime>>,
+}
+
+impl ChromeTrace {
+    /// Record one frame-lifecycle span if it overlaps the window.
+    fn frame_span(&mut self, o: usize, lane: u64, name: &str, start: SimTime, end: SimTime) {
+        if self.rec.window().overlaps(start, end) {
+            self.rec
+                .complete(PID_FRAMES, o as u64 * 4 + lane, name, start, end);
+        }
     }
 }
 
@@ -274,6 +309,8 @@ pub struct HbmSwitch {
     /// Per-output HBM queue depth over time (frames), sampled at every
     /// frame write/read with bounded memory.
     output_depth: Vec<Series>,
+    /// Chrome trace-event capture (None = off).
+    chrome: Option<ChromeTrace>,
     /// Live epoch streaming + lifecycle sampling (None = silent).
     live: Option<LiveTelemetry>,
     /// Cached next epoch boundary in ps; `u64::MAX` when live telemetry
@@ -342,6 +379,7 @@ impl HbmSwitch {
             hbm_occupancy: Series::new(4096),
             metrics: MetricsRegistry::new(),
             output_depth: (0..n).map(|_| Series::new(1024)).collect(),
+            chrome: None,
             live: None,
             live_boundary_ps: u64::MAX,
             group,
@@ -364,6 +402,112 @@ impl HbmSwitch {
     /// The recorded trace, if tracing was enabled.
     pub fn trace(&self) -> Option<&TraceLog<SwitchEvent>> {
         self.trace.as_ref()
+    }
+
+    /// Capture a Chrome trace-event timeline of the run, gated by
+    /// `window`: per-output frame-lifecycle spans
+    /// (fill → write → read → drain) recorded live, plus per-bank HBM
+    /// command tracks post-processed from the device command log when
+    /// [`HbmSwitch::take_chrome_trace`] is called. Also turns on HBM
+    /// command recording (the same hook the timing-conformance checker
+    /// replays).
+    pub fn enable_chrome_trace(&mut self, window: TraceWindow) {
+        self.group.set_record_commands(true);
+        // Capture-time bound: keep only commands that can overlap the
+        // window once their derived spans (ACT covers tRCD, PRE tRP,
+        // REFsb tRFCsb) are attached — widen the start by the longest
+        // such span so `take_chrome_trace`'s precise overlap filter
+        // still sees every candidate.
+        let t = self.group.timing();
+        let timing_slack = t
+            .t_rcd
+            .as_ps()
+            .max(t.t_rp.as_ps())
+            .max(t.t_rfc_sb.as_ps())
+            .max(t.t_faw.as_ps());
+        // RD/WR spans run to bus release, which trails the issue time by
+        // queueing + transfer; 100 ns dwarfs both on every geometry.
+        let slack = timing_slack + 100_000;
+        self.group.set_record_window(Some((
+            SimTime::from_ps(window.start().as_ps().saturating_sub(slack)),
+            window.end(),
+        )));
+        let mut rec = TraceRecorder::new(window);
+        rec.set_process_name(PID_HBM, "hbm");
+        rec.set_process_name(PID_FRAMES, "frames");
+        for o in 0..self.cfg.ribbons {
+            for (lane, name) in [
+                (FRAME_LANE_FILL, "fill"),
+                (FRAME_LANE_WRITE, "write"),
+                (FRAME_LANE_READ, "read"),
+                (FRAME_LANE_DRAIN, "drain"),
+            ] {
+                rec.set_thread_name(
+                    PID_FRAMES,
+                    o as u64 * 4 + lane,
+                    &format!("out{o:02} {name}"),
+                );
+            }
+        }
+        self.chrome = Some(ChromeTrace {
+            rec,
+            fill_start: vec![None; self.cfg.ribbons],
+        });
+    }
+
+    /// Whether [`HbmSwitch::enable_chrome_trace`] is active.
+    pub fn chrome_trace_enabled(&self) -> bool {
+        self.chrome.is_some()
+    }
+
+    /// Take the recorded Chrome trace, folding the HBM command log
+    /// into per-bank duration tracks: one track per `(channel, bank)`
+    /// carrying ACT (shown over its tRCD window), RD/WR (to bus
+    /// release), PRE (tRP) and REFsb (tRFCsb), plus one `tFAW` lane per
+    /// channel where every ACT opens its rolling four-activate window.
+    /// Commands strictly outside the trace window are skipped; track
+    /// names are emitted only for banks that recorded at least one
+    /// in-window command.
+    pub fn take_chrome_trace(&mut self) -> Option<TraceRecorder> {
+        let mut ct = self.chrome.take()?;
+        let window = ct.rec.window();
+        let timing = *self.group.timing();
+        let bpc = self.group.geometry().banks_per_channel;
+        let lanes = bpc as u64 + 1;
+        for (c, ch) in self.group.channels().enumerate() {
+            let mut named = vec![false; bpc + 1];
+            for cmd in ch.commands() {
+                let (name, start, end) = match cmd.kind {
+                    HbmCommandKind::Activate { .. } => ("ACT", cmd.at, cmd.at + timing.t_rcd),
+                    HbmCommandKind::Read { end, .. } => ("RD", cmd.at, end),
+                    HbmCommandKind::Write { end, .. } => ("WR", cmd.at, end),
+                    HbmCommandKind::Precharge => ("PRE", cmd.at, cmd.at + timing.t_rp),
+                    HbmCommandKind::RefreshSb => ("REFsb", cmd.at, cmd.at + timing.t_rfc_sb),
+                };
+                if window.overlaps(start, end) {
+                    let tid = c as u64 * lanes + cmd.bank as u64;
+                    if !named[cmd.bank] {
+                        named[cmd.bank] = true;
+                        ct.rec
+                            .set_thread_name(PID_HBM, tid, &format!("ch{c:02}/b{:02}", cmd.bank));
+                    }
+                    ct.rec.complete(PID_HBM, tid, name, start, end);
+                }
+                if matches!(cmd.kind, HbmCommandKind::Activate { .. }) {
+                    let faw_end = cmd.at + timing.t_faw;
+                    if window.overlaps(cmd.at, faw_end) {
+                        let tid = c as u64 * lanes + bpc as u64;
+                        if !named[bpc] {
+                            named[bpc] = true;
+                            ct.rec
+                                .set_thread_name(PID_HBM, tid, &format!("ch{c:02}/tFAW"));
+                        }
+                        ct.rec.complete(PID_HBM, tid, "tFAW", cmd.at, faw_end);
+                    }
+                }
+            }
+        }
+        Some(ct.rec)
     }
 
     /// Stream live telemetry into `sink` while [`HbmSwitch::run_source`]
@@ -461,6 +605,20 @@ impl HbmSwitch {
         );
         self.metrics
             .set_gauge("switch.feeder.pulled_packets", at, pulled as f64);
+        // Watchdog inputs: drop/offered/capacity state visible every
+        // epoch, not just at run end.
+        self.metrics
+            .set_gauge("switch.packets.offered", at, self.offered_packets as f64);
+        self.metrics.set_gauge(
+            "switch.packets.dropped",
+            at,
+            (self.dropped_packets_fault + self.dropped_packets_congestion) as f64,
+        );
+        self.metrics.set_gauge(
+            "switch.capacity.dead_channels",
+            at,
+            self.dead_channels as f64,
+        );
     }
 
     /// Emit the terminal records: a final epoch delta taken against the
@@ -595,6 +753,9 @@ impl HbmSwitch {
             .inc("switch.frame.capacity_bytes", self.cfg.frame_size().bytes());
         self.metrics.inc("switch.frames.written", 1);
         let op = self.pfi.write_frame(&mut self.group, now, o);
+        if let Some(ct) = self.chrome.as_mut() {
+            ct.frame_span(o, FRAME_LANE_WRITE, "write", now, op.end);
+        }
         self.hbm_frames[o].push_back((frame, op.end));
         self.sample_output_depth(now, o);
         self.record(
@@ -834,8 +995,17 @@ impl HbmSwitch {
                 }
             }
         }
+        let batch_output = b.output;
+        if let Some(ct) = self.chrome.as_mut() {
+            ct.fill_start[batch_output].get_or_insert(now);
+        }
         if let Some(frame) = self.tail.push_batch(b) {
             let o = frame.output;
+            if let Some(ct) = self.chrome.as_mut() {
+                if let Some(start) = ct.fill_start[o].take() {
+                    ct.frame_span(o, FRAME_LANE_FILL, "fill", start, now);
+                }
+            }
             if !self.pfi.can_accept_frame(&self.group, o) {
                 // Per-output HBM region full: the frame is lost.
                 self.dropped_frames += 1;
@@ -875,6 +1045,9 @@ impl HbmSwitch {
                     .expect("frames_buffered > 0");
                 let (frame, written) = self.hbm_frames[o].pop_front().expect("mirror in sync");
                 self.pending_to_head[o] += 1;
+                if let Some(ct) = self.chrome.as_mut() {
+                    ct.frame_span(o, FRAME_LANE_READ, "read", now, op.end);
+                }
                 if self.live.is_some() {
                     let mut last = u64::MAX;
                     for batch in &frame.batches {
@@ -908,6 +1081,15 @@ impl HbmSwitch {
                 let frame = self.tail.take_padded_frame(o).expect("forming_len > 0");
                 self.padded_bytes += self.cfg.batch_size() * frame.padded_batches;
                 self.pending_to_head[o] += 1;
+                let bypass_end = now + self.bypass_latency();
+                if let Some(ct) = self.chrome.as_mut() {
+                    // A padded frame ends its fill here and bypasses the
+                    // HBM, so its "read" lane carries the bypass hop.
+                    if let Some(start) = ct.fill_start[o].take() {
+                        ct.frame_span(o, FRAME_LANE_FILL, "fill", start, now);
+                    }
+                    ct.frame_span(o, FRAME_LANE_READ, "bypass", now, bypass_end);
+                }
                 if self.live.is_some() {
                     let mut last = u64::MAX;
                     for batch in &frame.batches {
@@ -936,6 +1118,9 @@ impl HbmSwitch {
             Some(batch) => {
                 let payload = batch.payload();
                 let (end, deps) = self.outputs[o].drain_batch(&batch, now);
+                if let Some(ct) = self.chrome.as_mut() {
+                    ct.frame_span(o, FRAME_LANE_DRAIN, "drain", now, end);
+                }
                 self.delivered_bytes += payload;
                 for d in deps {
                     if self.dropped_ids.contains(&d.packet) {

@@ -234,6 +234,9 @@ pub struct Channel {
     bank_busy: Vec<TimeDelta>,
     /// When `true`, every issued command is appended to `commands`.
     record_commands: bool,
+    /// With a window set, only commands issued inside `[start, end)`
+    /// are kept — the capture-time filter behind bounded trace exports.
+    record_window: Option<(SimTime, SimTime)>,
     commands: Vec<HbmCommand>,
 }
 
@@ -253,6 +256,7 @@ impl Channel {
             stats: ChannelStats::default(),
             bank_busy: vec![TimeDelta::ZERO; banks],
             record_commands: false,
+            record_window: None,
             commands: Vec::new(),
         }
     }
@@ -309,8 +313,22 @@ impl Channel {
         self.commands.clear();
     }
 
+    /// Restrict recording to commands issued inside `[start, end)`.
+    /// Commands have derived completion spans (ACT covers tRCD, REFsb
+    /// covers tRFCsb), so a caller wanting every command *overlapping*
+    /// an interval should widen `start` by its own slack. `None` by
+    /// default: record everything.
+    pub fn set_record_window(&mut self, window: Option<(SimTime, SimTime)>) {
+        self.record_window = window;
+    }
+
     fn log(&mut self, at: SimTime, bank: usize, kind: HbmCommandKind) {
         if self.record_commands {
+            if let Some((start, end)) = self.record_window {
+                if at < start || at >= end {
+                    return;
+                }
+            }
             self.commands.push(HbmCommand { at, bank, kind });
         }
     }

@@ -176,6 +176,14 @@ impl HbmGroup {
         }
     }
 
+    /// Bound command recording on every channel to commands issued
+    /// inside `[start, end)` (see [`Channel::set_record_window`]).
+    pub fn set_record_window(&mut self, window: Option<(SimTime, SimTime)>) {
+        for ch in &mut self.channels {
+            ch.set_record_window(window);
+        }
+    }
+
     /// Total data moved across all channels (reads + writes).
     pub fn total_data(&self) -> DataSize {
         self.channels.iter().map(|c| c.stats().total_data()).sum()

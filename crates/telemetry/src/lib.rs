@@ -22,7 +22,10 @@
 #![warn(missing_docs)]
 
 mod epoch;
+mod net;
 mod sink;
+mod trace;
+mod watchdog;
 
 use std::collections::BTreeMap;
 
@@ -30,9 +33,16 @@ use rip_units::SimTime;
 use serde::{Deserialize, Serialize};
 
 pub use epoch::{EpochClock, EpochDelta, Snapshot};
+pub use net::{LengthFramedWriter, MetricsEndpoint, MetricsServer};
 pub use sink::{
-    JsonlSink, MemorySink, PrometheusSink, SharedSink, SinkRecord, SpanEvent, TelemetrySink,
+    FanoutSink, JsonlSink, MemorySink, PrometheusSink, SharedSink, SinkRecord, SpanEvent,
+    TelemetrySink,
 };
+pub use trace::{
+    ChromeTraceSink, TraceRecorder, TraceWindow, TraceWindowError, PID_DYNAMIC_BASE, PID_FRAMES,
+    PID_HBM,
+};
+pub use watchdog::{Watchdog, WatchdogConfig, WatchdogEvent, WatchdogHandle, WatchdogKind};
 
 /// Sub-bucket resolution of [`LogHistogram`]: each power-of-two octave
 /// is split into `2^SUB_BITS` buckets, so the relative width of a

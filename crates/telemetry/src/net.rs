@@ -1,0 +1,265 @@
+//! Network telemetry: a std-only scrape endpoint and a push framing.
+//!
+//! [`MetricsServer`] binds a `TcpListener` (port 0 gives an ephemeral
+//! port — CI uses that) and serves the latest published body to any
+//! HTTP GET as `text/plain` Prometheus exposition. The accept loop
+//! runs on one background thread, holds only an `Arc<Mutex<String>>`,
+//! and shuts down via a self-connect poke, so the whole exporter stays
+//! inside `std` — no async runtime, no HTTP dependency.
+//!
+//! [`MetricsEndpoint`] is the [`TelemetrySink`] in front of it: it
+//! accumulates epoch deltas into one cumulative registry per source and
+//! republishes the rendered exposition at every epoch, so a scrape
+//! during a soak sees the run's current totals.
+//!
+//! [`LengthFramedWriter`] adapts any `Write` into the collector push
+//! format: each newline-terminated record (e.g. a [`crate::JsonlSink`]
+//! line) is re-emitted as a `u32` big-endian byte length followed by
+//! the record bytes without the newline. `JsonlSink<LengthFramedWriter
+//! <TcpStream>>` therefore pushes length-framed JSONL epoch deltas to a
+//! collector with no new serialization code.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use rip_units::SimTime;
+
+use crate::sink::render_exposition;
+use crate::{EpochDelta, MetricsRegistry, TelemetrySink};
+
+/// A minimal single-threaded HTTP scrape endpoint over `TcpListener`.
+///
+/// Every connection gets the latest published body as an
+/// `HTTP/1.0 200` `text/plain` response and is closed — exactly what a
+/// Prometheus scraper (or `bash /dev/tcp`, as ci.sh does) needs.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    body: Arc<Mutex<String>>,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
+    /// the accept thread.
+    pub fn bind(addr: &str) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let body: Arc<Mutex<String>> = Arc::default();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (body_t, shutdown_t) = (body.clone(), shutdown.clone());
+        let handle = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if shutdown_t.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(mut stream) = conn else { continue };
+                // Drain whatever request line arrived (best effort; the
+                // response does not depend on it).
+                let mut buf = [0u8; 1024];
+                let _ = stream.read(&mut buf);
+                let text = body_t.lock().expect("metrics body lock").clone();
+                let _ = write!(
+                    stream,
+                    "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+                    text.len(),
+                    text
+                );
+                let _ = stream.flush();
+            }
+        });
+        Ok(MetricsServer {
+            addr,
+            body,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (reports the real port after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Replace the served body.
+    pub fn publish(&self, body: String) {
+        *self.body.lock().expect("metrics body lock") = body;
+    }
+
+    /// Stop the accept thread and join it.
+    pub fn shutdown(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.shutdown.store(true, Ordering::SeqCst);
+            // Poke the blocking accept so the thread observes the flag.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The sink feeding a [`MetricsServer`]: accumulates one cumulative
+/// registry per source and republishes the full Prometheus exposition
+/// at every epoch and at `run_end` (whose totals are authoritative).
+pub struct MetricsEndpoint {
+    server: MetricsServer,
+    cumulative: BTreeMap<String, MetricsRegistry>,
+}
+
+impl MetricsEndpoint {
+    /// Serve scrapes of this sink's registries at `addr`.
+    pub fn bind(addr: &str) -> io::Result<Self> {
+        Ok(MetricsEndpoint {
+            server: MetricsServer::bind(addr)?,
+            cumulative: BTreeMap::new(),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    fn republish(&mut self) {
+        let mut out = Vec::new();
+        render_exposition(&self.cumulative, &mut out).expect("vec write");
+        self.server
+            .publish(String::from_utf8(out).expect("exposition is utf-8"));
+    }
+}
+
+impl TelemetrySink for MetricsEndpoint {
+    fn on_epoch(&mut self, source: &str, _epoch: u64, delta: &EpochDelta) {
+        self.cumulative
+            .entry(source.to_string())
+            .or_default()
+            .apply_delta(delta);
+        self.republish();
+    }
+
+    fn on_run_end(&mut self, source: &str, _at: SimTime, totals: &MetricsRegistry) {
+        self.cumulative.insert(source.to_string(), totals.clone());
+        self.republish();
+    }
+}
+
+/// Re-frames newline-delimited records as `u32` big-endian length
+/// prefixes followed by the record bytes (newline stripped) — the
+/// collector push wire format. Partial lines are buffered until their
+/// newline arrives; `flush` forwards to the inner writer without
+/// emitting incomplete frames.
+pub struct LengthFramedWriter<W: Write> {
+    inner: W,
+    buf: Vec<u8>,
+}
+
+impl<W: Write> LengthFramedWriter<W> {
+    /// Frame records into `inner`.
+    pub fn new(inner: W) -> Self {
+        LengthFramedWriter {
+            inner,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Unwrap the inner writer (any incomplete trailing line is
+    /// discarded — frames are whole records only).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for LengthFramedWriter<W> {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        for &b in data {
+            if b == b'\n' {
+                let len = u32::try_from(self.buf.len()).map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "record exceeds u32 frame")
+                })?;
+                self.inner.write_all(&len.to_be_bytes())?;
+                self.inner.write_all(&self.buf)?;
+                self.buf.clear();
+            } else {
+                self.buf.push(b);
+            }
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_serves_published_body_on_ephemeral_port() {
+        let mut server = MetricsServer::bind("127.0.0.1:0").expect("bind");
+        server.publish("rip_up 1\n".to_string());
+        let addr = server.local_addr();
+        assert_ne!(addr.port(), 0, "ephemeral port must be resolved");
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+            .expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        assert!(response.starts_with("HTTP/1.0 200 OK\r\n"), "{response}");
+        assert!(response.contains("text/plain"));
+        assert!(response.ends_with("rip_up 1\n"), "{response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn endpoint_republishes_on_each_epoch() {
+        let mut endpoint = MetricsEndpoint::bind("127.0.0.1:0").expect("bind");
+        let addr = endpoint.local_addr();
+        let mut reg = MetricsRegistry::new();
+        let prev = reg.snapshot(SimTime::ZERO);
+        reg.inc("switch.packets", 5);
+        let delta = reg.snapshot(SimTime::from_ns(100)).delta_since(&prev);
+        endpoint.on_epoch("switch", 0, &delta);
+        let scrape = || {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .write_all(b"GET / HTTP/1.0\r\n\r\n")
+                .expect("request");
+            let mut response = String::new();
+            stream.read_to_string(&mut response).expect("response");
+            response
+        };
+        assert!(
+            scrape().contains("rip_switch_packets_total{source=\"switch\"} 5"),
+            "epoch totals must be scrapable mid-run"
+        );
+        reg.inc("switch.packets", 2);
+        endpoint.on_run_end("switch", SimTime::from_ns(200), &reg);
+        assert!(scrape().contains("rip_switch_packets_total{source=\"switch\"} 7"));
+    }
+
+    #[test]
+    fn length_framing_wraps_whole_lines_only() {
+        let mut framed = LengthFramedWriter::new(Vec::new());
+        framed.write_all(b"{\"a\":1}\n{\"bb\"").expect("write");
+        framed.write_all(b":2}\n").expect("write");
+        let bytes = framed.into_inner();
+        let mut want = Vec::new();
+        want.extend_from_slice(&7u32.to_be_bytes());
+        want.extend_from_slice(b"{\"a\":1}");
+        want.extend_from_slice(&8u32.to_be_bytes());
+        want.extend_from_slice(b"{\"bb\":2}");
+        assert_eq!(bytes, want);
+    }
+}

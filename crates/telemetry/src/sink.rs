@@ -1,31 +1,36 @@
 //! Telemetry sinks: where live epoch deltas and span events go.
 //!
-//! Engines push three kinds of records into a [`TelemetrySink`] while
+//! Engines push four kinds of records into a [`TelemetrySink`] while
 //! they run: per-epoch registry deltas, sampled packet-lifecycle span
-//! events, and one terminal `run_end` carrying the final cumulative
-//! registry. Everything a sink receives is derived from sim time and
-//! seeded state only, so any sink that serializes records in arrival
-//! order produces a byte-identical stream across same-seed runs.
+//! events, watchdog alarms, and one terminal `run_end` carrying the
+//! final cumulative registry. Everything a sink receives is derived
+//! from sim time and seeded state only, so any sink that serializes
+//! records in arrival order produces a byte-identical stream across
+//! same-seed runs.
 //!
 //! Provided sinks:
 //!
 //! * [`JsonlSink`] — one JSON object per line, the format diffed
 //!   byte-for-byte by CI;
-//! * [`PrometheusSink`] — accumulates deltas and renders a
-//!   Prometheus-style text exposition at `run_end`;
-//! * [`MemorySink`] — buffers records for tests and for replay;
+//! * [`PrometheusSink`] — accumulates deltas and renders one
+//!   grammar-valid Prometheus text exposition when finished (or
+//!   dropped);
+//! * [`MemorySink`] — buffers records for tests and for replay, with
+//!   an optional ring capacity so soaks cannot grow it unboundedly;
 //! * [`SharedSink`] — a clonable, thread-safe handle over a
 //!   [`MemorySink`], used by per-plane worker threads whose buffered
-//!   records are replayed into the caller's sink in plane order.
+//!   records are replayed into the caller's sink in plane order;
+//! * [`FanoutSink`] — forwards every record to several sinks (e.g.
+//!   stdout JSONL plus a [`crate::MetricsEndpoint`]).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::Write;
 use std::sync::{Arc, Mutex};
 
 use rip_units::SimTime;
 use serde::Serialize;
 
-use crate::{bucket_upper_edge, EpochDelta, MetricsRegistry};
+use crate::{bucket_upper_edge, EpochDelta, MetricsRegistry, WatchdogEvent};
 
 /// One sampled packet-lifecycle event: packet `packet` reached `stage`
 /// at sim time `at` on port `port` (input port for arrival-side stages,
@@ -53,6 +58,11 @@ pub trait TelemetrySink {
     /// One sampled packet-lifecycle event from `source`.
     fn on_span(&mut self, source: &str, span: &SpanEvent) {
         let _ = (source, span);
+    }
+
+    /// A watchdog alarm raised while consuming `source`'s stream.
+    fn on_watchdog(&mut self, source: &str, event: &WatchdogEvent) {
+        let _ = (source, event);
     }
 
     /// The run finished at sim time `at`; `totals` is the final
@@ -127,6 +137,17 @@ impl<W: Write> TelemetrySink for JsonlSink<W> {
         self.write_line(&line);
     }
 
+    fn on_watchdog(&mut self, source: &str, event: &WatchdogEvent) {
+        let line = format!(
+            "{{\"record\":\"watchdog\",\"source\":{},\"epoch\":{},\"t_ps\":{},\"kind\":{}}}",
+            json_str(source),
+            event.epoch,
+            event.at.as_ps(),
+            serde_json::to_string(&event.kind).expect("watchdog kind serializes"),
+        );
+        self.write_line(&line);
+    }
+
     fn on_run_end(&mut self, source: &str, at: SimTime, totals: &MetricsRegistry) {
         let line = format!(
             "{{\"record\":\"run_end\",\"source\":{},\"t_ps\":{},\"records\":{},\"totals\":{}}}",
@@ -148,17 +169,9 @@ impl<W: Write> Drop for JsonlSink<W> {
     }
 }
 
-/// Prometheus-style text exposition writer.
-///
-/// Epoch deltas are accumulated into one cumulative registry per
-/// source; the exposition text is rendered (and written) when the
-/// source's `run_end` arrives. Metric names are sanitized to
-/// `[a-zA-Z0-9_]` and prefixed `rip_`; the source becomes a
-/// `source="..."` label, so per-plane registries share metric families.
-pub struct PrometheusSink<W: Write> {
-    out: W,
-    cumulative: BTreeMap<String, MetricsRegistry>,
-}
+// --------------------------------------------------------------------
+// Prometheus text exposition
+// --------------------------------------------------------------------
 
 fn sanitize(name: &str) -> String {
     name.chars()
@@ -166,43 +179,97 @@ fn sanitize(name: &str) -> String {
         .collect()
 }
 
-impl<W: Write> PrometheusSink<W> {
-    /// A sink rendering to `out` at each source's `run_end`.
-    pub fn new(out: W) -> Self {
-        PrometheusSink {
-            out,
-            cumulative: BTreeMap::new(),
+/// Escape a label value per the exposition grammar: backslash, double
+/// quote and newline must be `\\`, `\"` and `\n`.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
         }
     }
+    out
+}
 
-    /// Render one source's cumulative registry as exposition text.
-    fn render(source: &str, reg: &MetricsRegistry, out: &mut W) -> std::io::Result<()> {
+/// Escape a `# HELP` text: backslash and newline only.
+fn escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render every source's cumulative registry as one grammar-valid
+/// Prometheus text exposition: each metric family appears exactly once
+/// (`# HELP` + `# TYPE`, then one sample per source, label-escaped),
+/// histograms carry cumulative `_bucket` lines with a single `+Inf`
+/// bucket equal to `_count`. Sources become a `source="..."` label, so
+/// per-plane registries share families.
+pub(crate) fn render_exposition<W: Write>(
+    regs: &BTreeMap<String, MetricsRegistry>,
+    out: &mut W,
+) -> std::io::Result<()> {
+    // Group samples by family across sources (BTreeMaps keep both the
+    // family order and the per-family source order deterministic).
+    let mut counters: BTreeMap<&str, Vec<(&str, u64)>> = BTreeMap::new();
+    let mut gauges: BTreeMap<&str, Vec<(&str, f64)>> = BTreeMap::new();
+    let mut histograms: BTreeMap<&str, Vec<(&str, &crate::LogHistogram)>> = BTreeMap::new();
+    for (source, reg) in regs {
         for (name, &v) in reg.counters() {
-            let n = sanitize(name);
-            writeln!(out, "# TYPE rip_{n} counter")?;
-            writeln!(out, "rip_{n}_total{{source=\"{source}\"}} {v}")?;
+            counters.entry(name).or_default().push((source, v));
         }
         for (name, g) in reg.gauges() {
-            let n = sanitize(name);
-            writeln!(out, "# TYPE rip_{n} gauge")?;
-            writeln!(out, "rip_{n}{{source=\"{source}\"}} {}", g.value)?;
+            gauges.entry(name).or_default().push((source, g.value));
         }
         for (name, h) in reg.histograms() {
-            let n = sanitize(name);
-            writeln!(out, "# TYPE rip_{n} histogram")?;
+            histograms.entry(name).or_default().push((source, h));
+        }
+    }
+    for (name, samples) in &counters {
+        let n = sanitize(name);
+        writeln!(out, "# HELP rip_{n}_total {} (counter)", escape_help(name))?;
+        writeln!(out, "# TYPE rip_{n}_total counter")?;
+        for (source, v) in samples {
+            writeln!(
+                out,
+                "rip_{n}_total{{source=\"{}\"}} {v}",
+                escape_label(source)
+            )?;
+        }
+    }
+    for (name, samples) in &gauges {
+        let n = sanitize(name);
+        writeln!(out, "# HELP rip_{n} {} (gauge)", escape_help(name))?;
+        writeln!(out, "# TYPE rip_{n} gauge")?;
+        for (source, v) in samples {
+            writeln!(out, "rip_{n}{{source=\"{}\"}} {v}", escape_label(source))?;
+        }
+    }
+    for (name, samples) in &histograms {
+        let n = sanitize(name);
+        writeln!(out, "# HELP rip_{n} {} (histogram)", escape_help(name))?;
+        writeln!(out, "# TYPE rip_{n} histogram")?;
+        for (source, h) in samples {
+            let source = escape_label(source);
             let mut cum = 0u64;
             for &(idx, count) in &h.buckets {
                 cum += count;
                 let le = bucket_upper_edge(idx);
+                // Non-finite edges fold into the single +Inf bucket
+                // below (one +Inf sample per series, as the grammar
+                // requires).
                 if le.is_finite() {
                     writeln!(
                         out,
                         "rip_{n}_bucket{{source=\"{source}\",le=\"{le}\"}} {cum}"
-                    )?;
-                } else {
-                    writeln!(
-                        out,
-                        "rip_{n}_bucket{{source=\"{source}\",le=\"+Inf\"}} {cum}"
                     )?;
                 }
             }
@@ -212,15 +279,80 @@ impl<W: Write> PrometheusSink<W> {
                 h.count()
             )?;
             writeln!(out, "rip_{n}_count{{source=\"{source}\"}} {}", h.count())?;
-            if h.rejected() > 0 {
+        }
+    }
+    // Rejected-sample tallies are their own counter family (they are
+    // not histogram samples).
+    let rejected: Vec<(&str, &str, u64)> = histograms
+        .iter()
+        .flat_map(|(name, samples)| {
+            samples
+                .iter()
+                .filter(|(_, h)| h.rejected() > 0)
+                .map(move |&(source, h)| (*name, source, h.rejected()))
+        })
+        .collect();
+    let mut seen: Vec<&str> = Vec::new();
+    for &(name, _, _) in &rejected {
+        if !seen.contains(&name) {
+            seen.push(name);
+        }
+    }
+    for family in seen {
+        let n = sanitize(family);
+        writeln!(
+            out,
+            "# HELP rip_{n}_rejected_total NaN samples rejected by {} (counter)",
+            escape_help(family)
+        )?;
+        writeln!(out, "# TYPE rip_{n}_rejected_total counter")?;
+        for &(name, source, count) in &rejected {
+            if name == family {
                 writeln!(
                     out,
-                    "rip_{n}_rejected{{source=\"{source}\"}} {}",
-                    h.rejected()
+                    "rip_{n}_rejected_total{{source=\"{}\"}} {count}",
+                    escape_label(source)
                 )?;
             }
         }
-        Ok(())
+    }
+    Ok(())
+}
+
+/// Prometheus-style text exposition writer.
+///
+/// Epoch deltas are accumulated into one cumulative registry per
+/// source (each source's `run_end` totals are authoritative when they
+/// arrive); the exposition text is rendered exactly once — by
+/// [`PrometheusSink::finish`], or on drop — so every metric family
+/// appears once with `# HELP`/`# TYPE` ahead of all its samples, as
+/// the exposition grammar requires. Metric names are sanitized to
+/// `[a-zA-Z0-9_]` and prefixed `rip_`; the source becomes a
+/// `source="..."` label, so per-plane registries share metric families.
+pub struct PrometheusSink<W: Write> {
+    out: W,
+    cumulative: BTreeMap<String, MetricsRegistry>,
+    rendered: bool,
+}
+
+impl<W: Write> PrometheusSink<W> {
+    /// A sink rendering to `out` when finished (or dropped).
+    pub fn new(out: W) -> Self {
+        PrometheusSink {
+            out,
+            cumulative: BTreeMap::new(),
+            rendered: false,
+        }
+    }
+
+    /// Render the accumulated exposition now. Idempotent; also runs on
+    /// drop if never called.
+    pub fn finish(&mut self) {
+        if !self.rendered {
+            self.rendered = true;
+            render_exposition(&self.cumulative, &mut self.out).expect("telemetry sink write");
+            self.out.flush().expect("telemetry sink flush");
+        }
     }
 }
 
@@ -236,9 +368,17 @@ impl<W: Write> TelemetrySink for PrometheusSink<W> {
         // `totals` is authoritative (it includes report-time
         // aggregates); prefer it over the replayed deltas.
         self.cumulative.insert(source.to_string(), totals.clone());
-        let reg = self.cumulative.get(source).expect("just inserted").clone();
-        Self::render(source, &reg, &mut self.out).expect("telemetry sink write");
-        self.out.flush().expect("telemetry sink flush");
+    }
+}
+
+impl<W: Write> Drop for PrometheusSink<W> {
+    fn drop(&mut self) {
+        if !self.rendered {
+            self.rendered = true;
+            // Best-effort in drop: never panic while unwinding.
+            let _ = render_exposition(&self.cumulative, &mut self.out);
+            let _ = self.out.flush();
+        }
     }
 }
 
@@ -261,6 +401,13 @@ pub enum SinkRecord {
         /// The event.
         span: SpanEvent,
     },
+    /// A watchdog alarm.
+    Watchdog {
+        /// Stream the alarm was raised on.
+        source: String,
+        /// The alarm.
+        event: WatchdogEvent,
+    },
     /// End of a source's run.
     RunEnd {
         /// Registry that finished.
@@ -274,26 +421,60 @@ pub enum SinkRecord {
 
 /// Buffers every record in arrival order — for tests, and as the
 /// per-plane staging buffer whose contents are replayed into the real
-/// sink in deterministic plane order.
+/// sink in deterministic plane order. An optional ring capacity
+/// ([`MemorySink::with_capacity`]) bounds the buffer for multi-hour
+/// soaks: the oldest records are evicted and counted in
+/// [`MemorySink::dropped_records`].
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MemorySink {
-    records: Vec<SinkRecord>,
+    records: VecDeque<SinkRecord>,
+    /// Ring capacity (`None` = unbounded).
+    capacity: Option<usize>,
+    dropped: u64,
 }
 
 impl MemorySink {
-    /// An empty sink.
+    /// An unbounded sink.
     pub fn new() -> Self {
         MemorySink::default()
     }
 
+    /// A sink keeping only the most recent `capacity` records.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero (a sink that can hold nothing).
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        MemorySink {
+            records: VecDeque::with_capacity(capacity),
+            capacity: Some(capacity),
+            dropped: 0,
+        }
+    }
+
     /// The buffered records, in arrival order.
-    pub fn records(&self) -> &[SinkRecord] {
+    pub fn records(&self) -> &VecDeque<SinkRecord> {
         &self.records
+    }
+
+    /// Records evicted by the ring capacity.
+    pub fn dropped_records(&self) -> u64 {
+        self.dropped
     }
 
     /// Consume the sink, returning its records.
     pub fn into_records(self) -> Vec<SinkRecord> {
-        self.records
+        self.records.into()
+    }
+
+    fn push(&mut self, rec: SinkRecord) {
+        if let Some(cap) = self.capacity {
+            while self.records.len() >= cap {
+                self.records.pop_front();
+                self.dropped += 1;
+            }
+        }
+        self.records.push_back(rec);
     }
 
     /// Replay every buffered record into `sink`, preserving sources.
@@ -306,6 +487,7 @@ impl MemorySink {
                     delta,
                 } => sink.on_epoch(source, *epoch, delta),
                 SinkRecord::Span { source, span } => sink.on_span(source, span),
+                SinkRecord::Watchdog { source, event } => sink.on_watchdog(source, event),
                 SinkRecord::RunEnd { source, at, totals } => sink.on_run_end(source, *at, totals),
             }
         }
@@ -319,6 +501,7 @@ impl MemorySink {
             match rec {
                 SinkRecord::Epoch { epoch, delta, .. } => sink.on_epoch(source, *epoch, delta),
                 SinkRecord::Span { span, .. } => sink.on_span(source, span),
+                SinkRecord::Watchdog { event, .. } => sink.on_watchdog(source, event),
                 SinkRecord::RunEnd { at, totals, .. } => sink.on_run_end(source, *at, totals),
             }
         }
@@ -327,7 +510,7 @@ impl MemorySink {
 
 impl TelemetrySink for MemorySink {
     fn on_epoch(&mut self, source: &str, epoch: u64, delta: &EpochDelta) {
-        self.records.push(SinkRecord::Epoch {
+        self.push(SinkRecord::Epoch {
             source: source.to_string(),
             epoch,
             delta: delta.clone(),
@@ -335,14 +518,21 @@ impl TelemetrySink for MemorySink {
     }
 
     fn on_span(&mut self, source: &str, span: &SpanEvent) {
-        self.records.push(SinkRecord::Span {
+        self.push(SinkRecord::Span {
             source: source.to_string(),
             span: *span,
         });
     }
 
+    fn on_watchdog(&mut self, source: &str, event: &WatchdogEvent) {
+        self.push(SinkRecord::Watchdog {
+            source: source.to_string(),
+            event: event.clone(),
+        });
+    }
+
     fn on_run_end(&mut self, source: &str, at: SimTime, totals: &MetricsRegistry) {
-        self.records.push(SinkRecord::RunEnd {
+        self.push(SinkRecord::RunEnd {
             source: source.to_string(),
             at,
             totals: totals.clone(),
@@ -385,6 +575,13 @@ impl TelemetrySink for SharedSink {
             .on_span(source, span);
     }
 
+    fn on_watchdog(&mut self, source: &str, event: &WatchdogEvent) {
+        self.inner
+            .lock()
+            .expect("telemetry sink lock")
+            .on_watchdog(source, event);
+    }
+
     fn on_run_end(&mut self, source: &str, at: SimTime, totals: &MetricsRegistry) {
         self.inner
             .lock()
@@ -393,10 +590,66 @@ impl TelemetrySink for SharedSink {
     }
 }
 
+/// Forwards every record to each of several sinks, in push order —
+/// composition glue for e.g. "JSONL to stdout *and* the scrape
+/// endpoint".
+#[derive(Default)]
+pub struct FanoutSink {
+    sinks: Vec<Box<dyn TelemetrySink + Send>>,
+}
+
+impl FanoutSink {
+    /// An empty fanout.
+    pub fn new() -> Self {
+        FanoutSink::default()
+    }
+
+    /// Add a downstream sink.
+    pub fn push(&mut self, sink: Box<dyn TelemetrySink + Send>) {
+        self.sinks.push(sink);
+    }
+
+    /// Number of downstream sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// True when no downstream sink was added.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl TelemetrySink for FanoutSink {
+    fn on_epoch(&mut self, source: &str, epoch: u64, delta: &EpochDelta) {
+        for sink in &mut self.sinks {
+            sink.on_epoch(source, epoch, delta);
+        }
+    }
+
+    fn on_span(&mut self, source: &str, span: &SpanEvent) {
+        for sink in &mut self.sinks {
+            sink.on_span(source, span);
+        }
+    }
+
+    fn on_watchdog(&mut self, source: &str, event: &WatchdogEvent) {
+        for sink in &mut self.sinks {
+            sink.on_watchdog(source, event);
+        }
+    }
+
+    fn on_run_end(&mut self, source: &str, at: SimTime, totals: &MetricsRegistry) {
+        for sink in &mut self.sinks {
+            sink.on_run_end(source, at, totals);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Snapshot;
+    use crate::{Snapshot, WatchdogKind};
 
     #[test]
     fn jsonl_stream_is_deterministic_and_newline_terminated() {
@@ -419,8 +672,17 @@ mod tests {
                         port: 1,
                     },
                 );
+                sink.on_watchdog(
+                    "switch",
+                    &WatchdogEvent {
+                        source: "switch".into(),
+                        epoch: 0,
+                        at: SimTime::from_ns(100),
+                        kind: WatchdogKind::Stall { epochs: 3 },
+                    },
+                );
                 sink.on_run_end("switch", SimTime::from_ns(100), reg);
-                assert_eq!(sink.records(), 3);
+                assert_eq!(sink.records(), 4);
             }
             buf
         };
@@ -428,10 +690,11 @@ mod tests {
         let b = run(&mut reg);
         assert_eq!(a, b, "same inputs must stream byte-identically");
         let text = String::from_utf8(a).unwrap();
-        assert_eq!(text.lines().count(), 3);
+        assert_eq!(text.lines().count(), 4);
         assert!(text.ends_with('\n'));
         assert!(text.starts_with("{\"record\":\"epoch\""));
         assert!(text.contains("\"record\":\"span\""));
+        assert!(text.contains("\"record\":\"watchdog\""));
         assert!(text.contains("\"record\":\"run_end\""));
     }
 
@@ -454,6 +717,123 @@ mod tests {
         assert!(text.contains("le=\"+Inf\"} 2"));
     }
 
+    /// The exposition grammar contract: one `# HELP` + `# TYPE` per
+    /// family (ahead of all its samples, grouped), a single `+Inf`
+    /// bucket per histogram series, cumulative bucket counts, and
+    /// escaped label values.
+    #[test]
+    fn prometheus_exposition_follows_the_grammar() {
+        let mut a = MetricsRegistry::new();
+        a.inc("switch.packets", 9);
+        a.observe("lat.ns", 100.0);
+        a.observe("lat.ns", f64::INFINITY); // lands in the +Inf bucket
+        a.observe("lat.ns", f64::NAN); // rejected tally
+        let mut b = MetricsRegistry::new();
+        b.inc("switch.packets", 4);
+        b.set_gauge("queue.depth", SimTime::from_ns(10), 1.0);
+        let mut regs = BTreeMap::new();
+        // A hostile source name: every escapable character.
+        regs.insert("pla\\ne\"0\n0".to_string(), a);
+        regs.insert("plane01".to_string(), b);
+        let mut buf = Vec::new();
+        render_exposition(&regs, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+
+        // Label escaping: backslash, quote and newline are escaped.
+        assert!(
+            text.contains("source=\"pla\\\\ne\\\"0\\n0\""),
+            "label not escaped: {text}"
+        );
+        assert!(!text.contains('\u{0}'));
+
+        // Parse line-by-line: every line is a comment or a sample whose
+        // family has already announced HELP and TYPE.
+        let mut helped: Vec<String> = Vec::new();
+        let mut typed: Vec<String> = Vec::new();
+        for line in text.lines() {
+            assert!(!line.is_empty(), "no blank lines inside an exposition");
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let family = rest.split(' ').next().unwrap().to_string();
+                assert!(!helped.contains(&family), "duplicate HELP for {family}");
+                helped.push(family);
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split(' ');
+                let family = parts.next().unwrap().to_string();
+                let kind = parts.next().unwrap();
+                assert!(["counter", "gauge", "histogram"].contains(&kind));
+                assert!(!typed.contains(&family), "duplicate TYPE for {family}");
+                assert_eq!(helped.last(), Some(&family), "HELP must precede TYPE");
+                typed.push(family);
+            } else {
+                let name = line
+                    .split(['{', ' '])
+                    .next()
+                    .expect("sample line has a name");
+                let family = typed
+                    .iter()
+                    .find(|f| {
+                        name == f.as_str()
+                            || (name
+                                .strip_prefix(f.as_str())
+                                .is_some_and(|suffix| suffix == "_bucket" || suffix == "_count"))
+                    })
+                    .unwrap_or_else(|| panic!("sample {name} has no TYPE"));
+                assert_eq!(
+                    typed.last(),
+                    Some(family),
+                    "samples of {family} must be contiguous after its TYPE"
+                );
+                // The value parses as a number.
+                let value = line.rsplit(' ').next().unwrap();
+                assert!(value.parse::<f64>().is_ok(), "bad sample value {value}");
+            }
+        }
+
+        // Exactly one +Inf bucket per histogram series, equal to _count.
+        // Only the hostile source recorded a histogram, so exactly one
+        // series — and exactly one +Inf bucket for it, equal to _count
+        // (the infinite sample lands there; the NaN does not).
+        let inf_lines: Vec<&str> = text.lines().filter(|l| l.contains("le=\"+Inf\"")).collect();
+        assert_eq!(inf_lines.len(), 1, "single +Inf per series: {inf_lines:?}");
+        assert!(inf_lines[0].ends_with(" 2"), "{inf_lines:?}");
+        // The rejected NaN shows up as its own counter family.
+        assert!(text.contains("rip_lat_ns_rejected_total"));
+    }
+
+    #[test]
+    fn memory_sink_ring_bounds_and_counts_drops() {
+        let mut sink = MemorySink::with_capacity(3);
+        let reg = MetricsRegistry::new();
+        let span = |packet| SpanEvent {
+            packet,
+            stage: "arrival",
+            at: SimTime::from_ns(packet),
+            port: 0,
+        };
+        for packet in 0..10u64 {
+            sink.on_span("switch", &span(packet));
+        }
+        sink.on_run_end("switch", SimTime::from_ns(99), &reg);
+        assert_eq!(sink.records().len(), 3, "ring must cap the buffer");
+        assert_eq!(sink.dropped_records(), 8);
+        // The newest records survive.
+        match &sink.records()[2] {
+            SinkRecord::RunEnd { .. } => {}
+            other => panic!("expected the run_end to survive, got {other:?}"),
+        }
+        match &sink.records()[0] {
+            SinkRecord::Span { span, .. } => assert_eq!(span.packet, 8),
+            other => panic!("unexpected record {other:?}"),
+        }
+        // Unbounded default never drops.
+        let mut unbounded = MemorySink::new();
+        for packet in 0..10u64 {
+            unbounded.on_span("switch", &span(packet));
+        }
+        assert_eq!(unbounded.records().len(), 10);
+        assert_eq!(unbounded.dropped_records(), 0);
+    }
+
     #[test]
     fn shared_sink_replays_renamed() {
         let shared = SharedSink::new();
@@ -470,5 +850,21 @@ mod tests {
             SinkRecord::Epoch { source, .. } => assert_eq!(source, "plane00"),
             other => panic!("unexpected record {other:?}"),
         }
+    }
+
+    #[test]
+    fn fanout_forwards_to_every_sink() {
+        let a = SharedSink::new();
+        let b = SharedSink::new();
+        let mut fan = FanoutSink::new();
+        fan.push(Box::new(a.clone()));
+        fan.push(Box::new(b.clone()));
+        assert_eq!(fan.len(), 2);
+        let reg = MetricsRegistry::new();
+        let snap = reg.snapshot(SimTime::from_ns(10));
+        fan.on_epoch("switch", 0, &snap.delta_since(&Snapshot::empty()));
+        fan.on_run_end("switch", SimTime::from_ns(10), &reg);
+        assert_eq!(a.take().records().len(), 2);
+        assert_eq!(b.take().records().len(), 2);
     }
 }

@@ -13,6 +13,8 @@
 //!   simulation computes: the live run's report is the silent run's
 //!   report plus the per-epoch live gauge series.
 
+use std::collections::VecDeque;
+
 use rip_baselines::IdealOqSwitch;
 use rip_core::{FaultPlan, HbmSwitch, LiveOptions, RouterConfig, SpsRouter, SpsWorkload};
 use rip_integration_tests::source_for;
@@ -45,7 +47,7 @@ fn live_switch_run(seed: u64) -> (MemorySink, rip_core::SwitchReport) {
 }
 
 /// Rebuild a registry from the `Epoch` records of one source.
-fn rebuild(records: &[SinkRecord], source: &str) -> MetricsRegistry {
+fn rebuild(records: &VecDeque<SinkRecord>, source: &str) -> MetricsRegistry {
     let mut reg = MetricsRegistry::new();
     for rec in records {
         if let SinkRecord::Epoch {
@@ -61,7 +63,7 @@ fn rebuild(records: &[SinkRecord], source: &str) -> MetricsRegistry {
 }
 
 /// The `run_end` totals of one source.
-fn totals<'a>(records: &'a [SinkRecord], source: &str) -> &'a MetricsRegistry {
+fn totals<'a>(records: &'a VecDeque<SinkRecord>, source: &str) -> &'a MetricsRegistry {
     records
         .iter()
         .find_map(|rec| match rec {
@@ -176,9 +178,12 @@ fn live_report_is_silent_report_plus_gauge_series() {
     assert_eq!(
         extra,
         [
+            "switch.capacity.dead_channels",
             "switch.feeder.pulled_packets",
             "switch.packets.delivered",
+            "switch.packets.dropped",
             "switch.packets.in_flight",
+            "switch.packets.offered",
             "switch.packets.peak_in_flight",
         ]
     );
