@@ -99,4 +99,39 @@ fi
 grep -q 'DegradedCapacity' "$bench_dir/soak_fault.log" \
   || { echo "fault-injected soak fired no degraded-capacity watchdog"; exit 1; }
 
+echo "==> checkpoint/resume smoke (SIGKILL mid-soak, byte-identical continuation)"
+target/release/ripsim soak configs/soak_ckpt.json \
+  > "$bench_dir/ckpt_base.jsonl" 2> /dev/null
+snap="$bench_dir/soak.snapshot"
+target/release/ripsim soak configs/soak_ckpt.json \
+  --checkpoint-every 25 --checkpoint-path "$snap" \
+  > "$bench_dir/ckpt_part1.jsonl" 2> /dev/null &
+ckpt_pid=$!
+for _ in $(seq 1 2000); do
+  [ -f "$snap" ] && break
+  sleep 0.01
+done
+sleep 0.3
+kill -9 "$ckpt_pid" 2> /dev/null || true
+wait "$ckpt_pid" 2> /dev/null || true
+test -f "$snap" || { echo "checkpointing soak wrote no snapshot"; exit 1; }
+target/release/ripsim soak configs/soak_ckpt.json --resume "$snap" \
+  > "$bench_dir/ckpt_part2.jsonl" 2> "$bench_dir/ckpt_resume.log" \
+  || { echo "resume from snapshot failed"; exit 1; }
+keep="$(grep -o 'keep_lines=[0-9]*' "$bench_dir/ckpt_resume.log" | cut -d= -f2)"
+test -n "$keep" || { echo "resume reported no keep_lines"; exit 1; }
+head -n "$keep" "$bench_dir/ckpt_part1.jsonl" \
+  | cat - "$bench_dir/ckpt_part2.jsonl" > "$bench_dir/ckpt_merged.jsonl"
+cmp "$bench_dir/ckpt_merged.jsonl" "$bench_dir/ckpt_base.jsonl" \
+  || { echo "killed-and-resumed soak stream is not byte-identical"; exit 1; }
+# A truncated snapshot (with no .prev fallback) must be rejected cleanly.
+head -c 512 "$snap" > "$bench_dir/trunc.snapshot"
+if target/release/ripsim soak configs/soak_ckpt.json \
+     --resume "$bench_dir/trunc.snapshot" \
+     > /dev/null 2> "$bench_dir/ckpt_trunc.log"; then
+  echo "resume from a truncated snapshot unexpectedly exited zero"; exit 1
+fi
+grep -q 'truncated' "$bench_dir/ckpt_trunc.log" \
+  || { echo "truncated snapshot produced no typed error"; exit 1; }
+
 echo "CI OK"

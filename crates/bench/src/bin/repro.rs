@@ -1131,7 +1131,12 @@ fn stream_run_live(
 fn write_json<T: serde::Serialize>(path: &str, value: &T) {
     let mut body = serde_json::to_string_pretty(value).expect("bench serialization");
     body.push('\n');
-    std::fs::write(path, body).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    // I/O failure is an environment problem, not a bug: report it and
+    // exit nonzero instead of panicking with a backtrace.
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("repro: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
     println!("wrote {path}");
 }
 
@@ -1149,7 +1154,13 @@ fn run_bench(quick: bool, live: bool) {
     let r = if live {
         // Same run, but every plane streams epoch deltas and sampled
         // lifecycle spans; the merged stream lands in a JSONL file.
-        let f = std::fs::File::create("BENCH_sps_epochs.jsonl").expect("create epochs file");
+        let f = match std::fs::File::create("BENCH_sps_epochs.jsonl") {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("repro: cannot create BENCH_sps_epochs.jsonl: {e}");
+                std::process::exit(1);
+            }
+        };
         let mut sink = rip_telemetry::JsonlSink::new(std::io::BufWriter::new(f));
         let r = router.run_streamed(
             &w,

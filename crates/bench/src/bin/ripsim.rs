@@ -27,6 +27,22 @@
 //! Prometheus scrape endpoint; `--inject-channel-fault <ch>` proves the
 //! degraded-capacity alarm end to end.
 //!
+//! `--checkpoint-every <epochs>` makes the soak crash-safe: every N-th
+//! telemetry epoch, the engine's complete mid-run state (event queue,
+//! SRAM/HBM occupancy and timing, generator RNGs, telemetry clock) is
+//! written to a versioned, CRC-checked snapshot at `--checkpoint-path`
+//! (default `ripsim-soak.snapshot`, two-slot rotation, atomic rename).
+//! SIGINT/SIGTERM take one final snapshot at the next epoch boundary
+//! and exit cleanly. `ripsim soak <spec> --resume <path>` continues a
+//! killed soak from its newest valid snapshot (falling back to the
+//! `.prev` slot when the newest is truncated or corrupt): keep the
+//! first `keep_lines=K` lines of the interrupted stdout stream (K is
+//! reported on stderr at resume) and append the continuation's stdout,
+//! and the merged stream — and the final report — is byte-identical to
+//! the uninterrupted same-seed run. Checkpointing requires an epoch
+//! period and excludes `--metrics` (the endpoint's cumulative state is
+//! not part of the snapshot).
+//!
 //! All simulation modes are pull-based: arrivals are generated on
 //! demand by a merged packet source, never materialized as a trace, so
 //! the horizon can grow without the memory footprint following it.
@@ -38,16 +54,20 @@
 //! ripsim soak my_sim.json
 //! ripsim soak configs/soak_live.json > epochs.jsonl
 //! ripsim soak my_sim.json --epoch 2000000 > epochs.jsonl
+//! ripsim soak my_sim.json --checkpoint-every 50 > part1.jsonl   # kill it
+//! ripsim soak my_sim.json --resume ripsim-soak.snapshot > part2.jsonl
 //! ripsim resilience
 //! ```
 
 use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 use rip_bench::Table;
 use rip_core::{
     ConfigError, DrainPolicy, FaultKind, FaultPlan, HbmSwitch, LiveOptions, RouterConfig,
-    SpsRouter, SpsWorkload,
+    RunOutcome, SpsRouter, SpsWorkload,
 };
 use rip_photonics::SplitPattern;
 use rip_telemetry::{
@@ -59,7 +79,7 @@ use rip_traffic::{
     TrafficMatrix,
 };
 use rip_units::{DataSize, SimTime, TimeDelta};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// Destination mix of the workload.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -294,6 +314,302 @@ struct SoakOptions {
     /// Kill this HBM channel a quarter into the arrival horizon and
     /// never recover it — the degraded-capacity watchdog must fire.
     inject_channel_fault: Option<usize>,
+    /// Snapshot the engine every this many telemetry epochs.
+    checkpoint_every: Option<u64>,
+    /// Where the snapshot (and its `.prev` rotation slot) lives.
+    checkpoint_path: Option<String>,
+    /// Continue a killed soak from this snapshot.
+    resume: Option<String>,
+}
+
+// ------------------------------------------------------------------
+// Graceful-stop plumbing for checkpointed soaks. The handler only
+// flips an atomic (the async-signal-safe subset); the run loop polls
+// it at epoch boundaries and exits through a final snapshot.
+// ------------------------------------------------------------------
+
+// `signal(2)` from the platform libc this binary already links; used
+// instead of a crate dependency for exactly two calls.
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+/// Set by SIGINT/SIGTERM; polled by the checkpointed soak loop.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn request_stop(_signum: i32) {
+    STOP.store(true, Ordering::SeqCst);
+}
+
+fn install_stop_handlers() {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = request_stop as *const () as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+/// Summary of one completed soak run inside a snapshot: just the
+/// fields the end-of-soak scaling checks need.
+#[derive(Clone, Serialize, Deserialize)]
+struct RunDone {
+    offered_packets: u64,
+    delivered_packets: u64,
+    peak_in_flight: u64,
+}
+
+/// The payload of a soak snapshot (wrapped in the CRC envelope by
+/// `rip_sim::snapshot`): where in the two-run soak we are, how many
+/// stdout lines are already final, and the running engine's state.
+#[derive(Serialize, Deserialize)]
+struct SoakSnapshot {
+    /// JSON echo of the spec; resuming under a different spec is
+    /// refused.
+    spec: String,
+    /// Checkpoint interval in epochs (reused on resume unless
+    /// overridden).
+    every: u64,
+    /// Index of the run in progress within the soak's mult sequence.
+    run_index: u64,
+    /// JSONL lines fully emitted by completed runs, incl. `run_end`s.
+    lines_done: u64,
+    /// Completed runs' summaries, in order.
+    done: Vec<RunDone>,
+    /// JSONL lines the running run had emitted at snapshot time.
+    records: u64,
+    /// Engine snapshot of the running run; `Null` between runs.
+    engine: Value,
+}
+
+/// Serialize and crash-safely write one soak snapshot.
+#[allow(clippy::too_many_arguments)]
+fn persist_soak(
+    path: &str,
+    spec_echo: &str,
+    every: u64,
+    run_index: u64,
+    lines_done: u64,
+    done: &[RunDone],
+    records: u64,
+    engine: &Value,
+) -> Result<(), rip_sim::snapshot::SnapshotError> {
+    let snap = SoakSnapshot {
+        spec: spec_echo.to_string(),
+        every,
+        run_index,
+        lines_done,
+        done: done.to_vec(),
+        records,
+        engine: engine.clone(),
+    };
+    let payload = serde_json::to_string(&snap).expect("snapshot serializes");
+    rip_sim::snapshot::write_snapshot(Path::new(path), payload.as_bytes())
+}
+
+/// The crash-safe variant of [`run_soak`]: same two runs, same JSONL
+/// stream, but through [`HbmSwitch::run_source_checkpointed`] with a
+/// snapshot every `--checkpoint-every` epochs (and on SIGINT/SIGTERM,
+/// which exit cleanly after one final snapshot). A `--resume` picks up
+/// at the snapshotted run and epoch; stderr reports `keep_lines=K`, the
+/// prefix of the interrupted stdout stream that is still valid —
+/// `head -n K interrupted.jsonl` + the resumed stream is byte-identical
+/// to the uninterrupted run.
+///
+/// The stream goes to stdout unbuffered-per-line (no `BufWriter`), so
+/// every line a snapshot counts is on disk before the snapshot is; a
+/// SIGKILL can only lose lines *after* the last checkpoint, which the
+/// `keep_lines` prefix cuts anyway. Watchdogs and `--metrics` are off
+/// in this mode: their cumulative state is not part of the snapshot.
+fn run_soak_checkpointed(spec: &SimSpec, opts: &SoakOptions) -> Result<(), String> {
+    let period = match spec.epoch_ps {
+        Some(0) => return Err(ConfigError::EpochZero.to_string()),
+        Some(ps) => TimeDelta::from_ps(ps),
+        None => return Err(ConfigError::CheckpointNeedsEpochs.to_string()),
+    };
+    if opts.checkpoint_every == Some(0) {
+        return Err(ConfigError::CheckpointIntervalZero.to_string());
+    }
+    if opts.metrics.is_some() {
+        return Err(
+            "--metrics cannot be combined with checkpointing: the endpoint's cumulative \
+             state is not part of the snapshot"
+                .into(),
+        );
+    }
+    let path = opts
+        .checkpoint_path
+        .clone()
+        .or_else(|| opts.resume.clone())
+        .unwrap_or_else(|| "ripsim-soak.snapshot".into());
+    let spec_echo = serde_json::to_string(spec).expect("spec serializes");
+    let (every, run_index, mut lines_done, mut done, records0, engine0) = match &opts.resume {
+        Some(from) => {
+            let (payload, slot) =
+                rip_sim::snapshot::load_latest(Path::new(from)).map_err(|e| e.to_string())?;
+            let text = String::from_utf8(payload)
+                .map_err(|_| "snapshot payload is not UTF-8".to_string())?;
+            let snap: SoakSnapshot = serde_json::from_str(&text)
+                .map_err(|e| format!("snapshot payload does not decode: {e}"))?;
+            if snap.spec != spec_echo {
+                return Err("snapshot mismatch: it was taken from a different spec".into());
+            }
+            let every = opts.checkpoint_every.unwrap_or(snap.every);
+            if every == 0 {
+                return Err(ConfigError::CheckpointIntervalZero.to_string());
+            }
+            eprintln!(
+                "ripsim: resuming soak (run {}) from {} -- keep_lines={}",
+                snap.run_index + 1,
+                slot.display(),
+                snap.lines_done + snap.records
+            );
+            (
+                every,
+                snap.run_index,
+                snap.lines_done,
+                snap.done,
+                snap.records,
+                snap.engine,
+            )
+        }
+        None => {
+            let every = opts
+                .checkpoint_every
+                .expect("dispatch requires --checkpoint-every or --resume");
+            (every, 0, 0, Vec::new(), 0, Value::Null)
+        }
+    };
+    // Fail on an unwritable snapshot path now, not minutes into a run.
+    let probe = format!("{path}.probe");
+    if let Err(e) = std::fs::write(&probe, b"probe") {
+        return Err(ConfigError::CheckpointDir {
+            path: path.clone(),
+            reason: e.to_string(),
+        }
+        .to_string());
+    }
+    let _ = std::fs::remove_file(&probe);
+    install_stop_handlers();
+
+    let mults = [1u64, 4];
+    if run_index as usize >= mults.len() || done.len() != run_index as usize {
+        return Err("snapshot mismatch: run progress is inconsistent with this soak".into());
+    }
+    for idx in (run_index as usize)..mults.len() {
+        let mult = mults[idx];
+        let horizon = SimTime::from_ns(spec.horizon_us * 1000 * mult);
+        let source = build_source(spec, horizon)?;
+        let plan = match opts.inject_channel_fault {
+            Some(channel) => {
+                let plan = FaultPlan::new().inject(
+                    SimTime::from_ps(horizon.as_ps() / 4),
+                    FaultKind::HbmChannelDown { channel },
+                );
+                plan.validate(&spec.router).map_err(|e| e.to_string())?;
+                plan
+            }
+            None => FaultPlan::default(),
+        };
+        let mut sw = HbmSwitch::new(spec.router.clone()).map_err(|e| e.to_string())?;
+        // Line-buffered stdout, not BufWriter: each record line must be
+        // out of the process before the snapshot that counts it lands.
+        let mut sink = JsonlSink::new(std::io::stdout());
+        let resume_engine = if idx as u64 == run_index && engine0 != Value::Null {
+            // Mid-run resume: the restored engine continues the record
+            // stream, and the sink's counter continues where the
+            // interrupted run's stream left off (the final `run_end`
+            // carries the full-run record count either way).
+            sink.set_records(records0);
+            Some(&engine0)
+        } else {
+            None
+        };
+        sw.enable_live_telemetry(period, 256, Box::new(sink));
+        let outcome = sw
+            .run_source_checkpointed(
+                source,
+                drain_deadline(spec, horizon),
+                &plan,
+                resume_engine,
+                every,
+                || STOP.load(Ordering::SeqCst),
+                |engine: &Value, epochs: u64, spans: u64| {
+                    persist_soak(
+                        &path,
+                        &spec_echo,
+                        every,
+                        idx as u64,
+                        lines_done,
+                        &done,
+                        epochs + spans,
+                        engine,
+                    )
+                },
+            )
+            .map_err(|e| e.to_string())?;
+        if outcome == RunOutcome::Interrupted {
+            eprintln!(
+                "ripsim: stop requested; snapshot written to {path} -- \
+                 resume with: ripsim soak <spec.json> --resume {path}"
+            );
+            return Ok(());
+        }
+        let epochs = sw.live_epochs_emitted();
+        let spans = sw.live_spans_emitted();
+        let r = sw.into_report();
+        eprintln!(
+            "horizon {} us: offered {}, delivered {}, peak in-flight {}",
+            spec.horizon_us * mult,
+            r.offered_packets,
+            r.delivered_packets,
+            r.peak_in_flight_packets
+        );
+        eprintln!("streamed {epochs} epoch deltas and {spans} lifecycle spans");
+        lines_done += epochs + spans + 1; // + the run_end line
+        done.push(RunDone {
+            offered_packets: r.offered_packets,
+            delivered_packets: r.delivered_packets,
+            peak_in_flight: r.peak_in_flight_packets,
+        });
+        if idx + 1 < mults.len() {
+            // Inter-run snapshot: the next run starts fresh.
+            persist_soak(
+                &path,
+                &spec_echo,
+                every,
+                (idx + 1) as u64,
+                lines_done,
+                &done,
+                0,
+                &Value::Null,
+            )
+            .map_err(|e| e.to_string())?;
+            if STOP.load(Ordering::SeqCst) {
+                eprintln!(
+                    "ripsim: stop requested between runs; snapshot written to {path} -- \
+                     resume with: ripsim soak <spec.json> --resume {path}"
+                );
+                return Ok(());
+            }
+        }
+    }
+    let (r1, r2) = (&done[0], &done[1]);
+    if r2.offered_packets < 3 * r1.offered_packets {
+        return Err(format!(
+            "offered packets did not scale with the horizon: {} -> {}",
+            r1.offered_packets, r2.offered_packets
+        ));
+    }
+    if r2.peak_in_flight > 2 * r1.peak_in_flight + 64 {
+        return Err(format!(
+            "peak in-flight grew with the horizon: {} -> {}",
+            r1.peak_in_flight, r2.peak_in_flight
+        ));
+    }
+    eprintln!("soak OK: in-flight working set stays bounded at 4x the horizon");
+    Ok(())
 }
 
 /// A clonable handle sharing one [`MetricsEndpoint`] across the soak's
@@ -345,6 +661,12 @@ impl TelemetrySink for SharedEndpoint {
 /// `--inject-channel-fault <ch>` kills an HBM channel mid-run to prove
 /// the degraded-capacity alarm path end to end.
 fn run_soak(spec: &SimSpec, opts: &SoakOptions) -> Result<(), String> {
+    if opts.checkpoint_every.is_some() || opts.resume.is_some() {
+        return run_soak_checkpointed(spec, opts);
+    }
+    if opts.checkpoint_path.is_some() {
+        return Err("--checkpoint-path needs --checkpoint-every or --resume".into());
+    }
     let period = match spec.epoch_ps {
         Some(0) => return Err(ConfigError::EpochZero.to_string()),
         Some(ps) => Some(TimeDelta::from_ps(ps)),
@@ -548,16 +870,24 @@ impl JsonlGuard {
         }
     }
 
-    fn emit<T: Serialize>(&mut self, line: &T) {
+    fn emit<T: Serialize>(&mut self, line: &T) -> std::io::Result<()> {
         use std::io::Write;
+        // Serialization cannot fail for these plain-data lines; only
+        // the I/O below can (broken pipe, full disk), and that
+        // propagates to a clean nonzero exit instead of a panic.
         let s = serde_json::to_string(line).expect("trace line serializes");
-        self.out.write_all(s.as_bytes()).expect("write trace line");
-        self.out.write_all(b"\n").expect("write trace line");
+        self.out.write_all(s.as_bytes())?;
+        self.out.write_all(b"\n")?;
         self.records += 1;
+        Ok(())
     }
 
     /// Close the stream with the terminal `run_end` record and flush.
-    fn finish(mut self, at: SimTime, totals: rip_telemetry::MetricsRegistry) {
+    fn finish(
+        mut self,
+        at: SimTime,
+        totals: rip_telemetry::MetricsRegistry,
+    ) -> std::io::Result<()> {
         use std::io::Write;
         let records = self.records;
         self.emit(&RunEndLine {
@@ -565,8 +895,8 @@ impl JsonlGuard {
             t_ps: at.as_ps(),
             records,
             totals,
-        });
-        self.out.flush().expect("flush trace stream");
+        })?;
+        self.out.flush()
     }
 }
 
@@ -602,69 +932,74 @@ fn run_trace(spec: &SimSpec) -> Result<(), String> {
     let r = sw.into_report();
 
     let mut out = JsonlGuard::new();
-    out.emit(&MetaLine {
-        record: "meta".into(),
-        schema: "rip-trace/v1".into(),
-        spec: spec.clone(),
-    });
-    for &(at, event) in &events {
-        out.emit(&EventLine {
-            record: "event".into(),
-            t_ps: at.as_ps(),
-            event,
-        });
-    }
-    for (name, &value) in r.metrics.counters() {
-        out.emit(&CounterLine {
-            record: "counter".into(),
-            name: name.clone(),
-            value,
-        });
-    }
-    for (name, g) in r.metrics.gauges() {
-        out.emit(&GaugeLine {
-            record: "gauge".into(),
-            name: name.clone(),
-            at_ps: g.at.as_ps(),
-            value: g.value,
-        });
-    }
-    for (name, h) in r.metrics.histograms() {
-        out.emit(&HistogramLine {
-            record: "histogram".into(),
-            name: name.clone(),
-            count: h.count(),
-            min: h.min(),
-            max: h.max(),
-            p50: h.quantile(0.5),
-            p99: h.quantile(0.99),
-        });
-    }
-    for &(t, value) in &hbm_points {
-        out.emit(&SeriesLine {
-            record: "series".into(),
-            name: "hbm.frame_occupancy".into(),
-            t_ps: t.as_ps(),
-            value,
-        });
-    }
-    for (o, points) in output_points.iter().enumerate() {
-        let name = format!("out{o:02}.queue_depth_frames");
-        for &(t, value) in points {
+    let stream = (|| -> std::io::Result<()> {
+        out.emit(&MetaLine {
+            record: "meta".into(),
+            schema: "rip-trace/v1".into(),
+            spec: spec.clone(),
+        })?;
+        for &(at, event) in &events {
+            out.emit(&EventLine {
+                record: "event".into(),
+                t_ps: at.as_ps(),
+                event,
+            })?;
+        }
+        for (name, &value) in r.metrics.counters() {
+            out.emit(&CounterLine {
+                record: "counter".into(),
+                name: name.clone(),
+                value,
+            })?;
+        }
+        for (name, g) in r.metrics.gauges() {
+            out.emit(&GaugeLine {
+                record: "gauge".into(),
+                name: name.clone(),
+                at_ps: g.at.as_ps(),
+                value: g.value,
+            })?;
+        }
+        for (name, h) in r.metrics.histograms() {
+            out.emit(&HistogramLine {
+                record: "histogram".into(),
+                name: name.clone(),
+                count: h.count(),
+                min: h.min(),
+                max: h.max(),
+                p50: h.quantile(0.5),
+                p99: h.quantile(0.99),
+            })?;
+        }
+        for &(t, value) in &hbm_points {
             out.emit(&SeriesLine {
                 record: "series".into(),
-                name: name.clone(),
+                name: "hbm.frame_occupancy".into(),
                 t_ps: t.as_ps(),
                 value,
-            });
+            })?;
         }
-    }
+        for (o, points) in output_points.iter().enumerate() {
+            let name = format!("out{o:02}.queue_depth_frames");
+            for &(t, value) in points {
+                out.emit(&SeriesLine {
+                    record: "series".into(),
+                    name: name.clone(),
+                    t_ps: t.as_ps(),
+                    value,
+                })?;
+            }
+        }
+        Ok(())
+    })();
+    stream.map_err(|e| format!("cannot write trace stream: {e}"))?;
     let end = r
         .departures
         .iter()
         .map(|d| d.time)
         .fold(SimTime::ZERO, SimTime::max);
-    out.finish(end, r.metrics);
+    out.finish(end, r.metrics)
+        .map_err(|e| format!("cannot write trace stream: {e}"))?;
     Ok(())
 }
 
@@ -972,6 +1307,20 @@ fn main() {
                         std::process::exit(2);
                     }
                 }
+            } else if a == "--checkpoint-every" {
+                let v = require_value(&mut rest, "--checkpoint-every", "an epoch count");
+                match v.parse::<u64>() {
+                    Ok(n) => opts.checkpoint_every = Some(n),
+                    Err(e) => {
+                        eprintln!("ripsim: bad --checkpoint-every value {v}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            } else if a == "--checkpoint-path" {
+                opts.checkpoint_path =
+                    Some(require_value(&mut rest, "--checkpoint-path", "a path").into());
+            } else if a == "--resume" {
+                opts.resume = Some(require_value(&mut rest, "--resume", "a snapshot path").into());
             } else if spec_path.is_none() {
                 spec_path = Some(a);
             } else {
@@ -1002,7 +1351,8 @@ fn main() {
              ripsim trace [spec.json] [--chrome <out.json>] [--trace-window <a>:<b>] | \
              ripsim soak [spec.json] [--epoch <ps>] [--metrics <addr>] \
              [--metrics-port-file <path>] [--metrics-hold-ms <ms>] \
-             [--inject-channel-fault <ch>] | \
+             [--inject-channel-fault <ch>] [--checkpoint-every <epochs>] \
+             [--checkpoint-path <path>] [--resume <path>] | \
              ripsim --example-spec | ripsim resilience"
         );
         std::process::exit(2);

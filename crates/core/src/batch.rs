@@ -55,7 +55,7 @@ impl Batch {
 }
 
 /// Per-output VOQ state inside one input port.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 struct Voq {
     /// Queued (packet id, current offset, total size, arrival, flow).
     pending: VecDeque<(u64, u64, DataSize, SimTime, FlowKey)>,
@@ -68,7 +68,7 @@ struct Voq {
 /// The batch assembler of one input port: N per-output VOQs feeding
 /// fixed-size batches, with packet straddling and optional padded
 /// flushes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BatchAssembler {
     input: usize,
     batch_size: DataSize,

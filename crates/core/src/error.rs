@@ -53,6 +53,22 @@ pub enum ConfigError {
     EpochZero,
     /// A `--trace-window` specification was rejected.
     TraceWindow(rip_telemetry::TraceWindowError),
+    /// The checkpoint interval is zero epochs (`--checkpoint-every 0`
+    /// would snapshot never — or constantly, depending on how you read
+    /// it; both are configuration mistakes).
+    CheckpointIntervalZero,
+    /// Checkpointing was requested without a telemetry epoch period:
+    /// snapshots are taken at epoch boundaries, so there is no boundary
+    /// to snapshot at.
+    CheckpointNeedsEpochs,
+    /// The snapshot path's parent directory does not exist or is not
+    /// writable.
+    CheckpointDir {
+        /// The offending snapshot path, as given.
+        path: String,
+        /// The underlying I/O failure.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -88,6 +104,18 @@ impl fmt::Display for ConfigError {
                 write!(f, "telemetry epoch period must be positive")
             }
             ConfigError::TraceWindow(e) => write!(f, "{e}"),
+            ConfigError::CheckpointIntervalZero => {
+                write!(f, "checkpoint interval must be at least one epoch")
+            }
+            ConfigError::CheckpointNeedsEpochs => {
+                write!(
+                    f,
+                    "checkpointing requires a telemetry epoch period (set epoch_ps or --epoch)"
+                )
+            }
+            ConfigError::CheckpointDir { path, reason } => {
+                write!(f, "snapshot path {path} is not writable: {reason}")
+            }
         }
     }
 }

@@ -5,15 +5,16 @@
 use std::collections::{HashSet, VecDeque};
 
 use rip_hbm::{HbmCommandKind, HbmGroup, PfiController};
+use rip_sim::snapshot::SnapshotError;
 use rip_sim::stats::Histogram;
 use rip_sim::{EventQueue, Feeder, Series, TraceLog};
 use rip_telemetry::{
     EpochClock, MetricsRegistry, Snapshot, SpanEvent, TelemetrySink, TraceRecorder, TraceWindow,
     PID_FRAMES, PID_HBM,
 };
-use rip_traffic::{Packet, PacketSource, ReplaySource};
+use rip_traffic::{Packet, PacketSource, ReplaySource, StatefulSource};
 use rip_units::{DataRate, DataSize, SimTime, TimeDelta};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::batch::{Batch, BatchAssembler};
 use crate::config::RouterConfig;
@@ -147,7 +148,7 @@ impl std::hash::Hasher for PacketIdHasher {
 type PacketIdSet = HashSet<u64, std::hash::BuildHasherDefault<PacketIdHasher>>;
 
 /// Events of the switch simulation.
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 enum Ev {
     /// A packet arrives at an input port.
     Arrival(Packet),
@@ -170,6 +171,194 @@ enum Ev {
     Drain(usize),
     /// A component fails or recovers ([`FaultPlan`]).
     Fault(FaultEvent),
+}
+
+/// How a checkpointed run ([`HbmSwitch::run_source_checkpointed`])
+/// ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The source drained (or the horizon was reached) and the terminal
+    /// telemetry records were emitted — same end state as
+    /// [`HbmSwitch::run_source`].
+    Completed,
+    /// The stop flag was observed at an epoch boundary: a final
+    /// snapshot was persisted and the run returned early. Resume it
+    /// with the persisted state to continue byte-identically.
+    Interrupted,
+}
+
+/// A checkpointable clone of [`Feeder`]'s single-item lookahead,
+/// holding the source by value so its position can be saved alongside
+/// the buffered packet. Semantics (fill-on-demand, the non-decreasing
+/// assert, and the `pulled` source-progress counter) mirror [`Feeder`]
+/// exactly — the streaming-equivalence argument in
+/// [`HbmSwitch::run_source`] carries over unchanged.
+struct CkptFeeder<S> {
+    source: S,
+    buf: Option<(SimTime, Packet)>,
+    source_done: bool,
+    last_pulled: SimTime,
+    pulled: u64,
+}
+
+impl<S: PacketSource> CkptFeeder<S> {
+    fn new(source: S) -> Self {
+        CkptFeeder {
+            source,
+            buf: None,
+            source_done: false,
+            last_pulled: SimTime::ZERO,
+            pulled: 0,
+        }
+    }
+
+    fn fill(&mut self) {
+        if self.buf.is_none() && !self.source_done {
+            match self.source.next_packet() {
+                Some(p) => {
+                    assert!(
+                        p.arrival >= self.last_pulled,
+                        "source must yield non-decreasing times"
+                    );
+                    self.last_pulled = p.arrival;
+                    self.pulled += 1;
+                    self.buf = Some((p.arrival, p));
+                }
+                None => self.source_done = true,
+            }
+        }
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        self.fill();
+        self.buf.map(|(t, _)| t)
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, Packet)> {
+        self.fill();
+        self.buf.take()
+    }
+
+    fn is_exhausted(&mut self) -> bool {
+        self.fill();
+        self.source_done && self.buf.is_none()
+    }
+
+    fn pulled(&self) -> u64 {
+        self.pulled
+    }
+}
+
+impl<S: PacketSource + StatefulSource> CkptFeeder<S> {
+    fn save(&self) -> FeederState {
+        FeederState {
+            buf: self.buf,
+            source_done: self.source_done,
+            last_pulled: self.last_pulled,
+            pulled: self.pulled,
+            source: self.source.save_state(),
+        }
+    }
+
+    /// Rebuild from a snapshot: rewind `source` to its saved position,
+    /// then overwrite the lookahead so the already-pulled packet is not
+    /// pulled twice.
+    fn restore(mut source: S, st: &FeederState) -> Result<Self, DeError> {
+        source.restore_state(&st.source)?;
+        Ok(CkptFeeder {
+            source,
+            buf: st.buf,
+            source_done: st.source_done,
+            last_pulled: st.last_pulled,
+            pulled: st.pulled,
+        })
+    }
+}
+
+/// Serialized [`CkptFeeder`]: the lookahead packet plus the source's
+/// own position (via [`StatefulSource`]).
+#[derive(Serialize, Deserialize)]
+struct FeederState {
+    buf: Option<(SimTime, Packet)>,
+    source_done: bool,
+    last_pulled: SimTime,
+    pulled: u64,
+    source: Value,
+}
+
+/// Serialized [`LiveTelemetry`] minus the sink (the resuming run
+/// supplies its own sink; record counters carry over so the merged
+/// stream is byte-identical).
+#[derive(Serialize, Deserialize)]
+struct LiveState {
+    clock: EpochClock,
+    prev: Snapshot,
+    sample_one_in: u64,
+    /// Sorted, so same-state snapshots serialize byte-identically.
+    sampled: Vec<u64>,
+    epochs_emitted: u64,
+    spans_emitted: u64,
+    finished: bool,
+}
+
+/// The complete mutable state of a mid-run [`HbmSwitch`], as written
+/// into a snapshot by [`HbmSwitch::run_source_checkpointed`]. The
+/// configuration rides along as a [`Value`] echo so a resume under a
+/// different config is rejected instead of silently diverging.
+#[derive(Serialize, Deserialize)]
+struct SwitchState {
+    cfg: Value,
+    group: HbmGroup,
+    pfi: PfiController,
+    assemblers: Vec<BatchAssembler>,
+    input_xbar_free: Vec<SimTime>,
+    flush_pending: Vec<Vec<bool>>,
+    tail: TailSram,
+    hbm_frames: Vec<VecDeque<(Frame, SimTime)>>,
+    head: HeadSram,
+    pending_to_head: Vec<usize>,
+    outputs: Vec<OutputPort>,
+    drain_scheduled: Vec<bool>,
+    read_cursor: usize,
+    batches_in_flight: usize,
+    arrivals_done: bool,
+    /// Sorted, so same-state snapshots serialize byte-identically.
+    dropped_ids: Vec<u64>,
+    offered_packets: u64,
+    offered_bytes: DataSize,
+    delivered_packets: u64,
+    delivered_bytes: DataSize,
+    dropped_input: u64,
+    dropped_frames: u64,
+    dropped_bytes: DataSize,
+    padded_bytes: DataSize,
+    live_packets: u64,
+    peak_in_flight: u64,
+    active_faults: usize,
+    dead_channels: usize,
+    last_roll: SimTime,
+    time_degraded: TimeDelta,
+    capacity_lost: DataSize,
+    baseline_occupancy: Option<u64>,
+    pending_recovery: Option<SimTime>,
+    recovery_drain: Option<TimeDelta>,
+    dropped_packets_fault: u64,
+    dropped_packets_congestion: u64,
+    delays_ns: Histogram,
+    departures: Vec<PacketDeparture>,
+    first_arrival: Option<SimTime>,
+    last_departure: SimTime,
+    input_peak: DataSize,
+    hbm_occupancy: Series,
+    metrics: MetricsRegistry,
+    output_depth: Vec<Series>,
+    live: Option<LiveState>,
+    /// Pending events in pop order with their original tie-break
+    /// sequence numbers.
+    queue: Vec<(SimTime, u64, Ev)>,
+    queue_next_seq: u64,
+    queue_last_popped: SimTime,
+    feeder: FeederState,
 }
 
 /// End-of-run report of one HBM switch.
@@ -1276,6 +1465,347 @@ impl HbmSwitch {
         self.live_finish(pulled);
     }
 
+    /// Serialize the complete mid-run state (plus the pending event
+    /// queue and feeder position) into a [`Value`] for a snapshot.
+    ///
+    /// Diagnostic captures that exist for post-run inspection — the
+    /// bounded event trace and the Chrome trace recorder — are not
+    /// checkpointable; a run with either enabled is rejected here
+    /// rather than resumed with silently truncated diagnostics.
+    fn save_state(&self, q: &EventQueue<Ev>, feeder: FeederState) -> Result<Value, SnapshotError> {
+        if self.trace.is_some() {
+            return Err(SnapshotError::Unsupported(
+                "switch event tracing cannot be checkpointed".into(),
+            ));
+        }
+        if self.chrome.is_some() {
+            return Err(SnapshotError::Unsupported(
+                "chrome trace capture cannot be checkpointed".into(),
+            ));
+        }
+        let mut dropped_ids: Vec<u64> = self.dropped_ids.iter().copied().collect();
+        dropped_ids.sort_unstable();
+        let live = self.live.as_ref().map(|l| {
+            let mut sampled: Vec<u64> = l.sampled.iter().copied().collect();
+            sampled.sort_unstable();
+            LiveState {
+                clock: l.clock.clone(),
+                prev: l.prev.clone(),
+                sample_one_in: l.sample_one_in,
+                sampled,
+                epochs_emitted: l.epochs_emitted,
+                spans_emitted: l.spans_emitted,
+                finished: l.finished,
+            }
+        });
+        Ok(SwitchState {
+            cfg: self.cfg.to_value(),
+            group: self.group.clone(),
+            pfi: self.pfi.clone(),
+            assemblers: self.assemblers.clone(),
+            input_xbar_free: self.input_xbar_free.clone(),
+            flush_pending: self.flush_pending.clone(),
+            tail: self.tail.clone(),
+            hbm_frames: self.hbm_frames.clone(),
+            head: self.head.clone(),
+            pending_to_head: self.pending_to_head.clone(),
+            outputs: self.outputs.clone(),
+            drain_scheduled: self.drain_scheduled.clone(),
+            read_cursor: self.read_cursor,
+            batches_in_flight: self.batches_in_flight,
+            arrivals_done: self.arrivals_done,
+            dropped_ids,
+            offered_packets: self.offered_packets,
+            offered_bytes: self.offered_bytes,
+            delivered_packets: self.delivered_packets,
+            delivered_bytes: self.delivered_bytes,
+            dropped_input: self.dropped_input,
+            dropped_frames: self.dropped_frames,
+            dropped_bytes: self.dropped_bytes,
+            padded_bytes: self.padded_bytes,
+            live_packets: self.live_packets,
+            peak_in_flight: self.peak_in_flight,
+            active_faults: self.active_faults,
+            dead_channels: self.dead_channels,
+            last_roll: self.last_roll,
+            time_degraded: self.time_degraded,
+            capacity_lost: self.capacity_lost,
+            baseline_occupancy: self.baseline_occupancy,
+            pending_recovery: self.pending_recovery,
+            recovery_drain: self.recovery_drain,
+            dropped_packets_fault: self.dropped_packets_fault,
+            dropped_packets_congestion: self.dropped_packets_congestion,
+            delays_ns: self.delays_ns.clone(),
+            departures: self.departures.clone(),
+            first_arrival: self.first_arrival,
+            last_departure: self.last_departure,
+            input_peak: self.input_peak,
+            hbm_occupancy: self.hbm_occupancy.clone(),
+            metrics: self.metrics.clone(),
+            output_depth: self.output_depth.clone(),
+            live,
+            queue: q.entries(),
+            queue_next_seq: q.next_seq(),
+            queue_last_popped: q.now(),
+            feeder,
+        }
+        .to_value())
+    }
+
+    /// Overwrite this (freshly built, same-config) switch with a
+    /// snapshotted mid-run state, rebuild the event queue, and rewind
+    /// `source` to the checkpointed position. The snapshot's config
+    /// echo must match `self.cfg` and the live-telemetry shape (period,
+    /// sampling rate, on/off) must match how this switch was set up —
+    /// anything else is a [`SnapshotError::Mismatch`].
+    fn restore_from<S: PacketSource + StatefulSource>(
+        &mut self,
+        st: SwitchState,
+        q: &mut EventQueue<Ev>,
+        source: S,
+    ) -> Result<CkptFeeder<S>, SnapshotError> {
+        if self.cfg.to_value() != st.cfg {
+            return Err(SnapshotError::Mismatch(
+                "router configuration differs from the checkpointed run".into(),
+            ));
+        }
+        match (self.live.as_mut(), st.live) {
+            (None, None) => {}
+            (Some(live), Some(ls)) => {
+                if live.clock.period() != ls.clock.period() {
+                    return Err(SnapshotError::Mismatch(format!(
+                        "telemetry epoch period differs: run has {}, snapshot has {}",
+                        live.clock.period(),
+                        ls.clock.period()
+                    )));
+                }
+                if live.sample_one_in != ls.sample_one_in {
+                    return Err(SnapshotError::Mismatch(format!(
+                        "span sampling rate differs: run has 1-in-{}, snapshot has 1-in-{}",
+                        live.sample_one_in, ls.sample_one_in
+                    )));
+                }
+                live.clock = ls.clock;
+                live.prev = ls.prev;
+                live.sampled = ls.sampled.into_iter().collect();
+                live.epochs_emitted = ls.epochs_emitted;
+                live.spans_emitted = ls.spans_emitted;
+                live.finished = ls.finished;
+                self.live_boundary_ps = if ls.finished {
+                    u64::MAX
+                } else {
+                    self.live
+                        .as_ref()
+                        .expect("just matched")
+                        .clock
+                        .next_boundary()
+                        .as_ps()
+                };
+            }
+            (Some(_), None) => {
+                return Err(SnapshotError::Mismatch(
+                    "run streams live telemetry but the snapshot was taken without it".into(),
+                ));
+            }
+            (None, Some(_)) => {
+                return Err(SnapshotError::Mismatch(
+                    "snapshot streams live telemetry but this run has it off".into(),
+                ));
+            }
+        }
+        self.group = st.group;
+        self.pfi = st.pfi;
+        self.assemblers = st.assemblers;
+        self.input_xbar_free = st.input_xbar_free;
+        self.flush_pending = st.flush_pending;
+        self.tail = st.tail;
+        self.hbm_frames = st.hbm_frames;
+        self.head = st.head;
+        self.pending_to_head = st.pending_to_head;
+        self.outputs = st.outputs;
+        self.drain_scheduled = st.drain_scheduled;
+        self.read_cursor = st.read_cursor;
+        self.batches_in_flight = st.batches_in_flight;
+        self.arrivals_done = st.arrivals_done;
+        self.dropped_ids = st.dropped_ids.into_iter().collect();
+        self.offered_packets = st.offered_packets;
+        self.offered_bytes = st.offered_bytes;
+        self.delivered_packets = st.delivered_packets;
+        self.delivered_bytes = st.delivered_bytes;
+        self.dropped_input = st.dropped_input;
+        self.dropped_frames = st.dropped_frames;
+        self.dropped_bytes = st.dropped_bytes;
+        self.padded_bytes = st.padded_bytes;
+        self.live_packets = st.live_packets;
+        self.peak_in_flight = st.peak_in_flight;
+        self.active_faults = st.active_faults;
+        self.dead_channels = st.dead_channels;
+        self.last_roll = st.last_roll;
+        self.time_degraded = st.time_degraded;
+        self.capacity_lost = st.capacity_lost;
+        self.baseline_occupancy = st.baseline_occupancy;
+        self.pending_recovery = st.pending_recovery;
+        self.recovery_drain = st.recovery_drain;
+        self.dropped_packets_fault = st.dropped_packets_fault;
+        self.dropped_packets_congestion = st.dropped_packets_congestion;
+        self.delays_ns = st.delays_ns;
+        self.departures = st.departures;
+        self.first_arrival = st.first_arrival;
+        self.last_departure = st.last_departure;
+        self.input_peak = st.input_peak;
+        self.hbm_occupancy = st.hbm_occupancy;
+        self.metrics = st.metrics;
+        self.output_depth = st.output_depth;
+        *q = EventQueue::from_entries(st.queue, st.queue_next_seq, st.queue_last_popped);
+        CkptFeeder::restore(source, &st.feeder)
+            .map_err(|e| SnapshotError::Mismatch(format!("feeder state does not decode: {e}")))
+    }
+
+    /// Snapshot-if-due gate, called at the run loop's checkpoint point
+    /// (after the epoch flush, before the event dispatch). Returns
+    /// `Ok(true)` when the stop flag fired and a final snapshot was
+    /// persisted — the caller returns [`RunOutcome::Interrupted`].
+    fn checkpoint_if_due<S: PacketSource + StatefulSource>(
+        &self,
+        q: &EventQueue<Ev>,
+        feeder: &CkptFeeder<S>,
+        every_epochs: u64,
+        last_ckpt: &mut u64,
+        should_stop: &mut dyn FnMut() -> bool,
+        persist: &mut dyn FnMut(&Value, u64, u64) -> Result<(), SnapshotError>,
+    ) -> Result<bool, SnapshotError> {
+        let epochs = self.live_epochs_emitted();
+        if epochs == *last_ckpt {
+            return Ok(false);
+        }
+        let stop = should_stop();
+        if !stop && epochs - *last_ckpt < every_epochs {
+            return Ok(false);
+        }
+        let state = self.save_state(q, feeder.save())?;
+        persist(&state, epochs, self.live_spans_emitted())?;
+        *last_ckpt = epochs;
+        Ok(stop)
+    }
+
+    /// [`HbmSwitch::run_source`] with crash-safe checkpointing: every
+    /// `every_epochs` closed telemetry epochs (and whenever
+    /// `should_stop` returns true at an epoch boundary) the complete
+    /// mid-run state — switch, pending event queue, feeder/source
+    /// position, telemetry clock and record counters — is handed to
+    /// `persist` as a [`Value`], together with the epoch and span
+    /// record counts emitted so far.
+    ///
+    /// Pass `resume: Some(state)` (a previously persisted value) to
+    /// continue an interrupted run: the final report and every
+    /// telemetry record emitted after the checkpoint are byte-identical
+    /// to the uninterrupted same-seed run, because snapshots are taken
+    /// at the loop's idempotent point — after the epoch flush, before
+    /// the next dispatch — and capture the exact pop order of the event
+    /// queue. On resume the fault `plan` is ignored: pending fault
+    /// events live in the snapshotted queue.
+    ///
+    /// Checkpoints ride the telemetry epoch clock, so live telemetry
+    /// must be enabled ([`HbmSwitch::enable_live_telemetry`]) with the
+    /// same period and sampling rate as the checkpointed run; the
+    /// driver-facing validation for that is
+    /// [`ConfigError::CheckpointNeedsEpochs`].
+    ///
+    /// # Panics
+    /// Panics if `every_epochs` is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_source_checkpointed<S, FStop, FPersist>(
+        &mut self,
+        source: S,
+        horizon: SimTime,
+        plan: &FaultPlan,
+        resume: Option<&Value>,
+        every_epochs: u64,
+        mut should_stop: FStop,
+        mut persist: FPersist,
+    ) -> Result<RunOutcome, SnapshotError>
+    where
+        S: PacketSource + StatefulSource,
+        FStop: FnMut() -> bool,
+        FPersist: FnMut(&Value, u64, u64) -> Result<(), SnapshotError>,
+    {
+        assert!(every_epochs > 0, "checkpoint interval must be positive");
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        let mut feeder = match resume {
+            Some(v) => {
+                let st = SwitchState::from_value(v).map_err(|e| {
+                    SnapshotError::Mismatch(format!(
+                        "snapshot does not decode as a switch state: {e}"
+                    ))
+                })?;
+                self.restore_from(st, &mut q, source)?
+            }
+            None => {
+                for ev in plan.events() {
+                    if !ev.kind.is_photonic() {
+                        q.schedule(ev.at, Ev::Fault(*ev));
+                    }
+                }
+                q.schedule(SimTime::ZERO, Ev::ReadTurn);
+                CkptFeeder::new(source)
+            }
+        };
+        let mut last_ckpt = self.live_epochs_emitted();
+        loop {
+            if feeder.is_exhausted() {
+                self.arrivals_done = true;
+            }
+            let take_arrival = match (feeder.peek_time(), q.peek_time()) {
+                (Some(a), Some(t)) => a <= t,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_arrival {
+                let at = feeder.peek_time().expect("peeked");
+                if at > horizon {
+                    break;
+                }
+                self.live_flush_epochs(at, feeder.pulled());
+                if self.checkpoint_if_due(
+                    &q,
+                    &feeder,
+                    every_epochs,
+                    &mut last_ckpt,
+                    &mut should_stop,
+                    &mut persist,
+                )? {
+                    return Ok(RunOutcome::Interrupted);
+                }
+                let (_, p) = feeder.pop().expect("peeked");
+                self.handle(&mut q, at, Ev::Arrival(p));
+            } else {
+                let t = q.peek_time().expect("peeked");
+                if t > horizon {
+                    break;
+                }
+                self.live_flush_epochs(t, feeder.pulled());
+                if self.checkpoint_if_due(
+                    &q,
+                    &feeder,
+                    every_epochs,
+                    &mut last_ckpt,
+                    &mut should_stop,
+                    &mut persist,
+                )? {
+                    return Ok(RunOutcome::Interrupted);
+                }
+                let (now, ev) = q.pop().expect("peeked");
+                self.handle(&mut q, now, ev);
+            }
+        }
+        self.roll_capacity(self.last_departure);
+        let pulled = feeder.pulled();
+        drop(feeder);
+        self.live_finish(pulled);
+        Ok(RunOutcome::Completed)
+    }
+
     /// Build the report from current state, cloning the delay histogram
     /// and departure log (use [`HbmSwitch::into_report`] at end of run
     /// to avoid the clones).
@@ -1820,6 +2350,269 @@ mod tests {
         assert_eq!(
             ra.departures.last().map(|d| (d.packet, d.time)),
             rb.departures.last().map(|d| (d.packet, d.time))
+        );
+    }
+
+    const CKPT_PERIOD: TimeDelta = TimeDelta::from_ns(2_000);
+
+    /// A live-streaming switch for the checkpoint tests, with the
+    /// staged sink handle to read records back out.
+    fn ckpt_switch() -> (HbmSwitch, rip_telemetry::SharedSink) {
+        let staged = rip_telemetry::SharedSink::new();
+        let mut sw = HbmSwitch::new(RouterConfig::small()).unwrap();
+        sw.enable_live_telemetry(CKPT_PERIOD, 64, Box::new(staged.clone()));
+        (sw, staged)
+    }
+
+    #[test]
+    fn checkpointing_does_not_perturb_the_run() {
+        let cfg = RouterConfig::small();
+        let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
+        let t = trace(0.8, &tm, horizon_us(40), 42);
+        let (mut plain, plain_sink) = ckpt_switch();
+        plain.run_source(
+            ReplaySource::new(&t),
+            horizon_us(200),
+            &FaultPlan::default(),
+        );
+        let (mut ck, ck_sink) = ckpt_switch();
+        let mut snapshots = 0u64;
+        let outcome = ck
+            .run_source_checkpointed(
+                ReplaySource::new(&t),
+                horizon_us(200),
+                &FaultPlan::default(),
+                None,
+                1,
+                || false,
+                |_, _, _| {
+                    snapshots += 1;
+                    Ok(())
+                },
+            )
+            .unwrap();
+        assert_eq!(outcome, RunOutcome::Completed);
+        assert!(snapshots >= 3, "expected one snapshot per epoch");
+        assert_eq!(
+            format!("{:?}", plain.into_report()),
+            format!("{:?}", ck.into_report()),
+            "taking checkpoints changed the simulation"
+        );
+        assert_eq!(plain_sink.take().records(), ck_sink.take().records());
+    }
+
+    #[test]
+    fn resume_from_any_checkpoint_continues_byte_identically() {
+        let cfg = RouterConfig::small();
+        let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
+        let t = trace(0.8, &tm, horizon_us(40), 42);
+        let (mut base, base_sink) = ckpt_switch();
+        let mut snaps: Vec<(Value, u64, u64)> = Vec::new();
+        base.run_source_checkpointed(
+            ReplaySource::new(&t),
+            horizon_us(200),
+            &FaultPlan::default(),
+            None,
+            1,
+            || false,
+            |v, epochs, spans| {
+                snaps.push((v.clone(), epochs, spans));
+                Ok(())
+            },
+        )
+        .unwrap();
+        let base_report = format!("{:?}", base.into_report());
+        let base_records = base_sink.take();
+        let base_records = base_records.records();
+        assert!(snaps.len() >= 3);
+        for (snap, epochs, spans) in &snaps {
+            let (mut sw, sink) = ckpt_switch();
+            let outcome = sw
+                .run_source_checkpointed(
+                    ReplaySource::new(&t),
+                    horizon_us(200),
+                    &FaultPlan::default(),
+                    Some(snap),
+                    1,
+                    || false,
+                    |_, _, _| Ok(()),
+                )
+                .unwrap();
+            assert_eq!(outcome, RunOutcome::Completed);
+            assert_eq!(
+                format!("{:?}", sw.into_report()),
+                base_report,
+                "report diverged resuming from epoch {epochs}"
+            );
+            // Stream records emitted before the checkpoint plus the
+            // resumed stream must equal the uninterrupted stream.
+            let keep = (epochs + spans) as usize;
+            let resumed = sink.take();
+            let merged: Vec<_> = base_records
+                .iter()
+                .take(keep)
+                .chain(resumed.records().iter())
+                .cloned()
+                .collect();
+            let expect: Vec<_> = base_records.iter().cloned().collect();
+            assert_eq!(
+                merged, expect,
+                "stream diverged resuming from epoch {epochs}"
+            );
+        }
+    }
+
+    #[test]
+    fn stop_flag_snapshots_at_the_next_boundary_and_resumes() {
+        let cfg = RouterConfig::small();
+        let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
+        let t = trace(0.8, &tm, horizon_us(40), 42);
+        let (mut base, base_sink) = ckpt_switch();
+        base.run_source(
+            ReplaySource::new(&t),
+            horizon_us(200),
+            &FaultPlan::default(),
+        );
+        let base_report = format!("{:?}", base.into_report());
+        let base_records = base_sink.take();
+
+        let (mut sw, sink) = ckpt_switch();
+        let mut snap = None;
+        let mut boundaries = 0u32;
+        let outcome = sw
+            .run_source_checkpointed(
+                ReplaySource::new(&t),
+                horizon_us(200),
+                &FaultPlan::default(),
+                None,
+                1_000_000, // interval never fires; only the stop flag snapshots
+                || {
+                    boundaries += 1;
+                    boundaries >= 3
+                },
+                |v, epochs, spans| {
+                    snap = Some((v.clone(), epochs, spans));
+                    Ok(())
+                },
+            )
+            .unwrap();
+        assert_eq!(outcome, RunOutcome::Interrupted);
+        let (snap, epochs, spans) = snap.expect("stop must have persisted a snapshot");
+        // Nothing is emitted after the final snapshot, so the partial
+        // stream is exactly the first epochs+spans records.
+        let partial = sink.take();
+        assert_eq!(partial.records().len() as u64, epochs + spans);
+
+        let (mut resumed_sw, resumed_sink) = ckpt_switch();
+        let outcome = resumed_sw
+            .run_source_checkpointed(
+                ReplaySource::new(&t),
+                horizon_us(200),
+                &FaultPlan::default(),
+                Some(&snap),
+                1_000_000,
+                || false,
+                |_, _, _| Ok(()),
+            )
+            .unwrap();
+        assert_eq!(outcome, RunOutcome::Completed);
+        assert_eq!(format!("{:?}", resumed_sw.into_report()), base_report);
+        let resumed = resumed_sink.take();
+        let merged: Vec<_> = partial
+            .records()
+            .iter()
+            .chain(resumed.records().iter())
+            .cloned()
+            .collect();
+        let expect: Vec<_> = base_records.records().iter().cloned().collect();
+        assert_eq!(merged, expect);
+    }
+
+    #[test]
+    fn resume_rejects_a_different_configuration() {
+        let cfg = RouterConfig::small();
+        let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
+        let t = trace(0.8, &tm, horizon_us(40), 42);
+        let (mut sw, _sink) = ckpt_switch();
+        let mut snap = None;
+        sw.run_source_checkpointed(
+            ReplaySource::new(&t),
+            horizon_us(200),
+            &FaultPlan::default(),
+            None,
+            1,
+            || false,
+            |v, _, _| {
+                snap = Some(v.clone());
+                Ok(())
+            },
+        )
+        .unwrap();
+        let snap = snap.unwrap();
+
+        // Different config: rejected before any state is overwritten.
+        let mut other_cfg = RouterConfig::small();
+        other_cfg.head_frames += 1;
+        let staged = rip_telemetry::SharedSink::new();
+        let mut other = HbmSwitch::new(other_cfg).unwrap();
+        other.enable_live_telemetry(CKPT_PERIOD, 64, Box::new(staged.clone()));
+        let err = other
+            .run_source_checkpointed(
+                ReplaySource::new(&t),
+                horizon_us(200),
+                &FaultPlan::default(),
+                Some(&snap),
+                1,
+                || false,
+                |_, _, _| Ok(()),
+            )
+            .unwrap_err();
+        assert!(
+            format!("{err}").contains("configuration differs"),
+            "unexpected error: {err}"
+        );
+
+        // Live telemetry off: the snapshot carries a stream position
+        // the run could not continue.
+        let mut silent = HbmSwitch::new(RouterConfig::small()).unwrap();
+        let err = silent
+            .run_source_checkpointed(
+                ReplaySource::new(&t),
+                horizon_us(200),
+                &FaultPlan::default(),
+                Some(&snap),
+                1,
+                || false,
+                |_, _, _| Ok(()),
+            )
+            .unwrap_err();
+        assert!(
+            format!("{err}").contains("live telemetry"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn diagnostic_captures_cannot_be_checkpointed() {
+        let cfg = RouterConfig::small();
+        let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
+        let t = trace(0.8, &tm, horizon_us(40), 42);
+        let (mut sw, _sink) = ckpt_switch();
+        sw.enable_trace(1000);
+        let err = sw
+            .run_source_checkpointed(
+                ReplaySource::new(&t),
+                horizon_us(200),
+                &FaultPlan::default(),
+                None,
+                1,
+                || false,
+                |_, _, _| Ok(()),
+            )
+            .unwrap_err();
+        assert!(
+            format!("{err}").contains("tracing"),
+            "unexpected error: {err}"
         );
     }
 }

@@ -36,7 +36,7 @@ pub struct PacketDeparture {
 ///   the wavelength rate `R`, so flow-hash collisions congest
 ///   individual lanes — the real behaviour of ECMP/LAG spreading that
 ///   §3.2 ➅ inherits.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OutputPort {
     output: usize,
     rate: DataRate,

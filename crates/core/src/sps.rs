@@ -3,18 +3,19 @@
 //! exactly one of them (one OEO conversion).
 
 use rip_photonics::{FrontEnd, SplitMap, SplitPattern};
-use rip_telemetry::{MetricsRegistry, SharedSink, TelemetrySink};
+use rip_sim::snapshot::SnapshotError;
+use rip_telemetry::{MetricsRegistry, SharedSink, SinkRecord, TelemetrySink};
 use rip_traffic::hash::{lane_for, HashKind};
 use rip_traffic::{
     ArrivalProcess, BoundedSource, FiberFill, Packet, PacketGenerator, PacketSource,
-    SizeDistribution, TrafficMatrix,
+    SizeDistribution, StatefulSource, TrafficMatrix,
 };
 use rip_units::{DataSize, SimTime, TimeDelta};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::config::RouterConfig;
 use crate::error::ConfigError;
-use crate::hbm_switch::{HbmSwitch, SwitchReport};
+use crate::hbm_switch::{HbmSwitch, RunOutcome, SwitchReport};
 use crate::resilience::{FaultAction, FaultKind, FaultPlan};
 
 /// Workload specification for an SPS run.
@@ -226,6 +227,88 @@ impl PacketSource for PlaneSource {
             }
         }
     }
+}
+
+/// Serialized position of one [`FiberLane`]: its bounded generator's
+/// pull state plus the merge lookahead.
+#[derive(Serialize, Deserialize)]
+struct LaneState {
+    source: Value,
+    pending: Option<Packet>,
+    done: bool,
+}
+
+/// Serialized [`PlaneSource`] position. The lane set itself is derived
+/// from the workload, so only the mutable pull state rides along.
+#[derive(Serialize, Deserialize)]
+struct PlaneSourceState {
+    lanes: Vec<LaneState>,
+    fe_dropped_packets: u64,
+    fe_dropped: DataSize,
+}
+
+impl StatefulSource for PlaneSource {
+    fn save_state(&self) -> Value {
+        PlaneSourceState {
+            lanes: self
+                .lanes
+                .iter()
+                .map(|l| LaneState {
+                    source: l.source.save_state(),
+                    pending: l.pending,
+                    done: l.done,
+                })
+                .collect(),
+            fe_dropped_packets: self.fe_dropped_packets,
+            fe_dropped: self.fe_dropped,
+        }
+        .to_value()
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), DeError> {
+        let st = PlaneSourceState::from_value(state)?;
+        if st.lanes.len() != self.lanes.len() {
+            return Err(DeError::custom(format!(
+                "plane source has {} lanes, snapshot has {}",
+                self.lanes.len(),
+                st.lanes.len()
+            )));
+        }
+        for (lane, ls) in self.lanes.iter_mut().zip(st.lanes) {
+            lane.source.restore_state(&ls.source)?;
+            lane.pending = ls.pending;
+            lane.done = ls.done;
+        }
+        self.fe_dropped_packets = st.fe_dropped_packets;
+        self.fe_dropped = st.fe_dropped;
+        Ok(())
+    }
+}
+
+/// One completed plane inside an SPS checkpoint: everything the final
+/// merge needs, plus how many records the plane contributed to the
+/// driver sink (so a resume can report how much of a partial stream to
+/// keep).
+#[derive(Clone, Serialize, Deserialize)]
+struct PlaneDone {
+    report: SwitchReport,
+    fe_packets: u64,
+    fe_bytes: DataSize,
+    records: u64,
+}
+
+/// A router-level checkpoint: which plane is running, the finished
+/// planes' results, the running plane's staged (not yet replayed)
+/// records, and its engine state.
+#[derive(Serialize, Deserialize)]
+struct SpsCkptState {
+    /// Config echo; resuming under a different config is refused.
+    cfg: Value,
+    plane: u64,
+    done: Vec<PlaneDone>,
+    staged: Vec<SinkRecord>,
+    /// [`Value::Null`] between planes (the next plane starts fresh).
+    engine: Value,
 }
 
 impl SpsRouter {
@@ -445,6 +528,30 @@ impl SpsRouter {
                 .collect()
         })
         .expect("crossbeam scope");
+        let report = self.assemble_report(results, horizon);
+        if let Some((_, sink)) = live {
+            // Replay each plane's buffered stream in plane order, then
+            // close with the router-level merged totals.
+            for (plane, staged) in plane_sinks.iter().enumerate() {
+                staged
+                    .take()
+                    .replay_renamed(&format!("plane{plane:02}"), sink);
+            }
+            sink.on_run_end("sps", drain, &report.metrics);
+        }
+        report
+    }
+
+    /// Fold per-plane results (in plane order) into the router-level
+    /// report: front-end drop totals, per-plane overload against the
+    /// ingress capacity, load imbalance and the deterministic metrics
+    /// merge. Shared by the threaded and the checkpointed runners so
+    /// both produce byte-identical reports.
+    fn assemble_report(
+        &self,
+        results: Vec<(SwitchReport, u64, DataSize)>,
+        horizon: SimTime,
+    ) -> SpsReport {
         let mut fe_dropped_packets = 0u64;
         let mut fe_dropped = DataSize::ZERO;
         let reports: Vec<SwitchReport> = results
@@ -488,7 +595,7 @@ impl SpsRouter {
         } else {
             offered.bits() / switches.len() as u64
         };
-        let report = SpsReport {
+        SpsReport {
             offered,
             delivered,
             loss_fraction: if offered.is_zero() {
@@ -506,18 +613,156 @@ impl SpsRouter {
             front_end_dropped: fe_dropped,
             plane_overload,
             metrics,
-        };
-        if let Some((_, sink)) = live {
-            // Replay each plane's buffered stream in plane order, then
-            // close with the router-level merged totals.
-            for (plane, staged) in plane_sinks.iter().enumerate() {
-                staged
-                    .take()
-                    .replay_renamed(&format!("plane{plane:02}"), sink);
-            }
-            sink.on_run_end("sps", drain, &report.metrics);
         }
-        report
+    }
+
+    /// [`SpsRouter::run_streamed`] with crash-safe checkpointing: the
+    /// planes run **sequentially** (plane order, same order the
+    /// threaded runner replays them in), each through
+    /// [`HbmSwitch::run_source_checkpointed`], so a snapshot captures
+    /// the running plane's full engine state, its staged (not yet
+    /// replayed) telemetry records, and the finished planes' results.
+    ///
+    /// Every `every_epochs` telemetry epochs — and whenever
+    /// `should_stop` turns true, including between planes — `persist`
+    /// receives the router-level snapshot [`Value`] plus the number of
+    /// records already replayed into `sink` (completed planes only;
+    /// the running plane's records are staged inside the snapshot). A
+    /// caller resuming from that snapshot keeps exactly that many
+    /// records of its partial stream and the continuation is
+    /// byte-identical to the uninterrupted run.
+    ///
+    /// Returns `Ok(None)` when interrupted (a final snapshot was
+    /// persisted) and `Ok(Some(report))` on completion. Resuming under
+    /// a different router configuration, workload shape, or telemetry
+    /// options fails with [`SnapshotError::Mismatch`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_streamed_checkpointed(
+        &self,
+        w: &SpsWorkload,
+        horizon: SimTime,
+        plan: &FaultPlan,
+        opts: LiveOptions,
+        sink: &mut dyn TelemetrySink,
+        resume: Option<&Value>,
+        every_epochs: u64,
+        should_stop: &mut dyn FnMut() -> bool,
+        persist: &mut dyn FnMut(&Value, u64) -> Result<(), SnapshotError>,
+    ) -> Result<Option<SpsReport>, SnapshotError> {
+        plan.validate(&self.cfg)
+            .expect("fault plan must be valid for this router");
+        let drain = self.cfg.drain.deadline(horizon);
+        let plans: Vec<FaultPlan> = (0..self.cfg.switches)
+            .map(|s| plan.project_switch(&self.cfg, s))
+            .collect();
+        let cfg_echo = self.cfg.to_value();
+        // Where to pick up: plane index, finished planes, and the
+        // running plane's staged records + engine state.
+        let (first_plane, mut done, seed_staged, engine0) = match resume {
+            Some(v) => {
+                let st = SpsCkptState::from_value(v).map_err(|e| {
+                    SnapshotError::Mismatch(format!(
+                        "snapshot does not decode as an SPS router state: {e}"
+                    ))
+                })?;
+                if st.cfg != cfg_echo {
+                    return Err(SnapshotError::Mismatch(
+                        "router configuration differs from the checkpointed run".into(),
+                    ));
+                }
+                (st.plane as usize, st.done, st.staged, st.engine)
+            }
+            None => (0, Vec::new(), Vec::new(), Value::Null),
+        };
+        if first_plane > self.cfg.switches || done.len() != first_plane.min(self.cfg.switches) {
+            return Err(SnapshotError::Mismatch(
+                "snapshot plane progress is inconsistent with this router".into(),
+            ));
+        }
+        let mut records_done: u64 = done.iter().map(|d| d.records).sum();
+        // The index drives plane_source, fault projection, snapshot
+        // labels and the resume comparison alike — iterating `plans`
+        // alone would obscure that.
+        #[allow(clippy::needless_range_loop)]
+        for plane in first_plane..self.cfg.switches {
+            let mut src = self.plane_source(w, horizon, plan, plane);
+            let staged = SharedSink::new();
+            let resume_engine = if plane == first_plane && engine0 != Value::Null {
+                // Mid-plane resume: re-seed the staging buffer so the
+                // plane's replayed stream is complete, then hand the
+                // engine its own snapshot.
+                for rec in &seed_staged {
+                    staged.push_record(rec.clone());
+                }
+                Some(&engine0)
+            } else {
+                None
+            };
+            let mut sw = HbmSwitch::new(self.cfg.clone()).expect("validated config");
+            sw.enable_live_telemetry(opts.period, opts.sample_one_in, Box::new(staged.clone()));
+            let outcome = {
+                let done_ref = &done;
+                let staged_ref = &staged;
+                let cfg_ref = &cfg_echo;
+                sw.run_source_checkpointed(
+                    &mut src,
+                    drain,
+                    &plans[plane],
+                    resume_engine,
+                    every_epochs,
+                    &mut *should_stop,
+                    |engine: &Value, _epochs: u64, _spans: u64| {
+                        persist(
+                            &SpsCkptState {
+                                cfg: cfg_ref.clone(),
+                                plane: plane as u64,
+                                done: done_ref.clone(),
+                                staged: staged_ref.peek_records(),
+                                engine: engine.clone(),
+                            }
+                            .to_value(),
+                            records_done,
+                        )
+                    },
+                )?
+            };
+            if outcome == RunOutcome::Interrupted {
+                return Ok(None);
+            }
+            let staged_mem = staged.take();
+            let plane_records = staged_mem.records().len() as u64;
+            staged_mem.replay_renamed(&format!("plane{plane:02}"), sink);
+            records_done += plane_records;
+            done.push(PlaneDone {
+                report: sw.into_report(),
+                fe_packets: src.front_end_dropped_packets(),
+                fe_bytes: src.front_end_dropped(),
+                records: plane_records,
+            });
+            if plane + 1 < self.cfg.switches {
+                // Inter-plane snapshot: the next plane starts fresh, so
+                // the engine slot is Null and nothing is staged.
+                let between = SpsCkptState {
+                    cfg: cfg_echo.clone(),
+                    plane: (plane + 1) as u64,
+                    done: done.clone(),
+                    staged: Vec::new(),
+                    engine: Value::Null,
+                }
+                .to_value();
+                persist(&between, records_done)?;
+                if should_stop() {
+                    return Ok(None);
+                }
+            }
+        }
+        let results = done
+            .into_iter()
+            .map(|d| (d.report, d.fe_packets, d.fe_bytes))
+            .collect();
+        let report = self.assemble_report(results, horizon);
+        sink.on_run_end("sps", drain, &report.metrics);
+        Ok(Some(report))
     }
 
     /// The photonic-fault epochs of `plan`: every wavelength-loss or

@@ -54,7 +54,7 @@ impl SramOccupancy {
 /// The tail SRAM (§3.2 ➁): batches arrive striped over the `N` modules,
 /// accumulate in per-output queues, and graduate into frames of `K/k`
 /// batches which enter a logical FIFO toward the HBM writer.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TailSram {
     batches_per_frame: u64,
     /// Per-output batch accumulation queues.
@@ -126,7 +126,7 @@ impl TailSram {
 
 /// The head SRAM (§3.2 ➄): per-output frame buffers drained by the
 /// output ports.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HeadSram {
     /// Per-output buffered frames.
     frames: Vec<VecDeque<Frame>>,

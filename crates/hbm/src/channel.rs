@@ -215,7 +215,7 @@ impl ChannelStats {
 }
 
 /// One 64-bit HBM channel with its banks, data bus and rule checker.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Channel {
     timing: HbmTiming,
     rate: DataRate,

@@ -1,6 +1,7 @@
 //! A group of HBM stacks presented as `T` parallel channels.
 
 use rip_units::{DataRate, DataSize, SimTime, TimeDelta};
+use serde::{Deserialize, Serialize};
 
 use crate::channel::Channel;
 use crate::geometry::HbmGeometry;
@@ -9,7 +10,7 @@ use crate::timing::HbmTiming;
 /// `B` HBM stacks ganged behind one HBM switch, exposed as a flat array
 /// of `T = B × channels_per_stack` independent channels (paper §3.1
 /// Design 5: B = 4 stacks, T = 128 channels, 81.92 Tb/s).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HbmGroup {
     geometry: HbmGeometry,
     timing: HbmTiming,

@@ -26,7 +26,7 @@ pub enum RegionMode {
 }
 
 /// Per-output page FIFO state (dynamic mode).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 struct OutputPages {
     /// Page ids currently held, oldest first.
     pages: VecDeque<u64>,
@@ -39,7 +39,7 @@ struct OutputPages {
 /// A frame's "slot" is its per-bank segment index `n / (L/γ)`; the
 /// allocator is agnostic to groups and channels because PFI writes the
 /// same row index into every bank of the frame's group on every channel.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RegionAllocator {
     mode: RegionMode,
     rows_per_bank: u64,

@@ -17,6 +17,9 @@
 //!   whole horizon.
 //! * [`rng`] — seeded, stream-splittable random number generation. Every
 //!   stochastic component of the workspace takes an explicit `u64` seed.
+//! * [`snapshot`] — versioned, CRC-checked checkpoint containers with
+//!   atomic-rename writes and two-slot rotation, the storage layer under
+//!   crash-safe soak resume.
 //! * [`stats`] — counters, Welford mean/variance, histograms with exact
 //!   quantiles, time-weighted gauges and throughput meters used by every
 //!   experiment.
@@ -50,6 +53,7 @@ mod feeder;
 mod queue;
 pub mod rng;
 mod series;
+pub mod snapshot;
 pub mod stats;
 
 pub use feeder::Feeder;

@@ -107,6 +107,71 @@ impl<E> EventQueue<E> {
     pub fn now(&self) -> SimTime {
         self.last_popped
     }
+
+    /// Drain the queue into pop order — `(time, seq, event)` sorted by
+    /// `(time, seq)` — for checkpointing. Pop order is a total order,
+    /// so the heap's internal layout never leaks into a snapshot.
+    pub fn into_entries(self) -> Vec<(SimTime, u64, E)> {
+        let mut v: Vec<(SimTime, u64, E)> = self
+            .heap
+            .into_iter()
+            .map(|e| (e.time, e.seq, e.event))
+            .collect();
+        v.sort_by_key(|&(t, s, _)| (t, s));
+        v
+    }
+
+    /// Pop order without consuming the queue (events are cloned).
+    pub fn entries(&self) -> Vec<(SimTime, u64, E)>
+    where
+        E: Clone,
+    {
+        let mut v: Vec<(SimTime, u64, E)> = self
+            .heap
+            .iter()
+            .map(|e| (e.time, e.seq, e.event.clone()))
+            .collect();
+        v.sort_by_key(|&(t, s, _)| (t, s));
+        v
+    }
+
+    /// The sequence number the next `schedule` call will assign.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Rebuild a queue from checkpointed parts: the pending entries
+    /// (with their original insertion sequence numbers, so FIFO
+    /// tie-breaks replay identically), the next sequence number, and
+    /// the last popped time.
+    ///
+    /// # Panics
+    /// Panics if any entry predates `last_popped` or carries a sequence
+    /// number at or beyond `next_seq` — both indicate a corrupt or
+    /// hand-edited snapshot.
+    pub fn from_entries(
+        entries: Vec<(SimTime, u64, E)>,
+        next_seq: u64,
+        last_popped: SimTime,
+    ) -> Self {
+        let mut heap = BinaryHeap::with_capacity(entries.len());
+        for (time, seq, event) in entries {
+            assert!(
+                time >= last_popped,
+                "snapshot entry at {time} predates last popped {last_popped}"
+            );
+            assert!(
+                seq < next_seq,
+                "snapshot entry seq {seq} >= next {next_seq}"
+            );
+            heap.push(Entry { time, seq, event });
+        }
+        EventQueue {
+            heap,
+            next_seq,
+            last_popped,
+        }
+    }
 }
 
 /// A minimal simulation driver around an [`EventQueue`].
@@ -249,6 +314,33 @@ mod tests {
         });
         assert_eq!(count, 100);
         assert_eq!(sim.now(), SimTime::from_ns(99));
+    }
+
+    #[test]
+    fn entries_roundtrip_preserves_pop_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(5);
+        q.schedule(SimTime::from_ns(9), 100);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        q.schedule(SimTime::from_ns(1), 200);
+        assert_eq!(q.pop().unwrap().1, 200);
+        let (next_seq, now) = (q.next_seq(), q.now());
+        let entries = q.entries();
+        let mut rebuilt = EventQueue::from_entries(entries, next_seq, now);
+        let order: Vec<_> = std::iter::from_fn(|| rebuilt.pop())
+            .map(|(_, e)| e)
+            .collect();
+        let expected: Vec<i32> = (0..10).chain(std::iter::once(100)).collect();
+        assert_eq!(order, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "predates last popped")]
+    fn from_entries_rejects_stale_entries() {
+        let _ =
+            EventQueue::from_entries(vec![(SimTime::from_ns(1), 0, ())], 1, SimTime::from_ns(5));
     }
 
     #[test]

@@ -1,0 +1,337 @@
+//! Versioned, CRC-checked snapshot containers for checkpoint/resume.
+//!
+//! A snapshot is an opaque payload (the caller serializes its state —
+//! typically JSON) wrapped in a small integrity envelope:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"RIPSNAP1"
+//! 8       4     format version (u32, little-endian)
+//! 12      8     payload length (u64, little-endian)
+//! 20      4     CRC-32 (IEEE) of the payload (u32, little-endian)
+//! 24      n     payload bytes
+//! ```
+//!
+//! Writes are crash-safe: the envelope is written to `<path>.tmp` and
+//! atomically renamed into place, after rotating any existing snapshot
+//! to `<path>.prev` (N=2 rotation). A reader that finds the newest
+//! slot truncated or corrupted ([`SnapshotError`] names the failure)
+//! falls back to the previous slot via [`load_latest`], so a crash
+//! mid-write never loses more than one checkpoint interval.
+
+use std::fmt;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Leading magic bytes of every snapshot file.
+pub const MAGIC: &[u8; 8] = b"RIPSNAP1";
+
+/// Current snapshot format version.
+pub const VERSION: u32 = 1;
+
+/// Envelope bytes before the payload.
+const HEADER_LEN: usize = 8 + 4 + 8 + 4;
+
+/// Why a snapshot could not be read or written.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Filesystem failure (open, read, write, rename).
+    Io {
+        /// The file being accessed.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The file does not start with [`MAGIC`] — not a snapshot.
+    BadMagic {
+        /// The file read.
+        path: PathBuf,
+    },
+    /// The format version is newer than this build understands.
+    Version {
+        /// The file read.
+        path: PathBuf,
+        /// Version found in the header.
+        found: u32,
+    },
+    /// The file is shorter than its header claims.
+    Truncated {
+        /// The file read.
+        path: PathBuf,
+        /// Bytes the header promised.
+        expected: u64,
+        /// Bytes actually present.
+        found: u64,
+    },
+    /// The payload checksum does not match the header.
+    CrcMismatch {
+        /// The file read.
+        path: PathBuf,
+    },
+    /// The payload decoded, but describes a different run (wrong spec,
+    /// wrong engine, incompatible options).
+    Mismatch(String),
+    /// The run's configuration cannot be checkpointed (e.g. tracing
+    /// enabled, or no telemetry epoch to align snapshots to).
+    Unsupported(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io { path, source } => {
+                write!(f, "snapshot I/O on {}: {source}", path.display())
+            }
+            SnapshotError::BadMagic { path } => {
+                write!(f, "{} is not a snapshot (bad magic)", path.display())
+            }
+            SnapshotError::Version { path, found } => write!(
+                f,
+                "{} has snapshot format v{found}; this build reads up to v{VERSION}",
+                path.display()
+            ),
+            SnapshotError::Truncated {
+                path,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{} is truncated: header promises {expected} payload bytes, file holds {found}",
+                path.display()
+            ),
+            SnapshotError::CrcMismatch { path } => {
+                write!(
+                    f,
+                    "{} failed its CRC check (corrupt payload)",
+                    path.display()
+                )
+            }
+            SnapshotError::Mismatch(why) => write!(f, "snapshot mismatch: {why}"),
+            SnapshotError::Unsupported(why) => write!(f, "cannot checkpoint: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the same
+/// checksum gzip and PNG use. Bitwise implementation — snapshot
+/// payloads are small enough that a table buys nothing.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn io_err(path: &Path, source: std::io::Error) -> SnapshotError {
+    SnapshotError::Io {
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+/// The `<path>.prev` rotation slot for a snapshot at `path`.
+pub fn prev_slot(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".prev");
+    PathBuf::from(name)
+}
+
+fn tmp_slot(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".tmp");
+    PathBuf::from(name)
+}
+
+/// Write `payload` as a snapshot at `path`, crash-safely:
+/// temp-file write + fsync + atomic rename, with the previous snapshot
+/// (if any) rotated to `<path>.prev` first.
+pub fn write_snapshot(path: &Path, payload: &[u8]) -> Result<(), SnapshotError> {
+    let tmp = tmp_slot(path);
+    {
+        let mut f = std::fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        header.extend_from_slice(&crc32(payload).to_le_bytes());
+        f.write_all(&header).map_err(|e| io_err(&tmp, e))?;
+        f.write_all(payload).map_err(|e| io_err(&tmp, e))?;
+        f.sync_all().map_err(|e| io_err(&tmp, e))?;
+    }
+    if path.exists() {
+        std::fs::rename(path, prev_slot(path)).map_err(|e| io_err(path, e))?;
+    }
+    std::fs::rename(&tmp, path).map_err(|e| io_err(&tmp, e))?;
+    Ok(())
+}
+
+/// Read and verify the snapshot at `path`, returning its payload.
+pub fn read_snapshot(path: &Path) -> Result<Vec<u8>, SnapshotError> {
+    let mut f = std::fs::File::open(path).map_err(|e| io_err(path, e))?;
+    let mut bytes = Vec::new();
+    f.read_to_end(&mut bytes).map_err(|e| io_err(path, e))?;
+    if bytes.len() < HEADER_LEN || &bytes[..8] != MAGIC {
+        // A file too short to hold the magic is "not a snapshot", not
+        // "truncated": truncation implies a parseable header.
+        return Err(SnapshotError::BadMagic {
+            path: path.to_path_buf(),
+        });
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version > VERSION {
+        return Err(SnapshotError::Version {
+            path: path.to_path_buf(),
+            found: version,
+        });
+    }
+    let len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    let crc = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes"));
+    let payload = &bytes[HEADER_LEN..];
+    if (payload.len() as u64) < len {
+        return Err(SnapshotError::Truncated {
+            path: path.to_path_buf(),
+            expected: len,
+            found: payload.len() as u64,
+        });
+    }
+    let payload = &payload[..len as usize];
+    if crc32(payload) != crc {
+        return Err(SnapshotError::CrcMismatch {
+            path: path.to_path_buf(),
+        });
+    }
+    Ok(payload.to_vec())
+}
+
+/// Read the newest valid snapshot in `path`'s rotation: `path` itself,
+/// falling back to `<path>.prev` when the newest slot is missing,
+/// truncated, or corrupt. Returns the payload and the slot it came
+/// from. Only when both slots fail does the newest slot's error
+/// propagate.
+pub fn load_latest(path: &Path) -> Result<(Vec<u8>, PathBuf), SnapshotError> {
+    match read_snapshot(path) {
+        Ok(payload) => Ok((payload, path.to_path_buf())),
+        Err(primary) => {
+            let prev = prev_slot(path);
+            match read_snapshot(&prev) {
+                Ok(payload) => Ok((payload, prev)),
+                Err(_) => Err(primary),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("rip-snapshot-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_and_rotation() {
+        let path = scratch("roundtrip.snap");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(prev_slot(&path));
+        write_snapshot(&path, b"first").unwrap();
+        assert_eq!(read_snapshot(&path).unwrap(), b"first");
+        assert!(!prev_slot(&path).exists());
+        write_snapshot(&path, b"second").unwrap();
+        assert_eq!(read_snapshot(&path).unwrap(), b"second");
+        assert_eq!(read_snapshot(&prev_slot(&path)).unwrap(), b"first");
+        let (latest, from) = load_latest(&path).unwrap();
+        assert_eq!(latest, b"second");
+        assert_eq!(from, path);
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_prev() {
+        let path = scratch("fallback.snap");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(prev_slot(&path));
+        write_snapshot(&path, b"old").unwrap();
+        write_snapshot(&path, b"new").unwrap();
+        // Truncate the newest slot mid-payload.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 2]).unwrap();
+        assert!(matches!(
+            read_snapshot(&path),
+            Err(SnapshotError::Truncated { .. })
+        ));
+        let (payload, from) = load_latest(&path).unwrap();
+        assert_eq!(payload, b"old");
+        assert_eq!(from, prev_slot(&path));
+    }
+
+    #[test]
+    fn detects_bit_flip() {
+        let path = scratch("bitflip.snap");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(prev_slot(&path));
+        write_snapshot(&path, b"payload under test").unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_snapshot(&path),
+            Err(SnapshotError::CrcMismatch { .. })
+        ));
+        // No .prev slot: the corruption error must surface.
+        assert!(load_latest(&path).is_err());
+    }
+
+    #[test]
+    fn rejects_foreign_files_and_future_versions() {
+        let path = scratch("foreign.snap");
+        std::fs::write(&path, b"{\"not\": \"a snapshot\"}").unwrap();
+        assert!(matches!(
+            read_snapshot(&path),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+        let mut future = Vec::new();
+        future.extend_from_slice(MAGIC);
+        future.extend_from_slice(&(VERSION + 1).to_le_bytes());
+        future.extend_from_slice(&0u64.to_le_bytes());
+        future.extend_from_slice(&crc32(b"").to_le_bytes());
+        std::fs::write(&path, &future).unwrap();
+        assert!(matches!(
+            read_snapshot(&path),
+            Err(SnapshotError::Version { found, .. }) if found == VERSION + 1
+        ));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let path = scratch("never-written.snap");
+        let _ = std::fs::remove_file(&path);
+        assert!(matches!(
+            read_snapshot(&path),
+            Err(SnapshotError::Io { .. })
+        ));
+    }
+}

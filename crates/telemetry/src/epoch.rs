@@ -192,7 +192,7 @@ impl EpochDelta {
 /// exactly at a boundary belongs to the *next* epoch, so engines flush
 /// epoch `e` as soon as the next event time reaches
 /// [`EpochClock::next_boundary`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EpochClock {
     period_ps: u64,
     epoch: u64,

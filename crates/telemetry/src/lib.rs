@@ -35,8 +35,8 @@ use serde::{Deserialize, Serialize};
 pub use epoch::{EpochClock, EpochDelta, Snapshot};
 pub use net::{LengthFramedWriter, MetricsEndpoint, MetricsServer};
 pub use sink::{
-    FanoutSink, JsonlSink, MemorySink, PrometheusSink, SharedSink, SinkRecord, SpanEvent,
-    TelemetrySink,
+    intern_stage, FanoutSink, JsonlSink, MemorySink, PrometheusSink, SharedSink, SinkRecord,
+    SpanEvent, TelemetrySink, SPAN_STAGES,
 };
 pub use trace::{
     ChromeTraceSink, TraceRecorder, TraceWindow, TraceWindowError, PID_DYNAMIC_BASE, PID_FRAMES,

@@ -28,7 +28,7 @@ use std::io::Write;
 use std::sync::{Arc, Mutex};
 
 use rip_units::SimTime;
-use serde::Serialize;
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::{bucket_upper_edge, EpochDelta, MetricsRegistry, WatchdogEvent};
 
@@ -46,6 +46,48 @@ pub struct SpanEvent {
     pub at: SimTime,
     /// Port the stage happened on.
     pub port: usize,
+}
+
+/// Every lifecycle stage an engine can emit. Stage labels are
+/// `&'static str` so spans stay `Copy` and allocation-free on the hot
+/// path; snapshot restore maps a serialized stage string back onto the
+/// static label through this table.
+pub const SPAN_STAGES: &[&str] = &[
+    "arrival",
+    "input_drop",
+    "sram_enqueue",
+    "hbm_write",
+    "hbm_read",
+    "hbm_bypass",
+    "frame_drop",
+    "departure",
+];
+
+/// Resolve a serialized stage name to its interned `&'static str`, or
+/// `None` for a stage no engine emits (a corrupt or foreign snapshot).
+pub fn intern_stage(stage: &str) -> Option<&'static str> {
+    SPAN_STAGES.iter().find(|&&s| s == stage).copied()
+}
+
+impl Deserialize for SpanEvent {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        #[derive(Deserialize)]
+        struct Mirror {
+            packet: u64,
+            stage: String,
+            at: SimTime,
+            port: usize,
+        }
+        let m = Mirror::from_value(v)?;
+        let stage = intern_stage(&m.stage)
+            .ok_or_else(|| DeError::custom(format!("unknown span stage {:?}", m.stage)))?;
+        Ok(SpanEvent {
+            packet: m.packet,
+            stage,
+            at: m.at,
+            port: m.port,
+        })
+    }
 }
 
 /// Receiver for live telemetry records. All methods take `&mut self`;
@@ -90,6 +132,14 @@ impl<W: Write> JsonlSink<W> {
     /// Records written so far.
     pub fn records(&self) -> u64 {
         self.records
+    }
+
+    /// Seed the record counter — used when resuming a checkpointed run,
+    /// so the `records` field of the eventual `run_end` line counts the
+    /// records of the whole logical run, not just the lines written
+    /// since resume.
+    pub fn set_records(&mut self, records: u64) {
+        self.records = records;
     }
 
     /// Flush the underlying writer.
@@ -383,7 +433,7 @@ impl<W: Write> Drop for PrometheusSink<W> {
 }
 
 /// One buffered record, as received by a [`MemorySink`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum SinkRecord {
     /// A closed epoch delta.
     Epoch {
@@ -477,6 +527,12 @@ impl MemorySink {
         self.records.push_back(rec);
     }
 
+    /// Append a previously captured record — how a resumed run
+    /// re-seeds a staging buffer from a checkpoint.
+    pub fn push_record(&mut self, rec: SinkRecord) {
+        self.push(rec);
+    }
+
     /// Replay every buffered record into `sink`, preserving sources.
     pub fn replay_into(&self, sink: &mut dyn TelemetrySink) {
         for rec in &self.records {
@@ -557,6 +613,26 @@ impl SharedSink {
     /// Take the buffered records out, leaving the sink empty.
     pub fn take(&self) -> MemorySink {
         std::mem::take(&mut *self.inner.lock().expect("telemetry sink lock"))
+    }
+
+    /// Clone the buffered records without draining them — how a
+    /// checkpoint captures a staging buffer mid-run.
+    pub fn peek_records(&self) -> Vec<SinkRecord> {
+        self.inner
+            .lock()
+            .expect("telemetry sink lock")
+            .records()
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Append a previously captured record (checkpoint restore).
+    pub fn push_record(&self, rec: SinkRecord) {
+        self.inner
+            .lock()
+            .expect("telemetry sink lock")
+            .push_record(rec);
     }
 }
 
@@ -832,6 +908,139 @@ mod tests {
         }
         assert_eq!(unbounded.records().len(), 10);
         assert_eq!(unbounded.dropped_records(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ring capacity must be positive")]
+    fn memory_sink_rejects_zero_capacity() {
+        MemorySink::with_capacity(0);
+    }
+
+    #[test]
+    fn memory_sink_capacity_one_keeps_only_the_newest() {
+        let mut sink = MemorySink::with_capacity(1);
+        let span = |packet| SpanEvent {
+            packet,
+            stage: "arrival",
+            at: SimTime::from_ns(packet),
+            port: 0,
+        };
+        sink.on_span("switch", &span(0));
+        assert_eq!(sink.records().len(), 1);
+        assert_eq!(sink.dropped_records(), 0);
+        for packet in 1..5u64 {
+            sink.on_span("switch", &span(packet));
+        }
+        assert_eq!(sink.records().len(), 1);
+        assert_eq!(sink.dropped_records(), 4);
+        match &sink.records()[0] {
+            SinkRecord::Span { span, .. } => assert_eq!(span.packet, 4),
+            other => panic!("unexpected record {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_sink_exact_wraparound_boundary() {
+        // Filling to exactly capacity drops nothing; one more record
+        // evicts exactly the oldest.
+        let mut sink = MemorySink::with_capacity(4);
+        let span = |packet| SpanEvent {
+            packet,
+            stage: "arrival",
+            at: SimTime::from_ns(packet),
+            port: 0,
+        };
+        for packet in 0..4u64 {
+            sink.on_span("switch", &span(packet));
+        }
+        assert_eq!(sink.records().len(), 4);
+        assert_eq!(sink.dropped_records(), 0);
+        sink.on_span("switch", &span(4));
+        assert_eq!(sink.records().len(), 4);
+        assert_eq!(sink.dropped_records(), 1);
+        let ids: Vec<u64> = sink
+            .records()
+            .iter()
+            .map(|r| match r {
+                SinkRecord::Span { span, .. } => span.packet,
+                other => panic!("unexpected record {other:?}"),
+            })
+            .collect();
+        assert_eq!(ids, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn memory_sink_overflow_accounting_is_cumulative() {
+        let mut sink = MemorySink::with_capacity(2);
+        let span = |packet| SpanEvent {
+            packet,
+            stage: "departure",
+            at: SimTime::from_ns(packet),
+            port: 1,
+        };
+        for packet in 0..100u64 {
+            sink.on_span("switch", &span(packet));
+        }
+        assert_eq!(sink.records().len(), 2);
+        assert_eq!(sink.dropped_records(), 98);
+        // Eviction count + retained count always equals pushes.
+        assert_eq!(sink.dropped_records() + sink.records().len() as u64, 100);
+    }
+
+    #[test]
+    fn sink_records_roundtrip_through_snapshot_values() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc("pkts", 3);
+        let snap = reg.snapshot(SimTime::from_ns(100));
+        let mut sink = MemorySink::new();
+        sink.on_epoch("switch", 0, &snap.delta_since(&Snapshot::empty()));
+        sink.on_span(
+            "switch",
+            &SpanEvent {
+                packet: 7,
+                stage: "hbm_read",
+                at: SimTime::from_ns(42),
+                port: 3,
+            },
+        );
+        sink.on_watchdog(
+            "switch",
+            &WatchdogEvent {
+                source: "switch".into(),
+                epoch: 0,
+                at: SimTime::from_ns(100),
+                kind: WatchdogKind::Stall { epochs: 3 },
+            },
+        );
+        sink.on_run_end("switch", SimTime::from_ns(100), &reg);
+        for rec in sink.records() {
+            let v = rec.to_value();
+            let back = SinkRecord::from_value(&v).expect("record roundtrips");
+            assert_eq!(&back, rec);
+        }
+        // An unknown stage is rejected, not silently interned.
+        let mut bad = SinkRecord::Span {
+            source: "switch".into(),
+            span: SpanEvent {
+                packet: 1,
+                stage: "arrival",
+                at: SimTime::ZERO,
+                port: 0,
+            },
+        }
+        .to_value();
+        // Rewrite the stage string inside the serialized tree.
+        fn poison(v: &mut Value) {
+            match v {
+                Value::String(s) if s == "arrival" => *s = "no_such_stage".into(),
+                Value::Array(items) => items.iter_mut().for_each(poison),
+                Value::Object(fields) => fields.iter_mut().for_each(|(_, v)| poison(v)),
+                _ => {}
+            }
+        }
+        poison(&mut bad);
+        let err = SinkRecord::from_value(&bad).unwrap_err();
+        assert!(err.to_string().contains("unknown span stage"), "{err}");
     }
 
     #[test]

@@ -4,10 +4,11 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use rip_sim::rng::{exp_ps, rng_for, weighted_index};
 use rip_units::{DataRate, SimTime, TimeDelta};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::packet::{FlowKey, Packet};
 use crate::size::SizeDistribution;
+use crate::source::StatefulSource;
 
 /// The inter-arrival process of a packet generator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -174,6 +175,38 @@ impl PacketGenerator {
         crate::source::BoundedSource::new(&mut *self, horizon)
             .packets()
             .collect()
+    }
+}
+
+/// The mutable slice of a [`PacketGenerator`]: everything its pulls
+/// advance. The flow pool, weights and size model are rebuilt from the
+/// run spec on resume, so only the position needs to persist.
+#[derive(Serialize, Deserialize)]
+struct GeneratorState {
+    rng: [u64; 4],
+    next_id: u64,
+    clock: SimTime,
+    burst_left: u64,
+}
+
+impl StatefulSource for PacketGenerator {
+    fn save_state(&self) -> Value {
+        GeneratorState {
+            rng: self.rng.state(),
+            next_id: self.next_id,
+            clock: self.clock,
+            burst_left: self.burst_left,
+        }
+        .to_value()
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), DeError> {
+        let s = GeneratorState::from_value(state)?;
+        self.rng = StdRng::from_state(s.rng);
+        self.next_id = s.next_id;
+        self.clock = s.clock;
+        self.burst_left = s.burst_left;
+        Ok(())
     }
 }
 

@@ -7,6 +7,7 @@
 //! spreading quality can be compared.
 
 use crate::packet::FlowKey;
+use serde::{Deserialize, Serialize};
 
 /// FNV-1a 64-bit hash of a byte string.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
@@ -33,7 +34,7 @@ pub fn crc32c(bytes: &[u8]) -> u32 {
 }
 
 /// Which hash function an ECMP/LAG group uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum HashKind {
     /// FNV-1a (fast software hash).
     Fnv1a,

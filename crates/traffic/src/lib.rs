@@ -44,4 +44,6 @@ pub use fill::FiberFill;
 pub use matrix::TrafficMatrix;
 pub use packet::{FlowKey, Packet};
 pub use size::SizeDistribution;
-pub use source::{BoundedSource, MergedSource, PacketSource, Packets, ReplaySource};
+pub use source::{
+    BoundedSource, MergedSource, PacketSource, Packets, ReplaySource, StatefulSource,
+};

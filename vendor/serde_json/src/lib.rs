@@ -333,11 +333,26 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
                 Some(_) => {
-                    // Consume one UTF-8 scalar.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
-                    let c = rest.chars().next().expect("non-empty checked");
+                    // Consume one multi-byte UTF-8 scalar. Validate a
+                    // bounded window, not the whole remaining input —
+                    // the latter is O(n) per character and turns
+                    // multi-megabyte documents quadratic.
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let window = &self.bytes[self.pos..end];
+                    let prefix = match std::str::from_utf8(window) {
+                        Ok(s) => s,
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&window[..e.valid_up_to()])
+                                .expect("validated prefix")
+                        }
+                        Err(_) => return Err(self.err("invalid UTF-8 in string")),
+                    };
+                    let c = prefix.chars().next().expect("non-empty checked");
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
