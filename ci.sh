@@ -25,18 +25,41 @@ bench_keys() {
 }
 
 (cd "$bench_dir" && "$OLDPWD/target/release/repro" bench --quick --live-epochs > /dev/null)
+# kernel-speed runs in full mode: the wheel-vs-heap ratio needs enough
+# ops to amortize the wheel's initial cascade, and the regression gate
+# below needs a stable number.
+(cd "$bench_dir" && "$OLDPWD/target/release/repro" kernel-speed > /dev/null)
 for f in BENCH_sps_throughput.json BENCH_hbm_access.json BENCH_streaming_memory.json \
-         BENCH_telemetry_overhead.json; do
+         BENCH_telemetry_overhead.json BENCH_kernel_speed.json; do
   bench_keys "$bench_dir/$f" > "$bench_dir/$f.keys"
 done
 cat "$bench_dir"/BENCH_sps_throughput.json.keys "$bench_dir"/BENCH_hbm_access.json.keys \
   "$bench_dir"/BENCH_streaming_memory.json.keys \
   "$bench_dir"/BENCH_telemetry_overhead.json.keys \
+  "$bench_dir"/BENCH_kernel_speed.json.keys \
   | sort -u > "$bench_dir/bench.keys"
 diff -u tests/bench_schema_expected.txt "$bench_dir/bench.keys" \
   || { echo "BENCH_*.json schema drifted from tests/bench_schema_expected.txt"; exit 1; }
 test -s "$bench_dir/BENCH_sps_epochs.jsonl" \
   || { echo "bench --live-epochs produced no BENCH_sps_epochs.jsonl"; exit 1; }
+
+echo "==> event-kernel speed gate (wheel vs heap, >10% regression fails)"
+# The gated quantity is the dimensionless microkernel speedup ratio —
+# absolute events/sec vary with the machine, the ratio does not. The
+# committed baseline is a deliberately conservative measured run.
+base_ratio="$(grep -o '"speedup_vs_heap": *[0-9.]*' tests/bench_kernel_speed_baseline.json \
+  | grep -o '[0-9.]*$')"
+cur_ratio="$(grep -o '"speedup_vs_heap": *[0-9.]*' "$bench_dir/BENCH_kernel_speed.json" \
+  | grep -o '[0-9.]*$')"
+test -n "$base_ratio" && test -n "$cur_ratio" \
+  || { echo "kernel-speed ratio missing from bench or baseline"; exit 1; }
+awk -v c="$cur_ratio" -v b="$base_ratio" 'BEGIN { exit !(c >= 0.9 * b) }' \
+  || { echo "kernel speedup regressed: $cur_ratio vs baseline $base_ratio (>10% slowdown)"; exit 1; }
+echo "kernel speedup_vs_heap $cur_ratio (baseline $base_ratio)"
+
+echo "==> kernel equivalence suite (wheel vs heap, byte-identical outputs)"
+cargo test --release -q -p rip-integration-tests --test kernel_equivalence \
+  || { echo "kernel equivalence suite failed"; exit 1; }
 
 echo "==> streaming soak smoke (bounded in-flight memory + live epoch determinism)"
 for d in soak_a soak_b; do

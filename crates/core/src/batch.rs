@@ -4,6 +4,7 @@
 
 use std::collections::VecDeque;
 
+use rip_sim::VecPool;
 use rip_traffic::{FlowKey, Packet};
 use rip_units::{DataSize, SimTime};
 use serde::{Deserialize, Serialize};
@@ -102,36 +103,56 @@ impl BatchAssembler {
 
     /// Enqueue a packet and return any batches completed by it
     /// (usually 0 or 1; more for packets larger than a batch).
+    ///
+    /// Convenience wrapper over [`BatchAssembler::push_into`] that
+    /// allocates a fresh result vector — use `push_into` on hot paths.
     pub fn push(&mut self, p: &Packet) -> Vec<Batch> {
+        let mut out = Vec::new();
+        let mut pool = VecPool::new(0);
+        self.push_into(p, &mut pool, &mut out);
+        out
+    }
+
+    /// Enqueue a packet, appending any batches it completes to `out`
+    /// (usually 0 or 1; more for packets larger than a batch). Chunk
+    /// storage for new batches is drawn from `pool`, so a caller that
+    /// retires drained batches back into the pool forms batches with no
+    /// steady-state allocation.
+    pub fn push_into(&mut self, p: &Packet, pool: &mut VecPool<Chunk>, out: &mut Vec<Batch>) {
         assert!(p.output < self.voqs.len(), "output out of range");
         assert!(!p.size.is_zero(), "empty packet");
         let voq = &mut self.voqs[p.output];
         voq.pending.push_back((p.id, 0, p.size, p.arrival, p.flow));
         voq.queued += p.size;
-        let mut out = Vec::new();
         while self.voqs[p.output].queued >= self.batch_size {
-            out.push(self.form_batch(p.output, false));
+            let b = self.form_batch(p.output, false, pool);
+            out.push(b);
         }
-        out
     }
 
     /// Force out a padded batch from the partial VOQ contents of
     /// `output` (timeout flush / bypass). Returns `None` if empty.
     pub fn flush(&mut self, output: usize) -> Option<Batch> {
+        let mut pool = VecPool::new(0);
+        self.flush_with(output, &mut pool)
+    }
+
+    /// [`BatchAssembler::flush`] drawing chunk storage from `pool`.
+    pub fn flush_with(&mut self, output: usize, pool: &mut VecPool<Chunk>) -> Option<Batch> {
         if self.voqs[output].queued.is_zero() {
             return None;
         }
-        Some(self.form_batch(output, true))
+        Some(self.form_batch(output, true, pool))
     }
 
     /// Build one batch from the head of `output`'s VOQ. With `pad`,
     /// allows a partial fill topped up with padding.
-    fn form_batch(&mut self, output: usize, pad: bool) -> Batch {
+    fn form_batch(&mut self, output: usize, pad: bool, pool: &mut VecPool<Chunk>) -> Batch {
         let k = self.batch_size;
         let voq = &mut self.voqs[output];
         debug_assert!(pad || voq.queued >= k);
         let mut remaining = k;
-        let mut chunks = Vec::new();
+        let mut chunks = pool.get();
         while !remaining.is_zero() {
             let Some((id, offset, size, arrival, flow)) = voq.pending.front().copied() else {
                 break;

@@ -7,7 +7,7 @@ use std::collections::{HashSet, VecDeque};
 use rip_hbm::{HbmCommandKind, HbmGroup, PfiController};
 use rip_sim::snapshot::SnapshotError;
 use rip_sim::stats::Histogram;
-use rip_sim::{EventQueue, Feeder, Series, TraceLog};
+use rip_sim::{EventQueue, Feeder, QueueKind, Series, TraceLog, VecPool};
 use rip_telemetry::{
     EpochClock, MetricsRegistry, Snapshot, SpanEvent, TelemetrySink, TraceRecorder, TraceWindow,
     PID_FRAMES, PID_HBM,
@@ -16,7 +16,7 @@ use rip_traffic::{Packet, PacketSource, ReplaySource, StatefulSource};
 use rip_units::{DataRate, DataSize, SimTime, TimeDelta};
 use serde::{DeError, Deserialize, Serialize, Value};
 
-use crate::batch::{Batch, BatchAssembler};
+use crate::batch::{Batch, BatchAssembler, Chunk};
 use crate::config::RouterConfig;
 use crate::error::ConfigError;
 use crate::output::{OutputPort, PacketDeparture};
@@ -506,6 +506,21 @@ pub struct HbmSwitch {
     /// is off or finished. Keeps the per-event flush check to one
     /// integer compare.
     live_boundary_ps: u64,
+    /// Event-queue kernel for every run started on this switch (the
+    /// timing wheel by default; the binary-heap oracle for differential
+    /// runs). Snapshots are kernel-agnostic, so a snapshot taken under
+    /// one kind resumes byte-identically under the other.
+    queue_kind: QueueKind,
+    /// Precomputed `switch.outNN.queue_depth_frames` metric names, so
+    /// the per-frame depth sample does not format a fresh string.
+    out_depth_keys: Vec<String>,
+    /// Reusable buffer for batches completed by one arrival (hot-loop
+    /// scratch; always drained back to empty before reuse).
+    batch_scratch: Vec<Batch>,
+    /// Recycled chunk vectors: batches formed at inputs retire their
+    /// chunk storage here when drained or dropped, so steady-state
+    /// batch formation allocates nothing.
+    chunk_pool: VecPool<Chunk>,
 }
 
 impl HbmSwitch {
@@ -571,10 +586,30 @@ impl HbmSwitch {
             chrome: None,
             live: None,
             live_boundary_ps: u64::MAX,
+            queue_kind: QueueKind::default_kind(),
+            out_depth_keys: (0..n)
+                .map(|o| format!("switch.out{o:02}.queue_depth_frames"))
+                .collect(),
+            batch_scratch: Vec::new(),
+            chunk_pool: VecPool::default(),
             group,
             pfi,
             cfg,
         })
+    }
+
+    /// Select the event-queue kernel for subsequent runs: the timing
+    /// wheel (default) or the binary-heap differential oracle. Both
+    /// kernels realize the same `(time, insertion-seq)` total order, so
+    /// reports, telemetry and snapshots are byte-identical across
+    /// kinds — the kernel-equivalence suite runs both and compares.
+    pub fn set_queue_kind(&mut self, kind: QueueKind) {
+        self.queue_kind = kind;
+    }
+
+    /// The event-queue kernel runs on this switch will use.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue_kind
     }
 
     /// The configuration in force.
@@ -961,8 +996,7 @@ impl HbmSwitch {
     fn sample_output_depth(&mut self, now: SimTime, o: usize) {
         let depth = self.pfi.frames_buffered(o) as f64;
         self.output_depth[o].record(now, depth);
-        self.metrics
-            .observe(&format!("switch.out{o:02}.queue_depth_frames"), depth);
+        self.metrics.observe(&self.out_depth_keys[o], depth);
     }
 
     /// Total frames currently buffered in the HBM across outputs.
@@ -1069,7 +1103,8 @@ impl HbmSwitch {
             Ev::FlushTimeout { input, output } => {
                 self.flush_pending[input][output] = false;
                 if !self.assemblers[input].queued(output).is_zero() {
-                    if let Some(b) = self.assemblers[input].flush(output) {
+                    if let Some(b) = self.assemblers[input].flush_with(output, &mut self.chunk_pool)
+                    {
                         self.padded_bytes += b.padding;
                         self.send_batch(q, now, b);
                     }
@@ -1149,7 +1184,9 @@ impl HbmSwitch {
             }
         }
         let was_empty = a.queued(p.output).is_zero();
-        let batches = a.push(&p);
+        let mut batches = std::mem::take(&mut self.batch_scratch);
+        debug_assert!(batches.is_empty());
+        self.assemblers[p.input].push_into(&p, &mut self.chunk_pool, &mut batches);
         let queued = self.assemblers[p.input].total_queued();
         self.input_peak = self.input_peak.max(queued);
         if was_empty
@@ -1167,9 +1204,10 @@ impl HbmSwitch {
                 },
             );
         }
-        for b in batches {
+        for b in batches.drain(..) {
             self.send_batch(q, now, b);
         }
+        self.batch_scratch = batches;
     }
 
     fn on_batch_at_tail(&mut self, now: SimTime, b: Batch) {
@@ -1213,6 +1251,9 @@ impl HbmSwitch {
                     }
                 }
                 self.record(now, SwitchEvent::FrameDrop { output: o });
+                for batch in frame.batches {
+                    self.chunk_pool.put(batch.chunks);
+                }
             } else {
                 self.write_frame(now, frame);
             }
@@ -1322,6 +1363,9 @@ impl HbmSwitch {
                     self.live_span_end(d.packet, "departure", d.time, o);
                     self.departures.push(d);
                 }
+                // The batch's payload left the switch; recycle its
+                // chunk storage for future batch formation.
+                self.chunk_pool.put(batch.chunks);
                 q.schedule(end, Ev::Drain(o));
             }
             None => {
@@ -1374,7 +1418,7 @@ impl HbmSwitch {
         horizon: SimTime,
         plan: &FaultPlan,
     ) -> SwitchReport {
-        let mut q: EventQueue<Ev> = EventQueue::new();
+        let mut q: EventQueue<Ev> = EventQueue::with_kind(self.queue_kind);
         let mut last_arrival = SimTime::ZERO;
         for p in trace {
             assert!(p.arrival >= last_arrival, "trace must be arrival-ordered");
@@ -1423,7 +1467,7 @@ impl HbmSwitch {
     /// then call [`HbmSwitch::report`] or [`HbmSwitch::into_report`].
     pub fn run_source<S: PacketSource>(&mut self, source: S, horizon: SimTime, plan: &FaultPlan) {
         let mut source = source;
-        let mut q: EventQueue<Ev> = EventQueue::new();
+        let mut q: EventQueue<Ev> = EventQueue::with_kind(self.queue_kind);
         for ev in plan.events() {
             if !ev.kind.is_photonic() {
                 q.schedule(ev.at, Ev::Fault(*ev));
@@ -1656,7 +1700,12 @@ impl HbmSwitch {
         self.hbm_occupancy = st.hbm_occupancy;
         self.metrics = st.metrics;
         self.output_depth = st.output_depth;
-        *q = EventQueue::from_entries(st.queue, st.queue_next_seq, st.queue_last_popped);
+        *q = EventQueue::from_entries_in(
+            self.queue_kind,
+            st.queue,
+            st.queue_next_seq,
+            st.queue_last_popped,
+        );
         CkptFeeder::restore(source, &st.feeder)
             .map_err(|e| SnapshotError::Mismatch(format!("feeder state does not decode: {e}")))
     }
@@ -1730,7 +1779,7 @@ impl HbmSwitch {
         FPersist: FnMut(&Value, u64, u64) -> Result<(), SnapshotError>,
     {
         assert!(every_epochs > 0, "checkpoint interval must be positive");
-        let mut q: EventQueue<Ev> = EventQueue::new();
+        let mut q: EventQueue<Ev> = EventQueue::with_kind(self.queue_kind);
         let mut feeder = match resume {
             Some(v) => {
                 let st = SwitchState::from_value(v).map_err(|e| {

@@ -1,7 +1,5 @@
 //! One HBM channel: banks + shared data bus + command legality rules.
 
-use std::collections::VecDeque;
-
 use rip_sim::stats::{BusyTime, Counter};
 use rip_units::{DataRate, DataSize, SimTime, TimeDelta};
 use serde::{Deserialize, Serialize};
@@ -123,6 +121,42 @@ impl std::fmt::Display for TimingError {
 
 impl std::error::Error for TimingError {}
 
+/// Sliding tFAW window: issue times of up to the last 4 ACTs, stored in
+/// a fixed in-struct ring (no heap indirection on the command hot
+/// path). ACTs are pushed in non-decreasing time order, so the oldest
+/// entry is always the tFAW anchor.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+struct ActWindow {
+    times: [SimTime; 4],
+    /// Index of the oldest entry when full.
+    head: u8,
+    len: u8,
+}
+
+impl ActWindow {
+    /// Whether 4 ACTs are already in the window.
+    fn is_full(&self) -> bool {
+        self.len == 4
+    }
+
+    /// The oldest ACT time (only meaningful when full).
+    fn oldest(&self) -> SimTime {
+        debug_assert!(self.is_full());
+        self.times[self.head as usize]
+    }
+
+    /// Record an ACT, evicting the oldest entry once full.
+    fn push(&mut self, t: SimTime) {
+        if self.is_full() {
+            self.times[self.head as usize] = t;
+            self.head = (self.head + 1) % 4;
+        } else {
+            self.times[self.len as usize] = t;
+            self.len += 1;
+        }
+    }
+}
+
 /// One command as issued on a channel, for replay by an independent
 /// timing-conformance checker (recording is off by default; see
 /// [`Channel::set_record_commands`]).
@@ -225,7 +259,7 @@ pub struct Channel {
     /// Direction of the last column access (for turnaround penalties).
     last_dir: Option<Direction>,
     /// Times of up to the last 4 ACTs (sliding tFAW window).
-    recent_acts: VecDeque<SimTime>,
+    recent_acts: ActWindow,
     /// Issue time of the most recent ACT (ACTs must be issued in
     /// non-decreasing time order for the tFAW window to be sound).
     last_act: SimTime,
@@ -251,7 +285,7 @@ impl Channel {
             banks: vec![Bank::new(); banks],
             bus_free_at: SimTime::ZERO,
             last_dir: None,
-            recent_acts: VecDeque::with_capacity(4),
+            recent_acts: ActWindow::default(),
             last_act: SimTime::ZERO,
             stats: ChannelStats::default(),
             bank_busy: vec![TimeDelta::ZERO; banks],
@@ -350,8 +384,8 @@ impl Channel {
     /// window stays sound).
     pub fn earliest_activate(&self, bank: usize) -> SimTime {
         let b = &self.banks[bank];
-        let faw_gate = if self.recent_acts.len() == 4 {
-            self.recent_acts[0] + self.timing.t_faw
+        let faw_gate = if self.recent_acts.is_full() {
+            self.recent_acts.oldest() + self.timing.t_faw
         } else {
             SimTime::ZERO
         };
@@ -383,8 +417,8 @@ impl Channel {
                 idle_at: b.idle_at(),
             });
         }
-        if self.recent_acts.len() == 4 {
-            let earliest = self.recent_acts[0] + self.timing.t_faw;
+        if self.recent_acts.is_full() {
+            let earliest = self.recent_acts.oldest() + self.timing.t_faw;
             if now < earliest {
                 return Err(TimingError::FawViolation { earliest });
             }
@@ -396,8 +430,8 @@ impl Channel {
         );
         // How long the tFAW window held this ACT back beyond every
         // other constraint — the "stall" the telemetry layer reports.
-        if self.recent_acts.len() == 4 {
-            let faw_gate = self.recent_acts[0] + self.timing.t_faw;
+        if self.recent_acts.is_full() {
+            let faw_gate = self.recent_acts.oldest() + self.timing.t_faw;
             let other_gate = b.idle_at().max(self.last_act);
             if faw_gate > other_gate {
                 self.stats.faw_stall.add(faw_gate - other_gate);
@@ -405,10 +439,7 @@ impl Channel {
         }
         let ready = now + self.timing.t_rcd;
         self.banks[bank].do_activate(now, row, ready);
-        if self.recent_acts.len() == 4 {
-            self.recent_acts.pop_front();
-        }
-        self.recent_acts.push_back(now);
+        self.recent_acts.push(now);
         self.last_act = now;
         self.stats.activates.inc();
         self.log(now, bank, HbmCommandKind::Activate { row });
@@ -575,6 +606,23 @@ mod tests {
 
     fn seg() -> DataSize {
         DataSize::from_kib(1)
+    }
+
+    #[test]
+    fn act_window_slides_oldest_out() {
+        let mut w = ActWindow::default();
+        assert!(!w.is_full());
+        for i in 1..=4u64 {
+            w.push(SimTime::from_ns(i));
+        }
+        assert!(w.is_full());
+        assert_eq!(w.oldest(), SimTime::from_ns(1));
+        w.push(SimTime::from_ns(9));
+        assert_eq!(w.oldest(), SimTime::from_ns(2));
+        for i in 10..=13u64 {
+            w.push(SimTime::from_ns(i));
+        }
+        assert_eq!(w.oldest(), SimTime::from_ns(10));
     }
 
     #[test]

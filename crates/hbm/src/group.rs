@@ -19,11 +19,21 @@ pub struct HbmGroup {
     /// Per-channel health: a failed channel accepts no new frame
     /// segments (in-flight data drains before the channel goes dark).
     alive: Vec<bool>,
-    /// Stuck-at banks, per channel: a stuck bank cannot activate for new
-    /// frames; its segments re-home to healthy banks of the same group.
-    stuck: Vec<Vec<bool>>,
-    /// Count of `true` entries across `stuck` (fast emptiness check).
+    /// Stuck-at banks as a dense bitset over the flat index
+    /// `channel * banks_per_channel + bank`: a stuck bank cannot
+    /// activate for new frames; its segments re-home to healthy banks
+    /// of the same group. One cache line covers 512 banks, so the
+    /// per-frame health probe never chases an outer pointer.
+    stuck: Vec<u64>,
+    /// Count of set bits in `stuck` (fast emptiness check).
     stuck_count: usize,
+}
+
+/// `(word, bit-mask)` for the flat `(channel, bank)` bitset index.
+fn stuck_slot(banks_per_channel: usize, channel: usize, bank: usize) -> (usize, u64) {
+    debug_assert!(bank < banks_per_channel);
+    let idx = channel * banks_per_channel + bank;
+    (idx / 64, 1u64 << (idx % 64))
 }
 
 impl HbmGroup {
@@ -42,7 +52,7 @@ impl HbmGroup {
             stacks,
             channels,
             alive: vec![true; t],
-            stuck: vec![vec![false; geometry.banks_per_channel]; t],
+            stuck: vec![0u64; (t * geometry.banks_per_channel).div_ceil(64)],
             stuck_count: 0,
         }
     }
@@ -105,23 +115,26 @@ impl HbmGroup {
     /// Mark `bank` of channel `channel` stuck: it cannot activate for
     /// new frames.
     pub fn stick_bank(&mut self, channel: usize, bank: usize) {
-        if !self.stuck[channel][bank] {
-            self.stuck[channel][bank] = true;
+        let (w, m) = stuck_slot(self.geometry.banks_per_channel, channel, bank);
+        if self.stuck[w] & m == 0 {
+            self.stuck[w] |= m;
             self.stuck_count += 1;
         }
     }
 
     /// Return `bank` of channel `channel` to service.
     pub fn unstick_bank(&mut self, channel: usize, bank: usize) {
-        if self.stuck[channel][bank] {
-            self.stuck[channel][bank] = false;
+        let (w, m) = stuck_slot(self.geometry.banks_per_channel, channel, bank);
+        if self.stuck[w] & m != 0 {
+            self.stuck[w] &= !m;
             self.stuck_count -= 1;
         }
     }
 
     /// Whether `bank` of channel `channel` is stuck.
     pub fn bank_stuck(&self, channel: usize, bank: usize) -> bool {
-        self.stuck[channel][bank]
+        let (w, m) = stuck_slot(self.geometry.banks_per_channel, channel, bank);
+        self.stuck[w] & m != 0
     }
 
     /// All currently stuck `(channel, bank)` pairs (empty in the healthy
@@ -130,12 +143,14 @@ impl HbmGroup {
         if self.stuck_count == 0 {
             return Vec::new();
         }
+        let per = self.geometry.banks_per_channel;
         let mut v = Vec::with_capacity(self.stuck_count);
-        for (c, banks) in self.stuck.iter().enumerate() {
-            for (b, &s) in banks.iter().enumerate() {
-                if s {
-                    v.push((c, b));
-                }
+        for (w, &word) in self.stuck.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let idx = w * 64 + bits.trailing_zeros() as usize;
+                v.push((idx / per, idx % per));
+                bits &= bits - 1;
             }
         }
         v
@@ -300,5 +315,31 @@ mod tests {
         g.unstick_bank(2, 0);
         assert!(g.fully_healthy());
         assert!(g.stuck_banks().is_empty());
+    }
+
+    #[test]
+    fn stuck_bitset_spans_word_boundaries() {
+        // 4 stacks × 32 channels × 32 banks = 4096 flat indices; exercise
+        // the first bit, a mid-word bit, bits either side of a 64-bit
+        // word boundary, and the very last bank.
+        let mut g = HbmGroup::reference();
+        let per = g.geometry().banks_per_channel;
+        let last_ch = g.num_channels() - 1;
+        let picks = [(0, 0), (1, 63 % per), (2, 0), (last_ch, per - 1)];
+        for &(c, b) in &picks {
+            g.stick_bank(c, b);
+        }
+        for &(c, b) in &picks {
+            assert!(g.bank_stuck(c, b), "({c},{b}) should be stuck");
+        }
+        assert!(!g.bank_stuck(3, 1));
+        let mut expect: Vec<_> = picks.to_vec();
+        expect.sort_unstable();
+        expect.dedup();
+        assert_eq!(g.stuck_banks(), expect);
+        for &(c, b) in &picks {
+            g.unstick_bank(c, b);
+        }
+        assert!(g.fully_healthy());
     }
 }

@@ -8,7 +8,11 @@
 //! * [`EventQueue`] — a time-ordered queue with **deterministic
 //!   tie-breaking** (FIFO among equal-time events, by insertion sequence
 //!   number), so a simulation is a pure function of its configuration and
-//!   seed.
+//!   seed. Backed by a hierarchical timing wheel on picosecond buckets;
+//!   the original binary-heap kernel survives as a runtime-selectable
+//!   differential oracle ([`QueueKind`]).
+//! * [`arena`] — recycling pools ([`VecPool`]) that keep hot-loop
+//!   buffer churn out of the allocator without touching determinism.
 //! * [`Simulation`] — a thin driver that pops events and hands them to a
 //!   handler together with a scheduling context.
 //! * [`Feeder`] — a bounded-lookahead buffer over a pull-based external
@@ -49,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 mod feeder;
 mod queue;
 pub mod rng;
@@ -56,6 +61,7 @@ mod series;
 pub mod snapshot;
 pub mod stats;
 
+pub use arena::VecPool;
 pub use feeder::Feeder;
-pub use queue::{EventQueue, Simulation};
+pub use queue::{EventQueue, QueueKind, Simulation};
 pub use series::{Series, TraceLog};

@@ -24,6 +24,7 @@ use rip_core::{
 use rip_integration_tests::source_for;
 use rip_photonics::SplitPattern;
 use rip_sim::snapshot::{load_latest, prev_slot, write_snapshot};
+use rip_sim::QueueKind;
 use rip_telemetry::{MemorySink, SharedSink, SinkRecord};
 use rip_traffic::TrafficMatrix;
 use rip_units::{SimTime, TimeDelta};
@@ -77,9 +78,22 @@ fn run_until(
     every: u64,
     stop_after: u64,
 ) -> (Vec<SinkRecord>, RunOutcome, Vec<(u64, u64)>) {
+    run_until_with(seed, path, every, stop_after, QueueKind::default_kind())
+}
+
+/// [`run_until`] under an explicit event-queue kernel, so snapshots can
+/// be produced by the binary-heap oracle for cross-kernel resume tests.
+fn run_until_with(
+    seed: u64,
+    path: &std::path::Path,
+    every: u64,
+    stop_after: u64,
+    kind: QueueKind,
+) -> (Vec<SinkRecord>, RunOutcome, Vec<(u64, u64)>) {
     let (cfg, tm, horizon) = live_setup();
     let staged = SharedSink::new();
     let mut sw = HbmSwitch::new(cfg.clone()).expect("valid config");
+    sw.set_queue_kind(kind);
     sw.enable_live_telemetry(PERIOD, 64, Box::new(staged.clone()));
     let written = Cell::new(0u64);
     let counts = RefCell::new(Vec::new());
@@ -106,11 +120,17 @@ fn run_until(
 /// Resume the engine from an on-disk snapshot payload and run to
 /// completion; returns the continuation stream and the report JSON.
 fn resume_from(seed: u64, payload: &[u8]) -> (Vec<SinkRecord>, String) {
+    resume_from_with(seed, payload, QueueKind::default_kind())
+}
+
+/// [`resume_from`] under an explicit event-queue kernel.
+fn resume_from_with(seed: u64, payload: &[u8], kind: QueueKind) -> (Vec<SinkRecord>, String) {
     let (cfg, tm, horizon) = live_setup();
     let text = std::str::from_utf8(payload).expect("snapshot payload is JSON");
     let state = serde_json::parse(text).expect("snapshot payload parses");
     let staged = SharedSink::new();
     let mut sw = HbmSwitch::new(cfg.clone()).expect("valid config");
+    sw.set_queue_kind(kind);
     sw.enable_live_telemetry(PERIOD, 64, Box::new(staged.clone()));
     let outcome = sw
         .run_source_checkpointed(
@@ -188,6 +208,67 @@ fn truncated_newest_slot_falls_back_to_prev_and_still_converges() {
         .chain(resumed)
         .collect();
     assert_eq!(merged, base_records);
+}
+
+/// One cross-kernel direction: snapshot under `snap_kind`, resume under
+/// `resume_kind`, and require the merged stream and final report to be
+/// byte-identical to the uninterrupted default-kernel baseline.
+fn assert_cross_kernel_resume(seed: u64, name: &str, snap_kind: QueueKind, resume_kind: QueueKind) {
+    let path = scratch(name);
+    let (base_records, base_report) = baseline(seed);
+
+    let (_, outcome, counts) = run_until_with(seed, &path, 2, 2, snap_kind);
+    assert_eq!(outcome, RunOutcome::Interrupted);
+    let (payload, _) = load_latest(&path).expect("snapshot loads");
+    let (resumed, report) = resume_from_with(seed, &payload, resume_kind);
+    assert_eq!(
+        report, base_report,
+        "{snap_kind:?} snapshot resumed under {resume_kind:?} diverged"
+    );
+    let &(epochs, spans) = counts.last().unwrap();
+    let keep = (epochs + spans) as usize;
+    let merged: Vec<SinkRecord> = base_records[..keep]
+        .iter()
+        .cloned()
+        .chain(resumed)
+        .collect();
+    assert_eq!(
+        merged, base_records,
+        "merged {snap_kind:?}->{resume_kind:?} stream diverged"
+    );
+}
+
+#[test]
+fn heap_ordered_snapshot_resumes_byte_identically_under_the_wheel_kernel() {
+    // Snapshots written before the timing-wheel rewrite were produced
+    // by the binary-heap kernel. The container stores the queue in
+    // kernel-agnostic pop order, so such a snapshot must be accepted by
+    // the wheel kernel with a byte-identical continuation — never a
+    // silent divergence.
+    assert_cross_kernel_resume(
+        37,
+        "heap-to-wheel.snap",
+        QueueKind::BinaryHeap,
+        QueueKind::TimingWheel,
+    );
+}
+
+#[test]
+fn wheel_snapshot_resumes_byte_identically_under_both_kernels() {
+    // The new kernel's own snapshots resume under itself...
+    assert_cross_kernel_resume(
+        41,
+        "wheel-to-wheel.snap",
+        QueueKind::TimingWheel,
+        QueueKind::TimingWheel,
+    );
+    // ...and remain readable by the differential heap oracle.
+    assert_cross_kernel_resume(
+        41,
+        "wheel-to-heap.snap",
+        QueueKind::TimingWheel,
+        QueueKind::BinaryHeap,
+    );
 }
 
 // ------------------------------------------------------------------
