@@ -29,14 +29,18 @@ bench_keys() {
 # ops to amortize the wheel's initial cascade, and the regression gate
 # below needs a stable number.
 (cd "$bench_dir" && "$OLDPWD/target/release/repro" kernel-speed > /dev/null)
+# parallel-speed also runs in full mode: it asserts byte-identical
+# reports across engines and its speedup ratio feeds the gate below.
+(cd "$bench_dir" && "$OLDPWD/target/release/repro" parallel-speed > /dev/null)
 for f in BENCH_sps_throughput.json BENCH_hbm_access.json BENCH_streaming_memory.json \
-         BENCH_telemetry_overhead.json BENCH_kernel_speed.json; do
+         BENCH_telemetry_overhead.json BENCH_kernel_speed.json BENCH_parallel_speed.json; do
   bench_keys "$bench_dir/$f" > "$bench_dir/$f.keys"
 done
 cat "$bench_dir"/BENCH_sps_throughput.json.keys "$bench_dir"/BENCH_hbm_access.json.keys \
   "$bench_dir"/BENCH_streaming_memory.json.keys \
   "$bench_dir"/BENCH_telemetry_overhead.json.keys \
   "$bench_dir"/BENCH_kernel_speed.json.keys \
+  "$bench_dir"/BENCH_parallel_speed.json.keys \
   | sort -u > "$bench_dir/bench.keys"
 diff -u tests/bench_schema_expected.txt "$bench_dir/bench.keys" \
   || { echo "BENCH_*.json schema drifted from tests/bench_schema_expected.txt"; exit 1; }
@@ -57,9 +61,26 @@ awk -v c="$cur_ratio" -v b="$base_ratio" 'BEGIN { exit !(c >= 0.9 * b) }' \
   || { echo "kernel speedup regressed: $cur_ratio vs baseline $base_ratio (>10% slowdown)"; exit 1; }
 echo "kernel speedup_vs_heap $cur_ratio (baseline $base_ratio)"
 
-echo "==> kernel equivalence suite (wheel vs heap, byte-identical outputs)"
+echo "==> sharded-engine speed gate (vs sequential oracle, >10% regression fails)"
+# Same shape as the kernel gate: the gated quantity is the 4-shard
+# wall-clock ratio against the sequential engine. The committed
+# baseline was measured on a single-core host (cores_available=1,
+# recorded in the bench file), where the ratio captures coordination
+# overhead under time-slicing — a conservative floor that a real
+# serialization regression would still fall through.
+base_par="$(grep -o '"speedup_sharded4": *[0-9.]*' tests/bench_parallel_speed_baseline.json \
+  | grep -o '[0-9.]*$')"
+cur_par="$(grep -o '"speedup_sharded4": *[0-9.]*' "$bench_dir/BENCH_parallel_speed.json" \
+  | grep -o '[0-9.]*$')"
+test -n "$base_par" && test -n "$cur_par" \
+  || { echo "parallel-speed ratio missing from bench or baseline"; exit 1; }
+awk -v c="$cur_par" -v b="$base_par" 'BEGIN { exit !(c >= 0.9 * b) }' \
+  || { echo "sharded-engine speedup regressed: $cur_par vs baseline $base_par (>10% slowdown)"; exit 1; }
+echo "sharded speedup_sharded4 $cur_par (baseline $base_par)"
+
+echo "==> kernel + engine equivalence suite (engines x kernels, byte-identical outputs)"
 cargo test --release -q -p rip-integration-tests --test kernel_equivalence \
-  || { echo "kernel equivalence suite failed"; exit 1; }
+  || { echo "kernel/engine equivalence suite failed"; exit 1; }
 
 echo "==> streaming soak smoke (bounded in-flight memory + live epoch determinism)"
 for d in soak_a soak_b; do
@@ -125,6 +146,21 @@ grep -q 'DegradedCapacity' "$bench_dir/soak_fault.log" \
 echo "==> checkpoint/resume smoke (SIGKILL mid-soak, byte-identical continuation)"
 target/release/ripsim soak configs/soak_ckpt.json \
   > "$bench_dir/ckpt_base.jsonl" 2> /dev/null
+# 2-shard soak smoke: the sharded engine must stream the byte-identical
+# JSONL the sequential baseline just produced.
+target/release/ripsim soak configs/soak_ckpt.json --threads 2 \
+  > "$bench_dir/ckpt_sharded.jsonl" 2> /dev/null \
+  || { echo "2-shard soak smoke exited nonzero"; exit 1; }
+cmp "$bench_dir/ckpt_sharded.jsonl" "$bench_dir/ckpt_base.jsonl" \
+  || { echo "2-shard soak stream is not byte-identical to the sequential one"; exit 1; }
+# Checkpointing under the sharded engine must be refused with the typed
+# error — never a silently wrong resume.
+if target/release/ripsim soak configs/soak_ckpt.json --threads 2 --checkpoint-every 25 \
+     > /dev/null 2> "$bench_dir/ckpt_sharded_reject.log"; then
+  echo "sharded checkpointed soak unexpectedly exited zero"; exit 1
+fi
+grep -q 'requires the sequential engine' "$bench_dir/ckpt_sharded_reject.log" \
+  || { echo "sharded checkpoint produced no typed rejection"; exit 1; }
 snap="$bench_dir/soak.snapshot"
 target/release/ripsim soak configs/soak_ckpt.json \
   --checkpoint-every 25 --checkpoint-path "$snap" \

@@ -7,20 +7,23 @@ use std::collections::{HashSet, VecDeque};
 use rip_hbm::{HbmCommandKind, HbmGroup, PfiController};
 use rip_sim::snapshot::SnapshotError;
 use rip_sim::stats::Histogram;
-use rip_sim::{EventQueue, Feeder, QueueKind, Series, TraceLog, VecPool};
+use rip_sim::{
+    EventQueue, EventSink, Feeder, QueueKind, Series, ShardedEventQueue, TraceLog, VecPool,
+};
 use rip_telemetry::{
     EpochClock, MetricsRegistry, Snapshot, SpanEvent, TelemetrySink, TraceRecorder, TraceWindow,
     PID_FRAMES, PID_HBM,
 };
-use rip_traffic::{Packet, PacketSource, ReplaySource, StatefulSource};
+use rip_traffic::{MergedSource, Packet, PacketSource, ReplaySource, StatefulSource};
 use rip_units::{DataRate, DataSize, SimTime, TimeDelta};
 use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::batch::{Batch, BatchAssembler, Chunk};
-use crate::config::RouterConfig;
+use crate::config::{EngineKind, RouterConfig};
 use crate::error::ConfigError;
 use crate::output::{OutputPort, PacketDeparture};
 use crate::resilience::{FaultAction, FaultEvent, FaultKind, FaultPlan};
+use crate::shard_engine::{ArrivalFx, FlushFx, ShardEngine, ShardParams, ShardStream, ShardTuning};
 use crate::sram::{Frame, HeadSram, TailSram};
 
 /// Observable milestones recorded by the optional switch trace
@@ -521,6 +524,30 @@ pub struct HbmSwitch {
     /// chunk storage here when drained or dropped, so steady-state
     /// batch formation allocates nothing.
     chunk_pool: VecPool<Chunk>,
+    /// Sharded-engine mirror of each input's total VOQ occupancy,
+    /// replayed from boundary effects (the assemblers themselves live
+    /// on the shard workers). `None` outside a sharded run; the
+    /// shutdown check reads it in place of `self.assemblers`.
+    queued_mirror: Option<Vec<DataSize>>,
+}
+
+/// Routes the core's internally scheduled events onto the sharded
+/// queue: the strictly periodic `ReadTurn` stream feeds a monotone
+/// calendar lane, everything else the kernel wheel/heap. Sequence
+/// numbers are assigned globally either way, so the pop order is
+/// identical to the sequential engine's.
+struct LaneRouter<'a> {
+    q: &'a mut ShardedEventQueue<Ev>,
+    read_lane: usize,
+}
+
+impl EventSink<Ev> for LaneRouter<'_> {
+    fn schedule(&mut self, time: SimTime, event: Ev) {
+        match event {
+            Ev::ReadTurn => self.q.schedule_lane(self.read_lane, time, event),
+            ev => self.q.schedule(time, ev),
+        }
+    }
 }
 
 impl HbmSwitch {
@@ -592,6 +619,7 @@ impl HbmSwitch {
                 .collect(),
             batch_scratch: Vec::new(),
             chunk_pool: VecPool::default(),
+            queued_mirror: None,
             group,
             pfi,
             cfg,
@@ -945,7 +973,7 @@ impl HbmSwitch {
         self.cfg.hbm_peak().transfer_time(self.cfg.frame_size())
     }
 
-    fn send_batch(&mut self, q: &mut EventQueue<Ev>, now: SimTime, batch: Batch) {
+    fn send_batch(&mut self, q: &mut impl EventSink<Ev>, now: SimTime, batch: Batch) {
         let i = batch.input;
         let dt = self.batch_time();
         let t0 = now.max(self.input_xbar_free[i]);
@@ -1021,7 +1049,7 @@ impl HbmSwitch {
         self.last_roll = self.last_roll.max(now);
     }
 
-    fn on_fault(&mut self, q: &mut EventQueue<Ev>, now: SimTime, f: FaultEvent) {
+    fn on_fault(&mut self, q: &mut impl EventSink<Ev>, now: SimTime, f: FaultEvent) {
         if f.kind.is_photonic() {
             return; // front-end scope; applied by the SPS layer
         }
@@ -1082,7 +1110,12 @@ impl HbmSwitch {
     fn system_empty(&self) -> bool {
         self.arrivals_done
             && self.batches_in_flight == 0
-            && self.assemblers.iter().all(|a| a.total_queued().is_zero())
+            && match &self.queued_mirror {
+                // Sharded run: the assemblers live on the shard workers;
+                // the replayed occupancy mirror is the authority.
+                Some(m) => m.iter().all(|q| q.is_zero()),
+                None => self.assemblers.iter().all(|a| a.total_queued().is_zero()),
+            }
             && self.tail.occupancy().bytes.is_zero()
             && (0..self.cfg.ribbons).all(|o| {
                 self.pfi.frames_buffered(o) == 0
@@ -1092,7 +1125,7 @@ impl HbmSwitch {
             })
     }
 
-    fn handle(&mut self, q: &mut EventQueue<Ev>, now: SimTime, ev: Ev) {
+    fn handle(&mut self, q: &mut impl EventSink<Ev>, now: SimTime, ev: Ev) {
         match ev {
             Ev::Arrival(p) => self.on_arrival(q, now, p),
             Ev::ArrivalsDone => self.arrivals_done = true,
@@ -1133,7 +1166,7 @@ impl HbmSwitch {
         }
     }
 
-    fn on_arrival(&mut self, q: &mut EventQueue<Ev>, now: SimTime, p: Packet) {
+    fn on_arrival(&mut self, q: &mut impl EventSink<Ev>, now: SimTime, p: Packet) {
         self.offered_packets += 1;
         self.offered_bytes += p.size;
         self.first_arrival.get_or_insert(now);
@@ -1260,7 +1293,7 @@ impl HbmSwitch {
         }
     }
 
-    fn on_read_turn(&mut self, q: &mut EventQueue<Ev>, now: SimTime) {
+    fn on_read_turn(&mut self, q: &mut impl EventSink<Ev>, now: SimTime) {
         let o = self.read_cursor;
         self.read_cursor = (self.read_cursor + 1) % self.cfg.ribbons;
         let room = self.head.frames_buffered(o) + self.pending_to_head[o] < self.cfg.head_frames;
@@ -1343,7 +1376,7 @@ impl HbmSwitch {
         }
     }
 
-    fn on_drain(&mut self, q: &mut EventQueue<Ev>, now: SimTime, o: usize) {
+    fn on_drain(&mut self, q: &mut impl EventSink<Ev>, now: SimTime, o: usize) {
         match self.head.pop_batch(o) {
             Some(batch) => {
                 let payload = batch.payload();
@@ -1352,8 +1385,11 @@ impl HbmSwitch {
                     ct.frame_span(o, FRAME_LANE_DRAIN, "drain", now, end);
                 }
                 self.delivered_bytes += payload;
+                // Loss-free runs keep the drop set empty; skip the
+                // per-departure probe entirely then.
+                let check_drops = !self.dropped_ids.is_empty();
                 for d in deps {
-                    if self.dropped_ids.contains(&d.packet) {
+                    if check_drops && self.dropped_ids.contains(&d.packet) {
                         continue; // partially dropped packet: not delivered
                     }
                     self.delivered_packets += 1;
@@ -1507,6 +1543,293 @@ impl HbmSwitch {
         let pulled = feeder.pulled();
         drop(feeder);
         self.live_finish(pulled);
+    }
+
+    /// Run per-port packet sources through the engine selected by
+    /// [`RouterConfig`]'s `engine` field: [`EngineKind::Sequential`]
+    /// merges the ports and runs [`HbmSwitch::run_source`] (bit-for-bit
+    /// the classic path), [`EngineKind::Sharded`] partitions the ports
+    /// over worker threads running [`ShardEngine`]s and replays their
+    /// boundary effects in the serial core. Both engines produce
+    /// byte-identical reports, traces and telemetry for the same ports
+    /// and seed — the sequential engine is the differential oracle the
+    /// equivalence suite holds the sharded one to.
+    pub fn run_ports<S: PacketSource + Send>(
+        &mut self,
+        ports: Vec<S>,
+        horizon: SimTime,
+        plan: &FaultPlan,
+    ) {
+        self.run_ports_tuned(ports, horizon, plan, ShardTuning::default());
+    }
+
+    /// [`HbmSwitch::run_ports`] with explicit conservative-window
+    /// tuning for the sharded engine. Any tuning is byte-identical to
+    /// any other (the equivalence proptest randomizes it); the knobs
+    /// only trade messaging overhead against shard run-ahead. Ignored
+    /// by the sequential engine.
+    pub fn run_ports_tuned<S: PacketSource + Send>(
+        &mut self,
+        ports: Vec<S>,
+        horizon: SimTime,
+        plan: &FaultPlan,
+        tuning: ShardTuning,
+    ) {
+        match self.cfg.engine {
+            EngineKind::Sequential => self.run_source(MergedSource::new(ports), horizon, plan),
+            EngineKind::Sharded { shards } => {
+                self.run_sharded(ports, shards, horizon, plan, tuning.sanitized())
+            }
+        }
+    }
+
+    fn shard_params(&self, tuning: ShardTuning) -> ShardParams {
+        ShardParams {
+            ribbons: self.cfg.ribbons,
+            batch_size: self.cfg.batch_size(),
+            input_queue_limit: self.cfg.input_queue_limit,
+            batch_timeout_batches: self.cfg.batch_timeout_batches,
+            batch_time: self.batch_time(),
+            fibers: self.cfg.alpha(),
+            wavelengths: self.cfg.wavelengths,
+            window: self.cfg.hbm_timing.lookahead_bound() * tuning.window_mult,
+            block_events: tuning.block_events,
+        }
+    }
+
+    /// The sharded engine: partition the ports round-robin over worker
+    /// threads, each simulating its slice of the input stage ahead of
+    /// the core under conservative-window synchronization, and replay
+    /// their timestamped boundary effects in the exact global
+    /// `(time, seq)` order the sequential engine realizes.
+    fn run_sharded<S: PacketSource + Send>(
+        &mut self,
+        ports: Vec<S>,
+        shards: usize,
+        horizon: SimTime,
+        plan: &FaultPlan,
+        tuning: ShardTuning,
+    ) {
+        assert!(shards > 0, "EngineKind::validate admits only 1..=ribbons");
+        let shards = shards.min(ports.len().max(1));
+        let params = self.shard_params(tuning);
+        let mut buckets: Vec<Vec<S>> = (0..shards).map(|_| Vec::new()).collect();
+        for (i, s) in ports.into_iter().enumerate() {
+            buckets[i % shards].push(s);
+        }
+        crossbeam::thread::scope(|scope| {
+            let mut streams = Vec::with_capacity(shards);
+            for bucket in buckets {
+                let (tx, rx) = std::sync::mpsc::sync_channel(tuning.channel_blocks);
+                let engine = ShardEngine::new(params, bucket);
+                scope.spawn(move |_| engine.run(tx));
+                streams.push(ShardStream::new(rx));
+            }
+            self.run_sharded_core(streams, horizon, plan);
+        })
+        .expect("shard worker panicked");
+    }
+
+    /// The serial core of the sharded engine. Mirrors
+    /// [`HbmSwitch::run_source`] exactly — same loop structure, same
+    /// arrival-first tie rule, same feeder-progress accounting — except
+    /// arrivals come from the k-way merge of shard effect streams and
+    /// `Arrival`/`FlushTimeout` consequences are replayed from the
+    /// shard-computed effects instead of recomputed.
+    fn run_sharded_core(
+        &mut self,
+        mut streams: Vec<ShardStream>,
+        horizon: SimTime,
+        plan: &FaultPlan,
+    ) {
+        let n = self.cfg.ribbons;
+        let shards = streams.len();
+        // Lane layout: `0..n` per-input BatchAtTail calendars (each
+        // input's crossbar dispatch times are strictly increasing),
+        // `n` the flush calendar (fire = arm + constant), `n + 1` the
+        // strictly periodic read turns. Everything else (drains,
+        // frame-at-head, faults) keeps the kernel wheel/heap.
+        let read_lane = n + 1;
+        let mut q: ShardedEventQueue<Ev> = ShardedEventQueue::new(self.queue_kind, n + 2);
+        for ev in plan.events() {
+            if !ev.kind.is_photonic() {
+                q.schedule(ev.at, Ev::Fault(*ev));
+            }
+        }
+        q.schedule_lane(read_lane, SimTime::ZERO, Ev::ReadTurn);
+        self.queued_mirror = Some(vec![DataSize::ZERO; n]);
+        let mut dispatched: u64 = 0;
+        let mut pulled: u64;
+        loop {
+            let next = Self::peek_min_arrival(&mut streams);
+            if next.is_none() {
+                self.arrivals_done = true;
+            }
+            // Feeder-progress mirror: the sequential feeder holds one
+            // lookahead packet whenever the merged stream has more.
+            pulled = dispatched + u64::from(next.is_some());
+            let take_arrival = match (next.map(|(t, _)| t), q.peek_time()) {
+                (Some(a), Some(t)) => a <= t,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_arrival {
+                let (at, s) = next.expect("peeked");
+                if at > horizon {
+                    break;
+                }
+                self.live_flush_epochs(at, pulled);
+                let fx = streams[s].pop_arrival();
+                dispatched += 1;
+                self.apply_arrival(&mut q, at, fx);
+            } else {
+                let t = q.peek_time().expect("peeked");
+                if t > horizon {
+                    break;
+                }
+                self.live_flush_epochs(t, pulled);
+                let (now, ev) = q.pop().expect("peeked");
+                match ev {
+                    Ev::FlushTimeout { input, output } => {
+                        let fx = streams[input % shards]
+                            .next_flush()
+                            .expect("armed flush must have a boundary effect");
+                        assert!(
+                            fx.input == input && fx.output == output && fx.fire == now,
+                            "flush replay out of order: event ({input},{output})@{now} \
+                             vs effect ({},{})@{}",
+                            fx.input,
+                            fx.output,
+                            fx.fire
+                        );
+                        self.apply_flush(&mut q, fx);
+                    }
+                    ev => {
+                        let mut sink = LaneRouter {
+                            q: &mut q,
+                            read_lane,
+                        };
+                        self.handle(&mut sink, now, ev);
+                    }
+                }
+            }
+        }
+        self.roll_capacity(self.last_departure);
+        drop(streams);
+        self.queued_mirror = None;
+        self.live_finish(pulled);
+    }
+
+    /// The earliest undispatched arrival across the shard streams, by
+    /// the same strict `(arrival, input, id)` key [`MergedSource`]
+    /// merges with — a two-level merge under one total order yields the
+    /// sequential engine's global arrival order.
+    fn peek_min_arrival(streams: &mut [ShardStream]) -> Option<(SimTime, usize)> {
+        let mut best: Option<((SimTime, usize, u64), usize)> = None;
+        for (s, stream) in streams.iter_mut().enumerate() {
+            if let Some(fx) = stream.peek_arrival() {
+                let key = (fx.p.arrival, fx.p.input, fx.p.id);
+                if best.as_ref().is_none_or(|(b, _)| key < *b) {
+                    best = Some((key, s));
+                }
+            }
+        }
+        best.map(|((at, _, _), s)| (at, s))
+    }
+
+    /// Replay one arrival's boundary effect — statement-for-statement
+    /// the sequential `on_arrival`, with the assembler work replaced by
+    /// the shard's precomputed results and the drop classification
+    /// (fault vs congestion) applied here, where `active_faults` lives.
+    fn apply_arrival(&mut self, q: &mut ShardedEventQueue<Ev>, now: SimTime, fx: ArrivalFx) {
+        let ArrivalFx {
+            p,
+            admitted,
+            arm_flush,
+            batches,
+            queued_after,
+        } = fx;
+        self.offered_packets += 1;
+        self.offered_bytes += p.size;
+        self.first_arrival.get_or_insert(now);
+        if !admitted {
+            self.dropped_input += 1;
+            self.dropped_bytes += p.size;
+            self.dropped_ids.insert(p.id);
+            if self.active_faults > 0 {
+                self.dropped_packets_fault += 1;
+            } else {
+                self.dropped_packets_congestion += 1;
+            }
+            self.record(now, SwitchEvent::InputDrop { input: p.input });
+            if let Some(live) = self.live.as_mut() {
+                if live.samples_flow(&p.flow) {
+                    live.spans_emitted += 1;
+                    live.sink.on_span(
+                        LIVE_SOURCE,
+                        &SpanEvent {
+                            packet: p.id,
+                            stage: "input_drop",
+                            at: now,
+                            port: p.input,
+                        },
+                    );
+                }
+            }
+            return;
+        }
+        self.live_packets += 1;
+        self.peak_in_flight = self.peak_in_flight.max(self.live_packets);
+        if let Some(live) = self.live.as_mut() {
+            if live.samples_flow(&p.flow) {
+                live.sampled.insert(p.id);
+                live.spans_emitted += 1;
+                live.sink.on_span(
+                    LIVE_SOURCE,
+                    &SpanEvent {
+                        packet: p.id,
+                        stage: "arrival",
+                        at: now,
+                        port: p.input,
+                    },
+                );
+            }
+        }
+        if let Some(m) = self.queued_mirror.as_mut() {
+            m[p.input] = queued_after;
+        }
+        self.input_peak = self.input_peak.max(queued_after);
+        // Schedule order matches the sequential handler (flush timer
+        // before batch sends) so global sequence numbers line up.
+        if arm_flush {
+            let timeout = self.batch_time() * self.cfg.batch_timeout_batches;
+            q.schedule_lane(
+                self.cfg.ribbons,
+                now + timeout,
+                Ev::FlushTimeout {
+                    input: p.input,
+                    output: p.output,
+                },
+            );
+        }
+        for (at, b) in batches {
+            self.batches_in_flight += 1;
+            q.schedule_lane(p.input, at, Ev::BatchAtTail(b));
+        }
+    }
+
+    /// Replay one flush-timer effect — the sequential `FlushTimeout`
+    /// handler with the assembler flush replaced by the shard's result.
+    fn apply_flush(&mut self, q: &mut ShardedEventQueue<Ev>, fx: FlushFx) {
+        if let Some(m) = self.queued_mirror.as_mut() {
+            m[fx.input] = fx.queued_after;
+        }
+        if let Some((at, b)) = fx.batch {
+            self.padded_bytes += b.padding;
+            self.batches_in_flight += 1;
+            q.schedule_lane(fx.input, at, Ev::BatchAtTail(b));
+        }
     }
 
     /// Serialize the complete mid-run state (plus the pending event
@@ -2400,6 +2723,174 @@ mod tests {
             ra.departures.last().map(|d| (d.packet, d.time)),
             rb.departures.last().map(|d| (d.packet, d.time))
         );
+    }
+
+    /// Split an arrival-ordered trace into per-port lanes (re-merging
+    /// them by `(arrival, input, id)` reproduces the original order).
+    fn port_lanes(t: &[Packet], n: usize) -> Vec<Vec<Packet>> {
+        let mut lanes = vec![Vec::new(); n];
+        for p in t {
+            lanes[p.input].push(*p);
+        }
+        lanes
+    }
+
+    fn run_ports_report(mut cfg: RouterConfig, engine: EngineKind, t: &[Packet]) -> String {
+        cfg.engine = engine;
+        let lanes = port_lanes(t, cfg.ribbons);
+        let mut sw = HbmSwitch::new(cfg).unwrap();
+        sw.run_ports(
+            lanes.iter().map(|l| ReplaySource::new(l)).collect(),
+            horizon_us(400),
+            &FaultPlan::default(),
+        );
+        format!("{:?}", sw.into_report())
+    }
+
+    #[test]
+    fn sharded_engine_matches_sequential_byte_for_byte() {
+        let cfg = RouterConfig::small();
+        let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
+        let t = trace(0.8, &tm, horizon_us(80), 19);
+        let base = run_ports_report(cfg.clone(), EngineKind::Sequential, &t);
+        for shards in [1, 2, 4] {
+            let got = run_ports_report(cfg.clone(), EngineKind::Sharded { shards }, &t);
+            assert_eq!(got, base, "sharded({shards}) diverged from sequential");
+        }
+    }
+
+    #[test]
+    fn sharded_engine_matches_sequential_with_flush_heavy_low_load() {
+        // Low load exercises the flush-timer replay path heavily.
+        let cfg = RouterConfig::small();
+        let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
+        let t = trace(0.05, &tm, horizon_us(80), 9);
+        let base = run_ports_report(cfg.clone(), EngineKind::Sequential, &t);
+        for shards in [2, 4] {
+            let got = run_ports_report(cfg.clone(), EngineKind::Sharded { shards }, &t);
+            assert_eq!(got, base, "sharded({shards}) diverged at low load");
+        }
+    }
+
+    #[test]
+    fn sharded_engine_matches_sequential_under_drops_and_faults() {
+        // Tiny input limit forces input drops; the fault plan flips
+        // `active_faults` mid-run, so the core-side drop classification
+        // (fault vs congestion) must replay at the exact same events.
+        let mut cfg = RouterConfig::small();
+        cfg.input_queue_limit = rip_units::DataSize::from_kib(24);
+        let tm = TrafficMatrix::hotspot(cfg.ribbons, 1.0, 0, 0.6);
+        let t = trace(0.9, &tm, horizon_us(120), 5);
+        let plan = FaultPlan::new()
+            .inject(
+                SimTime::from_ns(20_000),
+                FaultKind::RefreshStorm {
+                    duration: TimeDelta::from_ns(40_000),
+                },
+            )
+            .inject(
+                SimTime::from_ns(30_000),
+                FaultKind::HbmChannelDown { channel: 1 },
+            )
+            .recover(
+                SimTime::from_ns(70_000),
+                FaultKind::HbmChannelDown { channel: 1 },
+            );
+        let lanes = port_lanes(&t, cfg.ribbons);
+        let run = |engine: EngineKind| {
+            let mut c = cfg.clone();
+            c.engine = engine;
+            let mut sw = HbmSwitch::new(c).unwrap();
+            sw.enable_trace(100_000);
+            sw.run_ports(
+                lanes.iter().map(|l| ReplaySource::new(l)).collect(),
+                horizon_us(400),
+                &plan,
+            );
+            let events = format!(
+                "{:?}",
+                sw.trace().expect("tracing on").events().collect::<Vec<_>>()
+            );
+            (format!("{:?}", sw.into_report()), events)
+        };
+        let (base_report, base_events) = run(EngineKind::Sequential);
+        assert!(base_report.contains("dropped_input"), "sanity");
+        for shards in [2, 4] {
+            let (report, events) = run(EngineKind::Sharded { shards });
+            assert_eq!(report, base_report, "sharded({shards}) report diverged");
+            assert_eq!(events, base_events, "sharded({shards}) trace diverged");
+        }
+    }
+
+    #[test]
+    fn sharded_engine_streams_identical_live_telemetry() {
+        let cfg = RouterConfig::small();
+        let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
+        let t = trace(0.8, &tm, horizon_us(60), 42);
+        let lanes = port_lanes(&t, cfg.ribbons);
+        let run = |engine: EngineKind| {
+            let mut c = cfg.clone();
+            c.engine = engine;
+            let staged = rip_telemetry::SharedSink::new();
+            let mut sw = HbmSwitch::new(c).unwrap();
+            sw.enable_live_telemetry(TimeDelta::from_ns(2_000), 64, Box::new(staged.clone()));
+            sw.run_ports(
+                lanes.iter().map(|l| ReplaySource::new(l)).collect(),
+                horizon_us(300),
+                &FaultPlan::default(),
+            );
+            (format!("{:?}", sw.into_report()), staged.take())
+        };
+        let (base_report, base_records) = run(EngineKind::Sequential);
+        for shards in [2, 4] {
+            let (report, records) = run(EngineKind::Sharded { shards });
+            assert_eq!(report, base_report, "sharded({shards}) report diverged");
+            assert_eq!(
+                records.records(),
+                base_records.records(),
+                "sharded({shards}) live stream diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn window_tuning_never_changes_the_answer() {
+        let cfg = RouterConfig::small();
+        let tm = TrafficMatrix::uniform(cfg.ribbons, 1.0);
+        let t = trace(0.6, &tm, horizon_us(40), 21);
+        let lanes = port_lanes(&t, cfg.ribbons);
+        let run = |tuning: ShardTuning| {
+            let mut c = cfg.clone();
+            c.engine = EngineKind::Sharded { shards: 2 };
+            let mut sw = HbmSwitch::new(c).unwrap();
+            sw.run_ports_tuned(
+                lanes.iter().map(|l| ReplaySource::new(l)).collect(),
+                horizon_us(200),
+                &FaultPlan::default(),
+                tuning,
+            );
+            format!("{:?}", sw.into_report())
+        };
+        let base = run(ShardTuning::default());
+        for tuning in [
+            ShardTuning {
+                block_events: 1,
+                window_mult: 1,
+                channel_blocks: 1,
+            },
+            ShardTuning {
+                block_events: 7,
+                window_mult: 3,
+                channel_blocks: 2,
+            },
+            ShardTuning {
+                block_events: 4096,
+                window_mult: 100_000,
+                channel_blocks: 16,
+            },
+        ] {
+            assert_eq!(run(tuning), base, "{tuning:?} changed the report");
+        }
     }
 
     const CKPT_PERIOD: TimeDelta = TimeDelta::from_ns(2_000);

@@ -1,0 +1,497 @@
+//! Shard-side input engines for the conservative-window parallel DES
+//! ([`HbmSwitch`](crate::HbmSwitch) with
+//! [`EngineKind::Sharded`](crate::EngineKind::Sharded)).
+//!
+//! The switch's dataflow is unidirectional through the input stage:
+//! per-port sources, the per-input [`BatchAssembler`] VOQs, the flush
+//! timers and the input-crossbar serialization frontier receive no
+//! feedback from the SRAM/HBM core. A [`ShardEngine`] therefore owns a
+//! partition of the input ports and simulates that whole stage ahead of
+//! the core on a worker thread, emitting every externally visible
+//! consequence as a timestamped boundary message ([`ShardFx`]). The
+//! serial core replays those messages at the exact `(time, seq)` points
+//! the sequential engine would have produced them, so reports, event
+//! traces and live telemetry are byte-identical to
+//! [`EngineKind::Sequential`](crate::EngineKind::Sequential) — the
+//! kernel-equivalence suite enforces this for every shipped config.
+//!
+//! The one apparent feedback edge — the fault-vs-congestion
+//! classification of an input drop reads the core's `active_faults`
+//! counter — is split: the shard decides only *drop-vs-admit* (a pure
+//! function of its own assembler occupancy against the input queue
+//! limit), and the core classifies the drop at replay time.
+//!
+//! Effects travel in blocks over a bounded channel. The block
+//! granularity is set by the HBM command lookahead bound
+//! ([`HbmTiming::lookahead_bound`](rip_hbm::HbmTiming::lookahead_bound)):
+//! a shard closes a block once it spans one conservative window (or
+//! hits the event cap) and ships it, and the bounded channel throttles
+//! how far any shard may run ahead of the core. Safety never depends on
+//! the window length — any [`ShardTuning`] yields byte-identical output
+//! (the equivalence proptest randomizes it); the window only trades
+//! messaging overhead against shard run-ahead.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{Receiver, SyncSender};
+
+use rip_sim::VecPool;
+use rip_traffic::hash::{fiber_wavelength_for, HashKind};
+use rip_traffic::{FlowKey, MergedSource, Packet, PacketSource};
+use rip_units::{DataSize, SimTime, TimeDelta};
+
+use crate::batch::{Batch, BatchAssembler, Chunk};
+
+/// Window/block tuning for the sharded engine. Every setting is
+/// byte-identical to every other (and to the sequential engine) — the
+/// knobs only trade cross-thread messaging against shard run-ahead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardTuning {
+    /// Ship a block once it holds this many boundary effects.
+    pub block_events: usize,
+    /// Ship a block once it spans this many HBM lookahead bounds of
+    /// sim time (the conservative window).
+    pub window_mult: u64,
+    /// Bounded-channel depth in blocks; the backpressure horizon that
+    /// caps how far a shard runs ahead of the core.
+    pub channel_blocks: usize,
+}
+
+impl Default for ShardTuning {
+    fn default() -> Self {
+        ShardTuning {
+            block_events: 256,
+            window_mult: 64,
+            channel_blocks: 4,
+        }
+    }
+}
+
+impl ShardTuning {
+    /// Clamp degenerate values (zero caps would never ship a block).
+    pub(crate) fn sanitized(self) -> Self {
+        ShardTuning {
+            block_events: self.block_events.max(1),
+            window_mult: self.window_mult.max(1),
+            channel_blocks: self.channel_blocks.max(1),
+        }
+    }
+}
+
+/// Everything a shard needs from the router configuration, extracted so
+/// the worker thread borrows nothing from the switch.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ShardParams {
+    pub ribbons: usize,
+    pub batch_size: DataSize,
+    pub input_queue_limit: DataSize,
+    pub batch_timeout_batches: u64,
+    pub batch_time: TimeDelta,
+    /// Egress fibers per ribbon (for the ingress ECMP lane memo).
+    pub fibers: usize,
+    pub wavelengths: usize,
+    /// Sim-time span after which a block is shipped.
+    pub window: TimeDelta,
+    pub block_events: usize,
+}
+
+/// One timestamped boundary message from a shard to the core.
+#[derive(Debug)]
+pub(crate) enum ShardFx {
+    Arrival(ArrivalFx),
+    Flush(FlushFx),
+}
+
+/// Everything the core must replay for one packet arrival.
+#[derive(Debug)]
+pub(crate) struct ArrivalFx {
+    pub p: Packet,
+    /// False: the input VOQ group was over the queue limit — the core
+    /// records the drop (classifying fault-vs-congestion itself).
+    pub admitted: bool,
+    /// The arrival armed the `(input, output)` flush timer; the core
+    /// schedules the `FlushTimeout` event so the global event order
+    /// matches the sequential engine's.
+    pub arm_flush: bool,
+    /// Completed batches with their precomputed `BatchAtTail` dispatch
+    /// times (the shard owns the input-crossbar frontier).
+    pub batches: Vec<(SimTime, Batch)>,
+    /// The input's total VOQ occupancy after this arrival (for the
+    /// core's `input_peak` stat and shutdown check).
+    pub queued_after: DataSize,
+}
+
+/// Everything the core must replay when a flush timer fires.
+#[derive(Debug)]
+pub(crate) struct FlushFx {
+    pub input: usize,
+    pub output: usize,
+    /// Fire time; asserted against the popped `FlushTimeout` event.
+    pub fire: SimTime,
+    /// The padded batch (if the VOQ was non-empty) with its precomputed
+    /// `BatchAtTail` dispatch time.
+    pub batch: Option<(SimTime, Batch)>,
+    pub queued_after: DataSize,
+}
+
+impl ShardFx {
+    fn at(&self) -> SimTime {
+        match self {
+            ShardFx::Arrival(a) => a.p.arrival,
+            ShardFx::Flush(f) => f.fire,
+        }
+    }
+}
+
+/// The input-stage simulator for one partition of the ports. Runs on a
+/// worker thread; its only output is the ordered [`ShardFx`] stream.
+pub(crate) struct ShardEngine<S> {
+    merged: MergedSource<S>,
+    /// One-packet lookahead over the merged partition.
+    pending: Option<Packet>,
+    source_done: bool,
+    /// Indexed by global input port; only this shard's ports are used.
+    assemblers: Vec<BatchAssembler>,
+    xbar_free: Vec<SimTime>,
+    flush_pending: Vec<Vec<bool>>,
+    /// Armed flush timers as `(fire, input, output)`. Fire = arm time +
+    /// a constant timeout and arms happen in dispatch order, so fires
+    /// are non-decreasing and a FIFO stays sorted.
+    armed: VecDeque<(SimTime, usize, usize)>,
+    /// Ingress ECMP lane memo: flow → pre-hashed egress lane. Real
+    /// routers resolve the ECMP/LAG lane once at ingress lookup; the
+    /// memo makes the (identical) hash a per-flow rather than per-chunk
+    /// cost. See [`Chunk::lane`].
+    lane_memo: HashMap<FlowKey, u32>,
+    pool: VecPool<Chunk>,
+    scratch: Vec<Batch>,
+    params: ShardParams,
+}
+
+impl<S: PacketSource> ShardEngine<S> {
+    pub(crate) fn new(params: ShardParams, ports: Vec<S>) -> Self {
+        let n = params.ribbons;
+        ShardEngine {
+            merged: MergedSource::new(ports),
+            pending: None,
+            source_done: false,
+            assemblers: (0..n)
+                .map(|i| BatchAssembler::new(i, n, params.batch_size))
+                .collect(),
+            xbar_free: vec![SimTime::ZERO; n],
+            flush_pending: vec![vec![false; n]; n],
+            armed: VecDeque::new(),
+            lane_memo: HashMap::new(),
+            pool: VecPool::default(),
+            scratch: Vec::new(),
+            params,
+        }
+    }
+
+    /// Simulate the partition to exhaustion, shipping effect blocks.
+    /// Returns early (discarding the rest) once the core hangs up —
+    /// that is how a horizon break on the core side stops the workers.
+    pub(crate) fn run(mut self, tx: SyncSender<Vec<ShardFx>>) {
+        let mut block: Vec<ShardFx> = Vec::with_capacity(self.params.block_events);
+        let mut block_start = SimTime::ZERO;
+        loop {
+            if self.pending.is_none() && !self.source_done {
+                match self.merged.next_packet() {
+                    Some(p) => self.pending = Some(p),
+                    None => self.source_done = true,
+                }
+            }
+            let next_arrival = self.pending.as_ref().map(|p| p.arrival);
+            let next_fire = self.armed.front().map(|&(f, _, _)| f);
+            // Same tie rule as the global loop: arrivals dispatch first
+            // at equal times.
+            let fx = match (next_arrival, next_fire) {
+                (None, None) => break,
+                (Some(a), f) if f.is_none_or(|f| a <= f) => {
+                    let p = self.pending.take().expect("peeked");
+                    ShardFx::Arrival(self.dispatch_arrival(p))
+                }
+                _ => {
+                    let (fire, i, o) = self.armed.pop_front().expect("peeked");
+                    ShardFx::Flush(self.dispatch_flush(fire, i, o))
+                }
+            };
+            let at = fx.at();
+            if block.is_empty() {
+                block_start = at;
+            }
+            block.push(fx);
+            let ship = block.len() >= self.params.block_events
+                || at.saturating_since(block_start) >= self.params.window;
+            if ship && tx.send(std::mem::take(&mut block)).is_err() {
+                return;
+            }
+        }
+        if !block.is_empty() {
+            let _ = tx.send(block);
+        }
+    }
+
+    /// Mirror of the sequential `on_arrival` restricted to shard-owned
+    /// state, with every core-visible consequence captured in the
+    /// returned effect.
+    fn dispatch_arrival(&mut self, p: Packet) -> ArrivalFx {
+        let now = p.arrival;
+        let i = p.input;
+        if self.assemblers[i].total_queued() + p.size > self.params.input_queue_limit {
+            return ArrivalFx {
+                queued_after: self.assemblers[i].total_queued(),
+                p,
+                admitted: false,
+                arm_flush: false,
+                batches: Vec::new(),
+            };
+        }
+        let was_empty = self.assemblers[i].queued(p.output).is_zero();
+        let lane = self.lane_for(p.flow);
+        let mut batches = std::mem::take(&mut self.scratch);
+        debug_assert!(batches.is_empty());
+        self.assemblers[i].push_tagged(&p, lane, &mut self.pool, &mut batches);
+        let queued_after = self.assemblers[i].total_queued();
+        let arm_flush = was_empty
+            && self.params.batch_timeout_batches > 0
+            && !self.assemblers[i].queued(p.output).is_zero()
+            && !self.flush_pending[i][p.output];
+        if arm_flush {
+            self.flush_pending[i][p.output] = true;
+            let fire = now + self.params.batch_time * self.params.batch_timeout_batches;
+            self.armed.push_back((fire, i, p.output));
+        }
+        let timed: Vec<(SimTime, Batch)> = batches
+            .drain(..)
+            .map(|b| (self.send_time(i, now), b))
+            .collect();
+        self.scratch = batches;
+        ArrivalFx {
+            p,
+            admitted: true,
+            arm_flush,
+            batches: timed,
+            queued_after,
+        }
+    }
+
+    /// Mirror of the sequential `FlushTimeout` handler.
+    fn dispatch_flush(&mut self, fire: SimTime, i: usize, o: usize) -> FlushFx {
+        self.flush_pending[i][o] = false;
+        let batch = if !self.assemblers[i].queued(o).is_zero() {
+            self.assemblers[i]
+                .flush_with(o, &mut self.pool)
+                .map(|b| (self.send_time(i, fire), b))
+        } else {
+            None
+        };
+        FlushFx {
+            input: i,
+            output: o,
+            fire,
+            batch,
+            queued_after: self.assemblers[i].total_queued(),
+        }
+    }
+
+    /// The `BatchAtTail` dispatch time of one batch sent from input `i`
+    /// at `now` — the shard-owned copy of `send_batch`'s crossbar
+    /// serialization frontier.
+    fn send_time(&mut self, i: usize, now: SimTime) -> SimTime {
+        let dt = self.params.batch_time;
+        let t0 = now.max(self.xbar_free[i]);
+        self.xbar_free[i] = t0 + dt;
+        t0 + dt + dt
+    }
+
+    fn lane_for(&mut self, flow: FlowKey) -> u32 {
+        let params = &self.params;
+        *self.lane_memo.entry(flow).or_insert_with(|| {
+            let (fiber, wavelength) =
+                fiber_wavelength_for(flow, params.fibers, params.wavelengths, HashKind::Crc32c);
+            (fiber * params.wavelengths + wavelength) as u32
+        })
+    }
+}
+
+/// Core-side view of one shard's effect stream: demultiplexes arrivals
+/// (consumed in merged `(arrival, input, id)` order) from flush effects
+/// (consumed in shard emission order when the matching `FlushTimeout`
+/// event pops).
+pub(crate) struct ShardStream {
+    rx: Receiver<Vec<ShardFx>>,
+    arrivals: VecDeque<ArrivalFx>,
+    flushes: VecDeque<FlushFx>,
+    open: bool,
+}
+
+impl ShardStream {
+    pub(crate) fn new(rx: Receiver<Vec<ShardFx>>) -> Self {
+        ShardStream {
+            rx,
+            arrivals: VecDeque::new(),
+            flushes: VecDeque::new(),
+            open: true,
+        }
+    }
+
+    fn pull_block(&mut self) {
+        match self.rx.recv() {
+            Ok(block) => {
+                for fx in block {
+                    match fx {
+                        ShardFx::Arrival(a) => self.arrivals.push_back(a),
+                        ShardFx::Flush(f) => self.flushes.push_back(f),
+                    }
+                }
+            }
+            Err(_) => self.open = false,
+        }
+    }
+
+    /// The shard's next undispatched arrival, blocking on the worker if
+    /// its current window has not shipped yet. `None` once the shard is
+    /// done and every arrival was consumed.
+    pub(crate) fn peek_arrival(&mut self) -> Option<&ArrivalFx> {
+        while self.arrivals.is_empty() && self.open {
+            self.pull_block();
+        }
+        self.arrivals.front()
+    }
+
+    pub(crate) fn pop_arrival(&mut self) -> ArrivalFx {
+        self.arrivals.pop_front().expect("peek_arrival first")
+    }
+
+    /// The shard's next flush effect. The caller holds a popped
+    /// `FlushTimeout{input, output}` at time `f`, so every shard
+    /// arrival `<= f` was already consumed (the arrival-first tie rule
+    /// runs on both sides) and the effect is buffered or next in the
+    /// stream — this never blocks past the shard's current window.
+    pub(crate) fn next_flush(&mut self) -> Option<FlushFx> {
+        while self.flushes.is_empty() && self.open {
+            self.pull_block();
+        }
+        self.flushes.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rip_traffic::ReplaySource;
+    use rip_units::DataRate;
+
+    fn params() -> ShardParams {
+        ShardParams {
+            ribbons: 4,
+            batch_size: DataSize::from_kib(4),
+            input_queue_limit: DataSize::from_kib(64),
+            batch_timeout_batches: 4,
+            batch_time: DataRate::from_gbps(640).transfer_time(DataSize::from_kib(4)),
+            fibers: 4,
+            wavelengths: 4,
+            window: TimeDelta::from_ns(640),
+            block_events: 8,
+        }
+    }
+
+    fn pkt(id: u64, input: usize, output: usize, bytes: u64, at_ns: u64) -> Packet {
+        Packet::new(
+            id,
+            input,
+            output,
+            DataSize::from_bytes(bytes),
+            SimTime::from_ns(at_ns),
+        )
+    }
+
+    /// Effects arrive in non-decreasing time order, arrivals-first on
+    /// ties, with flush effects for armed timers exactly once.
+    #[test]
+    fn effect_stream_is_time_ordered_and_complete() {
+        let trace = vec![
+            pkt(1, 0, 1, 1500, 0),
+            pkt(2, 0, 1, 9000, 10),
+            pkt(3, 2, 3, 400, 20),
+        ];
+        let engine = ShardEngine::new(params(), vec![ReplaySource::new(&trace)]);
+        let (tx, rx) = std::sync::mpsc::sync_channel(16);
+        engine.run(tx);
+        let mut all = Vec::new();
+        while let Ok(block) = rx.recv() {
+            all.extend(block);
+        }
+        let mut last = SimTime::ZERO;
+        let mut arrivals = 0;
+        let mut arms = 0;
+        let mut fires = 0;
+        for fx in &all {
+            assert!(fx.at() >= last, "stream must be time-ordered");
+            last = fx.at();
+            match fx {
+                ShardFx::Arrival(a) => {
+                    arrivals += 1;
+                    assert!(a.admitted);
+                    if a.arm_flush {
+                        arms += 1;
+                    }
+                }
+                ShardFx::Flush(_) => fires += 1,
+            }
+        }
+        assert_eq!(arrivals, 3);
+        assert_eq!(arms, fires, "every armed timer fires exactly once");
+        assert!(fires >= 1, "partial batches must flush");
+    }
+
+    /// The jumbo packet (9000 B > two 4 KiB batches) yields batches with
+    /// strictly increasing dispatch times on the shared input crossbar.
+    #[test]
+    fn batch_dispatch_times_respect_the_crossbar_frontier() {
+        let trace = vec![pkt(1, 0, 1, 9000, 0)];
+        let engine = ShardEngine::new(params(), vec![ReplaySource::new(&trace)]);
+        let (tx, rx) = std::sync::mpsc::sync_channel(16);
+        engine.run(tx);
+        let mut times = Vec::new();
+        while let Ok(block) = rx.recv() {
+            for fx in block {
+                match fx {
+                    ShardFx::Arrival(a) => times.extend(a.batches.iter().map(|&(t, _)| t)),
+                    ShardFx::Flush(f) => times.extend(f.batch.iter().map(|&(t, _)| t)),
+                }
+            }
+        }
+        assert!(times.len() >= 2, "jumbo must form at least two batches");
+        for w in times.windows(2) {
+            assert!(w[1] > w[0], "crossbar serializes batches per input");
+        }
+    }
+
+    /// Over-limit arrivals are reported, not admitted, and leave the
+    /// assembler untouched.
+    #[test]
+    fn over_limit_arrival_is_reported_as_a_drop_decision() {
+        let mut p = params();
+        p.input_queue_limit = DataSize::from_bytes(2000);
+        let trace = vec![pkt(1, 0, 1, 1500, 0), pkt(2, 0, 1, 1500, 1)];
+        let engine = ShardEngine::new(p, vec![ReplaySource::new(&trace)]);
+        let (tx, rx) = std::sync::mpsc::sync_channel(16);
+        engine.run(tx);
+        let mut decisions = Vec::new();
+        while let Ok(block) = rx.recv() {
+            for fx in block {
+                if let ShardFx::Arrival(a) = fx {
+                    decisions.push((a.p.id, a.admitted, a.queued_after));
+                }
+            }
+        }
+        assert_eq!(decisions.len(), 2);
+        assert!(decisions[0].1, "first packet fits");
+        assert!(!decisions[1].1, "second exceeds the limit");
+        assert_eq!(
+            decisions[1].2, decisions[0].2,
+            "a dropped packet leaves occupancy unchanged"
+        );
+    }
+}

@@ -63,5 +63,5 @@ pub mod stats;
 
 pub use arena::VecPool;
 pub use feeder::Feeder;
-pub use queue::{EventQueue, QueueKind, Simulation};
+pub use queue::{EventQueue, EventSink, QueueKind, ShardedEventQueue, Simulation};
 pub use series::{Series, TraceLog};

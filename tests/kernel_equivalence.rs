@@ -1,17 +1,20 @@
-//! Kernel-equivalence differential suite.
+//! Kernel- and engine-equivalence differential suite.
 //!
 //! The timing-wheel event kernel must be observably indistinguishable
 //! from the binary-heap oracle it replaced: for every shipped config in
 //! `configs/*.json`, a same-seed run under each kernel must produce a
 //! byte-identical serialized final report AND a byte-identical JSONL
-//! live-telemetry stream. Horizons are capped so the suite stays fast
-//! in debug builds — the kernels dispatch identical event sequences
-//! from the first pop, so a capped run that diverges would diverge at
-//! full length too.
+//! live-telemetry stream. The same contract binds the sharded engine to
+//! the sequential oracle: every config runs under every
+//! `{Sequential, Sharded(2), Sharded(4)}` × `{wheel, heap}` pairing,
+//! and a proptest randomizes shard count and conservative-window tuning
+//! on top. Horizons are capped so the suite stays fast in debug builds
+//! — the engines dispatch identical event sequences from the first pop,
+//! so a capped run that diverges would diverge at full length too.
 
 use std::path::PathBuf;
 
-use rip_core::{FaultPlan, HbmSwitch, RouterConfig};
+use rip_core::{EngineKind, FaultPlan, HbmSwitch, RouterConfig, ShardTuning};
 use rip_sim::QueueKind;
 use rip_telemetry::{JsonlSink, SharedSink};
 use rip_traffic::{
@@ -66,7 +69,7 @@ struct SimSpec {
     epoch_ps: Option<u64>,
 }
 
-fn build_source(spec: &SimSpec, horizon: SimTime) -> MergedSource<BoundedSource<PacketGenerator>> {
+fn build_lanes(spec: &SimSpec, horizon: SimTime) -> Vec<BoundedSource<PacketGenerator>> {
     let n = spec.router.ribbons;
     let tm = match spec.matrix {
         MatrixSpec::Uniform => TrafficMatrix::uniform(n, 1.0),
@@ -107,7 +110,11 @@ fn build_source(spec: &SimSpec, horizon: SimTime) -> MergedSource<BoundedSource<
             BoundedSource::new(g, horizon)
         })
         .collect();
-    MergedSource::new(lanes)
+    lanes
+}
+
+fn build_source(spec: &SimSpec, horizon: SimTime) -> MergedSource<BoundedSource<PacketGenerator>> {
+    MergedSource::new(build_lanes(spec, horizon))
 }
 
 /// Live-telemetry epoch period for a config: its own `epoch_ps`, or a
@@ -126,6 +133,39 @@ fn run_kernel(spec: &SimSpec, kind: QueueKind, horizon: SimTime) -> (String, Vec
     sw.set_queue_kind(kind);
     sw.enable_live_telemetry(epoch_period(spec), 64, Box::new(staged.clone()));
     sw.run_source(build_source(spec, horizon), deadline, &FaultPlan::default());
+    let report = serde_json::to_string(&sw.into_report()).expect("report serializes");
+    let mut jsonl: Vec<u8> = Vec::new();
+    {
+        let mut sink = JsonlSink::new(&mut jsonl);
+        staged.take().replay_into(&mut sink);
+    }
+    (report, jsonl)
+}
+
+/// Run `spec` to completion under an explicit engine selection (and
+/// shard tuning) and return the same observables as [`run_kernel`].
+/// The engine in the config file itself is overridden so the matrix
+/// below controls exactly what runs.
+fn run_engine(
+    spec: &SimSpec,
+    kind: QueueKind,
+    engine: EngineKind,
+    tuning: ShardTuning,
+    horizon: SimTime,
+) -> (String, Vec<u8>) {
+    let deadline = SimTime::from_ps(horizon.as_ps() * (1 + spec.drain_factor));
+    let staged = SharedSink::new();
+    let mut cfg = spec.router.clone();
+    cfg.engine = engine;
+    let mut sw = HbmSwitch::new(cfg).expect("shipped config is valid");
+    sw.set_queue_kind(kind);
+    sw.enable_live_telemetry(epoch_period(spec), 64, Box::new(staged.clone()));
+    sw.run_ports_tuned(
+        build_lanes(spec, horizon),
+        deadline,
+        &FaultPlan::default(),
+        tuning,
+    );
     let report = serde_json::to_string(&sw.into_report()).expect("report serializes");
     let mut jsonl: Vec<u8> = Vec::new();
     {
@@ -195,6 +235,106 @@ fn wheel_and_heap_kernels_agree_on_every_shipped_config() {
             wheel_report.contains("\"offered_packets\":")
                 && !wheel_report.contains("\"offered_packets\":0,"),
             "{name}: run offered no packets"
+        );
+    }
+}
+
+#[test]
+fn every_engine_and_kernel_agrees_on_every_shipped_config() {
+    // The full matrix: {Sequential, Sharded(2), Sharded(4)} x
+    // {wheel, heap}, every shipped config, byte-identical reports and
+    // JSONL streams against the sequential/wheel baseline.
+    let engines = [
+        EngineKind::Sequential,
+        EngineKind::Sharded { shards: 2 },
+        EngineKind::Sharded { shards: 4 },
+    ];
+    let kinds = [QueueKind::TimingWheel, QueueKind::BinaryHeap];
+    for (name, spec) in &shipped_configs() {
+        let horizon = SimTime::from_ns(spec.horizon_us.min(HORIZON_CAP_US) * 1000);
+        let (base_report, base_jsonl) = run_engine(
+            spec,
+            QueueKind::TimingWheel,
+            EngineKind::Sequential,
+            ShardTuning::default(),
+            horizon,
+        );
+        assert!(!base_jsonl.is_empty(), "{name}: comparison was vacuous");
+        for engine in engines {
+            for kind in kinds {
+                if engine == EngineKind::Sequential && kind == QueueKind::TimingWheel {
+                    continue; // that's the baseline itself
+                }
+                let (report, jsonl) =
+                    run_engine(spec, kind, engine, ShardTuning::default(), horizon);
+                assert_eq!(
+                    report, base_report,
+                    "{name}: {engine:?}/{kind:?} report diverged from Sequential/TimingWheel"
+                );
+                assert_eq!(
+                    jsonl, base_jsonl,
+                    "{name}: {engine:?}/{kind:?} JSONL stream diverged from Sequential/TimingWheel"
+                );
+            }
+        }
+    }
+}
+
+/// Proptest horizon: shorter than the matrix's — 8 random pairings
+/// against a cached oracle still need to stay cheap in debug builds.
+const PROPTEST_HORIZON_US: u64 = 10;
+
+/// The proptest's cached sequential-oracle run (spec + observables),
+/// computed once across cases.
+fn proptest_oracle() -> &'static (String, SimSpec, (String, Vec<u8>)) {
+    use std::sync::OnceLock;
+    static ORACLE: OnceLock<(String, SimSpec, (String, Vec<u8>))> = OnceLock::new();
+    ORACLE.get_or_init(|| {
+        let (name, spec) = shipped_configs().remove(0);
+        let horizon = SimTime::from_ns(spec.horizon_us.min(PROPTEST_HORIZON_US) * 1000);
+        let base = run_engine(
+            &spec,
+            QueueKind::TimingWheel,
+            EngineKind::Sequential,
+            ShardTuning::default(),
+            horizon,
+        );
+        (name, spec, base)
+    })
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::ProptestConfig::with_cases(8))]
+
+    /// Randomize the shard count AND every conservative-window knob:
+    /// none of them may change a single output byte — they only trade
+    /// cross-thread messaging against shard run-ahead.
+    #[test]
+    fn random_shard_counts_and_windows_match_the_sequential_oracle(
+        shards in 1usize..=4,
+        block_events in 1usize..=512,
+        window_mult in 1u64..=100_000,
+        channel_blocks in 1usize..=8,
+    ) {
+        let (name, spec, baseline) = proptest_oracle();
+        let horizon = SimTime::from_ns(spec.horizon_us.min(PROPTEST_HORIZON_US) * 1000);
+        let tuning = ShardTuning {
+            block_events,
+            window_mult,
+            channel_blocks,
+        };
+        let shards = shards.min(spec.router.ribbons);
+        let got = run_engine(
+            spec,
+            QueueKind::TimingWheel,
+            EngineKind::Sharded { shards },
+            tuning,
+            horizon,
+        );
+        proptest::prop_assert!(
+            &got == baseline,
+            "{}: Sharded({}) with {:?} diverged from the oracle",
+            name, shards, tuning
         );
     }
 }
