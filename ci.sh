@@ -32,8 +32,12 @@ bench_keys() {
 # parallel-speed also runs in full mode: it asserts byte-identical
 # reports across engines and its speedup ratio feeds the gate below.
 (cd "$bench_dir" && "$OLDPWD/target/release/repro" parallel-speed > /dev/null)
+# fleet asserts the collector's merged stream is byte-identical to the
+# single-process oracle across several worker partitionings.
+(cd "$bench_dir" && "$OLDPWD/target/release/repro" fleet --quick > /dev/null)
 for f in BENCH_sps_throughput.json BENCH_hbm_access.json BENCH_streaming_memory.json \
-         BENCH_telemetry_overhead.json BENCH_kernel_speed.json BENCH_parallel_speed.json; do
+         BENCH_telemetry_overhead.json BENCH_kernel_speed.json BENCH_parallel_speed.json \
+         BENCH_fleet_collector.json; do
   bench_keys "$bench_dir/$f" > "$bench_dir/$f.keys"
 done
 cat "$bench_dir"/BENCH_sps_throughput.json.keys "$bench_dir"/BENCH_hbm_access.json.keys \
@@ -41,6 +45,7 @@ cat "$bench_dir"/BENCH_sps_throughput.json.keys "$bench_dir"/BENCH_hbm_access.js
   "$bench_dir"/BENCH_telemetry_overhead.json.keys \
   "$bench_dir"/BENCH_kernel_speed.json.keys \
   "$bench_dir"/BENCH_parallel_speed.json.keys \
+  "$bench_dir"/BENCH_fleet_collector.json.keys \
   | sort -u > "$bench_dir/bench.keys"
 diff -u tests/bench_schema_expected.txt "$bench_dir/bench.keys" \
   || { echo "BENCH_*.json schema drifted from tests/bench_schema_expected.txt"; exit 1; }
@@ -192,5 +197,76 @@ if target/release/ripsim soak configs/soak_ckpt.json \
 fi
 grep -q 'truncated' "$bench_dir/ckpt_trunc.log" \
   || { echo "truncated snapshot produced no typed error"; exit 1; }
+
+echo "==> fleet collector smoke (2 plane workers over TCP, byte-identical merge)"
+target/release/ripsim collect configs/fleet_small.json --oracle \
+  > "$bench_dir/fleet_oracle.jsonl" 2> /dev/null \
+  || { echo "fleet oracle run failed"; exit 1; }
+target/release/ripsim collect configs/fleet_small.json \
+  --listen 127.0.0.1:0 --port-file "$bench_dir/fleet.port" \
+  --timeout-ms 60000 \
+  --metrics 127.0.0.1:0 --metrics-port-file "$bench_dir/fleet_metrics.port" \
+  --metrics-hold-ms 8000 \
+  > "$bench_dir/fleet_merged.jsonl" 2> "$bench_dir/fleet_collect.log" &
+collect_pid=$!
+for _ in $(seq 1 100); do
+  [ -s "$bench_dir/fleet.port" ] && break
+  sleep 0.1
+done
+test -s "$bench_dir/fleet.port" || { echo "collector never published its port"; exit 1; }
+fleet_port="$(tr -d '[:space:]' < "$bench_dir/fleet.port")"
+target/release/ripsim plane-worker configs/fleet_small.json \
+  --worker 0 --planes 0,2 --connect "127.0.0.1:$fleet_port" 2> /dev/null &
+w0_pid=$!
+target/release/ripsim plane-worker configs/fleet_small.json \
+  --worker 1 --planes 1,3 --connect "127.0.0.1:$fleet_port" 2> /dev/null &
+w1_pid=$!
+wait "$w0_pid" || { echo "plane worker 0 exited nonzero"; exit 1; }
+wait "$w1_pid" || { echo "plane worker 1 exited nonzero"; exit 1; }
+# Scrape the fleet endpoint while the collector holds it open: the
+# merged families must carry per-plane source labels and the
+# ripsim_build_info / uptime preamble.
+for _ in $(seq 1 100); do
+  [ -s "$bench_dir/fleet_metrics.port" ] && break
+  sleep 0.1
+done
+mport="$(tr -d '[:space:]' < "$bench_dir/fleet_metrics.port")"
+fleet_scraped=""
+for _ in $(seq 1 100); do
+  if exec 3<>"/dev/tcp/127.0.0.1/$mport" 2> /dev/null; then
+    printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+    cat <&3 > "$bench_dir/fleet_scrape.txt"
+    exec 3<&- 3>&-
+    if grep -q 'source="plane00"' "$bench_dir/fleet_scrape.txt"; then
+      fleet_scraped=yes
+      break
+    fi
+  fi
+  sleep 0.2
+done
+wait "$collect_pid" || { echo "fleet collector exited nonzero"; exit 1; }
+test -n "$fleet_scraped" || { echo "fleet scrape never returned per-plane families"; exit 1; }
+grep -q '^ripsim_build_info{version="' "$bench_dir/fleet_scrape.txt" \
+  || { echo "fleet scrape is missing ripsim_build_info"; exit 1; }
+grep -q '^ripsim_uptime_seconds ' "$bench_dir/fleet_scrape.txt" \
+  || { echo "fleet scrape is missing ripsim_uptime_seconds"; exit 1; }
+cmp "$bench_dir/fleet_merged.jsonl" "$bench_dir/fleet_oracle.jsonl" \
+  || { echo "fleet merged stream is not byte-identical to the single-process oracle"; exit 1; }
+
+echo "==> fleet killed-worker smoke (typed watchdog event, nonzero exit, no hang)"
+target/release/ripsim plane-worker configs/fleet_small.json \
+  --worker 5 --planes 0,1,2,3 --out "$bench_dir/fleet_w5.bin" 2> /dev/null \
+  || { echo "file-mode plane worker failed"; exit 1; }
+w5_bytes="$(wc -c < "$bench_dir/fleet_w5.bin")"
+head -c "$((w5_bytes / 2))" "$bench_dir/fleet_w5.bin" > "$bench_dir/fleet_w5_cut.bin"
+if target/release/ripsim collect configs/fleet_small.json \
+     --from "$bench_dir/fleet_w5_cut.bin" \
+     > "$bench_dir/fleet_cut.jsonl" 2> "$bench_dir/fleet_cut.log"; then
+  echo "collector on a killed worker stream unexpectedly exited zero"; exit 1
+fi
+grep -q 'worker 5 lost' "$bench_dir/fleet_cut.log" \
+  || { echo "killed worker raised no typed collector error"; exit 1; }
+grep -q 'WorkerLost' "$bench_dir/fleet_cut.jsonl" \
+  || { echo "killed worker emitted no WorkerLost watchdog record"; exit 1; }
 
 echo "CI OK"

@@ -37,6 +37,14 @@
 //! asserted flat, and the full stream is written to
 //! `SOAK_epochs.jsonl` (byte-identical across same-seed runs — CI
 //! diffs it). Exits non-zero on failure.
+//!
+//! `repro fleet [--quick]` runs the distributed-collector proof: the
+//! single-process `run_streamed` oracle and several worker
+//! partitionings of the same run through the fleet wire protocol, and
+//! asserts the collector's merged telemetry stream and stitched report
+//! are byte-identical to the oracle's for every partitioning before
+//! writing `BENCH_fleet_collector.json` (stable schema; every field is
+//! sim-time-derived, so two same-seed runs are byte-identical).
 
 use rip_analysis::{
     area, buffering, capacity, datacenter, internal_traffic, modularity, power, random_access,
@@ -92,6 +100,11 @@ fn main() {
         let quick = args.iter().any(|a| a == "--quick");
         let live = args.iter().any(|a| a == "--live-epochs");
         run_soak(quick, live);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("fleet") {
+        let quick = args.iter().any(|a| a == "--quick");
+        run_fleet(quick);
         return;
     }
     let opts = Opts {
@@ -1795,6 +1808,14 @@ fn run_soak(quick: bool, live: bool) {
     let (r1, r2, sinks) = if live {
         let (r1, m1, wd1) = stream_run_live(&cfg, load, h1, seed, period);
         let (r2, m2, wd2) = stream_run_live(&cfg, load, h2, seed, period);
+        // Always-on telemetry accounting, alarm or not: the same
+        // counts the Prometheus families (`rip_watchdog_alarms_total`,
+        // `rip_telemetry_dropped_records`) would report for this run.
+        println!(
+            "soak telemetry: watchdog_alarms={} dropped_records={}",
+            wd1.len() + wd2.len(),
+            m1.dropped_records() + m2.dropped_records()
+        );
         // A healthy soak must not trip any SLO watchdog (stall,
         // drop-rate, degraded capacity): no false alarms.
         if !wd1.is_empty() || !wd2.is_empty() {
@@ -1887,4 +1908,161 @@ fn run_soak(quick: bool, live: bool) {
         sink.flush();
         println!("wrote SOAK_epochs.jsonl ({} records)", sink.records());
     }
+}
+
+// --------------------------------------------------------------------
+// `repro fleet` — distributed collector byte-identity proof
+// --------------------------------------------------------------------
+
+/// `BENCH_fleet_collector.json`: the fleet collector's proof
+/// obligation as a pinned artifact. Every field is sim-time-derived
+/// (no wall clock anywhere in the fleet path), so two same-seed runs
+/// of `repro fleet` produce byte-identical files; `byte_identical`
+/// records the assertion the run makes before writing anything — the
+/// merged stream and stitched report of every partitioning equal the
+/// single-process oracle's, byte for byte.
+#[derive(serde::Serialize)]
+struct FleetBench {
+    schema: &'static str,
+    config: &'static str,
+    seed: u64,
+    load: f64,
+    horizon_ns: u64,
+    epoch_ps: u64,
+    planes: u64,
+    partitionings: u64,
+    stream_records: u64,
+    stream_bytes: u64,
+    dropped_records: u64,
+    watchdog_alarms: u64,
+    offered_bytes: u64,
+    delivered_bytes: u64,
+    byte_identical: bool,
+}
+
+fn run_fleet(quick: bool) {
+    use rip_bench::fleet::{push_worker_stream, Collector, FleetJob};
+    use rip_telemetry::{JsonlSink, Watchdog, WatchdogConfig};
+
+    println!("Petabit Router-in-a-Package — fleet collector byte-identity");
+    println!("mode: {}", if quick { "quick" } else { "full" });
+    let cfg = RouterConfig::small();
+    let seed = 42u64;
+    let load = 0.7;
+    let horizon = SimTime::from_ns(if quick { 20_000 } else { 60_000 });
+    let live = LiveOptions {
+        period: TimeDelta::from_ps(2_000_000),
+        sample_one_in: 256,
+    };
+    let router = SpsRouter::new(cfg.clone(), SplitPattern::Striped).expect("valid config");
+    let w = SpsWorkload::uniform(cfg.ribbons, load, seed);
+    let plan = FaultPlan::default();
+    let echo = serde_json::parse("{\"bench\":\"repro-fleet\"}").expect("echo parses");
+
+    // The oracle: one process, all planes, watchdogs on — the exact
+    // chain `ripsim collect --oracle` runs.
+    let mut oracle = Vec::new();
+    let (oracle_report, oracle_alarms) = {
+        let sink = JsonlSink::new(&mut oracle);
+        let (mut wd, handle) = Watchdog::new(WatchdogConfig::default(), sink);
+        let report = router.run_streamed(&w, horizon, &plan, live, &mut wd);
+        drop(wd);
+        (report, handle.events().len() as u64)
+    };
+    let oracle_json = serde_json::to_string(&oracle_report).expect("report serializes");
+    println!(
+        "oracle: {} bytes of telemetry, {} planes, offered {}",
+        oracle.len(),
+        cfg.switches,
+        oracle_report.offered
+    );
+
+    let planes = cfg.switches;
+    let partitionings: Vec<Vec<Vec<usize>>> = vec![
+        // one worker per plane
+        (0..planes).map(|p| vec![p]).collect(),
+        // two workers, interleaved even/odd subsets
+        vec![
+            (0..planes).step_by(2).collect(),
+            (1..planes).step_by(2).collect(),
+        ],
+        // one worker owning everything (degenerate fleet)
+        vec![(0..planes).collect()],
+    ];
+    let job = FleetJob {
+        router: &router,
+        workload: &w,
+        plan: &plan,
+        horizon,
+        live,
+        echo: echo.clone(),
+    };
+    let mut records = 0u64;
+    let mut dropped = 0u64;
+    for (i, partition) in partitionings.iter().enumerate() {
+        let mut collector = Collector::new(echo.clone(), planes);
+        let mut streams: Vec<Vec<u8>> = Vec::new();
+        for (worker, subset) in partition.iter().enumerate() {
+            streams.push(
+                push_worker_stream(&job, worker as u64, subset, Vec::new()).expect("worker pushes"),
+            );
+        }
+        // Reverse arrival order: the merge must not care who got there
+        // first.
+        for stream in streams.iter().rev() {
+            collector.ingest(&stream[..]).expect("stream ingests");
+        }
+        let mut merged = Vec::new();
+        let outcome = {
+            let sink = JsonlSink::new(&mut merged);
+            let (mut wd, _handle) = Watchdog::new(WatchdogConfig::default(), sink);
+            collector
+                .finish(&router, horizon, &mut wd)
+                .expect("full coverage")
+        };
+        assert_eq!(
+            merged,
+            oracle,
+            "partitioning {i} ({} workers): merged stream diverges from the oracle",
+            partition.len()
+        );
+        assert_eq!(
+            serde_json::to_string(&outcome.report).expect("report serializes"),
+            oracle_json,
+            "partitioning {i}: stitched report diverges from the oracle"
+        );
+        println!(
+            "partitioning {i}: {} workers -> {} records, byte-identical",
+            partition.len(),
+            outcome.records
+        );
+        records = outcome.records;
+        dropped = outcome.dropped_records;
+    }
+
+    let bench = FleetBench {
+        schema: "rip-bench/fleet_collector/v1",
+        config: "small",
+        seed,
+        load,
+        horizon_ns: horizon.as_ps() / 1000,
+        epoch_ps: live.period.as_ps(),
+        planes: planes as u64,
+        partitionings: partitionings.len() as u64,
+        stream_records: records,
+        stream_bytes: oracle.len() as u64,
+        dropped_records: dropped,
+        watchdog_alarms: oracle_alarms,
+        offered_bytes: oracle_report.offered.bytes(),
+        delivered_bytes: oracle_report.delivered.bytes(),
+        byte_identical: true,
+    };
+    write_json("BENCH_fleet_collector.json", &bench);
+    println!(
+        "fleet OK: {} partitionings x {} planes, merged stream and report \
+         byte-identical to the single-process oracle",
+        partitionings.len(),
+        planes
+    );
+    println!("\ndone.");
 }

@@ -43,6 +43,21 @@
 //! period and excludes `--metrics` (the endpoint's cumulative state is
 //! not part of the snapshot).
 //!
+//! `ripsim plane-worker <spec.json> --worker <id> --planes <list>`
+//! runs a subset of the spec's SPS planes and pushes their framed
+//! telemetry stream — epoch deltas, sampled spans, per-plane reports —
+//! to a collector (`--connect <addr>`) or a file (`--out <path>`).
+//! `ripsim collect <spec.json> --listen <addr>` accepts worker streams
+//! over localhost TCP until every plane is covered (or `--from
+//! <file>...` for offline ingest), reassembles them in plane order, and re-emits the
+//! single-process JSONL stream on stdout — byte-identical to
+//! `ripsim collect <spec.json> --oracle`, which runs the same spec
+//! in-process. The merged stream feeds the same SLO watchdogs the soak
+//! runs (a fired alarm fails the collection), and `--metrics <addr>`
+//! serves the fleet-wide Prometheus endpoint with per-plane labels. A
+//! worker that dies mid-stream surfaces as a typed `worker_lost`
+//! watchdog record and a nonzero exit, never a hang.
+//!
 //! All simulation modes are pull-based: arrivals are generated on
 //! demand by a merged packet source, never materialized as a trace, so
 //! the horizon can grow without the memory footprint following it.
@@ -64,6 +79,14 @@
 //! ripsim soak my_sim.json --epoch 2000000 > epochs.jsonl
 //! ripsim soak my_sim.json --checkpoint-every 50 > part1.jsonl   # kill it
 //! ripsim soak my_sim.json --resume ripsim-soak.snapshot > part2.jsonl
+//! ripsim collect configs/fleet_small.json --listen 127.0.0.1:0 \
+//!     --port-file port.txt > merged.jsonl &
+//! ripsim plane-worker configs/fleet_small.json --worker 0 --planes 0 \
+//!     --connect 127.0.0.1:$(cat port.txt)
+//! ripsim plane-worker configs/fleet_small.json --worker 1 --planes 1,2,3 \
+//!     --connect 127.0.0.1:$(cat port.txt)
+//! ripsim collect configs/fleet_small.json --oracle > oracle.jsonl
+//! diff merged.jsonl oracle.jsonl   # byte-identical
 //! ripsim resilience
 //! ```
 
@@ -72,6 +95,7 @@ use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
+use rip_bench::fleet::{push_worker_stream, CollectError, Collector, FleetJob};
 use rip_bench::Table;
 use rip_core::{
     ConfigError, DrainPolicy, EngineKind, FaultKind, FaultPlan, HbmSwitch, LiveOptions,
@@ -79,12 +103,12 @@ use rip_core::{
 };
 use rip_photonics::SplitPattern;
 use rip_telemetry::{
-    ChromeTraceSink, FanoutSink, JsonlSink, MetricsEndpoint, SharedSink, TelemetrySink,
-    TraceWindow, Watchdog, WatchdogConfig,
+    ChromeTraceSink, FanoutSink, FrameListener, JsonlSink, MetricsEndpoint, SharedSink,
+    TelemetrySink, TraceWindow, Watchdog, WatchdogConfig, WatchdogEvent, WatchdogKind,
 };
 use rip_traffic::{
-    merge_streams, ArrivalProcess, BoundedSource, MergedSource, PacketGenerator, SizeDistribution,
-    TrafficMatrix,
+    merge_streams, ArrivalProcess, BoundedSource, FiberFill, MergedSource, PacketGenerator,
+    SizeDistribution, TrafficMatrix,
 };
 use rip_units::{DataSize, SimTime, TimeDelta};
 use serde::{Deserialize, Serialize, Value};
@@ -790,6 +814,15 @@ fn run_soak(spec: &SimSpec, opts: &SoakOptions) -> Result<(), String> {
         ));
         std::thread::sleep(std::time::Duration::from_millis(opts.metrics_hold_ms));
     }
+    if period.is_some() {
+        // Always-on count, alarm or not: scrapers and log parsers get
+        // the same line either way, matching the Prometheus
+        // `rip_watchdog_alarms_total` family the endpoint exports.
+        say(format_args!(
+            "soak watchdogs: {} alarm(s) across both horizons",
+            watchdog_events.len()
+        ));
+    }
     if !watchdog_events.is_empty() {
         for e in &watchdog_events {
             say(format_args!(
@@ -821,6 +854,345 @@ fn run_soak(spec: &SimSpec, opts: &SoakOptions) -> Result<(), String> {
     say(format_args!(
         "soak OK: in-flight working set stays bounded at 4x the horizon"
     ));
+    Ok(())
+}
+
+// --------------------------------------------------------------------
+// `ripsim plane-worker` / `ripsim collect` — the fleet modes
+// --------------------------------------------------------------------
+
+/// Everything a fleet worker or collector derives from the shared spec
+/// file — built identically on both sides, which is what makes the
+/// worker's config echo comparable and the merged stream byte-identical
+/// to the oracle's.
+struct FleetParts {
+    router: SpsRouter,
+    workload: SpsWorkload,
+    horizon: SimTime,
+    live: LiveOptions,
+    echo: Value,
+}
+
+/// Build the SPS router, workload, horizon and live-telemetry options
+/// the fleet modes share. The fleet protocol *is* the live epoch
+/// stream, so an epoch period (spec `epoch_ps` or `--epoch`) is
+/// mandatory here, unlike in `soak`.
+fn fleet_parts(spec: &SimSpec) -> Result<FleetParts, String> {
+    spec.router.validate().map_err(|e| e.to_string())?;
+    if !(0.0..=1.0).contains(&spec.load) {
+        return Err(format!("load {} out of [0, 1]", spec.load));
+    }
+    if spec.horizon_us == 0 {
+        return Err("horizon must be positive".into());
+    }
+    let period = match spec.epoch_ps {
+        Some(0) => return Err(ConfigError::EpochZero.to_string()),
+        Some(ps) => TimeDelta::from_ps(ps),
+        None => {
+            return Err(
+                "fleet modes need an epoch period (--epoch or spec epoch_ps): \
+                 the worker streams are the live epoch stream"
+                    .into(),
+            )
+        }
+    };
+    let n = spec.router.ribbons;
+    let workload = SpsWorkload {
+        tm: spec.matrix.build(n)?,
+        load: spec.load,
+        fill: FiberFill::Uniform,
+        sizes: spec.sizes.build(),
+        process: spec.process.build(),
+        flows: spec.flows,
+        seed: spec.seed,
+    };
+    let router =
+        SpsRouter::new(spec.router.clone(), SplitPattern::Striped).map_err(|e| e.to_string())?;
+    Ok(FleetParts {
+        router,
+        workload,
+        horizon: SimTime::from_ns(spec.horizon_us * 1000),
+        live: LiveOptions {
+            period,
+            sample_one_in: 256,
+        },
+        echo: spec.to_value(),
+    })
+}
+
+/// Command-line options of `ripsim plane-worker`.
+struct WorkerOptions {
+    worker: u64,
+    planes: Vec<usize>,
+    connect: Option<String>,
+    out: Option<String>,
+}
+
+/// Parse a `--planes` list: comma-separated plane indices, strictly
+/// ascending (the typed [`ConfigError::PlaneSubset`] catches disorder
+/// and range later; only non-numbers are a usage error here).
+fn parse_planes(v: &str) -> Result<Vec<usize>, String> {
+    v.split(',')
+        .map(|p| {
+            p.trim()
+                .parse::<usize>()
+                .map_err(|e| format!("bad plane index {p:?}: {e}"))
+        })
+        .collect()
+}
+
+/// `ripsim plane-worker`: run the spec's SPS planes named by
+/// `--planes` and push their framed telemetry stream to a collector
+/// (`--connect`, with retries — the collector may still be binding) or
+/// to a file (`--out`, for offline `collect --from` ingest).
+fn run_plane_worker(spec: &SimSpec, opts: &WorkerOptions) -> Result<(), String> {
+    let parts = fleet_parts(spec)?;
+    let job = FleetJob {
+        router: &parts.router,
+        workload: &parts.workload,
+        plan: &FaultPlan::default(),
+        horizon: parts.horizon,
+        live: parts.live,
+        echo: parts.echo,
+    };
+    match (&opts.connect, &opts.out) {
+        (Some(addr), None) => {
+            // The collector may come up after the workers; retry the
+            // connect for ~10 s before giving up.
+            let mut stream = None;
+            for attempt in 0..100 {
+                match std::net::TcpStream::connect(addr) {
+                    Ok(s) => {
+                        stream = Some(s);
+                        break;
+                    }
+                    Err(e) if attempt == 99 => {
+                        return Err(format!("cannot connect to collector at {addr}: {e}"))
+                    }
+                    Err(_) => std::thread::sleep(std::time::Duration::from_millis(100)),
+                }
+            }
+            let stream = stream.expect("loop either connects or returns");
+            push_worker_stream(&job, opts.worker, &opts.planes, stream)
+                .map_err(|e| e.to_string())?;
+        }
+        (None, Some(path)) => {
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("cannot write {path}: {e}"))?;
+            let out = push_worker_stream(&job, opts.worker, &opts.planes, file)
+                .map_err(|e| e.to_string())?;
+            out.sync_all().map_err(|e| e.to_string())?;
+        }
+        _ => return Err("plane-worker needs exactly one of --connect or --out".into()),
+    }
+    eprintln!(
+        "worker {}: pushed planes {:?} ({} us horizon)",
+        opts.worker, opts.planes, spec.horizon_us
+    );
+    Ok(())
+}
+
+/// Command-line options of `ripsim collect`.
+#[derive(Default)]
+struct CollectOptions {
+    /// Run the single-process `run_streamed` oracle instead of
+    /// collecting — the byte-identity reference for the merged stream.
+    oracle: bool,
+    /// Ingest worker streams from files (offline mode, any order).
+    from: Vec<String>,
+    /// Accept worker pushes on this TCP address (`127.0.0.1:0` for an
+    /// ephemeral port).
+    listen: Option<String>,
+    /// Write the bound listen port to this file — how workers (and CI)
+    /// discover an ephemeral port.
+    port_file: Option<String>,
+    /// Give up when coverage is still incomplete after this long.
+    timeout_ms: u64,
+    /// Serve the merged stream's cumulative totals as a fleet-wide
+    /// Prometheus scrape endpoint at this address.
+    metrics: Option<String>,
+    /// Write the bound metrics port to this file.
+    metrics_port_file: Option<String>,
+    /// Keep the metrics endpoint alive this long after the merge.
+    metrics_hold_ms: u64,
+    /// Bound each plane's staging buffer to this many records
+    /// (forfeits byte-identity when it evicts; reported in the
+    /// summary's `dropped_records`).
+    stage_cap: Option<usize>,
+}
+
+/// The collector's output chain — identical to the oracle's, which is
+/// what makes watchdog alarm positions (and the stream bytes around
+/// them) line up: JSONL on buffered stdout, optionally teed into the
+/// shared Prometheus endpoint, wrapped by the SLO watchdogs.
+fn collect_sink(
+    endpoint: &Option<SharedEndpoint>,
+) -> (Watchdog<FanoutSink>, rip_telemetry::WatchdogHandle) {
+    let mut fan = FanoutSink::new();
+    fan.push(Box::new(JsonlSink::new(std::io::BufWriter::new(
+        std::io::stdout(),
+    ))));
+    if let Some(ep) = endpoint {
+        fan.push(Box::new(ep.clone()));
+    }
+    Watchdog::new(WatchdogConfig::default(), fan)
+}
+
+/// Report a lost worker: a typed `worker_lost` watchdog record into the
+/// output chain (stdout JSONL + Prometheus alarm counter) plus a human
+/// line on stderr. Only called on failure paths, where the collection
+/// exits nonzero — the byte-identity contract only covers clean runs.
+fn note_worker_lost(sink: &mut dyn TelemetrySink, worker: u64, why: &str) {
+    eprintln!("collector: worker {worker} lost: {why}");
+    let event = WatchdogEvent {
+        source: "collector".into(),
+        epoch: 0,
+        at: SimTime::ZERO,
+        kind: WatchdogKind::WorkerLost { worker },
+    };
+    sink.on_watchdog("collector", &event);
+}
+
+/// `ripsim collect`: reassemble worker streams into the
+/// single-process telemetry stream and report — or, with `--oracle`,
+/// produce that single-process stream directly for a byte diff.
+fn run_collect(spec: &SimSpec, opts: &CollectOptions) -> Result<(), String> {
+    let parts = fleet_parts(spec)?;
+    let endpoint = match &opts.metrics {
+        Some(addr) => {
+            let ep = MetricsEndpoint::bind(addr).map_err(|e| format!("metrics bind: {e}"))?;
+            ep.set_build_info("ripsim", env!("CARGO_PKG_VERSION"));
+            let port = ep.local_addr().port();
+            eprintln!("metrics endpoint on port {port}");
+            if let Some(path) = &opts.metrics_port_file {
+                std::fs::write(path, format!("{port}\n"))
+                    .map_err(|e| format!("metrics port file: {e}"))?;
+            }
+            Some(SharedEndpoint(Arc::new(Mutex::new(ep))))
+        }
+        None => None,
+    };
+    let (mut wd, handle) = collect_sink(&endpoint);
+
+    let summary: String;
+    if opts.oracle {
+        let report = parts.router.run_streamed(
+            &parts.workload,
+            parts.horizon,
+            &FaultPlan::default(),
+            parts.live,
+            &mut wd,
+        );
+        summary = format!(
+            "oracle: offered {} delivered {} over {} planes",
+            report.offered, report.delivered, spec.router.switches
+        );
+    } else {
+        let mut collector = Collector::new(parts.echo.clone(), spec.router.switches);
+        if let Some(cap) = opts.stage_cap {
+            collector = collector.with_plane_capacity(cap);
+        }
+        if !opts.from.is_empty() {
+            for path in &opts.from {
+                let file =
+                    std::fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+                match collector.ingest(file) {
+                    Ok(w) => eprintln!(
+                        "collector: worker {w} committed from {path} ({} planes covered)",
+                        collector.committed_planes().len()
+                    ),
+                    Err(e) => {
+                        if let CollectError::WorkerTruncated { worker: Some(w) } = &e {
+                            note_worker_lost(&mut wd, *w, &e.to_string());
+                        }
+                        return Err(format!("ingesting {path}: {e}"));
+                    }
+                }
+            }
+        } else if let Some(addr) = &opts.listen {
+            let listener =
+                FrameListener::bind(addr).map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+            let port = listener.local_addr().port();
+            eprintln!("collector listening on port {port}");
+            if let Some(path) = &opts.port_file {
+                std::fs::write(path, format!("{port}\n")).map_err(|e| format!("port file: {e}"))?;
+            }
+            let deadline = std::time::Instant::now()
+                + std::time::Duration::from_millis(opts.timeout_ms.max(1));
+            while !collector.missing_planes().is_empty() {
+                if std::time::Instant::now() >= deadline {
+                    return Err(format!(
+                        "timed out after {} ms with planes {:?} still missing",
+                        opts.timeout_ms,
+                        collector.missing_planes()
+                    ));
+                }
+                let accepted = listener
+                    .poll_accept(std::time::Duration::from_millis(500))
+                    .map_err(|e| format!("accept: {e}"))?;
+                match accepted {
+                    Some(stream) => match collector.ingest(stream) {
+                        Ok(w) => eprintln!(
+                            "collector: worker {w} committed ({}/{} planes covered)",
+                            collector.committed_planes().len(),
+                            spec.router.switches
+                        ),
+                        Err(e) => {
+                            // A worker died mid-stream (or pushed a
+                            // conflicting run). Nothing of it was
+                            // committed; fail loudly instead of waiting
+                            // for a replacement that may never come.
+                            if let CollectError::WorkerTruncated { worker: Some(w) } = &e {
+                                note_worker_lost(&mut wd, *w, &e.to_string());
+                            }
+                            return Err(e.to_string());
+                        }
+                    },
+                    None => std::thread::sleep(std::time::Duration::from_millis(20)),
+                }
+            }
+        } else {
+            return Err("collect needs one of --oracle, --from or --listen".into());
+        }
+        let workers = collector.workers_done();
+        let outcome = collector
+            .finish(&parts.router, parts.horizon, &mut wd)
+            .map_err(|e| e.to_string())?;
+        if let Some(ep) = &endpoint {
+            ep.0.lock().expect("endpoint lock").note_dropped_records(
+                "sps",
+                parts.router.drain_deadline(parts.horizon),
+                outcome.dropped_records,
+            );
+        }
+        summary = format!(
+            "collector: workers={} records={} dropped_records={} offered {} delivered {}",
+            workers,
+            outcome.records,
+            outcome.dropped_records,
+            outcome.report.offered,
+            outcome.report.delivered
+        );
+    }
+    drop(wd); // flush the merged stream before reporting
+    if opts.metrics_hold_ms > 0 && endpoint.is_some() {
+        eprintln!("holding metrics endpoint for {} ms", opts.metrics_hold_ms);
+        std::thread::sleep(std::time::Duration::from_millis(opts.metrics_hold_ms));
+    }
+    let events = handle.events();
+    eprintln!("{summary} watchdog_alarms={}", events.len());
+    if !events.is_empty() {
+        for e in &events {
+            eprintln!(
+                "watchdog: {} epoch {} at {} ps: {:?}",
+                e.source,
+                e.epoch,
+                e.at.as_ps(),
+                e.kind
+            );
+        }
+        return Err(format!("{} watchdog alarm(s) fired", events.len()));
+    }
     Ok(())
 }
 
@@ -1406,6 +1778,163 @@ fn main() {
         }
         return;
     }
+    if args.first().map(String::as_str) == Some("plane-worker") {
+        let mut spec_path: Option<&str> = None;
+        let mut epoch: Option<u64> = None;
+        let mut worker: Option<u64> = None;
+        let mut planes: Option<Vec<usize>> = None;
+        let mut wopts = WorkerOptions {
+            worker: 0,
+            planes: Vec::new(),
+            connect: None,
+            out: None,
+        };
+        let mut rest = args[1..].iter();
+        while let Some(a) = rest.next() {
+            if a == "--worker" {
+                let v = require_value(&mut rest, "--worker", "a worker id");
+                match v.parse::<u64>() {
+                    Ok(w) => worker = Some(w),
+                    Err(e) => {
+                        eprintln!("ripsim: bad --worker value {v}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            } else if a == "--planes" {
+                let v = require_value(&mut rest, "--planes", "a comma-separated plane list");
+                match parse_planes(v) {
+                    Ok(p) => planes = Some(p),
+                    Err(e) => {
+                        eprintln!("ripsim: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            } else if a == "--epoch" {
+                let v = require_value(&mut rest, "--epoch", "a period in picoseconds");
+                match v.parse::<u64>() {
+                    Ok(ps) => epoch = Some(ps),
+                    Err(e) => {
+                        eprintln!("ripsim: bad --epoch value {v}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            } else if a == "--connect" {
+                wopts.connect = Some(require_value(&mut rest, "--connect", "an address").into());
+            } else if a == "--out" {
+                wopts.out = Some(require_value(&mut rest, "--out", "a path").into());
+            } else if spec_path.is_none() {
+                spec_path = Some(a);
+            } else {
+                eprintln!("ripsim: unexpected argument {a}");
+                std::process::exit(2);
+            }
+        }
+        let Some(path) = spec_path else {
+            eprintln!("ripsim: plane-worker needs a spec file");
+            std::process::exit(2);
+        };
+        let (Some(worker), Some(planes)) = (worker, planes) else {
+            eprintln!("ripsim: plane-worker needs --worker and --planes");
+            std::process::exit(2);
+        };
+        wopts.worker = worker;
+        wopts.planes = planes;
+        let mut spec = load_spec(path);
+        if epoch.is_some() {
+            spec.epoch_ps = epoch;
+        }
+        if let Err(e) = run_plane_worker(&spec, &wopts) {
+            eprintln!("ripsim: plane-worker FAILED: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if args.first().map(String::as_str) == Some("collect") {
+        let mut spec_path: Option<&str> = None;
+        let mut epoch: Option<u64> = None;
+        let mut copts = CollectOptions {
+            timeout_ms: 30_000,
+            ..CollectOptions::default()
+        };
+        let mut rest = args[1..].iter();
+        while let Some(a) = rest.next() {
+            if a == "--oracle" {
+                copts.oracle = true;
+            } else if a == "--from" {
+                copts
+                    .from
+                    .push(require_value(&mut rest, "--from", "a stream file").into());
+            } else if a == "--listen" {
+                copts.listen = Some(require_value(&mut rest, "--listen", "a bind address").into());
+            } else if a == "--port-file" {
+                copts.port_file = Some(require_value(&mut rest, "--port-file", "a path").into());
+            } else if a == "--timeout-ms" {
+                let v = require_value(&mut rest, "--timeout-ms", "milliseconds");
+                match v.parse::<u64>() {
+                    Ok(ms) => copts.timeout_ms = ms,
+                    Err(e) => {
+                        eprintln!("ripsim: bad --timeout-ms value {v}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            } else if a == "--epoch" {
+                let v = require_value(&mut rest, "--epoch", "a period in picoseconds");
+                match v.parse::<u64>() {
+                    Ok(ps) => epoch = Some(ps),
+                    Err(e) => {
+                        eprintln!("ripsim: bad --epoch value {v}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            } else if a == "--metrics" {
+                copts.metrics =
+                    Some(require_value(&mut rest, "--metrics", "a bind address").into());
+            } else if a == "--metrics-port-file" {
+                copts.metrics_port_file =
+                    Some(require_value(&mut rest, "--metrics-port-file", "a path").into());
+            } else if a == "--metrics-hold-ms" {
+                let v = require_value(&mut rest, "--metrics-hold-ms", "milliseconds");
+                match v.parse::<u64>() {
+                    Ok(ms) => copts.metrics_hold_ms = ms,
+                    Err(e) => {
+                        eprintln!("ripsim: bad --metrics-hold-ms value {v}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            } else if a == "--stage-cap" {
+                let v = require_value(&mut rest, "--stage-cap", "a record count");
+                match v.parse::<usize>() {
+                    Ok(n) if n > 0 => copts.stage_cap = Some(n),
+                    Ok(_) => {
+                        eprintln!("ripsim: --stage-cap must be positive");
+                        std::process::exit(2);
+                    }
+                    Err(e) => {
+                        eprintln!("ripsim: bad --stage-cap value {v}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            } else if spec_path.is_none() {
+                spec_path = Some(a);
+            } else {
+                eprintln!("ripsim: unexpected argument {a}");
+                std::process::exit(2);
+            }
+        }
+        let Some(path) = spec_path else {
+            eprintln!("ripsim: collect needs a spec file");
+            std::process::exit(2);
+        };
+        let mut spec = load_spec(path);
+        if epoch.is_some() {
+            spec.epoch_ps = epoch;
+        }
+        if let Err(e) = run_collect(&spec, &copts) {
+            eprintln!("ripsim: collect FAILED: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     if args.iter().any(|a| a == "--example-spec") {
         println!(
             "{}",
@@ -1422,6 +1951,12 @@ fn main() {
              [--metrics-port-file <path>] [--metrics-hold-ms <ms>] \
              [--inject-channel-fault <ch>] [--checkpoint-every <epochs>] \
              [--checkpoint-path <path>] [--resume <path>] | \
+             ripsim plane-worker <spec.json> --worker <id> --planes <i,j,..> \
+             [--epoch <ps>] (--connect <addr> | --out <path>) | \
+             ripsim collect <spec.json> [--epoch <ps>] (--oracle | --from <file>... | \
+             --listen <addr> [--port-file <path>] [--timeout-ms <ms>]) \
+             [--metrics <addr>] [--metrics-port-file <path>] \
+             [--metrics-hold-ms <ms>] [--stage-cap <n>] | \
              ripsim --example-spec | ripsim resilience"
         );
         std::process::exit(2);

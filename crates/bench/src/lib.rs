@@ -4,6 +4,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fleet;
+
 use rip_core::RouterConfig;
 use rip_traffic::{
     merge_streams, ArrivalProcess, BoundedSource, MergedSource, Packet, PacketGenerator,

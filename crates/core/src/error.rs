@@ -79,6 +79,13 @@ pub enum ConfigError {
         /// N — input ports available to shard over.
         ribbons: usize,
     },
+    /// A plane subset handed to [`crate::SpsRouter::run_planes`] (or a
+    /// `ripsim plane-worker` `--planes` list) is empty, unsorted,
+    /// repeats a plane, or names a plane the router does not have.
+    PlaneSubset {
+        /// Why the subset was rejected.
+        reason: String,
+    },
     /// Checkpoint or resume was combined with the sharded engine.
     /// Snapshots capture the sequential loop's exact state (queue
     /// entries, feeder lookahead); the sharded engine's in-flight
@@ -140,6 +147,9 @@ impl fmt::Display for ConfigError {
                     f,
                     "sharded engine with {shards} shards exceeds the {ribbons} input ports available"
                 )
+            }
+            ConfigError::PlaneSubset { reason } => {
+                write!(f, "invalid plane subset: {reason}")
             }
             ConfigError::ShardedCheckpoint => {
                 write!(

@@ -64,5 +64,5 @@ pub use mimic::{MimicChecker, MimicReport};
 pub use output::{OutputPort, PacketDeparture};
 pub use resilience::{FaultAction, FaultEvent, FaultKind, FaultPlan, FaultPlanError};
 pub use shard_engine::ShardTuning;
-pub use sps::{LiveOptions, PerSwitch, PlaneSource, SpsReport, SpsRouter, SpsWorkload};
+pub use sps::{LiveOptions, PerSwitch, PlaneRun, PlaneSource, SpsReport, SpsRouter, SpsWorkload};
 pub use sram::{Frame, HeadSram, SramOccupancy, TailSram};

@@ -4,7 +4,7 @@
 
 use rip_photonics::{FrontEnd, SplitMap, SplitPattern};
 use rip_sim::snapshot::SnapshotError;
-use rip_telemetry::{MetricsRegistry, SharedSink, SinkRecord, TelemetrySink};
+use rip_telemetry::{MemorySink, MetricsRegistry, SharedSink, SinkRecord, TelemetrySink};
 use rip_traffic::hash::{lane_for, HashKind};
 use rip_traffic::{
     ArrivalProcess, BoundedSource, FiberFill, Packet, PacketGenerator, PacketSource,
@@ -106,6 +106,26 @@ pub struct SpsReport {
     /// histograms merge bucket-wise, gauges keep the latest write), so
     /// totals are invariant under plane-count repartitioning.
     pub metrics: MetricsRegistry,
+}
+
+/// One plane's complete outcome from [`SpsRouter::run_planes`]: the
+/// switch report, the front-end drop accounting attributed to the
+/// plane, and the plane's staged live-telemetry records (empty when the
+/// subset ran silent). Replaying `staged` renamed to `planeNN` in
+/// ascending plane order — across however many processes ran the
+/// subsets — reproduces the single-process stream byte-for-byte.
+#[derive(Debug, Clone)]
+pub struct PlaneRun {
+    /// Global plane index.
+    pub plane: usize,
+    /// The plane's switch report.
+    pub report: SwitchReport,
+    /// Packets the optical front end dropped toward this plane.
+    pub fe_dropped_packets: u64,
+    /// Bytes the optical front end dropped toward this plane.
+    pub fe_dropped: DataSize,
+    /// The plane's buffered telemetry records, in emission order.
+    pub staged: MemorySink,
 }
 
 /// The Split-Parallel Switch: `H` HBM switches behind a spatial fiber
@@ -481,32 +501,111 @@ impl SpsRouter {
         plan: &FaultPlan,
         live: Option<(LiveOptions, &mut dyn TelemetrySink)>,
     ) -> SpsReport {
+        let all: Vec<usize> = (0..self.cfg.switches).collect();
+        let live_opts = live.as_ref().map(|(o, _)| *o);
+        let runs = self
+            .run_planes(w, horizon, plan, live_opts, &all)
+            .expect("the full plane set is always a valid subset");
+        let report = self.stitch_report(
+            runs.iter()
+                .map(|r| (r.report.clone(), r.fe_dropped_packets, r.fe_dropped))
+                .collect(),
+            horizon,
+        );
+        if let Some((_, sink)) = live {
+            // Replay each plane's buffered stream in plane order, then
+            // close with the router-level merged totals.
+            for run in &runs {
+                run.staged
+                    .replay_renamed(&format!("plane{:02}", run.plane), sink);
+            }
+            sink.on_run_end("sps", self.drain_deadline(horizon), &report.metrics);
+        }
+        report
+    }
+
+    /// The drain deadline this router runs to for a given arrival
+    /// horizon — the sim time stamped on the final `run_end` record.
+    /// Exposed so out-of-process collectors can close their merged
+    /// stream with the exact timestamp the single-process runner uses.
+    pub fn drain_deadline(&self, horizon: SimTime) -> SimTime {
+        self.cfg.drain.deadline(horizon)
+    }
+
+    /// Run only the given subset of planes, returning each plane's
+    /// switch report, front-end drop accounting and (when `live` is
+    /// set) its staged telemetry records.
+    ///
+    /// This is the worker half of the fleet split: each plane's
+    /// simulation is fully self-contained (its own [`PlaneSource`],
+    /// RNG lanes derived from the plane-independent fiber index, and
+    /// the fault plan projected per plane), so running planes `{0, 2}`
+    /// here and `{1, 3}` in another process produces exactly the
+    /// per-plane results the single-process [`SpsRouter::run_streamed`]
+    /// computes — byte-for-byte, for any partitioning. The subset must
+    /// be non-empty, strictly ascending and within range; anything else
+    /// is a [`ConfigError::PlaneSubset`].
+    ///
+    /// Planes still run on parallel threads within the subset; results
+    /// return in subset (ascending plane) order regardless of thread
+    /// scheduling.
+    pub fn run_planes(
+        &self,
+        w: &SpsWorkload,
+        horizon: SimTime,
+        plan: &FaultPlan,
+        live: Option<LiveOptions>,
+        planes: &[usize],
+    ) -> Result<Vec<PlaneRun>, ConfigError> {
+        if planes.is_empty() {
+            return Err(ConfigError::PlaneSubset {
+                reason: "the subset is empty".into(),
+            });
+        }
+        for pair in planes.windows(2) {
+            if pair[1] <= pair[0] {
+                return Err(ConfigError::PlaneSubset {
+                    reason: format!(
+                        "planes must be strictly ascending (found {} after {})",
+                        pair[1], pair[0]
+                    ),
+                });
+            }
+        }
+        if let Some(&worst) = planes.iter().find(|&&p| p >= self.cfg.switches) {
+            return Err(ConfigError::PlaneSubset {
+                reason: format!(
+                    "plane {worst} out of range (router has {} planes)",
+                    self.cfg.switches
+                ),
+            });
+        }
         plan.validate(&self.cfg)
             .expect("fault plan must be valid for this router");
         let drain = self.cfg.drain.deadline(horizon);
-        let plans: Vec<FaultPlan> = (0..self.cfg.switches)
-            .map(|s| plan.project_switch(&self.cfg, s))
+        let plans: Vec<FaultPlan> = planes
+            .iter()
+            .map(|&s| plan.project_switch(&self.cfg, s))
             .collect();
-        let live_opts = live.as_ref().map(|(o, _)| *o);
         // Per-plane staging buffers for live records (empty and unused
         // when running silent).
-        let plane_sinks: Vec<SharedSink> =
-            (0..self.cfg.switches).map(|_| SharedSink::new()).collect();
+        let plane_sinks: Vec<SharedSink> = planes.iter().map(|_| SharedSink::new()).collect();
         // Each plane pulls its arrivals from a streaming front-end
         // demux instead of a materialized trace: memory per plane is
         // O(fibers + in-flight), independent of horizon. Reports are
         // byte-identical to the former batch split (see PlaneSource).
         let results: Vec<(SwitchReport, u64, DataSize)> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = plans
+            let handles: Vec<_> = planes
                 .iter()
+                .zip(&plans)
                 .enumerate()
-                .map(|(plane, sub_plan)| {
+                .map(|(slot, (&plane, sub_plan))| {
                     let cfg = self.cfg.clone();
                     let mut src = self.plane_source(w, horizon, plan, plane);
-                    let plane_sink = plane_sinks[plane].clone();
+                    let plane_sink = plane_sinks[slot].clone();
                     scope.spawn(move |_| {
                         let mut sw = HbmSwitch::new(cfg).expect("validated config");
-                        if let Some(o) = live_opts {
+                        if let Some(o) = live {
                             sw.enable_live_telemetry(
                                 o.period,
                                 o.sample_one_in,
@@ -528,26 +627,31 @@ impl SpsRouter {
                 .collect()
         })
         .expect("crossbeam scope");
-        let report = self.assemble_report(results, horizon);
-        if let Some((_, sink)) = live {
-            // Replay each plane's buffered stream in plane order, then
-            // close with the router-level merged totals.
-            for (plane, staged) in plane_sinks.iter().enumerate() {
-                staged
-                    .take()
-                    .replay_renamed(&format!("plane{plane:02}"), sink);
-            }
-            sink.on_run_end("sps", drain, &report.metrics);
-        }
-        report
+        Ok(planes
+            .iter()
+            .zip(results)
+            .zip(plane_sinks)
+            .map(
+                |((&plane, (report, fe_packets, fe_bytes)), staged)| PlaneRun {
+                    plane,
+                    report,
+                    fe_dropped_packets: fe_packets,
+                    fe_dropped: fe_bytes,
+                    staged: staged.take(),
+                },
+            )
+            .collect())
     }
 
     /// Fold per-plane results (in plane order) into the router-level
     /// report: front-end drop totals, per-plane overload against the
     /// ingress capacity, load imbalance and the deterministic metrics
-    /// merge. Shared by the threaded and the checkpointed runners so
-    /// both produce byte-identical reports.
-    fn assemble_report(
+    /// merge. Shared by the threaded runner, the checkpointed runner
+    /// and the out-of-process fleet collector, so all three produce
+    /// byte-identical reports from the same per-plane results.
+    ///
+    /// `results` must hold every plane of this router, in plane order.
+    pub fn stitch_report(
         &self,
         results: Vec<(SwitchReport, u64, DataSize)>,
         horizon: SimTime,
@@ -760,7 +864,7 @@ impl SpsRouter {
             .into_iter()
             .map(|d| (d.report, d.fe_packets, d.fe_bytes))
             .collect();
-        let report = self.assemble_report(results, horizon);
+        let report = self.stitch_report(results, horizon);
         sink.on_run_end("sps", drain, &report.metrics);
         Ok(Some(report))
     }

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 mod epoch;
+mod fleet;
 mod net;
 mod sink;
 mod trace;
@@ -33,7 +34,13 @@ use rip_units::SimTime;
 use serde::{Deserialize, Serialize};
 
 pub use epoch::{EpochClock, EpochDelta, Snapshot};
-pub use net::{LengthFramedWriter, MetricsEndpoint, MetricsServer};
+pub use fleet::{
+    parse_plane_source, parse_sink_line, plane_source_name, LineError, ParsedLine, PlaneMerge,
+};
+pub use net::{
+    FrameError, FrameListener, LengthFramedReader, LengthFramedWriter, MetricsEndpoint,
+    MetricsServer, MAX_FRAME_BYTES,
+};
 pub use sink::{
     intern_stage, FanoutSink, JsonlSink, MemorySink, PrometheusSink, SharedSink, SinkRecord,
     SpanEvent, TelemetrySink, SPAN_STAGES,

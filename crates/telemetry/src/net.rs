@@ -18,6 +18,13 @@
 //! the record bytes without the newline. `JsonlSink<LengthFramedWriter
 //! <TcpStream>>` therefore pushes length-framed JSONL epoch deltas to a
 //! collector with no new serialization code.
+//!
+//! [`LengthFramedReader`] is the receiving half: it decodes that wire
+//! format back into whole records with typed errors for truncated and
+//! oversized frames, and its decode state survives transient I/O errors
+//! (a read timeout mid-frame can be retried without losing bytes).
+//! [`FrameListener`] is the std-only accept machinery a collector
+//! binary polls for incoming worker pushes.
 
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
@@ -25,11 +32,12 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use rip_units::SimTime;
 
-use crate::sink::render_exposition;
-use crate::{EpochDelta, MetricsRegistry, TelemetrySink};
+use crate::sink::{escape_label, render_exposition};
+use crate::{EpochDelta, MetricsRegistry, TelemetrySink, WatchdogEvent};
 
 /// A minimal single-threaded HTTP scrape endpoint over `TcpListener`.
 ///
@@ -39,8 +47,39 @@ use crate::{EpochDelta, MetricsRegistry, TelemetrySink};
 pub struct MetricsServer {
     addr: SocketAddr,
     body: Arc<Mutex<String>>,
+    info: Arc<Mutex<Option<BuildInfo>>>,
     shutdown: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
+}
+
+/// Build metadata served ahead of the published exposition body.
+struct BuildInfo {
+    service: String,
+    version: String,
+    started: Instant,
+}
+
+impl BuildInfo {
+    /// Render the `<service>_build_info` / `<service>_uptime_seconds`
+    /// families. Uptime is wall-clock by design — it is scrape-time
+    /// exporter metadata, not simulation telemetry.
+    fn render(&self) -> String {
+        let s = &self.service;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# HELP {s}_build_info Build metadata of the serving binary (gauge)\n\
+             # TYPE {s}_build_info gauge\n\
+             {s}_build_info{{version=\"{}\"}} 1\n",
+            escape_label(&self.version)
+        ));
+        out.push_str(&format!(
+            "# HELP {s}_uptime_seconds Wall-clock seconds since the exporter started (gauge)\n\
+             # TYPE {s}_uptime_seconds gauge\n\
+             {s}_uptime_seconds {:.3}\n",
+            self.started.elapsed().as_secs_f64()
+        ));
+        out
+    }
 }
 
 impl MetricsServer {
@@ -50,8 +89,9 @@ impl MetricsServer {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let body: Arc<Mutex<String>> = Arc::default();
+        let info: Arc<Mutex<Option<BuildInfo>>> = Arc::default();
         let shutdown = Arc::new(AtomicBool::new(false));
-        let (body_t, shutdown_t) = (body.clone(), shutdown.clone());
+        let (body_t, info_t, shutdown_t) = (body.clone(), info.clone(), shutdown.clone());
         let handle = std::thread::spawn(move || {
             for conn in listener.incoming() {
                 if shutdown_t.load(Ordering::SeqCst) {
@@ -62,7 +102,13 @@ impl MetricsServer {
                 // response does not depend on it).
                 let mut buf = [0u8; 1024];
                 let _ = stream.read(&mut buf);
-                let text = body_t.lock().expect("metrics body lock").clone();
+                let mut text = info_t
+                    .lock()
+                    .expect("metrics info lock")
+                    .as_ref()
+                    .map(BuildInfo::render)
+                    .unwrap_or_default();
+                text.push_str(&body_t.lock().expect("metrics body lock"));
                 let _ = write!(
                     stream,
                     "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
@@ -75,6 +121,7 @@ impl MetricsServer {
         Ok(MetricsServer {
             addr,
             body,
+            info,
             shutdown,
             handle: Some(handle),
         })
@@ -88,6 +135,27 @@ impl MetricsServer {
     /// Replace the served body.
     pub fn publish(&self, body: String) {
         *self.body.lock().expect("metrics body lock") = body;
+    }
+
+    /// Serve `<service>_build_info{version="..."} 1` and a
+    /// `<service>_uptime_seconds` gauge ahead of every published body.
+    /// `service` must already be a valid metric-name prefix
+    /// (`[a-zA-Z_][a-zA-Z0-9_]*`, e.g. `ripsim`); the version label is
+    /// escaped per the exposition grammar.
+    pub fn set_build_info(&self, service: &str, version: &str) {
+        debug_assert!(
+            !service.is_empty()
+                && service
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_')
+                && !service.starts_with(|c: char| c.is_ascii_digit()),
+            "service must be a valid metric-name prefix"
+        );
+        *self.info.lock().expect("metrics info lock") = Some(BuildInfo {
+            service: service.to_string(),
+            version: version.to_string(),
+            started: Instant::now(),
+        });
     }
 
     /// Stop the accept thread and join it.
@@ -129,6 +197,23 @@ impl MetricsEndpoint {
         self.server.local_addr()
     }
 
+    /// Forward to [`MetricsServer::set_build_info`].
+    pub fn set_build_info(&self, service: &str, version: &str) {
+        self.server.set_build_info(service, version);
+    }
+
+    /// Surface telemetry loss at scrape time: record that `source`'s
+    /// staging buffer evicted `dropped` records (a bounded
+    /// [`crate::MemorySink`] ring overflowed) as a
+    /// `rip_telemetry_dropped_records` gauge.
+    pub fn note_dropped_records(&mut self, source: &str, at: SimTime, dropped: u64) {
+        self.cumulative
+            .entry(source.to_string())
+            .or_default()
+            .set_gauge("telemetry.dropped_records", at, dropped as f64);
+        self.republish();
+    }
+
     fn republish(&mut self) {
         let mut out = Vec::new();
         render_exposition(&self.cumulative, &mut out).expect("vec write");
@@ -146,8 +231,30 @@ impl TelemetrySink for MetricsEndpoint {
         self.republish();
     }
 
+    fn on_watchdog(&mut self, source: &str, _event: &WatchdogEvent) {
+        // Alarm tallies survive as a counter family so silent streams
+        // and alarmed streams are distinguishable at scrape time.
+        self.cumulative
+            .entry(source.to_string())
+            .or_default()
+            .inc("watchdog.alarms", 1);
+        self.republish();
+    }
+
     fn on_run_end(&mut self, source: &str, _at: SimTime, totals: &MetricsRegistry) {
-        self.cumulative.insert(source.to_string(), totals.clone());
+        // `totals` is authoritative for the engine's own metrics, but
+        // watchdog alarm counts are stream-side observations that the
+        // engine registry never carries — preserve them across the
+        // overwrite.
+        let alarms = self
+            .cumulative
+            .get(source)
+            .and_then(|reg| reg.counters().get("watchdog.alarms").copied());
+        let entry = self.cumulative.entry(source.to_string()).or_default();
+        *entry = totals.clone();
+        if let Some(n) = alarms {
+            entry.inc("watchdog.alarms", n);
+        }
         self.republish();
     }
 }
@@ -200,6 +307,196 @@ impl<W: Write> Write for LengthFramedWriter<W> {
     }
 }
 
+/// Decode failure on the length-framed push stream.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The stream ended inside a frame header or frame body: `got` of
+    /// `expected` bytes of the current unit arrived before EOF.
+    Truncated {
+        /// Bytes the current header/body still needed.
+        expected: usize,
+        /// Bytes of it that actually arrived.
+        got: usize,
+    },
+    /// A header announced a frame longer than the configured bound —
+    /// a corrupt stream or a hostile peer; reading on would buffer
+    /// unbounded garbage.
+    Oversize {
+        /// Announced frame length.
+        len: u32,
+        /// The configured bound ([`LengthFramedReader::with_max_frame`]).
+        max: u32,
+    },
+    /// The underlying reader failed. Timeout-style errors
+    /// (`WouldBlock`/`TimedOut`) are retryable: the reader's decode
+    /// state is kept, so the next [`LengthFramedReader::read_frame`]
+    /// resumes mid-frame.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated { expected, got } => write!(
+                f,
+                "frame stream truncated: {got}/{expected} bytes of the current unit before EOF"
+            ),
+            FrameError::Oversize { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte bound")
+            }
+            FrameError::Io(e) => write!(f, "frame read failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Default [`LengthFramedReader`] frame bound: far above any telemetry
+/// record the workspace emits, far below anything that could OOM the
+/// collector.
+pub const MAX_FRAME_BYTES: u32 = 1 << 26; // 64 MiB
+
+/// The receiving half of [`LengthFramedWriter`]: decodes `u32`
+/// big-endian length-prefixed frames back into whole records.
+///
+/// Decode state is kept across calls, so a transient
+/// [`FrameError::Io`] (e.g. a socket read timeout mid-frame) can be
+/// retried without corrupting the stream position. EOF exactly on a
+/// frame boundary is the clean end of stream (`Ok(None)`); EOF anywhere
+/// else is [`FrameError::Truncated`].
+pub struct LengthFramedReader<R: Read> {
+    inner: R,
+    max_frame: u32,
+    header: [u8; 4],
+    header_got: usize,
+    body: Vec<u8>,
+    body_need: Option<usize>,
+}
+
+impl<R: Read> LengthFramedReader<R> {
+    /// Decode frames from `inner` with the default
+    /// [`MAX_FRAME_BYTES`] bound.
+    pub fn new(inner: R) -> Self {
+        Self::with_max_frame(inner, MAX_FRAME_BYTES)
+    }
+
+    /// Decode frames from `inner`, rejecting frames above `max_frame`
+    /// bytes with [`FrameError::Oversize`].
+    pub fn with_max_frame(inner: R, max_frame: u32) -> Self {
+        LengthFramedReader {
+            inner,
+            max_frame,
+            header: [0; 4],
+            header_got: 0,
+            body: Vec::new(),
+            body_need: None,
+        }
+    }
+
+    /// Unwrap the inner reader, discarding any partially decoded frame.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+
+    /// The next whole frame, `Ok(None)` at a clean end of stream.
+    pub fn read_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        // Header first (unless a body is already in progress).
+        while self.body_need.is_none() {
+            if self.header_got == 4 {
+                let len = u32::from_be_bytes(self.header);
+                if len > self.max_frame {
+                    return Err(FrameError::Oversize {
+                        len,
+                        max: self.max_frame,
+                    });
+                }
+                self.body_need = Some(len as usize);
+                self.body.clear();
+                break;
+            }
+            let n = self.inner.read(&mut self.header[self.header_got..4])?;
+            if n == 0 {
+                if self.header_got == 0 {
+                    return Ok(None); // clean EOF between frames
+                }
+                return Err(FrameError::Truncated {
+                    expected: 4,
+                    got: self.header_got,
+                });
+            }
+            self.header_got += n;
+        }
+        let need = self.body_need.expect("body length decoded above");
+        while self.body.len() < need {
+            let mut chunk = [0u8; 4096];
+            let want = (need - self.body.len()).min(chunk.len());
+            let n = self.inner.read(&mut chunk[..want])?;
+            if n == 0 {
+                return Err(FrameError::Truncated {
+                    expected: need,
+                    got: self.body.len(),
+                });
+            }
+            self.body.extend_from_slice(&chunk[..n]);
+        }
+        self.header_got = 0;
+        self.body_need = None;
+        Ok(Some(std::mem::take(&mut self.body)))
+    }
+}
+
+/// Std-only accept machinery for a collector: a non-blocking
+/// `TcpListener` polled between ingest attempts, so a single thread can
+/// interleave accepting worker pushes with deadline checks — no async
+/// runtime, mirroring [`MetricsServer`].
+pub struct FrameListener {
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl FrameListener {
+    /// Bind `addr` (`127.0.0.1:0` gives an ephemeral port).
+    pub fn bind(addr: &str) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        Ok(FrameListener { listener, addr })
+    }
+
+    /// The bound address (real port after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Accept one pending connection, or `None` when nobody is waiting.
+    /// The returned stream is switched back to blocking mode with
+    /// `read_timeout` applied, ready for a [`LengthFramedReader`].
+    pub fn poll_accept(&self, read_timeout: std::time::Duration) -> io::Result<Option<TcpStream>> {
+        match self.listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                stream.set_read_timeout(Some(read_timeout))?;
+                Ok(Some(stream))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +544,180 @@ mod tests {
         reg.inc("switch.packets", 2);
         endpoint.on_run_end("switch", SimTime::from_ns(200), &reg);
         assert!(scrape().contains("rip_switch_packets_total{source=\"switch\"} 7"));
+    }
+
+    #[test]
+    fn server_prepends_build_info_and_uptime_families() {
+        let mut server = MetricsServer::bind("127.0.0.1:0").expect("bind");
+        server.set_build_info("ripsim", "1.2.3\"quoted\"");
+        server.publish("rip_up 1\n".to_string());
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        stream
+            .write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+            .expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        // The version label is escaped per the exposition grammar and
+        // each family carries exactly one HELP and one TYPE line.
+        assert!(
+            response.contains("ripsim_build_info{version=\"1.2.3\\\"quoted\\\"\"} 1\n"),
+            "{response}"
+        );
+        for family in ["ripsim_build_info", "ripsim_uptime_seconds"] {
+            assert_eq!(
+                response
+                    .matches(&format!("# TYPE {family} gauge\n"))
+                    .count(),
+                1,
+                "{response}"
+            );
+            assert_eq!(
+                response.matches(&format!("# HELP {family} ")).count(),
+                1,
+                "{response}"
+            );
+        }
+        assert!(response.contains("\nripsim_uptime_seconds "), "{response}");
+        assert!(response.ends_with("rip_up 1\n"), "{response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn endpoint_counts_watchdog_alarms_across_run_end() {
+        let mut endpoint = MetricsEndpoint::bind("127.0.0.1:0").expect("bind");
+        let addr = endpoint.local_addr();
+        let event = WatchdogEvent {
+            source: "plane00".into(),
+            epoch: 3,
+            at: SimTime::from_ns(100),
+            kind: crate::WatchdogKind::Stall { epochs: 16 },
+        };
+        endpoint.on_watchdog("plane00", &event);
+        endpoint.on_watchdog("plane00", &event);
+        let mut totals = MetricsRegistry::new();
+        totals.inc("switch.packets", 9);
+        endpoint.on_run_end("plane00", SimTime::from_ns(200), &totals);
+        endpoint.note_dropped_records("plane00", SimTime::from_ns(200), 5);
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET / HTTP/1.0\r\n\r\n")
+            .expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        // run_end's authoritative totals must not erase the stream-side
+        // alarm tally, and eviction counts surface as a gauge.
+        assert!(
+            response.contains("rip_watchdog_alarms_total{source=\"plane00\"} 2"),
+            "{response}"
+        );
+        assert!(
+            response.contains("rip_switch_packets_total{source=\"plane00\"} 9"),
+            "{response}"
+        );
+        assert!(
+            response.contains("rip_telemetry_dropped_records{source=\"plane00\"} 5"),
+            "{response}"
+        );
+    }
+
+    #[test]
+    fn reader_round_trips_writer_frames() {
+        let mut framed = LengthFramedWriter::new(Vec::new());
+        framed.write_all(b"{\"a\":1}\n{\"bb\":2}\n").expect("write");
+        framed.write_all(b"third line\n").expect("write");
+        let bytes = framed.into_inner();
+        let mut reader = LengthFramedReader::new(&bytes[..]);
+        assert_eq!(
+            reader.read_frame().unwrap().as_deref(),
+            Some(&b"{\"a\":1}"[..])
+        );
+        assert_eq!(
+            reader.read_frame().unwrap().as_deref(),
+            Some(&b"{\"bb\":2}"[..])
+        );
+        assert_eq!(
+            reader.read_frame().unwrap().as_deref(),
+            Some(&b"third line"[..])
+        );
+        assert!(reader.read_frame().unwrap().is_none(), "clean EOF");
+        assert!(reader.read_frame().unwrap().is_none(), "EOF is sticky");
+    }
+
+    #[test]
+    fn reader_types_truncation_and_oversize() {
+        // EOF mid-header.
+        let mut reader = LengthFramedReader::new(&[0u8, 0][..]);
+        match reader.read_frame() {
+            Err(FrameError::Truncated {
+                expected: 4,
+                got: 2,
+            }) => {}
+            other => panic!("want header truncation, got {other:?}"),
+        }
+        // EOF mid-body.
+        let mut wire = 10u32.to_be_bytes().to_vec();
+        wire.extend_from_slice(b"abc");
+        let mut reader = LengthFramedReader::new(&wire[..]);
+        match reader.read_frame() {
+            Err(FrameError::Truncated {
+                expected: 10,
+                got: 3,
+            }) => {}
+            other => panic!("want body truncation, got {other:?}"),
+        }
+        // Oversize header.
+        let wire = u32::MAX.to_be_bytes();
+        let mut reader = LengthFramedReader::with_max_frame(&wire[..], 1024);
+        match reader.read_frame() {
+            Err(FrameError::Oversize {
+                len: u32::MAX,
+                max: 1024,
+            }) => {}
+            other => panic!("want oversize, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reader_resumes_after_transient_io_errors() {
+        /// Yields one byte per read, interleaving `WouldBlock` errors —
+        /// the shape of a socket with a short read timeout.
+        struct Choppy<'a> {
+            data: &'a [u8],
+            pos: usize,
+            tick: bool,
+        }
+        impl Read for Choppy<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                self.tick = !self.tick;
+                if self.tick {
+                    return Err(io::Error::new(io::ErrorKind::WouldBlock, "not yet"));
+                }
+                if self.pos == self.data.len() {
+                    return Ok(0);
+                }
+                buf[0] = self.data[self.pos];
+                self.pos += 1;
+                Ok(1)
+            }
+        }
+        let mut framed = LengthFramedWriter::new(Vec::new());
+        framed.write_all(b"hello\nworld\n").expect("write");
+        let wire = framed.into_inner();
+        let mut reader = LengthFramedReader::new(Choppy {
+            data: &wire,
+            pos: 0,
+            tick: false,
+        });
+        let mut frames = Vec::new();
+        loop {
+            match reader.read_frame() {
+                Ok(Some(f)) => frames.push(f),
+                Ok(None) => break,
+                Err(FrameError::Io(e)) if e.kind() == io::ErrorKind::WouldBlock => continue,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(frames, vec![b"hello".to_vec(), b"world".to_vec()]);
     }
 
     #[test]

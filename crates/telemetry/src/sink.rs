@@ -231,7 +231,7 @@ fn sanitize(name: &str) -> String {
 
 /// Escape a label value per the exposition grammar: backslash, double
 /// quote and newline must be `\\`, `\"` and `\n`.
-fn escape_label(value: &str) -> String {
+pub(crate) fn escape_label(value: &str) -> String {
     let mut out = String::with_capacity(value.len());
     for c in value.chars() {
         match c {

@@ -87,6 +87,12 @@ pub enum WatchdogKind {
         /// The configured bound, nanoseconds.
         bound_ns: f64,
     },
+    /// A fleet worker disconnected, timed out or never completed its
+    /// stream. Raised by the collector, not by epoch evaluation.
+    WorkerLost {
+        /// Worker id from the stream's `fleet_hello`.
+        worker: u64,
+    },
 }
 
 /// One fired alarm: which source, at which epoch boundary, and why.

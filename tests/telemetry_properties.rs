@@ -242,3 +242,91 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    /// The fleet merge invariant: partition a run's work across `k`
+    /// planes, stream each plane's epochs as deltas, rebuild every
+    /// plane's registry from its delta stream alone, and merge the
+    /// rebuilt registries in plane order — the result equals merging
+    /// the true per-plane registries in plane order, byte-identically.
+    /// Zero-increment ops create counters whose first-appearance
+    /// deltas carry the value 0; losing those records would make a
+    /// collector's totals diverge from the single-process run's, so
+    /// the strategy includes them deliberately.
+    #[test]
+    fn plane_order_delta_merge_reconstructs_the_stitched_registry(
+        plane_segs in prop::collection::vec(
+            prop::collection::vec(prop::collection::vec(op(), 0..20), 1..5),
+            1..5,
+        ),
+        zero_counter in 0usize..3,
+    ) {
+        let mut true_planes: Vec<MetricsRegistry> = Vec::new();
+        let mut rebuilt_planes: Vec<MetricsRegistry> = Vec::new();
+        for (p, segs) in plane_segs.iter().enumerate() {
+            let mut r = MetricsRegistry::new();
+            // A counter that exists at zero from the first epoch: its
+            // first-appearance delta must carry it even though the
+            // count never moves.
+            r.inc(OP_NAMES[zero_counter], 0);
+            let mut prev = Snapshot::empty();
+            let mut rebuilt = MetricsRegistry::new();
+            for (i, seg) in segs.iter().enumerate() {
+                for o in seg {
+                    apply(&mut r, o);
+                }
+                let at = SimTime::from_ns((p as u64 + 1) * 10_000 + (i as u64 + 1) * 100);
+                let snap = r.snapshot(at);
+                rebuilt.apply_delta(&snap.delta_since(&prev));
+                prev = snap;
+            }
+            true_planes.push(r);
+            rebuilt_planes.push(rebuilt);
+        }
+        let mut stitched = MetricsRegistry::new();
+        for r in &true_planes {
+            stitched.merge(r);
+        }
+        let mut collected = MetricsRegistry::new();
+        for r in &rebuilt_planes {
+            collected.merge(r);
+        }
+        prop_assert_eq!(&collected, &stitched);
+        prop_assert_eq!(
+            serde_json::to_string(&collected).unwrap(),
+            serde_json::to_string(&stitched).unwrap()
+        );
+    }
+}
+
+proptest! {
+    /// The length-framed transport is the identity on newline-free
+    /// lines: writing any sequence of lines through
+    /// `LengthFramedWriter` (one frame per line, as `JsonlSink` emits
+    /// them) and reading it back through `LengthFramedReader` yields
+    /// the same lines, with a clean EOF after the last.
+    #[test]
+    fn length_framed_round_trip_is_identity(
+        lines in prop::collection::vec(
+            prop::collection::vec(0u8..=255, 0..200)
+                .prop_map(|mut v| { v.retain(|&b| b != b'\n'); v }),
+            0..40,
+        ),
+    ) {
+        use std::io::Write as _;
+        use rip_telemetry::{LengthFramedReader, LengthFramedWriter};
+        let mut framed = LengthFramedWriter::new(Vec::new());
+        for line in &lines {
+            framed.write_all(line).unwrap();
+            framed.write_all(b"\n").unwrap();
+        }
+        framed.flush().unwrap();
+        let bytes = framed.into_inner();
+        let mut reader = LengthFramedReader::new(&bytes[..]);
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        while let Some(frame) = reader.read_frame().unwrap() {
+            got.push(frame);
+        }
+        prop_assert_eq!(got, lines);
+    }
+}
