@@ -24,6 +24,41 @@ bench_keys() {
   grep -o '"[a-z_0-9]*":' "$1" | sort -u
 }
 
+# scrape_metrics <port-file> <out-file> <required-regex>... — wait for
+# the port file, then scrape the Prometheus endpoint with retries and
+# exponential backoff (0.1 s doubling to a 1.6 s cap) until one
+# response carries every required regex. A freshly bound endpoint or a
+# family that appears only after the first epoch flush is a retry, not
+# a flake.
+scrape_metrics() {
+  local port_file="$1" out="$2" port delay pat ok
+  shift 2
+  for _ in $(seq 1 100); do
+    [ -s "$port_file" ] && break
+    sleep 0.1
+  done
+  test -s "$port_file" || return 1
+  port="$(tr -d '[:space:]' < "$port_file")"
+  delay=0.1
+  for _ in $(seq 1 40); do
+    if exec 3<>"/dev/tcp/127.0.0.1/$port" 2> /dev/null; then
+      printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+      cat <&3 > "$out"
+      exec 3<&- 3>&-
+      ok=yes
+      for pat in "$@"; do
+        grep -q "$pat" "$out" || ok=""
+      done
+      if [ -n "$ok" ]; then
+        return 0
+      fi
+    fi
+    sleep "$delay"
+    delay="$(awk -v d="$delay" 'BEGIN { printf "%.1f", (d * 2 > 1.6) ? 1.6 : d * 2 }')"
+  done
+  return 1
+}
+
 (cd "$bench_dir" && "$OLDPWD/target/release/repro" bench --quick --live-epochs > /dev/null)
 # kernel-speed runs in full mode: the wheel-vs-heap ratio needs enough
 # ops to amortize the wheel's initial cascade, and the regression gate
@@ -35,9 +70,13 @@ bench_keys() {
 # fleet asserts the collector's merged stream is byte-identical to the
 # single-process oracle across several worker partitionings.
 (cd "$bench_dir" && "$OLDPWD/target/release/repro" fleet --quick > /dev/null)
+# profile-overhead asserts byte-identical outputs with the profiler on
+# and exits nonzero above 3% overhead; the gate below re-checks the
+# emitted file so a stale artifact can never pass.
+(cd "$bench_dir" && "$OLDPWD/target/release/repro" profile-overhead --quick > /dev/null)
 for f in BENCH_sps_throughput.json BENCH_hbm_access.json BENCH_streaming_memory.json \
          BENCH_telemetry_overhead.json BENCH_kernel_speed.json BENCH_parallel_speed.json \
-         BENCH_fleet_collector.json; do
+         BENCH_fleet_collector.json BENCH_profile_overhead.json; do
   bench_keys "$bench_dir/$f" > "$bench_dir/$f.keys"
 done
 cat "$bench_dir"/BENCH_sps_throughput.json.keys "$bench_dir"/BENCH_hbm_access.json.keys \
@@ -46,6 +85,7 @@ cat "$bench_dir"/BENCH_sps_throughput.json.keys "$bench_dir"/BENCH_hbm_access.js
   "$bench_dir"/BENCH_kernel_speed.json.keys \
   "$bench_dir"/BENCH_parallel_speed.json.keys \
   "$bench_dir"/BENCH_fleet_collector.json.keys \
+  "$bench_dir"/BENCH_profile_overhead.json.keys \
   | sort -u > "$bench_dir/bench.keys"
 diff -u tests/bench_schema_expected.txt "$bench_dir/bench.keys" \
   || { echo "BENCH_*.json schema drifted from tests/bench_schema_expected.txt"; exit 1; }
@@ -83,6 +123,16 @@ awk -v c="$cur_par" -v b="$base_par" 'BEGIN { exit !(c >= 0.9 * b) }' \
   || { echo "sharded-engine speedup regressed: $cur_par vs baseline $base_par (>10% slowdown)"; exit 1; }
 echo "sharded speedup_sharded4 $cur_par (baseline $base_par)"
 
+echo "==> self-profiler overhead gate (<3%, outputs byte-identical)"
+grep -q '"byte_identical": true' "$bench_dir/BENCH_profile_overhead.json" \
+  || { echo "profiler changed a deterministic output"; exit 1; }
+prof_frac="$(grep -o '"overhead_frac": *[-0-9.e]*' "$bench_dir/BENCH_profile_overhead.json" \
+  | grep -o '[-0-9.e]*$')"
+test -n "$prof_frac" || { echo "overhead_frac missing from BENCH_profile_overhead.json"; exit 1; }
+awk -v o="$prof_frac" 'BEGIN { exit !(o < 0.03) }' \
+  || { echo "self-profiler overhead $prof_frac is at or above the 3% budget"; exit 1; }
+echo "profiler overhead_frac $prof_frac (budget < 0.03)"
+
 echo "==> kernel + engine equivalence suite (engines x kernels, byte-identical outputs)"
 cargo test --release -q -p rip-integration-tests --test kernel_equivalence \
   || { echo "kernel/engine equivalence suite failed"; exit 1; }
@@ -105,38 +155,32 @@ grep -q '"ph":"X"' "$bench_dir/trace_a.json" \
 grep -q '"name":"ch00/b00"' "$bench_dir/trace_a.json" \
   || { echo "chrome trace export carries no per-bank HBM tracks"; exit 1; }
 
-echo "==> metrics endpoint smoke (live scrape during soak)"
-target/release/ripsim soak configs/soak_live.json \
+echo "==> metrics endpoint smoke (live scrape during soak, profiler on)"
+target/release/ripsim soak configs/soak_live.json --profile \
   --metrics 127.0.0.1:0 --metrics-port-file "$bench_dir/metrics.port" \
   --metrics-hold-ms 8000 \
   > "$bench_dir/soak_live.jsonl" 2> "$bench_dir/soak_live.log" &
 soak_pid=$!
-for _ in $(seq 1 100); do
-  [ -s "$bench_dir/metrics.port" ] && break
-  sleep 0.1
-done
-test -s "$bench_dir/metrics.port" || { echo "soak never published a metrics port"; exit 1; }
-port="$(tr -d '[:space:]' < "$bench_dir/metrics.port")"
-scraped=""
-for _ in $(seq 1 100); do
-  if exec 3<>"/dev/tcp/127.0.0.1/$port" 2> /dev/null; then
-    printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
-    cat <&3 > "$bench_dir/scrape.txt"
-    exec 3<&- 3>&-
-    if grep -q '^rip_switch_packets_delivered_total{source="switch"} [0-9]' "$bench_dir/scrape.txt"; then
-      scraped=yes
-      break
-    fi
-  fi
-  sleep 0.2
-done
+scrape_metrics "$bench_dir/metrics.port" "$bench_dir/scrape.txt" \
+  '^rip_switch_packets_delivered_total{source="switch"} [0-9]' \
+  '^ripsim_profile_phase_seconds_total{source="engine"' \
+  || true # asserted below, after the soak is reaped
 wait "$soak_pid" || { echo "healthy live soak exited nonzero"; exit 1; }
-test -n "$scraped" || { echo "metrics scrape never returned switch totals"; exit 1; }
+grep -q '^rip_switch_packets_delivered_total{source="switch"} [0-9]' "$bench_dir/scrape.txt" \
+  || { echo "metrics scrape never returned switch totals"; exit 1; }
+# The profiler's wall-clock families ride the same endpoint, on their
+# own ripsim_profile_* names.
+grep -q '^ripsim_profile_phase_seconds_total{source="engine"' "$bench_dir/scrape.txt" \
+  || { echo "metrics scrape carries no ripsim_profile_* families"; exit 1; }
+grep -q '^ripsim_profile_records_total{source="engine"} [0-9]' "$bench_dir/scrape.txt" \
+  || { echo "metrics scrape is missing ripsim_profile_records_total"; exit 1; }
 # Exposition grammar spot-checks: HELP and TYPE exactly once per family.
 grep -q '^# HELP rip_switch_packets_delivered_total ' "$bench_dir/scrape.txt" \
   || { echo "scrape is missing HELP lines"; exit 1; }
 test "$(grep -c '^# TYPE rip_switch_packets_delivered_total counter$' "$bench_dir/scrape.txt")" = 1 \
   || { echo "scrape repeats TYPE for a family"; exit 1; }
+test "$(grep -c '^# TYPE ripsim_profile_phase_seconds_total counter$' "$bench_dir/scrape.txt")" = 1 \
+  || { echo "scrape repeats TYPE for the profile family"; exit 1; }
 grep -q 'le="+Inf"' "$bench_dir/scrape.txt" \
   || { echo "scrape is missing histogram +Inf buckets"; exit 1; }
 
@@ -147,6 +191,18 @@ if target/release/ripsim soak configs/soak_live.json --inject-channel-fault 0 \
 fi
 grep -q 'DegradedCapacity' "$bench_dir/soak_fault.log" \
   || { echo "fault-injected soak fired no degraded-capacity watchdog"; exit 1; }
+
+echo "==> flight recorder smoke (watchdog trip dumps a parseable bundle)"
+mkdir "$bench_dir/flight"
+if target/release/ripsim soak configs/soak_live.json --inject-channel-fault 0 \
+     --profile --flight-dir "$bench_dir/flight" \
+     > /dev/null 2> "$bench_dir/flight_fault.log"; then
+  echo "fault-injected soak with flight recorder unexpectedly exited zero"; exit 1
+fi
+test -f "$bench_dir/flight/flight_watchdog.json" \
+  || { echo "watchdog trip left no flight_watchdog.json"; exit 1; }
+target/release/ripsim flight-check "$bench_dir/flight/flight_watchdog.json" \
+  || { echo "flight bundle failed validation"; exit 1; }
 
 echo "==> checkpoint/resume smoke (SIGKILL mid-soak, byte-identical continuation)"
 target/release/ripsim soak configs/soak_ckpt.json \
@@ -198,11 +254,11 @@ fi
 grep -q 'truncated' "$bench_dir/ckpt_trunc.log" \
   || { echo "truncated snapshot produced no typed error"; exit 1; }
 
-echo "==> fleet collector smoke (2 plane workers over TCP, byte-identical merge)"
+echo "==> fleet collector smoke (2 plane workers over TCP, byte-identical merge, profiler on)"
 target/release/ripsim collect configs/fleet_small.json --oracle \
   > "$bench_dir/fleet_oracle.jsonl" 2> /dev/null \
   || { echo "fleet oracle run failed"; exit 1; }
-target/release/ripsim collect configs/fleet_small.json \
+target/release/ripsim collect configs/fleet_small.json --profile \
   --listen 127.0.0.1:0 --port-file "$bench_dir/fleet.port" \
   --timeout-ms 60000 \
   --metrics 127.0.0.1:0 --metrics-port-file "$bench_dir/fleet_metrics.port" \
@@ -215,41 +271,35 @@ for _ in $(seq 1 100); do
 done
 test -s "$bench_dir/fleet.port" || { echo "collector never published its port"; exit 1; }
 fleet_port="$(tr -d '[:space:]' < "$bench_dir/fleet.port")"
-target/release/ripsim plane-worker configs/fleet_small.json \
+target/release/ripsim plane-worker configs/fleet_small.json --profile \
   --worker 0 --planes 0,2 --connect "127.0.0.1:$fleet_port" 2> /dev/null &
 w0_pid=$!
-target/release/ripsim plane-worker configs/fleet_small.json \
+target/release/ripsim plane-worker configs/fleet_small.json --profile \
   --worker 1 --planes 1,3 --connect "127.0.0.1:$fleet_port" 2> /dev/null &
 w1_pid=$!
 wait "$w0_pid" || { echo "plane worker 0 exited nonzero"; exit 1; }
 wait "$w1_pid" || { echo "plane worker 1 exited nonzero"; exit 1; }
 # Scrape the fleet endpoint while the collector holds it open: the
-# merged families must carry per-plane source labels and the
-# ripsim_build_info / uptime preamble.
-for _ in $(seq 1 100); do
-  [ -s "$bench_dir/fleet_metrics.port" ] && break
-  sleep 0.1
-done
-mport="$(tr -d '[:space:]' < "$bench_dir/fleet_metrics.port")"
-fleet_scraped=""
-for _ in $(seq 1 100); do
-  if exec 3<>"/dev/tcp/127.0.0.1/$mport" 2> /dev/null; then
-    printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
-    cat <&3 > "$bench_dir/fleet_scrape.txt"
-    exec 3<&- 3>&-
-    if grep -q 'source="plane00"' "$bench_dir/fleet_scrape.txt"; then
-      fleet_scraped=yes
-      break
-    fi
-  fi
-  sleep 0.2
-done
+# merged families must carry per-plane source labels, the
+# ripsim_build_info / uptime preamble, and — with --profile on both
+# ends — the collector's own phases plus the worker records it merged
+# under their w<NN>/ source prefix.
+scrape_metrics "$bench_dir/fleet_metrics.port" "$bench_dir/fleet_scrape.txt" \
+  'source="plane00"' \
+  '^ripsim_profile_phase_seconds_total{source="collect"' \
+  '^ripsim_profile_records_total{source="w00/plane00"} [0-9]' \
+  || true # asserted below, after the collector is reaped
 wait "$collect_pid" || { echo "fleet collector exited nonzero"; exit 1; }
-test -n "$fleet_scraped" || { echo "fleet scrape never returned per-plane families"; exit 1; }
+grep -q 'source="plane00"' "$bench_dir/fleet_scrape.txt" \
+  || { echo "fleet scrape never returned per-plane families"; exit 1; }
 grep -q '^ripsim_build_info{version="' "$bench_dir/fleet_scrape.txt" \
   || { echo "fleet scrape is missing ripsim_build_info"; exit 1; }
 grep -q '^ripsim_uptime_seconds ' "$bench_dir/fleet_scrape.txt" \
   || { echo "fleet scrape is missing ripsim_uptime_seconds"; exit 1; }
+grep -q '^ripsim_profile_phase_seconds_total{source="collect"' "$bench_dir/fleet_scrape.txt" \
+  || { echo "fleet scrape carries no collector profile phases"; exit 1; }
+grep -q '^ripsim_profile_records_total{source="w00/plane00"} [0-9]' "$bench_dir/fleet_scrape.txt" \
+  || { echo "fleet scrape carries no merged per-worker profile records"; exit 1; }
 cmp "$bench_dir/fleet_merged.jsonl" "$bench_dir/fleet_oracle.jsonl" \
   || { echo "fleet merged stream is not byte-identical to the single-process oracle"; exit 1; }
 

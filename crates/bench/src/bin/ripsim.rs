@@ -96,15 +96,16 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 use rip_bench::fleet::{push_worker_stream, CollectError, Collector, FleetJob};
-use rip_bench::Table;
+use rip_bench::{version_line, Table, SERVICE_VERSION};
 use rip_core::{
     ConfigError, DrainPolicy, EngineKind, FaultKind, FaultPlan, HbmSwitch, LiveOptions,
     RouterConfig, RunOutcome, SpsRouter, SpsWorkload,
 };
 use rip_photonics::SplitPattern;
 use rip_telemetry::{
-    ChromeTraceSink, FanoutSink, FrameListener, JsonlSink, MetricsEndpoint, SharedSink,
-    TelemetrySink, TraceWindow, Watchdog, WatchdogConfig, WatchdogEvent, WatchdogKind,
+    ChromeTraceSink, FanoutSink, FlightRecorder, FlightTee, FrameListener, JsonlSink,
+    MetricsEndpoint, ProfileHub, SharedSink, TelemetrySink, TraceWindow, Watchdog, WatchdogConfig,
+    WatchdogEvent, WatchdogKind,
 };
 use rip_traffic::{
     merge_streams, ArrivalProcess, BoundedSource, FiberFill, MergedSource, PacketGenerator,
@@ -356,6 +357,43 @@ fn run(spec: &SimSpec) -> Result<(), String> {
     Ok(())
 }
 
+/// `--profile` / `--profile-out`: the wall-clock self-profiler,
+/// shared by `soak`, `trace`, `plane-worker` and `collect`. Profile
+/// records are a separate stream from the deterministic telemetry:
+/// they go to stderr (or `--profile-out <file>`), never stdout, so
+/// reports, JSONL, traces and checkpoints stay byte-identical with
+/// profiling on or off.
+#[derive(Default, Clone)]
+struct ProfileOptions {
+    /// Enable the self-profiler.
+    profile: bool,
+    /// Write profile JSONL here instead of stderr.
+    profile_out: Option<String>,
+}
+
+/// Build the profile hub for `opts`, wiring its JSONL output to stderr
+/// or the `--profile-out` file. `None` when profiling is off — the hot
+/// paths then cost one `Option` discriminant check and zero clock
+/// reads.
+fn build_profile_hub(opts: &ProfileOptions) -> Result<Option<ProfileHub>, String> {
+    if !opts.profile {
+        if opts.profile_out.is_some() {
+            return Err("--profile-out needs --profile".into());
+        }
+        return Ok(None);
+    }
+    let hub = ProfileHub::new();
+    match &opts.profile_out {
+        Some(path) => {
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("cannot write {path}: {e}"))?;
+            hub.set_output(Box::new(std::io::BufWriter::new(file)));
+        }
+        None => hub.set_output(Box::new(std::io::stderr())),
+    }
+    Ok(Some(hub))
+}
+
 /// Command-line options of `ripsim soak` beyond the spec itself.
 #[derive(Default)]
 struct SoakOptions {
@@ -377,6 +415,10 @@ struct SoakOptions {
     checkpoint_path: Option<String>,
     /// Continue a killed soak from this snapshot.
     resume: Option<String>,
+    /// Wall-clock self-profiler options.
+    prof: ProfileOptions,
+    /// Where flight-recorder post-mortem bundles land (default `.`).
+    flight_dir: Option<String>,
 }
 
 // ------------------------------------------------------------------
@@ -405,6 +447,76 @@ fn install_stop_handlers() {
     unsafe {
         signal(SIGINT, handler);
         signal(SIGTERM, handler);
+    }
+}
+
+/// Build the soak's flight recorder: a bounded ring of recent epoch
+/// deltas, every watchdog event, and (when profiling) recent profile
+/// records, dumped as a `flight_<reason>.json` post-mortem bundle on a
+/// watchdog alarm, SIGINT/SIGTERM, or panic. Recording never touches
+/// the deterministic output surfaces.
+fn build_flight_recorder(spec: &SimSpec, hub: &Option<ProfileHub>) -> FlightRecorder {
+    let rec = FlightRecorder::new("ripsim", SERVICE_VERSION, 64);
+    rec.set_config_echo(spec.to_value());
+    if let Some(h) = hub {
+        rec.attach_profile_hub(h.clone());
+    }
+    rec
+}
+
+/// Chain a panic hook that dumps the flight bundle before the default
+/// hook prints the panic message — a crashed soak leaves a post-mortem
+/// behind, not just a backtrace.
+fn install_flight_panic_hook(rec: FlightRecorder, dir: String) {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if let Ok(Some(path)) = rec.dump(Path::new(&dir), "panic") {
+            eprintln!("ripsim: flight bundle written to {}", path.display());
+        }
+        prev(info);
+    }));
+}
+
+/// Report a flight dump's outcome on stderr (best-effort: a failed
+/// dump must not mask the condition that triggered it).
+fn report_flight_dump(rec: &FlightRecorder, dir: &str, reason: &str) {
+    match rec.dump(Path::new(dir), reason) {
+        Ok(Some(path)) => eprintln!("ripsim: flight bundle written to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("ripsim: flight dump failed: {e}"),
+    }
+}
+
+/// Sink wrapper polling the stop flag at epoch boundaries for the
+/// plain (non-checkpointed) soak: SIGINT/SIGTERM dump the flight
+/// bundle and exit 130 instead of the default silent kill, so an
+/// operator interrupting a wedged soak still gets the post-mortem.
+struct SignalWatch<S: TelemetrySink> {
+    inner: S,
+    rec: FlightRecorder,
+    dir: String,
+}
+
+impl<S: TelemetrySink> TelemetrySink for SignalWatch<S> {
+    fn on_epoch(&mut self, source: &str, epoch: u64, delta: &rip_telemetry::EpochDelta) {
+        self.inner.on_epoch(source, epoch, delta);
+        if STOP.load(Ordering::SeqCst) {
+            eprintln!("ripsim: stop requested; dumping flight bundle");
+            report_flight_dump(&self.rec, &self.dir, "signal");
+            std::process::exit(130);
+        }
+    }
+
+    fn on_span(&mut self, source: &str, span: &rip_telemetry::SpanEvent) {
+        self.inner.on_span(source, span);
+    }
+
+    fn on_watchdog(&mut self, source: &str, event: &WatchdogEvent) {
+        self.inner.on_watchdog(source, event);
+    }
+
+    fn on_run_end(&mut self, source: &str, at: SimTime, totals: &rip_telemetry::MetricsRegistry) {
+        self.inner.on_run_end(source, at, totals);
     }
 }
 
@@ -555,6 +667,10 @@ fn run_soak_checkpointed(spec: &SimSpec, opts: &SoakOptions) -> Result<(), Strin
     }
     let _ = std::fs::remove_file(&probe);
     install_stop_handlers();
+    let hub = build_profile_hub(&opts.prof)?;
+    let flight = build_flight_recorder(spec, &hub);
+    let flight_dir = opts.flight_dir.clone().unwrap_or_else(|| ".".into());
+    install_flight_panic_hook(flight.clone(), flight_dir.clone());
 
     let mults = [1u64, 4];
     if run_index as usize >= mults.len() || done.len() != run_index as usize {
@@ -576,6 +692,9 @@ fn run_soak_checkpointed(spec: &SimSpec, opts: &SoakOptions) -> Result<(), Strin
             None => FaultPlan::default(),
         };
         let mut sw = HbmSwitch::new(spec.router.clone()).map_err(|e| e.to_string())?;
+        if let Some(h) = &hub {
+            sw.enable_profiler(h.clone());
+        }
         // Line-buffered stdout, not BufWriter: each record line must be
         // out of the process before the snapshot that counts it lands.
         let mut sink = JsonlSink::new(std::io::stdout());
@@ -589,7 +708,10 @@ fn run_soak_checkpointed(spec: &SimSpec, opts: &SoakOptions) -> Result<(), Strin
         } else {
             None
         };
-        sw.enable_live_telemetry(period, 256, Box::new(sink));
+        // The flight tee forwards every record unchanged (the stream
+        // bytes — and the snapshots counting them — are identical with
+        // or without it); it only copies recent epochs into the ring.
+        sw.enable_live_telemetry(period, 256, Box::new(FlightTee::new(flight.clone(), sink)));
         let outcome = sw
             .run_source_checkpointed(
                 source,
@@ -617,6 +739,10 @@ fn run_soak_checkpointed(spec: &SimSpec, opts: &SoakOptions) -> Result<(), Strin
                 "ripsim: stop requested; snapshot written to {path} -- \
                  resume with: ripsim soak <spec.json> --resume {path}"
             );
+            report_flight_dump(&flight, &flight_dir, "signal");
+            if let Some(h) = &hub {
+                h.flush_output();
+            }
             return Ok(());
         }
         let epochs = sw.live_epochs_emitted();
@@ -658,6 +784,9 @@ fn run_soak_checkpointed(spec: &SimSpec, opts: &SoakOptions) -> Result<(), Strin
             }
         }
     }
+    if let Some(h) = &hub {
+        h.flush_output();
+    }
     let (r1, r2) = (&done[0], &done[1]);
     if r2.offered_packets < 3 * r1.offered_packets {
         return Err(format!(
@@ -681,30 +810,31 @@ fn run_soak_checkpointed(spec: &SimSpec, opts: &SoakOptions) -> Result<(), Strin
 #[derive(Clone)]
 struct SharedEndpoint(Arc<Mutex<MetricsEndpoint>>);
 
+impl SharedEndpoint {
+    /// Poison-tolerant lock: a panic on another thread must not
+    /// cascade a second panic into the telemetry export path — the
+    /// endpoint's state is a monotone counter set, safe to keep
+    /// serving.
+    fn lock(&self) -> std::sync::MutexGuard<'_, MetricsEndpoint> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
 impl TelemetrySink for SharedEndpoint {
     fn on_epoch(&mut self, source: &str, epoch: u64, delta: &rip_telemetry::EpochDelta) {
-        self.0
-            .lock()
-            .expect("endpoint lock")
-            .on_epoch(source, epoch, delta);
+        self.lock().on_epoch(source, epoch, delta);
     }
 
     fn on_span(&mut self, source: &str, span: &rip_telemetry::SpanEvent) {
-        self.0.lock().expect("endpoint lock").on_span(source, span);
+        self.lock().on_span(source, span);
     }
 
     fn on_watchdog(&mut self, source: &str, event: &rip_telemetry::WatchdogEvent) {
-        self.0
-            .lock()
-            .expect("endpoint lock")
-            .on_watchdog(source, event);
+        self.lock().on_watchdog(source, event);
     }
 
     fn on_run_end(&mut self, source: &str, at: SimTime, totals: &rip_telemetry::MetricsRegistry) {
-        self.0
-            .lock()
-            .expect("endpoint lock")
-            .on_run_end(source, at, totals);
+        self.lock().on_run_end(source, at, totals);
     }
 }
 
@@ -744,9 +874,24 @@ fn run_soak(spec: &SimSpec, opts: &SoakOptions) -> Result<(), String> {
     } else {
         |a| println!("{a}")
     };
+    let hub = build_profile_hub(&opts.prof)?;
+    let flight = build_flight_recorder(spec, &hub);
+    let flight_dir = opts.flight_dir.clone().unwrap_or_else(|| ".".into());
+    install_flight_panic_hook(flight.clone(), flight_dir.clone());
+    if period.is_some() {
+        // SIGINT/SIGTERM flip the stop flag; SignalWatch polls it at
+        // epoch boundaries and exits through a flight dump. Without an
+        // epoch period nothing polls the flag, so leave the default
+        // (killing) disposition in place.
+        install_stop_handlers();
+    }
     let endpoint = match &opts.metrics {
         Some(addr) => {
-            let ep = MetricsEndpoint::bind(addr).map_err(|e| format!("metrics bind: {e}"))?;
+            let mut ep = MetricsEndpoint::bind(addr).map_err(|e| format!("metrics bind: {e}"))?;
+            ep.set_build_info("ripsim", SERVICE_VERSION);
+            if let Some(h) = &hub {
+                ep.attach_profile_hub("ripsim", h.clone());
+            }
             let port = ep.local_addr().port();
             say(format_args!("metrics endpoint on port {port}"));
             if let Some(path) = &opts.metrics_port_file {
@@ -774,6 +919,9 @@ fn run_soak(spec: &SimSpec, opts: &SoakOptions) -> Result<(), String> {
             None => FaultPlan::default(),
         };
         let mut sw = HbmSwitch::new(spec.router.clone()).map_err(|e| e.to_string())?;
+        if let Some(h) = &hub {
+            sw.enable_profiler(h.clone());
+        }
         let handle = period.map(|period| {
             let mut fan = FanoutSink::new();
             fan.push(Box::new(JsonlSink::new(std::io::BufWriter::new(
@@ -782,8 +930,18 @@ fn run_soak(spec: &SimSpec, opts: &SoakOptions) -> Result<(), String> {
             if let Some(ep) = &endpoint {
                 fan.push(Box::new(ep.clone()));
             }
-            let (wd, handle) = Watchdog::new(WatchdogConfig::default(), fan);
-            sw.enable_live_telemetry(period, 256, Box::new(wd));
+            // Chain: watchdog detection -> flight ring -> outputs,
+            // with the signal poll outermost. The tee and the poll
+            // forward every record unchanged, so the stdout bytes are
+            // identical with or without them.
+            let tee = FlightTee::new(flight.clone(), fan);
+            let (wd, handle) = Watchdog::new(WatchdogConfig::default(), tee);
+            let watch = SignalWatch {
+                inner: wd,
+                rec: flight.clone(),
+                dir: flight_dir.clone(),
+            };
+            sw.enable_live_telemetry(period, 256, Box::new(watch));
             handle
         });
         sw.run_ports(ports, drain_deadline(spec, horizon), &plan);
@@ -806,6 +964,9 @@ fn run_soak(spec: &SimSpec, opts: &SoakOptions) -> Result<(), String> {
             watchdog_events.extend(handle.events());
         }
         reports.push(r);
+    }
+    if let Some(h) = &hub {
+        h.flush_output();
     }
     if opts.metrics_hold_ms > 0 && endpoint.is_some() {
         say(format_args!(
@@ -833,6 +994,7 @@ fn run_soak(spec: &SimSpec, opts: &SoakOptions) -> Result<(), String> {
                 e.kind
             ));
         }
+        report_flight_dump(&flight, &flight_dir, "watchdog");
         return Err(format!(
             "{} watchdog alarm(s) fired during the soak",
             watchdog_events.len()
@@ -926,6 +1088,7 @@ struct WorkerOptions {
     planes: Vec<usize>,
     connect: Option<String>,
     out: Option<String>,
+    prof: ProfileOptions,
 }
 
 /// Parse a `--planes` list: comma-separated plane indices, strictly
@@ -946,7 +1109,14 @@ fn parse_planes(v: &str) -> Result<Vec<usize>, String> {
 /// (`--connect`, with retries — the collector may still be binding) or
 /// to a file (`--out`, for offline `collect --from` ingest).
 fn run_plane_worker(spec: &SimSpec, opts: &WorkerOptions) -> Result<(), String> {
-    let parts = fleet_parts(spec)?;
+    let mut parts = fleet_parts(spec)?;
+    let hub = build_profile_hub(&opts.prof)?;
+    if let Some(h) = &hub {
+        // The planes profile as `planeNN` into the hub; the worker
+        // stream ships the recent records to the collector, which
+        // re-labels them `wNN/planeNN` in its merged exposition.
+        parts.router.set_profile_hub(h.clone());
+    }
     let job = FleetJob {
         router: &parts.router,
         workload: &parts.workload,
@@ -972,7 +1142,12 @@ fn run_plane_worker(spec: &SimSpec, opts: &WorkerOptions) -> Result<(), String> 
                     Err(_) => std::thread::sleep(std::time::Duration::from_millis(100)),
                 }
             }
-            let stream = stream.expect("loop either connects or returns");
+            // The retry loop above either set the stream or returned;
+            // a typed error here keeps a logic slip from panicking an
+            // otherwise-healthy fleet worker.
+            let Some(stream) = stream else {
+                return Err(format!("cannot connect to collector at {addr}"));
+            };
             push_worker_stream(&job, opts.worker, &opts.planes, stream)
                 .map_err(|e| e.to_string())?;
         }
@@ -984,6 +1159,9 @@ fn run_plane_worker(spec: &SimSpec, opts: &WorkerOptions) -> Result<(), String> 
             out.sync_all().map_err(|e| e.to_string())?;
         }
         _ => return Err("plane-worker needs exactly one of --connect or --out".into()),
+    }
+    if let Some(h) = &hub {
+        h.flush_output();
     }
     eprintln!(
         "worker {}: pushed planes {:?} ({} us horizon)",
@@ -1019,6 +1197,8 @@ struct CollectOptions {
     /// (forfeits byte-identity when it evicts; reported in the
     /// summary's `dropped_records`).
     stage_cap: Option<usize>,
+    /// Wall-clock self-profiler options.
+    prof: ProfileOptions,
 }
 
 /// The collector's output chain — identical to the oracle's, which is
@@ -1057,11 +1237,15 @@ fn note_worker_lost(sink: &mut dyn TelemetrySink, worker: u64, why: &str) {
 /// single-process telemetry stream and report — or, with `--oracle`,
 /// produce that single-process stream directly for a byte diff.
 fn run_collect(spec: &SimSpec, opts: &CollectOptions) -> Result<(), String> {
-    let parts = fleet_parts(spec)?;
+    let mut parts = fleet_parts(spec)?;
+    let hub = build_profile_hub(&opts.prof)?;
     let endpoint = match &opts.metrics {
         Some(addr) => {
-            let ep = MetricsEndpoint::bind(addr).map_err(|e| format!("metrics bind: {e}"))?;
-            ep.set_build_info("ripsim", env!("CARGO_PKG_VERSION"));
+            let mut ep = MetricsEndpoint::bind(addr).map_err(|e| format!("metrics bind: {e}"))?;
+            ep.set_build_info("ripsim", SERVICE_VERSION);
+            if let Some(h) = &hub {
+                ep.attach_profile_hub("ripsim", h.clone());
+            }
             let port = ep.local_addr().port();
             eprintln!("metrics endpoint on port {port}");
             if let Some(path) = &opts.metrics_port_file {
@@ -1076,6 +1260,11 @@ fn run_collect(spec: &SimSpec, opts: &CollectOptions) -> Result<(), String> {
 
     let summary: String;
     if opts.oracle {
+        if let Some(h) = &hub {
+            // The oracle's in-process planes profile as `planeNN` —
+            // the same labels the merged fleet exposition carries.
+            parts.router.set_profile_hub(h.clone());
+        }
         let report = parts.router.run_streamed(
             &parts.workload,
             parts.horizon,
@@ -1091,6 +1280,9 @@ fn run_collect(spec: &SimSpec, opts: &CollectOptions) -> Result<(), String> {
         let mut collector = Collector::new(parts.echo.clone(), spec.router.switches);
         if let Some(cap) = opts.stage_cap {
             collector = collector.with_plane_capacity(cap);
+        }
+        if let Some(h) = &hub {
+            collector = collector.with_profiler(h.clone());
         }
         if !opts.from.is_empty() {
             for path in &opts.from {
@@ -1159,7 +1351,7 @@ fn run_collect(spec: &SimSpec, opts: &CollectOptions) -> Result<(), String> {
             .finish(&parts.router, parts.horizon, &mut wd)
             .map_err(|e| e.to_string())?;
         if let Some(ep) = &endpoint {
-            ep.0.lock().expect("endpoint lock").note_dropped_records(
+            ep.lock().note_dropped_records(
                 "sps",
                 parts.router.drain_deadline(parts.horizon),
                 outcome.dropped_records,
@@ -1175,6 +1367,9 @@ fn run_collect(spec: &SimSpec, opts: &CollectOptions) -> Result<(), String> {
         );
     }
     drop(wd); // flush the merged stream before reporting
+    if let Some(h) = &hub {
+        h.flush_output();
+    }
     if opts.metrics_hold_ms > 0 && endpoint.is_some() {
         eprintln!("holding metrics endpoint for {} ms", opts.metrics_hold_ms);
         std::thread::sleep(std::time::Duration::from_millis(opts.metrics_hold_ms));
@@ -1322,10 +1517,14 @@ impl Drop for JsonlGuard {
 /// surface — events, counters, gauges, histogram summaries, series —
 /// to stdout as JSONL. Every timestamp is sim time (picoseconds), so
 /// two same-seed runs produce byte-identical output.
-fn run_trace(spec: &SimSpec) -> Result<(), String> {
+fn run_trace(spec: &SimSpec, prof: &ProfileOptions) -> Result<(), String> {
     let horizon = SimTime::from_ns(spec.horizon_us * 1000);
     let ports = build_port_sources(spec, horizon)?;
     let mut sw = HbmSwitch::new(spec.router.clone()).map_err(|e| e.to_string())?;
+    let hub = build_profile_hub(prof)?;
+    if let Some(h) = &hub {
+        sw.enable_profiler(h.clone());
+    }
     sw.enable_trace(1 << 20);
     sw.run_ports(ports, drain_deadline(spec, horizon), &FaultPlan::default());
     // Copy the series out before consuming the switch for its report;
@@ -1411,6 +1610,9 @@ fn run_trace(spec: &SimSpec) -> Result<(), String> {
         .fold(SimTime::ZERO, SimTime::max);
     out.finish(end, r.metrics)
         .map_err(|e| format!("cannot write trace stream: {e}"))?;
+    if let Some(h) = &hub {
+        h.flush_output();
+    }
     Ok(())
 }
 
@@ -1431,7 +1633,12 @@ fn run_trace(spec: &SimSpec) -> Result<(), String> {
 /// Every timestamp is sim time in integer picoseconds (rendered as
 /// Perfetto microseconds), so two same-seed exports are byte-identical.
 /// `--trace-window <start_ps>:<end_ps>` bounds the recorded interval.
-fn run_trace_chrome(spec: &SimSpec, out_path: &str, window: TraceWindow) -> Result<(), String> {
+fn run_trace_chrome(
+    spec: &SimSpec,
+    out_path: &str,
+    window: TraceWindow,
+    prof: &ProfileOptions,
+) -> Result<(), String> {
     let horizon = SimTime::from_ns(spec.horizon_us * 1000);
     let ports = build_port_sources(spec, horizon)?;
     let period = match spec.epoch_ps {
@@ -1439,10 +1646,14 @@ fn run_trace_chrome(spec: &SimSpec, out_path: &str, window: TraceWindow) -> Resu
         Some(ps) => TimeDelta::from_ps(ps),
         None => TimeDelta::from_ps(2_000_000),
     };
+    let hub = build_profile_hub(prof)?;
 
     // Device pass: HBM command timelines and frame lifecycles recorded
     // in-simulation, plus the staged live stream for packet spans.
     let mut sw = HbmSwitch::new(spec.router.clone()).map_err(|e| e.to_string())?;
+    if let Some(h) = &hub {
+        sw.enable_profiler(h.clone());
+    }
     sw.enable_chrome_trace(window);
     let staged = SharedSink::new();
     sw.enable_live_telemetry(period, 64, Box::new(staged.clone()));
@@ -1456,8 +1667,11 @@ fn run_trace_chrome(spec: &SimSpec, out_path: &str, window: TraceWindow) -> Resu
     // Plane pass: the same configuration through the plane-parallel SPS
     // router; its per-plane epoch streams become one activity lane per
     // plane in the export.
-    let router =
+    let mut router =
         SpsRouter::new(spec.router.clone(), SplitPattern::Striped).map_err(|e| e.to_string())?;
+    if let Some(h) = &hub {
+        router.set_profile_hub(h.clone());
+    }
     let w = SpsWorkload::uniform(spec.router.ribbons, spec.load, spec.seed);
     let opts = LiveOptions {
         period,
@@ -1479,7 +1693,60 @@ fn run_trace_chrome(spec: &SimSpec, out_path: &str, window: TraceWindow) -> Resu
         window.start().as_ps(),
         window.end().as_ps()
     );
+    if let Some(h) = &hub {
+        h.flush_output();
+    }
     Ok(())
+}
+
+// --------------------------------------------------------------------
+// `ripsim flight-check` — post-mortem bundle validation
+// --------------------------------------------------------------------
+
+/// Field lookup on a parsed JSON object (the vendored `Value` has no
+/// `get`).
+fn jget<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    v.as_object()?
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, val)| val)
+}
+
+/// Validate a flight-recorder bundle: parses as JSON, carries the
+/// `flight` record tag, a reason, build info, and the three content
+/// arrays. Prints a one-line summary on success — the CI smoke's
+/// schema gate, with no external JSON tooling needed.
+fn flight_check(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let v = serde_json::parse(&text).map_err(|e| format!("{path} does not parse: {e}"))?;
+    let record = jget(&v, "record").and_then(Value::as_str).unwrap_or("");
+    if record != "flight" {
+        return Err(format!("{path}: record is {record:?}, want \"flight\""));
+    }
+    let reason = jget(&v, "reason")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("{path}: missing string field `reason`"))?
+        .to_string();
+    for key in ["service", "version"] {
+        if jget(&v, key).and_then(Value::as_str).is_none() {
+            return Err(format!("{path}: missing string field `{key}`"));
+        }
+    }
+    for key in ["epochs_seen", "epochs_retained"] {
+        let field = jget(&v, key).ok_or_else(|| format!("{path}: missing field `{key}`"))?;
+        u64::from_value(field).map_err(|e| format!("{path}: field `{key}`: {e}"))?;
+    }
+    let mut counts = Vec::new();
+    for key in ["epochs", "watchdogs", "profiles"] {
+        let arr = jget(&v, key)
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("{path}: missing array field `{key}`"))?;
+        counts.push(arr.len());
+    }
+    Ok(format!(
+        "flight bundle OK: reason={reason} epochs={} watchdogs={} profiles={}",
+        counts[0], counts[1], counts[2]
+    ))
 }
 
 /// Build a uniform IMIX/Poisson trace for `cfg` at `load` over `horizon`.
@@ -1650,8 +1917,26 @@ fn parse_threads(v: &str) -> usize {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--version") {
+        println!("{}", version_line("ripsim"));
+        return;
+    }
     if args.first().map(String::as_str) == Some("resilience") {
         run_resilience();
+        return;
+    }
+    if args.first().map(String::as_str) == Some("flight-check") {
+        let Some(path) = args.get(1) else {
+            eprintln!("ripsim: flight-check needs a bundle path");
+            std::process::exit(2);
+        };
+        match flight_check(path) {
+            Ok(summary) => println!("{summary}"),
+            Err(e) => {
+                eprintln!("ripsim: flight-check FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
         return;
     }
     if args.first().map(String::as_str) == Some("trace") {
@@ -1659,6 +1944,7 @@ fn main() {
         let mut chrome: Option<&str> = None;
         let mut window: Option<TraceWindow> = None;
         let mut threads: Option<usize> = None;
+        let mut prof = ProfileOptions::default();
         let mut rest = args[1..].iter();
         while let Some(a) = rest.next() {
             if a == "--threads" {
@@ -1667,6 +1953,10 @@ fn main() {
                     "--threads",
                     "a worker-shard count",
                 )));
+            } else if a == "--profile" {
+                prof.profile = true;
+            } else if a == "--profile-out" {
+                prof.profile_out = Some(require_value(&mut rest, "--profile-out", "a path").into());
             } else if a == "--chrome" {
                 chrome = Some(require_value(&mut rest, "--chrome", "an output path"));
             } else if a == "--trace-window" {
@@ -1692,8 +1982,10 @@ fn main() {
         let mut spec = spec_path.map_or_else(SimSpec::example, load_spec);
         apply_threads(&mut spec, threads);
         let result = match chrome {
-            Some(path) => run_trace_chrome(&spec, path, window.unwrap_or_else(TraceWindow::all)),
-            None => run_trace(&spec),
+            Some(path) => {
+                run_trace_chrome(&spec, path, window.unwrap_or_else(TraceWindow::all), &prof)
+            }
+            None => run_trace(&spec, &prof),
         };
         if let Err(e) = result {
             eprintln!("ripsim: {e}");
@@ -1760,6 +2052,14 @@ fn main() {
                     Some(require_value(&mut rest, "--checkpoint-path", "a path").into());
             } else if a == "--resume" {
                 opts.resume = Some(require_value(&mut rest, "--resume", "a snapshot path").into());
+            } else if a == "--profile" {
+                opts.prof.profile = true;
+            } else if a == "--profile-out" {
+                opts.prof.profile_out =
+                    Some(require_value(&mut rest, "--profile-out", "a path").into());
+            } else if a == "--flight-dir" {
+                opts.flight_dir =
+                    Some(require_value(&mut rest, "--flight-dir", "a directory").into());
             } else if spec_path.is_none() {
                 spec_path = Some(a);
             } else {
@@ -1788,6 +2088,7 @@ fn main() {
             planes: Vec::new(),
             connect: None,
             out: None,
+            prof: ProfileOptions::default(),
         };
         let mut rest = args[1..].iter();
         while let Some(a) = rest.next() {
@@ -1822,6 +2123,11 @@ fn main() {
                 wopts.connect = Some(require_value(&mut rest, "--connect", "an address").into());
             } else if a == "--out" {
                 wopts.out = Some(require_value(&mut rest, "--out", "a path").into());
+            } else if a == "--profile" {
+                wopts.prof.profile = true;
+            } else if a == "--profile-out" {
+                wopts.prof.profile_out =
+                    Some(require_value(&mut rest, "--profile-out", "a path").into());
             } else if spec_path.is_none() {
                 spec_path = Some(a);
             } else {
@@ -1901,6 +2207,11 @@ fn main() {
                         std::process::exit(2);
                     }
                 }
+            } else if a == "--profile" {
+                copts.prof.profile = true;
+            } else if a == "--profile-out" {
+                copts.prof.profile_out =
+                    Some(require_value(&mut rest, "--profile-out", "a path").into());
             } else if a == "--stage-cap" {
                 let v = require_value(&mut rest, "--stage-cap", "a record count");
                 match v.parse::<usize>() {
@@ -1946,18 +2257,22 @@ fn main() {
         eprintln!(
             "usage: ripsim <spec.json> | \
              ripsim trace [spec.json] [--threads <n>] [--chrome <out.json>] \
-             [--trace-window <a>:<b>] | \
+             [--trace-window <a>:<b>] [--profile [--profile-out <path>]] | \
              ripsim soak [spec.json] [--threads <n>] [--epoch <ps>] [--metrics <addr>] \
              [--metrics-port-file <path>] [--metrics-hold-ms <ms>] \
              [--inject-channel-fault <ch>] [--checkpoint-every <epochs>] \
-             [--checkpoint-path <path>] [--resume <path>] | \
+             [--checkpoint-path <path>] [--resume <path>] \
+             [--profile [--profile-out <path>]] [--flight-dir <dir>] | \
              ripsim plane-worker <spec.json> --worker <id> --planes <i,j,..> \
-             [--epoch <ps>] (--connect <addr> | --out <path>) | \
+             [--epoch <ps>] (--connect <addr> | --out <path>) \
+             [--profile [--profile-out <path>]] | \
              ripsim collect <spec.json> [--epoch <ps>] (--oracle | --from <file>... | \
              --listen <addr> [--port-file <path>] [--timeout-ms <ms>]) \
              [--metrics <addr>] [--metrics-port-file <path>] \
-             [--metrics-hold-ms <ms>] [--stage-cap <n>] | \
-             ripsim --example-spec | ripsim resilience"
+             [--metrics-hold-ms <ms>] [--stage-cap <n>] \
+             [--profile [--profile-out <path>]] | \
+             ripsim flight-check <bundle.json> | \
+             ripsim --example-spec | ripsim --version | ripsim resilience"
         );
         std::process::exit(2);
     };

@@ -18,7 +18,12 @@
 //!    `{"record":"plane_done","plane":N,"fe_packets":..,"fe_bytes":..,
 //!    "report":<SwitchReport>}` carrying the results the single-process
 //!    runner would have gotten from the plane's thread join;
-//! 3. `{"record":"fleet_end","worker":W}`.
+//! 3. when the worker profiled itself, its recent wall-clock profile
+//!    records as `{"record":"profile","data":<ProfileRecord>}` control
+//!    lines — a bounded best-effort sidecar the collector routes into
+//!    its own [`rip_telemetry::ProfileHub`] (source renamed
+//!    `wNN/<source>`) and that never enters the deterministic merge;
+//! 4. `{"record":"fleet_end","worker":W}`.
 //!
 //! The collector buffers a stream's contribution and **commits it only
 //! at `fleet_end`**: a worker that dies mid-stream leaves no partial
@@ -47,9 +52,9 @@ use std::io::{self, Read, Write};
 use rip_core::SwitchReport;
 use rip_core::{ConfigError, FaultPlan, LiveOptions, SpsReport, SpsRouter, SpsWorkload};
 use rip_telemetry::{
-    parse_plane_source, parse_sink_line, plane_source_name, FrameError, JsonlSink,
-    LengthFramedReader, LengthFramedWriter, LineError, ParsedLine, PlaneMerge, SinkRecord,
-    TelemetrySink,
+    parse_plane_source, parse_sink_line, plane_source_name, prof_add, prof_lap, prof_now,
+    EngineProfiler, FrameError, JsonlSink, LengthFramedReader, LengthFramedWriter, LineError,
+    ParsedLine, Phase, PlaneMerge, ProfileHub, ProfileRecord, SinkRecord, TelemetrySink,
 };
 use rip_units::{DataSize, SimTime};
 use serde::{Deserialize, Serialize, Value};
@@ -226,6 +231,19 @@ pub fn push_worker_stream<W: Write>(
             serde_json::to_string(&done.report).expect("report serializes"),
         )?;
     }
+    // Wall-clock sidecar: when the router carries a profile hub (the
+    // worker ran with `--profile`), ship its recent records as control
+    // lines. The collector feeds them into its own hub — they are not
+    // staged, not merged, and cannot perturb the deterministic stream.
+    if let Some(hub) = job.router.profile_hub() {
+        for rec in hub.recent() {
+            writeln!(
+                framed,
+                "{{\"record\":\"profile\",\"data\":{}}}",
+                serde_json::to_string(&rec).expect("profile record serializes"),
+            )?;
+        }
+    }
     writeln!(framed, "{{\"record\":\"fleet_end\",\"worker\":{worker}}}")?;
     framed.flush()?;
     Ok(framed.into_inner())
@@ -264,6 +282,7 @@ pub struct Collector {
     merge: PlaneMerge,
     committed: BTreeMap<usize, PlaneContribution>,
     workers: BTreeSet<u64>,
+    prof: Option<EngineProfiler>,
 }
 
 fn get<'a>(v: &'a Value, name: &str) -> Option<&'a Value> {
@@ -291,7 +310,18 @@ impl Collector {
             merge: PlaneMerge::new(),
             committed: BTreeMap::new(),
             workers: BTreeSet::new(),
+            prof: None,
         }
+    }
+
+    /// Attach the wall-clock self-profiler: ingest laps frame decode
+    /// and staging, finish laps the merge replay, flushing into `hub`
+    /// under source `collect`. Worker-pushed `profile` control lines
+    /// are routed into the same hub with a `wNN/` source prefix.
+    /// Profiling never alters the merged stream or the report.
+    pub fn with_profiler(mut self, hub: ProfileHub) -> Self {
+        self.prof = Some(EngineProfiler::new(hub, "collect"));
+        self
     }
 
     /// Bound each plane's staging buffer to `capacity` records (oldest
@@ -333,6 +363,7 @@ impl Collector {
     pub fn ingest<R: Read>(&mut self, stream: R) -> Result<u64, CollectError> {
         let mut reader = LengthFramedReader::new(stream);
         // --- fleet_hello ------------------------------------------------
+        let mut t0 = prof_now(&self.prof);
         let first = match reader.read_frame()? {
             Some(frame) => frame,
             None => return Err(CollectError::WorkerTruncated { worker: None }),
@@ -347,6 +378,7 @@ impl Collector {
                 )))
             }
         };
+        prof_lap(&mut self.prof, Phase::FrameDecode, &mut t0);
         let schema = get(&hello, "schema").and_then(Value::as_str).unwrap_or("");
         if schema != FLEET_SCHEMA {
             return Err(CollectError::Protocol(format!(
@@ -379,6 +411,7 @@ impl Collector {
         let mut staged: BTreeMap<usize, Vec<SinkRecord>> = BTreeMap::new();
         let mut done: BTreeMap<usize, PlaneDoneMsg> = BTreeMap::new();
         loop {
+            let mut t0 = prof_now(&self.prof);
             // Once the hello has identified the worker, both ways its
             // stream can die — EOF at a frame boundary or EOF mid-frame
             // — are the same typed condition, carrying the id.
@@ -393,7 +426,9 @@ impl Collector {
             };
             let line = String::from_utf8(frame)
                 .map_err(|_| CollectError::Protocol("frame is not UTF-8".into()))?;
-            match parse_sink_line(&line)? {
+            let parsed = parse_sink_line(&line)?;
+            prof_lap(&mut self.prof, Phase::FrameDecode, &mut t0);
+            match parsed {
                 ParsedLine::Telemetry(rec) => {
                     let source = match &rec {
                         SinkRecord::Epoch { source, .. }
@@ -412,6 +447,7 @@ impl Collector {
                         )));
                     }
                     staged.entry(plane).or_default().push(rec);
+                    prof_add(&mut self.prof, Phase::Staging, t0);
                 }
                 ParsedLine::Control { kind, value } if kind == "plane_done" => {
                     let msg = PlaneDoneMsg::from_value(&value).map_err(|e| {
@@ -426,6 +462,21 @@ impl Collector {
                     done.insert(plane, msg);
                 }
                 ParsedLine::Control { kind, .. } if kind == "fleet_end" => break,
+                ParsedLine::Control { kind, value } if kind == "profile" => {
+                    // Wall-clock sidecar from the worker: route into
+                    // the profile hub (when profiling) under a
+                    // per-worker source prefix. Never staged, never
+                    // merged; an undecodable payload is dropped rather
+                    // than failing the deterministic collection.
+                    if let Some(p) = self.prof.as_ref() {
+                        let data = get(&value, "data");
+                        if let Some(mut rec) = data.and_then(|d| ProfileRecord::from_value(d).ok())
+                        {
+                            rec.source = format!("w{worker:02}/{}", rec.source);
+                            p.hub().record(rec);
+                        }
+                    }
+                }
                 ParsedLine::Control { kind, .. } => {
                     return Err(CollectError::Protocol(format!(
                         "unknown control record {kind:?} from worker {worker}"
@@ -434,6 +485,7 @@ impl Collector {
             }
         }
         // --- commit -----------------------------------------------------
+        let tc = prof_now(&self.prof);
         for &plane in &owned {
             if !done.contains_key(&plane) {
                 return Err(CollectError::Protocol(format!(
@@ -465,6 +517,12 @@ impl Collector {
             );
         }
         self.workers.insert(worker);
+        prof_add(&mut self.prof, Phase::Staging, tc);
+        // One profile record per committed stream keeps the hub's
+        // per-epoch view aligned with worker arrivals.
+        if let Some(p) = self.prof.as_mut() {
+            p.flush_nonempty();
+        }
         Ok(worker)
     }
 
@@ -483,8 +541,10 @@ impl Collector {
         if !missing.is_empty() {
             return Err(CollectError::Coverage { missing });
         }
+        let mut prof = self.prof;
         let records = self.merge.staged_records() as u64;
         let dropped_records = self.merge.dropped_records();
+        let t0 = prof_now(&prof);
         self.merge.replay_into(sink);
         let results = self
             .committed
@@ -493,6 +553,10 @@ impl Collector {
             .collect();
         let report = router.stitch_report(results, horizon);
         sink.on_run_end("sps", router.drain_deadline(horizon), &report.metrics);
+        prof_add(&mut prof, Phase::MergeReplay, t0);
+        if let Some(p) = prof.as_mut() {
+            p.flush_nonempty();
+        }
         Ok(FleetOutcome {
             report,
             records,

@@ -7,6 +7,20 @@
 pub mod fleet;
 
 use rip_core::RouterConfig;
+
+/// The workspace version every binary reports — the same string
+/// `MetricsServer::set_build_info` exposes as the `_build_info` gauge's
+/// `version` label, so a scrape and a `--version` invocation can be
+/// cross-checked against each other.
+pub const SERVICE_VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// The one-line `--version` banner for `service` (`ripsim`, `repro`).
+/// Keep this the single source of the format: the CLIs print it and the
+/// metrics endpoints derive their build-info labels from the same
+/// [`SERVICE_VERSION`].
+pub fn version_line(service: &str) -> String {
+    format!("{service} {SERVICE_VERSION} (rip-bench workspace build)")
+}
 use rip_traffic::{
     merge_streams, ArrivalProcess, BoundedSource, MergedSource, Packet, PacketGenerator,
     SizeDistribution, TrafficMatrix,

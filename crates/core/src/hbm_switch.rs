@@ -11,8 +11,9 @@ use rip_sim::{
     EventQueue, EventSink, Feeder, QueueKind, Series, ShardedEventQueue, TraceLog, VecPool,
 };
 use rip_telemetry::{
-    EpochClock, MetricsRegistry, Snapshot, SpanEvent, TelemetrySink, TraceRecorder, TraceWindow,
-    PID_FRAMES, PID_HBM,
+    prof_add, prof_lap, prof_now, prof_now_sampled, prof_renew, EngineProfiler, EpochClock,
+    MetricsRegistry, Phase, ProfileHub, Snapshot, SpanEvent, TelemetrySink, TraceRecorder,
+    TraceWindow, PID_FRAMES, PID_HBM,
 };
 use rip_traffic::{MergedSource, Packet, PacketSource, ReplaySource, StatefulSource};
 use rip_units::{DataRate, DataSize, SimTime, TimeDelta};
@@ -529,6 +530,11 @@ pub struct HbmSwitch {
     /// on the shard workers). `None` outside a sharded run; the
     /// shutdown check reads it in place of `self.assemblers`.
     queued_mirror: Option<Vec<DataSize>>,
+    /// Wall-clock self-profiler (`None` = off; the run loops then never
+    /// read the monotonic clock). Profile records travel on the hub's
+    /// own stream and never touch reports, telemetry, traces or
+    /// checkpoints — profiled runs are byte-identical to silent ones.
+    prof: Option<EngineProfiler>,
 }
 
 /// Routes the core's internally scheduled events onto the sharded
@@ -620,10 +626,28 @@ impl HbmSwitch {
             batch_scratch: Vec::new(),
             chunk_pool: VecPool::default(),
             queued_mirror: None,
+            prof: None,
             group,
             pfi,
             cfg,
         })
+    }
+
+    /// Attach the wall-clock self-profiler: the run loops lap a
+    /// monotonic clock across kernel pops, dispatch phases and
+    /// telemetry export, flushing one record per telemetry epoch into
+    /// `hub` under source `engine` (shard workers join the same hub as
+    /// `shardNN`). Profiling never alters simulation state or any
+    /// deterministic output surface.
+    pub fn enable_profiler(&mut self, hub: ProfileHub) {
+        self.enable_profiler_as(hub, "engine");
+    }
+
+    /// [`Self::enable_profiler`] under a caller-chosen source label —
+    /// fleet plane workers profile as `planeNN` so the collector's
+    /// merged exposition can tell planes apart.
+    pub fn enable_profiler_as(&mut self, hub: ProfileHub, source: &str) {
+        self.prof = Some(EngineProfiler::new(hub, source));
     }
 
     /// Select the event-queue kernel for subsequent runs: the timing
@@ -826,6 +850,7 @@ impl HbmSwitch {
 
     /// Close the currently accumulating epoch and emit its delta.
     fn live_flush_one(&mut self, pulled: u64) {
+        let t0 = prof_now(&self.prof);
         // Take `live` out so the sink call can borrow `self.metrics`
         // without aliasing.
         let mut live = self.live.take().expect("live checked by caller");
@@ -838,6 +863,12 @@ impl HbmSwitch {
         live.prev = snap;
         live.epochs_emitted += 1;
         self.live = Some(live);
+        prof_add(&mut self.prof, Phase::TelemetryExport, t0);
+        // One profile record per telemetry epoch, emitted after the
+        // epoch's own export time was attributed.
+        if let Some(p) = self.prof.as_mut() {
+            p.flush();
+        }
     }
 
     /// The per-epoch gauge series: working-set and source progress,
@@ -885,6 +916,7 @@ impl HbmSwitch {
         let first = self.first_arrival.unwrap_or(SimTime::ZERO);
         let span = self.last_departure.saturating_since(first);
         let end = first + span;
+        let t0 = prof_now(&self.prof);
         let mut live = self.live.take().expect("checked above");
         let epoch = live.clock.epoch();
         self.stamp_live_gauges(end, pulled);
@@ -898,6 +930,26 @@ impl HbmSwitch {
         live.finished = true;
         self.live_boundary_ps = u64::MAX;
         self.live = Some(live);
+        prof_add(&mut self.prof, Phase::TelemetryExport, t0);
+    }
+
+    /// Flush whatever the profiler accumulated since the last epoch
+    /// record — the end-of-run catch-all (and the only flush for runs
+    /// without live telemetry).
+    fn prof_finish(&mut self) {
+        if let Some(p) = self.prof.as_mut() {
+            p.flush_nonempty();
+        }
+    }
+
+    /// The profile phase an event's handling is attributed to.
+    fn phase_of(ev: &Ev) -> Phase {
+        match ev {
+            Ev::Arrival(_) | Ev::FlushTimeout { .. } => Phase::BatchAssembly,
+            Ev::BatchAtTail(_) | Ev::ReadTurn | Ev::FrameAtHead(_) => Phase::HbmTiming,
+            Ev::Drain(_) => Phase::BatchDrain,
+            Ev::ArrivalsDone | Ev::Fault(_) => Phase::Dispatch,
+        }
     }
 
     /// Emit `stage` for `packet` if it is being sampled.
@@ -1515,6 +1567,14 @@ impl HbmSwitch {
             if feeder.is_exhausted() {
                 self.arrivals_done = true;
             }
+            // Lap structure when the profiler is attached: peeks and
+            // pops are `KernelPop`, the epoch flush self-attributes to
+            // `TelemetryExport` inside `live_flush_one`, and the
+            // dispatch is attributed by event kind. Laps chain without
+            // overlap, so summed phase time stays below wall time; the
+            // lap starters are 1-in-64 sampled (see `prof_now_sampled`)
+            // to keep the per-event clock cost inside the <3% budget.
+            let mut t0 = prof_now_sampled(&mut self.prof);
             let take_arrival = match (feeder.peek_time(), q.peek_time()) {
                 (Some(a), Some(t)) => a <= t,
                 (Some(_), None) => true,
@@ -1526,23 +1586,33 @@ impl HbmSwitch {
                 if at > horizon {
                     break;
                 }
+                prof_lap(&mut self.prof, Phase::KernelPop, &mut t0);
                 self.live_flush_epochs(at, feeder.pulled());
+                let mut t0 = prof_renew(t0);
                 let (_, p) = feeder.pop().expect("peeked");
+                prof_lap(&mut self.prof, Phase::KernelPop, &mut t0);
                 self.handle(&mut q, at, Ev::Arrival(p));
+                prof_add(&mut self.prof, Phase::BatchAssembly, t0);
             } else {
                 let t = q.peek_time().expect("peeked");
                 if t > horizon {
                     break;
                 }
+                prof_lap(&mut self.prof, Phase::KernelPop, &mut t0);
                 self.live_flush_epochs(t, feeder.pulled());
+                let mut t0 = prof_renew(t0);
                 let (now, ev) = q.pop().expect("peeked");
+                prof_lap(&mut self.prof, Phase::KernelPop, &mut t0);
+                let phase = Self::phase_of(&ev);
                 self.handle(&mut q, now, ev);
+                prof_add(&mut self.prof, phase, t0);
             }
         }
         self.roll_capacity(self.last_departure);
         let pulled = feeder.pulled();
         drop(feeder);
         self.live_finish(pulled);
+        self.prof_finish();
     }
 
     /// Run per-port packet sources through the engine selected by
@@ -1617,13 +1687,20 @@ impl HbmSwitch {
         for (i, s) in ports.into_iter().enumerate() {
             buckets[i % shards].push(s);
         }
+        let profiling = self.prof.is_some();
         crossbeam::thread::scope(|scope| {
             let mut streams = Vec::with_capacity(shards);
-            for bucket in buckets {
+            for (s, bucket) in buckets.into_iter().enumerate() {
                 let (tx, rx) = std::sync::mpsc::sync_channel(tuning.channel_blocks);
-                let engine = ShardEngine::new(params, bucket);
+                // Shard workers join the engine's hub under their own
+                // source names, flushing one record per shard run.
+                let shard_prof = self
+                    .prof
+                    .as_ref()
+                    .map(|p| EngineProfiler::new(p.hub().clone(), &format!("shard{s:02}")));
+                let engine = ShardEngine::new(params, bucket).with_profiler(shard_prof);
                 scope.spawn(move |_| engine.run(tx));
-                streams.push(ShardStream::new(rx));
+                streams.push(ShardStream::new(rx).timed(profiling));
             }
             self.run_sharded_core(streams, horizon, plan);
         })
@@ -1661,6 +1738,11 @@ impl HbmSwitch {
         let mut dispatched: u64 = 0;
         let mut pulled: u64;
         loop {
+            // Same lap structure (and 1-in-64 lap sampling) as
+            // `run_source`, with two extra phases: blocked `recv` time
+            // accumulates inside the streams (summed below as
+            // `ChannelRecv`) and shard-effect replay is `SerialReplay`.
+            let mut t0 = prof_now_sampled(&mut self.prof);
             let next = Self::peek_min_arrival(&mut streams);
             if next.is_none() {
                 self.arrivals_done = true;
@@ -1679,17 +1761,24 @@ impl HbmSwitch {
                 if at > horizon {
                     break;
                 }
+                prof_lap(&mut self.prof, Phase::KernelPop, &mut t0);
                 self.live_flush_epochs(at, pulled);
+                let mut t0 = prof_renew(t0);
                 let fx = streams[s].pop_arrival();
                 dispatched += 1;
+                prof_lap(&mut self.prof, Phase::KernelPop, &mut t0);
                 self.apply_arrival(&mut q, at, fx);
+                prof_add(&mut self.prof, Phase::SerialReplay, t0);
             } else {
                 let t = q.peek_time().expect("peeked");
                 if t > horizon {
                     break;
                 }
+                prof_lap(&mut self.prof, Phase::KernelPop, &mut t0);
                 self.live_flush_epochs(t, pulled);
+                let mut t0 = prof_renew(t0);
                 let (now, ev) = q.pop().expect("peeked");
+                prof_lap(&mut self.prof, Phase::KernelPop, &mut t0);
                 match ev {
                     Ev::FlushTimeout { input, output } => {
                         let fx = streams[input % shards]
@@ -1704,21 +1793,34 @@ impl HbmSwitch {
                             fx.fire
                         );
                         self.apply_flush(&mut q, fx);
+                        prof_add(&mut self.prof, Phase::SerialReplay, t0);
                     }
                     ev => {
+                        let phase = Self::phase_of(&ev);
                         let mut sink = LaneRouter {
                             q: &mut q,
                             read_lane,
                         };
                         self.handle(&mut sink, now, ev);
+                        prof_add(&mut self.prof, phase, t0);
                     }
                 }
             }
         }
         self.roll_capacity(self.last_departure);
+        if self.prof.is_some() {
+            let (recv_ns, recv_blocks) = streams.iter().fold((0u64, 0u64), |(ns, n), s| {
+                (ns + s.recv_wait_ns(), n + s.recv_waits())
+            });
+            if let Some(p) = self.prof.as_mut() {
+                p.acc_mut()
+                    .add_ns_n(Phase::ChannelRecv, recv_ns, recv_blocks);
+            }
+        }
         drop(streams);
         self.queued_mirror = None;
         self.live_finish(pulled);
+        self.prof_finish();
     }
 
     /// The earliest undispatched arrival across the shard streams, by
@@ -2105,12 +2207,15 @@ impl HbmSwitch {
         let mut q: EventQueue<Ev> = EventQueue::with_kind(self.queue_kind);
         let mut feeder = match resume {
             Some(v) => {
+                let t0 = prof_now(&self.prof);
                 let st = SwitchState::from_value(v).map_err(|e| {
                     SnapshotError::Mismatch(format!(
                         "snapshot does not decode as a switch state: {e}"
                     ))
                 })?;
-                self.restore_from(st, &mut q, source)?
+                let feeder = self.restore_from(st, &mut q, source)?;
+                prof_add(&mut self.prof, Phase::CheckpointRestore, t0);
+                feeder
             }
             None => {
                 for ev in plan.events() {
@@ -2139,14 +2244,25 @@ impl HbmSwitch {
                     break;
                 }
                 self.live_flush_epochs(at, feeder.pulled());
-                if self.checkpoint_if_due(
+                // Mirror `checkpoint_if_due`'s quick-return guard so
+                // the per-event path pays no clock read; only epoch
+                // boundaries time the snapshot work.
+                let tck = if self.live_epochs_emitted() != last_ckpt {
+                    prof_now(&self.prof)
+                } else {
+                    None
+                };
+                let stop = self.checkpoint_if_due(
                     &q,
                     &feeder,
                     every_epochs,
                     &mut last_ckpt,
                     &mut should_stop,
                     &mut persist,
-                )? {
+                )?;
+                prof_add(&mut self.prof, Phase::CheckpointSave, tck);
+                if stop {
+                    self.prof_finish();
                     return Ok(RunOutcome::Interrupted);
                 }
                 let (_, p) = feeder.pop().expect("peeked");
@@ -2157,14 +2273,22 @@ impl HbmSwitch {
                     break;
                 }
                 self.live_flush_epochs(t, feeder.pulled());
-                if self.checkpoint_if_due(
+                let tck = if self.live_epochs_emitted() != last_ckpt {
+                    prof_now(&self.prof)
+                } else {
+                    None
+                };
+                let stop = self.checkpoint_if_due(
                     &q,
                     &feeder,
                     every_epochs,
                     &mut last_ckpt,
                     &mut should_stop,
                     &mut persist,
-                )? {
+                )?;
+                prof_add(&mut self.prof, Phase::CheckpointSave, tck);
+                if stop {
+                    self.prof_finish();
                     return Ok(RunOutcome::Interrupted);
                 }
                 let (now, ev) = q.pop().expect("peeked");
@@ -2175,6 +2299,7 @@ impl HbmSwitch {
         let pulled = feeder.pulled();
         drop(feeder);
         self.live_finish(pulled);
+        self.prof_finish();
         Ok(RunOutcome::Completed)
     }
 

@@ -35,6 +35,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{Receiver, SyncSender};
 
 use rip_sim::VecPool;
+use rip_telemetry::{prof_lap, prof_now_sampled, EngineProfiler, Phase};
 use rip_traffic::hash::{fiber_wavelength_for, HashKind};
 use rip_traffic::{FlowKey, MergedSource, Packet, PacketSource};
 use rip_units::{DataSize, SimTime, TimeDelta};
@@ -165,6 +166,10 @@ pub(crate) struct ShardEngine<S> {
     pool: VecPool<Chunk>,
     scratch: Vec<Batch>,
     params: ShardParams,
+    /// Wall-clock self-profiler for this worker (`None` = off):
+    /// `ShardBusy` is partition compute, `ShardSend` time blocked on
+    /// the bounded effect channel. One record flushes at end of run.
+    prof: Option<EngineProfiler>,
 }
 
 impl<S: PacketSource> ShardEngine<S> {
@@ -184,7 +189,14 @@ impl<S: PacketSource> ShardEngine<S> {
             pool: VecPool::default(),
             scratch: Vec::new(),
             params,
+            prof: None,
         }
+    }
+
+    /// Attach (or clear) the worker's self-profiler.
+    pub(crate) fn with_profiler(mut self, prof: Option<EngineProfiler>) -> Self {
+        self.prof = prof;
+        self
     }
 
     /// Simulate the partition to exhaustion, shipping effect blocks.
@@ -194,6 +206,7 @@ impl<S: PacketSource> ShardEngine<S> {
         let mut block: Vec<ShardFx> = Vec::with_capacity(self.params.block_events);
         let mut block_start = SimTime::ZERO;
         loop {
+            let mut t0 = prof_now_sampled(&mut self.prof);
             if self.pending.is_none() && !self.source_done {
                 match self.merged.next_packet() {
                     Some(p) => self.pending = Some(p),
@@ -222,12 +235,20 @@ impl<S: PacketSource> ShardEngine<S> {
             block.push(fx);
             let ship = block.len() >= self.params.block_events
                 || at.saturating_since(block_start) >= self.params.window;
-            if ship && tx.send(std::mem::take(&mut block)).is_err() {
-                return;
+            prof_lap(&mut self.prof, Phase::ShardBusy, &mut t0);
+            if ship {
+                let sent = tx.send(std::mem::take(&mut block));
+                prof_lap(&mut self.prof, Phase::ShardSend, &mut t0);
+                if sent.is_err() {
+                    break;
+                }
             }
         }
         if !block.is_empty() {
             let _ = tx.send(block);
+        }
+        if let Some(p) = self.prof.as_mut() {
+            p.flush_nonempty();
         }
     }
 
@@ -323,6 +344,10 @@ pub(crate) struct ShardStream {
     arrivals: VecDeque<ArrivalFx>,
     flushes: VecDeque<FlushFx>,
     open: bool,
+    /// Time the blocked `recv` calls when true (profiling on).
+    timed: bool,
+    recv_ns: u64,
+    recv_waits: u64,
 }
 
 impl ShardStream {
@@ -332,11 +357,36 @@ impl ShardStream {
             arrivals: VecDeque::new(),
             flushes: VecDeque::new(),
             open: true,
+            timed: false,
+            recv_ns: 0,
+            recv_waits: 0,
         }
     }
 
+    /// Enable blocked-`recv` wall-clock accounting (profiling on).
+    pub(crate) fn timed(mut self, timed: bool) -> Self {
+        self.timed = timed;
+        self
+    }
+
+    /// Nanoseconds spent blocked in `recv` so far.
+    pub(crate) fn recv_wait_ns(&self) -> u64 {
+        self.recv_ns
+    }
+
+    /// Number of blocking `recv` calls so far.
+    pub(crate) fn recv_waits(&self) -> u64 {
+        self.recv_waits
+    }
+
     fn pull_block(&mut self) {
-        match self.rx.recv() {
+        let t0 = self.timed.then(std::time::Instant::now);
+        let pulled = self.rx.recv();
+        if let Some(t0) = t0 {
+            self.recv_ns += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.recv_waits += 1;
+        }
+        match pulled {
             Ok(block) => {
                 for fx in block {
                     match fx {

@@ -4,7 +4,9 @@
 
 use rip_photonics::{FrontEnd, SplitMap, SplitPattern};
 use rip_sim::snapshot::SnapshotError;
-use rip_telemetry::{MemorySink, MetricsRegistry, SharedSink, SinkRecord, TelemetrySink};
+use rip_telemetry::{
+    MemorySink, MetricsRegistry, ProfileHub, SharedSink, SinkRecord, TelemetrySink,
+};
 use rip_traffic::hash::{lane_for, HashKind};
 use rip_traffic::{
     ArrivalProcess, BoundedSource, FiberFill, Packet, PacketGenerator, PacketSource,
@@ -133,6 +135,7 @@ pub struct PlaneRun {
 pub struct SpsRouter {
     cfg: RouterConfig,
     front_end: FrontEnd,
+    profile: Option<ProfileHub>,
 }
 
 /// One photonic-fault epoch: the front-end state effective from `start`
@@ -344,7 +347,27 @@ impl SpsRouter {
             pattern,
         )
         .map_err(ConfigError::Photonics)?;
-        Ok(SpsRouter { cfg, front_end })
+        Ok(SpsRouter {
+            cfg,
+            front_end,
+            profile: None,
+        })
+    }
+
+    /// Attach a wall-clock profile hub: every plane simulation this
+    /// router spawns ([`Self::run_planes`] and everything built on it)
+    /// profiles its engine loop as source `planeNN` into `hub`.
+    /// Profiling never alters reports, telemetry or snapshots — the
+    /// hub stream is wall-clock-only and lives outside every
+    /// deterministic surface.
+    pub fn set_profile_hub(&mut self, hub: ProfileHub) {
+        self.profile = Some(hub);
+    }
+
+    /// The attached profile hub, when [`Self::set_profile_hub`] was
+    /// called — fleet workers drain it into their wire stream.
+    pub fn profile_hub(&self) -> Option<&ProfileHub> {
+        self.profile.as_ref()
     }
 
     /// The optical front end (split map, rates).
@@ -603,8 +626,12 @@ impl SpsRouter {
                     let cfg = self.cfg.clone();
                     let mut src = self.plane_source(w, horizon, plan, plane);
                     let plane_sink = plane_sinks[slot].clone();
+                    let hub = self.profile.clone();
                     scope.spawn(move |_| {
                         let mut sw = HbmSwitch::new(cfg).expect("validated config");
+                        if let Some(h) = hub {
+                            sw.enable_profiler_as(h, &format!("plane{plane:02}"));
+                        }
                         if let Some(o) = live {
                             sw.enable_live_telemetry(
                                 o.period,
@@ -803,6 +830,9 @@ impl SpsRouter {
                 None
             };
             let mut sw = HbmSwitch::new(self.cfg.clone()).expect("validated config");
+            if let Some(h) = self.profile.clone() {
+                sw.enable_profiler_as(h, &format!("plane{plane:02}"));
+            }
             sw.enable_live_telemetry(opts.period, opts.sample_one_in, Box::new(staged.clone()));
             let outcome = {
                 let done_ref = &done;

@@ -23,7 +23,9 @@
 
 mod epoch;
 mod fleet;
+mod flight;
 mod net;
+mod profile;
 mod sink;
 mod trace;
 mod watchdog;
@@ -37,9 +39,14 @@ pub use epoch::{EpochClock, EpochDelta, Snapshot};
 pub use fleet::{
     parse_plane_source, parse_sink_line, plane_source_name, LineError, ParsedLine, PlaneMerge,
 };
+pub use flight::{FlightEpoch, FlightRecorder, FlightTee};
 pub use net::{
     FrameError, FrameListener, LengthFramedReader, LengthFramedWriter, MetricsEndpoint,
     MetricsServer, MAX_FRAME_BYTES,
+};
+pub use profile::{
+    prof_add, prof_lap, prof_now, prof_now_sampled, prof_renew, EngineProfiler, Phase, PhaseAcc,
+    PhaseSample, PhaseScope, ProfileHub, ProfileRecord, SAMPLE_STRIDE,
 };
 pub use sink::{
     intern_stage, FanoutSink, JsonlSink, MemorySink, PrometheusSink, SharedSink, SinkRecord,

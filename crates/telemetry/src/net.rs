@@ -181,6 +181,10 @@ impl Drop for MetricsServer {
 pub struct MetricsEndpoint {
     server: MetricsServer,
     cumulative: BTreeMap<String, MetricsRegistry>,
+    /// Optional self-profiling families appended to every published
+    /// body as `<prefix>_profile_*` (wall-clock exporter metadata, like
+    /// [`MetricsServer::set_build_info`] — never simulation telemetry).
+    profile: Option<(String, crate::ProfileHub)>,
 }
 
 impl MetricsEndpoint {
@@ -189,7 +193,16 @@ impl MetricsEndpoint {
         Ok(MetricsEndpoint {
             server: MetricsServer::bind(addr)?,
             cumulative: BTreeMap::new(),
+            profile: None,
         })
+    }
+
+    /// Append `<prefix>_profile_*` families rendered from `hub`'s
+    /// cumulative totals to every published exposition body. `prefix`
+    /// must be a valid metric-name prefix (e.g. `ripsim`).
+    pub fn attach_profile_hub(&mut self, prefix: &str, hub: crate::ProfileHub) {
+        self.profile = Some((prefix.to_string(), hub));
+        self.republish();
     }
 
     /// The bound address.
@@ -217,8 +230,11 @@ impl MetricsEndpoint {
     fn republish(&mut self) {
         let mut out = Vec::new();
         render_exposition(&self.cumulative, &mut out).expect("vec write");
-        self.server
-            .publish(String::from_utf8(out).expect("exposition is utf-8"));
+        let mut body = String::from_utf8(out).expect("exposition is utf-8");
+        if let Some((prefix, hub)) = &self.profile {
+            body.push_str(&hub.render_prometheus(prefix));
+        }
+        self.server.publish(body);
     }
 }
 

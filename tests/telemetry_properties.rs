@@ -330,3 +330,76 @@ proptest! {
         prop_assert_eq!(got, lines);
     }
 }
+
+proptest! {
+    /// Phase accounting is complete and single-entry: an arbitrary add
+    /// sequence, split at an arbitrary point into two flush windows,
+    /// accounts every nanosecond and every span exactly once — the
+    /// per-phase sums over the flushed records equal the sums over the
+    /// raw adds, regardless of where the window boundary falls, and a
+    /// drained accumulator flushes empty.
+    #[test]
+    fn phase_accounting_is_exact_across_flush_windows(
+        adds in prop::collection::vec(
+            (0usize..rip_telemetry::Phase::COUNT, 0u64..1_000_000, 1u64..100),
+            1..100,
+        ),
+        split in 0usize..100,
+    ) {
+        use std::collections::BTreeMap;
+        use rip_telemetry::{Phase, PhaseAcc, ProfileHub};
+        let split = split.min(adds.len());
+        let hub = ProfileHub::new();
+        let mut acc = PhaseAcc::new();
+        let mut expect: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        for (i, &(p, ns, n)) in adds.iter().enumerate() {
+            if i == split {
+                hub.record(acc.flush("t", 0));
+            }
+            let phase = Phase::ALL[p];
+            acc.add_ns_n(phase, ns, n);
+            let e = expect.entry(phase.name().to_string()).or_insert((0, 0));
+            e.0 += ns;
+            e.1 += n;
+        }
+        hub.record(acc.flush("t", 1));
+        let mut got: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        for rec in hub.recent() {
+            for (phase, s) in &rec.phases {
+                let e = got.entry(phase.clone()).or_insert((0, 0));
+                e.0 += s.ns;
+                e.1 += s.count;
+            }
+        }
+        prop_assert_eq!(got, expect);
+        prop_assert!(acc.is_idle());
+        prop_assert!(acc.flush("t", 2).phases.is_empty());
+    }
+}
+
+proptest! {
+    /// Timed spans on one thread are disjoint sub-intervals of the
+    /// accumulation window, so the summed phase time of a flushed
+    /// record can never exceed its wall clock — the invariant that
+    /// makes per-epoch profile records interpretable as a breakdown.
+    #[test]
+    fn timed_phase_spans_never_exceed_the_window_wall_clock(
+        phases in prop::collection::vec(0usize..rip_telemetry::Phase::COUNT, 1..50),
+    ) {
+        use rip_telemetry::{Phase, PhaseAcc};
+        let mut acc = PhaseAcc::new();
+        for &p in &phases {
+            drop(acc.scope(Phase::ALL[p]));
+        }
+        let rec = acc.flush("t", 0);
+        let spans: u64 = rec.phases.values().map(|s| s.count).sum();
+        prop_assert_eq!(spans, phases.len() as u64);
+        let summed: u64 = rec.phases.values().map(|s| s.ns).sum();
+        prop_assert!(
+            summed <= rec.wall_ns,
+            "phases sum to {} ns but the window is only {} ns",
+            summed,
+            rec.wall_ns
+        );
+    }
+}
